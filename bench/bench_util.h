@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: standard trial
+ * counts (env-overridable), common scheme construction and run loops
+ * for the timing benches, and paper-vs-measured printing.
+ */
+
+#ifndef CITADEL_BENCH_BENCH_UTIL_H
+#define CITADEL_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "citadel/citadel.h"
+#include "common/env.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/system_sim.h"
+
+namespace citadel {
+namespace bench {
+
+/** Monte Carlo trials (CITADEL_TRIALS overrides; paper uses 1e5-1e6). */
+inline u64
+trials(u64 fallback = 200000)
+{
+    return benchTrials(fallback);
+}
+
+/** Per-core instruction budget for timing runs (CITADEL_INSNS). */
+inline u64
+insns(u64 fallback = 400000)
+{
+    return benchInsns(fallback);
+}
+
+/** Format a probability with its 95% CI; "<x" when zero failures. */
+inline std::string
+probCell(const Proportion &p)
+{
+    if (p.successes == 0)
+        return "<" + Table::prob(p.hi95) + " (0 fails)";
+    return Table::prob(p.estimate);
+}
+
+/** Improvement factor a/b with divide-by-zero care. */
+inline std::string
+factorCell(double base, double better)
+{
+    if (better <= 0.0)
+        return ">" + Table::num(base > 0 ? base / 1e-9 : 0.0, 0);
+    return Table::num(base / better, 1) + "x";
+}
+
+/** One timing run of `profile` under (mode, ras). */
+inline SimResult
+runTiming(const BenchmarkProfile &profile, StripingMode mode,
+          RasTraffic ras, u64 insns_per_core)
+{
+    SimConfig cfg;
+    cfg.striping = mode;
+    cfg.ras = ras;
+    cfg.insnsPerCore = insns_per_core;
+    SystemSim sim(cfg, profile);
+    return sim.run();
+}
+
+/** Timing results for every benchmark under one configuration. */
+inline std::map<std::string, SimResult>
+runSuite(StripingMode mode, RasTraffic ras, u64 insns_per_core)
+{
+    std::map<std::string, SimResult> out;
+    for (const auto &b : allBenchmarks()) {
+        std::cerr << "  [" << stripingModeName(mode) << "/"
+                  << static_cast<int>(ras) << "] " << b.name << "...\n";
+        out[b.name] = runTiming(b, mode, ras, insns_per_core);
+    }
+    return out;
+}
+
+/** Geometric-mean ratio of a metric vs a baseline map. */
+template <typename F>
+double
+gmeanRatio(const std::map<std::string, SimResult> &test,
+           const std::map<std::string, SimResult> &base, F metric)
+{
+    std::vector<double> ratios;
+    for (const auto &[name, r] : test)
+        ratios.push_back(metric(r) / metric(base.at(name)));
+    return geomean(ratios);
+}
+
+} // namespace bench
+} // namespace citadel
+
+#endif // CITADEL_BENCH_BENCH_UTIL_H

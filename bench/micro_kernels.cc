@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Google-benchmark micro-kernels for the hot paths of the library:
+ * CRC-32, Reed-Solomon encode/decode, fault-lifetime sampling, Monte
+ * Carlo trials, 3DP bit-true reconstruction and LLC operations. These
+ * quantify the cost of the machinery behind the figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "citadel/citadel.h"
+#include "citadel/parity_engine.h"
+#include "common/rng.h"
+#include "ecc/crc32.h"
+#include "ecc/reed_solomon.h"
+#include "sim/llc.h"
+
+namespace citadel {
+namespace {
+
+void
+BM_Crc32Line(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<u8> line(64);
+    for (auto &b : line)
+        b = static_cast<u8>(rng.next());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Crc32::lineCrc(0x1234, line));
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Crc32Line);
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    RsCode rs(72, 64);
+    Rng rng(2);
+    std::vector<u8> data(64);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.next());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rs.encode(data));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_RsEncode);
+
+void
+BM_RsDecodeWithErrors(benchmark::State &state)
+{
+    RsCode rs(72, 64);
+    Rng rng(3);
+    std::vector<u8> data(64);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.next());
+    auto cw = rs.encode(data);
+    cw[5] ^= 0x5A;
+    cw[40] ^= 0xC3;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rs.decode(cw));
+}
+BENCHMARK(BM_RsDecodeWithErrors);
+
+void
+BM_SampleLifetime(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    FaultInjector inj(cfg);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(inj.sampleLifetime(rng));
+}
+BENCHMARK(BM_SampleLifetime);
+
+void
+BM_MonteCarloTrialCitadel(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    MonteCarlo mc(cfg);
+    auto scheme = makeCitadel();
+    FaultInjector inj(cfg);
+    Rng rng(5);
+    const auto events = inj.sampleLifetime(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mc.runTrial(*scheme, events));
+}
+BENCHMARK(BM_MonteCarloTrialCitadel);
+
+void
+BM_MonteCarloFullRun(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    MonteCarlo mc(cfg);
+    auto scheme = makeCitadel();
+    const u64 trials = static_cast<u64>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mc.run(*scheme, trials, 7));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * trials));
+}
+BENCHMARK(BM_MonteCarloFullRun)->Arg(1000);
+
+void
+BM_ParityEngineReconstructRow(benchmark::State &state)
+{
+    ParityEngine eng(StackGeometry::tiny());
+    Fault f;
+    f.cls = FaultClass::Row;
+    f.stack = DimSpec::exact(0);
+    f.channel = DimSpec::exact(1);
+    f.bank = DimSpec::exact(1);
+    f.row = DimSpec::exact(5);
+    f.col = DimSpec::wild();
+    f.bit = DimSpec::wild();
+    for (auto _ : state) {
+        state.PauseTiming();
+        eng.restore();
+        eng.corrupt({f});
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(eng.reconstruct(3));
+    }
+}
+BENCHMARK(BM_ParityEngineReconstructRow);
+
+void
+BM_LlcFillProbe(benchmark::State &state)
+{
+    Llc llc(8ull << 20, 8);
+    Rng rng(6);
+    u64 addr = 0;
+    for (auto _ : state) {
+        const bool dirty = (addr & 3) == 0;
+        llc.fill(addr, dirty, false);
+        ++addr;
+        benchmark::DoNotOptimize(llc.probeParity(rng.below(1 << 20)));
+    }
+}
+BENCHMARK(BM_LlcFillProbe);
+
+} // namespace
+} // namespace citadel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table I: stacked-memory failure rates for 8Gb dies, derived from the
+ * Sridharan & Liberty (SC-12) 1Gb field data via the Section III-A
+ * scaling rules. Prints base rates, scale factors, the derived values
+ * and the paper's printed values side by side.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "faults/fit_rates.h"
+
+using namespace citadel;
+
+int
+main()
+{
+    printBanner(std::cout, "Table I: stacked-memory failure rates "
+                           "(FIT per 8Gb die)");
+
+    const FitTable base = FitTable::sridharan1Gb();
+    const FitTable scaled = base.scaledForStackedDie();
+    const FitTable paper = FitTable::paper8Gb();
+    const FitScaling s;
+
+    Table t({"fault mode", "1Gb field (T/P)", "scale",
+             "derived 8Gb (T/P)", "paper Table I (T/P)"});
+    auto row = [&](const char *name, const FitPair &b, double k,
+                   const FitPair &d, const FitPair &p) {
+        t.addRow({name,
+                  Table::num(b.transientFit, 1) + " / " +
+                      Table::num(b.permanentFit, 1),
+                  Table::num(k, 1) + "x",
+                  Table::num(d.transientFit, 2) + " / " +
+                      Table::num(d.permanentFit, 2),
+                  Table::num(p.transientFit, 1) + " / " +
+                      Table::num(p.permanentFit, 1)});
+    };
+    row("single bit", base.bit, s.bitScale, scaled.bit, paper.bit);
+    row("single word", base.word, s.wordScale, scaled.word, paper.word);
+    row("single column", base.column, s.columnScale, scaled.column,
+        paper.column);
+    row("single row", base.row, s.rowScale, scaled.row, paper.row);
+    row("single bank", base.bank, s.bankScale, scaled.bank, paper.bank);
+    t.print(std::cout);
+
+    std::cout << "\nTotal per-die FIT (paper values): "
+              << Table::num(paper.totalFit(), 1)
+              << "  (TSV device FIT swept 14 - 1430 separately)\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Scenario: bring-up / validation engineering. Injects concrete fault
+ * patterns into the bit-true miniature stack and watches 3DP detect
+ * (CRC-32) and reconstruct them, then demonstrates the TSV-SWAP
+ * datapath repairing broken lanes. Everything here operates on real
+ * bytes, not analytic models.
+ */
+
+#include <iostream>
+
+#include "citadel/parity_engine.h"
+#include "citadel/tsv_swap.h"
+#include "common/table.h"
+
+int
+main()
+{
+    using namespace citadel;
+
+    const StackGeometry geom = StackGeometry::tiny();
+    printBanner(std::cout, "Bit-true 3DP on a miniature stack");
+    std::cout << "Geometry: " << geom.describe() << "\n\n";
+
+    struct Case
+    {
+        const char *name;
+        std::vector<Fault> faults;
+        bool expect_recovered;
+    };
+
+    auto mk = [](FaultClass cls, u32 ch, u32 bank, i32 row) {
+        Fault f;
+        f.cls = cls;
+        f.stack = DimSpec::exact(0);
+        f.channel = DimSpec::exact(ch);
+        f.bank = DimSpec::exact(bank);
+        f.row = row < 0 ? DimSpec::wild()
+                        : DimSpec::exact(static_cast<u32>(row));
+        f.col = DimSpec::wild();
+        f.bit = DimSpec::wild();
+        if (cls == FaultClass::Bit) {
+            f.col = DimSpec::exact(1);
+            f.bit = DimSpec::exact(77);
+        }
+        return f;
+    };
+
+    const Case cases[] = {
+        {"single bit flip", {mk(FaultClass::Bit, 0, 1, 9)}, true},
+        {"full row failure", {mk(FaultClass::Row, 1, 0, 20)}, true},
+        {"whole bank failure", {mk(FaultClass::Bank, 1, 1, -1)}, true},
+        {"bank + bit in another die",
+         {mk(FaultClass::Bank, 0, 0, -1), mk(FaultClass::Bit, 1, 1, 3)},
+         true},
+        {"two whole banks (defeats parity)",
+         {mk(FaultClass::Bank, 0, 0, -1), mk(FaultClass::Bank, 1, 1, -1)},
+         false},
+    };
+
+    ParityEngine engine(geom);
+    Table t({"injected pattern", "corrupt lines", "3DP outcome"});
+    for (const Case &c : cases) {
+        engine.restore();
+        engine.corrupt(c.faults);
+        const u64 corrupt = engine.corruptLineCount();
+        const bool ok = engine.reconstruct(3);
+        t.addRow({c.name, std::to_string(corrupt),
+                  ok ? "fully reconstructed" : "UNCORRECTABLE"});
+        if (ok != c.expect_recovered)
+            std::cerr << "unexpected outcome for: " << c.name << "\n";
+    }
+    t.print(std::cout);
+
+    printBanner(std::cout, "TSV-SWAP datapath (Fig 8)");
+    // A 16-lane toy channel with lanes 0 and 8 as stand-by TSVs.
+    TsvSwapDatapath dp(16, {0, 8});
+    std::vector<u8> burst(16);
+    for (u32 i = 0; i < 16; ++i)
+        burst[i] = static_cast<u8>(0xA0 + i);
+
+    auto show = [&](const char *when) {
+        const auto out = dp.transfer(burst);
+        std::cout << when << ": ";
+        for (u32 i = 0; i < 16; ++i)
+            std::cout << (out[i] == burst[i] ? '.' : 'X');
+        std::cout << "  (stand-by free: " << dp.standbyFree() << ")\n";
+    };
+
+    show("pristine channel      ");
+    dp.breakTsv(5);
+    dp.breakTsv(11);
+    show("lanes 5 & 11 broken   ");
+    dp.repair(5);
+    dp.repair(11);
+    show("after TSV-SWAP repairs");
+    std::cout << "\n('.' = lane delivers correct data, 'X' = corrupted)\n";
+    return 0;
+}

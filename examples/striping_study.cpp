@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Scenario: a memory-controller architect weighing data-striping
+ * policies for a bandwidth-hungry HPC workload mix. Runs a handful of
+ * representative benchmarks under the three mappings and under 3DP,
+ * and prints execution time, activation counts, row-hit rates and
+ * active power -- the trade-off of Figures 1 and 5.
+ *
+ * Usage: striping_study [insns_per_core]   (default 300000)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/system_sim.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace citadel;
+    const u64 insns = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : 300000;
+
+    const char *workloads[] = {"lbm", "mcf", "libquantum", "GemsFDTD",
+                               "povray"};
+
+    struct Config
+    {
+        const char *name;
+        StripingMode mode;
+        RasTraffic ras;
+    };
+    const Config configs[] = {
+        {"Same-Bank (baseline)", StripingMode::SameBank,
+         RasTraffic::None},
+        {"Same-Bank + 3DP", StripingMode::SameBank,
+         RasTraffic::ThreeDPCached},
+        {"Across-Banks", StripingMode::AcrossBanks, RasTraffic::None},
+        {"Across-Channels", StripingMode::AcrossChannels,
+         RasTraffic::None},
+    };
+
+    for (const char *wl : workloads) {
+        const BenchmarkProfile &profile = findBenchmark(wl);
+        printBanner(std::cout,
+                    std::string(wl) + "  (MPKI " +
+                        Table::num(profile.mpki, 1) + ", run length " +
+                        Table::num(profile.runLength, 0) + " lines)");
+
+        Table t({"configuration", "cycles", "norm. time", "activations",
+                 "row-hit rate", "active W", "norm. power"});
+        double base_cycles = 0.0;
+        double base_power = 0.0;
+        for (const Config &c : configs) {
+            SimConfig cfg;
+            cfg.striping = c.mode;
+            cfg.ras = c.ras;
+            cfg.insnsPerCore = insns;
+            SystemSim sim(cfg, profile);
+            const SimResult r = sim.run();
+            if (base_cycles == 0.0) {
+                base_cycles = static_cast<double>(r.cycles);
+                base_power = r.power.totalW();
+            }
+            const double hits = static_cast<double>(r.mem.rowHits);
+            const double total =
+                hits + static_cast<double>(r.mem.rowMisses);
+            t.addRow({c.name, std::to_string(r.cycles),
+                      Table::num(static_cast<double>(r.cycles) /
+                                     base_cycles, 3),
+                      std::to_string(r.mem.activates),
+                      Table::pct(total > 0 ? hits / total : 0.0),
+                      Table::num(r.power.totalW(), 2),
+                      Table::num(r.power.totalW() / base_power, 2)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "citadel/citadel.h"
+
+#include <memory>
+
+namespace citadel {
+
+SchemePtr
+makeCitadel(const CitadelOptions &opts)
+{
+    SchemePtr scheme =
+        std::make_unique<MultiDimParityScheme>(opts.parityDims);
+    if (opts.enableDds)
+        scheme = std::make_unique<DdsScheme>(
+            std::move(scheme), opts.spareRowsPerBank,
+            opts.spareBanksPerStack);
+    if (opts.enableTsvSwap)
+        scheme = std::make_unique<TsvSwapScheme>(
+            std::move(scheme), opts.standbyTsvsPerChannel);
+    return scheme;
+}
+
+SchemePtr
+makeParityOnly(u32 dims, bool tsv_swap)
+{
+    SchemePtr scheme = std::make_unique<MultiDimParityScheme>(dims);
+    if (tsv_swap)
+        scheme = std::make_unique<TsvSwapScheme>(std::move(scheme));
+    return scheme;
+}
+
+SchemePtr
+makeSymbolBaseline(StripingMode mode, bool tsv_swap)
+{
+    SchemePtr scheme = std::make_unique<SymbolStripedScheme>(mode);
+    if (tsv_swap)
+        scheme = std::make_unique<TsvSwapScheme>(std::move(scheme));
+    return scheme;
+}
+
+SchemePtr
+makeBchBaseline()
+{
+    return std::make_unique<Bch6EC7EDScheme>();
+}
+
+SchemePtr
+makeRaid5Baseline()
+{
+    return std::make_unique<Raid5Scheme>();
+}
+
+StorageOverhead
+computeOverhead(const SystemConfig &cfg, const CitadelOptions &opts)
+{
+    const StackGeometry &g = cfg.geom;
+    StorageOverhead o;
+
+    // One metadata die per channelsPerStack data dies (ECC-DIMM parity).
+    o.eccDieFraction = 1.0 / static_cast<double>(g.channelsPerStack);
+
+    // Dimension-1 parity dedicates one bank's worth of addresses per
+    // stack (Section VI-A).
+    o.parityBankFraction = 1.0 / static_cast<double>(g.banksPerStack());
+
+    if (opts.parityDims >= 2) {
+        // One parity row per die (D2) and one per bank position (D3),
+        // kept at the memory controller (Section VI-C): 9 + 8 rows of
+        // 2KB = 34KB for the baseline geometry.
+        u64 rows = cfg.diesPerStack();
+        if (opts.parityDims >= 3)
+            rows += g.banksPerChannel;
+        o.sramParityBytes = rows * g.rowBytes;
+    }
+
+    if (opts.enableDds) {
+        // RRT: 4 entries per bank, each {valid(1), source row(16),
+        // dest row(16)} bits; BRT: 2 entries of {valid(1), failed bank
+        // id(6), spare id(1)} bits (Section VII-C).
+        const u64 rrt_entries =
+            static_cast<u64>(g.banksPerStack()) * opts.spareRowsPerBank;
+        const u64 rrt_bits = rrt_entries * (1 + 16 + 16);
+        const u64 brt_bits = opts.spareBanksPerStack * (1 + 6 + 1);
+        o.sramRemapBytes = (rrt_bits + brt_bits + 7) / 8;
+    }
+    return o;
+}
+
+} // namespace citadel

@@ -1,0 +1,129 @@
+#include "citadel/dds.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace citadel {
+
+DdsScheme::DdsScheme(SchemePtr inner, u32 spare_rows_per_bank,
+                     u32 spare_banks_per_stack)
+    : inner_(std::move(inner)), spareRowsPerBank_(spare_rows_per_bank),
+      spareBanksPerStack_(spare_banks_per_stack)
+{
+    if (!inner_)
+        fatal("DdsScheme: inner scheme required");
+}
+
+std::string
+DdsScheme::name() const
+{
+    return "DDS+" + inner_->name();
+}
+
+void
+DdsScheme::reset(const SystemConfig &cfg)
+{
+    RasScheme::reset(cfg);
+    inner_->reset(cfg);
+    rowsUsed_.clear();
+    sparedBanks_.clear();
+    bankSpares_.clear();
+    stats_ = DdsStats{};
+}
+
+u64
+DdsScheme::unitKey(u32 stack, u32 channel, u32 bank) const
+{
+    const u32 dies = cfg_->diesPerStack();
+    return (static_cast<u64>(stack) * dies + channel) *
+               cfg_->geom.banksPerChannel +
+           bank;
+}
+
+bool
+DdsScheme::inSparedBank(const Fault &f) const
+{
+    if (sparedBanks_.empty())
+        return false;
+    if (f.channel.mask != 0xFFFFFFFFu || f.bank.mask != 0xFFFFFFFFu ||
+        f.stack.mask != 0xFFFFFFFFu)
+        return false; // not confined to a single bank
+    return sparedBanks_.count(
+               unitKey(f.stack.value, f.channel.value, f.bank.value)) != 0;
+}
+
+bool
+DdsScheme::absorb(const Fault &fault)
+{
+    // New faults landing in a decommissioned bank are irrelevant: its
+    // data lives in the spare bank now.
+    if (inSparedBank(fault))
+        return true;
+    return inner_->absorb(fault);
+}
+
+bool
+DdsScheme::trySpare(const Fault &f)
+{
+    // Only faults confined to a single bank can be redirected by the
+    // RRT/BRT (a channel- or multi-bank fault has no single target).
+    if (f.stack.mask != 0xFFFFFFFFu || f.channel.mask != 0xFFFFFFFFu ||
+        f.bank.mask != 0xFFFFFFFFu)
+        return false;
+    const u32 stack = f.stack.value;
+    const u64 key = unitKey(stack, f.channel.value, f.bank.value);
+
+    const u64 rows = f.rowsCovered(cfg_->geom);
+    const bool row_grain = rows == 1;
+
+    if (row_grain) {
+        u32 &used = rowsUsed_[key];
+        if (used < spareRowsPerBank_) {
+            ++used;
+            ++stats_.rowsSpared;
+            return true;
+        }
+        // RRT exhausted: the paper deems a bank with more than 4 faulty
+        // rows failed -> escalate to bank sparing.
+    }
+
+    u32 &bank_used = bankSpares_[stack];
+    if (bank_used < spareBanksPerStack_) {
+        ++bank_used;
+        ++stats_.banksSpared;
+        sparedBanks_.insert(key);
+        return true;
+    }
+    return false;
+}
+
+void
+DdsScheme::onScrub(std::vector<Fault> &active)
+{
+    // Retire permanent faults into spare storage. 3DP has already
+    // reconstructed their data (the scrub pass re-validates CRCs), so
+    // sparing is a pure relocation.
+    std::erase_if(active, [&](const Fault &f) {
+        if (f.transient)
+            return false;
+        if (inSparedBank(f))
+            return true; // unit already decommissioned
+        if (trySpare(f))
+            return true;
+        ++stats_.sparingDenied;
+        return false;
+    });
+    // Drop any remaining faults inside banks that were just spared.
+    std::erase_if(active,
+                  [&](const Fault &f) { return inSparedBank(f); });
+    inner_->onScrub(active);
+}
+
+bool
+DdsScheme::uncorrectable(const std::vector<Fault> &active) const
+{
+    return inner_->uncorrectable(active);
+}
+
+} // namespace citadel

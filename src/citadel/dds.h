@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dynamic Dual-granularity Sparing (Section VII).
+ *
+ * Permanent faults corrected by 3DP would otherwise be re-corrected on
+ * every access; DDS retires them into spare storage on the metadata
+ * die. Exploiting the bimodal size distribution of permanent faults
+ * (Fig 17), it spares at two granularities:
+ *
+ *  - rows, via the Row Remap Table (RRT): up to 4 spare rows per bank,
+ *    backed by one fine-granularity spare bank;
+ *  - banks, via the Bank Remap Table (BRT): 2 spare banks per stack.
+ *
+ * A bank accumulating more than 4 faulty rows is declared failed and
+ * bank-spared (Section VII-B). Sparing happens at scrub boundaries;
+ * faults inside an already-spared bank are absorbed on arrival.
+ */
+
+#ifndef CITADEL_CITADEL_DDS_H
+#define CITADEL_CITADEL_DDS_H
+
+#include <map>
+#include <set>
+
+#include "faults/scheme.h"
+
+namespace citadel {
+
+/** Per-trial sparing statistics (reported by bench/fig18). */
+struct DdsStats
+{
+    u64 rowsSpared = 0;
+    u64 banksSpared = 0;
+    u64 sparingDenied = 0; ///< Faults left active for lack of budget.
+};
+
+/** The DDS decorator; wraps the correction scheme (3DP in Citadel). */
+class DdsScheme : public RasScheme
+{
+  public:
+    /**
+     * @param inner Correction scheme whose repaired data gets relocated.
+     * @param spare_rows_per_bank RRT entries per bank (4 in the paper).
+     * @param spare_banks_per_stack BRT-backed spare banks (2 in paper).
+     */
+    DdsScheme(SchemePtr inner, u32 spare_rows_per_bank = 4,
+              u32 spare_banks_per_stack = 2);
+
+    std::string name() const override;
+    void reset(const SystemConfig &cfg) override;
+    bool absorb(const Fault &fault) override;
+    void onScrub(std::vector<Fault> &active) override;
+    bool uncorrectable(const std::vector<Fault> &active) const override;
+
+    const DdsStats &stats() const { return stats_; }
+
+  private:
+    SchemePtr inner_;
+    u32 spareRowsPerBank_;
+    u32 spareBanksPerStack_;
+
+    std::map<u64, u32> rowsUsed_;     ///< unit key -> RRT entries used
+    std::set<u64> sparedBanks_;       ///< unit keys already bank-spared
+    std::map<u32, u32> bankSpares_;   ///< stack -> spare banks consumed
+    DdsStats stats_;
+
+    u64 unitKey(u32 stack, u32 channel, u32 bank) const;
+
+    /** Try to spare one permanent fault. @return true if retired. */
+    bool trySpare(const Fault &f);
+
+    /** Is the fault fully inside one already-spared bank? */
+    bool inSparedBank(const Fault &f) const;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_CITADEL_DDS_H

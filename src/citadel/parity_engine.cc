@@ -1,0 +1,291 @@
+#include "citadel/parity_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "ecc/crc32.h"
+
+namespace citadel {
+
+ParityEngine::ParityEngine(const StackGeometry &geom, u64 seed) : geom_(geom)
+{
+    geom_.validate();
+    if (geom_.stacks != 1)
+        fatal("ParityEngine: single-stack geometries only");
+    dies_ = geom_.channelsPerStack + 1;
+
+    const u64 bytes = static_cast<u64>(dies_) * geom_.banksPerChannel *
+                      geom_.rowsPerBank * geom_.rowBytes;
+    data_.resize(bytes);
+    Rng rng(seed);
+    for (auto &b : data_)
+        b = static_cast<u8>(rng.next());
+    golden_ = data_;
+
+    crc_.resize(totalLines());
+    for (u64 l = 0; l < totalLines(); ++l)
+        crc_[l] = Crc32::lineCrc(l, {linePtr(golden_, l), geom_.lineBytes});
+
+    buildParity();
+}
+
+u64
+ParityEngine::totalLines() const
+{
+    return static_cast<u64>(dies_) * geom_.banksPerChannel *
+           geom_.rowsPerBank * geom_.linesPerRow();
+}
+
+u64
+ParityEngine::lineIndex(u32 die, u32 bank, u32 row, u32 col) const
+{
+    return ((static_cast<u64>(die) * geom_.banksPerChannel + bank) *
+                geom_.rowsPerBank +
+            row) *
+               geom_.linesPerRow() +
+           col;
+}
+
+u8 *
+ParityEngine::linePtr(std::vector<u8> &buf, u64 line_idx)
+{
+    return buf.data() + line_idx * geom_.lineBytes;
+}
+
+const u8 *
+ParityEngine::linePtr(const std::vector<u8> &buf, u64 line_idx) const
+{
+    return buf.data() + line_idx * geom_.lineBytes;
+}
+
+u32
+ParityEngine::computeCrc(u64 line_idx) const
+{
+    return Crc32::lineCrc(line_idx,
+                          {linePtr(data_, line_idx), geom_.lineBytes});
+}
+
+bool
+ParityEngine::lineCorrupt(u64 line_idx) const
+{
+    return computeCrc(line_idx) != crc_[line_idx];
+}
+
+void
+ParityEngine::buildParity()
+{
+    const u32 cols = geom_.linesPerRow();
+    const u32 lb = geom_.lineBytes;
+
+    parity1_.assign(static_cast<u64>(geom_.rowsPerBank) * cols * lb, 0);
+    parity2_.assign(static_cast<u64>(dies_) * cols * lb, 0);
+    parity3_.assign(static_cast<u64>(geom_.banksPerChannel) * cols * lb, 0);
+
+    for (u32 d = 0; d < dies_; ++d)
+        for (u32 b = 0; b < geom_.banksPerChannel; ++b)
+            for (u32 r = 0; r < geom_.rowsPerBank; ++r)
+                for (u32 c = 0; c < cols; ++c) {
+                    const u8 *src =
+                        linePtr(golden_, lineIndex(d, b, r, c));
+                    u8 *p1 = parity1_.data() +
+                             (static_cast<u64>(r) * cols + c) * lb;
+                    u8 *p2 = parity2_.data() +
+                             (static_cast<u64>(d) * cols + c) * lb;
+                    u8 *p3 = parity3_.data() +
+                             (static_cast<u64>(b) * cols + c) * lb;
+                    for (u32 i = 0; i < lb; ++i) {
+                        p1[i] ^= src[i];
+                        p2[i] ^= src[i];
+                        p3[i] ^= src[i];
+                    }
+                }
+}
+
+void
+ParityEngine::corrupt(const std::vector<Fault> &faults)
+{
+    // Flip the *union* of covered bits: two faults overlapping on a bit
+    // both corrupt it (physical faults do not cancel each other out).
+    const u32 cols = geom_.linesPerRow();
+    for (u32 d = 0; d < dies_; ++d)
+        for (u32 b = 0; b < geom_.banksPerChannel; ++b)
+            for (u32 r = 0; r < geom_.rowsPerBank; ++r)
+                for (u32 c = 0; c < cols; ++c) {
+                    bool any = false;
+                    for (const Fault &f : faults)
+                        if (f.channel.matches(d) && f.bank.matches(b) &&
+                            f.row.matches(r) && f.col.matches(c)) {
+                            any = true;
+                            break;
+                        }
+                    if (!any)
+                        continue;
+                    u8 *line = linePtr(data_, lineIndex(d, b, r, c));
+                    for (u32 bit = 0; bit < geom_.bitsPerLine(); ++bit) {
+                        bool covered = false;
+                        for (const Fault &f : faults)
+                            if (f.channel.matches(d) &&
+                                f.bank.matches(b) && f.row.matches(r) &&
+                                f.col.matches(c) && f.bit.matches(bit)) {
+                                covered = true;
+                                break;
+                            }
+                        if (covered)
+                            line[bit / 8] ^=
+                                static_cast<u8>(1u << (bit % 8));
+                    }
+                }
+}
+
+void
+ParityEngine::fixViaD1(u32 die, u32 bank, u32 row, u32 col)
+{
+    const u32 lb = geom_.lineBytes;
+    std::vector<u8> acc(
+        parity1_.begin() +
+            (static_cast<u64>(row) * geom_.linesPerRow() + col) * lb,
+        parity1_.begin() +
+            (static_cast<u64>(row) * geom_.linesPerRow() + col + 1) * lb);
+    for (u32 d = 0; d < dies_; ++d)
+        for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
+            if (d == die && b == bank)
+                continue;
+            const u8 *src = linePtr(data_, lineIndex(d, b, row, col));
+            for (u32 i = 0; i < lb; ++i)
+                acc[i] ^= src[i];
+        }
+    std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)), acc.data(),
+                lb);
+}
+
+void
+ParityEngine::fixViaD2(u32 die, u32 bank, u32 row, u32 col)
+{
+    const u32 lb = geom_.lineBytes;
+    std::vector<u8> acc(
+        parity2_.begin() +
+            (static_cast<u64>(die) * geom_.linesPerRow() + col) * lb,
+        parity2_.begin() +
+            (static_cast<u64>(die) * geom_.linesPerRow() + col + 1) * lb);
+    for (u32 b = 0; b < geom_.banksPerChannel; ++b)
+        for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
+            if (b == bank && r == row)
+                continue;
+            const u8 *src = linePtr(data_, lineIndex(die, b, r, col));
+            for (u32 i = 0; i < lb; ++i)
+                acc[i] ^= src[i];
+        }
+    std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)), acc.data(),
+                lb);
+}
+
+void
+ParityEngine::fixViaD3(u32 die, u32 bank, u32 row, u32 col)
+{
+    const u32 lb = geom_.lineBytes;
+    std::vector<u8> acc(
+        parity3_.begin() +
+            (static_cast<u64>(bank) * geom_.linesPerRow() + col) * lb,
+        parity3_.begin() +
+            (static_cast<u64>(bank) * geom_.linesPerRow() + col + 1) * lb);
+    for (u32 d = 0; d < dies_; ++d)
+        for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
+            if (d == die && r == row)
+                continue;
+            const u8 *src = linePtr(data_, lineIndex(d, bank, r, col));
+            for (u32 i = 0; i < lb; ++i)
+                acc[i] ^= src[i];
+        }
+    std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)), acc.data(),
+                lb);
+}
+
+u64
+ParityEngine::corruptLineCount() const
+{
+    u64 n = 0;
+    for (u64 l = 0; l < totalLines(); ++l)
+        if (lineCorrupt(l))
+            ++n;
+    return n;
+}
+
+bool
+ParityEngine::reconstruct(u32 dims)
+{
+    const u32 cols = geom_.linesPerRow();
+
+    // Detect: CRC-32 mismatch marks a line corrupt (line granularity).
+    struct CorruptLine
+    {
+        u32 die, bank, row, col;
+    };
+    std::vector<CorruptLine> corrupt;
+    for (u32 d = 0; d < dies_; ++d)
+        for (u32 b = 0; b < geom_.banksPerChannel; ++b)
+            for (u32 r = 0; r < geom_.rowsPerBank; ++r)
+                for (u32 c = 0; c < cols; ++c)
+                    if (lineCorrupt(lineIndex(d, b, r, c)))
+                        corrupt.push_back({d, b, r, c});
+
+    bool progress = true;
+    while (progress && !corrupt.empty()) {
+        progress = false;
+        for (std::size_t i = 0; i < corrupt.size(); ++i) {
+            const CorruptLine &L = corrupt[i];
+
+            // D1: only unknown (die, bank) unit in its (row, col) group?
+            u32 units = 0;
+            for (const auto &o : corrupt)
+                if (o.row == L.row && o.col == L.col &&
+                    !(o.die == L.die && o.bank == L.bank))
+                    ++units;
+            if (units == 0) {
+                fixViaD1(L.die, L.bank, L.row, L.col);
+            } else if (dims >= 2) {
+                // D2: only unknown (bank, row) slice of its die at col?
+                u32 slices = 0;
+                for (const auto &o : corrupt)
+                    if (o.die == L.die && o.col == L.col &&
+                        !(o.bank == L.bank && o.row == L.row))
+                        ++slices;
+                if (slices == 0) {
+                    fixViaD2(L.die, L.bank, L.row, L.col);
+                } else if (dims >= 3) {
+                    // D3: only unknown (die, row) slice of its bank
+                    // position at col?
+                    u32 s3 = 0;
+                    for (const auto &o : corrupt)
+                        if (o.bank == L.bank && o.col == L.col &&
+                            !(o.die == L.die && o.row == L.row))
+                            ++s3;
+                    if (s3 != 0)
+                        continue;
+                    fixViaD3(L.die, L.bank, L.row, L.col);
+                } else {
+                    continue;
+                }
+            } else {
+                continue;
+            }
+
+            if (lineCorrupt(lineIndex(L.die, L.bank, L.row, L.col)))
+                panic("ParityEngine: reconstruction produced bad CRC");
+            corrupt.erase(corrupt.begin() + static_cast<long>(i));
+            progress = true;
+            break;
+        }
+    }
+
+    return corrupt.empty() && data_ == golden_;
+}
+
+void
+ParityEngine::restore()
+{
+    data_ = golden_;
+}
+
+} // namespace citadel

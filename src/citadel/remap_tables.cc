@@ -1,0 +1,130 @@
+#include "citadel/remap_tables.h"
+
+#include "common/log.h"
+
+namespace citadel {
+
+RowRemapTable::RowRemapTable(u32 num_banks, u32 entries_per_bank)
+    : entriesPerBank_(entries_per_bank), numBanks_(num_banks)
+{
+    if (num_banks == 0 || entries_per_bank == 0)
+        fatal("RowRemapTable: zero-sized table");
+    entries_.resize(static_cast<std::size_t>(num_banks) *
+                    entries_per_bank);
+}
+
+bool
+RowRemapTable::insert(u32 bank, u32 source_row, u32 spare_row)
+{
+    if (bank >= numBanks_)
+        panic("RRT: bank %u out of range", bank);
+    Entry *base = &entries_[static_cast<std::size_t>(bank) *
+                            entriesPerBank_];
+    for (u32 e = 0; e < entriesPerBank_; ++e) {
+        if (base[e].valid && base[e].sourceRow == source_row) {
+            base[e].spareRow = spare_row; // refresh existing mapping
+            return true;
+        }
+    }
+    for (u32 e = 0; e < entriesPerBank_; ++e) {
+        if (!base[e].valid) {
+            base[e] = {true, source_row, spare_row};
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<u32>
+RowRemapTable::lookup(u32 bank, u32 row) const
+{
+    if (bank >= numBanks_)
+        panic("RRT: bank %u out of range", bank);
+    const Entry *base = &entries_[static_cast<std::size_t>(bank) *
+                                  entriesPerBank_];
+    for (u32 e = 0; e < entriesPerBank_; ++e)
+        if (base[e].valid && base[e].sourceRow == row)
+            return base[e].spareRow;
+    return std::nullopt;
+}
+
+u32
+RowRemapTable::used(u32 bank) const
+{
+    if (bank >= numBanks_)
+        panic("RRT: bank %u out of range", bank);
+    const Entry *base = &entries_[static_cast<std::size_t>(bank) *
+                                  entriesPerBank_];
+    u32 n = 0;
+    for (u32 e = 0; e < entriesPerBank_; ++e)
+        n += base[e].valid;
+    return n;
+}
+
+u64
+RowRemapTable::storageBits() const
+{
+    return static_cast<u64>(entries_.size()) * (1 + 16 + 16);
+}
+
+void
+RowRemapTable::clear()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+BankRemapTable::BankRemapTable(u32 num_entries)
+{
+    if (num_entries == 0)
+        fatal("BankRemapTable: zero-sized table");
+    entries_.resize(num_entries);
+}
+
+bool
+BankRemapTable::insert(u32 failed_bank, u32 spare_id)
+{
+    for (auto &e : entries_)
+        if (e.valid && e.failedBank == failed_bank)
+            return true; // already decommissioned
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            e = {true, failed_bank, spare_id};
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<u32>
+BankRemapTable::lookup(u32 bank) const
+{
+    for (const auto &e : entries_)
+        if (e.valid && e.failedBank == bank)
+            return e.spareId;
+    return std::nullopt;
+}
+
+u32
+BankRemapTable::used() const
+{
+    u32 n = 0;
+    for (const auto &e : entries_)
+        n += e.valid;
+    return n;
+}
+
+u64
+BankRemapTable::storageBits() const
+{
+    return static_cast<u64>(entries_.size()) * (1 + 6 + 1);
+}
+
+void
+BankRemapTable::clear()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+} // namespace citadel

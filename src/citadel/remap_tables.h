@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bit-true Row Remap Table (RRT) and Bank Remap Table (BRT) of Section
+ * VII-C. These are the on-chip lookup structures DDS consults on every
+ * memory access: the BRT first (two entries, one per spare bank), then
+ * the four RRT entries of the addressed bank. The Monte Carlo DdsScheme
+ * models their *policy*; these classes model the *mechanism* -- entry
+ * formats, capacity, and per-access redirection -- and are what the
+ * fault-injection example and unit tests exercise.
+ */
+
+#ifndef CITADEL_CITADEL_REMAP_TABLES_H
+#define CITADEL_CITADEL_REMAP_TABLES_H
+
+#include <optional>
+#include <vector>
+
+#include "stack/geometry.h"
+
+namespace citadel {
+
+/**
+ * Row Remap Table: per bank, up to `entriesPerBank` (source row ->
+ * spare row) mappings backed by the fine-granularity spare bank.
+ */
+class RowRemapTable
+{
+  public:
+    /**
+     * @param num_banks Banks covered (64 per stack in the baseline).
+     * @param entries_per_bank RRT entries per bank (4 in the paper).
+     */
+    RowRemapTable(u32 num_banks, u32 entries_per_bank = 4);
+
+    /**
+     * Install a mapping for (bank, source row).
+     * @param spare_row Destination row in the fine spare bank.
+     * @return false if the bank's entries are exhausted (the caller
+     *         escalates to bank sparing, Section VII-C.3).
+     */
+    bool insert(u32 bank, u32 source_row, u32 spare_row);
+
+    /** Redirection lookup; nullopt when the row is not remapped. */
+    std::optional<u32> lookup(u32 bank, u32 row) const;
+
+    /** Entries in use for one bank. */
+    u32 used(u32 bank) const;
+
+    /** Total SRAM bits: entries x (valid + 16b source + 16b dest). */
+    u64 storageBits() const;
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        u32 sourceRow = 0;
+        u32 spareRow = 0;
+    };
+
+    u32 entriesPerBank_;
+    std::vector<Entry> entries_; ///< num_banks x entriesPerBank_.
+    u32 numBanks_;
+};
+
+/**
+ * Bank Remap Table: `numEntries` (failed bank -> spare bank) mappings,
+ * probed before the RRT on every access.
+ */
+class BankRemapTable
+{
+  public:
+    explicit BankRemapTable(u32 num_entries = 2);
+
+    /**
+     * Decommission `failed_bank` (6-bit global bank id) onto spare
+     * bank `spare_id`. @return false when all entries are used.
+     */
+    bool insert(u32 failed_bank, u32 spare_id);
+
+    /** Spare-bank id when the bank is remapped; nullopt otherwise. */
+    std::optional<u32> lookup(u32 bank) const;
+
+    u32 used() const;
+    u64 storageBits() const;
+    void clear();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        u32 failedBank = 0;
+        u32 spareId = 0;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_CITADEL_REMAP_TABLES_H

@@ -1,0 +1,152 @@
+#include "citadel/three_d_parity.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace citadel {
+
+namespace {
+
+bool
+exactEqual(const DimSpec &a, const DimSpec &b)
+{
+    return a.mask == 0xFFFFFFFFu && b.mask == 0xFFFFFFFFu &&
+           a.value == b.value;
+}
+
+bool
+sameStack(const Fault &a, const Fault &b)
+{
+    return a.stack.intersects(b.stack);
+}
+
+/** Same (die, bank) unit: both faults confined to one identical unit. */
+bool
+sameUnit(const Fault &a, const Fault &b)
+{
+    return exactEqual(a.channel, b.channel) && exactEqual(a.bank, b.bank);
+}
+
+/** Same (die, bank, row) slice. */
+bool
+sameSlice(const Fault &a, const Fault &b)
+{
+    return sameUnit(a, b) && exactEqual(a.row, b.row);
+}
+
+} // namespace
+
+MultiDimParityScheme::MultiDimParityScheme(u32 dims) : dims_(dims)
+{
+    if (dims_ < 1 || dims_ > 3)
+        fatal("MultiDimParityScheme: dims must be 1..3 (got %u)", dims_);
+}
+
+std::string
+MultiDimParityScheme::name() const
+{
+    switch (dims_) {
+      case 1: return "1DP";
+      case 2: return "2DP";
+      default: return "3DP";
+    }
+}
+
+bool
+MultiDimParityScheme::d1Ok(const Fault &f,
+                           const std::vector<Fault> &others) const
+{
+    // D1 reconstructs per (row, col) group across all (die, bank) units
+    // of the stack; f must be the only unknown unit in every group it
+    // touches.
+    if (!f.singleBank(cfg_->geom))
+        return false;
+    for (const Fault &g : others) {
+        if (!sameStack(f, g) || sameUnit(f, g))
+            continue;
+        if (f.row.intersects(g.row) && f.col.intersects(g.col))
+            return false;
+    }
+    return true;
+}
+
+bool
+MultiDimParityScheme::d2Ok(const Fault &f,
+                           const std::vector<Fault> &others) const
+{
+    // D2 folds all rows of a die into one parity row; solvable iff f is
+    // confined to a single (bank, row) slice and no other slice of the
+    // same die is unknown at an overlapping column slot.
+    if (f.banksCovered(cfg_->geom) != 1 || f.rowsCovered(cfg_->geom) != 1)
+        return false;
+    for (const Fault &g : others) {
+        if (!sameStack(f, g) || !exactEqual(f.channel, g.channel))
+            continue;
+        if (sameSlice(f, g))
+            continue;
+        if (f.col.intersects(g.col))
+            return false;
+    }
+    return true;
+}
+
+bool
+MultiDimParityScheme::d3Ok(const Fault &f,
+                           const std::vector<Fault> &others) const
+{
+    // D3 folds all rows of one bank position across dies; solvable iff
+    // f is one (die, row) slice of that group and no other slice of the
+    // group is unknown at an overlapping column slot.
+    if (f.banksCovered(cfg_->geom) != 1 || f.rowsCovered(cfg_->geom) != 1)
+        return false;
+    for (const Fault &g : others) {
+        if (!sameStack(f, g) || !f.bank.intersects(g.bank))
+            continue;
+        if (sameSlice(f, g))
+            continue;
+        if (f.col.intersects(g.col))
+            return false;
+    }
+    return true;
+}
+
+bool
+MultiDimParityScheme::correctable(const Fault &f,
+                                  const std::vector<Fault> &others) const
+{
+    if (d1Ok(f, others))
+        return true;
+    if (dims_ >= 2 && d2Ok(f, others))
+        return true;
+    if (dims_ >= 3 && d3Ok(f, others))
+        return true;
+    return false;
+}
+
+bool
+MultiDimParityScheme::uncorrectable(const std::vector<Fault> &active) const
+{
+    // Peeling: repeatedly remove any fault that is reconstructible
+    // given the rest; stuck with a non-empty set means data loss.
+    std::vector<Fault> remaining(active);
+    bool progress = true;
+    while (progress && !remaining.empty()) {
+        progress = false;
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            std::vector<Fault> others;
+            others.reserve(remaining.size() - 1);
+            for (std::size_t j = 0; j < remaining.size(); ++j)
+                if (j != i)
+                    others.push_back(remaining[j]);
+            if (correctable(remaining[i], others)) {
+                remaining.erase(remaining.begin() + static_cast<long>(i));
+                progress = true;
+                break;
+            }
+        }
+    }
+    return !remaining.empty();
+}
+
+} // namespace citadel

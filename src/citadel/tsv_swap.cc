@@ -1,0 +1,126 @@
+#include "citadel/tsv_swap.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace citadel {
+
+TsvSwapScheme::TsvSwapScheme(SchemePtr inner, u32 standby_per_channel)
+    : inner_(std::move(inner)), standbyPerChannel_(standby_per_channel)
+{
+    if (!inner_)
+        fatal("TsvSwapScheme: inner scheme required");
+}
+
+std::string
+TsvSwapScheme::name() const
+{
+    return "TSV-Swap+" + inner_->name();
+}
+
+void
+TsvSwapScheme::reset(const SystemConfig &cfg)
+{
+    RasScheme::reset(cfg);
+    inner_->reset(cfg);
+    usedPerChannel_.clear();
+    repairs_ = 0;
+}
+
+bool
+TsvSwapScheme::absorb(const Fault &fault)
+{
+    if (fault.fromTsv) {
+        const u64 key =
+            (static_cast<u64>(fault.stack.value) << 32) | fault.channel.value;
+        u32 &used = usedPerChannel_[key];
+        if (used < standbyPerChannel_) {
+            // BIST detects the faulty TSV via CRC + fixed rows, the TRR
+            // steers a stand-by TSV in its place; the stand-by TSV's
+            // own bits are replicated in metadata, so no data is lost.
+            ++used;
+            ++repairs_;
+            return true;
+        }
+        // Pool exhausted: the fault lands with full severity.
+    }
+    return inner_->absorb(fault);
+}
+
+void
+TsvSwapScheme::onScrub(std::vector<Fault> &active)
+{
+    inner_->onScrub(active);
+}
+
+bool
+TsvSwapScheme::uncorrectable(const std::vector<Fault> &active) const
+{
+    return inner_->uncorrectable(active);
+}
+
+TsvSwapDatapath::TsvSwapDatapath(u32 num_lanes, std::vector<u32> standby)
+    : numLanes_(num_lanes), standby_(std::move(standby)),
+      faulty_(num_lanes, false), standbyUsed_(standby_.size(), false)
+{
+    for (u32 s : standby_)
+        if (s >= numLanes_)
+            fatal("TsvSwapDatapath: stand-by lane %u out of range", s);
+}
+
+void
+TsvSwapDatapath::breakTsv(u32 lane)
+{
+    if (lane >= numLanes_)
+        panic("breakTsv: lane %u out of range", lane);
+    faulty_[lane] = true;
+}
+
+bool
+TsvSwapDatapath::repair(u32 lane)
+{
+    if (lane >= numLanes_)
+        panic("repair: lane %u out of range", lane);
+    if (redirect_.count(lane))
+        return true; // already repaired
+    for (std::size_t i = 0; i < standby_.size(); ++i) {
+        if (standbyUsed_[i] || faulty_[standby_[i]])
+            continue;
+        standbyUsed_[i] = true;
+        redirect_[lane] = standby_[i];
+        return true;
+    }
+    return false;
+}
+
+std::vector<u8>
+TsvSwapDatapath::transfer(const std::vector<u8> &lanes) const
+{
+    if (lanes.size() != numLanes_)
+        panic("transfer: expected %u lanes, got %zu", numLanes_,
+              lanes.size());
+    std::vector<u8> out(lanes.size());
+    for (u32 l = 0; l < numLanes_; ++l) {
+        auto it = redirect_.find(l);
+        if (it != redirect_.end()) {
+            // The TRR routes the logical lane through a stand-by TSV.
+            out[l] = faulty_[it->second] ? 0 : lanes[l];
+        } else {
+            out[l] = faulty_[l] ? 0 : lanes[l];
+        }
+    }
+    return out;
+}
+
+u32
+TsvSwapDatapath::standbyFree() const
+{
+    u32 n = 0;
+    for (std::size_t i = 0; i < standby_.size(); ++i)
+        if (!standbyUsed_[i] && !faulty_[standby_[i]])
+            ++n;
+    return n;
+}
+
+} // namespace citadel

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * TSV-SWAP (Section V): runtime repair of faulty through-silicon vias.
+ *
+ * Citadel designates four of a channel's 256 data TSVs as stand-by
+ * TSVs; their bits are replicated in the per-line metadata, so a
+ * stand-by TSV can be rewired (via the TSV Redirection Register) to
+ * replace any faulty data, address or command TSV without data loss.
+ * Detection works at runtime: a CRC-32 mismatch triggers reads of two
+ * fixed-pattern rows at bit-inverse addresses, and on a mismatch the
+ * BIST isolates the faulty TSV.
+ *
+ * In the Monte Carlo model this is a decorator that absorbs TSV-class
+ * faults while per-channel repair budget remains; everything else is
+ * delegated to the wrapped scheme. The redirection-register datapath
+ * itself is modeled bit-accurately in TsvSwapDatapath for unit tests.
+ */
+
+#ifndef CITADEL_CITADEL_TSV_SWAP_H
+#define CITADEL_CITADEL_TSV_SWAP_H
+
+#include <map>
+#include <vector>
+
+#include "faults/scheme.h"
+#include "stack/tsv.h"
+
+namespace citadel {
+
+/** Monte Carlo decorator: repairs TSV faults up to a per-channel budget. */
+class TsvSwapScheme : public RasScheme
+{
+  public:
+    /**
+     * @param inner Scheme protecting DRAM-internal faults.
+     * @param standby_per_channel Stand-by TSV pool per channel (the
+     *        paper's design carves four stand-by TSVs out of the DTSVs
+     *        and can repair up to 8 faulty TSVs; the pool size is the
+     *        binding limit here).
+     */
+    TsvSwapScheme(SchemePtr inner, u32 standby_per_channel = 4);
+
+    std::string name() const override;
+    void reset(const SystemConfig &cfg) override;
+    bool absorb(const Fault &fault) override;
+    void onScrub(std::vector<Fault> &active) override;
+    bool uncorrectable(const std::vector<Fault> &active) const override;
+
+    /** Repairs performed so far in this trial (all channels). */
+    u64 repairsPerformed() const { return repairs_; }
+
+  private:
+    SchemePtr inner_;
+    u32 standbyPerChannel_;
+    std::map<u64, u32> usedPerChannel_; ///< (stack, channel) -> repairs
+    u64 repairs_ = 0;
+};
+
+/**
+ * Bit-accurate model of the swap datapath of Fig 8: a TSV Redirection
+ * Register (TRR) that steers each logical lane either to its own TSV or
+ * to one of the stand-by TSVs.
+ */
+class TsvSwapDatapath
+{
+  public:
+    /**
+     * @param num_lanes Data lanes in the channel (256 in the baseline).
+     * @param standby Lane indices repurposed as stand-by TSVs (the
+     *        paper uses lanes 0, 64, 128 and 192).
+     */
+    TsvSwapDatapath(u32 num_lanes, std::vector<u32> standby);
+
+    /** Mark a physical TSV faulty (stuck-at-0 in this model). */
+    void breakTsv(u32 lane);
+
+    /** BIST action: redirect faulty `lane` to a free stand-by TSV.
+     *  @return false if the stand-by pool is exhausted or lane is a
+     *          broken stand-by TSV. */
+    bool repair(u32 lane);
+
+    /**
+     * Transfer a burst through the channel: input word per lane,
+     * returns what the receiver observes after redirection. Stand-by
+     * lanes carry replicated metadata bits, so their payload is
+     * recoverable regardless.
+     */
+    std::vector<u8> transfer(const std::vector<u8> &lanes) const;
+
+    u32 standbyFree() const;
+
+  private:
+    u32 numLanes_;
+    std::vector<u32> standby_;
+    std::vector<bool> faulty_;
+    std::map<u32, u32> redirect_; ///< faulty lane -> stand-by lane
+    std::vector<bool> standbyUsed_;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_CITADEL_TSV_SWAP_H

@@ -1,0 +1,46 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace citadel {
+
+u64
+envU64(const char *name, u64 fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0')
+        return fallback;
+    return static_cast<u64>(parsed);
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0')
+        return fallback;
+    return parsed;
+}
+
+u64
+benchTrials(u64 fallback)
+{
+    return envU64("CITADEL_TRIALS", fallback);
+}
+
+u64
+benchInsns(u64 fallback)
+{
+    return envU64("CITADEL_INSNS", fallback);
+}
+
+} // namespace citadel

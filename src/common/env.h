@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Environment-variable helpers. Benches honor CITADEL_TRIALS and
+ * CITADEL_INSNS so a user can trade runtime for accuracy without
+ * recompiling (the paper uses 1e5-1e6 Monte Carlo trials).
+ */
+
+#ifndef CITADEL_COMMON_ENV_H
+#define CITADEL_COMMON_ENV_H
+
+#include "common/types.h"
+
+namespace citadel {
+
+/** Read an unsigned env var, returning fallback if unset/invalid. */
+u64 envU64(const char *name, u64 fallback);
+
+/** Read a double env var, returning fallback if unset/invalid. */
+double envDouble(const char *name, double fallback);
+
+/**
+ * Monte Carlo trial count for bench binaries: CITADEL_TRIALS if set,
+ * otherwise the supplied default.
+ */
+u64 benchTrials(u64 fallback);
+
+/** Per-core instruction budget for timing benches (CITADEL_INSNS). */
+u64 benchInsns(u64 fallback);
+
+} // namespace citadel
+
+#endif // CITADEL_COMMON_ENV_H

@@ -1,0 +1,150 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace citadel {
+
+u64
+Rng::splitmix64(u64 &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(u64 seed)
+{
+    u64 x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+u64
+Rng::below(u64 n)
+{
+    assert(n > 0);
+    // Lemire-style rejection to avoid modulo bias.
+    u64 x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    u64 l = static_cast<u64>(m);
+    if (l < n) {
+        u64 t = -n % n;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            l = static_cast<u64>(m);
+        }
+    }
+    return static_cast<u64>(m >> 64);
+}
+
+u64
+Rng::inRange(u64 lo, u64 hi)
+{
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double rate)
+{
+    assert(rate > 0.0);
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+u64
+Rng::poisson(double lambda)
+{
+    assert(lambda >= 0.0);
+    if (lambda == 0.0)
+        return 0;
+    if (lambda < 30.0) {
+        // Knuth: multiply uniforms until the product drops below e^-lambda.
+        const double limit = std::exp(-lambda);
+        u64 k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > limit);
+        return k - 1;
+    }
+    // Normal approximation with continuity correction; adequate for the
+    // rare large-lambda cases (e.g., stress tests), clamped at zero.
+    const double mu = lambda;
+    const double sigma = std::sqrt(lambda);
+    // Box-Muller.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double v = mu + sigma * z + 0.5;
+    return v <= 0.0 ? 0 : static_cast<u64>(v);
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        assert(w >= 0.0);
+        total += w;
+    }
+    if (total <= 0.0)
+        throw std::invalid_argument("discrete(): all weights are zero");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xD2B74407B1CE6E93ull);
+}
+
+} // namespace citadel

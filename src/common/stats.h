@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small statistics toolkit: streaming moments, binomial proportion
+ * confidence intervals for Monte Carlo failure probabilities, and the
+ * geometric mean used for normalized execution-time summaries.
+ */
+
+#ifndef CITADEL_COMMON_STATS_H
+#define CITADEL_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace citadel {
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm), so long
+ * Monte Carlo runs never need to buffer samples.
+ */
+class StreamingStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Result of a binomial proportion estimate: the Monte Carlo engine
+ * reports failure probabilities with a 95% Wilson score interval so
+ * benches can print error bars.
+ */
+struct Proportion
+{
+    u64 successes = 0;
+    u64 trials = 0;
+    double estimate = 0.0;
+    double lo95 = 0.0;
+    double hi95 = 0.0;
+};
+
+/** Wilson score interval at 95% confidence. */
+Proportion wilson(u64 successes, u64 trials);
+
+/** Geometric mean of strictly positive values. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+} // namespace citadel
+
+#endif // CITADEL_COMMON_STATS_H

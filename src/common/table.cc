@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace citadel {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table row arity %zu != header arity %zu",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    const double a = std::fabs(v);
+    if (v != 0.0 && (a < 1e-3 || a >= 1e7))
+        std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::prob(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+    return buf;
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "== " << title << " ==" << '\n';
+}
+
+} // namespace citadel

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table printer used by every bench binary to emit the rows/series
+ * of the paper's tables and figures in a uniform, diffable format.
+ */
+
+#ifndef CITADEL_COMMON_TABLE_H
+#define CITADEL_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace citadel {
+
+/**
+ * Column-aligned table. Cells are strings; helpers format doubles with
+ * sensible precision (scientific for tiny probabilities).
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Format a double: fixed for "normal" magnitudes, scientific else. */
+    static std::string num(double v, int precision = 4);
+
+    /** Format a probability in scientific notation (e.g. 1.23e-05). */
+    static std::string prob(double v);
+
+    /** Format a percentage with two decimals. */
+    static std::string pct(double fraction);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner (used between experiment phases in benches). */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace citadel
+
+#endif // CITADEL_COMMON_TABLE_H

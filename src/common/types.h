@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental integer aliases and physical constants used across the
+ * Citadel libraries.
+ */
+
+#ifndef CITADEL_COMMON_TYPES_H
+#define CITADEL_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace citadel {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Hours in the standard seven-year device lifetime used by the paper. */
+constexpr double kHoursPerYear = 24.0 * 365.0;
+
+/** The paper evaluates a seven-year lifetime (Section III-B). */
+constexpr double kLifetimeYears = 7.0;
+
+/** Lifetime in hours: 61,320 h. */
+constexpr double kLifetimeHours = kLifetimeYears * kHoursPerYear;
+
+/** Scrubbing interval configured in FaultSim runs (Section III-B). */
+constexpr double kScrubIntervalHours = 12.0;
+
+/**
+ * FIT = failures per billion (1e9) device-hours. Converts a FIT rate to a
+ * per-hour Poisson rate.
+ */
+constexpr double
+fitToPerHour(double fit)
+{
+    return fit * 1e-9;
+}
+
+/** Bits per byte, named to avoid magic numbers in geometry math. */
+constexpr u64 kBitsPerByte = 8;
+
+} // namespace citadel
+
+#endif // CITADEL_COMMON_TYPES_H

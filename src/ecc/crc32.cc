@@ -1,0 +1,73 @@
+#include "ecc/crc32.h"
+
+#include <array>
+
+namespace citadel {
+
+namespace {
+
+constexpr u32 kPoly = 0xEDB88320u;
+
+constexpr std::array<u32, 256>
+makeTable()
+{
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+        t[i] = c;
+    }
+    return t;
+}
+
+constexpr auto kTable = makeTable();
+
+} // namespace
+
+u32
+Crc32::update(u32 state, std::span<const u8> data)
+{
+    for (u8 b : data)
+        state = kTable[(state ^ b) & 0xFF] ^ (state >> 8);
+    return state;
+}
+
+u32
+Crc32::update(u32 state, u64 value)
+{
+    for (int i = 0; i < 8; ++i) {
+        const u8 b = static_cast<u8>(value >> (8 * i));
+        state = kTable[(state ^ b) & 0xFF] ^ (state >> 8);
+    }
+    return state;
+}
+
+u32
+Crc32::compute(std::span<const u8> data)
+{
+    return finish(update(begin(), data));
+}
+
+u32
+Crc32::lineCrc(u64 address, std::span<const u8> payload)
+{
+    u32 s = begin();
+    s = update(s, address);
+    s = update(s, payload);
+    return finish(s);
+}
+
+u32
+Crc32::referenceCompute(std::span<const u8> data)
+{
+    u32 crc = 0xFFFFFFFFu;
+    for (u8 byte : data) {
+        crc ^= byte;
+        for (int k = 0; k < 8; ++k)
+            crc = (crc & 1) ? (kPoly ^ (crc >> 1)) : (crc >> 1);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace citadel

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320). Citadel tags
+ * every 512-bit line with CRC-32 computed over address and data
+ * (Section V-C.2) to detect errors before 3DP correction. The library
+ * provides both a table-driven production implementation and a bitwise
+ * reference used in tests.
+ */
+
+#ifndef CITADEL_ECC_CRC32_H
+#define CITADEL_ECC_CRC32_H
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.h"
+
+namespace citadel {
+
+/** Table-driven CRC-32. */
+class Crc32
+{
+  public:
+    /** CRC of a byte buffer (init 0xFFFFFFFF, final xor 0xFFFFFFFF). */
+    static u32 compute(std::span<const u8> data);
+
+    /** Incremental interface. */
+    static u32 begin() { return 0xFFFFFFFFu; }
+    static u32 update(u32 state, std::span<const u8> data);
+    static u32 update(u32 state, u64 value);
+    static u32 finish(u32 state) { return state ^ 0xFFFFFFFFu; }
+
+    /**
+     * CRC over a line's address and payload, as Citadel stores in the
+     * per-line metadata: mixing the address detects address-TSV faults
+     * that silently return the wrong row (Section V-C.2).
+     */
+    static u32 lineCrc(u64 address, std::span<const u8> payload);
+
+    /** Slow bitwise reference implementation (tests only). */
+    static u32 referenceCompute(std::span<const u8> data);
+};
+
+} // namespace citadel
+
+#endif // CITADEL_ECC_CRC32_H

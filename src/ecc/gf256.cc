@@ -1,0 +1,93 @@
+#include "ecc/gf256.h"
+
+#include <array>
+
+#include "common/log.h"
+
+namespace citadel {
+
+namespace {
+
+struct Tables
+{
+    std::array<u8, 512> exp{};
+    std::array<u8, 256> log{};
+
+    Tables()
+    {
+        u32 x = 1;
+        for (u32 i = 0; i < 255; ++i) {
+            exp[i] = static_cast<u8>(x);
+            log[x] = static_cast<u8>(i);
+            x <<= 1;
+            if (x & 0x100)
+                x ^= 0x11D;
+        }
+        for (u32 i = 255; i < 512; ++i)
+            exp[i] = exp[i - 255];
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+} // namespace
+
+u8
+Gf256::mul(u8 a, u8 b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+u8
+Gf256::div(u8 a, u8 b)
+{
+    if (b == 0)
+        panic("Gf256::div by zero");
+    if (a == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+u8
+Gf256::inv(u8 a)
+{
+    if (a == 0)
+        panic("Gf256::inv of zero");
+    const Tables &t = tables();
+    return t.exp[255 - t.log[a]];
+}
+
+u8
+Gf256::pow(u8 base, u32 e)
+{
+    if (base == 0)
+        return e == 0 ? 1 : 0;
+    const Tables &t = tables();
+    const u32 l = (static_cast<u32>(t.log[base]) * e) % 255;
+    return t.exp[l];
+}
+
+u8
+Gf256::alphaPow(u32 e)
+{
+    return tables().exp[e % 255];
+}
+
+u8
+Gf256::log(u8 a)
+{
+    if (a == 0)
+        panic("Gf256::log of zero");
+    return tables().log[a];
+}
+
+} // namespace citadel

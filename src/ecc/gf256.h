@@ -1,0 +1,35 @@
+/**
+ * @file
+ * GF(2^8) arithmetic over the AES/Reed-Solomon polynomial x^8 + x^4 +
+ * x^3 + x^2 + 1 (0x11D), table-driven. This backs the bit-true
+ * Reed-Solomon symbol code used to validate the analytic ChipKill-like
+ * evaluators.
+ */
+
+#ifndef CITADEL_ECC_GF256_H
+#define CITADEL_ECC_GF256_H
+
+#include "common/types.h"
+
+namespace citadel {
+
+/** Galois field GF(2^8) with generator alpha = 2 (poly 0x11D). */
+class Gf256
+{
+  public:
+    static u8 add(u8 a, u8 b) { return a ^ b; }
+    static u8 sub(u8 a, u8 b) { return a ^ b; }
+    static u8 mul(u8 a, u8 b);
+    static u8 div(u8 a, u8 b);
+    static u8 inv(u8 a);
+    /** alpha^e for any integer exponent e >= 0. */
+    static u8 pow(u8 base, u32 e);
+    /** alpha^e, e in [0, 255). */
+    static u8 alphaPow(u32 e);
+    /** discrete log base alpha; undefined for 0 (panics). */
+    static u8 log(u8 a);
+};
+
+} // namespace citadel
+
+#endif // CITADEL_ECC_GF256_H

@@ -1,0 +1,212 @@
+#include "ecc/reed_solomon.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "ecc/gf256.h"
+
+namespace citadel {
+
+namespace {
+
+// Polynomials are coefficient vectors with index 0 = highest degree
+// (first transmitted symbol), matching the systematic layout
+// [data..., parity...].
+
+std::vector<u8>
+polyMul(const std::vector<u8> &a, const std::vector<u8> &b)
+{
+    std::vector<u8> r(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < b.size(); ++j)
+            r[i + j] ^= Gf256::mul(a[i], b[j]);
+    return r;
+}
+
+u8
+polyEval(const std::vector<u8> &p, u8 x)
+{
+    u8 y = 0;
+    for (u8 c : p)
+        y = Gf256::add(Gf256::mul(y, x), c);
+    return y;
+}
+
+std::vector<u8>
+polyScale(const std::vector<u8> &p, u8 s)
+{
+    std::vector<u8> r(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i)
+        r[i] = Gf256::mul(p[i], s);
+    return r;
+}
+
+std::vector<u8>
+polyAdd(const std::vector<u8> &a, const std::vector<u8> &b)
+{
+    std::vector<u8> r(std::max(a.size(), b.size()), 0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        r[i + r.size() - a.size()] ^= a[i];
+    for (std::size_t i = 0; i < b.size(); ++i)
+        r[i + r.size() - b.size()] ^= b[i];
+    return r;
+}
+
+void
+trimLeadingZeros(std::vector<u8> &p)
+{
+    std::size_t i = 0;
+    while (i + 1 < p.size() && p[i] == 0)
+        ++i;
+    p.erase(p.begin(), p.begin() + static_cast<long>(i));
+}
+
+} // namespace
+
+RsCode::RsCode(u32 n, u32 k) : n_(n), k_(k)
+{
+    if (n_ > 255 || k_ == 0 || k_ >= n_)
+        fatal("RsCode: invalid (n=%u, k=%u)", n_, k_);
+    gen_ = {1};
+    for (u32 i = 0; i < n_ - k_; ++i)
+        gen_ = polyMul(gen_, {1, Gf256::alphaPow(i)});
+}
+
+std::vector<u8>
+RsCode::encode(const std::vector<u8> &data) const
+{
+    if (data.size() != k_)
+        panic("RsCode::encode: got %zu symbols, want %u", data.size(), k_);
+    // Systematic: remainder of data * x^(n-k) divided by gen.
+    std::vector<u8> msg(data);
+    msg.resize(n_, 0);
+    for (u32 i = 0; i < k_; ++i) {
+        const u8 coef = msg[i];
+        if (coef == 0)
+            continue;
+        for (std::size_t j = 1; j < gen_.size(); ++j)
+            msg[i + j] ^= Gf256::mul(gen_[j], coef);
+    }
+    std::vector<u8> out(data);
+    out.insert(out.end(), msg.begin() + k_, msg.end());
+    return out;
+}
+
+std::vector<u8>
+RsCode::syndromes(const std::vector<u8> &cw) const
+{
+    std::vector<u8> s(n_ - k_);
+    for (u32 i = 0; i < n_ - k_; ++i)
+        s[i] = polyEval(cw, Gf256::alphaPow(i));
+    return s;
+}
+
+bool
+RsCode::isCodeword(const std::vector<u8> &cw) const
+{
+    if (cw.size() != n_)
+        return false;
+    const auto s = syndromes(cw);
+    return std::all_of(s.begin(), s.end(), [](u8 v) { return v == 0; });
+}
+
+std::optional<std::vector<u8>>
+RsCode::decode(std::vector<u8> cw, const std::vector<u32> &erasures) const
+{
+    if (cw.size() != n_)
+        return std::nullopt;
+    if (erasures.size() > n_ - k_)
+        return std::nullopt;
+
+    auto synd = syndromes(cw);
+    const bool clean =
+        std::all_of(synd.begin(), synd.end(), [](u8 v) { return v == 0; });
+    if (clean)
+        return std::vector<u8>(cw.begin(), cw.begin() + k_);
+
+    // Erasure locator from known positions. Positions are indices into
+    // the codeword; the corresponding locator root uses alpha^(n-1-pos).
+    std::vector<u8> erase_loc = {1};
+    for (u32 pos : erasures) {
+        if (pos >= n_)
+            return std::nullopt;
+        erase_loc = polyMul(erase_loc, {Gf256::alphaPow(n_ - 1 - pos), 1});
+    }
+
+    // Modified syndromes (Forney syndromes) fold erasures in, then
+    // Berlekamp-Massey finds the error locator for remaining errors.
+    // Work with syndrome polynomial order s[0] = S_0.
+    std::vector<u8> forney(synd);
+    for (u32 pos : erasures) {
+        const u8 x = Gf256::alphaPow(n_ - 1 - pos);
+        for (std::size_t j = 0; j + 1 < forney.size(); ++j)
+            forney[j] = Gf256::add(Gf256::mul(forney[j], x), forney[j + 1]);
+        forney.pop_back();
+    }
+
+    // Berlekamp-Massey on forney syndromes (coeff order: index = j).
+    std::vector<u8> err_loc = {1};
+    std::vector<u8> old_loc = {1};
+    for (std::size_t i = 0; i < forney.size(); ++i) {
+        old_loc.push_back(0);
+        u8 delta = forney[i];
+        for (std::size_t j = 1; j < err_loc.size(); ++j)
+            delta ^= Gf256::mul(err_loc[err_loc.size() - 1 - j],
+                                forney[i - j]);
+        if (delta != 0) {
+            if (old_loc.size() > err_loc.size()) {
+                auto new_loc = polyScale(old_loc, delta);
+                old_loc = polyScale(err_loc, Gf256::inv(delta));
+                err_loc = new_loc;
+            }
+            err_loc = polyAdd(err_loc, polyScale(old_loc, delta));
+        }
+    }
+    trimLeadingZeros(err_loc);
+    const std::size_t num_errors = err_loc.size() - 1;
+    if (2 * num_errors + erasures.size() > n_ - k_)
+        return std::nullopt;
+
+    // Combined locator: errors * erasures.
+    std::vector<u8> loc = polyMul(err_loc, erase_loc);
+    const std::size_t total = loc.size() - 1;
+
+    // Chien search: roots of the locator give error positions.
+    std::vector<u32> positions;
+    for (u32 i = 0; i < n_; ++i) {
+        if (polyEval(loc, Gf256::inv(Gf256::alphaPow(i))) == 0)
+            positions.push_back(n_ - 1 - i);
+    }
+    if (positions.size() != total)
+        return std::nullopt; // locator does not split -> uncorrectable
+
+    // Forney algorithm for magnitudes.
+    // Omega = (synd_reversed * loc) mod x^(n-k).
+    std::vector<u8> synd_rev(synd.rbegin(), synd.rend());
+    std::vector<u8> omega = polyMul(synd_rev, loc);
+    if (omega.size() > n_ - k_)
+        omega.erase(omega.begin(),
+                    omega.end() - static_cast<long>(n_ - k_));
+
+    for (u32 pos : positions) {
+        const u8 x = Gf256::alphaPow(n_ - 1 - pos);
+        const u8 x_inv = Gf256::inv(x);
+        // loc' (formal derivative) evaluated at x_inv.
+        u8 denom = 0;
+        for (std::size_t j = 0; j + 1 < loc.size(); ++j) {
+            const std::size_t deg = loc.size() - 1 - j;
+            if (deg % 2 == 1)
+                denom ^= Gf256::mul(loc[j], Gf256::pow(x_inv, deg - 1));
+        }
+        if (denom == 0)
+            return std::nullopt;
+        const u8 num = Gf256::mul(polyEval(omega, x_inv), x);
+        cw[pos] ^= Gf256::div(num, denom);
+    }
+
+    if (!isCodeword(cw))
+        return std::nullopt;
+    return std::vector<u8>(cw.begin(), cw.begin() + k_);
+}
+
+} // namespace citadel

@@ -1,0 +1,148 @@
+#include "ecc/secded.h"
+
+#include <array>
+#include <bit>
+
+namespace citadel {
+
+namespace {
+
+/**
+ * Hamming position codes: data bit i is assigned the (i+1)-th integer
+ * >= 3 that is not a power of two; powers of two are the check-bit
+ * positions. 64 data bits need codes up to 71 < 2^7.
+ */
+struct PositionTable
+{
+    std::array<u8, 64> code{};
+    std::array<i8, 128> dataIndex{}; // code -> data bit, -1 otherwise
+
+    PositionTable()
+    {
+        dataIndex.fill(-1);
+        u32 pos = 3;
+        for (u32 i = 0; i < 64; ++i) {
+            while ((pos & (pos - 1)) == 0)
+                ++pos;
+            code[i] = static_cast<u8>(pos);
+            dataIndex[pos] = static_cast<i8>(i);
+            ++pos;
+        }
+    }
+};
+
+const PositionTable &
+table()
+{
+    static const PositionTable t;
+    return t;
+}
+
+bool
+parity64(u64 v)
+{
+    return std::popcount(v) & 1;
+}
+
+} // namespace
+
+u8
+Secded::encode(u64 data)
+{
+    const PositionTable &t = table();
+    u8 ham = 0;
+    for (u32 i = 0; i < 64; ++i)
+        if ((data >> i) & 1)
+            ham ^= t.code[i];
+    // Overall parity bit makes the 72-bit codeword even-parity.
+    const bool p = parity64(data) ^ parity64(ham);
+    return static_cast<u8>(ham | (p ? 0x80 : 0x00));
+}
+
+u8
+Secded::syndrome(u64 data, u8 check)
+{
+    const PositionTable &t = table();
+    u8 s = check & 0x7F;
+    for (u32 i = 0; i < 64; ++i)
+        if ((data >> i) & 1)
+            s ^= t.code[i];
+    return s;
+}
+
+bool
+Secded::overallParity(u64 data, u8 check)
+{
+    return parity64(data) ^ parity64(check);
+}
+
+Secded::Outcome
+Secded::decode(u64 &data, u8 check)
+{
+    const u8 s = syndrome(data, check);
+    const bool odd = overallParity(data, check);
+
+    if (s == 0)
+        return odd ? Outcome::Corrected /* parity bit itself flipped */
+                   : Outcome::Clean;
+    if (!odd)
+        return Outcome::DetectedDouble;
+
+    // Odd parity + non-zero syndrome: single error at position s.
+    const i8 idx = table().dataIndex[s];
+    if (idx >= 0) {
+        data ^= 1ull << idx;
+        return Outcome::Corrected;
+    }
+    if ((s & (s - 1)) == 0)
+        return Outcome::Corrected; // a check bit flipped; data intact
+    // Syndrome names no valid position: >= 3 errors aliased.
+    return Outcome::Miscorrect;
+}
+
+bool
+SecdedScheme::uncorrectable(const std::vector<Fault> &active) const
+{
+    const u32 ecc = cfg_->eccChannel();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        const Fault &f = active[i];
+        const bool f_data =
+            f.channel.mask != 0 && f.channel.value != ecc;
+        // One bit per 64-bit word is the correction budget: any fault
+        // whose per-line footprint exceeds one bit within some word is
+        // fatal. bitsPerLine == 1 means a single bit; a data-TSV fault
+        // (bits d and d+256) lands in different words, one bit each,
+        // so it is the one multi-bit pattern SEC-DED survives.
+        if (f_data) {
+            const u64 bits = f.bitsPerLine(cfg_->geom);
+            const bool one_per_word =
+                bits == 1 || f.cls == FaultClass::DataTsv;
+            if (!one_per_word)
+                return true;
+        }
+        for (std::size_t j = i + 1; j < active.size(); ++j) {
+            const Fault &g = active[j];
+            const bool g_data =
+                g.channel.mask != 0 && g.channel.value != ecc;
+            if (f_data && g_data) {
+                // Two concurrent single-bit-class faults on one line:
+                // same-word collision is possible; the conventional
+                // conservative call is data loss.
+                if (f.stack.intersects(g.stack) &&
+                    f.channel.intersects(g.channel) &&
+                    f.bank.intersects(g.bank) &&
+                    f.row.intersects(g.row) && f.col.intersects(g.col))
+                    return true;
+            } else if (f_data != g_data) {
+                // Check bits live in the ECC die mirror position.
+                if (f.stack.intersects(g.stack) &&
+                    f.bank.intersects(g.bank) &&
+                    f.row.intersects(g.row) && f.col.intersects(g.col))
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace citadel

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hamming SEC-DED (72, 64): the code conventional ECC-DIMMs apply to
+ * every 64-bit word (Section I calls these out as ineffective against
+ * large-granularity faults -- this codec and its analytic scheme let
+ * the benches quantify that claim). Single-error-correct,
+ * double-error-detect, with an overall parity bit.
+ */
+
+#ifndef CITADEL_ECC_SECDED_H
+#define CITADEL_ECC_SECDED_H
+
+#include "common/types.h"
+#include "faults/scheme.h"
+
+namespace citadel {
+
+/** Bit-true SEC-DED codec over 64-bit words. */
+class Secded
+{
+  public:
+    /** Decode outcome. */
+    enum class Outcome
+    {
+        Clean,          ///< No error detected.
+        Corrected,      ///< Single-bit error corrected.
+        DetectedDouble, ///< Double-bit error detected (uncorrectable).
+        Miscorrect      ///< >2 errors aliased (silent in hardware;
+                        ///< reported here because tests know the truth).
+    };
+
+    /** Compute the 8 check bits for a 64-bit data word. */
+    static u8 encode(u64 data);
+
+    /**
+     * Decode a (data, check) pair in place.
+     * @param data Possibly corrupted data word; corrected on return
+     *             when the outcome is Corrected.
+     * @param check Possibly corrupted check bits.
+     */
+    static Outcome decode(u64 &data, u8 check);
+
+  private:
+    /** Syndrome over the 72-bit codeword (bit 71..64 = check). */
+    static u8 syndrome(u64 data, u8 check);
+    static bool overallParity(u64 data, u8 check);
+};
+
+/**
+ * Analytic Monte Carlo scheme: ECC-DIMM-style SEC-DED per 64-bit word
+ * with the Same-Bank mapping. Corrects any fault confined to one bit
+ * per word; everything larger (word, column, row, bank, TSV) is data
+ * loss -- the paper's motivating observation.
+ */
+class SecdedScheme : public RasScheme
+{
+  public:
+    std::string name() const override { return "SECDED-72-64"; }
+    bool uncorrectable(const std::vector<Fault> &active) const override;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_ECC_SECDED_H

@@ -1,0 +1,160 @@
+#include "faults/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.h"
+
+namespace citadel {
+
+double
+SparingHistogram::fraction(u64 rows) const
+{
+    if (totalFaultyBanks == 0)
+        return 0.0;
+    auto it = counts.find(rows);
+    if (it == counts.end())
+        return 0.0;
+    return static_cast<double>(it->second) /
+           static_cast<double>(totalFaultyBanks);
+}
+
+double
+SparingHistogram::fractionAtMost(u64 rows) const
+{
+    if (totalFaultyBanks == 0)
+        return 0.0;
+    u64 n = 0;
+    for (const auto &[r, c] : counts)
+        if (r <= rows)
+            n += c;
+    return static_cast<double>(n) / static_cast<double>(totalFaultyBanks);
+}
+
+double
+SparingHistogram::fractionAtLeast(u64 rows) const
+{
+    if (totalFaultyBanks == 0)
+        return 0.0;
+    u64 n = 0;
+    for (const auto &[r, c] : counts)
+        if (r >= rows)
+            n += c;
+    return static_cast<double>(n) / static_cast<double>(totalFaultyBanks);
+}
+
+SparingAnalysis::SparingAnalysis(const SystemConfig &cfg)
+    : cfg_(cfg), injector_(cfg)
+{
+}
+
+u64
+SparingAnalysis::rowsRequired(const Fault &f) const
+{
+    // Row-granularity sparing must replace every row the fault touches:
+    // a column fault (row wildcard) consumes the whole bank's rows.
+    return f.rowsCovered(cfg_.geom);
+}
+
+u64
+SparingAnalysis::rowsRequiredForBank(
+    const std::vector<Fault> &bank_faults) const
+{
+    const u64 all = cfg_.geom.rowsPerBank;
+    std::set<u32> exact_rows;
+    std::set<std::pair<u32, u32>> masked; // (mask, value)
+
+    for (const Fault &f : bank_faults) {
+        const u64 rows = rowsRequired(f);
+        if (rows >= all)
+            return all;
+        if (f.row.mask == 0xFFFFFFFFu)
+            exact_rows.insert(f.row.value);
+        else
+            masked.insert({f.row.mask, f.row.value});
+    }
+
+    u64 total = 0;
+    for (const auto &[mask, value] : masked) {
+        DimSpec d{value, mask};
+        total += d.coverage(cfg_.geom.rowBits());
+    }
+    for (u32 r : exact_rows) {
+        bool inside = false;
+        for (const auto &[mask, value] : masked)
+            if (((r ^ value) & mask) == 0) {
+                inside = true;
+                break;
+            }
+        if (!inside)
+            ++total;
+    }
+    return std::min(total, all);
+}
+
+std::map<u64, std::vector<Fault>>
+SparingAnalysis::groupPermanentByBank(const std::vector<Fault> &events) const
+{
+    std::map<u64, std::vector<Fault>> groups;
+    const u32 dies = cfg_.diesPerStack();
+    const u32 banks = cfg_.geom.banksPerChannel;
+    for (const Fault &f : events) {
+        if (f.transient)
+            continue;
+        if (f.stack.mask == 0 || f.channel.mask == 0)
+            panic("analysis: faults must carry exact stack/channel");
+        const u32 s = f.stack.value;
+        const u32 ch = f.channel.value;
+        for (u32 b = 0; b < banks; ++b) {
+            if (!f.bank.matches(b))
+                continue;
+            const u64 key = (static_cast<u64>(s) * dies + ch) * banks + b;
+            groups[key].push_back(f);
+        }
+    }
+    return groups;
+}
+
+SparingHistogram
+SparingAnalysis::histogram(u64 trials, u64 seed) const
+{
+    SparingHistogram h;
+    for (u64 t = 0; t < trials; ++t) {
+        Rng rng(seed ^ (0xC2B2AE3D27D4EB4Full * (t + 1)));
+        const auto events = injector_.sampleLifetime(rng);
+        for (const auto &[key, faults] : groupPermanentByBank(events)) {
+            (void)key;
+            ++h.totalFaultyBanks;
+            ++h.counts[rowsRequiredForBank(faults)];
+        }
+    }
+    return h;
+}
+
+FailedBankDistribution
+SparingAnalysis::failedBanks(u64 trials, u64 row_threshold, u64 seed) const
+{
+    FailedBankDistribution d;
+    for (u64 t = 0; t < trials; ++t) {
+        Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (t + 1)));
+        const auto events = injector_.sampleLifetime(rng);
+        u64 failed = 0;
+        for (const auto &[key, faults] : groupPermanentByBank(events)) {
+            (void)key;
+            if (rowsRequiredForBank(faults) > row_threshold)
+                ++failed;
+        }
+        if (failed == 0)
+            continue;
+        ++d.systemsWithFailedBank;
+        if (failed == 1)
+            ++d.one;
+        else if (failed == 2)
+            ++d.two;
+        else
+            ++d.threePlus;
+    }
+    return d;
+}
+
+} // namespace citadel

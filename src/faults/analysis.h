@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Offline analyses of the sampled fault population that motivate DDS
+ * (Section VII-A/B): the bimodal distribution of rows a faulty bank
+ * would consume under row-granularity sparing (Fig 17) and the
+ * distribution of the number of failed banks per system (Table III).
+ */
+
+#ifndef CITADEL_FAULTS_ANALYSIS_H
+#define CITADEL_FAULTS_ANALYSIS_H
+
+#include <map>
+#include <vector>
+
+#include "faults/injector.h"
+
+namespace citadel {
+
+/** Histogram of "rows required for sparing" across faulty banks. */
+struct SparingHistogram
+{
+    /** rowsRequired -> number of faulty banks observing that count. */
+    std::map<u64, u64> counts;
+    u64 totalFaultyBanks = 0;
+
+    /** Fraction of faulty banks requiring exactly `rows`. */
+    double fraction(u64 rows) const;
+    /** Fraction of faulty banks requiring <= `rows` (fine-grained side). */
+    double fractionAtMost(u64 rows) const;
+    /** Fraction of faulty banks requiring >= `rows`. */
+    double fractionAtLeast(u64 rows) const;
+};
+
+/** Distribution of the failed-bank count for systems with >= 1. */
+struct FailedBankDistribution
+{
+    u64 systemsWithFailedBank = 0;
+    u64 one = 0;
+    u64 two = 0;
+    u64 threePlus = 0;
+};
+
+/**
+ * Monte Carlo over permanent DRAM-internal faults only (no TSVs, no
+ * correction), reproducing the measurements behind Fig 17 and
+ * Table III.
+ */
+class SparingAnalysis
+{
+  public:
+    explicit SparingAnalysis(const SystemConfig &cfg);
+
+    /** Rows a single fault consumes under row-granularity sparing. */
+    u64 rowsRequired(const Fault &f) const;
+
+    /**
+     * Rows the union of the faults in one bank consumes; distinct rows
+     * from small faults, full sub-arrays/banks for large ones.
+     */
+    u64 rowsRequiredForBank(const std::vector<Fault> &bank_faults) const;
+
+    /** Run `trials` lifetimes and accumulate the histogram. */
+    SparingHistogram histogram(u64 trials, u64 seed = 1) const;
+
+    /**
+     * Distribution of failed banks (banks needing more than
+     * `row_threshold` spare rows) across systems with at least one.
+     */
+    FailedBankDistribution failedBanks(u64 trials, u64 row_threshold = 4,
+                                       u64 seed = 1) const;
+
+  private:
+    SystemConfig cfg_;
+    FaultInjector injector_;
+
+    /** Group a lifetime's permanent faults by (stack, channel, bank). */
+    std::map<u64, std::vector<Fault>>
+    groupPermanentByBank(const std::vector<Fault> &events) const;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_FAULTS_ANALYSIS_H

@@ -1,0 +1,114 @@
+#include "faults/fault.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace citadel {
+
+const char *
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::Bit: return "bit";
+      case FaultClass::Word: return "word";
+      case FaultClass::Column: return "column";
+      case FaultClass::Row: return "row";
+      case FaultClass::SubArray: return "subarray";
+      case FaultClass::Bank: return "bank";
+      case FaultClass::Channel: return "channel";
+      case FaultClass::DataTsv: return "data-tsv";
+      case FaultClass::AddrTsvRow: return "addr-tsv-row";
+      case FaultClass::AddrTsvBank: return "addr-tsv-bank";
+    }
+    return "?";
+}
+
+bool
+isTsvClass(FaultClass cls)
+{
+    return cls == FaultClass::DataTsv || cls == FaultClass::AddrTsvRow ||
+           cls == FaultClass::AddrTsvBank;
+}
+
+u64
+DimSpec::coverage(u32 width) const
+{
+    const u32 space_mask = width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
+    const u32 significant = std::popcount(mask & space_mask);
+    return 1ull << (width - significant);
+}
+
+bool
+Fault::covers(u32 s, u32 ch, u32 b, u32 r, u32 c, u32 bi) const
+{
+    return stack.matches(s) && channel.matches(ch) && bank.matches(b) &&
+           row.matches(r) && col.matches(c) && bit.matches(bi);
+}
+
+bool
+Fault::intersects(const Fault &o) const
+{
+    return stack.intersects(o.stack) && channel.intersects(o.channel) &&
+           bank.intersects(o.bank) && row.intersects(o.row) &&
+           col.intersects(o.col) && bit.intersects(o.bit);
+}
+
+u64
+Fault::rowsCovered(const StackGeometry &geom) const
+{
+    return row.coverage(geom.rowBits());
+}
+
+u64
+Fault::banksCovered(const StackGeometry &geom) const
+{
+    return bank.coverage(geom.bankBits());
+}
+
+u64
+Fault::channelsCovered(const StackGeometry &geom) const
+{
+    // The channel space has channelsPerStack + 1 members (the last one is
+    // the ECC/metadata die) and is not a power of two, so masks other than
+    // exact/wildcard are not supported in this dimension.
+    if (channel.mask == 0)
+        return geom.channelsPerStack + 1;
+    if (channel.mask == 0xFFFFFFFFu)
+        return 1;
+    panic("channelsCovered: partial channel masks unsupported");
+}
+
+u64
+Fault::bitsPerLine(const StackGeometry &geom) const
+{
+    return bit.coverage(geom.bitBits());
+}
+
+std::string
+Fault::describe() const
+{
+    std::ostringstream os;
+    auto dim = [&](const char *name, const DimSpec &d) {
+        os << name << '=';
+        if (d.mask == 0)
+            os << '*';
+        else if (d.mask == 0xFFFFFFFFu)
+            os << d.value;
+        else
+            os << d.value << "/m" << std::hex << d.mask << std::dec;
+        os << ' ';
+    };
+    os << faultClassName(cls) << (transient ? " (T) " : " (P) ");
+    dim("s", stack);
+    dim("ch", channel);
+    dim("bk", bank);
+    dim("row", row);
+    dim("col", col);
+    dim("bit", bit);
+    os << "@" << timeHours << "h";
+    return os.str();
+}
+
+} // namespace citadel

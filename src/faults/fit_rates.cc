@@ -1,0 +1,46 @@
+#include "faults/fit_rates.h"
+
+namespace citadel {
+
+FitTable
+FitTable::sridharan1Gb()
+{
+    FitTable t;
+    t.bit = {14.2, 18.6};
+    t.word = {1.4, 0.3};
+    t.column = {1.4, 5.5};
+    t.row = {0.2, 8.2};
+    t.bank = {0.8, 10.0};
+    return t;
+}
+
+FitTable
+FitTable::paper8Gb()
+{
+    // Table I, verbatim.
+    FitTable t;
+    t.bit = {113.6, 148.8};
+    t.word = {11.2, 2.4};
+    t.column = {2.6, 10.5};
+    t.row = {0.8, 32.8};
+    t.bank = {6.4, 80.0};
+    return t;
+}
+
+FitTable
+FitTable::scaledForStackedDie() const
+{
+    const FitScaling s;
+    FitTable t;
+    t.bit = {bit.transientFit * s.bitScale, bit.permanentFit * s.bitScale};
+    t.word = {word.transientFit * s.wordScale,
+              word.permanentFit * s.wordScale};
+    t.column = {column.transientFit * s.columnScale,
+                column.permanentFit * s.columnScale};
+    t.row = {row.transientFit * s.rowScale, row.permanentFit * s.rowScale};
+    t.bank = {bank.transientFit * s.bankScale,
+              bank.permanentFit * s.bankScale};
+    return t;
+}
+
+} // namespace citadel

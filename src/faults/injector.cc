@@ -1,0 +1,197 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace citadel {
+
+FaultInjector::FaultInjector(const SystemConfig &cfg)
+    : cfg_(cfg), tsvMap_(cfg.geom)
+{
+    cfg_.geom.validate();
+    if (cfg_.subArrayRows == 0 ||
+        (cfg_.subArrayRows & (cfg_.subArrayRows - 1)) != 0 ||
+        cfg_.subArrayRows > cfg_.geom.rowsPerBank)
+        fatal("injector: subArrayRows must be a power of two <= rowsPerBank");
+}
+
+void
+FaultInjector::sampleClass(Rng &rng, std::vector<Fault> &out, FaultClass cls,
+                           double fit, bool transient, u32 stack,
+                           u32 channel) const
+{
+    const double lambda = fitToPerHour(fit) * cfg_.lifetimeHours;
+    const u64 n = rng.poisson(lambda);
+    for (u64 i = 0; i < n; ++i) {
+        const double t = rng.uniform(0.0, cfg_.lifetimeHours);
+        FaultClass effective = cls;
+        if (cls == FaultClass::Bank && rng.chance(cfg_.subArrayFraction))
+            effective = FaultClass::SubArray;
+        out.push_back(makeFault(rng, effective, stack, channel, transient, t));
+    }
+}
+
+std::vector<Fault>
+FaultInjector::sampleLifetime(Rng &rng) const
+{
+    std::vector<Fault> out;
+    const FitTable &r = cfg_.rates;
+
+    for (u32 s = 0; s < cfg_.geom.stacks; ++s) {
+        for (u32 ch = 0; ch < cfg_.diesPerStack(); ++ch) {
+            struct { FaultClass cls; const FitPair *fit; } classes[] = {
+                {FaultClass::Bit, &r.bit},
+                {FaultClass::Word, &r.word},
+                {FaultClass::Column, &r.column},
+                {FaultClass::Row, &r.row},
+                {FaultClass::Bank, &r.bank},
+            };
+            for (const auto &c : classes) {
+                sampleClass(rng, out, c.cls, c.fit->transientFit, true, s, ch);
+                sampleClass(rng, out, c.cls, c.fit->permanentFit, false, s,
+                            ch);
+            }
+        }
+        // TSV faults: per-stack device rate, permanent.
+        const double lambda =
+            fitToPerHour(cfg_.tsvDeviceFit) * cfg_.lifetimeHours;
+        const u64 n = rng.poisson(lambda);
+        for (u64 i = 0; i < n; ++i)
+            out.push_back(
+                makeTsvFault(rng, s, rng.uniform(0.0, cfg_.lifetimeHours)));
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Fault &a, const Fault &b) {
+                  return a.timeHours < b.timeHours;
+              });
+    return out;
+}
+
+Fault
+FaultInjector::makeFault(Rng &rng, FaultClass cls, u32 stack, u32 channel,
+                         bool transient, double time_hours) const
+{
+    const StackGeometry &g = cfg_.geom;
+    Fault f;
+    f.cls = cls;
+    f.transient = transient;
+    f.timeHours = time_hours;
+    f.stack = DimSpec::exact(stack);
+    f.channel = DimSpec::exact(channel);
+    f.bank = DimSpec::wild();
+    f.row = DimSpec::wild();
+    f.col = DimSpec::wild();
+    f.bit = DimSpec::wild();
+
+    auto rand_bank = [&] { return DimSpec::exact(
+        static_cast<u32>(rng.below(g.banksPerChannel))); };
+    auto rand_row = [&] { return DimSpec::exact(
+        static_cast<u32>(rng.below(g.rowsPerBank))); };
+    auto rand_col = [&] { return DimSpec::exact(
+        static_cast<u32>(rng.below(g.linesPerRow()))); };
+
+    switch (cls) {
+      case FaultClass::Bit:
+        f.bank = rand_bank();
+        f.row = rand_row();
+        f.col = rand_col();
+        f.bit = DimSpec::exact(static_cast<u32>(rng.below(g.bitsPerLine())));
+        break;
+      case FaultClass::Word: {
+        f.bank = rand_bank();
+        f.row = rand_row();
+        f.col = rand_col();
+        // 64-bit aligned word within the line.
+        const u32 words = g.bitsPerLine() / 64;
+        const u32 w = static_cast<u32>(rng.below(words));
+        const u32 full = (1u << g.bitBits()) - 1;
+        f.bit = DimSpec::masked(w * 64, full & ~63u);
+        break;
+      }
+      case FaultClass::Column:
+        f.bank = rand_bank();
+        f.col = rand_col();
+        break;
+      case FaultClass::Row:
+        f.bank = rand_bank();
+        f.row = rand_row();
+        break;
+      case FaultClass::SubArray: {
+        f.bank = rand_bank();
+        const u32 blocks = g.rowsPerBank / cfg_.subArrayRows;
+        const u32 base =
+            static_cast<u32>(rng.below(blocks)) * cfg_.subArrayRows;
+        const u32 full = (1u << g.rowBits()) - 1;
+        f.row = DimSpec::masked(base, full & ~(cfg_.subArrayRows - 1));
+        break;
+      }
+      case FaultClass::Bank:
+        f.bank = rand_bank();
+        break;
+      case FaultClass::Channel:
+        break;
+      default:
+        panic("makeFault: class %s is TSV-only", faultClassName(cls));
+    }
+    return f;
+}
+
+Fault
+FaultInjector::makeTsvFault(Rng &rng, u32 stack, double time_hours) const
+{
+    const StackGeometry &g = cfg_.geom;
+    Fault f;
+    f.transient = false; // TSV faults are physical defects.
+    f.fromTsv = true;
+    f.timeHours = time_hours;
+    f.stack = DimSpec::exact(stack);
+    // TSVs serve the data channels; the ECC die's dedicated lanes are
+    // folded into the same device-level rate but modeled on data channels
+    // (see DESIGN.md).
+    f.channel = DimSpec::exact(
+        static_cast<u32>(rng.below(g.channelsPerStack)));
+    f.bank = DimSpec::wild();
+    f.row = DimSpec::wild();
+    f.col = DimSpec::wild();
+    f.bit = DimSpec::wild();
+
+    const u32 total = g.dataTsvsPerChannel + g.addrTsvsPerChannel;
+    const u32 pick = static_cast<u32>(rng.below(total));
+    if (pick < g.dataTsvsPerChannel) {
+        const u32 d = pick;
+        f.cls = FaultClass::DataTsv;
+        f.tsvIndex = d;
+        u32 value;
+        u32 mask;
+        tsvMap_.dataTsvBitPattern(d, value, mask);
+        f.bit = DimSpec::masked(value, mask);
+        return f;
+    }
+
+    const u32 a = pick - g.dataTsvsPerChannel;
+    f.tsvIndex = a;
+    switch (tsvMap_.addrTsvEffect(a)) {
+      case AtsvEffect::HalfRows: {
+        f.cls = FaultClass::AddrTsvRow;
+        const u32 b = tsvMap_.addrTsvRowBit(a);
+        const u32 stuck = rng.chance(0.5) ? 1u : 0u;
+        f.row = DimSpec::masked(stuck << b, 1u << b);
+        break;
+      }
+      case AtsvEffect::HalfBanks: {
+        f.cls = FaultClass::AddrTsvBank;
+        const u32 b = tsvMap_.addrTsvBankBit(a);
+        const u32 stuck = rng.chance(0.5) ? 1u : 0u;
+        f.bank = DimSpec::masked(stuck << b, 1u << b);
+        break;
+      }
+      case AtsvEffect::WholeChannel:
+        f.cls = FaultClass::Channel;
+        break;
+    }
+    return f;
+}
+
+} // namespace citadel

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Samples the fault history of one device lifetime: Poisson arrivals per
+ * die and fault class at the Table I rates, plus TSV faults at the swept
+ * device rate, each materialized as a FaultRange at a random location.
+ */
+
+#ifndef CITADEL_FAULTS_INJECTOR_H
+#define CITADEL_FAULTS_INJECTOR_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/fault.h"
+#include "faults/fit_rates.h"
+#include "stack/tsv.h"
+
+namespace citadel {
+
+/**
+ * Full reliability-experiment configuration: geometry, per-die FIT
+ * rates, TSV device rate, lifetime and scrub interval.
+ */
+struct SystemConfig
+{
+    StackGeometry geom;
+    FitTable rates = FitTable::paper8Gb();
+
+    /**
+     * TSV-caused device failures per 10^9 hours, per stack. The paper
+     * sweeps 14 FIT (0.01 failures in 7 years) to 1430 FIT (1 failure
+     * in 7 years). 0 disables TSV faults.
+     */
+    double tsvDeviceFit = 0.0;
+
+    double lifetimeHours = kLifetimeHours;
+    double scrubHours = kScrubIntervalHours;
+
+    /**
+     * Fraction of bank-class faults that are partial-bank (sub-array)
+     * failures rather than full-bank failures. Fig 17 of the paper shows
+     * roughly 30% of large-granularity failures clustering at sub-array
+     * size.
+     */
+    double subArrayFraction = 0.3;
+
+    /** Rows per sub-array (power of two; the paper observes ~5.2K). */
+    u32 subArrayRows = 4096;
+
+    /** Dies per stack including the ECC/metadata die. */
+    u32 diesPerStack() const { return geom.channelsPerStack + 1; }
+
+    /** Channel index used for the ECC/metadata die. */
+    u32 eccChannel() const { return geom.channelsPerStack; }
+};
+
+/**
+ * Fault sampler. Stateless apart from geometry-derived constants; all
+ * randomness comes through the caller's Rng so trials are reproducible.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const SystemConfig &cfg);
+
+    /**
+     * Sample every fault arriving within one lifetime, sorted by
+     * arrival time. DRAM-internal faults are drawn independently per
+     * die (including the ECC die); TSV faults per stack.
+     */
+    std::vector<Fault> sampleLifetime(Rng &rng) const;
+
+    /** Materialize a random fault of a class in a given die. */
+    Fault makeFault(Rng &rng, FaultClass cls, u32 stack, u32 channel,
+                    bool transient, double time_hours) const;
+
+    /** Materialize a random TSV fault in a given stack. */
+    Fault makeTsvFault(Rng &rng, u32 stack, double time_hours) const;
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    TsvMap tsvMap_;
+
+    void sampleClass(Rng &rng, std::vector<Fault> &out, FaultClass cls,
+                     double fit, bool transient, u32 stack,
+                     u32 channel) const;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_FAULTS_INJECTOR_H

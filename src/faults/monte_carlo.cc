@@ -1,0 +1,88 @@
+#include "faults/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace citadel {
+
+Proportion
+McResult::probFailByYear(u32 years) const
+{
+    if (years == 0 || years > failuresByYear.size())
+        panic("probFailByYear: year %u out of range", years);
+    return wilson(failuresByYear[years - 1], trials);
+}
+
+MonteCarlo::MonteCarlo(const SystemConfig &cfg) : cfg_(cfg), injector_(cfg)
+{
+}
+
+double
+MonteCarlo::runTrial(RasScheme &scheme, const std::vector<Fault> &events,
+                     FaultClass *trigger_class) const
+{
+    scheme.reset(cfg_);
+    std::vector<Fault> active;
+    double last_scrub = 0.0;
+
+    for (const Fault &f : events) {
+        // Process all scrub boundaries crossed since the last event: a
+        // transient fault is cleared at the first boundary after its
+        // arrival; sparing mechanisms retire permanent faults there too.
+        const double boundary =
+            std::floor(f.timeHours / cfg_.scrubHours) * cfg_.scrubHours;
+        if (boundary > last_scrub) {
+            std::erase_if(active, [&](const Fault &a) {
+                return a.transient && a.timeHours < boundary;
+            });
+            scheme.onScrub(active);
+            last_scrub = boundary;
+        }
+
+        if (scheme.absorb(f))
+            continue;
+
+        active.push_back(f);
+        if (scheme.uncorrectable(active)) {
+            if (trigger_class)
+                *trigger_class = f.cls;
+            return f.timeHours;
+        }
+    }
+    return -1.0;
+}
+
+McResult
+MonteCarlo::run(RasScheme &scheme, u64 trials, u64 seed) const
+{
+    McResult res;
+    res.trials = trials;
+    const u32 years =
+        static_cast<u32>(std::ceil(cfg_.lifetimeHours / kHoursPerYear));
+    res.failuresByYear.assign(years, 0);
+
+    double total_faults = 0.0;
+    for (u64 t = 0; t < trials; ++t) {
+        Rng rng(seed ^ (0xA24BAED4963EE407ull * (t + 1)));
+        const std::vector<Fault> events = injector_.sampleLifetime(rng);
+        total_faults += static_cast<double>(events.size());
+        FaultClass trigger = FaultClass::Bit;
+        const double fail_at = runTrial(scheme, events, &trigger);
+        if (fail_at >= 0.0) {
+            ++res.failures;
+            ++res.failuresByClass[trigger];
+            const u32 year = std::min(
+                years - 1,
+                static_cast<u32>(std::floor(fail_at / kHoursPerYear)));
+            for (u32 y = year; y < years; ++y)
+                ++res.failuresByYear[y];
+        }
+    }
+    res.meanFaultsPerTrial =
+        trials ? total_faults / static_cast<double>(trials) : 0.0;
+    return res;
+}
+
+} // namespace citadel

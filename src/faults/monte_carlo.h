@@ -1,0 +1,83 @@
+/**
+ * @file
+ * FaultSim-style Monte Carlo engine (Section III-B): simulates many
+ * seven-year device lifetimes with Poisson fault arrivals, a periodic
+ * scrub that clears correctable transient faults, scheme-driven repair
+ * (TSV-SWAP absorption, DDS sparing), and records the time of the first
+ * uncorrectable pattern in each trial.
+ */
+
+#ifndef CITADEL_FAULTS_MONTE_CARLO_H
+#define CITADEL_FAULTS_MONTE_CARLO_H
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "faults/scheme.h"
+
+namespace citadel {
+
+/** Aggregate result of a Monte Carlo reliability run. */
+struct McResult
+{
+    u64 trials = 0;
+    u64 failures = 0; ///< Trials with an uncorrectable fault in-lifetime.
+
+    /** failuresByYear[y] = trials failing within the first y+1 years. */
+    std::vector<u64> failuresByYear;
+
+    /**
+     * Failure attribution: class of the fault whose arrival completed
+     * the uncorrectable pattern. Shows what actually kills a scheme
+     * (e.g., bank-pair accumulation vs TSV faults).
+     */
+    std::map<FaultClass, u64> failuresByClass;
+
+    /** Mean faults injected per trial (diagnostic). */
+    double meanFaultsPerTrial = 0.0;
+
+    /** P(system failure within the full lifetime) with 95% Wilson CI. */
+    Proportion probFail() const { return wilson(failures, trials); }
+
+    /** P(system failure within the first `years` years). */
+    Proportion probFailByYear(u32 years) const;
+};
+
+/**
+ * The engine. Stateless between runs; all randomness flows from the
+ * seed so results are exactly reproducible.
+ */
+class MonteCarlo
+{
+  public:
+    explicit MonteCarlo(const SystemConfig &cfg);
+
+    /**
+     * Run `trials` independent lifetimes against `scheme`.
+     * The scheme is reset() at the start of every trial.
+     */
+    McResult run(RasScheme &scheme, u64 trials, u64 seed = 1) const;
+
+    /**
+     * Single-lifetime simulation given a pre-sampled fault history.
+     * @param trigger_class When non-null and the trial fails, receives
+     *        the class of the fault that completed the fatal pattern.
+     * @return first-failure time in hours, or a negative value if the
+     *         lifetime completes without an uncorrectable pattern.
+     * Exposed for unit tests and what-if analyses.
+     */
+    double runTrial(RasScheme &scheme, const std::vector<Fault> &events,
+                    FaultClass *trigger_class = nullptr) const;
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    FaultInjector injector_;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_FAULTS_MONTE_CARLO_H

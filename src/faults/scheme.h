@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Interface every RAS (reliability/availability/serviceability) scheme
+ * implements for the Monte Carlo engine, plus the trivial NoProtection
+ * baseline.
+ *
+ * The engine drives a scheme through one simulated lifetime:
+ *
+ *   reset() -> { absorb(fault) | active += fault; uncorrectable()? }*
+ *   with onScrub() at every 12-hour boundary crossed between events.
+ *
+ * `absorb` lets repair mechanisms (TSV-SWAP) consume a fault before it
+ * ever joins the active set; `onScrub` lets sparing mechanisms (DDS)
+ * retire permanent faults; `uncorrectable` asks whether the *current*
+ * concurrent fault set contains a data-loss pattern.
+ */
+
+#ifndef CITADEL_FAULTS_SCHEME_H
+#define CITADEL_FAULTS_SCHEME_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/injector.h"
+
+namespace citadel {
+
+/** Abstract RAS scheme evaluated by the Monte Carlo engine. */
+class RasScheme
+{
+  public:
+    virtual ~RasScheme() = default;
+
+    /** Display name used in bench output. */
+    virtual std::string name() const = 0;
+
+    /** Reinitialize per-trial state (spare budgets, swap registers). */
+    virtual void reset(const SystemConfig &cfg) { cfg_ = &cfg; }
+
+    /**
+     * Offer a newly arrived fault to the scheme's repair machinery.
+     * @return true if the fault is fully repaired and must not join the
+     *         active set (e.g., a TSV fault fixed by TSV-SWAP).
+     */
+    virtual bool absorb(const Fault &fault)
+    {
+        (void)fault;
+        return false;
+    }
+
+    /**
+     * Scrub boundary: transient faults have already been removed by the
+     * engine; the scheme may additionally retire (spare) permanent
+     * faults by erasing them from `active`.
+     */
+    virtual void onScrub(std::vector<Fault> &active) { (void)active; }
+
+    /** Does the concurrent fault set contain an uncorrectable pattern? */
+    virtual bool uncorrectable(const std::vector<Fault> &active) const = 0;
+
+  protected:
+    const SystemConfig *cfg_ = nullptr;
+};
+
+/** Baseline with no correction at all: any fault is data loss. */
+class NoProtection : public RasScheme
+{
+  public:
+    std::string name() const override { return "No-Protection"; }
+
+    bool
+    uncorrectable(const std::vector<Fault> &active) const override
+    {
+        return !active.empty();
+    }
+};
+
+using SchemePtr = std::unique_ptr<RasScheme>;
+
+} // namespace citadel
+
+#endif // CITADEL_FAULTS_SCHEME_H

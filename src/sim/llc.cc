@@ -1,0 +1,89 @@
+#include "sim/llc.h"
+
+#include "common/log.h"
+
+namespace citadel {
+
+Llc::Llc(u64 capacity_bytes, u32 ways, u32 line_bytes) : ways_(ways)
+{
+    const u64 lines = capacity_bytes / line_bytes;
+    if (ways_ == 0 || lines == 0 || lines % ways_ != 0)
+        fatal("Llc: bad geometry (capacity %llu, ways %u)",
+              static_cast<unsigned long long>(capacity_bytes), ways_);
+    sets_ = static_cast<u32>(lines / ways_);
+    lines_.resize(lines);
+}
+
+Llc::Way *
+Llc::findLine(u64 addr)
+{
+    Way *base = &lines_[static_cast<u64>(setOf(addr)) * ways_];
+    for (u32 w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == addr)
+            return &base[w];
+    return nullptr;
+}
+
+bool
+Llc::probeParity(u64 addr)
+{
+    ++stats_.parityProbes;
+    Way *way = findLine(addr);
+    if (!way)
+        return false;
+    ++stats_.parityHits;
+    way->dirty = true;
+    way->lastUse = ++useClock_;
+    return true;
+}
+
+Llc::Victim
+Llc::fill(u64 addr, bool dirty, bool parity)
+{
+    if (parity)
+        ++stats_.parityFills;
+    else
+        ++stats_.dataFills;
+
+    Way *base = &lines_[static_cast<u64>(setOf(addr)) * ways_];
+
+    // Refill of a resident line just updates state.
+    if (Way *hit = findLine(addr)) {
+        hit->dirty = hit->dirty || dirty;
+        hit->lastUse = ++useClock_;
+        return {};
+    }
+
+    Way *victim = &base[0];
+    for (u32 w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    Victim out;
+    if (victim->valid) {
+        out.valid = true;
+        out.addr = victim->tag;
+        out.dirty = victim->dirty;
+        out.parity = victim->parity;
+        if (victim->dirty) {
+            if (victim->parity)
+                ++stats_.dirtyParityEvictions;
+            else
+                ++stats_.dirtyDataEvictions;
+        }
+    }
+
+    victim->valid = true;
+    victim->tag = addr;
+    victim->dirty = dirty;
+    victim->parity = parity;
+    victim->lastUse = ++useClock_;
+    return out;
+}
+
+} // namespace citadel

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared last-level cache model (8MB, 8-way, LRU; Table II).
+ *
+ * The simulator is LLC-miss driven: the workload generator emits the
+ * miss stream directly, and every miss installs a line (dirty with the
+ * benchmark's write fraction). The LLC's job in this model is the part
+ * the paper evaluates: Dimension-1 parity lines cached on demand
+ * (Section VI-C, Fig 12/13) contend with data fills, which determines
+ * the parity-update hit rate and hence 3DP's performance overhead.
+ */
+
+#ifndef CITADEL_SIM_LLC_H
+#define CITADEL_SIM_LLC_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace citadel {
+
+/** LLC occupancy/traffic statistics. */
+struct LlcStats
+{
+    u64 dataFills = 0;
+    u64 dirtyDataEvictions = 0;
+    u64 parityProbes = 0;
+    u64 parityHits = 0;
+    u64 parityFills = 0;
+    u64 dirtyParityEvictions = 0;
+
+    double parityHitRate() const
+    {
+        return parityProbes
+                   ? static_cast<double>(parityHits) /
+                         static_cast<double>(parityProbes)
+                   : 0.0;
+    }
+};
+
+/** Set-associative LRU cache over line addresses. */
+class Llc
+{
+  public:
+    /** Information about a line displaced by a fill. */
+    struct Victim
+    {
+        bool valid = false;
+        u64 addr = 0;
+        bool dirty = false;
+        bool parity = false;
+    };
+
+    Llc(u64 capacity_bytes, u32 ways, u32 line_bytes = 64);
+
+    /**
+     * Parity-update probe (Fig 12 action 3): on hit the parity line is
+     * updated in place (marked dirty, moved to MRU).
+     */
+    bool probeParity(u64 addr);
+
+    /** Install a line; returns the displaced victim (LRU). */
+    Victim fill(u64 addr, bool dirty, bool parity);
+
+    const LlcStats &stats() const { return stats_; }
+    u32 sets() const { return sets_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        u64 tag = 0;
+        bool dirty = false;
+        bool parity = false;
+        u64 lastUse = 0;
+    };
+
+    u32 ways_;
+    u32 sets_;
+    std::vector<Way> lines_; ///< sets_ x ways_, row-major.
+    u64 useClock_ = 0;
+    LlcStats stats_;
+
+    u32 setOf(u64 addr) const { return static_cast<u32>(addr % sets_); }
+    Way *findLine(u64 addr);
+};
+
+} // namespace citadel
+
+#endif // CITADEL_SIM_LLC_H

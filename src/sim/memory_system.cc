@@ -1,0 +1,269 @@
+#include "sim/memory_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace citadel {
+
+MemorySystem::MemorySystem(const SimConfig &cfg) : cfg_(cfg), map_(cfg.geom)
+{
+    const u32 nch = cfg_.geom.totalChannels();
+    channels_.resize(nch);
+    for (auto &ch : channels_)
+        ch.banks.resize(cfg_.geom.banksPerChannel);
+    // The write queue holds whole-line writes; striped mappings enqueue
+    // fanout sub-requests per line, so the sub-request cap scales.
+    writeCapSubs_ = static_cast<u64>(cfg_.writeQueueCap) *
+                    map_.fanout(cfg_.striping);
+}
+
+u32
+MemorySystem::channelIndex(const LineCoord &c) const
+{
+    return c.stack * cfg_.geom.channelsPerStack + c.channel;
+}
+
+void
+MemorySystem::enqueue(const LineCoord &line, bool write, u64 token,
+                      u64 cycle)
+{
+    const auto subs = map_.subRequests(line, cfg_.striping);
+    const u32 bytes =
+        cfg_.geom.lineBytes / static_cast<u32>(subs.size());
+    for (const LineCoord &s : subs) {
+        Channel &ch = channels_[channelIndex(s)];
+        SubReq r;
+        r.token = token;
+        r.bank = s.bank;
+        r.row = s.row;
+        r.write = write;
+        r.arrival = cycle;
+        r.bytes = bytes;
+        (write ? ch.writeQueue : ch.readQueue).push_back(r);
+        ++pendingOps_;
+    }
+    if (!write)
+        remaining_[token] = static_cast<u32>(subs.size());
+    (void)0;
+}
+
+u64
+MemorySystem::issueRead(u64 line_idx, u64 cycle)
+{
+    const u64 token = nextToken_++;
+    enqueue(map_.lineToCoord(line_idx), false, token, cycle);
+    return token;
+}
+
+bool
+MemorySystem::canAcceptWrite(u64 line_idx) const
+{
+    const LineCoord line = map_.lineToCoord(line_idx);
+    const auto subs = map_.subRequests(line, cfg_.striping);
+    for (const LineCoord &s : subs) {
+        const Channel &ch = channels_[channelIndex(s)];
+        if (ch.writeQueue.size() >= writeCapSubs_)
+            return false;
+    }
+    return true;
+}
+
+void
+MemorySystem::issueWrite(u64 line_idx, u64 cycle)
+{
+    // Writes get a token too so striped sibling sub-writes issue in
+    // lockstep, but no completion is reported for them.
+    enqueue(map_.lineToCoord(line_idx), true, nextToken_++, cycle);
+}
+
+int
+MemorySystem::pickCandidate(const Channel &ch, const std::deque<SubReq> &q,
+                            u64 cycle) const
+{
+    // FR-FCFS: oldest ready row-hit first, else the oldest whose bank
+    // can start an activation.
+    int oldest_ready = -1;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const SubReq &r = q[i];
+        const BankState &b = ch.banks[r.bank];
+        const bool hit =
+            b.openRow == static_cast<i64>(r.row) && cycle >= b.nextCasAt;
+        if (hit)
+            return static_cast<int>(i);
+        if (oldest_ready < 0) {
+            const bool act_ready =
+                b.openRow != static_cast<i64>(r.row) && cycle >= b.nextActAt;
+            const bool cas_later =
+                b.openRow == static_cast<i64>(r.row); // waiting on tCCD
+            if (act_ready || cas_later)
+                oldest_ready = static_cast<int>(i);
+        }
+    }
+    return oldest_ready;
+}
+
+u64
+MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
+                       bool lockstep_sibling)
+{
+    const DramTiming &t = cfg_.timing;
+    BankState &b = ch.banks[req.bank];
+    u64 done;
+
+    // Column-to-column spacing scales with the burst: a striped
+    // sub-request moves lineBytes/fanout bytes in a proportionally
+    // shorter burst, so its bank can accept the next CAS sooner.
+    const u32 ccd = std::max<u32>(
+        1, t.tCCD * req.bytes / cfg_.geom.lineBytes);
+
+    // Write-to-read turnaround is paid once per switch (writes batch
+    // at tCCD), matching a write-buffering controller.
+    auto wtr_floor = [&](u64 cas) {
+        if (!req.write &&
+            b.lastWriteCas + static_cast<i64>(t.tWTR) >
+                static_cast<i64>(cas))
+            return static_cast<u64>(b.lastWriteCas + t.tWTR);
+        return cas;
+    };
+
+    if (b.openRow == static_cast<i64>(req.row)) {
+        // Row hit: column access only.
+        const u64 t0 = wtr_floor(std::max(cycle, b.nextCasAt));
+        done = t0 + t.tCAS + t.tBURST;
+        b.nextCasAt = t0 + ccd;
+        if (req.write)
+            b.lastWriteCas = static_cast<i64>(t0);
+        ++counters_.rowHits;
+    } else {
+        // Row miss: (precharge if open) + activate + column access.
+        u64 act = std::max(cycle, b.nextActAt);
+        if (b.openRow >= 0)
+            act = std::max(act, cycle + t.tRP);
+        // Striped sibling banks activate together (one multi-bank
+        // activate command): the tRRD spacing applies per line group,
+        // not per slice -- striping's cost is activation energy.
+        if (!lockstep_sibling) {
+            if (ch.lastActAt + static_cast<i64>(t.tRRD) >
+                static_cast<i64>(act))
+                act = static_cast<u64>(ch.lastActAt + t.tRRD);
+            ch.lastActAt = static_cast<i64>(act);
+        }
+        const u64 cas = wtr_floor(act + t.tRCD);
+        done = cas + t.tCAS + t.tBURST;
+        b.nextCasAt = cas + ccd;
+        if (req.write)
+            b.lastWriteCas = static_cast<i64>(cas);
+        b.nextActAt = act + t.tRAS + t.tRP;
+        b.openRow = static_cast<i64>(req.row);
+        ++counters_.activates;
+        ++counters_.rowMisses;
+    }
+
+    // Shared data-TSV bus. A full line occupies tBURST cycles; a
+    // striped sub-request drives only its slice of the lanes, so it
+    // reserves a proportional share (the slices of one logical line
+    // transfer in parallel, as on a conventional DIMM).
+    const double slot = static_cast<double>(t.tBURST) *
+                        static_cast<double>(req.bytes) /
+                        static_cast<double>(cfg_.geom.lineBytes);
+    const double start =
+        std::max(ch.busUntil, static_cast<double>(done) - slot);
+    const double end = start + slot;
+    ch.busUntil = end;
+    if (static_cast<double>(done) < end)
+        done = static_cast<u64>(std::ceil(end));
+
+    if (req.write) {
+        ++counters_.writeBursts;
+        counters_.bytesWritten += req.bytes;
+    } else {
+        ++counters_.readBursts;
+        counters_.bytesRead += req.bytes;
+    }
+    return done;
+}
+
+void
+MemorySystem::serviceChannel(Channel &ch, u64 cycle)
+{
+    // Reads have priority; writes drain when no read is ready or the
+    // write queue is past its high-water mark.
+    const bool write_pressure = ch.writeQueue.size() >= writeCapSubs_ / 2;
+
+    int idx = -1;
+    bool is_write = false;
+    if (!write_pressure) {
+        idx = pickCandidate(ch, ch.readQueue, cycle);
+        if (idx < 0 && !ch.writeQueue.empty()) {
+            idx = pickCandidate(ch, ch.writeQueue, cycle);
+            is_write = idx >= 0;
+        }
+    } else {
+        idx = pickCandidate(ch, ch.writeQueue, cycle);
+        is_write = idx >= 0;
+        if (idx < 0) {
+            idx = pickCandidate(ch, ch.readQueue, cycle);
+            is_write = false;
+        }
+    }
+    if (idx < 0)
+        return;
+
+    auto &q = is_write ? ch.writeQueue : ch.readQueue;
+    SubReq req = q[static_cast<std::size_t>(idx)];
+    q.erase(q.begin() + idx);
+
+    const u64 done = schedule(ch, req, cycle);
+    --pendingOps_;
+    if (!req.write)
+        completions_.push({done, req.token});
+
+    // Striped mappings issue the sibling sub-requests of the same line
+    // in lockstep (one multicast column command addresses all slices,
+    // as on a ChipKill DIMM), so they do not serialize on the command
+    // bus.
+    for (std::size_t i = 0; i < q.size();) {
+        if (q[i].token == req.token) {
+            SubReq sib = q[i];
+            q.erase(q.begin() + static_cast<long>(i));
+            const u64 sib_done = schedule(ch, sib, cycle, true);
+            --pendingOps_;
+            if (!sib.write)
+                completions_.push({sib_done, sib.token});
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+MemorySystem::tick(u64 cycle)
+{
+    for (auto &ch : channels_)
+        serviceChannel(ch, cycle);
+
+    while (!completions_.empty() && completions_.top().first <= cycle) {
+        const u64 token = completions_.top().second;
+        completions_.pop();
+        auto it = remaining_.find(token);
+        if (it == remaining_.end())
+            panic("memory: completion for unknown token");
+        if (--it->second == 0) {
+            completedTokens_.push_back(token);
+            remaining_.erase(it);
+        }
+    }
+}
+
+std::vector<u64>
+MemorySystem::drainCompletedReads(u64 cycle)
+{
+    (void)cycle;
+    std::vector<u64> out;
+    out.swap(completedTokens_);
+    return out;
+}
+
+} // namespace citadel

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Cycle-approximate stacked-DRAM memory system: per-channel FR-FCFS
+ * scheduling, open-page bank state machines with Table II timing, a
+ * shared data TSV bus per channel, and striping-aware fan-out (one
+ * logical line access becomes 1 / 8 sub-requests depending on the
+ * mapping, Section II-D/E).
+ */
+
+#ifndef CITADEL_SIM_MEMORY_SYSTEM_H
+#define CITADEL_SIM_MEMORY_SYSTEM_H
+
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/dram_timing.h"
+
+namespace citadel {
+
+/** Activity counters feeding the power model. */
+struct MemCounters
+{
+    u64 activates = 0;
+    u64 readBursts = 0;
+    u64 writeBursts = 0;
+    u64 rowHits = 0;
+    u64 rowMisses = 0;
+    u64 bytesRead = 0;
+    u64 bytesWritten = 0;
+};
+
+/** The DRAM side of the simulator. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SimConfig &cfg);
+
+    /**
+     * Enqueue a line read (fans out per the striping mode).
+     * @return a token reported by drainCompletedReads when all
+     *         sub-requests finish.
+     */
+    u64 issueRead(u64 line_idx, u64 cycle);
+
+    /** Is there write-queue space on every channel the line touches? */
+    bool canAcceptWrite(u64 line_idx) const;
+
+    /** Enqueue a posted line write (no completion reporting). */
+    void issueWrite(u64 line_idx, u64 cycle);
+
+    /** Advance one memory-controller cycle. */
+    void tick(u64 cycle);
+
+    /** Tokens of reads fully serviced by `cycle`. */
+    std::vector<u64> drainCompletedReads(u64 cycle);
+
+    /** Requests still queued or in flight. */
+    u64 pending() const { return pendingOps_; }
+
+    const MemCounters &counters() const { return counters_; }
+    const AddressMap &addressMap() const { return map_; }
+
+  private:
+    struct SubReq
+    {
+        u64 token = 0;   ///< 0 for writes (no completion tracking).
+        u32 bank = 0;
+        u32 row = 0;
+        bool write = false;
+        u64 arrival = 0;
+        u32 bytes = 0;
+    };
+
+    struct BankState
+    {
+        i64 openRow = -1;
+        u64 nextActAt = 0;
+        u64 nextCasAt = 0;
+        i64 lastWriteCas = -1'000'000; ///< For write->read turnaround.
+    };
+
+    struct Channel
+    {
+        std::deque<SubReq> readQueue;
+        std::deque<SubReq> writeQueue;
+        std::vector<BankState> banks;
+        /** Data-TSV bus horizon in cycles. Fractional: a striped
+         *  sub-request only occupies its share of the 256 lanes. */
+        double busUntil = 0.0;
+        i64 lastActAt = -1'000'000; ///< Sentinel: no activation yet.
+    };
+
+    SimConfig cfg_;
+    AddressMap map_;
+    std::vector<Channel> channels_;
+    MemCounters counters_;
+    u64 writeCapSubs_ = 0; ///< Write-queue cap in sub-requests.
+
+    u64 nextToken_ = 1;
+    std::unordered_map<u64, u32> remaining_; ///< token -> subreqs left
+    using Completion = std::pair<u64, u64>;  ///< (done cycle, token)
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<>>
+        completions_;
+    std::vector<u64> completedTokens_;
+    u64 pendingOps_ = 0;
+
+    u32 channelIndex(const LineCoord &c) const;
+    void enqueue(const LineCoord &line, bool write, u64 token, u64 cycle);
+    void serviceChannel(Channel &ch, u64 cycle);
+    /** Schedule one sub-request on its bank; returns data-done cycle.
+     *  @param lockstep_sibling True for the 2nd..Nth sub-request of a
+     *         striped line: activated together with the first (one
+     *         multi-bank activate), so it skips the tRRD chain. */
+    u64 schedule(Channel &ch, SubReq &req, u64 cycle,
+                 bool lockstep_sibling = false);
+    /** Pick the FR-FCFS candidate index in a queue; -1 if none ready. */
+    int pickCandidate(const Channel &ch, const std::deque<SubReq> &q,
+                      u64 cycle) const;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_SIM_MEMORY_SYSTEM_H

@@ -1,0 +1,22 @@
+#include "sim/power.h"
+
+namespace citadel {
+
+PowerResult
+computePower(const MemCounters &mem, u64 cycles, const PowerParams &p)
+{
+    PowerResult r;
+    if (cycles == 0)
+        return r;
+    const double t = static_cast<double>(cycles) * p.cycleSeconds;
+    r.activateW =
+        static_cast<double>(mem.activates) * p.activateEnergyJ / t;
+    r.readWriteW =
+        (static_cast<double>(mem.bytesRead) * p.readEnergyPerByteJ +
+         static_cast<double>(mem.bytesWritten) * p.writeEnergyPerByteJ) /
+        t;
+    r.refreshW = p.refreshPowerW;
+    return r;
+}
+
+} // namespace citadel

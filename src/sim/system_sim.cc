@@ -1,0 +1,229 @@
+#include "sim/system_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace citadel {
+
+SystemSim::SystemSim(const SimConfig &cfg, const BenchmarkProfile &profile)
+    : cfg_(cfg), profile_(profile), mem_(cfg),
+      llc_(cfg.llcBytes, cfg.llcWays, cfg.geom.lineBytes)
+{
+    parityBase_ = cfg_.geom.totalLines();
+    for (u32 c = 0; c < cfg_.cores; ++c) {
+        Rng rng(cfg_.seed ^ (0x8CB92BA72F3D8DD7ull * (c + 1)));
+        cores_.emplace_back(
+            AddressStream(profile_, c, cfg_.geom.totalLines(),
+                          cfg_.seed + 31 * c),
+            rng);
+        sampleNextMiss(cores_.back());
+    }
+
+    // Warm the LLC so measurements start in steady state (the paper
+    // simulates a 1B-instruction slice of a long-running program; our
+    // scaled runs would otherwise spend most of their time filling a
+    // cold 8MB cache and never produce writebacks). Fills only; no
+    // timing, no stats-relevant parity traffic.
+    const u64 warm_fills = 2 * (cfg_.llcBytes / cfg_.geom.lineBytes);
+    for (u64 i = 0; i < warm_fills; ++i) {
+        Core &core = cores_[i % cores_.size()];
+        (void)llc_.fill(core.stream.nextLine(),
+                        core.rng.chance(profile_.writeFrac), false);
+    }
+}
+
+u64
+SystemSim::parityLineFor(u64 data_line) const
+{
+    const LineCoord c = mem_.addressMap().lineToCoord(data_line);
+    const StackGeometry &g = cfg_.geom;
+    return parityBase_ +
+           (static_cast<u64>(c.stack) * g.rowsPerBank + c.row) *
+               g.linesPerRow() +
+           c.col;
+}
+
+u64
+SystemSim::physicalFor(u64 line) const
+{
+    if (line < parityBase_)
+        return line;
+    const StackGeometry &g = cfg_.geom;
+    u64 idx = line - parityBase_;
+    LineCoord c;
+    c.col = static_cast<u32>(idx % g.linesPerRow());
+    idx /= g.linesPerRow();
+    c.row = static_cast<u32>(idx % g.rowsPerBank);
+    c.stack = static_cast<u32>(idx / g.rowsPerBank);
+    c.channel = c.row % g.channelsPerStack;
+    c.bank = (c.row / g.channelsPerStack) % g.banksPerChannel;
+    return mem_.addressMap().coordToLine(c);
+}
+
+void
+SystemSim::sampleNextMiss(Core &core)
+{
+    // Geometric gap between LLC misses with mean 1000/MPKI.
+    const double mean = 1000.0 / std::max(0.001, profile_.mpki);
+    const double gap = core.rng.exponential(1.0 / mean);
+    core.nextMissAt =
+        core.retired + std::max<u64>(1, static_cast<u64>(gap + 0.5));
+}
+
+bool
+SystemSim::processWriteback(u64 line, u64 cycle)
+{
+    if (!mem_.canAcceptWrite(line))
+        return false;
+
+    switch (cfg_.ras) {
+      case RasTraffic::None:
+        mem_.issueWrite(line, cycle);
+        break;
+
+      case RasTraffic::ThreeDPCached: {
+        // Read-before-write to form the parity delta (Fig 12 action 2).
+        mem_.issueRead(line, cycle); // system read, nobody waits on it
+        mem_.issueWrite(line, cycle);
+        const u64 parity = parityLineFor(line);
+        if (!llc_.probeParity(parity)) {
+            // Fig 12 action 4: fetch parity from memory, install in LLC.
+            mem_.issueRead(physicalFor(parity), cycle);
+            const Llc::Victim v = llc_.fill(parity, true, true);
+            if (v.valid && v.dirty)
+                pendingWritebacks_.push_back(v.addr);
+        }
+        break;
+      }
+
+      case RasTraffic::ThreeDPUncached: {
+        mem_.issueRead(line, cycle);
+        mem_.issueWrite(line, cycle);
+        const u64 parity = parityLineFor(line);
+        mem_.issueRead(physicalFor(parity), cycle);
+        if (mem_.canAcceptWrite(physicalFor(parity)))
+            mem_.issueWrite(physicalFor(parity), cycle);
+        else
+            pendingWritebacks_.push_back(parity);
+        break;
+      }
+    }
+    return true;
+}
+
+void
+SystemSim::issueMiss(Core &core, u32 core_idx, u64 cycle)
+{
+    u64 line = core.stream.nextLine();
+    // Parity lines occupy a reserved tag space; a data line address is
+    // always below parityBase_.
+    const u64 token = mem_.issueRead(line, cycle);
+    tokenToCore_[token] = core_idx;
+    ++core.outstanding;
+
+    const bool dirty = core.rng.chance(profile_.writeFrac);
+    const Llc::Victim v = llc_.fill(line, dirty, false);
+    if (v.valid && v.dirty) {
+        if (v.parity) {
+            // Evicted dirty parity line: write it back to the parity
+            // bank (3DP-cached mode only).
+            if (mem_.canAcceptWrite(physicalFor(v.addr)))
+                mem_.issueWrite(physicalFor(v.addr), cycle);
+            else
+                pendingWritebacks_.push_back(v.addr);
+        } else {
+            pendingWritebacks_.push_back(v.addr);
+        }
+    }
+}
+
+void
+SystemSim::coreTick(u32 core_idx, u64 cycle)
+{
+    Core &core = cores_[core_idx];
+    if (core.retired >= cfg_.insnsPerCore)
+        return;
+
+    u64 budget = cfg_.insnsPerMemCycle;
+    while (budget > 0 && core.retired < cfg_.insnsPerCore) {
+        if (core.retired < core.nextMissAt) {
+            const u64 step = std::min<u64>(
+                budget, core.nextMissAt - core.retired);
+            core.retired += step;
+            budget -= step;
+            continue;
+        }
+        // At a miss point: need an MLP slot and writeback headroom.
+        if (core.outstanding >= cfg_.mlp)
+            break;
+        if (pendingWritebacks_.size() > 2 * cfg_.writeQueueCap)
+            break; // write-buffer backpressure stalls the front-end
+        issueMiss(core, core_idx, cycle);
+        sampleNextMiss(core);
+    }
+}
+
+SimResult
+SystemSim::run()
+{
+    u64 cycle = 0;
+    const u64 total_insns =
+        static_cast<u64>(cfg_.cores) * cfg_.insnsPerCore;
+
+    auto all_done = [&] {
+        for (const Core &c : cores_)
+            if (c.retired < cfg_.insnsPerCore)
+                return false;
+        return true;
+    };
+
+    while (!all_done()) {
+        // Drain pending writebacks into the memory system.
+        while (!pendingWritebacks_.empty()) {
+            const u64 line = pendingWritebacks_.front();
+            bool ok;
+            if (line >= parityBase_) {
+                // Deferred parity writes go straight to the parity bank.
+                ok = mem_.canAcceptWrite(physicalFor(line));
+                if (ok)
+                    mem_.issueWrite(physicalFor(line), cycle);
+            } else {
+                ok = processWriteback(line, cycle);
+            }
+            if (!ok)
+                break;
+            pendingWritebacks_.pop_front();
+        }
+
+        for (u32 c = 0; c < cfg_.cores; ++c)
+            coreTick(c, cycle);
+
+        mem_.tick(cycle);
+        for (u64 token : mem_.drainCompletedReads(cycle)) {
+            auto it = tokenToCore_.find(token);
+            if (it == tokenToCore_.end())
+                continue; // system read (RBW / parity fetch)
+            Core &core = cores_[it->second];
+            if (core.outstanding == 0)
+                panic("system_sim: completion with no outstanding miss");
+            --core.outstanding;
+            tokenToCore_.erase(it);
+        }
+        ++cycle;
+
+        if (cycle > (1ull << 40))
+            panic("system_sim: runaway simulation");
+    }
+
+    SimResult res;
+    res.cycles = cycle;
+    res.insnsRetired = total_insns;
+    res.mem = mem_.counters();
+    res.llc = llc_.stats();
+    res.power = computePower(res.mem, res.cycles);
+    return res;
+}
+
+} // namespace citadel

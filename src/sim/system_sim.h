@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Top-level timing simulation: 8 cores in rate mode (all running the
+ * same benchmark, Section III-B) over the shared LLC and the stacked
+ * DRAM, with the RAS-traffic side effects of the configuration under
+ * study:
+ *
+ *  - baseline / striped symbol code: plain reads and writebacks;
+ *  - 3DP: every writeback performs a read-before-write (RBW, Fig 12)
+ *    and a Dimension-1 parity update that hits in the LLC or fetches
+ *    the parity line from DRAM (cached mode), or reads+writes parity
+ *    in DRAM directly (uncached mode).
+ */
+
+#ifndef CITADEL_SIM_SYSTEM_SIM_H
+#define CITADEL_SIM_SYSTEM_SIM_H
+
+#include <deque>
+
+#include "sim/llc.h"
+#include "sim/memory_system.h"
+#include "sim/power.h"
+#include "sim/workload.h"
+
+namespace citadel {
+
+/** Results of one timing-simulation run. */
+struct SimResult
+{
+    u64 cycles = 0;
+    u64 insnsRetired = 0;
+    MemCounters mem;
+    LlcStats llc;
+    PowerResult power;
+
+    double parityHitRate() const { return llc.parityHitRate(); }
+};
+
+/** One simulated system executing one benchmark in rate mode. */
+class SystemSim
+{
+  public:
+    SystemSim(const SimConfig &cfg, const BenchmarkProfile &profile);
+
+    /** Run to completion (every core retires its instruction budget). */
+    SimResult run();
+
+  private:
+    struct Core
+    {
+        u64 retired = 0;
+        u64 nextMissAt = 0;
+        u32 outstanding = 0;
+        AddressStream stream;
+        Rng rng;
+
+        Core(AddressStream s, Rng r)
+            : stream(std::move(s)), rng(r)
+        {
+        }
+    };
+
+    SimConfig cfg_;
+    const BenchmarkProfile &profile_;
+    MemorySystem mem_;
+    Llc llc_;
+    std::vector<Core> cores_;
+    std::unordered_map<u64, u32> tokenToCore_;
+    std::deque<u64> pendingWritebacks_; ///< Data lines awaiting WB issue.
+    u64 parityBase_;
+
+    /** Dimension-1 parity line address for a data line (Section VI-C):
+     *  one parity line covers the same (stack, row, col) slot across
+     *  every (die, bank) unit. */
+    u64 parityLineFor(u64 data_line) const;
+
+    /**
+     * Physical DRAM line backing an address: data lines map through
+     * unchanged; parity lines map into the distributed parity bank
+     * (bank/channel bits derived from the row so no single physical
+     * bank bottlenecks, Section VI-A footnote).
+     */
+    u64 physicalFor(u64 line) const;
+
+    void coreTick(u32 core_idx, u64 cycle);
+    void issueMiss(Core &core, u32 core_idx, u64 cycle);
+
+    /** Handle a dirty-line writeback including RAS side effects.
+     *  @return false if the memory could not accept it (retry later). */
+    bool processWriteback(u64 line, u64 cycle);
+
+    void sampleNextMiss(Core &core);
+};
+
+} // namespace citadel
+
+#endif // CITADEL_SIM_SYSTEM_SIM_H

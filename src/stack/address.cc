@@ -1,0 +1,125 @@
+#include "stack/address.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.h"
+
+namespace citadel {
+
+const char *
+stripingModeName(StripingMode mode)
+{
+    switch (mode) {
+      case StripingMode::SameBank:
+        return "Same-Bank";
+      case StripingMode::AcrossBanks:
+        return "Across-Banks";
+      case StripingMode::AcrossChannels:
+        return "Across-Channels";
+    }
+    return "?";
+}
+
+namespace {
+
+u32
+bitsFor(u64 n)
+{
+    return n <= 1 ? 0 : static_cast<u32>(std::bit_width(n - 1));
+}
+
+} // namespace
+
+AddressMap::AddressMap(const StackGeometry &geom) : geom_(geom)
+{
+    geom_.validate();
+    chBits_ = bitsFor(geom_.channelsPerStack);
+    bankBits_ = bitsFor(geom_.banksPerChannel);
+    const u32 col_bits = bitsFor(geom_.linesPerRow());
+    colLoBits_ = std::min(2u, col_bits);
+    colHiBits_ = col_bits - colLoBits_;
+    stackBits_ = bitsFor(geom_.stacks);
+    rowBits_ = bitsFor(geom_.rowsPerBank);
+}
+
+LineCoord
+AddressMap::lineToCoord(u64 line_idx) const
+{
+    if (line_idx >= geom_.totalLines())
+        panic("lineToCoord: index %llu out of range",
+              static_cast<unsigned long long>(line_idx));
+    LineCoord c;
+    u64 v = line_idx;
+    const u32 col_lo = static_cast<u32>(v & ((1ull << colLoBits_) - 1));
+    v >>= colLoBits_;
+    c.channel = static_cast<u32>(v & ((1ull << chBits_) - 1));
+    v >>= chBits_;
+    c.bank = static_cast<u32>(v & ((1ull << bankBits_) - 1));
+    v >>= bankBits_;
+    const u32 col_hi = static_cast<u32>(v & ((1ull << colHiBits_) - 1));
+    v >>= colHiBits_;
+    c.stack = static_cast<u32>(v & ((1ull << stackBits_) - 1));
+    v >>= stackBits_;
+    c.row = static_cast<u32>(v);
+    c.col = (col_hi << colLoBits_) | col_lo;
+    return c;
+}
+
+u64
+AddressMap::coordToLine(const LineCoord &c) const
+{
+    const u32 col_lo = c.col & ((1u << colLoBits_) - 1);
+    const u32 col_hi = c.col >> colLoBits_;
+    u64 v = c.row;
+    v = (v << stackBits_) | c.stack;
+    v = (v << colHiBits_) | col_hi;
+    v = (v << bankBits_) | c.bank;
+    v = (v << chBits_) | c.channel;
+    v = (v << colLoBits_) | col_lo;
+    return v;
+}
+
+std::vector<LineCoord>
+AddressMap::subRequests(const LineCoord &line, StripingMode mode) const
+{
+    std::vector<LineCoord> out;
+    switch (mode) {
+      case StripingMode::SameBank:
+        out.push_back(line);
+        break;
+      case StripingMode::AcrossBanks:
+        out.reserve(geom_.banksPerChannel);
+        for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
+            LineCoord c = line;
+            c.bank = b;
+            out.push_back(c);
+        }
+        break;
+      case StripingMode::AcrossChannels:
+        out.reserve(geom_.channelsPerStack);
+        for (u32 ch = 0; ch < geom_.channelsPerStack; ++ch) {
+            LineCoord c = line;
+            c.channel = ch;
+            out.push_back(c);
+        }
+        break;
+    }
+    return out;
+}
+
+u32
+AddressMap::fanout(StripingMode mode) const
+{
+    switch (mode) {
+      case StripingMode::SameBank:
+        return 1;
+      case StripingMode::AcrossBanks:
+        return geom_.banksPerChannel;
+      case StripingMode::AcrossChannels:
+        return geom_.channelsPerStack;
+    }
+    return 1;
+}
+
+} // namespace citadel

@@ -1,0 +1,126 @@
+#include "stack/geometry.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace citadel {
+
+namespace {
+
+u32
+log2Exact(u64 v, const char *what)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        fatal("geometry: %s (= %llu) must be a power of two", what,
+              static_cast<unsigned long long>(v));
+    return static_cast<u32>(std::countr_zero(v));
+}
+
+} // namespace
+
+u32
+StackGeometry::rowBits() const
+{
+    return log2Exact(rowsPerBank, "rowsPerBank");
+}
+
+u32
+StackGeometry::bankBits() const
+{
+    return log2Exact(banksPerChannel, "banksPerChannel");
+}
+
+u32
+StackGeometry::colBits() const
+{
+    return log2Exact(linesPerRow(), "linesPerRow");
+}
+
+u32
+StackGeometry::bitBits() const
+{
+    return log2Exact(bitsPerLine(), "bitsPerLine");
+}
+
+void
+StackGeometry::validate() const
+{
+    if (stacks == 0 || channelsPerStack == 0 || banksPerChannel == 0 ||
+        rowsPerBank == 0)
+        fatal("geometry: all dimensions must be non-zero");
+    if (rowBytes % lineBytes != 0)
+        fatal("geometry: rowBytes (%u) not a multiple of lineBytes (%u)",
+              rowBytes, lineBytes);
+    if (bitsPerLine() % dataTsvsPerChannel != 0)
+        fatal("geometry: line bits (%u) not a multiple of DTSV count (%u)",
+              bitsPerLine(), dataTsvsPerChannel);
+    // Force power-of-two shape so (value, mask) fault ranges are exact.
+    (void)rowBits();
+    (void)bankBits();
+    (void)colBits();
+    (void)bitBits();
+    (void)log2Exact(channelsPerStack, "channelsPerStack");
+}
+
+std::string
+StackGeometry::describe() const
+{
+    std::ostringstream os;
+    os << stacks << " stack(s) x " << channelsPerStack << " ch x "
+       << banksPerChannel << " banks, " << rowsPerBank << " rows x "
+       << rowBytes << "B (total "
+       << (totalBytes() >> 30) << " GiB, " << dataTsvsPerChannel
+       << " DTSV + " << addrTsvsPerChannel << " ATSV per channel)";
+    return os.str();
+}
+
+StackGeometry
+StackGeometry::hbm()
+{
+    return StackGeometry{};
+}
+
+StackGeometry
+StackGeometry::hmcLike()
+{
+    StackGeometry g;
+    g.channelsPerStack = 16;
+    g.banksPerChannel = 8;
+    g.rowsPerBank = 32768;
+    g.rowBytes = 2048;
+    g.dataTsvsPerChannel = 32;
+    g.addrTsvsPerChannel = 24;
+    return g;
+}
+
+StackGeometry
+StackGeometry::tezzaronLike()
+{
+    StackGeometry g;
+    g.channelsPerStack = 4;
+    g.banksPerChannel = 16;
+    g.rowsPerBank = 65536;
+    g.rowBytes = 2048;
+    g.dataTsvsPerChannel = 128;
+    g.addrTsvsPerChannel = 24;
+    return g;
+}
+
+StackGeometry
+StackGeometry::tiny()
+{
+    StackGeometry g;
+    g.stacks = 1;
+    g.channelsPerStack = 2;
+    g.banksPerChannel = 2;
+    g.rowsPerBank = 64;
+    g.rowBytes = 256;
+    g.lineBytes = 64;
+    g.dataTsvsPerChannel = 256;
+    g.addrTsvsPerChannel = 24;
+    return g;
+}
+
+} // namespace citadel

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Physical organization of the 3D-stacked memory system evaluated in the
+ * paper (Table II): HBM-like stacks in which each channel is fully
+ * contained in one DRAM die, with a ninth die for ECC/metadata.
+ *
+ * Coordinate system used everywhere in this codebase, most-significant
+ * first:
+ *
+ *   (stack, channel, bank, row, col, bit)
+ *
+ * where `channel` doubles as the die index (HBM: one channel per die),
+ * `col` is the 64B cache-line slot within a 2KB row (32 slots), and
+ * `bit` is the bit position within the 512-bit line.
+ */
+
+#ifndef CITADEL_STACK_GEOMETRY_H
+#define CITADEL_STACK_GEOMETRY_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace citadel {
+
+/**
+ * Stacked-memory geometry. Defaults reproduce the paper's baseline
+ * configuration (Table II): 2 stacks x 8 channels x 8 banks, 64K rows of
+ * 2KB per bank, 8Gb data dies, 256 data TSVs and 24 address/command TSVs
+ * per channel, 64B cache lines.
+ */
+struct StackGeometry
+{
+    u32 stacks = 2;           ///< Number of 3D stacks in the system.
+    u32 channelsPerStack = 8; ///< One channel per data die (HBM-style).
+    u32 banksPerChannel = 8;  ///< Banks within a channel/die.
+    u32 rowsPerBank = 65536;  ///< 64K rows of 2KB = 128MB per bank.
+    u32 rowBytes = 2048;      ///< Row-buffer (DRAM page) size.
+    u32 lineBytes = 64;       ///< Cache-line size.
+    u32 dataTsvsPerChannel = 256; ///< DTSV count (burst length 2).
+    u32 addrTsvsPerChannel = 24;  ///< Address/command TSV count.
+
+    /** 64B lines per 2KB row (32 in the baseline). */
+    u32 linesPerRow() const { return rowBytes / lineBytes; }
+
+    /** Bits in a cache line (512 in the baseline). */
+    u32 bitsPerLine() const { return lineBytes * kBitsPerByte; }
+
+    /** DDR burst beats to move one line over the DTSVs (2 in baseline). */
+    u32 burstLength() const
+    {
+        return bitsPerLine() / dataTsvsPerChannel;
+    }
+
+    u64 linesPerBank() const
+    {
+        return static_cast<u64>(rowsPerBank) * linesPerRow();
+    }
+
+    u64 bytesPerBank() const
+    {
+        return static_cast<u64>(rowsPerBank) * rowBytes;
+    }
+
+    u64 bytesPerChannel() const { return bytesPerBank() * banksPerChannel; }
+    u64 bytesPerStack() const
+    {
+        return bytesPerChannel() * channelsPerStack;
+    }
+    u64 totalBytes() const { return bytesPerStack() * stacks; }
+
+    u32 banksPerStack() const { return channelsPerStack * banksPerChannel; }
+    u32 totalChannels() const { return stacks * channelsPerStack; }
+    u32 totalBanks() const { return stacks * banksPerStack(); }
+
+    /** Total cache lines in the system. */
+    u64 totalLines() const { return totalBytes() / lineBytes; }
+
+    /** Bits needed to index rows within a bank. */
+    u32 rowBits() const;
+    /** Bits needed to index banks within a channel. */
+    u32 bankBits() const;
+    /** Bits needed to index line slots within a row. */
+    u32 colBits() const;
+    /** Bits needed to index a bit within a line. */
+    u32 bitBits() const;
+
+    /**
+     * Validate internal consistency (power-of-two dimensions, burst
+     * divisibility). Calls fatal() with a diagnostic on failure.
+     */
+    void validate() const;
+
+    /** Human-readable one-line summary. */
+    std::string describe() const;
+
+    /**
+     * A reduced geometry (2 stacks are overkill for bit-true parity
+     * tests): 1 stack, 2 channels, 2 banks, 64 rows of 256B. Used by the
+     * bit-accurate 3DP engine and property tests.
+     */
+    static StackGeometry tiny();
+
+    /** The paper's baseline HBM-like organization (same as default). */
+    static StackGeometry hbm();
+
+    /**
+     * HMC-like organization (Section II-C): more, narrower vaults --
+     * 16 channels per stack with 32K-row banks and a 32-lane
+     * high-speed link per vault. Same 8GB per stack.
+     */
+    static StackGeometry hmcLike();
+
+    /**
+     * Tezzaron Octopus-like organization: few wide ports -- 4 channels
+     * of 16 banks each, 128 data TSVs per channel. Same 8GB per stack.
+     */
+    static StackGeometry tezzaronLike();
+};
+
+/**
+ * Fully qualified location of a cache line (or a bit, when `bit` is
+ * meaningful) within the system.
+ */
+struct LineCoord
+{
+    u32 stack = 0;
+    u32 channel = 0;
+    u32 bank = 0;
+    u32 row = 0;
+    u32 col = 0;
+
+    bool operator==(const LineCoord &) const = default;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_STACK_GEOMETRY_H

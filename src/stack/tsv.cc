@@ -1,0 +1,61 @@
+#include "stack/tsv.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace citadel {
+
+TsvMap::TsvMap(const StackGeometry &geom) : geom_(geom)
+{
+    rowBits_ = geom_.rowBits();
+    bankBits_ = geom_.bankBits();
+    if (geom_.addrTsvsPerChannel < rowBits_ + bankBits_)
+        fatal("TsvMap: %u ATSVs cannot carry %u row + %u bank address bits",
+              geom_.addrTsvsPerChannel, rowBits_, bankBits_);
+}
+
+void
+TsvMap::dataTsvBitPattern(u32 d, u32 &value, u32 &mask) const
+{
+    if (d >= geom_.dataTsvsPerChannel)
+        panic("dataTsvBitPattern: DTSV %u out of range", d);
+    // With burst length L over N DTSVs, DTSV d carries line bits
+    // d, d + N, d + 2N, ... Matching "low log2(N) bits == d".
+    const u32 n = geom_.dataTsvsPerChannel;
+    value = d;
+    mask = n - 1; // N is power-of-two-checked by geometry validation
+    // Ensure the full bit index space is a multiple of N (burst exact).
+    if (geom_.bitsPerLine() % n != 0)
+        panic("dataTsvBitPattern: bits per line not a DTSV multiple");
+}
+
+AtsvEffect
+TsvMap::addrTsvEffect(u32 a) const
+{
+    if (a >= geom_.addrTsvsPerChannel)
+        panic("addrTsvEffect: ATSV %u out of range", a);
+    if (a < rowBits_)
+        return AtsvEffect::HalfRows;
+    if (a < rowBits_ + bankBits_)
+        return AtsvEffect::HalfBanks;
+    return AtsvEffect::WholeChannel;
+}
+
+u32
+TsvMap::addrTsvRowBit(u32 a) const
+{
+    if (addrTsvEffect(a) != AtsvEffect::HalfRows)
+        panic("addrTsvRowBit: ATSV %u is not a row-address TSV", a);
+    return a;
+}
+
+u32
+TsvMap::addrTsvBankBit(u32 a) const
+{
+    if (addrTsvEffect(a) != AtsvEffect::HalfBanks)
+        panic("addrTsvBankBit: ATSV %u is not a bank-address TSV", a);
+    return a - rowBits_;
+}
+
+} // namespace citadel

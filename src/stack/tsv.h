@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Physical semantics of through-silicon-via (TSV) faults (Section V).
+ *
+ * All banks in a channel share the channel's TSV bundle, so a TSV fault
+ * is a multi-bank event:
+ *
+ *  - A faulty data TSV d corrupts bits {d, d + 256} of *every* cache
+ *    line in the channel (burst length 2 over 256 DTSVs).
+ *  - A faulty address TSV is far more severe: a stuck row-address line
+ *    makes half of every bank's rows unreachable; a stuck bank-address
+ *    line removes half the banks; a stuck command TSV takes out the
+ *    whole channel.
+ */
+
+#ifndef CITADEL_STACK_TSV_H
+#define CITADEL_STACK_TSV_H
+
+#include "stack/geometry.h"
+
+namespace citadel {
+
+/** What a faulty address/command TSV takes out. */
+enum class AtsvEffect
+{
+    HalfRows,    ///< Row-address TSV: half the rows of every bank.
+    HalfBanks,   ///< Bank-address TSV: half the banks of the channel.
+    WholeChannel ///< Command TSV: channel unusable.
+};
+
+/**
+ * Interprets TSV indices for a given geometry. ATSVs are assigned, low
+ * index first, to row-address bits, then bank-address bits, then
+ * command lines.
+ */
+class TsvMap
+{
+  public:
+    explicit TsvMap(const StackGeometry &geom);
+
+    u32 numDataTsvs() const { return geom_.dataTsvsPerChannel; }
+    u32 numAddrTsvs() const { return geom_.addrTsvsPerChannel; }
+
+    /**
+     * Bit positions within a 512-bit line corrupted by data TSV `d`,
+     * expressed as a (value, mask) pair over the bit index: a bit b is
+     * affected iff (b ^ value) & mask == 0.
+     */
+    void dataTsvBitPattern(u32 d, u32 &value, u32 &mask) const;
+
+    /** Classify an address TSV index. */
+    AtsvEffect addrTsvEffect(u32 a) const;
+
+    /**
+     * For a HalfRows ATSV: which row-address bit it drives.
+     * @pre addrTsvEffect(a) == AtsvEffect::HalfRows
+     */
+    u32 addrTsvRowBit(u32 a) const;
+
+    /**
+     * For a HalfBanks ATSV: which bank-address bit it drives.
+     * @pre addrTsvEffect(a) == AtsvEffect::HalfBanks
+     */
+    u32 addrTsvBankBit(u32 a) const;
+
+  private:
+    StackGeometry geom_;
+    u32 rowBits_;
+    u32 bankBits_;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_STACK_TSV_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared helpers for constructing faults in scheme tests.
+ */
+
+#ifndef CITADEL_TESTS_FAULT_BUILDERS_H
+#define CITADEL_TESTS_FAULT_BUILDERS_H
+
+#include "faults/fault.h"
+
+namespace citadel {
+namespace testing_helpers {
+
+inline Fault
+baseFault(FaultClass cls, u32 s, u32 ch)
+{
+    Fault f;
+    f.cls = cls;
+    f.stack = DimSpec::exact(s);
+    f.channel = DimSpec::exact(ch);
+    f.bank = DimSpec::wild();
+    f.row = DimSpec::wild();
+    f.col = DimSpec::wild();
+    f.bit = DimSpec::wild();
+    return f;
+}
+
+inline Fault
+bitFault(u32 s, u32 ch, u32 b, u32 r, u32 c, u32 bit)
+{
+    Fault f = baseFault(FaultClass::Bit, s, ch);
+    f.bank = DimSpec::exact(b);
+    f.row = DimSpec::exact(r);
+    f.col = DimSpec::exact(c);
+    f.bit = DimSpec::exact(bit);
+    return f;
+}
+
+inline Fault
+wordFault(u32 s, u32 ch, u32 b, u32 r, u32 c, u32 word)
+{
+    Fault f = baseFault(FaultClass::Word, s, ch);
+    f.bank = DimSpec::exact(b);
+    f.row = DimSpec::exact(r);
+    f.col = DimSpec::exact(c);
+    f.bit = DimSpec::masked(word * 64, 0x1FF & ~63u);
+    return f;
+}
+
+inline Fault
+rowFault(u32 s, u32 ch, u32 b, u32 r)
+{
+    Fault f = baseFault(FaultClass::Row, s, ch);
+    f.bank = DimSpec::exact(b);
+    f.row = DimSpec::exact(r);
+    return f;
+}
+
+inline Fault
+columnFault(u32 s, u32 ch, u32 b, u32 c)
+{
+    Fault f = baseFault(FaultClass::Column, s, ch);
+    f.bank = DimSpec::exact(b);
+    f.col = DimSpec::exact(c);
+    return f;
+}
+
+inline Fault
+bankFault(u32 s, u32 ch, u32 b)
+{
+    Fault f = baseFault(FaultClass::Bank, s, ch);
+    f.bank = DimSpec::exact(b);
+    return f;
+}
+
+inline Fault
+channelFault(u32 s, u32 ch)
+{
+    Fault f = baseFault(FaultClass::Channel, s, ch);
+    f.fromTsv = true;
+    return f;
+}
+
+inline Fault
+dataTsvFault(u32 s, u32 ch, u32 tsv)
+{
+    Fault f = baseFault(FaultClass::DataTsv, s, ch);
+    f.fromTsv = true;
+    f.tsvIndex = tsv;
+    f.bit = DimSpec::masked(tsv, 0xFF);
+    return f;
+}
+
+inline Fault
+addrTsvRowFault(u32 s, u32 ch, u32 row_bit, u32 stuck)
+{
+    Fault f = baseFault(FaultClass::AddrTsvRow, s, ch);
+    f.fromTsv = true;
+    f.tsvIndex = row_bit;
+    f.row = DimSpec::masked(stuck << row_bit, 1u << row_bit);
+    return f;
+}
+
+} // namespace testing_helpers
+} // namespace citadel
+
+#endif // CITADEL_TESTS_FAULT_BUILDERS_H

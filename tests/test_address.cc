@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the address map: round-trip correctness, interleaving
+ * policy, and striping fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "stack/address.h"
+
+namespace citadel {
+namespace {
+
+class AddressTest : public ::testing::Test
+{
+  protected:
+    StackGeometry geom_;
+    AddressMap map_{geom_};
+};
+
+TEST_F(AddressTest, RoundTripSamples)
+{
+    const u64 total = geom_.totalLines();
+    for (u64 line : std::vector<u64>{0, 1, 63, 4096, total / 2, total - 1}) {
+        const LineCoord c = map_.lineToCoord(line);
+        EXPECT_EQ(map_.coordToLine(c), line) << "line " << line;
+        EXPECT_LT(c.stack, geom_.stacks);
+        EXPECT_LT(c.channel, geom_.channelsPerStack);
+        EXPECT_LT(c.bank, geom_.banksPerChannel);
+        EXPECT_LT(c.row, geom_.rowsPerBank);
+        EXPECT_LT(c.col, geom_.linesPerRow());
+    }
+}
+
+TEST_F(AddressTest, ConsecutiveLinesFormShortRowBursts)
+{
+    // Hybrid interleaving: a 4-line (256B) burst stays in one row of
+    // one bank, then the channel rotates.
+    for (u64 i = 0; i < 4; ++i) {
+        const LineCoord c = map_.lineToCoord(i);
+        EXPECT_EQ(c.col, i);
+        EXPECT_EQ(c.channel, 0u);
+        EXPECT_EQ(c.bank, 0u);
+        EXPECT_EQ(c.row, 0u);
+    }
+    EXPECT_EQ(map_.lineToCoord(4).channel, 1u);
+    EXPECT_EQ(map_.lineToCoord(4).col, 0u);
+    EXPECT_EQ(map_.lineToCoord(32).bank, 1u);
+    EXPECT_EQ(map_.lineToCoord(256).col, 4u); // col_hi advances
+}
+
+TEST_F(AddressTest, LinesFourApartShareParityGroup)
+{
+    // Data lines 4 apart (same col_lo, next channel) share
+    // (stack, row, col) -- i.e., one D1 parity line -- giving
+    // streaming writebacks their parity-cache locality (Section VI-C).
+    const LineCoord a = map_.lineToCoord(400);
+    const LineCoord b = map_.lineToCoord(400 + 4);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.col, b.col);
+    EXPECT_EQ(a.stack, b.stack);
+    EXPECT_NE(std::make_pair(a.channel, a.bank),
+              std::make_pair(b.channel, b.bank));
+    // A full 256-line block shares only 4 distinct parity lines.
+    std::set<std::pair<u32, u32>> parity;
+    for (u64 i = 0; i < 256; ++i) {
+        const LineCoord c = map_.lineToCoord(i);
+        parity.insert({c.row, c.col});
+    }
+    EXPECT_EQ(parity.size(), 4u);
+}
+
+TEST_F(AddressTest, OutOfRangeDies)
+{
+    EXPECT_DEATH(map_.lineToCoord(geom_.totalLines()), "out of range");
+}
+
+TEST_F(AddressTest, FanoutPerMode)
+{
+    EXPECT_EQ(map_.fanout(StripingMode::SameBank), 1u);
+    EXPECT_EQ(map_.fanout(StripingMode::AcrossBanks), 8u);
+    EXPECT_EQ(map_.fanout(StripingMode::AcrossChannels), 8u);
+}
+
+TEST_F(AddressTest, SameBankSubRequestIsIdentity)
+{
+    const LineCoord c = map_.lineToCoord(12345);
+    const auto subs = map_.subRequests(c, StripingMode::SameBank);
+    ASSERT_EQ(subs.size(), 1u);
+    EXPECT_EQ(subs[0], c);
+}
+
+TEST_F(AddressTest, AcrossBanksCoversAllBanksOfOneChannel)
+{
+    const LineCoord c = map_.lineToCoord(999);
+    const auto subs = map_.subRequests(c, StripingMode::AcrossBanks);
+    ASSERT_EQ(subs.size(), geom_.banksPerChannel);
+    std::set<u32> banks;
+    for (const auto &s : subs) {
+        EXPECT_EQ(s.channel, c.channel);
+        EXPECT_EQ(s.stack, c.stack);
+        EXPECT_EQ(s.row, c.row);
+        EXPECT_EQ(s.col, c.col);
+        banks.insert(s.bank);
+    }
+    EXPECT_EQ(banks.size(), geom_.banksPerChannel);
+}
+
+TEST_F(AddressTest, AcrossChannelsCoversAllChannelsOfOneStack)
+{
+    const LineCoord c = map_.lineToCoord(31337);
+    const auto subs = map_.subRequests(c, StripingMode::AcrossChannels);
+    ASSERT_EQ(subs.size(), geom_.channelsPerStack);
+    std::set<u32> channels;
+    for (const auto &s : subs) {
+        EXPECT_EQ(s.bank, c.bank);
+        EXPECT_EQ(s.stack, c.stack);
+        channels.insert(s.channel);
+    }
+    EXPECT_EQ(channels.size(), geom_.channelsPerStack);
+}
+
+TEST_F(AddressTest, ExhaustiveRoundTripOnTinyGeometry)
+{
+    StackGeometry tiny = StackGeometry::tiny();
+    AddressMap map(tiny);
+    for (u64 line = 0; line < tiny.totalLines(); ++line)
+        EXPECT_EQ(map.coordToLine(map.lineToCoord(line)), line);
+}
+
+TEST(StripingModeName, AllNamed)
+{
+    EXPECT_STREQ(stripingModeName(StripingMode::SameBank), "Same-Bank");
+    EXPECT_STREQ(stripingModeName(StripingMode::AcrossBanks),
+                 "Across-Banks");
+    EXPECT_STREQ(stripingModeName(StripingMode::AcrossChannels),
+                 "Across-Channels");
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the sparing analyses behind Fig 17 and Table III.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault_builders.h"
+#include "faults/analysis.h"
+
+namespace citadel {
+namespace {
+
+using namespace testing_helpers;
+
+class AnalysisTest : public ::testing::Test
+{
+  protected:
+    SystemConfig cfg_;
+    SparingAnalysis ana_{cfg_};
+};
+
+TEST_F(AnalysisTest, RowsRequiredPerClass)
+{
+    EXPECT_EQ(ana_.rowsRequired(bitFault(0, 1, 2, 3, 4, 5)), 1u);
+    EXPECT_EQ(ana_.rowsRequired(rowFault(0, 1, 2, 3)), 1u);
+    EXPECT_EQ(ana_.rowsRequired(columnFault(0, 1, 2, 3)), 65536u);
+    EXPECT_EQ(ana_.rowsRequired(bankFault(0, 1, 2)), 65536u);
+}
+
+TEST_F(AnalysisTest, UnionCountsDistinctRows)
+{
+    // Two faults in the same row count once.
+    EXPECT_EQ(ana_.rowsRequiredForBank({bitFault(0, 1, 2, 10, 0, 0),
+                                        wordFault(0, 1, 2, 10, 3, 1)}),
+              1u);
+    EXPECT_EQ(ana_.rowsRequiredForBank({rowFault(0, 1, 2, 10),
+                                        rowFault(0, 1, 2, 11)}),
+              2u);
+}
+
+TEST_F(AnalysisTest, SubArrayPlusRowInside)
+{
+    Fault sub = baseFault(FaultClass::SubArray, 0, 1);
+    sub.bank = DimSpec::exact(2);
+    const u32 full = (1u << 16) - 1;
+    sub.row = DimSpec::masked(4096, full & ~4095u);
+
+    // A row inside the sub-array adds nothing; outside adds one.
+    EXPECT_EQ(ana_.rowsRequiredForBank({sub, rowFault(0, 1, 2, 5000)}),
+              4096u);
+    EXPECT_EQ(ana_.rowsRequiredForBank({sub, rowFault(0, 1, 2, 100)}),
+              4097u);
+}
+
+TEST_F(AnalysisTest, BankFaultSaturates)
+{
+    EXPECT_EQ(ana_.rowsRequiredForBank({bankFault(0, 1, 2),
+                                        rowFault(0, 1, 2, 5)}),
+              65536u);
+}
+
+TEST_F(AnalysisTest, HistogramIsBimodal)
+{
+    // The paper's key observation (Fig 17): faulty banks need either
+    // very few rows (<= 4) or thousands (sub-array / full bank).
+    const SparingHistogram h = ana_.histogram(30000, 13);
+    ASSERT_GT(h.totalFaultyBanks, 500u);
+
+    const double small = h.fractionAtMost(4);
+    const double large = h.fractionAtLeast(1000);
+    EXPECT_NEAR(small + large, 1.0, 0.01); // nothing in between
+    EXPECT_GT(small, 0.3);
+    EXPECT_GT(large, 0.2);
+
+    // Sub-array and full-bank peaks both present.
+    EXPECT_GT(h.fraction(cfg_.subArrayRows), 0.03);
+    EXPECT_GT(h.fraction(cfg_.geom.rowsPerBank), 0.15);
+}
+
+TEST_F(AnalysisTest, HistogramFractionsNormalize)
+{
+    const SparingHistogram h = ana_.histogram(5000, 17);
+    double total = 0.0;
+    for (const auto &[rows, count] : h.counts) {
+        (void)rows;
+        total += static_cast<double>(count);
+    }
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(h.totalFaultyBanks));
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(h.counts.rbegin()->first), 1.0);
+}
+
+TEST_F(AnalysisTest, FailedBankDistributionMatchesTableIII)
+{
+    // Table III: 1 bank 66.98%, 2 banks 32.98%, 3+ 0.04%.
+    // With independent per-die bank rates the distribution is dominated
+    // by the single-failure case; allow generous tolerances at this
+    // trial count (the bench reproduces it tightly).
+    const FailedBankDistribution d = ana_.failedBanks(30000, 4, 19);
+    ASSERT_GT(d.systemsWithFailedBank, 1000u);
+    const double n = static_cast<double>(d.systemsWithFailedBank);
+    const double p1 = d.one / n;
+    const double p2 = d.two / n;
+    const double p3 = d.threePlus / n;
+    EXPECT_GT(p1, 0.8); // overwhelmingly one failed bank
+    EXPECT_LT(p2, 0.2);
+    EXPECT_LT(p3, 0.01);
+    EXPECT_NEAR(p1 + p2 + p3, 1.0, 1e-9);
+}
+
+TEST_F(AnalysisTest, EmptyHistogramSafe)
+{
+    SparingHistogram h;
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(10), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(10), 0.0);
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for DDS (Section VII): dual-granularity sparing decisions,
+ * budget enforcement, escalation from rows to banks, and absorption of
+ * faults in decommissioned banks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "citadel/dds.h"
+#include "citadel/three_d_parity.h"
+#include "fault_builders.h"
+
+namespace citadel {
+namespace {
+
+using namespace testing_helpers;
+
+class DdsTest : public ::testing::Test
+{
+  protected:
+    SystemConfig cfg_;
+
+    DdsScheme
+    makeScheme(u32 rows = 4, u32 banks = 2)
+    {
+        DdsScheme s(std::make_unique<MultiDimParityScheme>(3), rows,
+                    banks);
+        s.reset(cfg_);
+        return s;
+    }
+};
+
+TEST_F(DdsTest, RowFaultSparedAtScrub)
+{
+    auto s = makeScheme();
+    std::vector<Fault> active = {rowFault(0, 1, 2, 100)};
+    s.onScrub(active);
+    EXPECT_TRUE(active.empty());
+    EXPECT_EQ(s.stats().rowsSpared, 1u);
+    EXPECT_EQ(s.stats().banksSpared, 0u);
+}
+
+TEST_F(DdsTest, BitAndWordFaultsAreRowGrain)
+{
+    auto s = makeScheme();
+    std::vector<Fault> active = {bitFault(0, 1, 2, 10, 1, 1),
+                                 wordFault(0, 1, 2, 11, 1, 2)};
+    s.onScrub(active);
+    EXPECT_TRUE(active.empty());
+    EXPECT_EQ(s.stats().rowsSpared, 2u);
+}
+
+TEST_F(DdsTest, TransientFaultsAreNotSpared)
+{
+    auto s = makeScheme();
+    Fault t = rowFault(0, 1, 2, 100);
+    t.transient = true;
+    std::vector<Fault> active = {t};
+    s.onScrub(active);
+    // Transients are the scrubber's job, not DDS's.
+    EXPECT_EQ(active.size(), 1u);
+    EXPECT_EQ(s.stats().rowsSpared, 0u);
+}
+
+TEST_F(DdsTest, LargeFaultsGoToSpareBank)
+{
+    auto s = makeScheme();
+    std::vector<Fault> active = {bankFault(0, 1, 2)};
+    s.onScrub(active);
+    EXPECT_TRUE(active.empty());
+    EXPECT_EQ(s.stats().banksSpared, 1u);
+
+    // Column faults span every row: bank granularity too.
+    active = {columnFault(0, 1, 3, 5)};
+    s.onScrub(active);
+    EXPECT_TRUE(active.empty());
+    EXPECT_EQ(s.stats().banksSpared, 2u);
+}
+
+TEST_F(DdsTest, SubArrayGoesToSpareBank)
+{
+    auto s = makeScheme();
+    Fault sub = baseFault(FaultClass::SubArray, 0, 1);
+    sub.bank = DimSpec::exact(2);
+    const u32 full = (1u << 16) - 1;
+    sub.row = DimSpec::masked(8192, full & ~4095u);
+    std::vector<Fault> active = {sub};
+    s.onScrub(active);
+    EXPECT_TRUE(active.empty());
+    EXPECT_EQ(s.stats().banksSpared, 1u);
+    EXPECT_EQ(s.stats().rowsSpared, 0u);
+}
+
+TEST_F(DdsTest, FifthRowInBankEscalatesToBankSpare)
+{
+    auto s = makeScheme(4, 2);
+    std::vector<Fault> active;
+    for (u32 r = 0; r < 5; ++r)
+        active.push_back(rowFault(0, 1, 2, 100 + r));
+    s.onScrub(active);
+    EXPECT_TRUE(active.empty());
+    EXPECT_EQ(s.stats().rowsSpared, 4u);
+    EXPECT_EQ(s.stats().banksSpared, 1u);
+}
+
+TEST_F(DdsTest, RowBudgetIsPerBank)
+{
+    auto s = makeScheme(1, 2);
+    std::vector<Fault> active = {rowFault(0, 1, 2, 10),
+                                 rowFault(0, 1, 3, 10),
+                                 rowFault(0, 2, 2, 10)};
+    s.onScrub(active);
+    EXPECT_TRUE(active.empty());
+    EXPECT_EQ(s.stats().rowsSpared, 3u); // one per distinct bank
+}
+
+TEST_F(DdsTest, BankBudgetIsPerStack)
+{
+    auto s = makeScheme(4, 2);
+    std::vector<Fault> active = {bankFault(0, 1, 2), bankFault(0, 2, 3),
+                                 bankFault(0, 3, 4)};
+    s.onScrub(active);
+    // Third bank fault in stack 0 has no spare bank left.
+    EXPECT_EQ(active.size(), 1u);
+    EXPECT_EQ(s.stats().banksSpared, 2u);
+    EXPECT_EQ(s.stats().sparingDenied, 1u);
+
+    // Stack 1 still has its own budget.
+    std::vector<Fault> other = {bankFault(1, 1, 2)};
+    s.onScrub(other);
+    EXPECT_TRUE(other.empty());
+}
+
+TEST_F(DdsTest, ChannelFaultsCannotBeSpared)
+{
+    auto s = makeScheme();
+    std::vector<Fault> active = {channelFault(0, 1)};
+    s.onScrub(active);
+    EXPECT_EQ(active.size(), 1u);
+    EXPECT_EQ(s.stats().sparingDenied, 1u);
+}
+
+TEST_F(DdsTest, FaultsInSparedBankAbsorbed)
+{
+    auto s = makeScheme();
+    std::vector<Fault> active = {bankFault(0, 1, 2)};
+    s.onScrub(active);
+    ASSERT_TRUE(active.empty());
+    // A later fault inside the decommissioned bank is moot.
+    EXPECT_TRUE(s.absorb(rowFault(0, 1, 2, 7)));
+    EXPECT_TRUE(s.absorb(bitFault(0, 1, 2, 8, 1, 1)));
+    // Other banks are unaffected.
+    EXPECT_FALSE(s.absorb(rowFault(0, 1, 3, 7)));
+}
+
+TEST_F(DdsTest, PreventsAccumulationAcrossScrubs)
+{
+    // The headline DDS property: two bank faults in *different* scrub
+    // windows survive because the first is spared before the second
+    // arrives; without DDS they are fatal to 3DP.
+    auto s = makeScheme();
+    std::vector<Fault> active = {bankFault(0, 1, 2)};
+    EXPECT_FALSE(s.uncorrectable(active));
+    s.onScrub(active);
+    active.push_back(bankFault(0, 2, 5));
+    EXPECT_FALSE(s.uncorrectable(active));
+
+    // Same two faults within one window: uncorrectable.
+    MultiDimParityScheme bare(3);
+    bare.reset(cfg_);
+    EXPECT_TRUE(bare.uncorrectable(
+        {bankFault(0, 1, 2), bankFault(0, 2, 5)}));
+}
+
+TEST_F(DdsTest, ResetClearsState)
+{
+    auto s = makeScheme(4, 1);
+    std::vector<Fault> active = {bankFault(0, 1, 2)};
+    s.onScrub(active);
+    EXPECT_EQ(s.stats().banksSpared, 1u);
+    s.reset(cfg_);
+    EXPECT_EQ(s.stats().banksSpared, 0u);
+    EXPECT_FALSE(s.absorb(rowFault(0, 1, 2, 7))); // no longer spared
+    std::vector<Fault> again = {bankFault(0, 3, 4)};
+    s.onScrub(again);
+    EXPECT_TRUE(again.empty()); // budget restored
+}
+
+TEST_F(DdsTest, NameReflectsStack)
+{
+    auto s = makeScheme();
+    EXPECT_EQ(s.name(), "DDS+3DP");
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the fault-range algebra (DimSpec and Fault).
+ */
+
+#include <gtest/gtest.h>
+
+#include "faults/fault.h"
+
+namespace citadel {
+namespace {
+
+TEST(DimSpec, ExactMatchesOnlyItself)
+{
+    const DimSpec d = DimSpec::exact(5);
+    EXPECT_TRUE(d.matches(5));
+    EXPECT_FALSE(d.matches(4));
+    EXPECT_FALSE(d.matches(0));
+}
+
+TEST(DimSpec, WildMatchesEverything)
+{
+    const DimSpec d = DimSpec::wild();
+    for (u32 v : {0u, 1u, 1000u, 0xFFFFFFFFu})
+        EXPECT_TRUE(d.matches(v));
+}
+
+TEST(DimSpec, MaskedMatchesHalfSpace)
+{
+    // Significant bit 3, value 0: matches all v with bit 3 clear.
+    const DimSpec d = DimSpec::masked(0, 1u << 3);
+    EXPECT_TRUE(d.matches(0));
+    EXPECT_TRUE(d.matches(7));
+    EXPECT_FALSE(d.matches(8));
+    EXPECT_TRUE(d.matches(16));
+    EXPECT_FALSE(d.matches(24));
+}
+
+TEST(DimSpec, IntersectionRules)
+{
+    const DimSpec a = DimSpec::exact(5);
+    const DimSpec b = DimSpec::exact(6);
+    const DimSpec w = DimSpec::wild();
+    const DimSpec half0 = DimSpec::masked(0, 1); // even values
+    const DimSpec half1 = DimSpec::masked(1, 1); // odd values
+
+    EXPECT_TRUE(a.intersects(a));
+    EXPECT_FALSE(a.intersects(b));
+    EXPECT_TRUE(a.intersects(w));
+    EXPECT_TRUE(w.intersects(w));
+    EXPECT_FALSE(half0.intersects(half1));
+    EXPECT_TRUE(half0.intersects(w));
+    EXPECT_FALSE(half1.intersects(DimSpec::exact(4)));
+    EXPECT_TRUE(half1.intersects(DimSpec::exact(5)));
+}
+
+TEST(DimSpec, Coverage)
+{
+    EXPECT_EQ(DimSpec::wild().coverage(16), 65536u);
+    EXPECT_EQ(DimSpec::exact(3).coverage(16), 1u);
+    EXPECT_EQ(DimSpec::masked(0, 1).coverage(16), 32768u);
+    // Sub-array: 4096-row aligned block in a 64K-row bank.
+    const u32 full = (1u << 16) - 1;
+    EXPECT_EQ(DimSpec::masked(4096, full & ~4095u).coverage(16), 4096u);
+}
+
+class FaultTest : public ::testing::Test
+{
+  protected:
+    StackGeometry geom_;
+
+    Fault
+    bitFault(u32 s, u32 ch, u32 b, u32 r, u32 c, u32 bit)
+    {
+        Fault f;
+        f.cls = FaultClass::Bit;
+        f.stack = DimSpec::exact(s);
+        f.channel = DimSpec::exact(ch);
+        f.bank = DimSpec::exact(b);
+        f.row = DimSpec::exact(r);
+        f.col = DimSpec::exact(c);
+        f.bit = DimSpec::exact(bit);
+        return f;
+    }
+
+    Fault
+    bankFault(u32 s, u32 ch, u32 b)
+    {
+        Fault f;
+        f.cls = FaultClass::Bank;
+        f.stack = DimSpec::exact(s);
+        f.channel = DimSpec::exact(ch);
+        f.bank = DimSpec::exact(b);
+        f.row = DimSpec::wild();
+        f.col = DimSpec::wild();
+        f.bit = DimSpec::wild();
+        return f;
+    }
+};
+
+TEST_F(FaultTest, CoversSpecificBit)
+{
+    const Fault f = bitFault(0, 2, 3, 100, 7, 200);
+    EXPECT_TRUE(f.covers(0, 2, 3, 100, 7, 200));
+    EXPECT_FALSE(f.covers(0, 2, 3, 100, 7, 201));
+    EXPECT_FALSE(f.covers(1, 2, 3, 100, 7, 200));
+}
+
+TEST_F(FaultTest, BankFaultCoversWholeBank)
+{
+    const Fault f = bankFault(1, 4, 5);
+    EXPECT_TRUE(f.covers(1, 4, 5, 0, 0, 0));
+    EXPECT_TRUE(f.covers(1, 4, 5, 65535, 31, 511));
+    EXPECT_FALSE(f.covers(1, 4, 6, 0, 0, 0));
+    EXPECT_EQ(f.rowsCovered(geom_), 65536u);
+    EXPECT_EQ(f.banksCovered(geom_), 1u);
+    EXPECT_TRUE(f.singleBank(geom_));
+}
+
+TEST_F(FaultTest, IntersectsRequiresAllDims)
+{
+    const Fault a = bitFault(0, 1, 2, 3, 4, 5);
+    const Fault b = bitFault(0, 1, 2, 3, 4, 6); // differs only in bit
+    EXPECT_FALSE(a.intersects(b));
+    const Fault bank = bankFault(0, 1, 2);
+    EXPECT_TRUE(a.intersects(bank));
+    const Fault other_bank = bankFault(0, 1, 3);
+    EXPECT_FALSE(a.intersects(other_bank));
+}
+
+TEST_F(FaultTest, BitsPerLine)
+{
+    EXPECT_EQ(bitFault(0, 0, 0, 0, 0, 0).bitsPerLine(geom_), 1u);
+    EXPECT_EQ(bankFault(0, 0, 0).bitsPerLine(geom_), 512u);
+
+    Fault word = bitFault(0, 0, 0, 0, 0, 0);
+    word.cls = FaultClass::Word;
+    word.bit = DimSpec::masked(64, 0x1FF & ~63u);
+    EXPECT_EQ(word.bitsPerLine(geom_), 64u);
+
+    Fault dtsv = bankFault(0, 0, 0);
+    dtsv.cls = FaultClass::DataTsv;
+    dtsv.bank = DimSpec::wild();
+    dtsv.bit = DimSpec::masked(3, 0xFF);
+    EXPECT_EQ(dtsv.bitsPerLine(geom_), 2u);
+}
+
+TEST_F(FaultTest, ChannelsCovered)
+{
+    const Fault f = bankFault(0, 1, 2);
+    EXPECT_EQ(f.channelsCovered(geom_), 1u);
+    Fault ch = f;
+    ch.channel = DimSpec::wild();
+    EXPECT_EQ(ch.channelsCovered(geom_), geom_.channelsPerStack + 1);
+}
+
+TEST_F(FaultTest, DescribeIsInformative)
+{
+    const Fault f = bankFault(0, 1, 2);
+    const std::string d = f.describe();
+    EXPECT_NE(d.find("bank"), std::string::npos);
+    EXPECT_NE(d.find("ch=1"), std::string::npos);
+}
+
+TEST(FaultClassName, TsvClassification)
+{
+    EXPECT_TRUE(isTsvClass(FaultClass::DataTsv));
+    EXPECT_TRUE(isTsvClass(FaultClass::AddrTsvRow));
+    EXPECT_TRUE(isTsvClass(FaultClass::AddrTsvBank));
+    EXPECT_FALSE(isTsvClass(FaultClass::Bank));
+    EXPECT_FALSE(isTsvClass(FaultClass::Channel));
+    EXPECT_STREQ(faultClassName(FaultClass::SubArray), "subarray");
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for StackGeometry: baseline (Table II) derived quantities and
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stack/geometry.h"
+
+namespace citadel {
+namespace {
+
+TEST(Geometry, BaselineMatchesTableII)
+{
+    StackGeometry g;
+    g.validate();
+    EXPECT_EQ(g.stacks, 2u);
+    EXPECT_EQ(g.channelsPerStack, 8u);
+    EXPECT_EQ(g.banksPerChannel, 8u);
+    EXPECT_EQ(g.rowsPerBank, 65536u);
+    EXPECT_EQ(g.rowBytes, 2048u);
+    EXPECT_EQ(g.dataTsvsPerChannel, 256u);
+    EXPECT_EQ(g.addrTsvsPerChannel, 24u);
+
+    // 8Gb per die, 1GB per channel, 8GB per stack, 16GB total.
+    EXPECT_EQ(g.bytesPerBank(), 128ull << 20);
+    EXPECT_EQ(g.bytesPerChannel(), 1ull << 30);
+    EXPECT_EQ(g.bytesPerStack(), 8ull << 30);
+    EXPECT_EQ(g.totalBytes(), 16ull << 30);
+}
+
+TEST(Geometry, DerivedLineQuantities)
+{
+    StackGeometry g;
+    EXPECT_EQ(g.linesPerRow(), 32u);   // 2KB row / 64B line
+    EXPECT_EQ(g.bitsPerLine(), 512u);  // 64B
+    EXPECT_EQ(g.burstLength(), 2u);    // 512 bits over 256 DTSVs
+    EXPECT_EQ(g.linesPerBank(), 65536ull * 32);
+    EXPECT_EQ(g.totalLines(), (16ull << 30) / 64);
+}
+
+TEST(Geometry, BitWidths)
+{
+    StackGeometry g;
+    EXPECT_EQ(g.rowBits(), 16u);
+    EXPECT_EQ(g.bankBits(), 3u);
+    EXPECT_EQ(g.colBits(), 5u);
+    EXPECT_EQ(g.bitBits(), 9u);
+}
+
+TEST(Geometry, BankCounts)
+{
+    StackGeometry g;
+    EXPECT_EQ(g.banksPerStack(), 64u);
+    EXPECT_EQ(g.totalBanks(), 128u);
+    EXPECT_EQ(g.totalChannels(), 16u);
+}
+
+TEST(Geometry, TinyIsValidAndSmall)
+{
+    StackGeometry g = StackGeometry::tiny();
+    g.validate();
+    EXPECT_EQ(g.stacks, 1u);
+    EXPECT_LE(g.totalBytes(), 1ull << 20);
+    EXPECT_EQ(g.linesPerRow(), 4u);
+}
+
+TEST(Geometry, ValidateRejectsNonPowerOfTwoRows)
+{
+    StackGeometry g;
+    g.rowsPerBank = 60000;
+    EXPECT_DEATH(g.validate(), "power of two");
+}
+
+TEST(Geometry, ValidateRejectsZeroDims)
+{
+    StackGeometry g;
+    g.stacks = 0;
+    EXPECT_DEATH(g.validate(), "non-zero");
+}
+
+TEST(Geometry, ValidateRejectsIndivisibleRow)
+{
+    StackGeometry g;
+    g.rowBytes = 2000; // not a multiple of 64
+    EXPECT_DEATH(g.validate(), "multiple");
+}
+
+TEST(Geometry, DescribeMentionsShape)
+{
+    StackGeometry g;
+    const std::string d = g.describe();
+    EXPECT_NE(d.find("2 stack"), std::string::npos);
+    EXPECT_NE(d.find("16 GiB"), std::string::npos);
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parameterized sweeps: core invariants must hold on every supported
+ * stack organization (HBM-like baseline, HMC-like, Tezzaron-like and
+ * the tiny test geometry).
+ */
+
+#include <gtest/gtest.h>
+
+#include "citadel/three_d_parity.h"
+#include "faults/injector.h"
+#include "stack/address.h"
+#include "stack/tsv.h"
+
+namespace citadel {
+namespace {
+
+class GeometrySweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    StackGeometry
+    geom() const
+    {
+        switch (GetParam()) {
+          case 0: return StackGeometry::hbm();
+          case 1: return StackGeometry::hmcLike();
+          case 2: return StackGeometry::tezzaronLike();
+          default: return StackGeometry::tiny();
+        }
+    }
+};
+
+TEST_P(GeometrySweep, ValidatesAndHasConsistentCapacity)
+{
+    StackGeometry g = geom();
+    g.validate();
+    EXPECT_EQ(g.bytesPerBank() * g.banksPerChannel, g.bytesPerChannel());
+    EXPECT_EQ(g.bytesPerChannel() * g.channelsPerStack, g.bytesPerStack());
+    EXPECT_EQ(g.totalLines() * g.lineBytes, g.totalBytes());
+    EXPECT_GE(g.burstLength(), 1u);
+}
+
+TEST_P(GeometrySweep, AddressRoundTrip)
+{
+    const StackGeometry g = geom();
+    AddressMap map(g);
+    const u64 total = g.totalLines();
+    Rng rng(5 + GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const u64 line = rng.below(total);
+        EXPECT_EQ(map.coordToLine(map.lineToCoord(line)), line);
+    }
+}
+
+TEST_P(GeometrySweep, StripingFanoutCoversUnits)
+{
+    const StackGeometry g = geom();
+    AddressMap map(g);
+    const LineCoord c = map.lineToCoord(g.totalLines() / 3);
+    EXPECT_EQ(map.subRequests(c, StripingMode::AcrossBanks).size(),
+              g.banksPerChannel);
+    EXPECT_EQ(map.subRequests(c, StripingMode::AcrossChannels).size(),
+              g.channelsPerStack);
+}
+
+TEST_P(GeometrySweep, TsvMapHandlesGeometry)
+{
+    const StackGeometry g = geom();
+    TsvMap tsv(g);
+    u32 v = 0;
+    u32 m = 0;
+    tsv.dataTsvBitPattern(g.dataTsvsPerChannel - 1, v, m);
+    DimSpec d = DimSpec::masked(v, m);
+    u32 hits = 0;
+    for (u32 b = 0; b < g.bitsPerLine(); ++b)
+        hits += d.matches(b);
+    EXPECT_EQ(hits, g.burstLength());
+    EXPECT_EQ(tsv.addrTsvEffect(g.addrTsvsPerChannel - 1),
+              AtsvEffect::WholeChannel);
+}
+
+TEST_P(GeometrySweep, InjectorShapesHold)
+{
+    SystemConfig cfg;
+    cfg.geom = geom();
+    cfg.subArrayRows = std::min<u32>(cfg.geom.rowsPerBank, 16);
+    FaultInjector inj(cfg);
+    Rng rng(17 + GetParam());
+    const Fault bank = inj.makeFault(rng, FaultClass::Bank, 0, 1,
+                                     false, 0.0);
+    EXPECT_TRUE(bank.singleBank(cfg.geom));
+    const Fault tsvf = inj.makeTsvFault(rng, 0, 0.0);
+    EXPECT_TRUE(tsvf.fromTsv);
+}
+
+TEST_P(GeometrySweep, SingleFaultsCorrectableUnder3DP)
+{
+    SystemConfig cfg;
+    cfg.geom = geom();
+    cfg.subArrayRows = std::min<u32>(cfg.geom.rowsPerBank, 16);
+    FaultInjector inj(cfg);
+    MultiDimParityScheme scheme(3);
+    scheme.reset(cfg);
+    Rng rng(29 + GetParam());
+    for (FaultClass cls : {FaultClass::Bit, FaultClass::Word,
+                           FaultClass::Column, FaultClass::Row,
+                           FaultClass::Bank}) {
+        const Fault f = inj.makeFault(rng, cls, 0, 1, false, 0.0);
+        EXPECT_FALSE(scheme.uncorrectable({f})) << faultClassName(cls);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrganizations, GeometrySweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace citadel

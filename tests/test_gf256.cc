@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for GF(2^8) arithmetic: field axioms and table consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ecc/gf256.h"
+
+namespace citadel {
+namespace {
+
+TEST(Gf256, AddIsXor)
+{
+    EXPECT_EQ(Gf256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+    EXPECT_EQ(Gf256::add(7, 7), 0);
+}
+
+TEST(Gf256, MulIdentityAndZero)
+{
+    for (int a = 0; a < 256; ++a) {
+        EXPECT_EQ(Gf256::mul(static_cast<u8>(a), 1), a);
+        EXPECT_EQ(Gf256::mul(1, static_cast<u8>(a)), a);
+        EXPECT_EQ(Gf256::mul(static_cast<u8>(a), 0), 0);
+    }
+}
+
+TEST(Gf256, MulCommutative)
+{
+    for (int a = 1; a < 256; a += 7)
+        for (int b = 1; b < 256; b += 11)
+            EXPECT_EQ(Gf256::mul(static_cast<u8>(a), static_cast<u8>(b)),
+                      Gf256::mul(static_cast<u8>(b), static_cast<u8>(a)));
+}
+
+TEST(Gf256, MulAssociative)
+{
+    for (int a = 1; a < 256; a += 31)
+        for (int b = 1; b < 256; b += 37)
+            for (int c = 1; c < 256; c += 41) {
+                const u8 ab_c = Gf256::mul(
+                    Gf256::mul(static_cast<u8>(a), static_cast<u8>(b)),
+                    static_cast<u8>(c));
+                const u8 a_bc = Gf256::mul(
+                    static_cast<u8>(a),
+                    Gf256::mul(static_cast<u8>(b), static_cast<u8>(c)));
+                EXPECT_EQ(ab_c, a_bc);
+            }
+}
+
+TEST(Gf256, DistributesOverAdd)
+{
+    for (int a = 1; a < 256; a += 13)
+        for (int b = 0; b < 256; b += 17)
+            for (int c = 0; c < 256; c += 19) {
+                const u8 lhs = Gf256::mul(
+                    static_cast<u8>(a),
+                    Gf256::add(static_cast<u8>(b), static_cast<u8>(c)));
+                const u8 rhs = Gf256::add(
+                    Gf256::mul(static_cast<u8>(a), static_cast<u8>(b)),
+                    Gf256::mul(static_cast<u8>(a), static_cast<u8>(c)));
+                EXPECT_EQ(lhs, rhs);
+            }
+}
+
+TEST(Gf256, EveryNonZeroHasInverse)
+{
+    for (int a = 1; a < 256; ++a) {
+        const u8 inv = Gf256::inv(static_cast<u8>(a));
+        EXPECT_EQ(Gf256::mul(static_cast<u8>(a), inv), 1) << "a=" << a;
+    }
+}
+
+TEST(Gf256, DivIsMulByInverse)
+{
+    for (int a = 0; a < 256; a += 5)
+        for (int b = 1; b < 256; b += 9) {
+            const u8 q = Gf256::div(static_cast<u8>(a),
+                                    static_cast<u8>(b));
+            EXPECT_EQ(Gf256::mul(q, static_cast<u8>(b)), a);
+        }
+}
+
+TEST(Gf256, DivByZeroDies)
+{
+    EXPECT_DEATH(Gf256::div(5, 0), "div by zero");
+    EXPECT_DEATH(Gf256::inv(0), "inv of zero");
+}
+
+TEST(Gf256, AlphaGeneratesWholeField)
+{
+    // alpha = 2 generates all 255 non-zero elements.
+    bool seen[256] = {false};
+    for (u32 e = 0; e < 255; ++e) {
+        const u8 v = Gf256::alphaPow(e);
+        EXPECT_NE(v, 0);
+        EXPECT_FALSE(seen[v]) << "cycle shorter than 255 at e=" << e;
+        seen[v] = true;
+    }
+    EXPECT_EQ(Gf256::alphaPow(255), Gf256::alphaPow(0));
+}
+
+TEST(Gf256, LogInvertsAlphaPow)
+{
+    for (u32 e = 0; e < 255; ++e)
+        EXPECT_EQ(Gf256::log(Gf256::alphaPow(e)), e);
+}
+
+TEST(Gf256, PowMatchesRepeatedMul)
+{
+    for (int base = 1; base < 256; base += 23) {
+        u8 acc = 1;
+        for (u32 e = 0; e < 16; ++e) {
+            EXPECT_EQ(Gf256::pow(static_cast<u8>(base), e), acc);
+            acc = Gf256::mul(acc, static_cast<u8>(base));
+        }
+    }
+    EXPECT_EQ(Gf256::pow(0, 0), 1);
+    EXPECT_EQ(Gf256::pow(0, 5), 0);
+}
+
+} // namespace
+} // namespace citadel

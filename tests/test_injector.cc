@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the fault injector: arrival statistics match the FIT
+ * rates, fault ranges are well-formed per class, TSV faults follow the
+ * severity model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "faults/injector.h"
+
+namespace citadel {
+namespace {
+
+class InjectorTest : public ::testing::Test
+{
+  protected:
+    SystemConfig cfg_;
+
+    void
+    SetUp() override
+    {
+        cfg_.geom = StackGeometry{};
+    }
+};
+
+TEST_F(InjectorTest, ArrivalCountMatchesExpectation)
+{
+    cfg_.tsvDeviceFit = 0.0;
+    FaultInjector inj(cfg_);
+    Rng rng(1);
+    double total = 0.0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t)
+        total += static_cast<double>(inj.sampleLifetime(rng).size());
+
+    // Expected: per-die FIT over 18 dies for 7 years.
+    const double per_die =
+        fitToPerHour(cfg_.rates.totalFit()) * cfg_.lifetimeHours;
+    const double expected =
+        per_die * cfg_.geom.stacks * (cfg_.geom.channelsPerStack + 1);
+    EXPECT_NEAR(total / trials, expected, 0.05 * expected + 0.01);
+}
+
+TEST_F(InjectorTest, EventsAreTimeSorted)
+{
+    cfg_.tsvDeviceFit = 5000.0; // force plenty of events
+    FaultInjector inj(cfg_);
+    Rng rng(2);
+    for (int t = 0; t < 200; ++t) {
+        const auto ev = inj.sampleLifetime(rng);
+        for (std::size_t i = 1; i < ev.size(); ++i)
+            ASSERT_LE(ev[i - 1].timeHours, ev[i].timeHours);
+        for (const Fault &f : ev) {
+            ASSERT_GE(f.timeHours, 0.0);
+            ASSERT_LE(f.timeHours, cfg_.lifetimeHours);
+        }
+    }
+}
+
+TEST_F(InjectorTest, FaultShapePerClass)
+{
+    FaultInjector inj(cfg_);
+    Rng rng(3);
+    const StackGeometry &g = cfg_.geom;
+
+    const Fault bit =
+        inj.makeFault(rng, FaultClass::Bit, 0, 1, true, 0.0);
+    EXPECT_EQ(bit.rowsCovered(g), 1u);
+    EXPECT_EQ(bit.banksCovered(g), 1u);
+    EXPECT_EQ(bit.bitsPerLine(g), 1u);
+    EXPECT_TRUE(bit.transient);
+
+    const Fault word =
+        inj.makeFault(rng, FaultClass::Word, 0, 1, false, 0.0);
+    EXPECT_EQ(word.rowsCovered(g), 1u);
+    EXPECT_EQ(word.bitsPerLine(g), 64u);
+
+    const Fault col =
+        inj.makeFault(rng, FaultClass::Column, 0, 1, false, 0.0);
+    EXPECT_EQ(col.rowsCovered(g), g.rowsPerBank);
+    EXPECT_EQ(col.banksCovered(g), 1u);
+    EXPECT_EQ(col.col.mask, 0xFFFFFFFFu); // one line slot
+    EXPECT_EQ(col.bitsPerLine(g), 512u);
+
+    const Fault row =
+        inj.makeFault(rng, FaultClass::Row, 0, 1, false, 0.0);
+    EXPECT_EQ(row.rowsCovered(g), 1u);
+    EXPECT_EQ(row.bitsPerLine(g), 512u);
+
+    const Fault sub =
+        inj.makeFault(rng, FaultClass::SubArray, 0, 1, false, 0.0);
+    EXPECT_EQ(sub.rowsCovered(g), cfg_.subArrayRows);
+    EXPECT_EQ(sub.banksCovered(g), 1u);
+
+    const Fault bank =
+        inj.makeFault(rng, FaultClass::Bank, 0, 1, false, 0.0);
+    EXPECT_EQ(bank.rowsCovered(g), g.rowsPerBank);
+    EXPECT_TRUE(bank.singleBank(g));
+
+    const Fault chan =
+        inj.makeFault(rng, FaultClass::Channel, 0, 1, false, 0.0);
+    EXPECT_EQ(chan.banksCovered(g), g.banksPerChannel);
+}
+
+TEST_F(InjectorTest, TsvFaultsAreSevere)
+{
+    FaultInjector inj(cfg_);
+    Rng rng(4);
+    const StackGeometry &g = cfg_.geom;
+    std::map<FaultClass, int> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const Fault f = inj.makeTsvFault(rng, 0, 0.0);
+        ASSERT_TRUE(f.fromTsv);
+        ASSERT_FALSE(f.transient);
+        ++seen[f.cls];
+        switch (f.cls) {
+          case FaultClass::DataTsv:
+            // Two bits per line in every bank of the channel.
+            EXPECT_EQ(f.bitsPerLine(g), 2u);
+            EXPECT_EQ(f.banksCovered(g), g.banksPerChannel);
+            break;
+          case FaultClass::AddrTsvRow:
+            EXPECT_EQ(f.rowsCovered(g), g.rowsPerBank / 2);
+            EXPECT_EQ(f.banksCovered(g), g.banksPerChannel);
+            break;
+          case FaultClass::AddrTsvBank:
+            EXPECT_EQ(f.banksCovered(g), g.banksPerChannel / 2);
+            break;
+          case FaultClass::Channel:
+            EXPECT_EQ(f.banksCovered(g), g.banksPerChannel);
+            EXPECT_EQ(f.rowsCovered(g), g.rowsPerBank);
+            break;
+          default:
+            FAIL() << "unexpected TSV fault class";
+        }
+    }
+    // Data TSVs outnumber address TSVs ~256:24.
+    EXPECT_GT(seen[FaultClass::DataTsv], 1500);
+    EXPECT_GT(seen[FaultClass::AddrTsvRow], 10);
+}
+
+TEST_F(InjectorTest, SubArrayFractionControlsMix)
+{
+    cfg_.subArrayFraction = 1.0;
+    FaultInjector all_sub(cfg_);
+    Rng rng(5);
+    // With fraction 1.0 every bank-class fault materializes as the
+    // SubArray class.
+    int bank_count = 0;
+    for (int t = 0; t < 300; ++t)
+        for (const Fault &f : all_sub.sampleLifetime(rng))
+            if (f.cls == FaultClass::Bank)
+                ++bank_count;
+    EXPECT_EQ(bank_count, 0);
+}
+
+TEST_F(InjectorTest, TransientPermanentMixFollowsRates)
+{
+    cfg_.tsvDeviceFit = 0.0;
+    FaultInjector inj(cfg_);
+    Rng rng(6);
+    u64 transients = 0;
+    u64 permanents = 0;
+    for (int t = 0; t < 4000; ++t)
+        for (const Fault &f : inj.sampleLifetime(rng))
+            (f.transient ? transients : permanents)++;
+    const FitTable &r = cfg_.rates;
+    const double t_fit = r.bit.transientFit + r.word.transientFit +
+                         r.column.transientFit + r.row.transientFit +
+                         r.bank.transientFit;
+    const double expect_frac = t_fit / r.totalFit();
+    const double got_frac =
+        static_cast<double>(transients) /
+        static_cast<double>(transients + permanents);
+    EXPECT_NEAR(got_frac, expect_frac, 0.02);
+}
+
+TEST_F(InjectorTest, RejectsBadSubArrayConfig)
+{
+    cfg_.subArrayRows = 1000; // not a power of two
+    EXPECT_DEATH(FaultInjector inj(cfg_), "power of two");
+}
+
+} // namespace
+} // namespace citadel

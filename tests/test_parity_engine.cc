@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Bit-true 3DP engine tests, including the property-based cross-check:
+ * on randomized fault sets over a miniature stack, the analytic Monte
+ * Carlo evaluator and the literal XOR-reconstruction engine must agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "citadel/parity_engine.h"
+#include "citadel/three_d_parity.h"
+#include "fault_builders.h"
+#include "faults/injector.h"
+
+namespace citadel {
+namespace {
+
+using namespace testing_helpers;
+
+class ParityEngineTest : public ::testing::Test
+{
+  protected:
+    StackGeometry geom_ = StackGeometry::tiny();
+    SystemConfig cfg_;
+
+    void
+    SetUp() override
+    {
+        cfg_.geom = geom_;
+        cfg_.subArrayRows = 16;
+    }
+};
+
+TEST_F(ParityEngineTest, PristineMemoryHasNoCorruptLines)
+{
+    ParityEngine eng(geom_);
+    EXPECT_EQ(eng.corruptLineCount(), 0u);
+    EXPECT_TRUE(eng.reconstruct(3));
+}
+
+TEST_F(ParityEngineTest, SingleBitFaultDetectedAndFixed)
+{
+    ParityEngine eng(geom_);
+    eng.corrupt({bitFault(0, 1, 1, 10, 2, 77)});
+    EXPECT_EQ(eng.corruptLineCount(), 1u);
+    EXPECT_TRUE(eng.reconstruct(3));
+    EXPECT_EQ(eng.corruptLineCount(), 0u);
+}
+
+TEST_F(ParityEngineTest, RowFaultFixedViaAnyDimension)
+{
+    for (u32 dims : {1u, 2u, 3u}) {
+        ParityEngine eng(geom_);
+        eng.corrupt({rowFault(0, 1, 1, 20)});
+        EXPECT_EQ(eng.corruptLineCount(), geom_.linesPerRow());
+        EXPECT_TRUE(eng.reconstruct(dims)) << "dims=" << dims;
+    }
+}
+
+TEST_F(ParityEngineTest, BankFaultNeedsD1)
+{
+    ParityEngine eng(geom_);
+    eng.corrupt({bankFault(0, 1, 1)});
+    EXPECT_EQ(eng.corruptLineCount(),
+              static_cast<u64>(geom_.rowsPerBank) * geom_.linesPerRow());
+    EXPECT_TRUE(eng.reconstruct(1));
+}
+
+TEST_F(ParityEngineTest, ColumnFaultFixedViaD1)
+{
+    ParityEngine eng(geom_);
+    eng.corrupt({columnFault(0, 0, 1, 2)});
+    EXPECT_EQ(eng.corruptLineCount(), geom_.rowsPerBank);
+    EXPECT_TRUE(eng.reconstruct(1));
+}
+
+TEST_F(ParityEngineTest, TwoBankFaultsUnrecoverable)
+{
+    ParityEngine eng(geom_);
+    eng.corrupt({bankFault(0, 0, 0), bankFault(0, 1, 1)});
+    EXPECT_FALSE(eng.reconstruct(3));
+}
+
+TEST_F(ParityEngineTest, BankPlusBitRecoveredWithThreeDims)
+{
+    // Bit fault in a different die: D2 peels it, D1 fixes the bank.
+    ParityEngine eng(geom_);
+    eng.corrupt({bankFault(0, 0, 0), bitFault(0, 1, 1, 30, 1, 99)});
+    EXPECT_FALSE(eng.reconstruct(1));
+    eng.restore();
+    eng.corrupt({bankFault(0, 0, 0), bitFault(0, 1, 1, 30, 1, 99)});
+    EXPECT_TRUE(eng.reconstruct(2));
+}
+
+TEST_F(ParityEngineTest, RestoreResets)
+{
+    ParityEngine eng(geom_);
+    eng.corrupt({bankFault(0, 0, 0)});
+    EXPECT_GT(eng.corruptLineCount(), 0u);
+    eng.restore();
+    EXPECT_EQ(eng.corruptLineCount(), 0u);
+}
+
+TEST_F(ParityEngineTest, RejectsMultiStackGeometry)
+{
+    StackGeometry two = geom_;
+    two.stacks = 2;
+    EXPECT_DEATH(ParityEngine eng(two), "single-stack");
+}
+
+/**
+ * The core property test: for randomized fault sets the analytic
+ * evaluator's verdict must equal the bit-true engine's reconstruction
+ * outcome, for every dimension count. Skipped when overlapping faults
+ * cancel bit flips (the analytic model is conservatively pessimistic
+ * there; see DESIGN.md).
+ */
+class CrossCheck : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(CrossCheck, AnalyticMatchesBitTrue)
+{
+    const u32 dims = GetParam();
+    StackGeometry geom = StackGeometry::tiny();
+    SystemConfig cfg;
+    cfg.geom = geom;
+    cfg.subArrayRows = 16;
+    FaultInjector inj(cfg);
+    MultiDimParityScheme scheme(dims);
+    scheme.reset(cfg);
+    ParityEngine eng(geom);
+    Rng rng(1234 + dims);
+
+    const FaultClass classes[] = {
+        FaultClass::Bit,    FaultClass::Word, FaultClass::Column,
+        FaultClass::Row,    FaultClass::SubArray, FaultClass::Bank,
+        FaultClass::Channel};
+
+    int checked = 0;
+    for (int iter = 0; iter < 120; ++iter) {
+        const u32 nfaults = 1 + static_cast<u32>(rng.below(3));
+        std::vector<Fault> faults;
+        for (u32 i = 0; i < nfaults; ++i) {
+            const FaultClass cls =
+                classes[rng.below(std::size(classes))];
+            const u32 die =
+                static_cast<u32>(rng.below(geom.channelsPerStack + 1));
+            faults.push_back(inj.makeFault(rng, cls, 0, die,
+                                           /*transient=*/false, 0.0));
+        }
+
+        eng.restore();
+        eng.corrupt(faults);
+        if (eng.corruptLineCount() == 0)
+            continue; // overlapping flips cancelled; verdicts may differ
+
+        const bool engine_ok = eng.reconstruct(dims);
+        const bool analytic_unc = scheme.uncorrectable(faults);
+        ASSERT_EQ(engine_ok, !analytic_unc)
+            << "dims=" << dims << " iter=" << iter << " faults:"
+            << [&] {
+                   std::string s;
+                   for (const auto &f : faults)
+                       s += "\n  " + f.describe();
+                   return s;
+               }();
+        ++checked;
+    }
+    EXPECT_GT(checked, 80);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, CrossCheck, ::testing::Values(1u, 2u, 3u));
+
+} // namespace
+} // namespace citadel

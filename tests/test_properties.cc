@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Cross-cutting property tests: system-level invariants that must hold
+ * across schemes, seeds and configurations, checked with small Monte
+ * Carlo runs. These are the "no scheme composition can make things
+ * worse" guarantees the Citadel stack is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "citadel/citadel.h"
+#include "ecc/secded.h"
+
+namespace citadel {
+namespace {
+
+constexpr u64 kTrials = 2500;
+
+double
+failProb(SystemConfig cfg, RasScheme &scheme, u64 seed)
+{
+    MonteCarlo mc(cfg);
+    return mc.run(scheme, kTrials, seed).probFail().estimate;
+}
+
+class PropertyTest : public ::testing::TestWithParam<u64>
+{
+  protected:
+    u64 seed() const { return GetParam(); }
+};
+
+TEST_P(PropertyTest, TsvSwapNeverHurts)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    for (StripingMode m :
+         {StripingMode::SameBank, StripingMode::AcrossBanks,
+          StripingMode::AcrossChannels}) {
+        auto without = makeSymbolBaseline(m, false);
+        auto with = makeSymbolBaseline(m, true);
+        EXPECT_LE(failProb(cfg, *with, seed()),
+                  failProb(cfg, *without, seed()) + 1e-9)
+            << stripingModeName(m);
+    }
+}
+
+TEST_P(PropertyTest, DdsNeverHurts)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    auto bare = makeParityOnly(3, true);
+    auto with = makeCitadel();
+    EXPECT_LE(failProb(cfg, *with, seed()),
+              failProb(cfg, *bare, seed()) + 1e-9);
+}
+
+TEST_P(PropertyTest, MoreParityDimsNeverHurt)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 0.0;
+    double prev = 1.0;
+    for (u32 dims : {1u, 2u, 3u}) {
+        auto s = makeParityOnly(dims);
+        const double p = failProb(cfg, *s, seed());
+        EXPECT_LE(p, prev + 0.01) << "dims " << dims;
+        prev = p;
+    }
+}
+
+TEST_P(PropertyTest, FailureMonotoneInTsvRate)
+{
+    // Without repair, more TSV faults can only hurt.
+    auto scheme = makeSymbolBaseline(StripingMode::AcrossChannels, false);
+    double prev = -1.0;
+    for (double fit : {0.0, 500.0, 2000.0, 8000.0}) {
+        SystemConfig cfg;
+        cfg.tsvDeviceFit = fit;
+        const double p = failProb(cfg, *scheme, seed());
+        EXPECT_GE(p, prev - 0.01) << "fit " << fit;
+        prev = p;
+    }
+}
+
+TEST_P(PropertyTest, FailureMonotoneInLifetime)
+{
+    auto scheme = makeParityOnly(3);
+    double prev = -1.0;
+    for (double years : {1.0, 3.0, 7.0, 14.0}) {
+        SystemConfig cfg;
+        cfg.lifetimeHours = years * kHoursPerYear;
+        const double p = failProb(cfg, *scheme, seed());
+        EXPECT_GE(p, prev - 0.01) << years << " years";
+        prev = p;
+    }
+}
+
+TEST_P(PropertyTest, ShorterScrubNeverHurtsCitadel)
+{
+    auto scheme = makeCitadel();
+    SystemConfig slow;
+    slow.tsvDeviceFit = 1430.0;
+    slow.scrubHours = 24.0 * 30;
+    SystemConfig fast = slow;
+    fast.scrubHours = 12.0;
+    EXPECT_LE(failProb(fast, *scheme, seed()),
+              failProb(slow, *scheme, seed()) + 0.01);
+}
+
+TEST_P(PropertyTest, BiggerSpareBudgetsNeverHurt)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    CitadelOptions small;
+    small.spareBanksPerStack = 1;
+    CitadelOptions big;
+    big.spareBanksPerStack = 8;
+    auto s_small = makeCitadel(small);
+    auto s_big = makeCitadel(big);
+    EXPECT_LE(failProb(cfg, *s_big, seed()),
+              failProb(cfg, *s_small, seed()) + 1e-9);
+}
+
+TEST_P(PropertyTest, CitadelBeatsEveryBaseline)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    auto cit = makeCitadel();
+    const double p_cit = failProb(cfg, *cit, seed());
+
+    SecdedScheme secded;
+    auto bch = makeBchBaseline();
+    auto raid = makeRaid5Baseline();
+    auto ssc = makeSymbolBaseline(StripingMode::AcrossChannels, true);
+    EXPECT_LE(p_cit, failProb(cfg, secded, seed()) + 1e-9);
+    EXPECT_LE(p_cit, failProb(cfg, *bch, seed()) + 1e-9);
+    EXPECT_LE(p_cit, failProb(cfg, *raid, seed()) + 1e-9);
+    EXPECT_LE(p_cit, failProb(cfg, *ssc, seed()) + 1e-9);
+}
+
+TEST_P(PropertyTest, OrganizationIndependence)
+{
+    // Section II-C: Citadel protects HMC/Tezzaron-like organizations
+    // as effectively as the HBM-like baseline.
+    for (const StackGeometry &g :
+         {StackGeometry::hbm(), StackGeometry::hmcLike(),
+          StackGeometry::tezzaronLike()}) {
+        SystemConfig cfg;
+        cfg.geom = g;
+        cfg.tsvDeviceFit = 1430.0;
+        auto cit = makeCitadel();
+        EXPECT_LT(failProb(cfg, *cit, seed()), 0.01) << g.describe();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+} // namespace
+} // namespace citadel

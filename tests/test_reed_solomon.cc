@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the Reed-Solomon codec, including the ChipKill-like
+ * configuration the paper's baselines assume: parameterized sweeps over
+ * code shapes, random error/erasure patterns, and capability limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "ecc/reed_solomon.h"
+
+namespace citadel {
+namespace {
+
+std::vector<u8>
+randomData(Rng &rng, u32 k)
+{
+    std::vector<u8> d(k);
+    for (auto &b : d)
+        b = static_cast<u8>(rng.next());
+    return d;
+}
+
+TEST(ReedSolomon, EncodeIsSystematic)
+{
+    RsCode rs(18, 16);
+    Rng rng(1);
+    const auto data = randomData(rng, 16);
+    const auto cw = rs.encode(data);
+    ASSERT_EQ(cw.size(), 18u);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), cw.begin()));
+    EXPECT_TRUE(rs.isCodeword(cw));
+}
+
+TEST(ReedSolomon, CleanDecodeReturnsData)
+{
+    RsCode rs(72, 64);
+    Rng rng(2);
+    const auto data = randomData(rng, 64);
+    const auto decoded = rs.decode(rs.encode(data));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomon, InvalidParamsDie)
+{
+    EXPECT_DEATH(RsCode(300, 16), "invalid");
+    EXPECT_DEATH(RsCode(16, 16), "invalid");
+    EXPECT_DEATH(RsCode(16, 0), "invalid");
+}
+
+struct RsShape
+{
+    u32 n;
+    u32 k;
+};
+
+class RsSweep : public ::testing::TestWithParam<RsShape>
+{
+};
+
+TEST_P(RsSweep, CorrectsUpToTErrors)
+{
+    const auto [n, k] = GetParam();
+    RsCode rs(n, k);
+    Rng rng(n * 1000 + k);
+    for (u32 errs = 0; errs <= rs.t(); ++errs) {
+        for (int iter = 0; iter < 20; ++iter) {
+            const auto data = randomData(rng, k);
+            auto cw = rs.encode(data);
+            std::set<u32> pos;
+            while (pos.size() < errs)
+                pos.insert(static_cast<u32>(rng.below(n)));
+            for (u32 p : pos)
+                cw[p] ^= static_cast<u8>(1 + rng.below(255));
+            const auto decoded = rs.decode(cw);
+            ASSERT_TRUE(decoded.has_value())
+                << "n=" << n << " k=" << k << " errs=" << errs;
+            EXPECT_EQ(*decoded, data);
+        }
+    }
+}
+
+TEST_P(RsSweep, DetectsBeyondCapability)
+{
+    const auto [n, k] = GetParam();
+    RsCode rs(n, k);
+    Rng rng(n * 2000 + k);
+    // t+1 errors must never be silently miscorrected to wrong data;
+    // decoding may fail (preferred) or -- astronomically rarely --
+    // land on another codeword. With random patterns we accept only
+    // explicit failure here.
+    int wrong = 0;
+    for (int iter = 0; iter < 50; ++iter) {
+        const auto data = randomData(rng, k);
+        auto cw = rs.encode(data);
+        std::set<u32> pos;
+        while (pos.size() < rs.t() + 1)
+            pos.insert(static_cast<u32>(rng.below(n)));
+        for (u32 p : pos)
+            cw[p] ^= static_cast<u8>(1 + rng.below(255));
+        const auto decoded = rs.decode(cw);
+        if (decoded && *decoded != data)
+            ++wrong;
+    }
+    // Miscorrection (decoding "success" with wrong data) is possible in
+    // principle for (t+1)-error patterns, but must be rare. Minimum
+    // distance shrinks with n-k, so t=1 codes alias somewhat more often.
+    EXPECT_LE(wrong, rs.t() == 1 ? 8 : 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RsSweep,
+                         ::testing::Values(RsShape{18, 16},
+                                           RsShape{72, 64},
+                                           RsShape{36, 32},
+                                           RsShape{255, 223},
+                                           RsShape{10, 4}));
+
+TEST(ReedSolomon, ErasureDecodingUsesFullDistance)
+{
+    // n-k erasures at known positions are correctable (2e + f <= n-k).
+    RsCode rs(18, 16);
+    Rng rng(7);
+    const auto data = randomData(rng, 16);
+    auto cw = rs.encode(data);
+    cw[3] ^= 0x55;
+    cw[9] ^= 0xAA;
+    const auto decoded = rs.decode(cw, {3, 9});
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomon, ChipKillConfigurationCorrectsOneSymbol)
+{
+    // The paper's abstraction: one 8-bit symbol position per bank; a
+    // bank failure corrupts exactly one symbol of each codeword, which
+    // RS with 2 check symbols corrects.
+    RsCode rs(10, 8); // 8 data banks + 2 check symbols
+    Rng rng(8);
+    for (u32 dead_bank = 0; dead_bank < 8; ++dead_bank) {
+        const auto data = randomData(rng, 8);
+        auto cw = rs.encode(data);
+        cw[dead_bank] = static_cast<u8>(rng.next()); // arbitrary garbage
+        const auto decoded = rs.decode(cw);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, data);
+    }
+}
+
+TEST(ReedSolomon, ChipKillTwoDeadBanksFail)
+{
+    RsCode rs(10, 8);
+    Rng rng(9);
+    int failures = 0;
+    for (int iter = 0; iter < 40; ++iter) {
+        const auto data = randomData(rng, 8);
+        auto cw = rs.encode(data);
+        cw[1] ^= static_cast<u8>(1 + rng.below(255));
+        cw[5] ^= static_cast<u8>(1 + rng.below(255));
+        const auto decoded = rs.decode(cw);
+        if (!decoded || *decoded != data)
+            ++failures;
+    }
+    // Two corrupted symbol positions exceed single-symbol correction.
+    EXPECT_GE(failures, 38);
+}
+
+TEST(ReedSolomon, TooManyErasuresRejected)
+{
+    RsCode rs(10, 8);
+    Rng rng(10);
+    const auto data = randomData(rng, 8);
+    auto cw = rs.encode(data);
+    EXPECT_FALSE(rs.decode(cw, {0, 1, 2}).has_value());
+}
+
+TEST(ReedSolomon, WrongLengthRejected)
+{
+    RsCode rs(10, 8);
+    std::vector<u8> short_cw(9, 0);
+    EXPECT_FALSE(rs.decode(short_cw).has_value());
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit and statistical tests for the xoshiro256** RNG and its samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace citadel {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    std::set<u64> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r.next());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    StreamingStats s;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        s.add(u);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowIsUnbiased)
+{
+    Rng r(11);
+    const u64 n = 10;
+    std::vector<u64> counts(n, 0);
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[r.below(n)];
+    for (u64 c : counts)
+        EXPECT_NEAR(static_cast<double>(c), trials / 10.0,
+                    5.0 * std::sqrt(trials / 10.0));
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng r(12);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng r(13);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const u64 v = r.inRange(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(14);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-1.0));
+        EXPECT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(15);
+    int hits = 0;
+    const int trials = 40000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.015);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(16);
+    StreamingStats s;
+    const double rate = 2.5;
+    for (int i = 0; i < 40000; ++i)
+        s.add(r.exponential(rate));
+    EXPECT_NEAR(s.mean(), 1.0 / rate, 0.02);
+}
+
+TEST(Rng, PoissonZeroLambda)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonSmallLambdaMoments)
+{
+    Rng r(18);
+    const double lambda = 0.25; // typical per-die fault count regime
+    StreamingStats s;
+    for (int i = 0; i < 80000; ++i)
+        s.add(static_cast<double>(r.poisson(lambda)));
+    EXPECT_NEAR(s.mean(), lambda, 0.01);
+    EXPECT_NEAR(s.variance(), lambda, 0.02);
+}
+
+TEST(Rng, PoissonModerateLambdaMoments)
+{
+    Rng r(19);
+    const double lambda = 8.0;
+    StreamingStats s;
+    for (int i = 0; i < 40000; ++i)
+        s.add(static_cast<double>(r.poisson(lambda)));
+    EXPECT_NEAR(s.mean(), lambda, 0.1);
+    EXPECT_NEAR(s.variance(), lambda, 0.35);
+}
+
+TEST(Rng, PoissonLargeLambdaNormalPath)
+{
+    Rng r(20);
+    const double lambda = 200.0;
+    StreamingStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(static_cast<double>(r.poisson(lambda)));
+    EXPECT_NEAR(s.mean(), lambda, 1.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(lambda), 0.6);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng r(21);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    const int trials = 40000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[r.discrete(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.25, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.75, 0.01);
+}
+
+TEST(Rng, DiscreteAllZeroThrows)
+{
+    Rng r(22);
+    std::vector<double> w = {0.0, 0.0};
+    EXPECT_THROW(r.discrete(w), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(33);
+    Rng child = a.split();
+    // The child must neither mirror the parent nor collapse.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == child.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the statistics toolkit (streaming moments, Wilson CI,
+ * geometric mean).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace citadel {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero)
+{
+    StreamingStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, SingleSample)
+{
+    StreamingStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(StreamingStats, KnownMoments)
+{
+    StreamingStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, NegativeValues)
+{
+    StreamingStats s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_NEAR(s.variance(), 18.0, 1e-12);
+}
+
+TEST(Wilson, ZeroTrials)
+{
+    const Proportion p = wilson(0, 0);
+    EXPECT_EQ(p.trials, 0u);
+    EXPECT_DOUBLE_EQ(p.estimate, 0.0);
+}
+
+TEST(Wilson, ZeroSuccessesHasPositiveUpperBound)
+{
+    const Proportion p = wilson(0, 1000);
+    EXPECT_DOUBLE_EQ(p.estimate, 0.0);
+    EXPECT_NEAR(p.lo95, 0.0, 1e-12);
+    EXPECT_GT(p.hi95, 0.0);
+    EXPECT_LT(p.hi95, 0.01); // rule of three: ~3/n
+}
+
+TEST(Wilson, AllSuccesses)
+{
+    const Proportion p = wilson(1000, 1000);
+    EXPECT_DOUBLE_EQ(p.estimate, 1.0);
+    EXPECT_LT(p.lo95, 1.0);
+    EXPECT_DOUBLE_EQ(p.hi95, 1.0);
+}
+
+TEST(Wilson, CoversTrueProportion)
+{
+    const Proportion p = wilson(500, 1000);
+    EXPECT_NEAR(p.estimate, 0.5, 1e-12);
+    EXPECT_LT(p.lo95, 0.5);
+    EXPECT_GT(p.hi95, 0.5);
+    // Interval width ~ 2 * 1.96 * sqrt(0.25/1000) ~ 0.062.
+    EXPECT_NEAR(p.hi95 - p.lo95, 0.062, 0.005);
+}
+
+TEST(Wilson, IntervalShrinksWithTrials)
+{
+    const Proportion small = wilson(5, 100);
+    const Proportion big = wilson(500, 10000);
+    EXPECT_LT(big.hi95 - big.lo95, small.hi95 - small.lo95);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, InvariantUnderPermutation)
+{
+    EXPECT_NEAR(geomean({1.5, 2.5, 9.0}), geomean({9.0, 1.5, 2.5}), 1e-12);
+}
+
+TEST(Mean, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+} // namespace
+} // namespace citadel

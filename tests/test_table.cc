@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the ASCII table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace citadel {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.5, 2), "1.50");
+    EXPECT_EQ(Table::num(0.0, 2), "0.00");
+    // Tiny magnitudes switch to scientific notation.
+    EXPECT_NE(Table::num(1e-7, 2).find('e'), std::string::npos);
+    EXPECT_NE(Table::num(1e9, 2).find('e'), std::string::npos);
+}
+
+TEST(Table, ProbAndPct)
+{
+    EXPECT_EQ(Table::prob(0.00123), "1.230e-03");
+    EXPECT_EQ(Table::pct(0.5), "50.00%");
+}
+
+TEST(Table, RowArityMismatchDies)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "Figure 4");
+    EXPECT_NE(os.str().find("Figure 4"), std::string::npos);
+}
+
+} // namespace
+} // namespace citadel

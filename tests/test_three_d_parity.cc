@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the analytic 3DP evaluator (Section VI): single faults of
+ * every granularity are correctable, the dimension-count ablation
+ * behaves as Fig 14 expects, and multi-fault peeling handles the
+ * paper's "two faults disambiguated by another dimension" cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "citadel/three_d_parity.h"
+#include "fault_builders.h"
+
+namespace citadel {
+namespace {
+
+using namespace testing_helpers;
+
+class ThreeDPTest : public ::testing::Test
+{
+  protected:
+    SystemConfig cfg_;
+
+    bool
+    unc(u32 dims, std::vector<Fault> faults)
+    {
+        MultiDimParityScheme s(dims);
+        s.reset(cfg_);
+        return s.uncorrectable(faults);
+    }
+};
+
+TEST_F(ThreeDPTest, SingleFaultsOfEveryGranularityCorrectable)
+{
+    for (u32 dims : {1u, 2u, 3u}) {
+        EXPECT_FALSE(unc(dims, {bitFault(0, 1, 2, 3, 4, 5)})) << dims;
+        EXPECT_FALSE(unc(dims, {wordFault(0, 1, 2, 3, 4, 1)})) << dims;
+        EXPECT_FALSE(unc(dims, {rowFault(0, 1, 2, 3)})) << dims;
+        EXPECT_FALSE(unc(dims, {columnFault(0, 1, 2, 3)})) << dims;
+        EXPECT_FALSE(unc(dims, {bankFault(0, 1, 2)})) << dims;
+    }
+}
+
+TEST_F(ThreeDPTest, ChannelAndTsvFaultsUncorrectableWithoutSwap)
+{
+    // Multi-bank faults exceed one unknown unit per D1 group.
+    EXPECT_TRUE(unc(3, {channelFault(0, 1)}));
+    EXPECT_TRUE(unc(3, {dataTsvFault(0, 1, 7)}));
+    EXPECT_TRUE(unc(3, {addrTsvRowFault(0, 1, 9, 1)}));
+}
+
+TEST_F(ThreeDPTest, TwoBankFaultsDefeatEvenThreeDims)
+{
+    // Both banks collide in every D1 row group; D2/D3 cannot fold
+    // multi-row unknowns.
+    EXPECT_TRUE(unc(3, {bankFault(0, 1, 2), bankFault(0, 2, 5)}));
+}
+
+TEST_F(ThreeDPTest, BankPlusBitIsWhereDimensionsMatter)
+{
+    // The Fig 14 motivation: 1DP dies on bank + bit; 2DP survives when
+    // the bit fault sits in a different die.
+    const auto faults = std::vector<Fault>{
+        bankFault(0, 1, 2), bitFault(0, 3, 4, 100, 5, 6)};
+    EXPECT_TRUE(unc(1, faults));
+    EXPECT_FALSE(unc(2, faults));
+    EXPECT_FALSE(unc(3, faults));
+}
+
+TEST_F(ThreeDPTest, BankPlusBitSameDieNeedsD3)
+{
+    // Bit fault in the same die as the bank fault: D2's die group is
+    // contaminated; D3 (same bank position across dies) disambiguates.
+    const auto faults = std::vector<Fault>{
+        bankFault(0, 1, 2), bitFault(0, 1, 4, 100, 5, 6)};
+    EXPECT_TRUE(unc(1, faults));
+    EXPECT_TRUE(unc(2, faults));
+    EXPECT_FALSE(unc(3, faults));
+}
+
+TEST_F(ThreeDPTest, BankPlusBitSameDieSameBankPosition)
+{
+    // Same die AND same bank position is impossible for two distinct
+    // units; same die + same bank = same unit, which D1 handles.
+    const auto faults = std::vector<Fault>{
+        bankFault(0, 1, 2), bitFault(0, 1, 2, 100, 5, 6)};
+    EXPECT_FALSE(unc(1, faults));
+}
+
+TEST_F(ThreeDPTest, RowRowSameRowIndexDifferentDies)
+{
+    // Two row faults at the same row index in different dies collide in
+    // D1 and in nothing else if bank positions differ.
+    const auto faults = std::vector<Fault>{rowFault(0, 1, 2, 50),
+                                           rowFault(0, 3, 4, 50)};
+    EXPECT_TRUE(unc(1, faults));
+    EXPECT_FALSE(unc(2, faults));
+}
+
+TEST_F(ThreeDPTest, RowRowSameDieOverlappingColumns)
+{
+    // Same die, same row index, different banks: D1 collides (same row
+    // group), D2 collides (same die, both full-row column extent), D3
+    // resolves (different bank positions).
+    const auto faults = std::vector<Fault>{rowFault(0, 1, 2, 50),
+                                           rowFault(0, 1, 3, 50)};
+    EXPECT_TRUE(unc(1, faults));
+    EXPECT_TRUE(unc(2, faults));
+    EXPECT_FALSE(unc(3, faults));
+}
+
+TEST_F(ThreeDPTest, ThreeWayCollisionStillPeels)
+{
+    // Three row faults at one row index: the (die 1, bank 3) fault has
+    // a clean D3 group, peels first, and unravels the rest. This is
+    // the "highly unlikely to fall into the same block in the other
+    // two dimensions" property of Section VI.
+    const auto faults = std::vector<Fault>{
+        rowFault(0, 1, 2, 50),  // the victim
+        rowFault(0, 1, 3, 50),  // same die, same row
+        rowFault(0, 4, 2, 50)}; // same bank position, same row
+    EXPECT_FALSE(unc(3, faults));
+}
+
+TEST_F(ThreeDPTest, RectangleOfRowFaultsUncorrectable)
+{
+    // A 2x2 rectangle over (die, bank position) at one row index jams
+    // every dimension symmetrically: each fault has a dirty D1 row
+    // group, a dirty die (D2) and a dirty bank position (D3).
+    const auto faults = std::vector<Fault>{
+        rowFault(0, 1, 2, 50), rowFault(0, 1, 3, 50),
+        rowFault(0, 4, 2, 50), rowFault(0, 4, 3, 50)};
+    EXPECT_TRUE(unc(3, faults));
+}
+
+TEST_F(ThreeDPTest, DisjointRowsPeelIndependently)
+{
+    const auto faults = std::vector<Fault>{
+        rowFault(0, 1, 2, 50), rowFault(0, 1, 3, 51),
+        rowFault(0, 4, 2, 52), bitFault(0, 5, 5, 53, 1, 2)};
+    EXPECT_FALSE(unc(1, faults));
+}
+
+TEST_F(ThreeDPTest, SameUnitFaultsMergeInD1)
+{
+    // Multiple faults within one (die, bank) unit are one unknown unit.
+    const auto faults = std::vector<Fault>{
+        bankFault(0, 1, 2), rowFault(0, 1, 2, 50),
+        bitFault(0, 1, 2, 60, 2, 3)};
+    EXPECT_FALSE(unc(1, faults));
+}
+
+TEST_F(ThreeDPTest, DifferentStacksNeverInteract)
+{
+    const auto faults = std::vector<Fault>{bankFault(0, 1, 2),
+                                           bankFault(1, 2, 5)};
+    EXPECT_FALSE(unc(1, faults));
+}
+
+TEST_F(ThreeDPTest, ColumnPlusDisjointBitInSameDie)
+{
+    // Column fault needs D1 (covers all rows); a bit fault in another
+    // unit of the same stack sharing (row range, col) blocks D1 for
+    // that row but the bit fault itself peels via D2/D3 first.
+    const auto faults = std::vector<Fault>{
+        columnFault(0, 1, 2, 7), bitFault(0, 3, 4, 100, 7, 5)};
+    EXPECT_TRUE(unc(1, faults));  // D1 alone is stuck
+    EXPECT_FALSE(unc(2, faults)); // bit peels via D2, then column via D1
+}
+
+TEST_F(ThreeDPTest, ColumnPlusBitDifferentColSlot)
+{
+    // Disjoint column slots: D1 groups never overlap.
+    const auto faults = std::vector<Fault>{
+        columnFault(0, 1, 2, 7), bitFault(0, 3, 4, 100, 8, 5)};
+    EXPECT_FALSE(unc(1, faults));
+}
+
+TEST_F(ThreeDPTest, EmptySetCorrectable)
+{
+    EXPECT_FALSE(unc(3, {}));
+}
+
+TEST_F(ThreeDPTest, NamesAndDims)
+{
+    EXPECT_EQ(MultiDimParityScheme(1).name(), "1DP");
+    EXPECT_EQ(MultiDimParityScheme(2).name(), "2DP");
+    EXPECT_EQ(MultiDimParityScheme(3).name(), "3DP");
+    EXPECT_DEATH(MultiDimParityScheme(0), "dims");
+    EXPECT_DEATH(MultiDimParityScheme(4), "dims");
+}
+
+TEST_F(ThreeDPTest, MoreDimsNeverHurt)
+{
+    // Property: any set correctable with k dims stays correctable with
+    // k+1 dims (on a representative selection).
+    const std::vector<std::vector<Fault>> cases = {
+        {bitFault(0, 1, 2, 3, 4, 5)},
+        {bankFault(0, 1, 2), bitFault(0, 3, 4, 100, 5, 6)},
+        {rowFault(0, 1, 2, 50), rowFault(0, 1, 3, 50)},
+        {bankFault(0, 1, 2), bankFault(0, 2, 5)},
+        {columnFault(0, 1, 2, 7), bitFault(0, 3, 4, 100, 7, 5)},
+    };
+    for (const auto &c : cases) {
+        for (u32 dims = 1; dims < 3; ++dims) {
+            if (!unc(dims, c)) {
+                EXPECT_FALSE(unc(dims + 1, c));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the TSV map: data-TSV bit patterns and address-TSV
+ * severity classification (Section V-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "faults/fault.h"
+#include "stack/tsv.h"
+
+namespace citadel {
+namespace {
+
+class TsvTest : public ::testing::Test
+{
+  protected:
+    StackGeometry geom_;
+    TsvMap map_{geom_};
+};
+
+TEST_F(TsvTest, Counts)
+{
+    EXPECT_EQ(map_.numDataTsvs(), 256u);
+    EXPECT_EQ(map_.numAddrTsvs(), 24u);
+}
+
+TEST_F(TsvTest, DataTsvPatternCoversBurstPositions)
+{
+    // DTSV-1 must corrupt bit[1] and bit[257] of every line (Fig 7).
+    u32 value = 0;
+    u32 mask = 0;
+    map_.dataTsvBitPattern(1, value, mask);
+    DimSpec d = DimSpec::masked(value, mask);
+    EXPECT_TRUE(d.matches(1));
+    EXPECT_TRUE(d.matches(257));
+    EXPECT_FALSE(d.matches(0));
+    EXPECT_FALSE(d.matches(2));
+    EXPECT_FALSE(d.matches(256));
+}
+
+TEST_F(TsvTest, DataTsvPatternExactlyTwoBits)
+{
+    for (u32 t : {0u, 7u, 64u, 255u}) {
+        u32 value = 0;
+        u32 mask = 0;
+        map_.dataTsvBitPattern(t, value, mask);
+        DimSpec d = DimSpec::masked(value, mask);
+        u32 hits = 0;
+        for (u32 b = 0; b < geom_.bitsPerLine(); ++b)
+            hits += d.matches(b);
+        EXPECT_EQ(hits, geom_.burstLength()) << "DTSV " << t;
+    }
+}
+
+TEST_F(TsvTest, DataTsvOutOfRangeDies)
+{
+    u32 v;
+    u32 m;
+    EXPECT_DEATH(map_.dataTsvBitPattern(256, v, m), "out of range");
+}
+
+TEST_F(TsvTest, AddrTsvClassification)
+{
+    // 16 row bits, then 3 bank bits, then command TSVs.
+    EXPECT_EQ(map_.addrTsvEffect(0), AtsvEffect::HalfRows);
+    EXPECT_EQ(map_.addrTsvEffect(15), AtsvEffect::HalfRows);
+    EXPECT_EQ(map_.addrTsvEffect(16), AtsvEffect::HalfBanks);
+    EXPECT_EQ(map_.addrTsvEffect(18), AtsvEffect::HalfBanks);
+    EXPECT_EQ(map_.addrTsvEffect(19), AtsvEffect::WholeChannel);
+    EXPECT_EQ(map_.addrTsvEffect(23), AtsvEffect::WholeChannel);
+}
+
+TEST_F(TsvTest, RowAndBankBitExtraction)
+{
+    EXPECT_EQ(map_.addrTsvRowBit(5), 5u);
+    EXPECT_EQ(map_.addrTsvBankBit(17), 1u);
+    EXPECT_DEATH(map_.addrTsvRowBit(20), "not a row-address");
+    EXPECT_DEATH(map_.addrTsvBankBit(3), "not a bank-address");
+}
+
+TEST(TsvMapConstruction, RejectsTooFewAtsvs)
+{
+    StackGeometry g;
+    g.addrTsvsPerChannel = 4; // cannot carry 16 row + 3 bank bits
+    EXPECT_DEATH(TsvMap m(g), "cannot carry");
+}
+
+} // namespace
+} // namespace citadel

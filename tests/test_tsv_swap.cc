@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for TSV-SWAP: the Monte Carlo decorator's absorption budget and
+ * the bit-accurate redirection datapath of Fig 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "citadel/three_d_parity.h"
+#include "citadel/tsv_swap.h"
+#include "fault_builders.h"
+
+namespace citadel {
+namespace {
+
+using namespace testing_helpers;
+
+class TsvSwapTest : public ::testing::Test
+{
+  protected:
+    SystemConfig cfg_;
+
+    TsvSwapScheme
+    makeScheme(u32 standby = 4)
+    {
+        TsvSwapScheme s(std::make_unique<MultiDimParityScheme>(3), standby);
+        s.reset(cfg_);
+        return s;
+    }
+};
+
+TEST_F(TsvSwapTest, AbsorbsTsvFaults)
+{
+    auto s = makeScheme();
+    EXPECT_TRUE(s.absorb(dataTsvFault(0, 1, 7)));
+    EXPECT_TRUE(s.absorb(addrTsvRowFault(0, 1, 3, 0)));
+    EXPECT_TRUE(s.absorb(channelFault(0, 1))); // command-TSV fault
+    EXPECT_EQ(s.repairsPerformed(), 3u);
+}
+
+TEST_F(TsvSwapTest, DoesNotAbsorbInternalFaults)
+{
+    auto s = makeScheme();
+    EXPECT_FALSE(s.absorb(bankFault(0, 1, 2)));
+    EXPECT_FALSE(s.absorb(bitFault(0, 1, 2, 3, 4, 5)));
+    EXPECT_EQ(s.repairsPerformed(), 0u);
+}
+
+TEST_F(TsvSwapTest, PerChannelBudgetEnforced)
+{
+    auto s = makeScheme(2);
+    EXPECT_TRUE(s.absorb(dataTsvFault(0, 1, 7)));
+    EXPECT_TRUE(s.absorb(dataTsvFault(0, 1, 8)));
+    // Third fault in the same channel exceeds the stand-by pool.
+    EXPECT_FALSE(s.absorb(dataTsvFault(0, 1, 9)));
+    // A different channel has its own pool.
+    EXPECT_TRUE(s.absorb(dataTsvFault(0, 2, 9)));
+    // Different stack, same channel index: separate pool.
+    EXPECT_TRUE(s.absorb(dataTsvFault(1, 1, 9)));
+}
+
+TEST_F(TsvSwapTest, ResetRestoresBudget)
+{
+    auto s = makeScheme(1);
+    EXPECT_TRUE(s.absorb(dataTsvFault(0, 1, 7)));
+    EXPECT_FALSE(s.absorb(dataTsvFault(0, 1, 8)));
+    s.reset(cfg_);
+    EXPECT_TRUE(s.absorb(dataTsvFault(0, 1, 8)));
+}
+
+TEST_F(TsvSwapTest, DelegatesCorrectionToInner)
+{
+    auto s = makeScheme();
+    // Un-absorbed faults are judged by the inner 3DP scheme.
+    EXPECT_FALSE(s.uncorrectable({bankFault(0, 1, 2)}));
+    EXPECT_TRUE(
+        s.uncorrectable({bankFault(0, 1, 2), bankFault(0, 2, 5)}));
+    EXPECT_EQ(s.name(), "TSV-Swap+3DP");
+}
+
+TEST_F(TsvSwapTest, ExhaustedPoolLetsTsvFaultThrough)
+{
+    auto s = makeScheme(0);
+    EXPECT_FALSE(s.absorb(dataTsvFault(0, 1, 7)));
+    // The un-repaired data-TSV fault is fatal for 3DP.
+    EXPECT_TRUE(s.uncorrectable({dataTsvFault(0, 1, 7)}));
+}
+
+// --------------------------------------------------------------- datapath
+
+TEST(TsvSwapDatapath, CleanTransferIsIdentity)
+{
+    TsvSwapDatapath dp(8, {0, 4});
+    std::vector<u8> in = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(dp.transfer(in), in);
+    EXPECT_EQ(dp.standbyFree(), 2u);
+}
+
+TEST(TsvSwapDatapath, BrokenLaneCorruptsUntilRepaired)
+{
+    TsvSwapDatapath dp(8, {0, 4});
+    std::vector<u8> in = {1, 2, 3, 4, 5, 6, 7, 8};
+    dp.breakTsv(2);
+    auto out = dp.transfer(in);
+    EXPECT_EQ(out[2], 0); // stuck-at-0
+    EXPECT_EQ(out[3], 4);
+
+    ASSERT_TRUE(dp.repair(2));
+    out = dp.transfer(in);
+    EXPECT_EQ(out[2], 3); // lane 2's payload routed via a stand-by TSV
+    EXPECT_EQ(dp.standbyFree(), 1u);
+}
+
+TEST(TsvSwapDatapath, PoolExhaustion)
+{
+    TsvSwapDatapath dp(8, {0});
+    dp.breakTsv(2);
+    dp.breakTsv(3);
+    EXPECT_TRUE(dp.repair(2));
+    EXPECT_FALSE(dp.repair(3)); // only one stand-by TSV
+}
+
+TEST(TsvSwapDatapath, BrokenStandbyIsSkipped)
+{
+    TsvSwapDatapath dp(8, {0, 4});
+    dp.breakTsv(0); // the first stand-by TSV itself is faulty
+    dp.breakTsv(2);
+    EXPECT_EQ(dp.standbyFree(), 1u);
+    ASSERT_TRUE(dp.repair(2));
+    std::vector<u8> in = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(dp.transfer(in)[2], 3);
+}
+
+TEST(TsvSwapDatapath, RepairIsIdempotent)
+{
+    TsvSwapDatapath dp(8, {0, 4});
+    dp.breakTsv(2);
+    EXPECT_TRUE(dp.repair(2));
+    EXPECT_TRUE(dp.repair(2));
+    EXPECT_EQ(dp.standbyFree(), 1u); // second repair consumed nothing
+}
+
+TEST(TsvSwapDatapath, OutOfRangeDies)
+{
+    TsvSwapDatapath dp(8, {0});
+    EXPECT_DEATH(dp.breakTsv(8), "out of range");
+    std::vector<u8> wrong(7);
+    EXPECT_DEATH(dp.transfer(wrong), "expected");
+}
+
+} // namespace
+} // namespace citadel

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the synthetic workload table and address-stream generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/log.h"
+#include "sim/workload.h"
+
+namespace citadel {
+namespace {
+
+TEST(Workloads, FullSuiteRoster)
+{
+    // 29 SPEC CPU2006 + 7 PARSEC + 2 BioBench = 38 (Section III-B).
+    const auto &all = allBenchmarks();
+    EXPECT_EQ(all.size(), 38u);
+    std::map<Suite, int> per_suite;
+    std::set<std::string> names;
+    for (const auto &b : all) {
+        ++per_suite[b.suite];
+        names.insert(b.name);
+    }
+    EXPECT_EQ(per_suite[Suite::SpecFp] + per_suite[Suite::SpecInt], 29);
+    EXPECT_EQ(per_suite[Suite::Parsec], 7);
+    EXPECT_EQ(per_suite[Suite::BioBench], 2);
+    EXPECT_EQ(names.size(), 38u) << "duplicate benchmark names";
+}
+
+TEST(Workloads, ProfilesAreSane)
+{
+    for (const auto &b : allBenchmarks()) {
+        EXPECT_GT(b.mpki, 0.0) << b.name;
+        EXPECT_LT(b.mpki, 100.0) << b.name;
+        EXPECT_GE(b.runLength, 1.0) << b.name;
+        EXPECT_GE(b.writeFrac, 0.0) << b.name;
+        EXPECT_LE(b.writeFrac, 1.0) << b.name;
+        EXPECT_GE(b.footprintMB, 16u) << b.name;
+    }
+}
+
+TEST(Workloads, PaperHighlightsPresent)
+{
+    // Benchmarks the paper's Fig 15 calls out.
+    EXPECT_NO_FATAL_FAILURE(findBenchmark("GemsFDTD"));
+    EXPECT_NO_FATAL_FAILURE(findBenchmark("mcf"));
+    EXPECT_NO_FATAL_FAILURE(findBenchmark("mummer"));
+    EXPECT_NO_FATAL_FAILURE(findBenchmark("tigr"));
+    EXPECT_DEATH(findBenchmark("nonexistent"), "unknown benchmark");
+}
+
+TEST(Workloads, BioBenchIsReadDominatedAndRandom)
+{
+    // The property behind Fig 13's low BioBench parity hit rate.
+    for (const char *name : {"tigr", "mummer"}) {
+        const auto &b = findBenchmark(name);
+        EXPECT_LT(b.writeFrac, 0.1) << name;
+        EXPECT_LT(b.runLength, 2.0) << name;
+        EXPECT_GT(b.mpki, 10.0) << name;
+    }
+}
+
+TEST(Workloads, SuiteNames)
+{
+    EXPECT_STREQ(suiteName(Suite::SpecFp), "SPEC-FP");
+    EXPECT_STREQ(suiteName(Suite::BioBench), "BIOBENCH");
+}
+
+TEST(AddressStream, StaysInCoreRegion)
+{
+    const auto &b = findBenchmark("mcf");
+    const u64 total = (16ull << 30) / 64;
+    for (u32 core : {0u, 3u, 7u}) {
+        AddressStream s(b, core, total, 42);
+        const u64 slice = total / 8;
+        for (int i = 0; i < 5000; ++i) {
+            const u64 line = s.nextLine();
+            EXPECT_GE(line, core * slice);
+            EXPECT_LT(line, (core + 1) * slice);
+        }
+    }
+}
+
+TEST(AddressStream, Deterministic)
+{
+    const auto &b = findBenchmark("lbm");
+    const u64 total = (16ull << 30) / 64;
+    AddressStream a(b, 0, total, 7);
+    AddressStream c(b, 0, total, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextLine(), c.nextLine());
+}
+
+TEST(AddressStream, RunLengthShapesSequentiality)
+{
+    const u64 total = (16ull << 30) / 64;
+    auto sequential_fraction = [&](const char *name) {
+        AddressStream s(findBenchmark(name), 0, total, 11);
+        u64 prev = s.nextLine();
+        int seq = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            const u64 cur = s.nextLine();
+            seq += (cur == prev + 1);
+            prev = cur;
+        }
+        return seq / static_cast<double>(n);
+    };
+    // lbm streams (runLength 32); mummer is near-random (1.2).
+    EXPECT_GT(sequential_fraction("lbm"), 0.9);
+    EXPECT_LT(sequential_fraction("mummer"), 0.4);
+}
+
+TEST(AddressStream, CoversFootprint)
+{
+    const auto &b = findBenchmark("tigr");
+    const u64 total = (16ull << 30) / 64;
+    AddressStream s(b, 0, total, 3);
+    std::set<u64> seen;
+    for (int i = 0; i < 20000; ++i)
+        seen.insert(s.nextLine());
+    // Near-random stream over a 512MB footprint: mostly unique lines.
+    EXPECT_GT(seen.size(), 15000u);
+}
+
+} // namespace
+} // namespace citadel
