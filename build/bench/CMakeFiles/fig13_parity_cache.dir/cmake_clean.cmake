@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_parity_cache.dir/fig13_parity_cache.cc.o"
+  "CMakeFiles/fig13_parity_cache.dir/fig13_parity_cache.cc.o.d"
+  "fig13_parity_cache"
+  "fig13_parity_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_parity_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_3dp_resilience.dir/fig14_3dp_resilience.cc.o"
+  "CMakeFiles/fig14_3dp_resilience.dir/fig14_3dp_resilience.cc.o.d"
+  "fig14_3dp_resilience"
+  "fig14_3dp_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_3dp_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

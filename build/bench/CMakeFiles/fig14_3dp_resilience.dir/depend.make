@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_3dp_resilience.
+# This may be replaced when dependencies are built.

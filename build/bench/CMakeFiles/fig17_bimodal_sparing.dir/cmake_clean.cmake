@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_bimodal_sparing.dir/fig17_bimodal_sparing.cc.o"
+  "CMakeFiles/fig17_bimodal_sparing.dir/fig17_bimodal_sparing.cc.o.d"
+  "fig17_bimodal_sparing"
+  "fig17_bimodal_sparing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_bimodal_sparing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_citadel_resilience.dir/fig18_citadel_resilience.cc.o"
+  "CMakeFiles/fig18_citadel_resilience.dir/fig18_citadel_resilience.cc.o.d"
+  "fig18_citadel_resilience"
+  "fig18_citadel_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_citadel_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_bch_raid.dir/fig19_bch_raid.cc.o"
+  "CMakeFiles/fig19_bch_raid.dir/fig19_bch_raid.cc.o.d"
+  "fig19_bch_raid"
+  "fig19_bch_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_bch_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

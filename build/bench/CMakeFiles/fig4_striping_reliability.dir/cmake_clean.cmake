@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_striping_reliability.dir/fig4_striping_reliability.cc.o"
+  "CMakeFiles/fig4_striping_reliability.dir/fig4_striping_reliability.cc.o.d"
+  "fig4_striping_reliability"
+  "fig4_striping_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_striping_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_striping_perf_power.dir/fig5_striping_perf_power.cc.o"
+  "CMakeFiles/fig5_striping_perf_power.dir/fig5_striping_perf_power.cc.o.d"
+  "fig5_striping_perf_power"
+  "fig5_striping_perf_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_striping_perf_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_striping_perf_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_tsv_swap.cc" "bench/CMakeFiles/fig9_tsv_swap.dir/fig9_tsv_swap.cc.o" "gcc" "bench/CMakeFiles/fig9_tsv_swap.dir/fig9_tsv_swap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/citadel/CMakeFiles/citadel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/citadel_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/citadel_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/citadel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/citadel_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/citadel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

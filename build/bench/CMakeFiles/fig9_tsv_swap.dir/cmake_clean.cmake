@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tsv_swap.dir/fig9_tsv_swap.cc.o"
+  "CMakeFiles/fig9_tsv_swap.dir/fig9_tsv_swap.cc.o.d"
+  "fig9_tsv_swap"
+  "fig9_tsv_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tsv_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_fit_rates.dir/tab1_fit_rates.cc.o"
+  "CMakeFiles/tab1_fit_rates.dir/tab1_fit_rates.cc.o.d"
+  "tab1_fit_rates"
+  "tab1_fit_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_fit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

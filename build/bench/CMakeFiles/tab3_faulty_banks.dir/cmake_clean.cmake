@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_faulty_banks.dir/tab3_faulty_banks.cc.o"
+  "CMakeFiles/tab3_faulty_banks.dir/tab3_faulty_banks.cc.o.d"
+  "tab3_faulty_banks"
+  "tab3_faulty_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_faulty_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab3_faulty_banks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striping_study.dir/striping_study.cpp.o"
+  "CMakeFiles/striping_study.dir/striping_study.cpp.o.d"
+  "striping_study"
+  "striping_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/citadel/citadel.cc" "src/citadel/CMakeFiles/citadel_core.dir/citadel.cc.o" "gcc" "src/citadel/CMakeFiles/citadel_core.dir/citadel.cc.o.d"
+  "/root/repo/src/citadel/dds.cc" "src/citadel/CMakeFiles/citadel_core.dir/dds.cc.o" "gcc" "src/citadel/CMakeFiles/citadel_core.dir/dds.cc.o.d"
+  "/root/repo/src/citadel/parity_engine.cc" "src/citadel/CMakeFiles/citadel_core.dir/parity_engine.cc.o" "gcc" "src/citadel/CMakeFiles/citadel_core.dir/parity_engine.cc.o.d"
+  "/root/repo/src/citadel/remap_tables.cc" "src/citadel/CMakeFiles/citadel_core.dir/remap_tables.cc.o" "gcc" "src/citadel/CMakeFiles/citadel_core.dir/remap_tables.cc.o.d"
+  "/root/repo/src/citadel/three_d_parity.cc" "src/citadel/CMakeFiles/citadel_core.dir/three_d_parity.cc.o" "gcc" "src/citadel/CMakeFiles/citadel_core.dir/three_d_parity.cc.o.d"
+  "/root/repo/src/citadel/tsv_swap.cc" "src/citadel/CMakeFiles/citadel_core.dir/tsv_swap.cc.o" "gcc" "src/citadel/CMakeFiles/citadel_core.dir/tsv_swap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/citadel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/citadel_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/citadel_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/citadel_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citadel_core.dir/citadel.cc.o"
+  "CMakeFiles/citadel_core.dir/citadel.cc.o.d"
+  "CMakeFiles/citadel_core.dir/dds.cc.o"
+  "CMakeFiles/citadel_core.dir/dds.cc.o.d"
+  "CMakeFiles/citadel_core.dir/parity_engine.cc.o"
+  "CMakeFiles/citadel_core.dir/parity_engine.cc.o.d"
+  "CMakeFiles/citadel_core.dir/remap_tables.cc.o"
+  "CMakeFiles/citadel_core.dir/remap_tables.cc.o.d"
+  "CMakeFiles/citadel_core.dir/three_d_parity.cc.o"
+  "CMakeFiles/citadel_core.dir/three_d_parity.cc.o.d"
+  "CMakeFiles/citadel_core.dir/tsv_swap.cc.o"
+  "CMakeFiles/citadel_core.dir/tsv_swap.cc.o.d"
+  "libcitadel_core.a"
+  "libcitadel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citadel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

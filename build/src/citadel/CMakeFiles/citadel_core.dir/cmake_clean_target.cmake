@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcitadel_core.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citadel_common.dir/env.cc.o"
+  "CMakeFiles/citadel_common.dir/env.cc.o.d"
+  "CMakeFiles/citadel_common.dir/log.cc.o"
+  "CMakeFiles/citadel_common.dir/log.cc.o.d"
+  "CMakeFiles/citadel_common.dir/rng.cc.o"
+  "CMakeFiles/citadel_common.dir/rng.cc.o.d"
+  "CMakeFiles/citadel_common.dir/stats.cc.o"
+  "CMakeFiles/citadel_common.dir/stats.cc.o.d"
+  "CMakeFiles/citadel_common.dir/table.cc.o"
+  "CMakeFiles/citadel_common.dir/table.cc.o.d"
+  "libcitadel_common.a"
+  "libcitadel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citadel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/baseline_schemes.cc" "src/ecc/CMakeFiles/citadel_ecc.dir/baseline_schemes.cc.o" "gcc" "src/ecc/CMakeFiles/citadel_ecc.dir/baseline_schemes.cc.o.d"
+  "/root/repo/src/ecc/crc32.cc" "src/ecc/CMakeFiles/citadel_ecc.dir/crc32.cc.o" "gcc" "src/ecc/CMakeFiles/citadel_ecc.dir/crc32.cc.o.d"
+  "/root/repo/src/ecc/gf256.cc" "src/ecc/CMakeFiles/citadel_ecc.dir/gf256.cc.o" "gcc" "src/ecc/CMakeFiles/citadel_ecc.dir/gf256.cc.o.d"
+  "/root/repo/src/ecc/reed_solomon.cc" "src/ecc/CMakeFiles/citadel_ecc.dir/reed_solomon.cc.o" "gcc" "src/ecc/CMakeFiles/citadel_ecc.dir/reed_solomon.cc.o.d"
+  "/root/repo/src/ecc/secded.cc" "src/ecc/CMakeFiles/citadel_ecc.dir/secded.cc.o" "gcc" "src/ecc/CMakeFiles/citadel_ecc.dir/secded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/citadel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/citadel_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/citadel_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citadel_ecc.dir/baseline_schemes.cc.o"
+  "CMakeFiles/citadel_ecc.dir/baseline_schemes.cc.o.d"
+  "CMakeFiles/citadel_ecc.dir/crc32.cc.o"
+  "CMakeFiles/citadel_ecc.dir/crc32.cc.o.d"
+  "CMakeFiles/citadel_ecc.dir/gf256.cc.o"
+  "CMakeFiles/citadel_ecc.dir/gf256.cc.o.d"
+  "CMakeFiles/citadel_ecc.dir/reed_solomon.cc.o"
+  "CMakeFiles/citadel_ecc.dir/reed_solomon.cc.o.d"
+  "CMakeFiles/citadel_ecc.dir/secded.cc.o"
+  "CMakeFiles/citadel_ecc.dir/secded.cc.o.d"
+  "libcitadel_ecc.a"
+  "libcitadel_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citadel_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

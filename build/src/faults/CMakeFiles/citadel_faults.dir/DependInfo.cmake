@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/analysis.cc" "src/faults/CMakeFiles/citadel_faults.dir/analysis.cc.o" "gcc" "src/faults/CMakeFiles/citadel_faults.dir/analysis.cc.o.d"
+  "/root/repo/src/faults/fault.cc" "src/faults/CMakeFiles/citadel_faults.dir/fault.cc.o" "gcc" "src/faults/CMakeFiles/citadel_faults.dir/fault.cc.o.d"
+  "/root/repo/src/faults/fit_rates.cc" "src/faults/CMakeFiles/citadel_faults.dir/fit_rates.cc.o" "gcc" "src/faults/CMakeFiles/citadel_faults.dir/fit_rates.cc.o.d"
+  "/root/repo/src/faults/injector.cc" "src/faults/CMakeFiles/citadel_faults.dir/injector.cc.o" "gcc" "src/faults/CMakeFiles/citadel_faults.dir/injector.cc.o.d"
+  "/root/repo/src/faults/monte_carlo.cc" "src/faults/CMakeFiles/citadel_faults.dir/monte_carlo.cc.o" "gcc" "src/faults/CMakeFiles/citadel_faults.dir/monte_carlo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/citadel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/citadel_stack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

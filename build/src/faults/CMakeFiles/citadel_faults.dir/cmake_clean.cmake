@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citadel_faults.dir/analysis.cc.o"
+  "CMakeFiles/citadel_faults.dir/analysis.cc.o.d"
+  "CMakeFiles/citadel_faults.dir/fault.cc.o"
+  "CMakeFiles/citadel_faults.dir/fault.cc.o.d"
+  "CMakeFiles/citadel_faults.dir/fit_rates.cc.o"
+  "CMakeFiles/citadel_faults.dir/fit_rates.cc.o.d"
+  "CMakeFiles/citadel_faults.dir/injector.cc.o"
+  "CMakeFiles/citadel_faults.dir/injector.cc.o.d"
+  "CMakeFiles/citadel_faults.dir/monte_carlo.cc.o"
+  "CMakeFiles/citadel_faults.dir/monte_carlo.cc.o.d"
+  "libcitadel_faults.a"
+  "libcitadel_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citadel_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

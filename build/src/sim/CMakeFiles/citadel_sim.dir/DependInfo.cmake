@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/llc.cc" "src/sim/CMakeFiles/citadel_sim.dir/llc.cc.o" "gcc" "src/sim/CMakeFiles/citadel_sim.dir/llc.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/sim/CMakeFiles/citadel_sim.dir/memory_system.cc.o" "gcc" "src/sim/CMakeFiles/citadel_sim.dir/memory_system.cc.o.d"
+  "/root/repo/src/sim/power.cc" "src/sim/CMakeFiles/citadel_sim.dir/power.cc.o" "gcc" "src/sim/CMakeFiles/citadel_sim.dir/power.cc.o.d"
+  "/root/repo/src/sim/system_sim.cc" "src/sim/CMakeFiles/citadel_sim.dir/system_sim.cc.o" "gcc" "src/sim/CMakeFiles/citadel_sim.dir/system_sim.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/citadel_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/citadel_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/citadel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/citadel_stack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citadel_sim.dir/llc.cc.o"
+  "CMakeFiles/citadel_sim.dir/llc.cc.o.d"
+  "CMakeFiles/citadel_sim.dir/memory_system.cc.o"
+  "CMakeFiles/citadel_sim.dir/memory_system.cc.o.d"
+  "CMakeFiles/citadel_sim.dir/power.cc.o"
+  "CMakeFiles/citadel_sim.dir/power.cc.o.d"
+  "CMakeFiles/citadel_sim.dir/system_sim.cc.o"
+  "CMakeFiles/citadel_sim.dir/system_sim.cc.o.d"
+  "CMakeFiles/citadel_sim.dir/workload.cc.o"
+  "CMakeFiles/citadel_sim.dir/workload.cc.o.d"
+  "libcitadel_sim.a"
+  "libcitadel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citadel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

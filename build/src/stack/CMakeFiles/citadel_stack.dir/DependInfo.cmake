@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/address.cc" "src/stack/CMakeFiles/citadel_stack.dir/address.cc.o" "gcc" "src/stack/CMakeFiles/citadel_stack.dir/address.cc.o.d"
+  "/root/repo/src/stack/geometry.cc" "src/stack/CMakeFiles/citadel_stack.dir/geometry.cc.o" "gcc" "src/stack/CMakeFiles/citadel_stack.dir/geometry.cc.o.d"
+  "/root/repo/src/stack/tsv.cc" "src/stack/CMakeFiles/citadel_stack.dir/tsv.cc.o" "gcc" "src/stack/CMakeFiles/citadel_stack.dir/tsv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/citadel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citadel_stack.dir/address.cc.o"
+  "CMakeFiles/citadel_stack.dir/address.cc.o.d"
+  "CMakeFiles/citadel_stack.dir/geometry.cc.o"
+  "CMakeFiles/citadel_stack.dir/geometry.cc.o.d"
+  "CMakeFiles/citadel_stack.dir/tsv.cc.o"
+  "CMakeFiles/citadel_stack.dir/tsv.cc.o.d"
+  "libcitadel_stack.a"
+  "libcitadel_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citadel_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

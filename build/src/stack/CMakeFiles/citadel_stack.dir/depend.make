@@ -1,0 +1,2 @@
+# Empty dependencies file for citadel_stack.
+# This may be replaced when dependencies are built.

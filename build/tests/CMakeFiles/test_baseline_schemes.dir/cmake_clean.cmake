@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_schemes.dir/test_baseline_schemes.cc.o"
+  "CMakeFiles/test_baseline_schemes.dir/test_baseline_schemes.cc.o.d"
+  "test_baseline_schemes"
+  "test_baseline_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

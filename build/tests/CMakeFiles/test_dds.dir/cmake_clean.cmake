@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dds.dir/test_dds.cc.o"
+  "CMakeFiles/test_dds.dir/test_dds.cc.o.d"
+  "test_dds"
+  "test_dds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

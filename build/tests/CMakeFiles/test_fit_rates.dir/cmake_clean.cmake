@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fit_rates.dir/test_fit_rates.cc.o"
+  "CMakeFiles/test_fit_rates.dir/test_fit_rates.cc.o.d"
+  "test_fit_rates"
+  "test_fit_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parity_engine.dir/test_parity_engine.cc.o"
+  "CMakeFiles/test_parity_engine.dir/test_parity_engine.cc.o.d"
+  "test_parity_engine"
+  "test_parity_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parity_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remap_tables.dir/test_remap_tables.cc.o"
+  "CMakeFiles/test_remap_tables.dir/test_remap_tables.cc.o.d"
+  "test_remap_tables"
+  "test_remap_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remap_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

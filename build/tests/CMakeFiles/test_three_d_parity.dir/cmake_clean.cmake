@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_three_d_parity.dir/test_three_d_parity.cc.o"
+  "CMakeFiles/test_three_d_parity.dir/test_three_d_parity.cc.o.d"
+  "test_three_d_parity"
+  "test_three_d_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_three_d_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsv.dir/test_tsv.cc.o"
+  "CMakeFiles/test_tsv.dir/test_tsv.cc.o.d"
+  "test_tsv"
+  "test_tsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsv_swap.dir/test_tsv_swap.cc.o"
+  "CMakeFiles/test_tsv_swap.dir/test_tsv_swap.cc.o.d"
+  "test_tsv_swap"
+  "test_tsv_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsv_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
