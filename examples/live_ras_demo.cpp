@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Live RAS datapath demo — the paper's error-handling flow running
+ * inside the timing simulator.
+ *
+ * Scenario 1: a permanent row fault strikes mid-run. Demand reads that
+ * hit the row are CRC-detected, retried, reconstructed from the
+ * Dimension-1 parity group (visible as extra reads in MemCounters),
+ * and the row is retired into the spare bank (DDS), after which
+ * accesses are served from spare storage.
+ *
+ * Scenario 2: a forced triple-bank pattern defeats 3DP. Affected reads
+ * are reported as machine-check-style DUE events — poisoned, counted,
+ * never silently wrong — and the simulation still runs to completion.
+ *
+ * Run:  ./live_ras_demo
+ */
+
+#include <iostream>
+
+#include "ras/live_datapath.h"
+#include "sim/system_sim.h"
+
+using namespace citadel;
+
+namespace {
+
+SimConfig
+demoConfig()
+{
+    SimConfig cfg;
+    cfg.geom = StackGeometry::tiny(); // bit-true storage stays small
+    cfg.llcBytes = 1 << 14;
+    cfg.cores = 2;
+    cfg.insnsPerCore = 30'000;
+    cfg.ras = RasTraffic::ThreeDPCached;
+    cfg.seed = 9;
+    return cfg;
+}
+
+Fault
+bankFault(u32 stack, u32 ch, u32 bank)
+{
+    Fault f;
+    f.cls = FaultClass::Bank;
+    f.stack = DimSpec::exact(stack);
+    f.channel = DimSpec::exact(ch);
+    f.bank = DimSpec::exact(bank);
+    return f;
+}
+
+void
+report(const char *title, const SimResult &res, const LiveRasDatapath &dp)
+{
+    std::cout << "\n=== " << title << " ===\n";
+    std::cout << "cycles=" << res.cycles
+              << " insns=" << res.insnsRetired
+              << " demandReadBursts=" << res.mem.readBursts
+              << " rasReads=" << res.mem.rasReads << "\n";
+    std::cout << dp.counters().summary() << "\n";
+    std::cout << "event log (" << dp.log().events().size() << " entries, "
+              << dp.log().dropped() << " dropped):\n";
+    for (const RasEvent &ev : dp.log().events())
+        std::cout << "  " << ev.describe() << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const SimConfig cfg = demoConfig();
+
+    {
+        // --- Scenario 1: correctable row fault, graceful sparing. ---
+        LiveRasDatapath dp(cfg);
+        Fault row;
+        row.cls = FaultClass::Row;
+        row.stack = DimSpec::exact(0);
+        row.channel = DimSpec::exact(0);
+        row.bank = DimSpec::exact(0);
+        row.row = DimSpec::exact(5);
+        dp.scheduleFault(row, 500); // strikes mid-run
+
+        SystemSim sim(cfg, findBenchmark("mcf"));
+        sim.attachRas(&dp);
+        report("Row fault: detect -> correct -> spare", sim.run(), dp);
+    }
+
+    {
+        // --- Scenario 2: uncorrectable pattern, DUE + continuation. ---
+        LiveRasDatapath dp(cfg);
+        dp.scheduleFault(bankFault(0, 0, 0), 0);
+        dp.scheduleFault(bankFault(0, 0, 1), 0);
+        dp.scheduleFault(bankFault(0, 1, 0), 0);
+
+        SimConfig cfg2 = cfg;
+        cfg2.insnsPerCore = 10'000;
+        SystemSim sim(cfg2, findBenchmark("mcf"));
+        sim.attachRas(&dp);
+        report("Triple-bank pattern: DUE reported, run completes",
+               sim.run(), dp);
+    }
+
+    return 0;
+}

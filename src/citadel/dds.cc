@@ -58,8 +58,10 @@ DdsScheme::absorb(const Fault &fault)
 {
     // New faults landing in a decommissioned bank are irrelevant: its
     // data lives in the spare bank now.
-    if (inSparedBank(fault))
+    if (inSparedBank(fault)) {
+        emitEvent(SchemeEvent::Kind::Absorbed, fault);
         return true;
+    }
     return inner_->absorb(fault);
 }
 
@@ -82,6 +84,7 @@ DdsScheme::trySpare(const Fault &f)
         if (used < spareRowsPerBank_) {
             ++used;
             ++stats_.rowsSpared;
+            emitEvent(SchemeEvent::Kind::RowSpared, f);
             return true;
         }
         // RRT exhausted: the paper deems a bank with more than 4 faulty
@@ -93,6 +96,7 @@ DdsScheme::trySpare(const Fault &f)
         ++bank_used;
         ++stats_.banksSpared;
         sparedBanks_.insert(key);
+        emitEvent(SchemeEvent::Kind::BankSpared, f);
         return true;
     }
     return false;
@@ -112,6 +116,7 @@ DdsScheme::onScrub(std::vector<Fault> &active)
         if (trySpare(f))
             return true;
         ++stats_.sparingDenied;
+        emitEvent(SchemeEvent::Kind::SparingDenied, f);
         return false;
     });
     // Drop any remaining faults inside banks that were just spared.

@@ -52,6 +52,13 @@ class DdsScheme : public RasScheme
     void onScrub(std::vector<Fault> &active) override;
     bool uncorrectable(const std::vector<Fault> &active) const override;
 
+    void
+    setEventSink(SchemeEventSink sink) override
+    {
+        RasScheme::setEventSink(sink);
+        inner_->setEventSink(std::move(sink));
+    }
+
     const DdsStats &stats() const { return stats_; }
 
   private:

@@ -48,6 +48,12 @@ ParityEngine::lineIndex(u32 die, u32 bank, u32 row, u32 col) const
            col;
 }
 
+u64
+ParityEngine::parityIndex(u32 row, u32 col) const
+{
+    return static_cast<u64>(row) * geom_.linesPerRow() + col;
+}
+
 u8 *
 ParityEngine::linePtr(std::vector<u8> &buf, u64 line_idx)
 {
@@ -73,6 +79,36 @@ ParityEngine::lineCorrupt(u64 line_idx) const
     return computeCrc(line_idx) != crc_[line_idx];
 }
 
+bool
+ParityEngine::parityLineCorrupt(u32 row, u32 col) const
+{
+    const u64 idx = parityIndex(row, col);
+    // Parity lines get CRC addresses above the data line space so a
+    // misdirected read can never alias a data CRC.
+    const u32 crc = Crc32::lineCrc(totalLines() + idx,
+                                   {linePtr(parity1_, idx),
+                                    geom_.lineBytes});
+    return crc != parityCrc_[idx];
+}
+
+bool
+ParityEngine::isCorrupt(const CorruptLine &l) const
+{
+    if (l.die == dies_)
+        return parityLineCorrupt(l.row, l.col);
+    return lineCorrupt(lineIndex(l.die, l.bank, l.row, l.col));
+}
+
+void
+ParityEngine::checkCoord(u32 die, u32 bank, u32 row, u32 col) const
+{
+    if (die > dies_ || (die == dies_ && bank != 0) ||
+        (die < dies_ && bank >= geom_.banksPerChannel) ||
+        row >= geom_.rowsPerBank || col >= geom_.linesPerRow())
+        panic("ParityEngine: coordinate (%u, %u, %u, %u) out of range",
+              die, bank, row, col);
+}
+
 void
 ParityEngine::buildParity()
 {
@@ -80,7 +116,7 @@ ParityEngine::buildParity()
     const u32 lb = geom_.lineBytes;
 
     parity1_.assign(static_cast<u64>(geom_.rowsPerBank) * cols * lb, 0);
-    parity2_.assign(static_cast<u64>(dies_) * cols * lb, 0);
+    parity2_.assign(static_cast<u64>(dies_ + 1) * cols * lb, 0);
     parity3_.assign(static_cast<u64>(geom_.banksPerChannel) * cols * lb, 0);
 
     for (u32 d = 0; d < dies_; ++d)
@@ -101,6 +137,26 @@ ParityEngine::buildParity()
                         p3[i] ^= src[i];
                     }
                 }
+
+    goldenParity1_ = parity1_;
+    parityCrc_.resize(static_cast<u64>(geom_.rowsPerBank) * cols);
+    for (u32 r = 0; r < geom_.rowsPerBank; ++r)
+        for (u32 c = 0; c < cols; ++c) {
+            const u64 idx = parityIndex(r, c);
+            parityCrc_[idx] =
+                Crc32::lineCrc(totalLines() + idx,
+                               {linePtr(goldenParity1_, idx), lb});
+            // The parity unit participates in D2 (its own fold, die
+            // slot dies_) and in the D3 group of bank position 0.
+            const u8 *src = linePtr(goldenParity1_, idx);
+            u8 *p2 = parity2_.data() +
+                     (static_cast<u64>(dies_) * cols + c) * lb;
+            u8 *p3 = parity3_.data() + static_cast<u64>(c) * lb;
+            for (u32 i = 0; i < lb; ++i) {
+                p2[i] ^= src[i];
+                p3[i] ^= src[i];
+            }
+        }
 }
 
 void
@@ -109,45 +165,65 @@ ParityEngine::corrupt(const std::vector<Fault> &faults)
     // Flip the *union* of covered bits: two faults overlapping on a bit
     // both corrupt it (physical faults do not cancel each other out).
     const u32 cols = geom_.linesPerRow();
+    auto flipCovered = [&](u32 d, u32 b, u32 r, u32 c, u8 *line) {
+        bool any = false;
+        for (const Fault &f : faults)
+            if (f.channel.matches(d) && f.bank.matches(b) &&
+                f.row.matches(r) && f.col.matches(c)) {
+                any = true;
+                break;
+            }
+        if (!any)
+            return;
+        for (u32 bit = 0; bit < geom_.bitsPerLine(); ++bit) {
+            bool covered = false;
+            for (const Fault &f : faults)
+                if (f.channel.matches(d) && f.bank.matches(b) &&
+                    f.row.matches(r) && f.col.matches(c) &&
+                    f.bit.matches(bit)) {
+                    covered = true;
+                    break;
+                }
+            if (covered)
+                line[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        }
+    };
+
     for (u32 d = 0; d < dies_; ++d)
         for (u32 b = 0; b < geom_.banksPerChannel; ++b)
             for (u32 r = 0; r < geom_.rowsPerBank; ++r)
-                for (u32 c = 0; c < cols; ++c) {
-                    bool any = false;
-                    for (const Fault &f : faults)
-                        if (f.channel.matches(d) && f.bank.matches(b) &&
-                            f.row.matches(r) && f.col.matches(c)) {
-                            any = true;
-                            break;
-                        }
-                    if (!any)
-                        continue;
-                    u8 *line = linePtr(data_, lineIndex(d, b, r, c));
-                    for (u32 bit = 0; bit < geom_.bitsPerLine(); ++bit) {
-                        bool covered = false;
-                        for (const Fault &f : faults)
-                            if (f.channel.matches(d) &&
-                                f.bank.matches(b) && f.row.matches(r) &&
-                                f.col.matches(c) && f.bit.matches(bit)) {
-                                covered = true;
-                                break;
-                            }
-                        if (covered)
-                            line[bit / 8] ^=
-                                static_cast<u8>(1u << (bit % 8));
-                    }
-                }
+                for (u32 c = 0; c < cols; ++c)
+                    flipCovered(d, b, r, c,
+                                linePtr(data_, lineIndex(d, b, r, c)));
+
+    // The parity store is addressed as die parityDie(), bank 0.
+    for (u32 r = 0; r < geom_.rowsPerBank; ++r)
+        for (u32 c = 0; c < cols; ++c)
+            flipCovered(dies_, 0, r, c,
+                        linePtr(parity1_, parityIndex(r, c)));
 }
 
 void
 ParityEngine::fixViaD1(u32 die, u32 bank, u32 row, u32 col)
 {
     const u32 lb = geom_.lineBytes;
+    if (die == dies_) {
+        // Rebuild the parity line itself from all data units.
+        std::vector<u8> acc(lb, 0);
+        for (u32 d = 0; d < dies_; ++d)
+            for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
+                const u8 *src = linePtr(data_, lineIndex(d, b, row, col));
+                for (u32 i = 0; i < lb; ++i)
+                    acc[i] ^= src[i];
+            }
+        std::memcpy(linePtr(parity1_, parityIndex(row, col)), acc.data(),
+                    lb);
+        return;
+    }
     std::vector<u8> acc(
+        parity1_.begin() + static_cast<long>(parityIndex(row, col) * lb),
         parity1_.begin() +
-            (static_cast<u64>(row) * geom_.linesPerRow() + col) * lb,
-        parity1_.begin() +
-            (static_cast<u64>(row) * geom_.linesPerRow() + col + 1) * lb);
+            static_cast<long>((parityIndex(row, col) + 1) * lb));
     for (u32 d = 0; d < dies_; ++d)
         for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
             if (d == die && b == bank)
@@ -169,6 +245,19 @@ ParityEngine::fixViaD2(u32 die, u32 bank, u32 row, u32 col)
             (static_cast<u64>(die) * geom_.linesPerRow() + col) * lb,
         parity2_.begin() +
             (static_cast<u64>(die) * geom_.linesPerRow() + col + 1) * lb);
+    if (die == dies_) {
+        // Parity unit: its D2 fold covers the parity rows only.
+        for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
+            if (r == row)
+                continue;
+            const u8 *src = linePtr(parity1_, parityIndex(r, col));
+            for (u32 i = 0; i < lb; ++i)
+                acc[i] ^= src[i];
+        }
+        std::memcpy(linePtr(parity1_, parityIndex(row, col)), acc.data(),
+                    lb);
+        return;
+    }
     for (u32 b = 0; b < geom_.banksPerChannel; ++b)
         for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
             if (b == bank && r == row)
@@ -198,8 +287,20 @@ ParityEngine::fixViaD3(u32 die, u32 bank, u32 row, u32 col)
             for (u32 i = 0; i < lb; ++i)
                 acc[i] ^= src[i];
         }
-    std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)), acc.data(),
-                lb);
+    if (bank == 0) {
+        // Bank position 0's group includes the parity unit's rows.
+        for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
+            if (die == dies_ && r == row)
+                continue;
+            const u8 *src = linePtr(parity1_, parityIndex(r, col));
+            for (u32 i = 0; i < lb; ++i)
+                acc[i] ^= src[i];
+        }
+    }
+    u8 *dst = die == dies_
+                  ? linePtr(parity1_, parityIndex(row, col))
+                  : linePtr(data_, lineIndex(die, bank, row, col));
+    std::memcpy(dst, acc.data(), lb);
 }
 
 u64
@@ -209,19 +310,17 @@ ParityEngine::corruptLineCount() const
     for (u64 l = 0; l < totalLines(); ++l)
         if (lineCorrupt(l))
             ++n;
+    for (u32 r = 0; r < geom_.rowsPerBank; ++r)
+        for (u32 c = 0; c < geom_.linesPerRow(); ++c)
+            if (parityLineCorrupt(r, c))
+                ++n;
     return n;
 }
 
-bool
-ParityEngine::reconstruct(u32 dims)
+std::vector<ParityEngine::CorruptLine>
+ParityEngine::collectCorrupt() const
 {
     const u32 cols = geom_.linesPerRow();
-
-    // Detect: CRC-32 mismatch marks a line corrupt (line granularity).
-    struct CorruptLine
-    {
-        u32 die, bank, row, col;
-    };
     std::vector<CorruptLine> corrupt;
     for (u32 d = 0; d < dies_; ++d)
         for (u32 b = 0; b < geom_.banksPerChannel; ++b)
@@ -229,63 +328,216 @@ ParityEngine::reconstruct(u32 dims)
                 for (u32 c = 0; c < cols; ++c)
                     if (lineCorrupt(lineIndex(d, b, r, c)))
                         corrupt.push_back({d, b, r, c});
+    for (u32 r = 0; r < geom_.rowsPerBank; ++r)
+        for (u32 c = 0; c < cols; ++c)
+            if (parityLineCorrupt(r, c))
+                corrupt.push_back({dies_, 0, r, c});
+    return corrupt;
+}
+
+u32
+ParityEngine::peelDim(const CorruptLine &L,
+                      const std::vector<CorruptLine> &corrupt,
+                      u32 dims) const
+{
+    // D1: only unknown (die, bank) unit in its (row, col) group? The
+    // parity unit (die dies_, bank 0) is one more group member.
+    u32 units = 0;
+    for (const auto &o : corrupt)
+        if (o.row == L.row && o.col == L.col &&
+            !(o.die == L.die && o.bank == L.bank))
+            ++units;
+    if (units == 0)
+        return 1;
+
+    if (dims >= 2) {
+        // D2: only unknown (bank, row) slice of its die at col?
+        u32 slices = 0;
+        for (const auto &o : corrupt)
+            if (o.die == L.die && o.col == L.col &&
+                !(o.bank == L.bank && o.row == L.row))
+                ++slices;
+        if (slices == 0)
+            return 2;
+    }
+
+    if (dims >= 3) {
+        // D3: only unknown (die, row) slice of its bank position at
+        // col? Bank position 0 includes the parity unit.
+        u32 s3 = 0;
+        for (const auto &o : corrupt)
+            if (o.bank == L.bank && o.col == L.col &&
+                !(o.die == L.die && o.row == L.row))
+                ++s3;
+        if (s3 == 0)
+            return 3;
+    }
+    return 0;
+}
+
+void
+ParityEngine::fixLine(const CorruptLine &L, u32 dim)
+{
+    switch (dim) {
+      case 1:
+        fixViaD1(L.die, L.bank, L.row, L.col);
+        break;
+      case 2:
+        fixViaD2(L.die, L.bank, L.row, L.col);
+        break;
+      case 3:
+        fixViaD3(L.die, L.bank, L.row, L.col);
+        break;
+      default:
+        panic("ParityEngine: bad fix dimension %u", dim);
+    }
+    if (isCorrupt(L))
+        panic("ParityEngine: reconstruction produced bad CRC");
+}
+
+u32
+ParityEngine::groupReadCost(const CorruptLine &L, u32 dim) const
+{
+    // DRAM line reads needed to XOR out the target: every other line of
+    // the parity group that lives in DRAM (D2/D3 parity itself is SRAM
+    // at the controller, Section VI-B, so it costs no DRAM read).
+    const u32 banks = geom_.banksPerChannel;
+    const u32 rows = geom_.rowsPerBank;
+    switch (dim) {
+      case 1:
+        // Group: dies_ x banks data lines + 1 parity line; read all
+        // but the target.
+        return dies_ * banks;
+      case 2:
+        return L.die == dies_ ? rows - 1 : banks * rows - 1;
+      case 3:
+        return L.bank == 0 ? (dies_ + 1) * rows - 1 : dies_ * rows - 1;
+      default:
+        return 0;
+    }
+}
+
+bool
+ParityEngine::reconstruct(u32 dims)
+{
+    std::vector<CorruptLine> corrupt = collectCorrupt();
 
     bool progress = true;
     while (progress && !corrupt.empty()) {
         progress = false;
         for (std::size_t i = 0; i < corrupt.size(); ++i) {
-            const CorruptLine &L = corrupt[i];
-
-            // D1: only unknown (die, bank) unit in its (row, col) group?
-            u32 units = 0;
-            for (const auto &o : corrupt)
-                if (o.row == L.row && o.col == L.col &&
-                    !(o.die == L.die && o.bank == L.bank))
-                    ++units;
-            if (units == 0) {
-                fixViaD1(L.die, L.bank, L.row, L.col);
-            } else if (dims >= 2) {
-                // D2: only unknown (bank, row) slice of its die at col?
-                u32 slices = 0;
-                for (const auto &o : corrupt)
-                    if (o.die == L.die && o.col == L.col &&
-                        !(o.bank == L.bank && o.row == L.row))
-                        ++slices;
-                if (slices == 0) {
-                    fixViaD2(L.die, L.bank, L.row, L.col);
-                } else if (dims >= 3) {
-                    // D3: only unknown (die, row) slice of its bank
-                    // position at col?
-                    u32 s3 = 0;
-                    for (const auto &o : corrupt)
-                        if (o.bank == L.bank && o.col == L.col &&
-                            !(o.die == L.die && o.row == L.row))
-                            ++s3;
-                    if (s3 != 0)
-                        continue;
-                    fixViaD3(L.die, L.bank, L.row, L.col);
-                } else {
-                    continue;
-                }
-            } else {
+            const u32 dim = peelDim(corrupt[i], corrupt, dims);
+            if (dim == 0)
                 continue;
-            }
-
-            if (lineCorrupt(lineIndex(L.die, L.bank, L.row, L.col)))
-                panic("ParityEngine: reconstruction produced bad CRC");
+            fixLine(corrupt[i], dim);
             corrupt.erase(corrupt.begin() + static_cast<long>(i));
             progress = true;
             break;
         }
     }
 
-    return corrupt.empty() && data_ == golden_;
+    return corrupt.empty() && data_ == golden_ &&
+           parity1_ == goldenParity1_;
+}
+
+bool
+ParityEngine::peelable(u32 dims) const
+{
+    std::vector<CorruptLine> corrupt = collectCorrupt();
+    bool progress = true;
+    while (progress && !corrupt.empty()) {
+        progress = false;
+        for (std::size_t i = 0; i < corrupt.size(); ++i) {
+            if (peelDim(corrupt[i], corrupt, dims) == 0)
+                continue;
+            corrupt.erase(corrupt.begin() + static_cast<long>(i));
+            progress = true;
+            break;
+        }
+    }
+    return corrupt.empty();
+}
+
+bool
+ParityEngine::lineCorruptAt(u32 die, u32 bank, u32 row, u32 col) const
+{
+    checkCoord(die, bank, row, col);
+    return isCorrupt({die, bank, row, col});
+}
+
+bool
+ParityEngine::lineMatchesGolden(u32 die, u32 bank, u32 row, u32 col) const
+{
+    checkCoord(die, bank, row, col);
+    const u32 lb = geom_.lineBytes;
+    if (die == dies_) {
+        const u64 idx = parityIndex(row, col);
+        return std::memcmp(linePtr(parity1_, idx),
+                           linePtr(goldenParity1_, idx), lb) == 0;
+    }
+    const u64 idx = lineIndex(die, bank, row, col);
+    return std::memcmp(linePtr(data_, idx), linePtr(golden_, idx), lb) ==
+           0;
+}
+
+ParityEngine::DemandFix
+ParityEngine::correctLine(u32 die, u32 bank, u32 row, u32 col, u32 dims)
+{
+    checkCoord(die, bank, row, col);
+    DemandFix fix;
+    const CorruptLine target{die, bank, row, col};
+    if (!isCorrupt(target)) {
+        fix.corrected = true;
+        return fix;
+    }
+
+    std::vector<CorruptLine> corrupt = collectCorrupt();
+    auto targetPending = [&] {
+        return std::find(corrupt.begin(), corrupt.end(), target) !=
+               corrupt.end();
+    };
+
+    bool progress = true;
+    while (progress && targetPending()) {
+        progress = false;
+        // Prefer solving the target directly; otherwise peel any
+        // solvable dependency and retry.
+        std::size_t pick = corrupt.size();
+        u32 pick_dim = 0;
+        for (std::size_t i = 0; i < corrupt.size(); ++i) {
+            const u32 dim = peelDim(corrupt[i], corrupt, dims);
+            if (dim == 0)
+                continue;
+            if (corrupt[i] == target) {
+                pick = i;
+                pick_dim = dim;
+                break;
+            }
+            if (pick == corrupt.size()) {
+                pick = i;
+                pick_dim = dim;
+            }
+        }
+        if (pick == corrupt.size())
+            break;
+        fixLine(corrupt[pick], pick_dim);
+        fix.groupReads += groupReadCost(corrupt[pick], pick_dim);
+        ++fix.linesFixed;
+        if (corrupt[pick] == target)
+            fix.dimUsed = pick_dim;
+        corrupt.erase(corrupt.begin() + static_cast<long>(pick));
+        progress = true;
+    }
+
+    fix.corrected = !targetPending();
+    return fix;
 }
 
 void
 ParityEngine::restore()
 {
     data_ = golden_;
+    parity1_ = goldenParity1_;
 }
 
 } // namespace citadel

@@ -8,16 +8,22 @@
  * same per-column-slot peeling the analytic MultiDimParityScheme
  * models, and verifies recovered data against the golden image.
  *
+ * The Dimension-1 parity store is itself modeled as one more
+ * (die, bank) unit — die index parityDie(), bank 0 — with its own byte
+ * storage and per-line CRCs, so faults landing in the parity bank can
+ * be injected and corrected like any data fault (the D2 fold of the
+ * parity unit and the D3 group of bank position 0 cover it).
+ *
  * Purpose: (1) executable specification of 3DP correction, (2) ground
  * truth for property tests that cross-check the analytic Monte Carlo
- * evaluator, (3) measurement of reconstruction cost for the
- * micro-benchmarks.
+ * evaluator, (3) the storage model behind the live RAS datapath
+ * (src/ras), which needs per-line detection and demand-time correction
+ * rather than whole-memory reconstruction.
  */
 
 #ifndef CITADEL_CITADEL_PARITY_ENGINE_H
 #define CITADEL_CITADEL_PARITY_ENGINE_H
 
-#include <set>
 #include <vector>
 
 #include "faults/fault.h"
@@ -36,49 +42,114 @@ class ParityEngine
      */
     ParityEngine(const StackGeometry &geom, u64 seed = 42);
 
-    /** Flip every bit covered by each fault (stack coordinate 0). */
+    /**
+     * Flip every bit covered by each fault (stack coordinate 0).
+     * Faults whose channel matches parityDie() (with bank 0) corrupt
+     * the D1 parity store instead of data.
+     */
     void corrupt(const std::vector<Fault> &faults);
 
     /**
      * CRC-detect corrupt lines and peel-reconstruct using `dims`
      * parity dimensions.
      * @return true iff every corrupt line was reconstructed and the
-     *         memory image matches the golden copy again.
+     *         memory image (data and parity) matches the golden copy.
      */
     bool reconstruct(u32 dims = 3);
 
-    /** Lines whose CRC currently mismatches. */
+    /**
+     * Would reconstruct() succeed? Runs the same peel on the corrupt
+     * set without touching any bytes (the peel decision depends only on
+     * which lines are corrupt, not their contents).
+     */
+    bool peelable(u32 dims = 3) const;
+
+    /** Lines whose CRC currently mismatches (data + parity store). */
     u64 corruptLineCount() const;
 
-    /** Total lines in the modeled stack. */
+    /** Total data lines in the modeled stack (excludes parity store). */
     u64 totalLines() const;
 
     /** Restore the pristine image (for reuse across test cases). */
     void restore();
 
+    /** Die index addressing the D1 parity unit in this model. */
+    u32 parityDie() const { return dies_; }
+
+    /** CRC verdict for one line; die == parityDie() selects parity. */
+    bool lineCorruptAt(u32 die, u32 bank, u32 row, u32 col) const;
+
+    /** Byte-exact comparison against the golden image. */
+    bool lineMatchesGolden(u32 die, u32 bank, u32 row, u32 col) const;
+
+    /** Outcome of a demand-time single-line correction. */
+    struct DemandFix
+    {
+        bool corrected = false;
+        u32 dimUsed = 0;    ///< Dimension that rebuilt the target line.
+        u32 groupReads = 0; ///< DRAM line reads consumed while peeling.
+        u32 linesFixed = 0; ///< Lines rebuilt (target + dependencies).
+    };
+
+    /**
+     * Correct one line the way the controller does on a demand read:
+     * peel whatever parity groups are solvable, preferring the target,
+     * and stop as soon as the target line verifies. Unlike
+     * reconstruct() this leaves other corrupt lines corrupt.
+     */
+    DemandFix correctLine(u32 die, u32 bank, u32 row, u32 col,
+                          u32 dims = 3);
+
   private:
+    struct CorruptLine
+    {
+        u32 die, bank, row, col;
+
+        bool operator==(const CorruptLine &) const = default;
+    };
+
     StackGeometry geom_;
     u32 dies_;
 
     std::vector<u8> data_;
     std::vector<u8> golden_;
-    std::vector<u32> crc_; ///< Golden CRC-32 per line.
+    std::vector<u32> crc_; ///< Golden CRC-32 per data line.
 
-    // Parity storage, computed from the golden image. Modeled as
-    // fault-free (the parity bank's own faults appear as one more
-    // unknown unit in the analytic model; see DESIGN.md).
-    std::vector<u8> parity1_; ///< [row][col][byte] across all units.
+    // Live D1 parity store (one more (die, bank) unit, faultable),
+    // with its golden copy and per-line CRCs.
+    std::vector<u8> parity1_;
+    std::vector<u8> goldenParity1_;
+    std::vector<u32> parityCrc_;
+
+    // SRAM parity (Section VI-B), modeled fault-free. parity2_ has one
+    // extra segment (index dies_) folding the parity store's rows;
+    // parity3_'s bank-0 segment folds the parity store as well, since
+    // the parity unit sits at bank position 0.
     std::vector<u8> parity2_; ///< [die][col][byte] folding all rows.
     std::vector<u8> parity3_; ///< [bank][col][byte] folding dies+rows.
 
     u64 lineIndex(u32 die, u32 bank, u32 row, u32 col) const;
+    u64 parityIndex(u32 row, u32 col) const;
     u8 *linePtr(std::vector<u8> &buf, u64 line_idx);
     const u8 *linePtr(const std::vector<u8> &buf, u64 line_idx) const;
 
     u32 computeCrc(u64 line_idx) const;
     bool lineCorrupt(u64 line_idx) const;
+    bool parityLineCorrupt(u32 row, u32 col) const;
+    bool isCorrupt(const CorruptLine &l) const;
+    void checkCoord(u32 die, u32 bank, u32 row, u32 col) const;
 
     void buildParity();
+    std::vector<CorruptLine> collectCorrupt() const;
+
+    /**
+     * Lowest parity dimension (<= dims) able to rebuild `l` given the
+     * other corrupt lines; 0 when none can.
+     */
+    u32 peelDim(const CorruptLine &l,
+                const std::vector<CorruptLine> &corrupt, u32 dims) const;
+    void fixLine(const CorruptLine &l, u32 dim);
+    u32 groupReadCost(const CorruptLine &l, u32 dim) const;
 
     /** XOR-reconstruct one line from a parity group. */
     void fixViaD1(u32 die, u32 bank, u32 row, u32 col);

@@ -41,6 +41,7 @@ TsvSwapScheme::absorb(const Fault &fault)
             // own bits are replicated in metadata, so no data is lost.
             ++used;
             ++repairs_;
+            emitEvent(SchemeEvent::Kind::TsvRepaired, fault);
             return true;
         }
         // Pool exhausted: the fault lands with full severity.

@@ -46,6 +46,13 @@ class TsvSwapScheme : public RasScheme
     void onScrub(std::vector<Fault> &active) override;
     bool uncorrectable(const std::vector<Fault> &active) const override;
 
+    void
+    setEventSink(SchemeEventSink sink) override
+    {
+        RasScheme::setEventSink(sink);
+        inner_->setEventSink(std::move(sink));
+    }
+
     /** Repairs performed so far in this trial (all channels). */
     u64 repairsPerformed() const { return repairs_; }
 

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/log.h"
+
 namespace citadel {
 
 u64
@@ -13,8 +15,11 @@ envU64(const char *name, u64 fallback)
         return fallback;
     char *end = nullptr;
     const unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v || *end != '\0')
+    if (end == v || *end != '\0') {
+        warn("env: %s='%s' is not a valid unsigned integer; using %llu",
+             name, v, static_cast<unsigned long long>(fallback));
         return fallback;
+    }
     return static_cast<u64>(parsed);
 }
 
@@ -26,8 +31,11 @@ envDouble(const char *name, double fallback)
         return fallback;
     char *end = nullptr;
     const double parsed = std::strtod(v, &end);
-    if (end == v || *end != '\0')
+    if (end == v || *end != '\0') {
+        warn("env: %s='%s' is not a valid number; using %g", name, v,
+             fallback);
         return fallback;
+    }
     return parsed;
 }
 

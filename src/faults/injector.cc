@@ -6,14 +6,36 @@
 
 namespace citadel {
 
+void
+SystemConfig::validate() const
+{
+    geom.validate();
+    if (!(lifetimeHours > 0.0))
+        fatal("config: lifetimeHours must be positive (got %g)",
+              lifetimeHours);
+    if (!(scrubHours > 0.0))
+        fatal("config: scrubHours must be positive (got %g)", scrubHours);
+    if (tsvDeviceFit < 0.0)
+        fatal("config: tsvDeviceFit must be >= 0 (got %g)", tsvDeviceFit);
+    if (subArrayFraction < 0.0 || subArrayFraction > 1.0)
+        fatal("config: subArrayFraction must be in [0, 1] (got %g)",
+              subArrayFraction);
+    if (subArrayRows == 0 || (subArrayRows & (subArrayRows - 1)) != 0 ||
+        subArrayRows > geom.rowsPerBank)
+        fatal("config: subArrayRows (%u) must be a power of two <= "
+              "rowsPerBank (%u)",
+              subArrayRows, geom.rowsPerBank);
+    const FitPair *pairs[] = {&rates.bit, &rates.word, &rates.column,
+                              &rates.row, &rates.bank};
+    for (const FitPair *p : pairs)
+        if (p->transientFit < 0.0 || p->permanentFit < 0.0)
+            fatal("config: FIT rates must be >= 0");
+}
+
 FaultInjector::FaultInjector(const SystemConfig &cfg)
     : cfg_(cfg), tsvMap_(cfg.geom)
 {
-    cfg_.geom.validate();
-    if (cfg_.subArrayRows == 0 ||
-        (cfg_.subArrayRows & (cfg_.subArrayRows - 1)) != 0 ||
-        cfg_.subArrayRows > cfg_.geom.rowsPerBank)
-        fatal("injector: subArrayRows must be a power of two <= rowsPerBank");
+    cfg_.validate();
 }
 
 void

@@ -52,6 +52,14 @@ struct SystemConfig
 
     /** Channel index used for the ECC/metadata die. */
     u32 eccChannel() const { return geom.channelsPerStack; }
+
+    /**
+     * Check the whole experiment configuration for nonsense (zero
+     * geometry dimensions, negative rates, impossible scrub/lifetime
+     * setup). Calls fatal() with a clear message on the first problem,
+     * instead of letting it surface as undefined behavior downstream.
+     */
+    void validate() const;
 };
 
 /**

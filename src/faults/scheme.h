@@ -18,6 +18,7 @@
 #ifndef CITADEL_FAULTS_SCHEME_H
 #define CITADEL_FAULTS_SCHEME_H
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,25 @@
 #include "faults/injector.h"
 
 namespace citadel {
+
+/** A repair/sparing decision a scheme makes while absorbing faults. */
+struct SchemeEvent
+{
+    enum class Kind
+    {
+        TsvRepaired,   ///< TSV-SWAP steered a stand-by TSV in place.
+        RowSpared,     ///< DDS retired a faulty row via the RRT.
+        BankSpared,    ///< DDS decommissioned a bank via the BRT.
+        SparingDenied, ///< Spare budget exhausted; fault stays active.
+        Absorbed,      ///< Fault landed in already-spared storage.
+    };
+
+    Kind kind;
+    Fault fault;
+};
+
+/** Observer for scheme decisions (event log, live datapath, tests). */
+using SchemeEventSink = std::function<void(const SchemeEvent &)>;
 
 /** Abstract RAS scheme evaluated by the Monte Carlo engine. */
 class RasScheme
@@ -37,6 +57,15 @@ class RasScheme
 
     /** Reinitialize per-trial state (spare budgets, swap registers). */
     virtual void reset(const SystemConfig &cfg) { cfg_ = &cfg; }
+
+    /**
+     * Install an observer notified of every repair/sparing decision.
+     * Decorators propagate the sink to their inner scheme.
+     */
+    virtual void setEventSink(SchemeEventSink sink)
+    {
+        sink_ = std::move(sink);
+    }
 
     /**
      * Offer a newly arrived fault to the scheme's repair machinery.
@@ -60,7 +89,14 @@ class RasScheme
     virtual bool uncorrectable(const std::vector<Fault> &active) const = 0;
 
   protected:
+    void emitEvent(SchemeEvent::Kind kind, const Fault &fault) const
+    {
+        if (sink_)
+            sink_({kind, fault});
+    }
+
     const SystemConfig *cfg_ = nullptr;
+    SchemeEventSink sink_;
 };
 
 /** Baseline with no correction at all: any fault is data loss. */

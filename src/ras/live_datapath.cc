@@ -1,0 +1,418 @@
+#include "ras/live_datapath.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace citadel {
+
+LiveRasDatapath::LiveRasDatapath(const SimConfig &cfg,
+                                 const LiveRasOptions &opts)
+    : cfg_(cfg), opts_(opts), map_(cfg.geom),
+      dies_(cfg.geom.channelsPerStack + 1),
+      analytic_(opts.scheme.parityDims), log_(opts.maxEvents)
+{
+    const StackGeometry &g = cfg_.geom;
+    // Byte-true storage: data + golden + parity copies, per stack.
+    const u64 model_bytes = 2 * static_cast<u64>(g.stacks) * dies_ *
+                            g.banksPerChannel * g.rowsPerBank * g.rowBytes;
+    if (model_bytes > opts_.maxModelBytes)
+        fatal("LiveRasDatapath: geometry needs %llu model bytes "
+              "(> %llu); use a reduced geometry such as "
+              "StackGeometry::tiny()",
+              static_cast<unsigned long long>(model_bytes),
+              static_cast<unsigned long long>(opts_.maxModelBytes));
+
+    sysCfg_.geom = g;
+    sysCfg_.subArrayRows = std::min<u32>(sysCfg_.subArrayRows,
+                                         g.rowsPerBank);
+    sysCfg_.validate();
+    analytic_.reset(sysCfg_);
+
+    for (u32 s = 0; s < g.stacks; ++s) {
+        StackGeometry one = g;
+        one.stacks = 1;
+        engines_.push_back(std::make_unique<ParityEngine>(
+            one, opts_.seed ^ (0x9E3779B97F4A7C15ull * (s + 1))));
+        rrt_.emplace_back(dies_ * g.banksPerChannel,
+                          opts_.scheme.spareRowsPerBank);
+        brt_.emplace_back(opts_.scheme.spareBanksPerStack);
+        spareRowCursor_.push_back(0);
+    }
+}
+
+u32
+LiveRasDatapath::unitId(u32 channel, u32 bank) const
+{
+    return channel * cfg_.geom.banksPerChannel + bank;
+}
+
+const ParityEngine &
+LiveRasDatapath::engine(u32 stack) const
+{
+    if (stack >= engines_.size())
+        panic("LiveRasDatapath: stack %u out of range", stack);
+    return *engines_[stack];
+}
+
+void
+LiveRasDatapath::logEvent(RasEvent ev)
+{
+    log_.append(std::move(ev));
+}
+
+void
+LiveRasDatapath::scheduleFault(const Fault &fault, u64 cycle)
+{
+    if (fault.stack.mask != 0xFFFFFFFFu ||
+        fault.stack.value >= cfg_.geom.stacks)
+        fatal("scheduleFault: fault must name one existing stack (%s)",
+              fault.describe().c_str());
+    pending_.emplace(cycle, fault);
+}
+
+void
+LiveRasDatapath::tick(u64 cycle)
+{
+    while (!pending_.empty() && pending_.begin()->first <= cycle) {
+        const Fault f = pending_.begin()->second;
+        pending_.erase(pending_.begin());
+        materialize(f, cycle);
+    }
+    if (opts_.scrubCycles != 0 &&
+        cycle >= lastScrub_ + opts_.scrubCycles) {
+        lastScrub_ = cycle;
+        scrub(cycle);
+    }
+}
+
+void
+LiveRasDatapath::materialize(const Fault &f, u64 cycle)
+{
+    ++log_.counters.faultsInjected;
+    logEvent({RasEventType::FaultInjected, cycle, 0, 0, 0, f.cls,
+              f.describe()});
+
+    // TSV-SWAP absorbs TSV faults while stand-by budget remains; the
+    // redirection register steers around the faulty TSV before any
+    // data is lost (Section V).
+    if (opts_.scheme.enableTsvSwap && f.fromTsv) {
+        const u64 key = (static_cast<u64>(f.stack.value) << 32) |
+                        f.channel.value;
+        u32 &used = tsvUsed_[key];
+        if (used < opts_.scheme.standbyTsvsPerChannel) {
+            ++used;
+            ++log_.counters.tsvRepairs;
+            ++log_.counters.faultsAbsorbed;
+            logEvent({RasEventType::TsvRepaired, cycle, 0, 0, 0, f.cls,
+                      f.describe()});
+            return;
+        }
+    }
+
+    // Faults inside an already-decommissioned bank never touch live
+    // data: the spare bank serves it.
+    if (opts_.scheme.enableDds && inSparedBank(f)) {
+        ++log_.counters.faultsAbsorbed;
+        return;
+    }
+
+    active_.push_back(f);
+    rebuildEngines();
+    differentialCheck(cycle);
+}
+
+void
+LiveRasDatapath::scrub(u64 cycle)
+{
+    // Scrub rewrites every line from corrected data: transient faults
+    // vanish; DDS retires permanent ones into spare storage.
+    std::erase_if(active_, [](const Fault &f) { return f.transient; });
+
+    if (opts_.scheme.enableDds) {
+        std::erase_if(active_, [&](const Fault &f) {
+            if (inSparedBank(f))
+                return true;
+            if (trySpare(f, cycle))
+                return true;
+            ++log_.counters.sparingDenied;
+            logEvent({RasEventType::SparingDenied, cycle, 0, 0, 0, f.cls,
+                      f.describe()});
+            return false;
+        });
+        std::erase_if(active_,
+                      [&](const Fault &f) { return inSparedBank(f); });
+    }
+
+    rebuildEngines();
+    differentialCheck(cycle);
+}
+
+bool
+LiveRasDatapath::inSparedBank(const Fault &f) const
+{
+    if (f.stack.mask != 0xFFFFFFFFu || f.channel.mask != 0xFFFFFFFFu ||
+        f.bank.mask != 0xFFFFFFFFu)
+        return false;
+    if (f.stack.value >= brt_.size())
+        return false;
+    return brt_[f.stack.value]
+        .lookup(unitId(f.channel.value, f.bank.value))
+        .has_value();
+}
+
+bool
+LiveRasDatapath::trySpare(const Fault &f, u64 cycle)
+{
+    if (f.transient)
+        return false; // transients clear at scrub; nothing to retire
+    if (f.stack.mask != 0xFFFFFFFFu || f.channel.mask != 0xFFFFFFFFu ||
+        f.bank.mask != 0xFFFFFFFFu)
+        return false; // multi-bank faults have no single spare target
+    const u32 stack = f.stack.value;
+    const u32 unit = unitId(f.channel.value, f.bank.value);
+
+    if (f.rowsCovered(cfg_.geom) == 1) {
+        const u32 row = f.row.value & (cfg_.geom.rowsPerBank - 1);
+        u32 &cursor = spareRowCursor_[stack];
+        if (rrt_[stack].insert(unit, row,
+                               cursor % cfg_.geom.rowsPerBank)) {
+            ++cursor;
+            ++log_.counters.rowsSpared;
+            logEvent({RasEventType::RowSpared, cycle, 0, 0, 0, f.cls,
+                      f.describe()});
+            return true;
+        }
+        // RRT exhausted: the bank has failed; escalate (Section VII-C).
+    }
+
+    if (brt_[stack].insert(unit, brt_[stack].used())) {
+        ++log_.counters.banksSpared;
+        logEvent({RasEventType::BankSpared, cycle, 0, 0, 0, f.cls,
+                  f.describe()});
+        return true;
+    }
+    return false;
+}
+
+void
+LiveRasDatapath::spareCovering(const LineCoord &c, u64 cycle)
+{
+    // A corrected permanent fault would re-correct on every access;
+    // retire the covering fault(s) into spare storage now (the paper
+    // batches this at scrub time; demand-time retirement gives the
+    // remap the paper's steady-state behavior within a short run).
+    std::erase_if(active_, [&](const Fault &f) {
+        if (f.transient)
+            return false;
+        if (f.stack.mask != 0xFFFFFFFFu ||
+            f.channel.mask != 0xFFFFFFFFu ||
+            f.bank.mask != 0xFFFFFFFFu)
+            return false;
+        if (f.stack.value != c.stack || f.channel.value != c.channel ||
+            f.bank.value != c.bank || !f.row.matches(c.row))
+            return false;
+        return trySpare(f, cycle);
+    });
+    std::erase_if(active_,
+                  [&](const Fault &f) { return inSparedBank(f); });
+}
+
+bool
+LiveRasDatapath::coordRemapped(const LineCoord &c) const
+{
+    if (brt_[c.stack].lookup(unitId(c.channel, c.bank)).has_value())
+        return true;
+    return rrt_[c.stack]
+        .lookup(unitId(c.channel, c.bank), c.row)
+        .has_value();
+}
+
+bool
+LiveRasDatapath::lineIsRemapped(u64 line) const
+{
+    if (line >= map_.parityBase())
+        return false;
+    return coordRemapped(map_.lineToCoord(line));
+}
+
+void
+LiveRasDatapath::rebuildEngines()
+{
+    for (u32 s = 0; s < cfg_.geom.stacks; ++s) {
+        std::vector<Fault> local;
+        for (const Fault &f : active_)
+            if (f.stack.matches(s))
+                local.push_back(f);
+        engines_[s]->restore();
+        engines_[s]->corrupt(local);
+    }
+}
+
+void
+LiveRasDatapath::differentialCheck(u64 cycle)
+{
+    if (!opts_.differential)
+        return;
+    const bool analytic_unc = analytic_.uncorrectable(active_);
+    bool bit_unc = false;
+    for (const auto &e : engines_)
+        if (!e->peelable(opts_.scheme.parityDims)) {
+            bit_unc = true;
+            break;
+        }
+    if (analytic_unc == bit_unc)
+        return;
+    if (analytic_unc && !bit_unc) {
+        // The analytic evaluator peels whole fault ranges; the bit-true
+        // engine peels line by line and can make partial progress
+        // through one dimension before finishing in another. The
+        // analytic verdict is therefore conservative — safe, and not a
+        // modeling bug.
+        ++log_.counters.analyticConservative;
+        return;
+    }
+    // The dangerous direction: the Monte Carlo model claims the
+    // pattern is correctable while the bit-true machine lost data.
+    ++log_.counters.divergences;
+    const std::string detail =
+        "analytic=OK bit-true=UNC (" +
+        std::to_string(active_.size()) + " faults)";
+    logEvent({RasEventType::Divergence, cycle, 0, 0, 0, FaultClass::Bit,
+              detail});
+    warn("live-ras: analytic/bit-true divergence at cycle %llu: %s",
+         static_cast<unsigned long long>(cycle), detail.c_str());
+}
+
+void
+LiveRasDatapath::appendGroupReads(std::vector<u64> &out,
+                                  const LineCoord &c, u32 dim) const
+{
+    // Sibling lines of the parity group the controller XORs to rebuild
+    // the target. Lines on the ECC/metadata die are real DRAM reads
+    // too, but live outside the system address space the timing model
+    // knows, so only system-addressable lines are charged.
+    const StackGeometry &g = cfg_.geom;
+    const u64 line = map_.coordToLine(c);
+    switch (dim) {
+      case 1:
+        for (u32 ch = 0; ch < g.channelsPerStack; ++ch)
+            for (u32 b = 0; b < g.banksPerChannel; ++b) {
+                if (ch == c.channel && b == c.bank)
+                    continue;
+                out.push_back(
+                    map_.coordToLine({c.stack, ch, b, c.row, c.col}));
+            }
+        out.push_back(map_.d1ParityLine(line));
+        break;
+      case 2:
+        for (u32 b = 0; b < g.banksPerChannel; ++b)
+            for (u32 r = 0; r < g.rowsPerBank; ++r) {
+                if (b == c.bank && r == c.row)
+                    continue;
+                out.push_back(
+                    map_.coordToLine({c.stack, c.channel, b, r, c.col}));
+            }
+        break;
+      case 3:
+        for (u32 ch = 0; ch < g.channelsPerStack; ++ch)
+            for (u32 r = 0; r < g.rowsPerBank; ++r) {
+                if (ch == c.channel && r == c.row)
+                    continue;
+                out.push_back(
+                    map_.coordToLine({c.stack, ch, c.bank, r, c.col}));
+            }
+        if (c.bank == 0) {
+            // Bank position 0's D3 group includes the parity store.
+            for (u32 r = 0; r < g.rowsPerBank; ++r)
+                out.push_back(map_.parityBase() +
+                              (static_cast<u64>(c.stack) * g.rowsPerBank +
+                               r) *
+                                  g.linesPerRow() +
+                              c.col);
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+DemandOutcome
+LiveRasDatapath::onDemandRead(u64 line, u64 cycle)
+{
+    DemandOutcome out;
+    ++log_.counters.demandReads;
+    if (line >= map_.parityBase())
+        return out; // parity traffic is covered by the writeback path
+
+    const LineCoord c = map_.lineToCoord(line);
+    if (opts_.scheme.enableDds && coordRemapped(c)) {
+        // RRT/BRT hit: the access is served by healthy spare storage.
+        ++log_.counters.remappedReads;
+        return out;
+    }
+
+    ParityEngine &eng = *engines_[c.stack];
+    if (!eng.lineCorruptAt(c.channel, c.bank, c.row, c.col))
+        return out;
+
+    // CRC-32 mismatch: read-retry first (a transient bus glitch would
+    // clear; a storage fault persists, Section V), then reconstruct.
+    ++log_.counters.crcDetects;
+    ++log_.counters.retries;
+    out.extraReads.push_back(line);
+
+    const ParityEngine::DemandFix fix = eng.correctLine(
+        c.channel, c.bank, c.row, c.col, opts_.scheme.parityDims);
+
+    FaultClass cls = FaultClass::Bit;
+    for (const Fault &f : active_)
+        if (f.stack.matches(c.stack) && f.channel.matches(c.channel) &&
+            f.bank.matches(c.bank) && f.row.matches(c.row) &&
+            f.col.matches(c.col)) {
+            cls = f.cls;
+            break;
+        }
+
+    if (!fix.corrected) {
+        // DUE: report once per line, poison, keep running.
+        out.kind = DemandOutcome::Kind::Uncorrectable;
+        ++log_.counters.dueReads;
+        if (poisoned_.insert(line).second) {
+            ++log_.counters.due;
+            logEvent({RasEventType::UncorrectableError, cycle, line, 0,
+                      fix.groupReads, cls, "line poisoned"});
+        }
+        rebuildEngines(); // undo partial peels; state stays canonical
+        return out;
+    }
+
+    ++log_.counters.ce;
+    log_.counters.parityGroupReads += fix.groupReads;
+    log_.counters.linesReconstructed += fix.linesFixed;
+
+    if (!eng.lineMatchesGolden(c.channel, c.bank, c.row, c.col)) {
+        // Correction passed CRC but the bytes are wrong: silent data
+        // corruption. Must never happen; tests assert sdc == 0.
+        ++log_.counters.sdc;
+        logEvent({RasEventType::SilentCorruption, cycle, line,
+                  fix.dimUsed, fix.groupReads, cls, ""});
+    }
+
+    out.kind = DemandOutcome::Kind::Corrected;
+    logEvent({RasEventType::CorrectableError, cycle, line, fix.dimUsed,
+              fix.groupReads, cls, ""});
+    appendGroupReads(out.extraReads, c, fix.dimUsed);
+
+    if (opts_.scheme.enableDds)
+        spareCovering(c, cycle);
+
+    // Restore the canonical state: spared faults are gone for good;
+    // un-spared ones (transients before their scrub, budget-denied
+    // permanents) re-corrupt their cells, as in DRAM.
+    rebuildEngines();
+    differentialCheck(cycle);
+    return out;
+}
+
+} // namespace citadel

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Live RAS datapath: the paper's runtime error flow, executed against
+ * bit-true storage while the timing simulator runs.
+ *
+ * Faults (sampled by FaultInjector or built by hand) are scheduled at a
+ * cycle and materialize as real bit corruption in a per-stack
+ * ParityEngine. Every demand read the simulator completes is routed
+ * through onDemandRead(), which walks the full Section V-VII flow:
+ *
+ *   CRC-32 detect -> read-retry -> 3DP peel-reconstruction (extra
+ *   parity-group reads returned to the sim so they are charged as DRAM
+ *   traffic and correction latency) -> DDS row/bank sparing so
+ *   subsequent accesses are remapped -> TSV-SWAP absorbing TSV faults
+ *   before they ever corrupt storage.
+ *
+ * An uncorrectable pattern is reported as a machine-check-style DUE
+ * event with the line poisoned; the simulation continues. A
+ * differential-validation mode cross-checks the bit-true verdict
+ * (ParityEngine::peelable) against the analytic MultiDimParityScheme
+ * verdict on every change of the active fault set. The analytic model
+ * peels whole fault ranges and is therefore conservative: it may call
+ * a set uncorrectable that the line-granularity peel recovers (counted
+ * as analyticConservative). The reverse — analytic claims correctable
+ * while the bit-true machine loses data — is a modeling bug, flagged
+ * as a first-class Divergence event; tests require zero.
+ *
+ * Faithfulness notes:
+ *  - transient faults keep their cells corrupt until the next scrub
+ *    (FaultSim semantics), so an unspared transient line re-corrects
+ *    on every access -- exactly the overhead DDS exists to remove;
+ *  - the engine's state is always golden XOR (union of active fault
+ *    masks); demand corrections are re-applied by rebuilding, keeping
+ *    the bit-true and analytic models comparable at any instant.
+ */
+
+#ifndef CITADEL_RAS_LIVE_DATAPATH_H
+#define CITADEL_RAS_LIVE_DATAPATH_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "citadel/citadel.h"
+#include "citadel/parity_engine.h"
+#include "citadel/remap_tables.h"
+#include "ras/ras_event.h"
+#include "sim/ras_hook.h"
+#include "sim/system_sim.h"
+
+namespace citadel {
+
+/** Configuration of the live datapath. */
+struct LiveRasOptions
+{
+    /** Scheme composition and budgets (parity dims, TSV-SWAP, DDS). */
+    CitadelOptions scheme;
+
+    /** Cross-check analytic vs bit-true verdicts on every change of
+     *  the active fault set; divergences are counted and logged. */
+    bool differential = true;
+
+    /** Scrub period in memory cycles; 0 disables in-run scrubs.
+     *  (A real 12h scrub never fires inside a simulated slice; tests
+     *  compress it.) */
+    u64 scrubCycles = 0;
+
+    /** Event-log capacity (counters are always exact). */
+    std::size_t maxEvents = 256;
+
+    /** Seed for the engines' pseudo-random memory images. */
+    u64 seed = 42;
+
+    /**
+     * Refuse geometries whose byte-true model would exceed this
+     * (storage is ~2x the modeled DRAM). Full HBM needs gigabytes;
+     * the live datapath is meant for reduced geometries.
+     */
+    u64 maxModelBytes = 256ull << 20;
+};
+
+/** The live datapath; attach to a SystemSim via attachRas(). */
+class LiveRasDatapath final : public RasHook
+{
+  public:
+    explicit LiveRasDatapath(const SimConfig &cfg,
+                             const LiveRasOptions &opts = {});
+
+    LiveRasDatapath(const LiveRasDatapath &) = delete;
+    LiveRasDatapath &operator=(const LiveRasDatapath &) = delete;
+
+    /** Arrange for `fault` to materialize at `cycle`. The fault's
+     *  stack dimension must be exact. */
+    void scheduleFault(const Fault &fault, u64 cycle);
+
+    // RasHook
+    void tick(u64 cycle) override;
+    DemandOutcome onDemandRead(u64 line, u64 cycle) override;
+
+    const RasLog &log() const { return log_; }
+    const RasCounters &counters() const { return log_.counters; }
+    const std::vector<Fault> &activeFaults() const { return active_; }
+
+    /** Is a line currently served from spare storage (RRT/BRT)? */
+    bool lineIsRemapped(u64 line) const;
+
+    /** The bit-true engine of one stack (tests poke at it). */
+    const ParityEngine &engine(u32 stack) const;
+
+  private:
+    SimConfig cfg_;
+    LiveRasOptions opts_;
+    AddressMap map_;
+    u32 dies_; ///< Data + ECC dies per stack.
+
+    // One bit-true model per stack (the engine is single-stack).
+    std::vector<std::unique_ptr<ParityEngine>> engines_;
+
+    // Analytic counterpart for differential validation.
+    SystemConfig sysCfg_;
+    MultiDimParityScheme analytic_;
+
+    std::vector<Fault> active_;
+    std::multimap<u64, Fault> pending_; ///< cycle -> scheduled fault.
+
+    // Sparing mechanism state (the Section VII-C tables, per stack).
+    std::vector<RowRemapTable> rrt_;
+    std::vector<BankRemapTable> brt_;
+    std::vector<u32> spareRowCursor_;
+    std::map<u64, u32> tsvUsed_; ///< (stack, channel) -> stand-by used.
+
+    std::set<u64> poisoned_; ///< Lines already reported as DUE.
+    u64 lastScrub_ = 0;
+    RasLog log_;
+
+    u32 unitId(u32 channel, u32 bank) const;
+    bool coordRemapped(const LineCoord &c) const;
+    bool inSparedBank(const Fault &f) const;
+    void materialize(const Fault &f, u64 cycle);
+    void scrub(u64 cycle);
+
+    /** Retire one permanent single-bank fault into spare storage. */
+    bool trySpare(const Fault &f, u64 cycle);
+
+    /** Spare permanent faults covering a just-corrected coordinate. */
+    void spareCovering(const LineCoord &c, u64 cycle);
+
+    /** Reset engines to golden and re-apply the active fault set. */
+    void rebuildEngines();
+
+    void differentialCheck(u64 cycle);
+
+    /** Addresses of the parity group that rebuilt `c` via `dim`. */
+    void appendGroupReads(std::vector<u64> &out, const LineCoord &c,
+                          u32 dim) const;
+
+    void logEvent(RasEvent ev);
+};
+
+} // namespace citadel
+
+#endif // CITADEL_RAS_LIVE_DATAPATH_H

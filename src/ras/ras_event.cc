@@ -1,0 +1,67 @@
+#include "ras/ras_event.h"
+
+#include <sstream>
+
+namespace citadel {
+
+const char *
+rasEventTypeName(RasEventType t)
+{
+    switch (t) {
+      case RasEventType::FaultInjected: return "fault-injected";
+      case RasEventType::CorrectableError: return "CE";
+      case RasEventType::UncorrectableError: return "DUE";
+      case RasEventType::SilentCorruption: return "SDC";
+      case RasEventType::RowSpared: return "row-spared";
+      case RasEventType::BankSpared: return "bank-spared";
+      case RasEventType::TsvRepaired: return "tsv-repaired";
+      case RasEventType::SparingDenied: return "sparing-denied";
+      case RasEventType::Divergence: return "DIVERGENCE";
+    }
+    return "?";
+}
+
+std::string
+RasEvent::describe() const
+{
+    std::ostringstream os;
+    os << "[cycle " << cycle << "] " << rasEventTypeName(type);
+    if (type == RasEventType::CorrectableError ||
+        type == RasEventType::UncorrectableError ||
+        type == RasEventType::SilentCorruption) {
+        os << " line=" << line;
+        if (dimUsed)
+            os << " dim=D" << dimUsed;
+        if (groupReads)
+            os << " groupReads=" << groupReads;
+    }
+    if (!detail.empty())
+        os << " (" << detail << ")";
+    return os.str();
+}
+
+std::string
+RasCounters::summary() const
+{
+    std::ostringstream os;
+    os << "faults=" << faultsInjected << " (absorbed=" << faultsAbsorbed
+       << ") demand=" << demandReads << " remapped=" << remappedReads
+       << " detects=" << crcDetects << " | CE=" << ce << " DUE=" << due
+       << " SDC=" << sdc << " | groupReads=" << parityGroupReads
+       << " rowsSpared=" << rowsSpared << " banksSpared=" << banksSpared
+       << " tsvRepairs=" << tsvRepairs << " divergences=" << divergences
+       << " conservative=" << analyticConservative;
+    return os.str();
+}
+
+void
+RasLog::append(RasEvent ev)
+{
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(ev));
+}
+
+} // namespace citadel

@@ -50,10 +50,13 @@ MemorySystem::enqueue(const LineCoord &line, bool write, u64 token,
 }
 
 u64
-MemorySystem::issueRead(u64 line_idx, u64 cycle)
+MemorySystem::issueRead(u64 line_idx, u64 cycle, bool ras)
 {
     const u64 token = nextToken_++;
-    enqueue(map_.lineToCoord(line_idx), false, token, cycle);
+    const LineCoord coord = map_.lineToCoord(line_idx);
+    if (ras)
+        counters_.rasReads += map_.subRequests(coord, cfg_.striping).size();
+    enqueue(coord, false, token, cycle);
     return token;
 }
 

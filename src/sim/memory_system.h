@@ -29,6 +29,11 @@ struct MemCounters
     u64 rowMisses = 0;
     u64 bytesRead = 0;
     u64 bytesWritten = 0;
+
+    /** Sub-requests issued for RAS purposes (RBW, parity fetches,
+     *  read-retry and reconstruction group reads) rather than demand
+     *  traffic. Subset of readBursts. */
+    u64 rasReads = 0;
 };
 
 /** The DRAM side of the simulator. */
@@ -39,10 +44,11 @@ class MemorySystem
 
     /**
      * Enqueue a line read (fans out per the striping mode).
+     * @param ras Tag the read as RAS traffic (counted separately).
      * @return a token reported by drainCompletedReads when all
      *         sub-requests finish.
      */
-    u64 issueRead(u64 line_idx, u64 cycle);
+    u64 issueRead(u64 line_idx, u64 cycle, bool ras = false);
 
     /** Is there write-queue space on every channel the line touches? */
     bool canAcceptWrite(u64 line_idx) const;

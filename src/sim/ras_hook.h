@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-path hook between the timing simulator and a live RAS model.
+ *
+ * SystemSim knows nothing about fault mechanics; it only needs to ask,
+ * for every completed demand read, "was this line clean, corrected, or
+ * lost?" and to charge whatever extra memory traffic the answer cost.
+ * The concrete implementation (ras/LiveRasDatapath) owns the bit-true
+ * storage model, the fault schedule and the sparing state; this header
+ * keeps the dependency pointing from ras -> sim, not the other way.
+ */
+
+#ifndef CITADEL_SIM_RAS_HOOK_H
+#define CITADEL_SIM_RAS_HOOK_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace citadel {
+
+/** What happened to one demand read at the RAS layer. */
+struct DemandOutcome
+{
+    enum class Kind
+    {
+        Clean,         ///< CRC matched (or the access was remapped).
+        Corrected,     ///< CRC detect + successful 3DP reconstruction.
+        Uncorrectable, ///< Reported as a DUE; data is poisoned.
+    };
+
+    Kind kind = Kind::Clean;
+
+    /**
+     * Correction traffic in logical line addresses (data lines, or D1
+     * parity addresses at/above AddressMap::parityBase()). The sim
+     * issues these as RAS reads; for a Corrected outcome the demanding
+     * core stalls until the last of them completes (the paper's
+     * demand-time correction latency, Section VI-B).
+     */
+    std::vector<u64> extraReads;
+};
+
+/** Interface the timing simulator drives once attached. */
+class RasHook
+{
+  public:
+    virtual ~RasHook() = default;
+
+    /** Advance time: materialize due faults, run scrubs. */
+    virtual void tick(u64 cycle) = 0;
+
+    /** A demand read of `line` just returned data to the controller. */
+    virtual DemandOutcome onDemandRead(u64 line, u64 cycle) = 0;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_SIM_RAS_HOOK_H

@@ -37,29 +37,13 @@ SystemSim::SystemSim(const SimConfig &cfg, const BenchmarkProfile &profile)
 u64
 SystemSim::parityLineFor(u64 data_line) const
 {
-    const LineCoord c = mem_.addressMap().lineToCoord(data_line);
-    const StackGeometry &g = cfg_.geom;
-    return parityBase_ +
-           (static_cast<u64>(c.stack) * g.rowsPerBank + c.row) *
-               g.linesPerRow() +
-           c.col;
+    return mem_.addressMap().d1ParityLine(data_line);
 }
 
 u64
 SystemSim::physicalFor(u64 line) const
 {
-    if (line < parityBase_)
-        return line;
-    const StackGeometry &g = cfg_.geom;
-    u64 idx = line - parityBase_;
-    LineCoord c;
-    c.col = static_cast<u32>(idx % g.linesPerRow());
-    idx /= g.linesPerRow();
-    c.row = static_cast<u32>(idx % g.rowsPerBank);
-    c.stack = static_cast<u32>(idx / g.rowsPerBank);
-    c.channel = c.row % g.channelsPerStack;
-    c.bank = (c.row / g.channelsPerStack) % g.banksPerChannel;
-    return mem_.addressMap().coordToLine(c);
+    return mem_.addressMap().parityToPhysical(line);
 }
 
 void
@@ -85,12 +69,12 @@ SystemSim::processWriteback(u64 line, u64 cycle)
 
       case RasTraffic::ThreeDPCached: {
         // Read-before-write to form the parity delta (Fig 12 action 2).
-        mem_.issueRead(line, cycle); // system read, nobody waits on it
+        mem_.issueRead(line, cycle, true); // system read, nobody waits
         mem_.issueWrite(line, cycle);
         const u64 parity = parityLineFor(line);
         if (!llc_.probeParity(parity)) {
             // Fig 12 action 4: fetch parity from memory, install in LLC.
-            mem_.issueRead(physicalFor(parity), cycle);
+            mem_.issueRead(physicalFor(parity), cycle, true);
             const Llc::Victim v = llc_.fill(parity, true, true);
             if (v.valid && v.dirty)
                 pendingWritebacks_.push_back(v.addr);
@@ -99,10 +83,10 @@ SystemSim::processWriteback(u64 line, u64 cycle)
       }
 
       case RasTraffic::ThreeDPUncached: {
-        mem_.issueRead(line, cycle);
+        mem_.issueRead(line, cycle, true);
         mem_.issueWrite(line, cycle);
         const u64 parity = parityLineFor(line);
-        mem_.issueRead(physicalFor(parity), cycle);
+        mem_.issueRead(physicalFor(parity), cycle, true);
         if (mem_.canAcceptWrite(physicalFor(parity)))
             mem_.issueWrite(physicalFor(parity), cycle);
         else
@@ -120,7 +104,7 @@ SystemSim::issueMiss(Core &core, u32 core_idx, u64 cycle)
     // Parity lines occupy a reserved tag space; a data line address is
     // always below parityBase_.
     const u64 token = mem_.issueRead(line, cycle);
-    tokenToCore_[token] = core_idx;
+    pendingReads_[token] = {core_idx, line, false};
     ++core.outstanding;
 
     const bool dirty = core.rng.chance(profile_.writeFrac);
@@ -137,6 +121,44 @@ SystemSim::issueMiss(Core &core, u32 core_idx, u64 cycle)
             pendingWritebacks_.push_back(v.addr);
         }
     }
+}
+
+void
+SystemSim::handleDemandCompletion(u64 token, const PendingRead &pr,
+                                  u64 cycle)
+{
+    (void)token;
+    Core &core = cores_[pr.core];
+    if (core.outstanding == 0)
+        panic("system_sim: completion with no outstanding miss");
+
+    // Replay completions are the tail of a correction chain: the data
+    // was already verified, just release the core.
+    if (!ras_ || pr.replay) {
+        --core.outstanding;
+        return;
+    }
+
+    const DemandOutcome out = ras_->onDemandRead(pr.line, cycle);
+    if (out.extraReads.empty()) {
+        --core.outstanding;
+        return;
+    }
+
+    // Charge the correction traffic (read-retry + parity-group reads)
+    // as real DRAM reads. For a corrected line the core keeps stalling
+    // until the last of them completes -- that is the demand-time
+    // correction latency of Section VI-B. A DUE releases the core
+    // immediately (machine-check semantics: poisoned data delivered,
+    // execution continues); its retry traffic still occupies the bus.
+    u64 last_token = 0;
+    for (u64 addr : out.extraReads)
+        last_token = mem_.issueRead(physicalFor(addr), cycle, true);
+
+    if (out.kind == DemandOutcome::Kind::Corrected)
+        pendingReads_[last_token] = {pr.core, pr.line, true};
+    else
+        --core.outstanding;
 }
 
 void
@@ -180,6 +202,9 @@ SystemSim::run()
     };
 
     while (!all_done()) {
+        if (ras_)
+            ras_->tick(cycle);
+
         // Drain pending writebacks into the memory system.
         while (!pendingWritebacks_.empty()) {
             const u64 line = pendingWritebacks_.front();
@@ -202,14 +227,12 @@ SystemSim::run()
 
         mem_.tick(cycle);
         for (u64 token : mem_.drainCompletedReads(cycle)) {
-            auto it = tokenToCore_.find(token);
-            if (it == tokenToCore_.end())
+            auto it = pendingReads_.find(token);
+            if (it == pendingReads_.end())
                 continue; // system read (RBW / parity fetch)
-            Core &core = cores_[it->second];
-            if (core.outstanding == 0)
-                panic("system_sim: completion with no outstanding miss");
-            --core.outstanding;
-            tokenToCore_.erase(it);
+            const PendingRead pr = it->second;
+            pendingReads_.erase(it);
+            handleDemandCompletion(token, pr, cycle);
         }
         ++cycle;
 

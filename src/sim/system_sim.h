@@ -10,16 +10,23 @@
  *    and a Dimension-1 parity update that hits in the LLC or fetches
  *    the parity line from DRAM (cached mode), or reads+writes parity
  *    in DRAM directly (uncached mode).
+ *
+ * An optional RasHook (see sim/ras_hook.h) adds the live error path:
+ * every completed demand read is checked against the bit-true fault
+ * state; detection/correction costs a read-retry plus the parity-group
+ * reads, charged as real memory traffic the demanding core waits on.
  */
 
 #ifndef CITADEL_SIM_SYSTEM_SIM_H
 #define CITADEL_SIM_SYSTEM_SIM_H
 
 #include <deque>
+#include <unordered_map>
 
 #include "sim/llc.h"
 #include "sim/memory_system.h"
 #include "sim/power.h"
+#include "sim/ras_hook.h"
 #include "sim/workload.h"
 
 namespace citadel {
@@ -42,6 +49,12 @@ class SystemSim
   public:
     SystemSim(const SimConfig &cfg, const BenchmarkProfile &profile);
 
+    /**
+     * Attach a live RAS datapath consulted on every completed demand
+     * read. Not owned; must outlive run(). Pass nullptr to detach.
+     */
+    void attachRas(RasHook *hook) { ras_ = hook; }
+
     /** Run to completion (every core retires its instruction budget). */
     SimResult run();
 
@@ -60,30 +73,36 @@ class SystemSim
         }
     };
 
+    /** A read token some core is waiting on. */
+    struct PendingRead
+    {
+        u32 core = 0;
+        u64 line = 0;       ///< Demanded data line.
+        bool replay = false; ///< Correction replay: release, no re-check.
+    };
+
     SimConfig cfg_;
     const BenchmarkProfile &profile_;
     MemorySystem mem_;
     Llc llc_;
     std::vector<Core> cores_;
-    std::unordered_map<u64, u32> tokenToCore_;
+    std::unordered_map<u64, PendingRead> pendingReads_;
     std::deque<u64> pendingWritebacks_; ///< Data lines awaiting WB issue.
     u64 parityBase_;
+    RasHook *ras_ = nullptr;
 
-    /** Dimension-1 parity line address for a data line (Section VI-C):
-     *  one parity line covers the same (stack, row, col) slot across
-     *  every (die, bank) unit. */
+    /** Dimension-1 parity line address for a data line (Section VI-C). */
     u64 parityLineFor(u64 data_line) const;
 
-    /**
-     * Physical DRAM line backing an address: data lines map through
-     * unchanged; parity lines map into the distributed parity bank
-     * (bank/channel bits derived from the row so no single physical
-     * bank bottlenecks, Section VI-A footnote).
-     */
+    /** Physical DRAM line backing a (possibly parity-space) address. */
     u64 physicalFor(u64 line) const;
 
     void coreTick(u32 core_idx, u64 cycle);
     void issueMiss(Core &core, u32 core_idx, u64 cycle);
+
+    /** Run the RAS error path for one completed demand read. */
+    void handleDemandCompletion(u64 token, const PendingRead &pr,
+                                u64 cycle);
 
     /** Handle a dirty-line writeback including RAS side effects.
      *  @return false if the memory could not accept it (retry later). */

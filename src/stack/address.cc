@@ -108,6 +108,32 @@ AddressMap::subRequests(const LineCoord &line, StripingMode mode) const
     return out;
 }
 
+u64
+AddressMap::d1ParityLine(u64 data_line) const
+{
+    const LineCoord c = lineToCoord(data_line);
+    return parityBase() +
+           (static_cast<u64>(c.stack) * geom_.rowsPerBank + c.row) *
+               geom_.linesPerRow() +
+           c.col;
+}
+
+u64
+AddressMap::parityToPhysical(u64 line) const
+{
+    if (line < parityBase())
+        return line;
+    u64 idx = line - parityBase();
+    LineCoord c;
+    c.col = static_cast<u32>(idx % geom_.linesPerRow());
+    idx /= geom_.linesPerRow();
+    c.row = static_cast<u32>(idx % geom_.rowsPerBank);
+    c.stack = static_cast<u32>(idx / geom_.rowsPerBank);
+    c.channel = c.row % geom_.channelsPerStack;
+    c.bank = (c.row / geom_.channelsPerStack) % geom_.banksPerChannel;
+    return coordToLine(c);
+}
+
 u32
 AddressMap::fanout(StripingMode mode) const
 {

@@ -65,6 +65,24 @@ class AddressMap
     /** Accesses per line under `mode` (1, banks, or channels). */
     u32 fanout(StripingMode mode) const;
 
+    /** First line index of the reserved D1-parity address space. */
+    u64 parityBase() const { return geom_.totalLines(); }
+
+    /**
+     * Dimension-1 parity line address for a data line (Section VI-C):
+     * one parity line covers the same (stack, row, col) slot across
+     * every (die, bank) unit. Parity addresses live above parityBase().
+     */
+    u64 d1ParityLine(u64 data_line) const;
+
+    /**
+     * Physical DRAM line backing an address: data lines map through
+     * unchanged; parity lines map into the distributed parity bank
+     * (bank/channel bits derived from the row so no single physical
+     * bank bottlenecks, Section VI-A footnote).
+     */
+    u64 parityToPhysical(u64 line) const;
+
     const StackGeometry &geometry() const { return geom_; }
 
   private:

@@ -50,6 +50,10 @@ StackGeometry::validate() const
     if (stacks == 0 || channelsPerStack == 0 || banksPerChannel == 0 ||
         rowsPerBank == 0)
         fatal("geometry: all dimensions must be non-zero");
+    if (lineBytes == 0 || rowBytes == 0)
+        fatal("geometry: lineBytes and rowBytes must be non-zero");
+    if (dataTsvsPerChannel == 0)
+        fatal("geometry: dataTsvsPerChannel must be non-zero");
     if (rowBytes % lineBytes != 0)
         fatal("geometry: rowBytes (%u) not a multiple of lineBytes (%u)",
               rowBytes, lineBytes);

@@ -91,6 +91,39 @@ dataTsvFault(u32 s, u32 ch, u32 tsv)
     return f;
 }
 
+/**
+ * A fault inside the D1 parity store itself. The bit-true engine models
+ * the parity bank as one extra (die, bank) unit at
+ * (channel = geom.channelsPerStack + 1, bank = 0); by convention
+ * parity-unit faults keep channel and bank exact so the analytic model
+ * sees the same single-unit range.
+ */
+inline Fault
+parityUnitFault(const StackGeometry &geom, FaultClass cls, u32 s)
+{
+    Fault f = baseFault(cls, s, geom.channelsPerStack + 1);
+    f.bank = DimSpec::exact(0);
+    return f;
+}
+
+inline Fault
+parityRowFault(const StackGeometry &geom, u32 s, u32 r)
+{
+    Fault f = parityUnitFault(geom, FaultClass::Row, s);
+    f.row = DimSpec::exact(r);
+    return f;
+}
+
+inline Fault
+parityBitFault(const StackGeometry &geom, u32 s, u32 r, u32 c, u32 bit)
+{
+    Fault f = parityUnitFault(geom, FaultClass::Bit, s);
+    f.row = DimSpec::exact(r);
+    f.col = DimSpec::exact(c);
+    f.bit = DimSpec::exact(bit);
+    return f;
+}
+
 inline Fault
 addrTsvRowFault(u32 s, u32 ch, u32 row_bit, u32 stuck)
 {
