@@ -101,8 +101,8 @@ BM_MonteCarloFullRun(benchmark::State &state)
     const u64 trials = static_cast<u64>(state.range(0));
     for (auto _ : state)
         benchmark::DoNotOptimize(mc.run(*scheme, trials, 7));
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations() * trials));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trials));
 }
 BENCHMARK(BM_MonteCarloFullRun)->Arg(1000);
 
@@ -136,9 +136,9 @@ BM_LlcFillProbe(benchmark::State &state)
     u64 addr = 0;
     for (auto _ : state) {
         const bool dirty = (addr & 3) == 0;
-        llc.fill(addr, dirty, false);
+        llc.fill(LineAddr{addr}, dirty, false);
         ++addr;
-        benchmark::DoNotOptimize(llc.probeParity(rng.below(1 << 20)));
+        benchmark::DoNotOptimize(llc.probeParity(LineAddr{rng.below(1 << 20)}));
     }
 }
 BENCHMARK(BM_LlcFillProbe);

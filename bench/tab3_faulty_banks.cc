@@ -26,9 +26,9 @@ main()
 
     const double total = static_cast<double>(d.systemsWithFailedBank);
     Table t({"num faulty banks", "measured", "paper Table III"});
-    t.addRow({"1", Table::pct(d.one / total), "66.98%"});
-    t.addRow({"2", Table::pct(d.two / total), "32.98%"});
-    t.addRow({"3+", Table::pct(d.threePlus / total), "0.04%"});
+    t.addRow({"1", Table::pct(static_cast<double>(d.one) / total), "66.98%"});
+    t.addRow({"2", Table::pct(static_cast<double>(d.two) / total), "32.98%"});
+    t.addRow({"3+", Table::pct(static_cast<double>(d.threePlus) / total), "0.04%"});
     t.print(std::cout);
 
     std::cout << "\nSystems with >= 1 failed bank: "
@@ -40,6 +40,6 @@ main()
                  "includes correlated\nmulti-bank events); 2 spare "
                  "banks still cover >99.9% of affected systems.\n"
               << "Covered by 2 spare banks: "
-              << Table::pct((d.one + d.two) / total) << "\n";
+              << Table::pct(static_cast<double>(d.one + d.two) / total) << "\n";
     return 0;
 }

@@ -74,7 +74,7 @@ main()
 
     printBanner(std::cout, "TSV-SWAP datapath (Fig 8)");
     // A 16-lane toy channel with lanes 0 and 8 as stand-by TSVs.
-    TsvSwapDatapath dp(16, {0, 8});
+    TsvSwapDatapath dp(16, {TsvLane{0}, TsvLane{8}});
     std::vector<u8> burst(16);
     for (u32 i = 0; i < 16; ++i)
         burst[i] = static_cast<u8>(0xA0 + i);
@@ -88,11 +88,11 @@ main()
     };
 
     show("pristine channel      ");
-    dp.breakTsv(5);
-    dp.breakTsv(11);
+    dp.breakTsv(TsvLane{5});
+    dp.breakTsv(TsvLane{11});
     show("lanes 5 & 11 broken   ");
-    dp.repair(5);
-    dp.repair(11);
+    dp.repair(TsvLane{5});
+    dp.repair(TsvLane{11});
     show("after TSV-SWAP repairs");
     std::cout << "\n('.' = lane delivers correct data, 'X' = corrupted)\n";
     return 0;

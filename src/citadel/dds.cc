@@ -32,13 +32,13 @@ DdsScheme::reset(const SystemConfig &cfg)
     stats_ = DdsStats{};
 }
 
-u64
-DdsScheme::unitKey(u32 stack, u32 channel, u32 bank) const
+UnitId
+DdsScheme::unitKey(StackId stack, ChannelId channel, BankId bank) const
 {
     const u32 dies = cfg_->diesPerStack();
-    return (static_cast<u64>(stack) * dies + channel) *
-               cfg_->geom.banksPerChannel +
-           bank;
+    return UnitId{(stack.value() * dies + channel.value()) *
+                      cfg_->geom.banksPerChannel +
+                  bank.value()};
 }
 
 bool
@@ -50,7 +50,8 @@ DdsScheme::inSparedBank(const Fault &f) const
         f.stack.mask != 0xFFFFFFFFu)
         return false; // not confined to a single bank
     return sparedBanks_.count(
-               unitKey(f.stack.value, f.channel.value, f.bank.value)) != 0;
+               unitKey(StackId{f.stack.value}, ChannelId{f.channel.value},
+                       BankId{f.bank.value})) != 0;
 }
 
 bool
@@ -74,7 +75,8 @@ DdsScheme::trySpare(const Fault &f)
         f.bank.mask != 0xFFFFFFFFu)
         return false;
     const u32 stack = f.stack.value;
-    const u64 key = unitKey(stack, f.channel.value, f.bank.value);
+    const UnitId key = unitKey(StackId{stack}, ChannelId{f.channel.value},
+                               BankId{f.bank.value});
 
     const u64 rows = f.rowsCovered(cfg_->geom);
     const bool row_grain = rows == 1;

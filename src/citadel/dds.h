@@ -66,12 +66,13 @@ class DdsScheme : public RasScheme
     u32 spareRowsPerBank_;
     u32 spareBanksPerStack_;
 
-    std::map<u64, u32> rowsUsed_;     ///< unit key -> RRT entries used
-    std::set<u64> sparedBanks_;       ///< unit keys already bank-spared
+    std::map<UnitId, u32> rowsUsed_;  ///< unit -> RRT entries used
+    std::set<UnitId> sparedBanks_;    ///< units already bank-spared
     std::map<u32, u32> bankSpares_;   ///< stack -> spare banks consumed
     DdsStats stats_;
 
-    u64 unitKey(u32 stack, u32 channel, u32 bank) const;
+    UnitId unitKey(StackId stack, ChannelId channel,
+                   BankId bank) const;
 
     /** Try to spare one permanent fault. @return true if retired. */
     bool trySpare(const Fault &f);

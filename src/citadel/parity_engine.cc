@@ -39,50 +39,53 @@ ParityEngine::totalLines() const
 }
 
 u64
-ParityEngine::lineIndex(u32 die, u32 bank, u32 row, u32 col) const
+ParityEngine::lineIndex(DieId die, BankId bank, RowId row, ColId col) const
 {
-    return ((static_cast<u64>(die) * geom_.banksPerChannel + bank) *
+    return ((static_cast<u64>(die.value()) * geom_.banksPerChannel +
+             bank.value()) *
                 geom_.rowsPerBank +
-            row) *
+            row.value()) *
                geom_.linesPerRow() +
-           col;
+           col.value();
 }
 
-u64
-ParityEngine::parityIndex(u32 row, u32 col) const
+ParityGroupId
+ParityEngine::parityIndex(RowId row, ColId col) const
 {
-    return static_cast<u64>(row) * geom_.linesPerRow() + col;
+    return ParityGroupId{static_cast<u64>(row.value()) *
+                             geom_.linesPerRow() +
+                         col.value()};
 }
 
 u8 *
-ParityEngine::linePtr(std::vector<u8> &buf, u64 line_idx)
+ParityEngine::linePtr(std::vector<u8> &buf, u64 storage_line)
 {
-    return buf.data() + line_idx * geom_.lineBytes;
+    return buf.data() + storage_line * geom_.lineBytes;
 }
 
 const u8 *
-ParityEngine::linePtr(const std::vector<u8> &buf, u64 line_idx) const
+ParityEngine::linePtr(const std::vector<u8> &buf, u64 storage_line) const
 {
-    return buf.data() + line_idx * geom_.lineBytes;
+    return buf.data() + storage_line * geom_.lineBytes;
 }
 
 u32
-ParityEngine::computeCrc(u64 line_idx) const
+ParityEngine::computeCrc(u64 storage_line) const
 {
-    return Crc32::lineCrc(line_idx,
-                          {linePtr(data_, line_idx), geom_.lineBytes});
+    return Crc32::lineCrc(storage_line,
+                          {linePtr(data_, storage_line), geom_.lineBytes});
 }
 
 bool
-ParityEngine::lineCorrupt(u64 line_idx) const
+ParityEngine::lineCorrupt(u64 storage_line) const
 {
-    return computeCrc(line_idx) != crc_[line_idx];
+    return computeCrc(storage_line) != crc_[storage_line];
 }
 
 bool
-ParityEngine::parityLineCorrupt(u32 row, u32 col) const
+ParityEngine::parityLineCorrupt(RowId row, ColId col) const
 {
-    const u64 idx = parityIndex(row, col);
+    const u64 idx = parityIndex(row, col).value();
     // Parity lines get CRC addresses above the data line space so a
     // misdirected read can never alias a data CRC.
     const u32 crc = Crc32::lineCrc(totalLines() + idx,
@@ -94,19 +97,23 @@ ParityEngine::parityLineCorrupt(u32 row, u32 col) const
 bool
 ParityEngine::isCorrupt(const CorruptLine &l) const
 {
-    if (l.die == dies_)
+    if (l.die == parityDie())
         return parityLineCorrupt(l.row, l.col);
     return lineCorrupt(lineIndex(l.die, l.bank, l.row, l.col));
 }
 
 void
-ParityEngine::checkCoord(u32 die, u32 bank, u32 row, u32 col) const
+ParityEngine::checkCoord(DieId die, BankId bank, RowId row, ColId col) const
 {
-    if (die > dies_ || (die == dies_ && bank != 0) ||
-        (die < dies_ && bank >= geom_.banksPerChannel) ||
-        row >= geom_.rowsPerBank || col >= geom_.linesPerRow())
+    const u32 d = die.value();
+    const u32 b = bank.value();
+    const u32 r = row.value();
+    const u32 c = col.value();
+    if (d > dies_ || (d == dies_ && b != 0) ||
+        (d < dies_ && b >= geom_.banksPerChannel) ||
+        r >= geom_.rowsPerBank || c >= geom_.linesPerRow())
         panic("ParityEngine: coordinate (%u, %u, %u, %u) out of range",
-              die, bank, row, col);
+              d, b, r, c);
 }
 
 void
@@ -123,8 +130,9 @@ ParityEngine::buildParity()
         for (u32 b = 0; b < geom_.banksPerChannel; ++b)
             for (u32 r = 0; r < geom_.rowsPerBank; ++r)
                 for (u32 c = 0; c < cols; ++c) {
-                    const u8 *src =
-                        linePtr(golden_, lineIndex(d, b, r, c));
+                    const u8 *src = linePtr(
+                        golden_, lineIndex(DieId{d}, BankId{b}, RowId{r},
+                                           ColId{c}));
                     u8 *p1 = parity1_.data() +
                              (static_cast<u64>(r) * cols + c) * lb;
                     u8 *p2 = parity2_.data() +
@@ -142,7 +150,7 @@ ParityEngine::buildParity()
     parityCrc_.resize(static_cast<u64>(geom_.rowsPerBank) * cols);
     for (u32 r = 0; r < geom_.rowsPerBank; ++r)
         for (u32 c = 0; c < cols; ++c) {
-            const u64 idx = parityIndex(r, c);
+            const u64 idx = parityIndex(RowId{r}, ColId{c}).value();
             parityCrc_[idx] =
                 Crc32::lineCrc(totalLines() + idx,
                                {linePtr(goldenParity1_, idx), lb});
@@ -165,7 +173,7 @@ ParityEngine::corrupt(const std::vector<Fault> &faults)
     // Flip the *union* of covered bits: two faults overlapping on a bit
     // both corrupt it (physical faults do not cancel each other out).
     const u32 cols = geom_.linesPerRow();
-    auto flipCovered = [&](u32 d, u32 b, u32 r, u32 c, u8 *line) {
+    auto flipCovered = [&](u32 d, u32 b, u32 r, u32 c, u8 *ln) {
         bool any = false;
         for (const Fault &f : faults)
             if (f.channel.matches(d) && f.bank.matches(b) &&
@@ -185,7 +193,7 @@ ParityEngine::corrupt(const std::vector<Fault> &faults)
                     break;
                 }
             if (covered)
-                line[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+                ln[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
         }
     };
 
@@ -194,41 +202,46 @@ ParityEngine::corrupt(const std::vector<Fault> &faults)
             for (u32 r = 0; r < geom_.rowsPerBank; ++r)
                 for (u32 c = 0; c < cols; ++c)
                     flipCovered(d, b, r, c,
-                                linePtr(data_, lineIndex(d, b, r, c)));
+                                linePtr(data_,
+                                        lineIndex(DieId{d}, BankId{b},
+                                                  RowId{r}, ColId{c})));
 
     // The parity store is addressed as die parityDie(), bank 0.
     for (u32 r = 0; r < geom_.rowsPerBank; ++r)
         for (u32 c = 0; c < cols; ++c)
             flipCovered(dies_, 0, r, c,
-                        linePtr(parity1_, parityIndex(r, c)));
+                        linePtr(parity1_,
+                                parityIndex(RowId{r}, ColId{c}).value()));
 }
 
 void
-ParityEngine::fixViaD1(u32 die, u32 bank, u32 row, u32 col)
+ParityEngine::fixViaD1(DieId die, BankId bank, RowId row, ColId col)
 {
     const u32 lb = geom_.lineBytes;
-    if (die == dies_) {
+    const u64 pidx = parityIndex(row, col).value();
+    if (die == parityDie()) {
         // Rebuild the parity line itself from all data units.
         std::vector<u8> acc(lb, 0);
         for (u32 d = 0; d < dies_; ++d)
             for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
-                const u8 *src = linePtr(data_, lineIndex(d, b, row, col));
+                const u8 *src = linePtr(
+                    data_, lineIndex(DieId{d}, BankId{b}, row, col));
                 for (u32 i = 0; i < lb; ++i)
                     acc[i] ^= src[i];
             }
-        std::memcpy(linePtr(parity1_, parityIndex(row, col)), acc.data(),
-                    lb);
+        std::memcpy(linePtr(parity1_, pidx), acc.data(), lb);
         return;
     }
     std::vector<u8> acc(
-        parity1_.begin() + static_cast<long>(parityIndex(row, col) * lb),
-        parity1_.begin() +
-            static_cast<long>((parityIndex(row, col) + 1) * lb));
+        parity1_.begin() + static_cast<long>(pidx * lb),
+        parity1_.begin() + static_cast<long>((pidx + 1) * lb));
     for (u32 d = 0; d < dies_; ++d)
         for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
-            if (d == die && b == bank)
+            const DieId dd{d};
+            const BankId bb{b};
+            if (dd == die && bb == bank)
                 continue;
-            const u8 *src = linePtr(data_, lineIndex(d, b, row, col));
+            const u8 *src = linePtr(data_, lineIndex(dd, bb, row, col));
             for (u32 i = 0; i < lb; ++i)
                 acc[i] ^= src[i];
         }
@@ -237,32 +250,36 @@ ParityEngine::fixViaD1(u32 die, u32 bank, u32 row, u32 col)
 }
 
 void
-ParityEngine::fixViaD2(u32 die, u32 bank, u32 row, u32 col)
+ParityEngine::fixViaD2(DieId die, BankId bank, RowId row, ColId col)
 {
     const u32 lb = geom_.lineBytes;
-    std::vector<u8> acc(
-        parity2_.begin() +
-            (static_cast<u64>(die) * geom_.linesPerRow() + col) * lb,
-        parity2_.begin() +
-            (static_cast<u64>(die) * geom_.linesPerRow() + col + 1) * lb);
-    if (die == dies_) {
+    const u64 fold =
+        static_cast<u64>(die.value()) * geom_.linesPerRow() + col.value();
+    std::vector<u8> acc(parity2_.begin() + static_cast<long>(fold * lb),
+                        parity2_.begin() +
+                            static_cast<long>((fold + 1) * lb));
+    if (die == parityDie()) {
         // Parity unit: its D2 fold covers the parity rows only.
         for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
-            if (r == row)
+            const RowId rr{r};
+            if (rr == row)
                 continue;
-            const u8 *src = linePtr(parity1_, parityIndex(r, col));
+            const u8 *src =
+                linePtr(parity1_, parityIndex(rr, col).value());
             for (u32 i = 0; i < lb; ++i)
                 acc[i] ^= src[i];
         }
-        std::memcpy(linePtr(parity1_, parityIndex(row, col)), acc.data(),
-                    lb);
+        std::memcpy(linePtr(parity1_, parityIndex(row, col).value()),
+                    acc.data(), lb);
         return;
     }
     for (u32 b = 0; b < geom_.banksPerChannel; ++b)
         for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
-            if (b == bank && r == row)
+            const BankId bb{b};
+            const RowId rr{r};
+            if (bb == bank && rr == row)
                 continue;
-            const u8 *src = linePtr(data_, lineIndex(die, b, r, col));
+            const u8 *src = linePtr(data_, lineIndex(die, bb, rr, col));
             for (u32 i = 0; i < lb; ++i)
                 acc[i] ^= src[i];
         }
@@ -271,34 +288,38 @@ ParityEngine::fixViaD2(u32 die, u32 bank, u32 row, u32 col)
 }
 
 void
-ParityEngine::fixViaD3(u32 die, u32 bank, u32 row, u32 col)
+ParityEngine::fixViaD3(DieId die, BankId bank, RowId row, ColId col)
 {
     const u32 lb = geom_.lineBytes;
-    std::vector<u8> acc(
-        parity3_.begin() +
-            (static_cast<u64>(bank) * geom_.linesPerRow() + col) * lb,
-        parity3_.begin() +
-            (static_cast<u64>(bank) * geom_.linesPerRow() + col + 1) * lb);
+    const u64 fold =
+        static_cast<u64>(bank.value()) * geom_.linesPerRow() + col.value();
+    std::vector<u8> acc(parity3_.begin() + static_cast<long>(fold * lb),
+                        parity3_.begin() +
+                            static_cast<long>((fold + 1) * lb));
     for (u32 d = 0; d < dies_; ++d)
         for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
-            if (d == die && r == row)
+            const DieId dd{d};
+            const RowId rr{r};
+            if (dd == die && rr == row)
                 continue;
-            const u8 *src = linePtr(data_, lineIndex(d, bank, r, col));
+            const u8 *src = linePtr(data_, lineIndex(dd, bank, rr, col));
             for (u32 i = 0; i < lb; ++i)
                 acc[i] ^= src[i];
         }
-    if (bank == 0) {
+    if (bank == BankId{0}) {
         // Bank position 0's group includes the parity unit's rows.
         for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
-            if (die == dies_ && r == row)
+            const RowId rr{r};
+            if (die == parityDie() && rr == row)
                 continue;
-            const u8 *src = linePtr(parity1_, parityIndex(r, col));
+            const u8 *src =
+                linePtr(parity1_, parityIndex(rr, col).value());
             for (u32 i = 0; i < lb; ++i)
                 acc[i] ^= src[i];
         }
     }
-    u8 *dst = die == dies_
-                  ? linePtr(parity1_, parityIndex(row, col))
+    u8 *dst = die == parityDie()
+                  ? linePtr(parity1_, parityIndex(row, col).value())
                   : linePtr(data_, lineIndex(die, bank, row, col));
     std::memcpy(dst, acc.data(), lb);
 }
@@ -312,7 +333,7 @@ ParityEngine::corruptLineCount() const
             ++n;
     for (u32 r = 0; r < geom_.rowsPerBank; ++r)
         for (u32 c = 0; c < geom_.linesPerRow(); ++c)
-            if (parityLineCorrupt(r, c))
+            if (parityLineCorrupt(RowId{r}, ColId{c}))
                 ++n;
     return n;
 }
@@ -325,13 +346,18 @@ ParityEngine::collectCorrupt() const
     for (u32 d = 0; d < dies_; ++d)
         for (u32 b = 0; b < geom_.banksPerChannel; ++b)
             for (u32 r = 0; r < geom_.rowsPerBank; ++r)
-                for (u32 c = 0; c < cols; ++c)
-                    if (lineCorrupt(lineIndex(d, b, r, c)))
-                        corrupt.push_back({d, b, r, c});
+                for (u32 c = 0; c < cols; ++c) {
+                    const CorruptLine l{DieId{d}, BankId{b}, RowId{r},
+                                        ColId{c}};
+                    if (lineCorrupt(lineIndex(l.die, l.bank, l.row,
+                                              l.col)))
+                        corrupt.push_back(l);
+                }
     for (u32 r = 0; r < geom_.rowsPerBank; ++r)
         for (u32 c = 0; c < cols; ++c)
-            if (parityLineCorrupt(r, c))
-                corrupt.push_back({dies_, 0, r, c});
+            if (parityLineCorrupt(RowId{r}, ColId{c}))
+                corrupt.push_back(
+                    {parityDie(), BankId{0}, RowId{r}, ColId{c}});
     return corrupt;
 }
 
@@ -409,9 +435,10 @@ ParityEngine::groupReadCost(const CorruptLine &L, u32 dim) const
         // but the target.
         return dies_ * banks;
       case 2:
-        return L.die == dies_ ? rows - 1 : banks * rows - 1;
+        return L.die == parityDie() ? rows - 1 : banks * rows - 1;
       case 3:
-        return L.bank == 0 ? (dies_ + 1) * rows - 1 : dies_ * rows - 1;
+        return L.bank == BankId{0} ? (dies_ + 1) * rows - 1
+                                   : dies_ * rows - 1;
       default:
         return 0;
     }
@@ -459,19 +486,21 @@ ParityEngine::peelable(u32 dims) const
 }
 
 bool
-ParityEngine::lineCorruptAt(u32 die, u32 bank, u32 row, u32 col) const
+ParityEngine::lineCorruptAt(DieId die, BankId bank, RowId row,
+                            ColId col) const
 {
     checkCoord(die, bank, row, col);
     return isCorrupt({die, bank, row, col});
 }
 
 bool
-ParityEngine::lineMatchesGolden(u32 die, u32 bank, u32 row, u32 col) const
+ParityEngine::lineMatchesGolden(DieId die, BankId bank, RowId row,
+                                ColId col) const
 {
     checkCoord(die, bank, row, col);
     const u32 lb = geom_.lineBytes;
-    if (die == dies_) {
-        const u64 idx = parityIndex(row, col);
+    if (die == parityDie()) {
+        const u64 idx = parityIndex(row, col).value();
         return std::memcmp(linePtr(parity1_, idx),
                            linePtr(goldenParity1_, idx), lb) == 0;
     }
@@ -481,7 +510,8 @@ ParityEngine::lineMatchesGolden(u32 die, u32 bank, u32 row, u32 col) const
 }
 
 ParityEngine::DemandFix
-ParityEngine::correctLine(u32 die, u32 bank, u32 row, u32 col, u32 dims)
+ParityEngine::correctLine(DieId die, BankId bank, RowId row, ColId col,
+                          u32 dims)
 {
     checkCoord(die, bank, row, col);
     DemandFix fix;

@@ -74,13 +74,14 @@ class ParityEngine
     void restore();
 
     /** Die index addressing the D1 parity unit in this model. */
-    u32 parityDie() const { return dies_; }
+    DieId parityDie() const { return DieId{dies_}; }
 
     /** CRC verdict for one line; die == parityDie() selects parity. */
-    bool lineCorruptAt(u32 die, u32 bank, u32 row, u32 col) const;
+    bool lineCorruptAt(DieId die, BankId bank, RowId row, ColId col) const;
 
     /** Byte-exact comparison against the golden image. */
-    bool lineMatchesGolden(u32 die, u32 bank, u32 row, u32 col) const;
+    bool lineMatchesGolden(DieId die, BankId bank, RowId row,
+                           ColId col) const;
 
     /** Outcome of a demand-time single-line correction. */
     struct DemandFix
@@ -97,13 +98,16 @@ class ParityEngine
      * and stop as soon as the target line verifies. Unlike
      * reconstruct() this leaves other corrupt lines corrupt.
      */
-    DemandFix correctLine(u32 die, u32 bank, u32 row, u32 col,
+    DemandFix correctLine(DieId die, BankId bank, RowId row, ColId col,
                           u32 dims = 3);
 
   private:
     struct CorruptLine
     {
-        u32 die, bank, row, col;
+        DieId die;
+        BankId bank;
+        RowId row;
+        ColId col;
 
         bool operator==(const CorruptLine &) const = default;
     };
@@ -128,16 +132,19 @@ class ParityEngine
     std::vector<u8> parity2_; ///< [die][col][byte] folding all rows.
     std::vector<u8> parity3_; ///< [bank][col][byte] folding dies+rows.
 
-    u64 lineIndex(u32 die, u32 bank, u32 row, u32 col) const;
-    u64 parityIndex(u32 row, u32 col) const;
-    u8 *linePtr(std::vector<u8> &buf, u64 line_idx);
-    const u8 *linePtr(const std::vector<u8> &buf, u64 line_idx) const;
+    /** Storage offset (engine-local line ordinal) of a data line. */
+    u64 lineIndex(DieId die, BankId bank, RowId row, ColId col) const;
+    /** D1 parity group of a (row, col) slot; doubles as the ordinal of
+     *  the group's line in the parity store. */
+    ParityGroupId parityIndex(RowId row, ColId col) const;
+    u8 *linePtr(std::vector<u8> &buf, u64 storage_line);
+    const u8 *linePtr(const std::vector<u8> &buf, u64 storage_line) const;
 
-    u32 computeCrc(u64 line_idx) const;
-    bool lineCorrupt(u64 line_idx) const;
-    bool parityLineCorrupt(u32 row, u32 col) const;
+    u32 computeCrc(u64 storage_line) const;
+    bool lineCorrupt(u64 storage_line) const;
+    bool parityLineCorrupt(RowId row, ColId col) const;
     bool isCorrupt(const CorruptLine &l) const;
-    void checkCoord(u32 die, u32 bank, u32 row, u32 col) const;
+    void checkCoord(DieId die, BankId bank, RowId row, ColId col) const;
 
     void buildParity();
     std::vector<CorruptLine> collectCorrupt() const;
@@ -152,9 +159,9 @@ class ParityEngine
     u32 groupReadCost(const CorruptLine &l, u32 dim) const;
 
     /** XOR-reconstruct one line from a parity group. */
-    void fixViaD1(u32 die, u32 bank, u32 row, u32 col);
-    void fixViaD2(u32 die, u32 bank, u32 row, u32 col);
-    void fixViaD3(u32 die, u32 bank, u32 row, u32 col);
+    void fixViaD1(DieId die, BankId bank, RowId row, ColId col);
+    void fixViaD2(DieId die, BankId bank, RowId row, ColId col);
+    void fixViaD3(DieId die, BankId bank, RowId row, ColId col);
 };
 
 } // namespace citadel

@@ -14,46 +14,46 @@ RowRemapTable::RowRemapTable(u32 num_banks, u32 entries_per_bank)
 }
 
 bool
-RowRemapTable::insert(u32 bank, u32 source_row, u32 spare_row)
+RowRemapTable::insert(UnitId unit, RowId source_row, RowId spare_row)
 {
-    if (bank >= numBanks_)
-        panic("RRT: bank %u out of range", bank);
-    Entry *base = &entries_[static_cast<std::size_t>(bank) *
+    if (unit.value() >= numBanks_)
+        panic("RRT: unit %u out of range", unit.value());
+    Entry *base = &entries_[static_cast<std::size_t>(unit.value()) *
                             entriesPerBank_];
     for (u32 e = 0; e < entriesPerBank_; ++e) {
-        if (base[e].valid && base[e].sourceRow == source_row) {
-            base[e].spareRow = spare_row; // refresh existing mapping
+        if (base[e].valid && base[e].sourceRow == source_row.value()) {
+            base[e].spareRow = spare_row.value(); // refresh mapping
             return true;
         }
     }
     for (u32 e = 0; e < entriesPerBank_; ++e) {
         if (!base[e].valid) {
-            base[e] = {true, source_row, spare_row};
+            base[e] = {true, source_row.value(), spare_row.value()};
             return true;
         }
     }
     return false;
 }
 
-std::optional<u32>
-RowRemapTable::lookup(u32 bank, u32 row) const
+std::optional<RowId>
+RowRemapTable::lookup(UnitId unit, RowId row) const
 {
-    if (bank >= numBanks_)
-        panic("RRT: bank %u out of range", bank);
-    const Entry *base = &entries_[static_cast<std::size_t>(bank) *
+    if (unit.value() >= numBanks_)
+        panic("RRT: unit %u out of range", unit.value());
+    const Entry *base = &entries_[static_cast<std::size_t>(unit.value()) *
                                   entriesPerBank_];
     for (u32 e = 0; e < entriesPerBank_; ++e)
-        if (base[e].valid && base[e].sourceRow == row)
-            return base[e].spareRow;
+        if (base[e].valid && base[e].sourceRow == row.value())
+            return RowId{base[e].spareRow};
     return std::nullopt;
 }
 
 u32
-RowRemapTable::used(u32 bank) const
+RowRemapTable::used(UnitId unit) const
 {
-    if (bank >= numBanks_)
-        panic("RRT: bank %u out of range", bank);
-    const Entry *base = &entries_[static_cast<std::size_t>(bank) *
+    if (unit.value() >= numBanks_)
+        panic("RRT: unit %u out of range", unit.value());
+    const Entry *base = &entries_[static_cast<std::size_t>(unit.value()) *
                                   entriesPerBank_];
     u32 n = 0;
     for (u32 e = 0; e < entriesPerBank_; ++e)
@@ -82,14 +82,14 @@ BankRemapTable::BankRemapTable(u32 num_entries)
 }
 
 bool
-BankRemapTable::insert(u32 failed_bank, u32 spare_id)
+BankRemapTable::insert(UnitId failed_unit, u32 spare_id)
 {
     for (auto &e : entries_)
-        if (e.valid && e.failedBank == failed_bank)
+        if (e.valid && e.failedBank == failed_unit.value())
             return true; // already decommissioned
     for (auto &e : entries_) {
         if (!e.valid) {
-            e = {true, failed_bank, spare_id};
+            e = {true, failed_unit.value(), spare_id};
             return true;
         }
     }
@@ -97,10 +97,10 @@ BankRemapTable::insert(u32 failed_bank, u32 spare_id)
 }
 
 std::optional<u32>
-BankRemapTable::lookup(u32 bank) const
+BankRemapTable::lookup(UnitId unit) const
 {
     for (const auto &e : entries_)
-        if (e.valid && e.failedBank == bank)
+        if (e.valid && e.failedBank == unit.value())
             return e.spareId;
     return std::nullopt;
 }

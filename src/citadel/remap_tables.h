@@ -33,18 +33,19 @@ class RowRemapTable
     RowRemapTable(u32 num_banks, u32 entries_per_bank = 4);
 
     /**
-     * Install a mapping for (bank, source row).
+     * Install a mapping for (unit, source row). The unit is the
+     * stack-global flattened (die, bank) ordinal.
      * @param spare_row Destination row in the fine spare bank.
-     * @return false if the bank's entries are exhausted (the caller
+     * @return false if the unit's entries are exhausted (the caller
      *         escalates to bank sparing, Section VII-C.3).
      */
-    bool insert(u32 bank, u32 source_row, u32 spare_row);
+    bool insert(UnitId unit, RowId source_row, RowId spare_row);
 
     /** Redirection lookup; nullopt when the row is not remapped. */
-    std::optional<u32> lookup(u32 bank, u32 row) const;
+    std::optional<RowId> lookup(UnitId unit, RowId row) const;
 
-    /** Entries in use for one bank. */
-    u32 used(u32 bank) const;
+    /** Entries in use for one unit. */
+    u32 used(UnitId unit) const;
 
     /** Total SRAM bits: entries x (valid + 16b source + 16b dest). */
     u64 storageBits() const;
@@ -74,13 +75,14 @@ class BankRemapTable
     explicit BankRemapTable(u32 num_entries = 2);
 
     /**
-     * Decommission `failed_bank` (6-bit global bank id) onto spare
-     * bank `spare_id`. @return false when all entries are used.
+     * Decommission `failed_unit` (6-bit stack-global bank ordinal)
+     * onto spare bank `spare_id`. @return false when all entries are
+     * used.
      */
-    bool insert(u32 failed_bank, u32 spare_id);
+    bool insert(UnitId failed_unit, u32 spare_id);
 
-    /** Spare-bank id when the bank is remapped; nullopt otherwise. */
-    std::optional<u32> lookup(u32 bank) const;
+    /** Spare-bank id when the unit is remapped; nullopt otherwise. */
+    std::optional<u32> lookup(UnitId unit) const;
 
     u32 used() const;
     u64 storageBits() const;

@@ -61,35 +61,37 @@ TsvSwapScheme::uncorrectable(const std::vector<Fault> &active) const
     return inner_->uncorrectable(active);
 }
 
-TsvSwapDatapath::TsvSwapDatapath(u32 num_lanes, std::vector<u32> standby)
+TsvSwapDatapath::TsvSwapDatapath(u32 num_lanes,
+                                 std::vector<TsvLane> standby)
     : numLanes_(num_lanes), standby_(std::move(standby)),
       faulty_(num_lanes, false), standbyUsed_(standby_.size(), false)
 {
-    for (u32 s : standby_)
-        if (s >= numLanes_)
-            fatal("TsvSwapDatapath: stand-by lane %u out of range", s);
+    for (TsvLane s : standby_)
+        if (s.value() >= numLanes_)
+            fatal("TsvSwapDatapath: stand-by lane %u out of range",
+                  s.value());
 }
 
 void
-TsvSwapDatapath::breakTsv(u32 lane)
+TsvSwapDatapath::breakTsv(TsvLane lane)
 {
-    if (lane >= numLanes_)
-        panic("breakTsv: lane %u out of range", lane);
-    faulty_[lane] = true;
+    if (lane.value() >= numLanes_)
+        panic("breakTsv: lane %u out of range", lane.value());
+    faulty_[lane.idx()] = true;
 }
 
 bool
-TsvSwapDatapath::repair(u32 lane)
+TsvSwapDatapath::repair(TsvLane lane)
 {
-    if (lane >= numLanes_)
-        panic("repair: lane %u out of range", lane);
+    if (lane.value() >= numLanes_)
+        panic("repair: lane %u out of range", lane.value());
     if (redirect_.count(lane))
         return true; // already repaired
     for (std::size_t i = 0; i < standby_.size(); ++i) {
-        if (standbyUsed_[i] || faulty_[standby_[i]])
+        if (standbyUsed_[i] || faulty_[standby_[i].idx()])
             continue;
         standbyUsed_[i] = true;
-        redirect_[lane] = standby_[i];
+        redirect_.emplace(lane, standby_[i]);
         return true;
     }
     return false;
@@ -103,10 +105,10 @@ TsvSwapDatapath::transfer(const std::vector<u8> &lanes) const
               lanes.size());
     std::vector<u8> out(lanes.size());
     for (u32 l = 0; l < numLanes_; ++l) {
-        auto it = redirect_.find(l);
+        auto it = redirect_.find(TsvLane{l});
         if (it != redirect_.end()) {
             // The TRR routes the logical lane through a stand-by TSV.
-            out[l] = faulty_[it->second] ? 0 : lanes[l];
+            out[l] = faulty_[it->second.idx()] ? 0 : lanes[l];
         } else {
             out[l] = faulty_[l] ? 0 : lanes[l];
         }
@@ -119,7 +121,7 @@ TsvSwapDatapath::standbyFree() const
 {
     u32 n = 0;
     for (std::size_t i = 0; i < standby_.size(); ++i)
-        if (!standbyUsed_[i] && !faulty_[standby_[i]])
+        if (!standbyUsed_[i] && !faulty_[standby_[i].idx()])
             ++n;
     return n;
 }

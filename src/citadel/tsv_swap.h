@@ -76,15 +76,15 @@ class TsvSwapDatapath
      * @param standby Lane indices repurposed as stand-by TSVs (the
      *        paper uses lanes 0, 64, 128 and 192).
      */
-    TsvSwapDatapath(u32 num_lanes, std::vector<u32> standby);
+    TsvSwapDatapath(u32 num_lanes, std::vector<TsvLane> standby);
 
     /** Mark a physical TSV faulty (stuck-at-0 in this model). */
-    void breakTsv(u32 lane);
+    void breakTsv(TsvLane lane);
 
     /** BIST action: redirect faulty `lane` to a free stand-by TSV.
      *  @return false if the stand-by pool is exhausted or lane is a
      *          broken stand-by TSV. */
-    bool repair(u32 lane);
+    bool repair(TsvLane lane);
 
     /**
      * Transfer a burst through the channel: input word per lane,
@@ -98,9 +98,9 @@ class TsvSwapDatapath
 
   private:
     u32 numLanes_;
-    std::vector<u32> standby_;
+    std::vector<TsvLane> standby_;
     std::vector<bool> faulty_;
-    std::map<u32, u32> redirect_; ///< faulty lane -> stand-by lane
+    std::map<TsvLane, TsvLane> redirect_; ///< faulty -> stand-by lane
     std::vector<bool> standbyUsed_;
 };
 

@@ -39,8 +39,8 @@ Rng::next()
 double
 Rng::uniform()
 {
-    // 53 high bits -> double in [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
+    // 53 high bits -> double in [0, 1); 53 bits fit a double exactly.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Typed address domain: zero-cost strong integer wrappers for the many
+ * coordinate spaces of the stacked-memory system.
+ *
+ * The paper's algorithms juggle at least ten integer spaces — stack,
+ * channel, die, bank, row, column-slot, flattened (die, bank) unit,
+ * linear line address, Dimension-1 parity group, TSV lane — and a
+ * swapped argument between any two of them compiles silently as plain
+ * u32/u64 and only (maybe) surfaces as a Monte Carlo anomaly.
+ * StrongId<Tag, T> makes every such mix-up a compile error:
+ *
+ *  - construction from a raw integer is explicit;
+ *  - there is no conversion between ids with different tags, and no
+ *    implicit conversion back to the underlying integer;
+ *  - comparison, hashing and streaming work per tag, so ids can key
+ *    maps/sets and print in diagnostics;
+ *  - idx()/at() are the audited escape hatches: idx() yields the raw
+ *    value as std::size_t for container subscripting, at() adds a
+ *    bounds check. Both count as "unwrapping" for the index-safety
+ *    lint (tools/lint_index_safety.py), which confines unwrap sites
+ *    to the blessed mapper/mechanism files listed in DESIGN.md §8.
+ *
+ * The one sanctioned cross-space identity — HBM-style "channel doubles
+ * as die index" (geometry.h) — is spelled dieOf()/channelOf() so the
+ * conversion is grep-able instead of a silent copy.
+ */
+
+#ifndef CITADEL_COMMON_STRONG_ID_H
+#define CITADEL_COMMON_STRONG_ID_H
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace citadel {
+
+/**
+ * A tagged integer. Tag is an empty struct naming the coordinate
+ * space; T is the underlying unsigned representation.
+ */
+template <class Tag, class T>
+class StrongId final
+{
+    static_assert(std::is_unsigned_v<T>,
+                  "coordinate spaces are unsigned integer domains");
+
+  public:
+    using tag_type = Tag;
+    using value_type = T;
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(T v) : v_(v) {}
+
+    /** The raw coordinate. Unwrap sites are policed by the lint. */
+    constexpr T value() const { return v_; }
+
+    /** Raw value widened for container subscripting (unwrap). */
+    constexpr std::size_t idx() const
+    {
+        return static_cast<std::size_t>(v_);
+    }
+
+    constexpr auto operator<=>(const StrongId &) const = default;
+
+    /** Step to the next coordinate of the same space. */
+    constexpr StrongId &operator++()
+    {
+        ++v_;
+        return *this;
+    }
+
+  private:
+    T v_ = 0;
+};
+
+template <class Tag, class T>
+std::ostream &
+operator<<(std::ostream &os, StrongId<Tag, T> id)
+{
+    return os << +id.value();
+}
+
+/**
+ * Bounds-checked typed subscript: container[id] with the id's space as
+ * the index domain. Out-of-range access is a hard error in every build
+ * type (the containers indexed this way — bank arrays, remap tables,
+ * per-stack engines — are small, so the check is free in practice).
+ */
+template <class Container, class Tag, class T>
+constexpr decltype(auto)
+at(Container &c, StrongId<Tag, T> id)
+{
+    return c.at(id.idx());
+}
+
+// --- The coordinate-space taxonomy (PAPER.md address mapping) -------
+
+struct StackTag;       ///< 3D stack within the system.
+struct ChannelTag;     ///< Channel within a stack (HBM: one per die).
+struct DieTag;         ///< DRAM die; channelsPerStack is the ECC die.
+struct BankTag;        ///< Bank within a channel/die.
+struct RowTag;         ///< Row within a bank.
+struct ColTag;         ///< 64B line slot within a row (CAS address).
+struct UnitTag;        ///< Flattened (die, bank) unit within a stack.
+struct LineTag;        ///< System-wide linear cache-line address.
+struct ParityGroupTag; ///< Dimension-1 parity group / parity-store line.
+struct TsvLaneTag;     ///< Physical TSV lane within a channel bundle.
+
+using StackId = StrongId<StackTag, u32>;
+using ChannelId = StrongId<ChannelTag, u32>;
+using DieId = StrongId<DieTag, u32>;
+using BankId = StrongId<BankTag, u32>;
+using RowId = StrongId<RowTag, u32>;
+using ColId = StrongId<ColTag, u32>;
+using UnitId = StrongId<UnitTag, u32>;
+using LineAddr = StrongId<LineTag, u64>;
+using ParityGroupId = StrongId<ParityGroupTag, u64>;
+using TsvLane = StrongId<TsvLaneTag, u32>;
+
+/**
+ * The HBM identity (geometry.h): each channel is fully contained in
+ * one DRAM die, so the channel index *is* the data-die index. The
+ * ECC/metadata die has no channel; it is DieId{channelsPerStack}.
+ */
+constexpr DieId
+dieOf(ChannelId ch)
+{
+    return DieId{ch.value()};
+}
+
+/** Inverse of dieOf() for data dies. Never call it on the ECC die. */
+constexpr ChannelId
+channelOf(DieId die)
+{
+    return ChannelId{die.value()};
+}
+
+} // namespace citadel
+
+// Hashing, so typed ids can key unordered containers directly.
+template <class Tag, class T>
+struct std::hash<citadel::StrongId<Tag, T>>
+{
+    std::size_t operator()(citadel::StrongId<Tag, T> id) const noexcept
+    {
+        return std::hash<T>{}(id.value());
+    }
+};
+
+#endif // CITADEL_COMMON_STRONG_ID_H

@@ -57,8 +57,8 @@ SymbolStripedScheme::symbolsPerLine(const Fault &f) const
     const u32 sym_shift = static_cast<u32>(std::countr_zero(symbolBits_));
     const u32 sym_bits = bit_bits - sym_shift;
     const u32 sym_mask_space = (1u << sym_bits) - 1;
-    const u32 significant =
-        std::popcount((f.bit.mask >> sym_shift) & sym_mask_space);
+    const u32 significant = static_cast<u32>(
+        std::popcount((f.bit.mask >> sym_shift) & sym_mask_space));
     return 1ull << (sym_bits - significant);
 }
 

@@ -54,7 +54,7 @@ Gf256::div(u8 a, u8 b)
     if (a == 0)
         return 0;
     const Tables &t = tables();
-    return t.exp[t.log[a] + 255 - t.log[b]];
+    return t.exp[static_cast<u32>(t.log[a]) + 255u - t.log[b]];
 }
 
 u8

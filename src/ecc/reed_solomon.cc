@@ -196,7 +196,7 @@ RsCode::decode(std::vector<u8> cw, const std::vector<u32> &erasures) const
         for (std::size_t j = 0; j + 1 < loc.size(); ++j) {
             const std::size_t deg = loc.size() - 1 - j;
             if (deg % 2 == 1)
-                denom ^= Gf256::mul(loc[j], Gf256::pow(x_inv, deg - 1));
+                denom ^= Gf256::mul(loc[j], Gf256::pow(x_inv, static_cast<u32>(deg - 1)));
         }
         if (denom == 0)
             return std::nullopt;

@@ -36,15 +36,18 @@ u64
 DimSpec::coverage(u32 width) const
 {
     const u32 space_mask = width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
-    const u32 significant = std::popcount(mask & space_mask);
+    const u32 significant =
+        static_cast<u32>(std::popcount(mask & space_mask));
     return 1ull << (width - significant);
 }
 
 bool
-Fault::covers(u32 s, u32 ch, u32 b, u32 r, u32 c, u32 bi) const
+Fault::covers(StackId s, ChannelId ch, BankId b, RowId r, ColId c,
+              u32 bit_pos) const
 {
-    return stack.matches(s) && channel.matches(ch) && bank.matches(b) &&
-           row.matches(r) && col.matches(c) && bit.matches(bi);
+    return stack.matches(s.value()) && channel.matches(ch.value()) &&
+           bank.matches(b.value()) && row.matches(r.value()) &&
+           col.matches(c.value()) && bit.matches(bit_pos);
 }
 
 bool

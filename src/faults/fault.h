@@ -94,10 +94,11 @@ struct Fault
     bool transient = false;
     bool fromTsv = false;   ///< Originated in a TSV (repairable by swap).
     double timeHours = 0.0; ///< Arrival time within the lifetime.
-    u32 tsvIndex = 0;       ///< For TSV faults: which TSV.
+    TsvLane tsvIndex{};     ///< For TSV faults: which TSV lane.
 
     /** Does this fault cover the given bit coordinate? */
-    bool covers(u32 s, u32 ch, u32 b, u32 r, u32 c, u32 bi) const;
+    bool covers(StackId s, ChannelId ch, BankId b, RowId r, ColId c,
+                u32 bit_pos) const;
 
     /** Do two fault ranges overlap anywhere? */
     bool intersects(const Fault &o) const;

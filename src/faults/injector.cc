@@ -40,8 +40,8 @@ FaultInjector::FaultInjector(const SystemConfig &cfg)
 
 void
 FaultInjector::sampleClass(Rng &rng, std::vector<Fault> &out, FaultClass cls,
-                           double fit, bool transient, u32 stack,
-                           u32 channel) const
+                           double fit, bool transient, StackId stack,
+                           ChannelId channel) const
 {
     const double lambda = fitToPerHour(fit) * cfg_.lifetimeHours;
     const u64 n = rng.poisson(lambda);
@@ -70,9 +70,10 @@ FaultInjector::sampleLifetime(Rng &rng) const
                 {FaultClass::Bank, &r.bank},
             };
             for (const auto &c : classes) {
-                sampleClass(rng, out, c.cls, c.fit->transientFit, true, s, ch);
-                sampleClass(rng, out, c.cls, c.fit->permanentFit, false, s,
-                            ch);
+                sampleClass(rng, out, c.cls, c.fit->transientFit, true,
+                            StackId{s}, ChannelId{ch});
+                sampleClass(rng, out, c.cls, c.fit->permanentFit, false,
+                            StackId{s}, ChannelId{ch});
             }
         }
         // TSV faults: per-stack device rate, permanent.
@@ -80,8 +81,8 @@ FaultInjector::sampleLifetime(Rng &rng) const
             fitToPerHour(cfg_.tsvDeviceFit) * cfg_.lifetimeHours;
         const u64 n = rng.poisson(lambda);
         for (u64 i = 0; i < n; ++i)
-            out.push_back(
-                makeTsvFault(rng, s, rng.uniform(0.0, cfg_.lifetimeHours)));
+            out.push_back(makeTsvFault(
+                rng, StackId{s}, rng.uniform(0.0, cfg_.lifetimeHours)));
     }
 
     std::sort(out.begin(), out.end(),
@@ -92,16 +93,17 @@ FaultInjector::sampleLifetime(Rng &rng) const
 }
 
 Fault
-FaultInjector::makeFault(Rng &rng, FaultClass cls, u32 stack, u32 channel,
-                         bool transient, double time_hours) const
+FaultInjector::makeFault(Rng &rng, FaultClass cls, StackId stack,
+                         ChannelId channel, bool transient,
+                         double time_hours) const
 {
     const StackGeometry &g = cfg_.geom;
     Fault f;
     f.cls = cls;
     f.transient = transient;
     f.timeHours = time_hours;
-    f.stack = DimSpec::exact(stack);
-    f.channel = DimSpec::exact(channel);
+    f.stack = DimSpec::exact(stack.value());
+    f.channel = DimSpec::exact(channel.value());
     f.bank = DimSpec::wild();
     f.row = DimSpec::wild();
     f.col = DimSpec::wild();
@@ -161,14 +163,15 @@ FaultInjector::makeFault(Rng &rng, FaultClass cls, u32 stack, u32 channel,
 }
 
 Fault
-FaultInjector::makeTsvFault(Rng &rng, u32 stack, double time_hours) const
+FaultInjector::makeTsvFault(Rng &rng, StackId stack,
+                            double time_hours) const
 {
     const StackGeometry &g = cfg_.geom;
     Fault f;
     f.transient = false; // TSV faults are physical defects.
     f.fromTsv = true;
     f.timeHours = time_hours;
-    f.stack = DimSpec::exact(stack);
+    f.stack = DimSpec::exact(stack.value());
     // TSVs serve the data channels; the ECC die's dedicated lanes are
     // folded into the same device-level rate but modeled on data channels
     // (see DESIGN.md).
@@ -182,7 +185,7 @@ FaultInjector::makeTsvFault(Rng &rng, u32 stack, double time_hours) const
     const u32 total = g.dataTsvsPerChannel + g.addrTsvsPerChannel;
     const u32 pick = static_cast<u32>(rng.below(total));
     if (pick < g.dataTsvsPerChannel) {
-        const u32 d = pick;
+        const TsvLane d{pick};
         f.cls = FaultClass::DataTsv;
         f.tsvIndex = d;
         u32 value;
@@ -192,7 +195,7 @@ FaultInjector::makeTsvFault(Rng &rng, u32 stack, double time_hours) const
         return f;
     }
 
-    const u32 a = pick - g.dataTsvsPerChannel;
+    const TsvLane a{pick - g.dataTsvsPerChannel};
     f.tsvIndex = a;
     switch (tsvMap_.addrTsvEffect(a)) {
       case AtsvEffect::HalfRows: {

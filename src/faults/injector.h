@@ -79,11 +79,12 @@ class FaultInjector
     std::vector<Fault> sampleLifetime(Rng &rng) const;
 
     /** Materialize a random fault of a class in a given die. */
-    Fault makeFault(Rng &rng, FaultClass cls, u32 stack, u32 channel,
-                    bool transient, double time_hours) const;
+    Fault makeFault(Rng &rng, FaultClass cls, StackId stack,
+                    ChannelId channel, bool transient,
+                    double time_hours) const;
 
     /** Materialize a random TSV fault in a given stack. */
-    Fault makeTsvFault(Rng &rng, u32 stack, double time_hours) const;
+    Fault makeTsvFault(Rng &rng, StackId stack, double time_hours) const;
 
     const SystemConfig &config() const { return cfg_; }
 
@@ -92,8 +93,8 @@ class FaultInjector
     TsvMap tsvMap_;
 
     void sampleClass(Rng &rng, std::vector<Fault> &out, FaultClass cls,
-                     double fit, bool transient, u32 stack,
-                     u32 channel) const;
+                     double fit, bool transient, StackId stack,
+                     ChannelId channel) const;
 };
 
 } // namespace citadel

@@ -41,18 +41,19 @@ LiveRasDatapath::LiveRasDatapath(const SimConfig &cfg,
     }
 }
 
-u32
-LiveRasDatapath::unitId(u32 channel, u32 bank) const
+UnitId
+LiveRasDatapath::unitId(ChannelId channel, BankId bank) const
 {
-    return channel * cfg_.geom.banksPerChannel + bank;
+    return UnitId{channel.value() * cfg_.geom.banksPerChannel +
+                  bank.value()};
 }
 
 const ParityEngine &
-LiveRasDatapath::engine(u32 stack) const
+LiveRasDatapath::engine(StackId stack) const
 {
-    if (stack >= engines_.size())
-        panic("LiveRasDatapath: stack %u out of range", stack);
-    return *engines_[stack];
+    if (stack.idx() >= engines_.size())
+        panic("LiveRasDatapath: stack %u out of range", stack.value());
+    return *engines_[stack.idx()];
 }
 
 void
@@ -90,7 +91,7 @@ void
 LiveRasDatapath::materialize(const Fault &f, u64 cycle)
 {
     ++log_.counters.faultsInjected;
-    logEvent({RasEventType::FaultInjected, cycle, 0, 0, 0, f.cls,
+    logEvent({RasEventType::FaultInjected, cycle, LineAddr{}, 0, 0, f.cls,
               f.describe()});
 
     // TSV-SWAP absorbs TSV faults while stand-by budget remains; the
@@ -104,7 +105,7 @@ LiveRasDatapath::materialize(const Fault &f, u64 cycle)
             ++used;
             ++log_.counters.tsvRepairs;
             ++log_.counters.faultsAbsorbed;
-            logEvent({RasEventType::TsvRepaired, cycle, 0, 0, 0, f.cls,
+            logEvent({RasEventType::TsvRepaired, cycle, LineAddr{}, 0, 0, f.cls,
                       f.describe()});
             return;
         }
@@ -136,7 +137,7 @@ LiveRasDatapath::scrub(u64 cycle)
             if (trySpare(f, cycle))
                 return true;
             ++log_.counters.sparingDenied;
-            logEvent({RasEventType::SparingDenied, cycle, 0, 0, 0, f.cls,
+            logEvent({RasEventType::SparingDenied, cycle, LineAddr{}, 0, 0, f.cls,
                       f.describe()});
             return false;
         });
@@ -157,7 +158,7 @@ LiveRasDatapath::inSparedBank(const Fault &f) const
     if (f.stack.value >= brt_.size())
         return false;
     return brt_[f.stack.value]
-        .lookup(unitId(f.channel.value, f.bank.value))
+        .lookup(unitId(ChannelId{f.channel.value}, BankId{f.bank.value}))
         .has_value();
 }
 
@@ -170,16 +171,17 @@ LiveRasDatapath::trySpare(const Fault &f, u64 cycle)
         f.bank.mask != 0xFFFFFFFFu)
         return false; // multi-bank faults have no single spare target
     const u32 stack = f.stack.value;
-    const u32 unit = unitId(f.channel.value, f.bank.value);
+    const UnitId unit = unitId(ChannelId{f.channel.value},
+                               BankId{f.bank.value});
 
     if (f.rowsCovered(cfg_.geom) == 1) {
-        const u32 row = f.row.value & (cfg_.geom.rowsPerBank - 1);
+        const RowId row{f.row.value & (cfg_.geom.rowsPerBank - 1)};
         u32 &cursor = spareRowCursor_[stack];
         if (rrt_[stack].insert(unit, row,
-                               cursor % cfg_.geom.rowsPerBank)) {
+                               RowId{cursor % cfg_.geom.rowsPerBank})) {
             ++cursor;
             ++log_.counters.rowsSpared;
-            logEvent({RasEventType::RowSpared, cycle, 0, 0, 0, f.cls,
+            logEvent({RasEventType::RowSpared, cycle, LineAddr{}, 0, 0, f.cls,
                       f.describe()});
             return true;
         }
@@ -188,7 +190,7 @@ LiveRasDatapath::trySpare(const Fault &f, u64 cycle)
 
     if (brt_[stack].insert(unit, brt_[stack].used())) {
         ++log_.counters.banksSpared;
-        logEvent({RasEventType::BankSpared, cycle, 0, 0, 0, f.cls,
+        logEvent({RasEventType::BankSpared, cycle, LineAddr{}, 0, 0, f.cls,
                   f.describe()});
         return true;
     }
@@ -209,8 +211,10 @@ LiveRasDatapath::spareCovering(const LineCoord &c, u64 cycle)
             f.channel.mask != 0xFFFFFFFFu ||
             f.bank.mask != 0xFFFFFFFFu)
             return false;
-        if (f.stack.value != c.stack || f.channel.value != c.channel ||
-            f.bank.value != c.bank || !f.row.matches(c.row))
+        if (StackId{f.stack.value} != c.stack ||
+            ChannelId{f.channel.value} != c.channel ||
+            BankId{f.bank.value} != c.bank ||
+            !f.row.matches(c.row.value()))
             return false;
         return trySpare(f, cycle);
     });
@@ -221,15 +225,17 @@ LiveRasDatapath::spareCovering(const LineCoord &c, u64 cycle)
 bool
 LiveRasDatapath::coordRemapped(const LineCoord &c) const
 {
-    if (brt_[c.stack].lookup(unitId(c.channel, c.bank)).has_value())
+    if (brt_[c.stack.idx()]
+            .lookup(unitId(c.channel, c.bank))
+            .has_value())
         return true;
-    return rrt_[c.stack]
+    return rrt_[c.stack.idx()]
         .lookup(unitId(c.channel, c.bank), c.row)
         .has_value();
 }
 
 bool
-LiveRasDatapath::lineIsRemapped(u64 line) const
+LiveRasDatapath::lineIsRemapped(LineAddr line) const
 {
     if (line >= map_.parityBase())
         return false;
@@ -278,14 +284,14 @@ LiveRasDatapath::differentialCheck(u64 cycle)
     const std::string detail =
         "analytic=OK bit-true=UNC (" +
         std::to_string(active_.size()) + " faults)";
-    logEvent({RasEventType::Divergence, cycle, 0, 0, 0, FaultClass::Bit,
-              detail});
+    logEvent({RasEventType::Divergence, cycle, LineAddr{}, 0, 0,
+              FaultClass::Bit, detail});
     warn("live-ras: analytic/bit-true divergence at cycle %llu: %s",
          static_cast<unsigned long long>(cycle), detail.c_str());
 }
 
 void
-LiveRasDatapath::appendGroupReads(std::vector<u64> &out,
+LiveRasDatapath::appendGroupReads(std::vector<LineAddr> &out,
                                   const LineCoord &c, u32 dim) const
 {
     // Sibling lines of the parity group the controller XORs to rebuild
@@ -293,43 +299,46 @@ LiveRasDatapath::appendGroupReads(std::vector<u64> &out,
     // too, but live outside the system address space the timing model
     // knows, so only system-addressable lines are charged.
     const StackGeometry &g = cfg_.geom;
-    const u64 line = map_.coordToLine(c);
+    const LineAddr line = map_.coordToLine(c);
     switch (dim) {
       case 1:
         for (u32 ch = 0; ch < g.channelsPerStack; ++ch)
             for (u32 b = 0; b < g.banksPerChannel; ++b) {
-                if (ch == c.channel && b == c.bank)
+                const ChannelId cch{ch};
+                const BankId cb{b};
+                if (cch == c.channel && cb == c.bank)
                     continue;
-                out.push_back(
-                    map_.coordToLine({c.stack, ch, b, c.row, c.col}));
+                out.push_back(map_.coordToLine(
+                    {c.stack, cch, cb, c.row, c.col}));
             }
         out.push_back(map_.d1ParityLine(line));
         break;
       case 2:
         for (u32 b = 0; b < g.banksPerChannel; ++b)
             for (u32 r = 0; r < g.rowsPerBank; ++r) {
-                if (b == c.bank && r == c.row)
+                const BankId cb{b};
+                const RowId cr{r};
+                if (cb == c.bank && cr == c.row)
                     continue;
-                out.push_back(
-                    map_.coordToLine({c.stack, c.channel, b, r, c.col}));
+                out.push_back(map_.coordToLine(
+                    {c.stack, c.channel, cb, cr, c.col}));
             }
         break;
       case 3:
         for (u32 ch = 0; ch < g.channelsPerStack; ++ch)
             for (u32 r = 0; r < g.rowsPerBank; ++r) {
-                if (ch == c.channel && r == c.row)
+                const ChannelId cch{ch};
+                const RowId cr{r};
+                if (cch == c.channel && cr == c.row)
                     continue;
-                out.push_back(
-                    map_.coordToLine({c.stack, ch, c.bank, r, c.col}));
+                out.push_back(map_.coordToLine(
+                    {c.stack, cch, c.bank, cr, c.col}));
             }
-        if (c.bank == 0) {
+        if (c.bank == BankId{0}) {
             // Bank position 0's D3 group includes the parity store.
             for (u32 r = 0; r < g.rowsPerBank; ++r)
-                out.push_back(map_.parityBase() +
-                              (static_cast<u64>(c.stack) * g.rowsPerBank +
-                               r) *
-                                  g.linesPerRow() +
-                              c.col);
+                out.push_back(map_.parityLineOf(
+                    map_.d1GroupOf(c.stack, RowId{r}, c.col)));
         }
         break;
       default:
@@ -338,7 +347,7 @@ LiveRasDatapath::appendGroupReads(std::vector<u64> &out,
 }
 
 DemandOutcome
-LiveRasDatapath::onDemandRead(u64 line, u64 cycle)
+LiveRasDatapath::onDemandRead(LineAddr line, u64 cycle)
 {
     DemandOutcome out;
     ++log_.counters.demandReads;
@@ -352,8 +361,13 @@ LiveRasDatapath::onDemandRead(u64 line, u64 cycle)
         return out;
     }
 
-    ParityEngine &eng = *engines_[c.stack];
-    if (!eng.lineCorruptAt(c.channel, c.bank, c.row, c.col))
+    ParityEngine &eng = *engines_[c.stack.idx()];
+    // The HBM channel/die identity: each channel's data lives on its
+    // own die, so the engine's die coordinate is the named conversion
+    // of the channel (the engine reserves die channelsPerStack for the
+    // parity/metadata unit).
+    const DieId die = dieOf(c.channel);
+    if (!eng.lineCorruptAt(die, c.bank, c.row, c.col))
         return out;
 
     // CRC-32 mismatch: read-retry first (a transient bus glitch would
@@ -363,13 +377,15 @@ LiveRasDatapath::onDemandRead(u64 line, u64 cycle)
     out.extraReads.push_back(line);
 
     const ParityEngine::DemandFix fix = eng.correctLine(
-        c.channel, c.bank, c.row, c.col, opts_.scheme.parityDims);
+        die, c.bank, c.row, c.col, opts_.scheme.parityDims);
 
     FaultClass cls = FaultClass::Bit;
     for (const Fault &f : active_)
-        if (f.stack.matches(c.stack) && f.channel.matches(c.channel) &&
-            f.bank.matches(c.bank) && f.row.matches(c.row) &&
-            f.col.matches(c.col)) {
+        if (f.stack.matches(c.stack.value()) &&
+            f.channel.matches(c.channel.value()) &&
+            f.bank.matches(c.bank.value()) &&
+            f.row.matches(c.row.value()) &&
+            f.col.matches(c.col.value())) {
             cls = f.cls;
             break;
         }
@@ -391,7 +407,7 @@ LiveRasDatapath::onDemandRead(u64 line, u64 cycle)
     log_.counters.parityGroupReads += fix.groupReads;
     log_.counters.linesReconstructed += fix.linesFixed;
 
-    if (!eng.lineMatchesGolden(c.channel, c.bank, c.row, c.col)) {
+    if (!eng.lineMatchesGolden(die, c.bank, c.row, c.col)) {
         // Correction passed CRC but the bytes are wrong: silent data
         // corruption. Must never happen; tests assert sdc == 0.
         ++log_.counters.sdc;

@@ -96,17 +96,17 @@ class LiveRasDatapath final : public RasHook
 
     // RasHook
     void tick(u64 cycle) override;
-    DemandOutcome onDemandRead(u64 line, u64 cycle) override;
+    DemandOutcome onDemandRead(LineAddr line, u64 cycle) override;
 
     const RasLog &log() const { return log_; }
     const RasCounters &counters() const { return log_.counters; }
     const std::vector<Fault> &activeFaults() const { return active_; }
 
     /** Is a line currently served from spare storage (RRT/BRT)? */
-    bool lineIsRemapped(u64 line) const;
+    bool lineIsRemapped(LineAddr line) const;
 
     /** The bit-true engine of one stack (tests poke at it). */
-    const ParityEngine &engine(u32 stack) const;
+    const ParityEngine &engine(StackId stack) const;
 
   private:
     SimConfig cfg_;
@@ -130,11 +130,11 @@ class LiveRasDatapath final : public RasHook
     std::vector<u32> spareRowCursor_;
     std::map<u64, u32> tsvUsed_; ///< (stack, channel) -> stand-by used.
 
-    std::set<u64> poisoned_; ///< Lines already reported as DUE.
+    std::set<LineAddr> poisoned_; ///< Lines already reported as DUE.
     u64 lastScrub_ = 0;
     RasLog log_;
 
-    u32 unitId(u32 channel, u32 bank) const;
+    UnitId unitId(ChannelId channel, BankId bank) const;
     bool coordRemapped(const LineCoord &c) const;
     bool inSparedBank(const Fault &f) const;
     void materialize(const Fault &f, u64 cycle);
@@ -152,7 +152,7 @@ class LiveRasDatapath final : public RasHook
     void differentialCheck(u64 cycle);
 
     /** Addresses of the parity group that rebuilt `c` via `dim`. */
-    void appendGroupReads(std::vector<u64> &out, const LineCoord &c,
+    void appendGroupReads(std::vector<LineAddr> &out, const LineCoord &c,
                           u32 dim) const;
 
     void logEvent(RasEvent ev);

@@ -47,7 +47,7 @@ struct RasEvent
 {
     RasEventType type;
     u64 cycle = 0;       ///< Simulator cycle (0 when outside a run).
-    u64 line = 0;        ///< Affected line address, when applicable.
+    LineAddr line{};     ///< Affected line address, when applicable.
     u32 dimUsed = 0;     ///< Parity dimension that corrected (CE only).
     u32 groupReads = 0;  ///< DRAM reads the correction consumed.
     FaultClass cls = FaultClass::Bit; ///< Class of the causing fault.

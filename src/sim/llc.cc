@@ -14,18 +14,24 @@ Llc::Llc(u64 capacity_bytes, u32 ways, u32 line_bytes) : ways_(ways)
     lines_.resize(lines);
 }
 
+u32
+Llc::setOf(LineAddr addr) const
+{
+    return static_cast<u32>(addr.value() % sets_);
+}
+
 Llc::Way *
-Llc::findLine(u64 addr)
+Llc::findLine(LineAddr addr)
 {
     Way *base = &lines_[static_cast<u64>(setOf(addr)) * ways_];
     for (u32 w = 0; w < ways_; ++w)
-        if (base[w].valid && base[w].tag == addr)
+        if (base[w].valid && base[w].tag == addr.value())
             return &base[w];
     return nullptr;
 }
 
 bool
-Llc::probeParity(u64 addr)
+Llc::probeParity(LineAddr addr)
 {
     ++stats_.parityProbes;
     Way *way = findLine(addr);
@@ -38,7 +44,7 @@ Llc::probeParity(u64 addr)
 }
 
 Llc::Victim
-Llc::fill(u64 addr, bool dirty, bool parity)
+Llc::fill(LineAddr addr, bool dirty, bool parity)
 {
     if (parity)
         ++stats_.parityFills;
@@ -67,7 +73,7 @@ Llc::fill(u64 addr, bool dirty, bool parity)
     Victim out;
     if (victim->valid) {
         out.valid = true;
-        out.addr = victim->tag;
+        out.addr = LineAddr{victim->tag};
         out.dirty = victim->dirty;
         out.parity = victim->parity;
         if (victim->dirty) {
@@ -79,7 +85,7 @@ Llc::fill(u64 addr, bool dirty, bool parity)
     }
 
     victim->valid = true;
-    victim->tag = addr;
+    victim->tag = addr.value();
     victim->dirty = dirty;
     victim->parity = parity;
     victim->lastUse = ++useClock_;

@@ -15,7 +15,7 @@
 
 #include <vector>
 
-#include "common/types.h"
+#include "stack/geometry.h"
 
 namespace citadel {
 
@@ -46,7 +46,7 @@ class Llc
     struct Victim
     {
         bool valid = false;
-        u64 addr = 0;
+        LineAddr addr{};
         bool dirty = false;
         bool parity = false;
     };
@@ -57,10 +57,10 @@ class Llc
      * Parity-update probe (Fig 12 action 3): on hit the parity line is
      * updated in place (marked dirty, moved to MRU).
      */
-    bool probeParity(u64 addr);
+    bool probeParity(LineAddr addr);
 
     /** Install a line; returns the displaced victim (LRU). */
-    Victim fill(u64 addr, bool dirty, bool parity);
+    Victim fill(LineAddr addr, bool dirty, bool parity);
 
     const LlcStats &stats() const { return stats_; }
     u32 sets() const { return sets_; }
@@ -81,8 +81,8 @@ class Llc
     u64 useClock_ = 0;
     LlcStats stats_;
 
-    u32 setOf(u64 addr) const { return static_cast<u32>(addr % sets_); }
-    Way *findLine(u64 addr);
+    u32 setOf(LineAddr addr) const;
+    Way *findLine(LineAddr addr);
 };
 
 } // namespace citadel

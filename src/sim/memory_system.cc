@@ -22,7 +22,8 @@ MemorySystem::MemorySystem(const SimConfig &cfg) : cfg_(cfg), map_(cfg.geom)
 u32
 MemorySystem::channelIndex(const LineCoord &c) const
 {
-    return c.stack * cfg_.geom.channelsPerStack + c.channel;
+    return c.stack.value() * cfg_.geom.channelsPerStack +
+           c.channel.value();
 }
 
 void
@@ -50,10 +51,10 @@ MemorySystem::enqueue(const LineCoord &line, bool write, u64 token,
 }
 
 u64
-MemorySystem::issueRead(u64 line_idx, u64 cycle, bool ras)
+MemorySystem::issueRead(LineAddr line, u64 cycle, bool ras)
 {
     const u64 token = nextToken_++;
-    const LineCoord coord = map_.lineToCoord(line_idx);
+    const LineCoord coord = map_.lineToCoord(line);
     if (ras)
         counters_.rasReads += map_.subRequests(coord, cfg_.striping).size();
     enqueue(coord, false, token, cycle);
@@ -61,10 +62,10 @@ MemorySystem::issueRead(u64 line_idx, u64 cycle, bool ras)
 }
 
 bool
-MemorySystem::canAcceptWrite(u64 line_idx) const
+MemorySystem::canAcceptWrite(LineAddr line) const
 {
-    const LineCoord line = map_.lineToCoord(line_idx);
-    const auto subs = map_.subRequests(line, cfg_.striping);
+    const LineCoord coord = map_.lineToCoord(line);
+    const auto subs = map_.subRequests(coord, cfg_.striping);
     for (const LineCoord &s : subs) {
         const Channel &ch = channels_[channelIndex(s)];
         if (ch.writeQueue.size() >= writeCapSubs_)
@@ -74,11 +75,11 @@ MemorySystem::canAcceptWrite(u64 line_idx) const
 }
 
 void
-MemorySystem::issueWrite(u64 line_idx, u64 cycle)
+MemorySystem::issueWrite(LineAddr line, u64 cycle)
 {
     // Writes get a token too so striped sibling sub-writes issue in
     // lockstep, but no completion is reported for them.
-    enqueue(map_.lineToCoord(line_idx), true, nextToken_++, cycle);
+    enqueue(map_.lineToCoord(line), true, nextToken_++, cycle);
 }
 
 int
@@ -90,16 +91,14 @@ MemorySystem::pickCandidate(const Channel &ch, const std::deque<SubReq> &q,
     int oldest_ready = -1;
     for (std::size_t i = 0; i < q.size(); ++i) {
         const SubReq &r = q[i];
-        const BankState &b = ch.banks[r.bank];
-        const bool hit =
-            b.openRow == static_cast<i64>(r.row) && cycle >= b.nextCasAt;
+        const BankState &b = ch.banks[r.bank.idx()];
+        const bool row_open = b.openRow == r.row;
+        const bool hit = row_open && cycle >= b.nextCasAt;
         if (hit)
             return static_cast<int>(i);
         if (oldest_ready < 0) {
-            const bool act_ready =
-                b.openRow != static_cast<i64>(r.row) && cycle >= b.nextActAt;
-            const bool cas_later =
-                b.openRow == static_cast<i64>(r.row); // waiting on tCCD
+            const bool act_ready = !row_open && cycle >= b.nextActAt;
+            const bool cas_later = row_open; // waiting on tCCD
             if (act_ready || cas_later)
                 oldest_ready = static_cast<int>(i);
         }
@@ -112,7 +111,7 @@ MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
                        bool lockstep_sibling)
 {
     const DramTiming &t = cfg_.timing;
-    BankState &b = ch.banks[req.bank];
+    BankState &b = ch.banks[req.bank.idx()];
     u64 done;
 
     // Column-to-column spacing scales with the burst: a striped
@@ -131,7 +130,7 @@ MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
         return cas;
     };
 
-    if (b.openRow == static_cast<i64>(req.row)) {
+    if (b.openRow == req.row) {
         // Row hit: column access only.
         const u64 t0 = wtr_floor(std::max(cycle, b.nextCasAt));
         done = t0 + t.tCAS + t.tBURST;
@@ -142,7 +141,7 @@ MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
     } else {
         // Row miss: (precharge if open) + activate + column access.
         u64 act = std::max(cycle, b.nextActAt);
-        if (b.openRow >= 0)
+        if (b.openRow.has_value())
             act = std::max(act, cycle + t.tRP);
         // Striped sibling banks activate together (one multi-bank
         // activate command): the tRRD spacing applies per line group,
@@ -159,7 +158,7 @@ MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
         if (req.write)
             b.lastWriteCas = static_cast<i64>(cas);
         b.nextActAt = act + t.tRAS + t.tRP;
-        b.openRow = static_cast<i64>(req.row);
+        b.openRow = req.row;
         ++counters_.activates;
         ++counters_.rowMisses;
     }

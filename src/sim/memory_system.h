@@ -11,6 +11,7 @@
 #define CITADEL_SIM_MEMORY_SYSTEM_H
 
 #include <deque>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -48,13 +49,13 @@ class MemorySystem
      * @return a token reported by drainCompletedReads when all
      *         sub-requests finish.
      */
-    u64 issueRead(u64 line_idx, u64 cycle, bool ras = false);
+    u64 issueRead(LineAddr line, u64 cycle, bool ras = false);
 
     /** Is there write-queue space on every channel the line touches? */
-    bool canAcceptWrite(u64 line_idx) const;
+    bool canAcceptWrite(LineAddr line) const;
 
     /** Enqueue a posted line write (no completion reporting). */
-    void issueWrite(u64 line_idx, u64 cycle);
+    void issueWrite(LineAddr line, u64 cycle);
 
     /** Advance one memory-controller cycle. */
     void tick(u64 cycle);
@@ -72,8 +73,8 @@ class MemorySystem
     struct SubReq
     {
         u64 token = 0;   ///< 0 for writes (no completion tracking).
-        u32 bank = 0;
-        u32 row = 0;
+        BankId bank{};
+        RowId row{};
         bool write = false;
         u64 arrival = 0;
         u32 bytes = 0;
@@ -81,7 +82,7 @@ class MemorySystem
 
     struct BankState
     {
-        i64 openRow = -1;
+        std::optional<RowId> openRow;
         u64 nextActAt = 0;
         u64 nextCasAt = 0;
         i64 lastWriteCas = -1'000'000; ///< For write->read turnaround.

@@ -15,7 +15,7 @@
 
 #include <vector>
 
-#include "common/types.h"
+#include "common/strong_id.h"
 
 namespace citadel {
 
@@ -38,7 +38,7 @@ struct DemandOutcome
      * core stalls until the last of them completes (the paper's
      * demand-time correction latency, Section VI-B).
      */
-    std::vector<u64> extraReads;
+    std::vector<LineAddr> extraReads;
 };
 
 /** Interface the timing simulator drives once attached. */
@@ -51,7 +51,7 @@ class RasHook
     virtual void tick(u64 cycle) = 0;
 
     /** A demand read of `line` just returned data to the controller. */
-    virtual DemandOutcome onDemandRead(u64 line, u64 cycle) = 0;
+    virtual DemandOutcome onDemandRead(LineAddr line, u64 cycle) = 0;
 };
 
 } // namespace citadel

@@ -11,7 +11,7 @@ SystemSim::SystemSim(const SimConfig &cfg, const BenchmarkProfile &profile)
     : cfg_(cfg), profile_(profile), mem_(cfg),
       llc_(cfg.llcBytes, cfg.llcWays, cfg.geom.lineBytes)
 {
-    parityBase_ = cfg_.geom.totalLines();
+    parityBase_ = LineAddr{cfg_.geom.totalLines()};
     for (u32 c = 0; c < cfg_.cores; ++c) {
         Rng rng(cfg_.seed ^ (0x8CB92BA72F3D8DD7ull * (c + 1)));
         cores_.emplace_back(
@@ -34,14 +34,14 @@ SystemSim::SystemSim(const SimConfig &cfg, const BenchmarkProfile &profile)
     }
 }
 
-u64
-SystemSim::parityLineFor(u64 data_line) const
+LineAddr
+SystemSim::parityLineFor(LineAddr data_line) const
 {
     return mem_.addressMap().d1ParityLine(data_line);
 }
 
-u64
-SystemSim::physicalFor(u64 line) const
+LineAddr
+SystemSim::physicalFor(LineAddr line) const
 {
     return mem_.addressMap().parityToPhysical(line);
 }
@@ -57,7 +57,7 @@ SystemSim::sampleNextMiss(Core &core)
 }
 
 bool
-SystemSim::processWriteback(u64 line, u64 cycle)
+SystemSim::processWriteback(LineAddr line, u64 cycle)
 {
     if (!mem_.canAcceptWrite(line))
         return false;
@@ -71,7 +71,7 @@ SystemSim::processWriteback(u64 line, u64 cycle)
         // Read-before-write to form the parity delta (Fig 12 action 2).
         mem_.issueRead(line, cycle, true); // system read, nobody waits
         mem_.issueWrite(line, cycle);
-        const u64 parity = parityLineFor(line);
+        const LineAddr parity = parityLineFor(line);
         if (!llc_.probeParity(parity)) {
             // Fig 12 action 4: fetch parity from memory, install in LLC.
             mem_.issueRead(physicalFor(parity), cycle, true);
@@ -85,7 +85,7 @@ SystemSim::processWriteback(u64 line, u64 cycle)
       case RasTraffic::ThreeDPUncached: {
         mem_.issueRead(line, cycle, true);
         mem_.issueWrite(line, cycle);
-        const u64 parity = parityLineFor(line);
+        const LineAddr parity = parityLineFor(line);
         mem_.issueRead(physicalFor(parity), cycle, true);
         if (mem_.canAcceptWrite(physicalFor(parity)))
             mem_.issueWrite(physicalFor(parity), cycle);
@@ -100,7 +100,7 @@ SystemSim::processWriteback(u64 line, u64 cycle)
 void
 SystemSim::issueMiss(Core &core, u32 core_idx, u64 cycle)
 {
-    u64 line = core.stream.nextLine();
+    const LineAddr line = core.stream.nextLine();
     // Parity lines occupy a reserved tag space; a data line address is
     // always below parityBase_.
     const u64 token = mem_.issueRead(line, cycle);
@@ -152,7 +152,7 @@ SystemSim::handleDemandCompletion(u64 token, const PendingRead &pr,
     // immediately (machine-check semantics: poisoned data delivered,
     // execution continues); its retry traffic still occupies the bus.
     u64 last_token = 0;
-    for (u64 addr : out.extraReads)
+    for (const LineAddr addr : out.extraReads)
         last_token = mem_.issueRead(physicalFor(addr), cycle, true);
 
     if (out.kind == DemandOutcome::Kind::Corrected)
@@ -207,7 +207,7 @@ SystemSim::run()
 
         // Drain pending writebacks into the memory system.
         while (!pendingWritebacks_.empty()) {
-            const u64 line = pendingWritebacks_.front();
+            const LineAddr line = pendingWritebacks_.front();
             bool ok;
             if (line >= parityBase_) {
                 // Deferred parity writes go straight to the parity bank.

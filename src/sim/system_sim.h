@@ -77,7 +77,7 @@ class SystemSim
     struct PendingRead
     {
         u32 core = 0;
-        u64 line = 0;       ///< Demanded data line.
+        LineAddr line{};     ///< Demanded data line.
         bool replay = false; ///< Correction replay: release, no re-check.
     };
 
@@ -87,15 +87,16 @@ class SystemSim
     Llc llc_;
     std::vector<Core> cores_;
     std::unordered_map<u64, PendingRead> pendingReads_;
-    std::deque<u64> pendingWritebacks_; ///< Data lines awaiting WB issue.
-    u64 parityBase_;
+    /** Data lines awaiting WB issue. */
+    std::deque<LineAddr> pendingWritebacks_;
+    LineAddr parityBase_{};
     RasHook *ras_ = nullptr;
 
     /** Dimension-1 parity line address for a data line (Section VI-C). */
-    u64 parityLineFor(u64 data_line) const;
+    LineAddr parityLineFor(LineAddr data_line) const;
 
     /** Physical DRAM line backing a (possibly parity-space) address. */
-    u64 physicalFor(u64 line) const;
+    LineAddr physicalFor(LineAddr line) const;
 
     void coreTick(u32 core_idx, u64 cycle);
     void issueMiss(Core &core, u32 core_idx, u64 cycle);
@@ -106,7 +107,7 @@ class SystemSim
 
     /** Handle a dirty-line writeback including RAS side effects.
      *  @return false if the memory could not accept it (retry later). */
-    bool processWriteback(u64 line, u64 cycle);
+    bool processWriteback(LineAddr line, u64 cycle);
 
     void sampleNextMiss(Core &core);
 };

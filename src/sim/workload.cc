@@ -97,7 +97,7 @@ AddressStream::AddressStream(const BenchmarkProfile &profile, u32 core,
     cursor_ = regionBase_;
 }
 
-u64
+LineAddr
 AddressStream::nextLine()
 {
     if (runLeft_ == 0) {
@@ -112,7 +112,7 @@ AddressStream::nextLine()
     --runLeft_;
     const u64 line = cursor_;
     cursor_ = regionBase_ + (cursor_ - regionBase_ + 1) % regionLines_;
-    return line;
+    return LineAddr{line};
 }
 
 } // namespace citadel

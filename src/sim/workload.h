@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "common/types.h"
+#include "stack/geometry.h"
 
 namespace citadel {
 
@@ -72,7 +72,7 @@ class AddressStream
                   u64 total_lines, u64 seed);
 
     /** Next missing line address (system-wide line index). */
-    u64 nextLine();
+    LineAddr nextLine();
 
   private:
     const BenchmarkProfile &profile_;

@@ -44,40 +44,40 @@ AddressMap::AddressMap(const StackGeometry &geom) : geom_(geom)
 }
 
 LineCoord
-AddressMap::lineToCoord(u64 line_idx) const
+AddressMap::lineToCoord(LineAddr line) const
 {
-    if (line_idx >= geom_.totalLines())
-        panic("lineToCoord: index %llu out of range",
-              static_cast<unsigned long long>(line_idx));
+    if (line >= parityBase())
+        panic("lineToCoord: address %llu out of range",
+              static_cast<unsigned long long>(line.value()));
     LineCoord c;
-    u64 v = line_idx;
+    u64 v = line.value();
     const u32 col_lo = static_cast<u32>(v & ((1ull << colLoBits_) - 1));
     v >>= colLoBits_;
-    c.channel = static_cast<u32>(v & ((1ull << chBits_) - 1));
+    c.channel = ChannelId{static_cast<u32>(v & ((1ull << chBits_) - 1))};
     v >>= chBits_;
-    c.bank = static_cast<u32>(v & ((1ull << bankBits_) - 1));
+    c.bank = BankId{static_cast<u32>(v & ((1ull << bankBits_) - 1))};
     v >>= bankBits_;
     const u32 col_hi = static_cast<u32>(v & ((1ull << colHiBits_) - 1));
     v >>= colHiBits_;
-    c.stack = static_cast<u32>(v & ((1ull << stackBits_) - 1));
+    c.stack = StackId{static_cast<u32>(v & ((1ull << stackBits_) - 1))};
     v >>= stackBits_;
-    c.row = static_cast<u32>(v);
-    c.col = (col_hi << colLoBits_) | col_lo;
+    c.row = RowId{static_cast<u32>(v)};
+    c.col = ColId{(col_hi << colLoBits_) | col_lo};
     return c;
 }
 
-u64
+LineAddr
 AddressMap::coordToLine(const LineCoord &c) const
 {
-    const u32 col_lo = c.col & ((1u << colLoBits_) - 1);
-    const u32 col_hi = c.col >> colLoBits_;
-    u64 v = c.row;
-    v = (v << stackBits_) | c.stack;
+    const u32 col_lo = c.col.value() & ((1u << colLoBits_) - 1);
+    const u32 col_hi = c.col.value() >> colLoBits_;
+    u64 v = c.row.value();
+    v = (v << stackBits_) | c.stack.value();
     v = (v << colHiBits_) | col_hi;
-    v = (v << bankBits_) | c.bank;
-    v = (v << chBits_) | c.channel;
+    v = (v << bankBits_) | c.bank.value();
+    v = (v << chBits_) | c.channel.value();
     v = (v << colLoBits_) | col_lo;
-    return v;
+    return LineAddr{v};
 }
 
 std::vector<LineCoord>
@@ -92,7 +92,7 @@ AddressMap::subRequests(const LineCoord &line, StripingMode mode) const
         out.reserve(geom_.banksPerChannel);
         for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
             LineCoord c = line;
-            c.bank = b;
+            c.bank = BankId{b};
             out.push_back(c);
         }
         break;
@@ -100,7 +100,7 @@ AddressMap::subRequests(const LineCoord &line, StripingMode mode) const
         out.reserve(geom_.channelsPerStack);
         for (u32 ch = 0; ch < geom_.channelsPerStack; ++ch) {
             LineCoord c = line;
-            c.channel = ch;
+            c.channel = ChannelId{ch};
             out.push_back(c);
         }
         break;
@@ -108,29 +108,49 @@ AddressMap::subRequests(const LineCoord &line, StripingMode mode) const
     return out;
 }
 
-u64
-AddressMap::d1ParityLine(u64 data_line) const
+ParityGroupId
+AddressMap::d1GroupOf(StackId stack, RowId row, ColId col) const
 {
-    const LineCoord c = lineToCoord(data_line);
-    return parityBase() +
-           (static_cast<u64>(c.stack) * geom_.rowsPerBank + c.row) *
-               geom_.linesPerRow() +
-           c.col;
+    return ParityGroupId{
+        (static_cast<u64>(stack.value()) * geom_.rowsPerBank +
+         row.value()) *
+            geom_.linesPerRow() +
+        col.value()};
 }
 
-u64
-AddressMap::parityToPhysical(u64 line) const
+ParityGroupId
+AddressMap::d1Group(LineAddr data_line) const
+{
+    const LineCoord c = lineToCoord(data_line);
+    return d1GroupOf(c.stack, c.row, c.col);
+}
+
+LineAddr
+AddressMap::parityLineOf(ParityGroupId group) const
+{
+    return LineAddr{parityBase().value() + group.value()};
+}
+
+LineAddr
+AddressMap::d1ParityLine(LineAddr data_line) const
+{
+    return parityLineOf(d1Group(data_line));
+}
+
+LineAddr
+AddressMap::parityToPhysical(LineAddr line) const
 {
     if (line < parityBase())
         return line;
-    u64 idx = line - parityBase();
+    u64 idx = line.value() - parityBase().value();
     LineCoord c;
-    c.col = static_cast<u32>(idx % geom_.linesPerRow());
+    c.col = ColId{static_cast<u32>(idx % geom_.linesPerRow())};
     idx /= geom_.linesPerRow();
-    c.row = static_cast<u32>(idx % geom_.rowsPerBank);
-    c.stack = static_cast<u32>(idx / geom_.rowsPerBank);
-    c.channel = c.row % geom_.channelsPerStack;
-    c.bank = (c.row / geom_.channelsPerStack) % geom_.banksPerChannel;
+    c.row = RowId{static_cast<u32>(idx % geom_.rowsPerBank)};
+    c.stack = StackId{static_cast<u32>(idx / geom_.rowsPerBank)};
+    c.channel = ChannelId{c.row.value() % geom_.channelsPerStack};
+    c.bank = BankId{(c.row.value() / geom_.channelsPerStack) %
+                    geom_.banksPerChannel};
     return coordToLine(c);
 }
 

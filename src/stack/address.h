@@ -47,11 +47,11 @@ class AddressMap
   public:
     explicit AddressMap(const StackGeometry &geom);
 
-    /** Decompose a system-wide line index. */
-    LineCoord lineToCoord(u64 line_idx) const;
+    /** Decompose a system-wide line address. */
+    LineCoord lineToCoord(LineAddr line) const;
 
     /** Recompose; inverse of lineToCoord. */
-    u64 coordToLine(const LineCoord &c) const;
+    LineAddr coordToLine(const LineCoord &c) const;
 
     /**
      * The per-(channel, bank) DRAM accesses needed to move one line
@@ -65,15 +65,28 @@ class AddressMap
     /** Accesses per line under `mode` (1, banks, or channels). */
     u32 fanout(StripingMode mode) const;
 
-    /** First line index of the reserved D1-parity address space. */
-    u64 parityBase() const { return geom_.totalLines(); }
+    /** First line address of the reserved D1-parity address space. */
+    LineAddr parityBase() const { return LineAddr{geom_.totalLines()}; }
+
+    /**
+     * Dimension-1 parity group of a data line (Section VI-C): all data
+     * lines sharing one (stack, row, col) slot across the (die, bank)
+     * grid belong to one group, XOR-folded into one parity line.
+     */
+    ParityGroupId d1Group(LineAddr data_line) const;
+
+    /** The parity group holding a (stack, row, col) slot directly. */
+    ParityGroupId d1GroupOf(StackId stack, RowId row, ColId col) const;
 
     /**
      * Dimension-1 parity line address for a data line (Section VI-C):
-     * one parity line covers the same (stack, row, col) slot across
-     * every (die, bank) unit. Parity addresses live above parityBase().
+     * the line storing that line's d1Group() fold. Parity addresses
+     * live at parityBase() + group index.
      */
-    u64 d1ParityLine(u64 data_line) const;
+    LineAddr d1ParityLine(LineAddr data_line) const;
+
+    /** Address of a parity group's parity line. */
+    LineAddr parityLineOf(ParityGroupId group) const;
 
     /**
      * Physical DRAM line backing an address: data lines map through
@@ -81,7 +94,7 @@ class AddressMap
      * (bank/channel bits derived from the row so no single physical
      * bank bottlenecks, Section VI-A footnote).
      */
-    u64 parityToPhysical(u64 line) const;
+    LineAddr parityToPhysical(LineAddr line) const;
 
     const StackGeometry &geometry() const { return geom_; }
 

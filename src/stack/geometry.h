@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "common/strong_id.h"
 #include "common/types.h"
 
 namespace citadel {
@@ -120,15 +121,18 @@ struct StackGeometry
 
 /**
  * Fully qualified location of a cache line (or a bit, when `bit` is
- * meaningful) within the system.
+ * meaningful) within the system. Every field lives in its own typed
+ * coordinate space (common/strong_id.h), so transposing, say, bank and
+ * row at a call site is a compile error rather than a silent aliasing
+ * bug.
  */
 struct LineCoord
 {
-    u32 stack = 0;
-    u32 channel = 0;
-    u32 bank = 0;
-    u32 row = 0;
-    u32 col = 0;
+    StackId stack{};
+    ChannelId channel{};
+    BankId bank{};
+    RowId row{};
+    ColId col{};
 
     bool operator==(const LineCoord &) const = default;
 };

@@ -16,14 +16,14 @@ TsvMap::TsvMap(const StackGeometry &geom) : geom_(geom)
 }
 
 void
-TsvMap::dataTsvBitPattern(u32 d, u32 &value, u32 &mask) const
+TsvMap::dataTsvBitPattern(TsvLane d, u32 &value, u32 &mask) const
 {
-    if (d >= geom_.dataTsvsPerChannel)
-        panic("dataTsvBitPattern: DTSV %u out of range", d);
+    if (d.value() >= geom_.dataTsvsPerChannel)
+        panic("dataTsvBitPattern: DTSV %u out of range", d.value());
     // With burst length L over N DTSVs, DTSV d carries line bits
     // d, d + N, d + 2N, ... Matching "low log2(N) bits == d".
     const u32 n = geom_.dataTsvsPerChannel;
-    value = d;
+    value = d.value();
     mask = n - 1; // N is power-of-two-checked by geometry validation
     // Ensure the full bit index space is a multiple of N (burst exact).
     if (geom_.bitsPerLine() % n != 0)
@@ -31,31 +31,33 @@ TsvMap::dataTsvBitPattern(u32 d, u32 &value, u32 &mask) const
 }
 
 AtsvEffect
-TsvMap::addrTsvEffect(u32 a) const
+TsvMap::addrTsvEffect(TsvLane a) const
 {
-    if (a >= geom_.addrTsvsPerChannel)
-        panic("addrTsvEffect: ATSV %u out of range", a);
-    if (a < rowBits_)
+    if (a.value() >= geom_.addrTsvsPerChannel)
+        panic("addrTsvEffect: ATSV %u out of range", a.value());
+    if (a.value() < rowBits_)
         return AtsvEffect::HalfRows;
-    if (a < rowBits_ + bankBits_)
+    if (a.value() < rowBits_ + bankBits_)
         return AtsvEffect::HalfBanks;
     return AtsvEffect::WholeChannel;
 }
 
 u32
-TsvMap::addrTsvRowBit(u32 a) const
+TsvMap::addrTsvRowBit(TsvLane a) const
 {
     if (addrTsvEffect(a) != AtsvEffect::HalfRows)
-        panic("addrTsvRowBit: ATSV %u is not a row-address TSV", a);
-    return a;
+        panic("addrTsvRowBit: ATSV %u is not a row-address TSV",
+              a.value());
+    return a.value();
 }
 
 u32
-TsvMap::addrTsvBankBit(u32 a) const
+TsvMap::addrTsvBankBit(TsvLane a) const
 {
     if (addrTsvEffect(a) != AtsvEffect::HalfBanks)
-        panic("addrTsvBankBit: ATSV %u is not a bank-address TSV", a);
-    return a - rowBits_;
+        panic("addrTsvBankBit: ATSV %u is not a bank-address TSV",
+              a.value());
+    return a.value() - rowBits_;
 }
 
 } // namespace citadel

@@ -42,26 +42,26 @@ class TsvMap
     u32 numAddrTsvs() const { return geom_.addrTsvsPerChannel; }
 
     /**
-     * Bit positions within a 512-bit line corrupted by data TSV `d`,
-     * expressed as a (value, mask) pair over the bit index: a bit b is
-     * affected iff (b ^ value) & mask == 0.
+     * Bit positions within a 512-bit line corrupted by data TSV lane
+     * `d`, expressed as a (value, mask) pair over the bit index: a bit
+     * b is affected iff (b ^ value) & mask == 0.
      */
-    void dataTsvBitPattern(u32 d, u32 &value, u32 &mask) const;
+    void dataTsvBitPattern(TsvLane d, u32 &value, u32 &mask) const;
 
-    /** Classify an address TSV index. */
-    AtsvEffect addrTsvEffect(u32 a) const;
+    /** Classify an address TSV lane. */
+    AtsvEffect addrTsvEffect(TsvLane a) const;
 
     /**
      * For a HalfRows ATSV: which row-address bit it drives.
      * @pre addrTsvEffect(a) == AtsvEffect::HalfRows
      */
-    u32 addrTsvRowBit(u32 a) const;
+    u32 addrTsvRowBit(TsvLane a) const;
 
     /**
      * For a HalfBanks ATSV: which bank-address bit it drives.
      * @pre addrTsvEffect(a) == AtsvEffect::HalfBanks
      */
-    u32 addrTsvBankBit(u32 a) const;
+    u32 addrTsvBankBit(TsvLane a) const;
 
   private:
     StackGeometry geom_;

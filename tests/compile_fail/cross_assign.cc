@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Negative compile test: assigning a RowId where a BankId is expected
+ * must NOT compile. tests/CMakeLists.txt try_compile()s this file at
+ * configure time and fails the build if it ever succeeds — that would
+ * mean the typed address domain has regressed to interconvertible
+ * integers.
+ */
+
+#include "common/strong_id.h"
+
+int
+main()
+{
+    citadel::RowId row{7};
+    citadel::BankId bank{0};
+    bank = row; // must be rejected: different coordinate spaces
+    return static_cast<int>(bank.value());
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Positive control for the compile-fail harness: ordinary same-space
+ * use of the typed ids must compile. If this file fails to build, the
+ * harness (include paths, standard version) is broken and the negative
+ * result from cross_assign.cc proves nothing.
+ */
+
+#include "common/strong_id.h"
+
+int
+main()
+{
+    citadel::RowId row{7};
+    citadel::RowId other{0};
+    other = row;
+    citadel::BankId bank{3};
+    ++bank;
+    const citadel::DieId die = citadel::dieOf(citadel::ChannelId{2});
+    return static_cast<int>(other.value() + bank.value() + die.value());
+}

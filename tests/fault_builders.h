@@ -86,7 +86,7 @@ dataTsvFault(u32 s, u32 ch, u32 tsv)
 {
     Fault f = baseFault(FaultClass::DataTsv, s, ch);
     f.fromTsv = true;
-    f.tsvIndex = tsv;
+    f.tsvIndex = TsvLane{tsv};
     f.bit = DimSpec::masked(tsv, 0xFF);
     return f;
 }
@@ -129,7 +129,7 @@ addrTsvRowFault(u32 s, u32 ch, u32 row_bit, u32 stuck)
 {
     Fault f = baseFault(FaultClass::AddrTsvRow, s, ch);
     f.fromTsv = true;
-    f.tsvIndex = row_bit;
+    f.tsvIndex = TsvLane{row_bit};
     f.row = DimSpec::masked(stuck << row_bit, 1u << row_bit);
     return f;
 }

@@ -24,14 +24,15 @@ class AddressTest : public ::testing::Test
 TEST_F(AddressTest, RoundTripSamples)
 {
     const u64 total = geom_.totalLines();
-    for (u64 line : std::vector<u64>{0, 1, 63, 4096, total / 2, total - 1}) {
+    for (u64 raw : std::vector<u64>{0, 1, 63, 4096, total / 2, total - 1}) {
+        const LineAddr line{raw};
         const LineCoord c = map_.lineToCoord(line);
         EXPECT_EQ(map_.coordToLine(c), line) << "line " << line;
-        EXPECT_LT(c.stack, geom_.stacks);
-        EXPECT_LT(c.channel, geom_.channelsPerStack);
-        EXPECT_LT(c.bank, geom_.banksPerChannel);
-        EXPECT_LT(c.row, geom_.rowsPerBank);
-        EXPECT_LT(c.col, geom_.linesPerRow());
+        EXPECT_LT(c.stack.value(), geom_.stacks);
+        EXPECT_LT(c.channel.value(), geom_.channelsPerStack);
+        EXPECT_LT(c.bank.value(), geom_.banksPerChannel);
+        EXPECT_LT(c.row.value(), geom_.rowsPerBank);
+        EXPECT_LT(c.col.value(), geom_.linesPerRow());
     }
 }
 
@@ -40,16 +41,17 @@ TEST_F(AddressTest, ConsecutiveLinesFormShortRowBursts)
     // Hybrid interleaving: a 4-line (256B) burst stays in one row of
     // one bank, then the channel rotates.
     for (u64 i = 0; i < 4; ++i) {
-        const LineCoord c = map_.lineToCoord(i);
-        EXPECT_EQ(c.col, i);
-        EXPECT_EQ(c.channel, 0u);
-        EXPECT_EQ(c.bank, 0u);
-        EXPECT_EQ(c.row, 0u);
+        const LineCoord c = map_.lineToCoord(LineAddr{i});
+        EXPECT_EQ(c.col, ColId{static_cast<u32>(i)});
+        EXPECT_EQ(c.channel, ChannelId{0});
+        EXPECT_EQ(c.bank, BankId{0});
+        EXPECT_EQ(c.row, RowId{0});
     }
-    EXPECT_EQ(map_.lineToCoord(4).channel, 1u);
-    EXPECT_EQ(map_.lineToCoord(4).col, 0u);
-    EXPECT_EQ(map_.lineToCoord(32).bank, 1u);
-    EXPECT_EQ(map_.lineToCoord(256).col, 4u); // col_hi advances
+    EXPECT_EQ(map_.lineToCoord(LineAddr{4}).channel, ChannelId{1});
+    EXPECT_EQ(map_.lineToCoord(LineAddr{4}).col, ColId{0});
+    EXPECT_EQ(map_.lineToCoord(LineAddr{32}).bank, BankId{1});
+    // col_hi advances
+    EXPECT_EQ(map_.lineToCoord(LineAddr{256}).col, ColId{4});
 }
 
 TEST_F(AddressTest, LinesFourApartShareParityGroup)
@@ -57,17 +59,17 @@ TEST_F(AddressTest, LinesFourApartShareParityGroup)
     // Data lines 4 apart (same col_lo, next channel) share
     // (stack, row, col) -- i.e., one D1 parity line -- giving
     // streaming writebacks their parity-cache locality (Section VI-C).
-    const LineCoord a = map_.lineToCoord(400);
-    const LineCoord b = map_.lineToCoord(400 + 4);
+    const LineCoord a = map_.lineToCoord(LineAddr{400});
+    const LineCoord b = map_.lineToCoord(LineAddr{400 + 4});
     EXPECT_EQ(a.row, b.row);
     EXPECT_EQ(a.col, b.col);
     EXPECT_EQ(a.stack, b.stack);
     EXPECT_NE(std::make_pair(a.channel, a.bank),
               std::make_pair(b.channel, b.bank));
     // A full 256-line block shares only 4 distinct parity lines.
-    std::set<std::pair<u32, u32>> parity;
+    std::set<std::pair<RowId, ColId>> parity;
     for (u64 i = 0; i < 256; ++i) {
-        const LineCoord c = map_.lineToCoord(i);
+        const LineCoord c = map_.lineToCoord(LineAddr{i});
         parity.insert({c.row, c.col});
     }
     EXPECT_EQ(parity.size(), 4u);
@@ -75,7 +77,8 @@ TEST_F(AddressTest, LinesFourApartShareParityGroup)
 
 TEST_F(AddressTest, OutOfRangeDies)
 {
-    EXPECT_DEATH(map_.lineToCoord(geom_.totalLines()), "out of range");
+    EXPECT_DEATH(map_.lineToCoord(LineAddr{geom_.totalLines()}),
+                 "out of range");
 }
 
 TEST_F(AddressTest, FanoutPerMode)
@@ -87,7 +90,7 @@ TEST_F(AddressTest, FanoutPerMode)
 
 TEST_F(AddressTest, SameBankSubRequestIsIdentity)
 {
-    const LineCoord c = map_.lineToCoord(12345);
+    const LineCoord c = map_.lineToCoord(LineAddr{12345});
     const auto subs = map_.subRequests(c, StripingMode::SameBank);
     ASSERT_EQ(subs.size(), 1u);
     EXPECT_EQ(subs[0], c);
@@ -95,10 +98,10 @@ TEST_F(AddressTest, SameBankSubRequestIsIdentity)
 
 TEST_F(AddressTest, AcrossBanksCoversAllBanksOfOneChannel)
 {
-    const LineCoord c = map_.lineToCoord(999);
+    const LineCoord c = map_.lineToCoord(LineAddr{999});
     const auto subs = map_.subRequests(c, StripingMode::AcrossBanks);
     ASSERT_EQ(subs.size(), geom_.banksPerChannel);
-    std::set<u32> banks;
+    std::set<BankId> banks;
     for (const auto &s : subs) {
         EXPECT_EQ(s.channel, c.channel);
         EXPECT_EQ(s.stack, c.stack);
@@ -111,10 +114,10 @@ TEST_F(AddressTest, AcrossBanksCoversAllBanksOfOneChannel)
 
 TEST_F(AddressTest, AcrossChannelsCoversAllChannelsOfOneStack)
 {
-    const LineCoord c = map_.lineToCoord(31337);
+    const LineCoord c = map_.lineToCoord(LineAddr{31337});
     const auto subs = map_.subRequests(c, StripingMode::AcrossChannels);
     ASSERT_EQ(subs.size(), geom_.channelsPerStack);
-    std::set<u32> channels;
+    std::set<ChannelId> channels;
     for (const auto &s : subs) {
         EXPECT_EQ(s.bank, c.bank);
         EXPECT_EQ(s.stack, c.stack);
@@ -127,8 +130,10 @@ TEST_F(AddressTest, ExhaustiveRoundTripOnTinyGeometry)
 {
     StackGeometry tiny = StackGeometry::tiny();
     AddressMap map(tiny);
-    for (u64 line = 0; line < tiny.totalLines(); ++line)
+    for (u64 raw = 0; raw < tiny.totalLines(); ++raw) {
+        const LineAddr line{raw};
         EXPECT_EQ(map.coordToLine(map.lineToCoord(line)), line);
+    }
 }
 
 TEST(StripingModeName, AllNamed)

@@ -99,9 +99,9 @@ TEST_F(AnalysisTest, FailedBankDistributionMatchesTableIII)
     const FailedBankDistribution d = ana_.failedBanks(30000, 4, 19);
     ASSERT_GT(d.systemsWithFailedBank, 1000u);
     const double n = static_cast<double>(d.systemsWithFailedBank);
-    const double p1 = d.one / n;
-    const double p2 = d.two / n;
-    const double p3 = d.threePlus / n;
+    const double p1 = static_cast<double>(d.one) / n;
+    const double p2 = static_cast<double>(d.two) / n;
+    const double p3 = static_cast<double>(d.threePlus) / n;
     EXPECT_GT(p1, 0.8); // overwhelmingly one failed bank
     EXPECT_LT(p2, 0.2);
     EXPECT_LT(p3, 0.01);

@@ -37,7 +37,7 @@ TEST(Crc32, KnownVectors)
 TEST(Crc32, MatchesBitwiseReference)
 {
     Rng rng(1);
-    for (int len : {1, 7, 63, 64, 65, 512}) {
+    for (u32 len : {1u, 7u, 63u, 64u, 65u, 512u}) {
         std::vector<u8> data(len);
         for (auto &b : data)
             b = static_cast<u8>(rng.next());
@@ -65,7 +65,7 @@ TEST(Crc32, DetectsEverySingleBitFlip)
     for (auto &b : line)
         b = static_cast<u8>(rng.next());
     const u32 good = Crc32::compute(line);
-    for (int bit = 0; bit < 512; ++bit) {
+    for (u32 bit = 0; bit < 512; ++bit) {
         line[bit / 8] ^= static_cast<u8>(1 << (bit % 8));
         EXPECT_NE(Crc32::compute(line), good) << "missed bit " << bit;
         line[bit / 8] ^= static_cast<u8>(1 << (bit % 8));
@@ -80,9 +80,9 @@ TEST(Crc32, DetectsBurstErrors)
     for (auto &b : line)
         b = static_cast<u8>(rng.next());
     const u32 good = Crc32::compute(line);
-    for (int start = 0; start < 480; start += 37) {
+    for (u32 start = 0; start < 480; start += 37) {
         auto corrupted = line;
-        for (int b = start; b < start + 32; ++b)
+        for (u32 b = start; b < start + 32; ++b)
             if (rng.chance(0.5))
                 corrupted[b / 8] ^= static_cast<u8>(1 << (b % 8));
         if (corrupted == line)

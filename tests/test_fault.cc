@@ -101,17 +101,17 @@ class FaultTest : public ::testing::Test
 TEST_F(FaultTest, CoversSpecificBit)
 {
     const Fault f = bitFault(0, 2, 3, 100, 7, 200);
-    EXPECT_TRUE(f.covers(0, 2, 3, 100, 7, 200));
-    EXPECT_FALSE(f.covers(0, 2, 3, 100, 7, 201));
-    EXPECT_FALSE(f.covers(1, 2, 3, 100, 7, 200));
+    EXPECT_TRUE(f.covers(StackId{0}, ChannelId{2}, BankId{3}, RowId{100}, ColId{7}, 200));
+    EXPECT_FALSE(f.covers(StackId{0}, ChannelId{2}, BankId{3}, RowId{100}, ColId{7}, 201));
+    EXPECT_FALSE(f.covers(StackId{1}, ChannelId{2}, BankId{3}, RowId{100}, ColId{7}, 200));
 }
 
 TEST_F(FaultTest, BankFaultCoversWholeBank)
 {
     const Fault f = bankFault(1, 4, 5);
-    EXPECT_TRUE(f.covers(1, 4, 5, 0, 0, 0));
-    EXPECT_TRUE(f.covers(1, 4, 5, 65535, 31, 511));
-    EXPECT_FALSE(f.covers(1, 4, 6, 0, 0, 0));
+    EXPECT_TRUE(f.covers(StackId{1}, ChannelId{4}, BankId{5}, RowId{0}, ColId{0}, 0));
+    EXPECT_TRUE(f.covers(StackId{1}, ChannelId{4}, BankId{5}, RowId{65535}, ColId{31}, 511));
+    EXPECT_FALSE(f.covers(StackId{1}, ChannelId{4}, BankId{6}, RowId{0}, ColId{0}, 0));
     EXPECT_EQ(f.rowsCovered(geom_), 65536u);
     EXPECT_EQ(f.banksCovered(geom_), 1u);
     EXPECT_TRUE(f.singleBank(geom_));

@@ -45,9 +45,9 @@ TEST_P(GeometrySweep, AddressRoundTrip)
     const StackGeometry g = geom();
     AddressMap map(g);
     const u64 total = g.totalLines();
-    Rng rng(5 + GetParam());
+    Rng rng(static_cast<u64>(5 + GetParam()));
     for (int i = 0; i < 2000; ++i) {
-        const u64 line = rng.below(total);
+        const LineAddr line{rng.below(total)};
         EXPECT_EQ(map.coordToLine(map.lineToCoord(line)), line);
     }
 }
@@ -56,7 +56,7 @@ TEST_P(GeometrySweep, StripingFanoutCoversUnits)
 {
     const StackGeometry g = geom();
     AddressMap map(g);
-    const LineCoord c = map.lineToCoord(g.totalLines() / 3);
+    const LineCoord c = map.lineToCoord(LineAddr{g.totalLines() / 3});
     EXPECT_EQ(map.subRequests(c, StripingMode::AcrossBanks).size(),
               g.banksPerChannel);
     EXPECT_EQ(map.subRequests(c, StripingMode::AcrossChannels).size(),
@@ -69,13 +69,13 @@ TEST_P(GeometrySweep, TsvMapHandlesGeometry)
     TsvMap tsv(g);
     u32 v = 0;
     u32 m = 0;
-    tsv.dataTsvBitPattern(g.dataTsvsPerChannel - 1, v, m);
+    tsv.dataTsvBitPattern(TsvLane{g.dataTsvsPerChannel - 1}, v, m);
     DimSpec d = DimSpec::masked(v, m);
     u32 hits = 0;
     for (u32 b = 0; b < g.bitsPerLine(); ++b)
         hits += d.matches(b);
     EXPECT_EQ(hits, g.burstLength());
-    EXPECT_EQ(tsv.addrTsvEffect(g.addrTsvsPerChannel - 1),
+    EXPECT_EQ(tsv.addrTsvEffect(TsvLane{g.addrTsvsPerChannel - 1}),
               AtsvEffect::WholeChannel);
 }
 
@@ -85,11 +85,11 @@ TEST_P(GeometrySweep, InjectorShapesHold)
     cfg.geom = geom();
     cfg.subArrayRows = std::min<u32>(cfg.geom.rowsPerBank, 16);
     FaultInjector inj(cfg);
-    Rng rng(17 + GetParam());
-    const Fault bank = inj.makeFault(rng, FaultClass::Bank, 0, 1,
-                                     false, 0.0);
+    Rng rng(static_cast<u64>(17 + GetParam()));
+    const Fault bank = inj.makeFault(rng, FaultClass::Bank, StackId{0},
+                                     ChannelId{1}, false, 0.0);
     EXPECT_TRUE(bank.singleBank(cfg.geom));
-    const Fault tsvf = inj.makeTsvFault(rng, 0, 0.0);
+    const Fault tsvf = inj.makeTsvFault(rng, StackId{0}, 0.0);
     EXPECT_TRUE(tsvf.fromTsv);
 }
 
@@ -101,11 +101,11 @@ TEST_P(GeometrySweep, SingleFaultsCorrectableUnder3DP)
     FaultInjector inj(cfg);
     MultiDimParityScheme scheme(3);
     scheme.reset(cfg);
-    Rng rng(29 + GetParam());
+    Rng rng(static_cast<u64>(29 + GetParam()));
     for (FaultClass cls : {FaultClass::Bit, FaultClass::Word,
                            FaultClass::Column, FaultClass::Row,
                            FaultClass::Bank}) {
-        const Fault f = inj.makeFault(rng, cls, 0, 1, false, 0.0);
+        const Fault f = inj.makeFault(rng, cls, StackId{0}, ChannelId{1}, false, 0.0);
         EXPECT_FALSE(scheme.uncorrectable({f})) << faultClassName(cls);
     }
 }

@@ -67,41 +67,41 @@ TEST_F(InjectorTest, FaultShapePerClass)
     const StackGeometry &g = cfg_.geom;
 
     const Fault bit =
-        inj.makeFault(rng, FaultClass::Bit, 0, 1, true, 0.0);
+        inj.makeFault(rng, FaultClass::Bit, StackId{0}, ChannelId{1}, true, 0.0);
     EXPECT_EQ(bit.rowsCovered(g), 1u);
     EXPECT_EQ(bit.banksCovered(g), 1u);
     EXPECT_EQ(bit.bitsPerLine(g), 1u);
     EXPECT_TRUE(bit.transient);
 
     const Fault word =
-        inj.makeFault(rng, FaultClass::Word, 0, 1, false, 0.0);
+        inj.makeFault(rng, FaultClass::Word, StackId{0}, ChannelId{1}, false, 0.0);
     EXPECT_EQ(word.rowsCovered(g), 1u);
     EXPECT_EQ(word.bitsPerLine(g), 64u);
 
     const Fault col =
-        inj.makeFault(rng, FaultClass::Column, 0, 1, false, 0.0);
+        inj.makeFault(rng, FaultClass::Column, StackId{0}, ChannelId{1}, false, 0.0);
     EXPECT_EQ(col.rowsCovered(g), g.rowsPerBank);
     EXPECT_EQ(col.banksCovered(g), 1u);
     EXPECT_EQ(col.col.mask, 0xFFFFFFFFu); // one line slot
     EXPECT_EQ(col.bitsPerLine(g), 512u);
 
     const Fault row =
-        inj.makeFault(rng, FaultClass::Row, 0, 1, false, 0.0);
+        inj.makeFault(rng, FaultClass::Row, StackId{0}, ChannelId{1}, false, 0.0);
     EXPECT_EQ(row.rowsCovered(g), 1u);
     EXPECT_EQ(row.bitsPerLine(g), 512u);
 
     const Fault sub =
-        inj.makeFault(rng, FaultClass::SubArray, 0, 1, false, 0.0);
+        inj.makeFault(rng, FaultClass::SubArray, StackId{0}, ChannelId{1}, false, 0.0);
     EXPECT_EQ(sub.rowsCovered(g), cfg_.subArrayRows);
     EXPECT_EQ(sub.banksCovered(g), 1u);
 
     const Fault bank =
-        inj.makeFault(rng, FaultClass::Bank, 0, 1, false, 0.0);
+        inj.makeFault(rng, FaultClass::Bank, StackId{0}, ChannelId{1}, false, 0.0);
     EXPECT_EQ(bank.rowsCovered(g), g.rowsPerBank);
     EXPECT_TRUE(bank.singleBank(g));
 
     const Fault chan =
-        inj.makeFault(rng, FaultClass::Channel, 0, 1, false, 0.0);
+        inj.makeFault(rng, FaultClass::Channel, StackId{0}, ChannelId{1}, false, 0.0);
     EXPECT_EQ(chan.banksCovered(g), g.banksPerChannel);
 }
 
@@ -112,7 +112,7 @@ TEST_F(InjectorTest, TsvFaultsAreSevere)
     const StackGeometry &g = cfg_.geom;
     std::map<FaultClass, int> seen;
     for (int i = 0; i < 2000; ++i) {
-        const Fault f = inj.makeTsvFault(rng, 0, 0.0);
+        const Fault f = inj.makeTsvFault(rng, StackId{0}, 0.0);
         ASSERT_TRUE(f.fromTsv);
         ASSERT_FALSE(f.transient);
         ++seen[f.cls];

@@ -24,33 +24,33 @@ TEST(Llc, FillAndEvictLru)
     Llc c(4 * 64, 2);
     ASSERT_EQ(c.sets(), 2u);
 
-    EXPECT_FALSE(c.fill(0, false, false).valid);
-    EXPECT_FALSE(c.fill(2, false, false).valid);
+    EXPECT_FALSE(c.fill(LineAddr{0}, false, false).valid);
+    EXPECT_FALSE(c.fill(LineAddr{2}, false, false).valid);
     // Set 0 is full {0, 2}; filling 4 evicts the LRU (0).
-    const auto v = c.fill(4, false, false);
+    const auto v = c.fill(LineAddr{4}, false, false);
     ASSERT_TRUE(v.valid);
-    EXPECT_EQ(v.addr, 0u);
+    EXPECT_EQ(v.addr, LineAddr{0});
     EXPECT_FALSE(v.dirty);
 }
 
 TEST(Llc, TouchUpdatesLru)
 {
     Llc c(4 * 64, 2);
-    c.fill(0, false, true);
-    c.fill(2, false, false);
+    c.fill(LineAddr{0}, false, true);
+    c.fill(LineAddr{2}, false, false);
     // Touch 0 via a parity probe; now 2 is LRU.
-    EXPECT_TRUE(c.probeParity(0));
-    const auto v = c.fill(4, false, false);
+    EXPECT_TRUE(c.probeParity(LineAddr{0}));
+    const auto v = c.fill(LineAddr{4}, false, false);
     ASSERT_TRUE(v.valid);
-    EXPECT_EQ(v.addr, 2u);
+    EXPECT_EQ(v.addr, LineAddr{2});
 }
 
 TEST(Llc, DirtyEvictionReported)
 {
     Llc c(4 * 64, 2);
-    c.fill(0, true, false);
-    c.fill(2, false, false);
-    const auto v = c.fill(4, false, false);
+    c.fill(LineAddr{0}, true, false);
+    c.fill(LineAddr{2}, false, false);
+    const auto v = c.fill(LineAddr{4}, false, false);
     ASSERT_TRUE(v.valid);
     EXPECT_TRUE(v.dirty);
     EXPECT_FALSE(v.parity);
@@ -60,9 +60,9 @@ TEST(Llc, DirtyEvictionReported)
 TEST(Llc, ParityProbeMissThenHit)
 {
     Llc c(4 * 64, 2);
-    EXPECT_FALSE(c.probeParity(6));
-    c.fill(6, true, true);
-    EXPECT_TRUE(c.probeParity(6));
+    EXPECT_FALSE(c.probeParity(LineAddr{6}));
+    c.fill(LineAddr{6}, true, true);
+    EXPECT_TRUE(c.probeParity(LineAddr{6}));
     EXPECT_EQ(c.stats().parityProbes, 2u);
     EXPECT_EQ(c.stats().parityHits, 1u);
     EXPECT_DOUBLE_EQ(c.stats().parityHitRate(), 0.5);
@@ -71,9 +71,9 @@ TEST(Llc, ParityProbeMissThenHit)
 TEST(Llc, ParityEvictionTagged)
 {
     Llc c(4 * 64, 2);
-    c.fill(0, true, true); // dirty parity line
-    c.fill(2, false, false);
-    const auto v = c.fill(4, false, false);
+    c.fill(LineAddr{0}, true, true); // dirty parity line
+    c.fill(LineAddr{2}, false, false);
+    const auto v = c.fill(LineAddr{4}, false, false);
     ASSERT_TRUE(v.valid);
     EXPECT_TRUE(v.parity);
     EXPECT_TRUE(v.dirty);
@@ -83,22 +83,22 @@ TEST(Llc, ParityEvictionTagged)
 TEST(Llc, RefillOfResidentLineNoEviction)
 {
     Llc c(4 * 64, 2);
-    c.fill(0, false, false);
-    const auto v = c.fill(0, true, false);
+    c.fill(LineAddr{0}, false, false);
+    const auto v = c.fill(LineAddr{0}, true, false);
     EXPECT_FALSE(v.valid);
     // The refill merged dirtiness.
-    c.fill(2, false, false);
-    const auto v2 = c.fill(4, false, false);
+    c.fill(LineAddr{2}, false, false);
+    const auto v2 = c.fill(LineAddr{4}, false, false);
     ASSERT_TRUE(v2.valid);
-    EXPECT_EQ(v2.addr, 0u);
+    EXPECT_EQ(v2.addr, LineAddr{0});
     EXPECT_TRUE(v2.dirty);
 }
 
 TEST(Llc, StatsCountFills)
 {
     Llc c(8 * 64, 2);
-    c.fill(0, false, false);
-    c.fill(1, false, true);
+    c.fill(LineAddr{0}, false, false);
+    c.fill(LineAddr{1}, false, true);
     EXPECT_EQ(c.stats().dataFills, 1u);
     EXPECT_EQ(c.stats().parityFills, 1u);
 }

@@ -36,7 +36,7 @@ class MemTest : public ::testing::Test
 TEST_F(MemTest, ColdReadLatencyIsActPlusCas)
 {
     MemorySystem mem(cfg_);
-    const u64 token = mem.issueRead(0, 0);
+    const u64 token = mem.issueRead(LineAddr{0}, 0);
     const u64 done = runUntilDone(mem, token);
     // tRCD + tCAS + tBURST = 9 + 9 + 1 = 19 for a cold bank.
     EXPECT_EQ(done, 19u);
@@ -47,10 +47,10 @@ TEST_F(MemTest, ColdReadLatencyIsActPlusCas)
 TEST_F(MemTest, RowHitIsFasterThanRowMiss)
 {
     MemorySystem mem(cfg_);
-    const u64 t1 = mem.issueRead(0, 0);
+    const u64 t1 = mem.issueRead(LineAddr{0}, 0);
     const u64 d1 = runUntilDone(mem, t1);
     // Line 1 is the next slot of the same open row.
-    const u64 t2 = mem.issueRead(1, d1 + 1);
+    const u64 t2 = mem.issueRead(LineAddr{1}, d1 + 1);
     const u64 d2 = runUntilDone(mem, t2, d1 + 1);
     const u64 hit_latency = d2 - (d1 + 1);
     EXPECT_LT(hit_latency, 19u);
@@ -63,9 +63,9 @@ TEST_F(MemTest, RowConflictPaysPrecharge)
     MemorySystem mem(cfg_);
     AddressMap map(cfg_.geom);
     // Two lines in the same bank, different rows.
-    LineCoord a = map.lineToCoord(0);
+    LineCoord a = map.lineToCoord(LineAddr{0});
     LineCoord b = a;
-    b.row = a.row + 1;
+    b.row = RowId{a.row.value() + 1};
     const u64 t1 = mem.issueRead(map.coordToLine(a), 0);
     const u64 d1 = runUntilDone(mem, t1);
     const u64 t2 = mem.issueRead(map.coordToLine(b), d1 + 1);
@@ -83,7 +83,7 @@ TEST_F(MemTest, StripingFanoutCountsBursts)
         cfg_.striping = mode;
         MemorySystem mem(cfg_);
         AddressMap map(cfg_.geom);
-        const u64 token = mem.issueRead(0, 0);
+        const u64 token = mem.issueRead(LineAddr{0}, 0);
         runUntilDone(mem, token);
         EXPECT_EQ(mem.counters().readBursts, map.fanout(mode))
             << stripingModeName(mode);
@@ -96,7 +96,7 @@ TEST_F(MemTest, AcrossBanksActivatesEveryBank)
 {
     cfg_.striping = StripingMode::AcrossBanks;
     MemorySystem mem(cfg_);
-    const u64 token = mem.issueRead(0, 0);
+    const u64 token = mem.issueRead(LineAddr{0}, 0);
     runUntilDone(mem, token);
     EXPECT_EQ(mem.counters().activates, cfg_.geom.banksPerChannel);
 }
@@ -105,7 +105,7 @@ TEST_F(MemTest, AcrossChannelsUsesOneBankPerChannel)
 {
     cfg_.striping = StripingMode::AcrossChannels;
     MemorySystem mem(cfg_);
-    const u64 token = mem.issueRead(0, 0);
+    const u64 token = mem.issueRead(LineAddr{0}, 0);
     const u64 done = runUntilDone(mem, token);
     EXPECT_EQ(mem.counters().activates, cfg_.geom.channelsPerStack);
     // Channel-parallel activation: latency close to a single access,
@@ -120,7 +120,7 @@ TEST_F(MemTest, AcrossBanksActivatesInLockstep)
     // activation energy, not tRRD-serialized latency (Section II-E).
     cfg_.striping = StripingMode::AcrossBanks;
     MemorySystem mem(cfg_);
-    const u64 token = mem.issueRead(0, 0);
+    const u64 token = mem.issueRead(LineAddr{0}, 0);
     const u64 done = runUntilDone(mem, token);
     EXPECT_LE(done, 19u + cfg_.timing.tBURST);
     EXPECT_EQ(mem.counters().activates, cfg_.geom.banksPerChannel);
@@ -134,9 +134,9 @@ TEST_F(MemTest, AcrossBanksConflictsAcrossRequests)
     cfg_.striping = StripingMode::AcrossBanks;
     MemorySystem mem(cfg_);
     AddressMap map(cfg_.geom);
-    LineCoord a = map.lineToCoord(0);
+    LineCoord a = map.lineToCoord(LineAddr{0});
     LineCoord b = a;
-    b.row = a.row + 1;
+    b.row = RowId{a.row.value() + 1};
     const u64 t1 = mem.issueRead(map.coordToLine(a), 0);
     const u64 t2 = mem.issueRead(map.coordToLine(b), 0);
     (void)t1;
@@ -148,8 +148,8 @@ TEST_F(MemTest, WritesAreAcceptedUpToCap)
 {
     MemorySystem mem(cfg_);
     u32 accepted = 0;
-    while (mem.canAcceptWrite(0) && accepted < 1000) {
-        mem.issueWrite(0, 0);
+    while (mem.canAcceptWrite(LineAddr{0}) && accepted < 1000) {
+        mem.issueWrite(LineAddr{0}, 0);
         ++accepted;
     }
     EXPECT_EQ(accepted, cfg_.writeQueueCap);
@@ -159,7 +159,7 @@ TEST_F(MemTest, WritesDrainEventually)
 {
     MemorySystem mem(cfg_);
     for (int i = 0; i < 8; ++i)
-        mem.issueWrite(static_cast<u64>(i), 0);
+        mem.issueWrite(LineAddr{static_cast<u64>(i)}, 0);
     for (u64 cycle = 0; cycle < 10000 && mem.pending() > 0; ++cycle)
         mem.tick(cycle);
     EXPECT_EQ(mem.pending(), 0u);
@@ -173,8 +173,8 @@ TEST_F(MemTest, ReadsPrioritizedOverWrites)
     // A few writes queued first, then a read: the read should not wait
     // for the whole write queue (it is picked first at low pressure).
     for (int i = 0; i < 4; ++i)
-        mem.issueWrite(0, 0);
-    const u64 token = mem.issueRead(0, 0);
+        mem.issueWrite(LineAddr{0}, 0);
+    const u64 token = mem.issueRead(LineAddr{0}, 0);
     const u64 done = runUntilDone(mem, token);
     EXPECT_LE(done, 25u);
 }
@@ -185,7 +185,7 @@ TEST_F(MemTest, IndependentChannelsProceedInParallel)
     // Lines 4 apart hit 8 different channels.
     std::vector<u64> tokens;
     for (u64 i = 0; i < 8; ++i)
-        tokens.push_back(mem.issueRead(i * 4, 0));
+        tokens.push_back(mem.issueRead(LineAddr{i * 4}, 0));
     u64 last = 0;
     std::size_t done_count = 0;
     for (u64 cycle = 0; cycle < 1000 && done_count < tokens.size();
@@ -205,11 +205,11 @@ TEST_F(MemTest, PendingTracksQueueDepth)
 {
     MemorySystem mem(cfg_);
     EXPECT_EQ(mem.pending(), 0u);
-    mem.issueRead(0, 0);
+    mem.issueRead(LineAddr{0}, 0);
     EXPECT_EQ(mem.pending(), 1u);
     cfg_.striping = StripingMode::AcrossBanks;
     MemorySystem striped(cfg_);
-    striped.issueRead(0, 0);
+    striped.issueRead(LineAddr{0}, 0);
     EXPECT_EQ(striped.pending(), 8u);
 }
 

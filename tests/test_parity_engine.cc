@@ -146,7 +146,8 @@ TEST_P(CrossCheck, AnalyticMatchesBitTrue)
                 classes[rng.below(std::size(classes))];
             const u32 die =
                 static_cast<u32>(rng.below(geom.channelsPerStack + 1));
-            faults.push_back(inj.makeFault(rng, cls, 0, die,
+            faults.push_back(inj.makeFault(rng, cls, StackId{0},
+                                           ChannelId{die},
                                            /*transient=*/false, 0.0));
         }
 

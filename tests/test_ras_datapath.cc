@@ -37,10 +37,11 @@ class LiveRasTest : public ::testing::Test
     SimConfig cfg_ = tinyConfig();
     AddressMap map_{cfg_.geom};
 
-    u64
+    LineAddr
     lineAt(u32 ch, u32 b, u32 r, u32 c) const
     {
-        return map_.coordToLine({0, ch, b, r, c});
+        return map_.coordToLine({StackId{0}, ChannelId{ch}, BankId{b},
+                                 RowId{r}, ColId{c}});
     }
 };
 
@@ -64,9 +65,9 @@ TEST_F(LiveRasTest, RowFaultIsCorrectedThenSpared)
     EXPECT_TRUE(dp.activeFaults().empty()); // not materialized yet
     dp.tick(10);
     ASSERT_EQ(dp.activeFaults().size(), 1u);
-    EXPECT_TRUE(dp.engine(0).lineCorruptAt(0, 0, 5, 0));
+    EXPECT_TRUE(dp.engine(StackId{0}).lineCorruptAt(DieId{0}, BankId{0}, RowId{5}, ColId{0}));
 
-    const u64 line = lineAt(0, 0, 5, 2);
+    const LineAddr line = lineAt(0, 0, 5, 2);
     const DemandOutcome out = dp.onDemandRead(line, 11);
     EXPECT_EQ(out.kind, DemandOutcome::Kind::Corrected);
     // Retry plus the D1 group (other 3 data units + the parity line).
@@ -112,7 +113,7 @@ TEST_F(LiveRasTest, TransientRecorrectsUntilScrub)
     dp.scheduleFault(f, 0);
     dp.tick(0);
 
-    const u64 line = lineAt(1, 1, 7, 3);
+    const LineAddr line = lineAt(1, 1, 7, 3);
     // A transient is not spared; until the scrub rewrites the line it
     // re-corrupts and must be re-corrected on every access.
     EXPECT_EQ(dp.onDemandRead(line, 1).kind,
@@ -160,7 +161,7 @@ TEST_F(LiveRasTest, TripleBankPatternReportsDueAndContinues)
     dp.scheduleFault(bankFault(0, 1, 0), 0);
     dp.tick(0);
 
-    const u64 line = lineAt(0, 0, 9, 1);
+    const LineAddr line = lineAt(0, 0, 9, 1);
     const DemandOutcome out = dp.onDemandRead(line, 1);
     EXPECT_EQ(out.kind, DemandOutcome::Kind::Uncorrectable);
     // The retry still happened; no parity group could be charged.
@@ -265,7 +266,7 @@ TEST_F(LiveRasTest, EventLogIsBoundedCountersExact)
     f.transient = true;
     dp.scheduleFault(f, 0);
     dp.tick(0);
-    const u64 line = lineAt(0, 0, 1, 1);
+    const LineAddr line = lineAt(0, 0, 1, 1);
     for (u64 i = 0; i < 6; ++i)
         dp.onDemandRead(line, i + 1);
 

@@ -13,34 +13,34 @@ namespace {
 TEST(RowRemapTable, InsertAndLookup)
 {
     RowRemapTable rrt(64, 4);
-    EXPECT_FALSE(rrt.lookup(3, 100).has_value());
-    EXPECT_TRUE(rrt.insert(3, 100, 7));
-    ASSERT_TRUE(rrt.lookup(3, 100).has_value());
-    EXPECT_EQ(*rrt.lookup(3, 100), 7u);
+    EXPECT_FALSE(rrt.lookup(UnitId{3}, RowId{100}).has_value());
+    EXPECT_TRUE(rrt.insert(UnitId{3}, RowId{100}, RowId{7}));
+    ASSERT_TRUE(rrt.lookup(UnitId{3}, RowId{100}).has_value());
+    EXPECT_EQ(*rrt.lookup(UnitId{3}, RowId{100}), RowId{7});
     // Other banks and rows unaffected.
-    EXPECT_FALSE(rrt.lookup(3, 101).has_value());
-    EXPECT_FALSE(rrt.lookup(4, 100).has_value());
+    EXPECT_FALSE(rrt.lookup(UnitId{3}, RowId{101}).has_value());
+    EXPECT_FALSE(rrt.lookup(UnitId{4}, RowId{100}).has_value());
 }
 
 TEST(RowRemapTable, CapacityPerBank)
 {
     RowRemapTable rrt(8, 4);
     for (u32 i = 0; i < 4; ++i)
-        EXPECT_TRUE(rrt.insert(0, 100 + i, i));
-    EXPECT_EQ(rrt.used(0), 4u);
+        EXPECT_TRUE(rrt.insert(UnitId{0}, RowId{100 + i}, RowId{i}));
+    EXPECT_EQ(rrt.used(UnitId{0}), 4u);
     // Fifth row in the same bank: full (escalate to bank sparing).
-    EXPECT_FALSE(rrt.insert(0, 200, 5));
+    EXPECT_FALSE(rrt.insert(UnitId{0}, RowId{200}, RowId{5}));
     // Another bank still has room.
-    EXPECT_TRUE(rrt.insert(1, 200, 5));
+    EXPECT_TRUE(rrt.insert(UnitId{1}, RowId{200}, RowId{5}));
 }
 
 TEST(RowRemapTable, ReinsertUpdatesInPlace)
 {
     RowRemapTable rrt(8, 2);
-    EXPECT_TRUE(rrt.insert(0, 50, 1));
-    EXPECT_TRUE(rrt.insert(0, 50, 2)); // same source row: refresh
-    EXPECT_EQ(*rrt.lookup(0, 50), 2u);
-    EXPECT_EQ(rrt.used(0), 1u);
+    EXPECT_TRUE(rrt.insert(UnitId{0}, RowId{50}, RowId{1}));
+    EXPECT_TRUE(rrt.insert(UnitId{0}, RowId{50}, RowId{2})); // refresh
+    EXPECT_EQ(*rrt.lookup(UnitId{0}, RowId{50}), RowId{2});
+    EXPECT_EQ(rrt.used(UnitId{0}), 1u);
 }
 
 TEST(RowRemapTable, StorageMatchesPaper)
@@ -55,38 +55,39 @@ TEST(RowRemapTable, StorageMatchesPaper)
 TEST(RowRemapTable, ClearResets)
 {
     RowRemapTable rrt(8, 4);
-    rrt.insert(2, 9, 1);
+    rrt.insert(UnitId{2}, RowId{9}, RowId{1});
     rrt.clear();
-    EXPECT_FALSE(rrt.lookup(2, 9).has_value());
-    EXPECT_EQ(rrt.used(2), 0u);
+    EXPECT_FALSE(rrt.lookup(UnitId{2}, RowId{9}).has_value());
+    EXPECT_EQ(rrt.used(UnitId{2}), 0u);
 }
 
 TEST(RowRemapTable, BoundsChecked)
 {
     RowRemapTable rrt(8, 4);
-    EXPECT_DEATH(rrt.insert(8, 0, 0), "out of range");
-    EXPECT_DEATH(rrt.lookup(9, 0), "out of range");
+    EXPECT_DEATH(rrt.insert(UnitId{8}, RowId{0}, RowId{0}),
+                 "out of range");
+    EXPECT_DEATH(rrt.lookup(UnitId{9}, RowId{0}), "out of range");
     EXPECT_DEATH(RowRemapTable(0, 4), "zero-sized");
 }
 
 TEST(BankRemapTable, InsertAndLookup)
 {
     BankRemapTable brt(2);
-    EXPECT_FALSE(brt.lookup(13).has_value());
-    EXPECT_TRUE(brt.insert(13, 0));
-    ASSERT_TRUE(brt.lookup(13).has_value());
-    EXPECT_EQ(*brt.lookup(13), 0u);
+    EXPECT_FALSE(brt.lookup(UnitId{13}).has_value());
+    EXPECT_TRUE(brt.insert(UnitId{13}, 0));
+    ASSERT_TRUE(brt.lookup(UnitId{13}).has_value());
+    EXPECT_EQ(*brt.lookup(UnitId{13}), 0u);
     EXPECT_EQ(brt.used(), 1u);
 }
 
 TEST(BankRemapTable, TwoEntriesThenFull)
 {
     BankRemapTable brt(2);
-    EXPECT_TRUE(brt.insert(13, 0));
-    EXPECT_TRUE(brt.insert(27, 1));
-    EXPECT_FALSE(brt.insert(40, 0)); // Table III: 2 covers ~99.96%
+    EXPECT_TRUE(brt.insert(UnitId{13}, 0));
+    EXPECT_TRUE(brt.insert(UnitId{27}, 1));
+    EXPECT_FALSE(brt.insert(UnitId{40}, 0)); // Table III: 2 ~ 99.96%
     // Re-inserting a decommissioned bank is idempotent.
-    EXPECT_TRUE(brt.insert(13, 0));
+    EXPECT_TRUE(brt.insert(UnitId{13}, 0));
     EXPECT_EQ(brt.used(), 2u);
 }
 
@@ -99,9 +100,9 @@ TEST(BankRemapTable, StorageIsTiny)
 TEST(BankRemapTable, ClearResets)
 {
     BankRemapTable brt(2);
-    brt.insert(5, 1);
+    brt.insert(UnitId{5}, 1);
     brt.clear();
-    EXPECT_FALSE(brt.lookup(5).has_value());
+    EXPECT_FALSE(brt.lookup(UnitId{5}).has_value());
 }
 
 TEST(RemapAccessPath, BrtProbedBeforeRrt)
@@ -110,11 +111,11 @@ TEST(RemapAccessPath, BrtProbedBeforeRrt)
     // bank is decommissioned, its RRT entries are moot.
     BankRemapTable brt(2);
     RowRemapTable rrt(64, 4);
-    rrt.insert(13, 100, 3);
-    brt.insert(13, 1);
+    rrt.insert(UnitId{13}, RowId{100}, RowId{3});
+    brt.insert(UnitId{13}, 1);
 
-    const u32 bank = 13;
-    const u32 row = 100;
+    const UnitId bank{13};
+    const RowId row{100};
     if (auto spare_bank = brt.lookup(bank)) {
         EXPECT_EQ(*spare_bank, 1u); // access goes to the spare bank
     } else if (auto spare_row = rrt.lookup(bank, row)) {

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the typed address domain (common/strong_id.h): StrongId
+ * semantics, the sanctioned die/channel identity, and the property that
+ * AddressMap encode/decode is a bijection in typed coordinates across a
+ * sampled geometry sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "stack/address.h"
+
+namespace citadel {
+namespace {
+
+// ---- Compile-time contract of the wrapper --------------------------
+
+// Construction from a raw integer must be explicit...
+static_assert(!std::is_convertible_v<u32, BankId>);
+static_assert(!std::is_convertible_v<u64, LineAddr>);
+static_assert(std::is_constructible_v<BankId, u32>);
+// ...ids from different spaces must never interconvert...
+static_assert(!std::is_constructible_v<BankId, RowId>);
+static_assert(!std::is_constructible_v<RowId, BankId>);
+static_assert(!std::is_constructible_v<DieId, ChannelId>);
+static_assert(!std::is_constructible_v<LineAddr, ParityGroupId>);
+static_assert(!std::is_assignable_v<BankId &, RowId>);
+// ...and nothing converts silently back to a raw integer.
+static_assert(!std::is_convertible_v<RowId, u32>);
+static_assert(!std::is_convertible_v<LineAddr, u64>);
+// Zero-cost: same size and triviality as the underlying integer.
+static_assert(sizeof(RowId) == sizeof(u32));
+static_assert(sizeof(LineAddr) == sizeof(u64));
+static_assert(std::is_trivially_copyable_v<RowId>);
+static_assert(std::is_trivially_copyable_v<LineAddr>);
+
+TEST(StrongId, ValueAndIdxUnwrap)
+{
+    const RowId r{41};
+    EXPECT_EQ(r.value(), 41u);
+    EXPECT_EQ(r.idx(), std::size_t{41});
+    EXPECT_EQ(RowId{}.value(), 0u);
+}
+
+TEST(StrongId, ComparisonAndIncrementWithinOneSpace)
+{
+    RowId a{3};
+    const RowId b{5};
+    EXPECT_LT(a, b);
+    EXPECT_NE(a, b);
+    ++a;
+    ++a;
+    EXPECT_EQ(a, b);
+    EXPECT_LE(a, b);
+    EXPECT_GE(b, a);
+}
+
+TEST(StrongId, OrderedAndUnorderedContainerKeys)
+{
+    std::set<BankId> ordered;
+    std::unordered_map<LineAddr, int> hashed;
+    for (u32 i = 8; i > 0; --i) {
+        ordered.insert(BankId{i});
+        hashed[LineAddr{i}] = static_cast<int>(i);
+    }
+    EXPECT_EQ(ordered.size(), 8u);
+    EXPECT_EQ(*ordered.begin(), BankId{1});
+    EXPECT_EQ(hashed.at(LineAddr{5}), 5);
+}
+
+TEST(StrongId, StreamsAsPlainNumber)
+{
+    std::ostringstream os;
+    os << ColId{17} << ' ' << LineAddr{1234567};
+    EXPECT_EQ(os.str(), "17 1234567");
+}
+
+TEST(StrongId, BoundsCheckedAt)
+{
+    std::vector<int> v{10, 20, 30};
+    EXPECT_EQ(at(v, BankId{2}), 30);
+    at(v, BankId{0}) = 99;
+    EXPECT_EQ(v[0], 99);
+    EXPECT_THROW(at(v, BankId{3}), std::out_of_range);
+}
+
+TEST(StrongId, DieChannelIdentityIsExplicitAndInvertible)
+{
+    // The only sanctioned cross-space conversion (HBM: channel == die).
+    for (u32 c = 0; c < 8; ++c) {
+        const DieId die = dieOf(ChannelId{c});
+        EXPECT_EQ(die.value(), c);
+        EXPECT_EQ(channelOf(die), ChannelId{c});
+    }
+}
+
+// ---- AddressMap bijection over a sampled geometry sweep ------------
+
+std::vector<StackGeometry>
+sweptGeometries()
+{
+    std::vector<StackGeometry> out = {
+        StackGeometry::tiny(),
+        StackGeometry::hbm(),
+        StackGeometry::hmcLike(),
+        StackGeometry::tezzaronLike(),
+    };
+    // Parameter sweep around the baseline: every power-of-two knob the
+    // mapper folds into the line address.
+    for (u32 stacks : {1u, 4u})
+        for (u32 chans : {2u, 8u})
+            for (u32 banks : {4u, 16u}) {
+                StackGeometry g;
+                g.stacks = stacks;
+                g.channelsPerStack = chans;
+                g.banksPerChannel = banks;
+                g.rowsPerBank = 256;
+                out.push_back(g);
+            }
+    return out;
+}
+
+TEST(TypedAddressMap, EncodeDecodeIsBijectionOnSampledSweep)
+{
+    Rng rng(2014);
+    for (const StackGeometry &g : sweptGeometries()) {
+        g.validate();
+        AddressMap map(g);
+        std::set<std::tuple<StackId, ChannelId, BankId, RowId, ColId>>
+            images;
+        std::set<LineAddr> lines;
+        for (int i = 0; i < 4000; ++i) {
+            const LineAddr line{rng.below(g.totalLines())};
+            if (!lines.insert(line).second)
+                continue;
+            const LineCoord c = map.lineToCoord(line);
+            // Injective: distinct lines map to distinct coordinates.
+            EXPECT_TRUE(
+                images.insert({c.stack, c.channel, c.bank, c.row, c.col})
+                    .second)
+                << "collision at line " << line << " in " << g.describe();
+            // Left inverse: decode then encode returns the line.
+            EXPECT_EQ(map.coordToLine(c), line) << g.describe();
+            // Every typed field stays inside its space.
+            EXPECT_LT(c.stack.value(), g.stacks);
+            EXPECT_LT(c.channel.value(), g.channelsPerStack);
+            EXPECT_LT(c.bank.value(), g.banksPerChannel);
+            EXPECT_LT(c.row.value(), g.rowsPerBank);
+            EXPECT_LT(c.col.value(), g.linesPerRow());
+        }
+    }
+}
+
+TEST(TypedAddressMap, ExhaustiveBijectionOnTinyGeometry)
+{
+    // On the tiny geometry the full domain is enumerable: encode every
+    // coordinate and check the image covers every line exactly once.
+    const StackGeometry g = StackGeometry::tiny();
+    AddressMap map(g);
+    std::set<LineAddr> image;
+    for (u32 s = 0; s < g.stacks; ++s)
+        for (u32 ch = 0; ch < g.channelsPerStack; ++ch)
+            for (u32 b = 0; b < g.banksPerChannel; ++b)
+                for (u32 r = 0; r < g.rowsPerBank; ++r)
+                    for (u32 col = 0; col < g.linesPerRow(); ++col) {
+                        const LineCoord c{StackId{s}, ChannelId{ch},
+                                          BankId{b}, RowId{r},
+                                          ColId{col}};
+                        const LineAddr line = map.coordToLine(c);
+                        EXPECT_LT(line.value(), g.totalLines());
+                        EXPECT_TRUE(image.insert(line).second)
+                            << "coordToLine not injective at " << line;
+                        EXPECT_EQ(map.lineToCoord(line), c);
+                    }
+    EXPECT_EQ(image.size(), g.totalLines());
+}
+
+} // namespace
+} // namespace citadel

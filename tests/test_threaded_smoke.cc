@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Threaded smoke test for the ThreadSanitizer gate: the components a
+ * Monte Carlo driver would naturally shard across threads (per-thread
+ * Rng/injector/engine state over a shared const geometry and address
+ * map) must be free of data races. Run under -DCITADEL_SANITIZE=thread
+ * this catches any accidental shared mutable state; in a plain build it
+ * is an ordinary (fast) determinism check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "citadel/parity_engine.h"
+#include "faults/injector.h"
+#include "sim/workload.h"
+#include "stack/address.h"
+
+namespace citadel {
+namespace {
+
+TEST(ThreadedSmoke, SharedConstMapPerThreadEngines)
+{
+    SystemConfig cfg;
+    cfg.geom = StackGeometry::tiny();
+    cfg.subArrayRows = 16;
+    const AddressMap map(cfg.geom);
+
+    constexpr unsigned kThreads = 4;
+    std::atomic<u64> coord_checksum{0};
+    std::atomic<u64> corrected{0};
+    std::atomic<bool> failed{false};
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t]() {
+            // Thread-private mutable state...
+            Rng rng(100 + t);
+            FaultInjector inj(cfg);
+            ParityEngine engine(cfg.geom);
+            // ...over the shared read-only map and geometry.
+            u64 sum = 0;
+            for (int i = 0; i < 200; ++i) {
+                const LineAddr line{rng.below(cfg.geom.totalLines())};
+                const LineCoord c = map.lineToCoord(line);
+                if (map.coordToLine(c) != line)
+                    failed = true;
+                sum += c.row.value() + c.col.value();
+            }
+            coord_checksum += sum;
+
+            engine.restore();
+            const Fault f = inj.makeFault(rng, FaultClass::Row,
+                                          StackId{0}, ChannelId{t % 2},
+                                          /*transient=*/false, 0.0);
+            engine.corrupt({f});
+            if (engine.reconstruct(3))
+                ++corrected;
+            else
+                failed = true;
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(corrected.load(), kThreads);
+    EXPECT_GT(coord_checksum.load(), 0u);
+}
+
+TEST(ThreadedSmoke, ConcurrentAddressStreamsAreIndependent)
+{
+    const auto &bench = findBenchmark("mcf");
+    const u64 total = StackGeometry::tiny().totalLines();
+
+    // Reference streams computed single-threaded.
+    std::array<std::vector<LineAddr>, 4> expect;
+    for (u32 core = 0; core < 4; ++core) {
+        AddressStream s(bench, core, total, 7);
+        for (int i = 0; i < 500; ++i)
+            expect[core].push_back(s.nextLine());
+    }
+
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> pool;
+    for (u32 core = 0; core < 4; ++core) {
+        pool.emplace_back([&, core]() {
+            AddressStream s(bench, core, total, 7);
+            for (int i = 0; i < 500; ++i)
+                if (s.nextLine() != expect[core][static_cast<u32>(i)])
+                    mismatch = true;
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_FALSE(mismatch.load());
+}
+
+} // namespace
+} // namespace citadel

@@ -30,7 +30,7 @@ TEST_F(TsvTest, DataTsvPatternCoversBurstPositions)
     // DTSV-1 must corrupt bit[1] and bit[257] of every line (Fig 7).
     u32 value = 0;
     u32 mask = 0;
-    map_.dataTsvBitPattern(1, value, mask);
+    map_.dataTsvBitPattern(TsvLane{1}, value, mask);
     DimSpec d = DimSpec::masked(value, mask);
     EXPECT_TRUE(d.matches(1));
     EXPECT_TRUE(d.matches(257));
@@ -44,7 +44,7 @@ TEST_F(TsvTest, DataTsvPatternExactlyTwoBits)
     for (u32 t : {0u, 7u, 64u, 255u}) {
         u32 value = 0;
         u32 mask = 0;
-        map_.dataTsvBitPattern(t, value, mask);
+        map_.dataTsvBitPattern(TsvLane{t}, value, mask);
         DimSpec d = DimSpec::masked(value, mask);
         u32 hits = 0;
         for (u32 b = 0; b < geom_.bitsPerLine(); ++b)
@@ -57,26 +57,26 @@ TEST_F(TsvTest, DataTsvOutOfRangeDies)
 {
     u32 v;
     u32 m;
-    EXPECT_DEATH(map_.dataTsvBitPattern(256, v, m), "out of range");
+    EXPECT_DEATH(map_.dataTsvBitPattern(TsvLane{256}, v, m), "out of range");
 }
 
 TEST_F(TsvTest, AddrTsvClassification)
 {
     // 16 row bits, then 3 bank bits, then command TSVs.
-    EXPECT_EQ(map_.addrTsvEffect(0), AtsvEffect::HalfRows);
-    EXPECT_EQ(map_.addrTsvEffect(15), AtsvEffect::HalfRows);
-    EXPECT_EQ(map_.addrTsvEffect(16), AtsvEffect::HalfBanks);
-    EXPECT_EQ(map_.addrTsvEffect(18), AtsvEffect::HalfBanks);
-    EXPECT_EQ(map_.addrTsvEffect(19), AtsvEffect::WholeChannel);
-    EXPECT_EQ(map_.addrTsvEffect(23), AtsvEffect::WholeChannel);
+    EXPECT_EQ(map_.addrTsvEffect(TsvLane{0}), AtsvEffect::HalfRows);
+    EXPECT_EQ(map_.addrTsvEffect(TsvLane{15}), AtsvEffect::HalfRows);
+    EXPECT_EQ(map_.addrTsvEffect(TsvLane{16}), AtsvEffect::HalfBanks);
+    EXPECT_EQ(map_.addrTsvEffect(TsvLane{18}), AtsvEffect::HalfBanks);
+    EXPECT_EQ(map_.addrTsvEffect(TsvLane{19}), AtsvEffect::WholeChannel);
+    EXPECT_EQ(map_.addrTsvEffect(TsvLane{23}), AtsvEffect::WholeChannel);
 }
 
 TEST_F(TsvTest, RowAndBankBitExtraction)
 {
-    EXPECT_EQ(map_.addrTsvRowBit(5), 5u);
-    EXPECT_EQ(map_.addrTsvBankBit(17), 1u);
-    EXPECT_DEATH(map_.addrTsvRowBit(20), "not a row-address");
-    EXPECT_DEATH(map_.addrTsvBankBit(3), "not a bank-address");
+    EXPECT_EQ(map_.addrTsvRowBit(TsvLane{5}), 5u);
+    EXPECT_EQ(map_.addrTsvBankBit(TsvLane{17}), 1u);
+    EXPECT_DEATH(map_.addrTsvRowBit(TsvLane{20}), "not a row-address");
+    EXPECT_DEATH(map_.addrTsvBankBit(TsvLane{3}), "not a bank-address");
 }
 
 TEST(TsvMapConstruction, RejectsTooFewAtsvs)

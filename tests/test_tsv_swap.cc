@@ -90,7 +90,7 @@ TEST_F(TsvSwapTest, ExhaustedPoolLetsTsvFaultThrough)
 
 TEST(TsvSwapDatapath, CleanTransferIsIdentity)
 {
-    TsvSwapDatapath dp(8, {0, 4});
+    TsvSwapDatapath dp(8, {TsvLane{0}, TsvLane{4}});
     std::vector<u8> in = {1, 2, 3, 4, 5, 6, 7, 8};
     EXPECT_EQ(dp.transfer(in), in);
     EXPECT_EQ(dp.standbyFree(), 2u);
@@ -98,14 +98,14 @@ TEST(TsvSwapDatapath, CleanTransferIsIdentity)
 
 TEST(TsvSwapDatapath, BrokenLaneCorruptsUntilRepaired)
 {
-    TsvSwapDatapath dp(8, {0, 4});
+    TsvSwapDatapath dp(8, {TsvLane{0}, TsvLane{4}});
     std::vector<u8> in = {1, 2, 3, 4, 5, 6, 7, 8};
-    dp.breakTsv(2);
+    dp.breakTsv(TsvLane{2});
     auto out = dp.transfer(in);
     EXPECT_EQ(out[2], 0); // stuck-at-0
     EXPECT_EQ(out[3], 4);
 
-    ASSERT_TRUE(dp.repair(2));
+    ASSERT_TRUE(dp.repair(TsvLane{2}));
     out = dp.transfer(in);
     EXPECT_EQ(out[2], 3); // lane 2's payload routed via a stand-by TSV
     EXPECT_EQ(dp.standbyFree(), 1u);
@@ -113,37 +113,37 @@ TEST(TsvSwapDatapath, BrokenLaneCorruptsUntilRepaired)
 
 TEST(TsvSwapDatapath, PoolExhaustion)
 {
-    TsvSwapDatapath dp(8, {0});
-    dp.breakTsv(2);
-    dp.breakTsv(3);
-    EXPECT_TRUE(dp.repair(2));
-    EXPECT_FALSE(dp.repair(3)); // only one stand-by TSV
+    TsvSwapDatapath dp(8, {TsvLane{0}});
+    dp.breakTsv(TsvLane{2});
+    dp.breakTsv(TsvLane{3});
+    EXPECT_TRUE(dp.repair(TsvLane{2}));
+    EXPECT_FALSE(dp.repair(TsvLane{3})); // only one stand-by TSV
 }
 
 TEST(TsvSwapDatapath, BrokenStandbyIsSkipped)
 {
-    TsvSwapDatapath dp(8, {0, 4});
-    dp.breakTsv(0); // the first stand-by TSV itself is faulty
-    dp.breakTsv(2);
+    TsvSwapDatapath dp(8, {TsvLane{0}, TsvLane{4}});
+    dp.breakTsv(TsvLane{0}); // the first stand-by TSV itself is faulty
+    dp.breakTsv(TsvLane{2});
     EXPECT_EQ(dp.standbyFree(), 1u);
-    ASSERT_TRUE(dp.repair(2));
+    ASSERT_TRUE(dp.repair(TsvLane{2}));
     std::vector<u8> in = {1, 2, 3, 4, 5, 6, 7, 8};
     EXPECT_EQ(dp.transfer(in)[2], 3);
 }
 
 TEST(TsvSwapDatapath, RepairIsIdempotent)
 {
-    TsvSwapDatapath dp(8, {0, 4});
-    dp.breakTsv(2);
-    EXPECT_TRUE(dp.repair(2));
-    EXPECT_TRUE(dp.repair(2));
+    TsvSwapDatapath dp(8, {TsvLane{0}, TsvLane{4}});
+    dp.breakTsv(TsvLane{2});
+    EXPECT_TRUE(dp.repair(TsvLane{2}));
+    EXPECT_TRUE(dp.repair(TsvLane{2}));
     EXPECT_EQ(dp.standbyFree(), 1u); // second repair consumed nothing
 }
 
 TEST(TsvSwapDatapath, OutOfRangeDies)
 {
-    TsvSwapDatapath dp(8, {0});
-    EXPECT_DEATH(dp.breakTsv(8), "out of range");
+    TsvSwapDatapath dp(8, {TsvLane{0}});
+    EXPECT_DEATH(dp.breakTsv(TsvLane{8}), "out of range");
     std::vector<u8> wrong(7);
     EXPECT_DEATH(dp.transfer(wrong), "expected");
 }

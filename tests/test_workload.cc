@@ -78,7 +78,7 @@ TEST(AddressStream, StaysInCoreRegion)
         AddressStream s(b, core, total, 42);
         const u64 slice = total / 8;
         for (int i = 0; i < 5000; ++i) {
-            const u64 line = s.nextLine();
+            const u64 line = s.nextLine().value();
             EXPECT_GE(line, core * slice);
             EXPECT_LT(line, (core + 1) * slice);
         }
@@ -100,11 +100,11 @@ TEST(AddressStream, RunLengthShapesSequentiality)
     const u64 total = (16ull << 30) / 64;
     auto sequential_fraction = [&](const char *name) {
         AddressStream s(findBenchmark(name), 0, total, 11);
-        u64 prev = s.nextLine();
+        u64 prev = s.nextLine().value();
         int seq = 0;
         const int n = 20000;
         for (int i = 0; i < n; ++i) {
-            const u64 cur = s.nextLine();
+            const u64 cur = s.nextLine().value();
             seq += (cur == prev + 1);
             prev = cur;
         }
@@ -120,7 +120,7 @@ TEST(AddressStream, CoversFootprint)
     const auto &b = findBenchmark("tigr");
     const u64 total = (16ull << 30) / 64;
     AddressStream s(b, 0, total, 3);
-    std::set<u64> seen;
+    std::set<LineAddr> seen;
     for (int i = 0; i < 20000; ++i)
         seen.insert(s.nextLine());
     // Near-random stream over a 512MB footprint: mostly unique lines.

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Index-safety lint for the typed address domain (DESIGN.md section 8).
+
+The strong-id migration is only as good as its edges: a new function
+that takes `u32 bank` re-opens the door to transposed-coordinate bugs,
+and an unwrap (`.value()` / `.idx()`) sprinkled in policy code silently
+drops back into raw-integer arithmetic. This lint keeps both confined.
+
+Rule 1 (raw coordinate parameters): in `src/`, a function parameter of
+raw integer type whose name starts with a coordinate word (stack,
+channel, die, bank, row, col, unit, lane) is an error outside the
+blessed mapper/mechanism files. New APIs must take typed ids.
+Locals (detected by an initializer) and lambda parameters are exempt:
+tight loops legitimately iterate raw integers and wrap at the boundary.
+
+Rule 2 (unwrap confinement): `.value()` / `.idx()` calls on ids may
+appear only in the blessed files -- the places that translate between
+coordinate spaces and raw storage offsets by design. Everything else
+must stay in the typed domain end to end.
+
+Tests, benches, examples and tools are out of scope: tests in
+particular legitimately compare typed values against raw geometry
+bounds.
+
+Exit status: 0 clean, 1 violations found. Run from the repo root (or
+let tools/ paths resolve relative to this file).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Files that are *supposed* to cross between coordinate spaces and raw
+# integers: the address/geometry mappers, the bit-true mechanism
+# models, and the storage-facing simulator internals. Keep this list
+# short and deliberate -- growing it is a design decision, not a fix.
+BLESSED = {
+    "src/common/strong_id.h",
+    "src/stack/address.cc",
+    "src/stack/geometry.cc",
+    "src/stack/tsv.cc",
+    "src/faults/fault.cc",
+    "src/faults/injector.cc",
+    "src/citadel/parity_engine.cc",
+    "src/citadel/remap_tables.cc",
+    "src/citadel/tsv_swap.cc",
+    "src/citadel/dds.cc",
+    "src/sim/memory_system.cc",
+    "src/sim/llc.cc",
+    "src/sim/workload.cc",
+    "src/ras/live_datapath.cc",
+}
+
+RAW_TYPES = r"(?:u8|u16|u32|u64|i32|i64|int|unsigned|std::size_t|size_t)"
+COORD_WORDS = r"(?:stack|channel|die|bank|row|col|unit|lane)"
+
+# `u32 bank,` / `u64 row)` -- a raw-typed parameter named after a
+# coordinate space. Requires the delimiter so `u32 bankBits()` (a
+# function name) and `u32 row = ...` (a local) do not match.
+PARAM_RE = re.compile(
+    rf"\b{RAW_TYPES}\s+&?({COORD_WORDS}\w*)\s*[,)]"
+)
+
+UNWRAP_RE = re.compile(r"\.(?:value|idx)\(\)")
+
+# Quantities named after a space are counts, not coordinates: `u64
+# rows` (how many) is fine where `u32 row` (which one) is not.
+COUNT_NAME_RE = re.compile(r"(?:s|_threshold|_count|_bits|_bytes)$")
+
+COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
+
+
+def is_lambda_context(line: str, pos: int) -> bool:
+    """True when the match at `pos` sits inside a lambda's parameter
+    list -- i.e. a capture-intro `](` appears earlier on the line."""
+    return bool(re.search(r"\]\s*\(", line[:pos]))
+
+
+def lint_file(path: Path) -> list[str]:
+    rel = path.relative_to(REPO).as_posix()
+    blessed = rel in BLESSED
+    errors: list[str] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if COMMENT_RE.match(line):
+            continue
+        if not blessed:
+            for m in PARAM_RE.finditer(line):
+                if is_lambda_context(line, m.start()):
+                    continue
+                if COUNT_NAME_RE.search(m.group(1)):
+                    continue
+                errors.append(
+                    f"{rel}:{lineno}: raw integer coordinate parameter "
+                    f"'{m.group(1)}' -- take a typed id "
+                    f"(common/strong_id.h) or bless this file in "
+                    f"tools/lint_index_safety.py"
+                )
+            if UNWRAP_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: id unwrap (.value()/.idx()) "
+                    f"outside the blessed mapper files -- stay in the "
+                    f"typed domain or move the conversion into a "
+                    f"blessed file"
+                )
+    return errors
+
+
+def main() -> int:
+    missing = [f for f in sorted(BLESSED) if not (REPO / f).is_file()]
+    if missing:
+        print("lint_index_safety: stale blessed entries:", file=sys.stderr)
+        for f in missing:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix in (".h", ".cc", ".cpp"):
+            errors.extend(lint_file(path))
+
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(
+            f"lint_index_safety: {len(errors)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("lint_index_safety: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
