@@ -3,6 +3,12 @@
  * Shared helpers for the per-figure bench binaries: standard trial
  * counts (env-overridable), common scheme construction and run loops
  * for the timing benches, and paper-vs-measured printing.
+ *
+ * Every figure bench drives MonteCarlo::run, which shards trials over
+ * a worker pool (common/thread_pool.h) and is bit-identical for any
+ * thread count — so the whole suite parallelizes via CITADEL_THREADS
+ * (default: all cores) with no per-binary changes and no change to
+ * any seeded number a bench prints.
  */
 
 #ifndef CITADEL_BENCH_BENCH_UTIL_H
@@ -17,6 +23,7 @@
 #include "common/env.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "sim/system_sim.h"
 
 namespace citadel {
@@ -27,6 +34,13 @@ inline u64
 trials(u64 fallback = 200000)
 {
     return benchTrials(fallback);
+}
+
+/** Worker threads the Monte Carlo engine will use (CITADEL_THREADS). */
+inline unsigned
+mcThreads()
+{
+    return citadelThreads();
 }
 
 /** Per-core instruction budget for timing runs (CITADEL_INSNS). */

@@ -46,6 +46,13 @@ class DdsScheme : public RasScheme
     DdsScheme(SchemePtr inner, u32 spare_rows_per_bank = 4,
               u32 spare_banks_per_stack = 2);
 
+    SchemePtr clone() const override
+    {
+        return std::make_unique<DdsScheme>(inner_->clone(),
+                                           spareRowsPerBank_,
+                                           spareBanksPerStack_);
+    }
+
     std::string name() const override;
     void reset(const SystemConfig &cfg) override;
     bool absorb(const Fault &fault) override;

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/xor_fold.h"
 #include "ecc/crc32.h"
 
 namespace citadel {
@@ -139,11 +140,9 @@ ParityEngine::buildParity()
                              (static_cast<u64>(d) * cols + c) * lb;
                     u8 *p3 = parity3_.data() +
                              (static_cast<u64>(b) * cols + c) * lb;
-                    for (u32 i = 0; i < lb; ++i) {
-                        p1[i] ^= src[i];
-                        p2[i] ^= src[i];
-                        p3[i] ^= src[i];
-                    }
+                    xorFold(p1, src, lb);
+                    xorFold(p2, src, lb);
+                    xorFold(p3, src, lb);
                 }
 
     goldenParity1_ = parity1_;
@@ -160,10 +159,8 @@ ParityEngine::buildParity()
             u8 *p2 = parity2_.data() +
                      (static_cast<u64>(dies_) * cols + c) * lb;
             u8 *p3 = parity3_.data() + static_cast<u64>(c) * lb;
-            for (u32 i = 0; i < lb; ++i) {
-                p2[i] ^= src[i];
-                p3[i] ^= src[i];
-            }
+            xorFold(p2, src, lb);
+            xorFold(p3, src, lb);
         }
 }
 
@@ -223,12 +220,11 @@ ParityEngine::fixViaD1(DieId die, BankId bank, RowId row, ColId col)
         // Rebuild the parity line itself from all data units.
         std::vector<u8> acc(lb, 0);
         for (u32 d = 0; d < dies_; ++d)
-            for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
-                const u8 *src = linePtr(
-                    data_, lineIndex(DieId{d}, BankId{b}, row, col));
-                for (u32 i = 0; i < lb; ++i)
-                    acc[i] ^= src[i];
-            }
+            for (u32 b = 0; b < geom_.banksPerChannel; ++b)
+                xorFold(acc.data(),
+                        linePtr(data_,
+                                lineIndex(DieId{d}, BankId{b}, row, col)),
+                        lb);
         std::memcpy(linePtr(parity1_, pidx), acc.data(), lb);
         return;
     }
@@ -241,9 +237,8 @@ ParityEngine::fixViaD1(DieId die, BankId bank, RowId row, ColId col)
             const BankId bb{b};
             if (dd == die && bb == bank)
                 continue;
-            const u8 *src = linePtr(data_, lineIndex(dd, bb, row, col));
-            for (u32 i = 0; i < lb; ++i)
-                acc[i] ^= src[i];
+            xorFold(acc.data(), linePtr(data_, lineIndex(dd, bb, row, col)),
+                    lb);
         }
     std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)), acc.data(),
                 lb);
@@ -264,10 +259,8 @@ ParityEngine::fixViaD2(DieId die, BankId bank, RowId row, ColId col)
             const RowId rr{r};
             if (rr == row)
                 continue;
-            const u8 *src =
-                linePtr(parity1_, parityIndex(rr, col).value());
-            for (u32 i = 0; i < lb; ++i)
-                acc[i] ^= src[i];
+            xorFold(acc.data(),
+                    linePtr(parity1_, parityIndex(rr, col).value()), lb);
         }
         std::memcpy(linePtr(parity1_, parityIndex(row, col).value()),
                     acc.data(), lb);
@@ -279,9 +272,8 @@ ParityEngine::fixViaD2(DieId die, BankId bank, RowId row, ColId col)
             const RowId rr{r};
             if (bb == bank && rr == row)
                 continue;
-            const u8 *src = linePtr(data_, lineIndex(die, bb, rr, col));
-            for (u32 i = 0; i < lb; ++i)
-                acc[i] ^= src[i];
+            xorFold(acc.data(), linePtr(data_, lineIndex(die, bb, rr, col)),
+                    lb);
         }
     std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)), acc.data(),
                 lb);
@@ -302,9 +294,8 @@ ParityEngine::fixViaD3(DieId die, BankId bank, RowId row, ColId col)
             const RowId rr{r};
             if (dd == die && rr == row)
                 continue;
-            const u8 *src = linePtr(data_, lineIndex(dd, bank, rr, col));
-            for (u32 i = 0; i < lb; ++i)
-                acc[i] ^= src[i];
+            xorFold(acc.data(), linePtr(data_, lineIndex(dd, bank, rr, col)),
+                    lb);
         }
     if (bank == BankId{0}) {
         // Bank position 0's group includes the parity unit's rows.
@@ -312,10 +303,8 @@ ParityEngine::fixViaD3(DieId die, BankId bank, RowId row, ColId col)
             const RowId rr{r};
             if (die == parityDie() && rr == row)
                 continue;
-            const u8 *src =
-                linePtr(parity1_, parityIndex(rr, col).value());
-            for (u32 i = 0; i < lb; ++i)
-                acc[i] ^= src[i];
+            xorFold(acc.data(),
+                    linePtr(parity1_, parityIndex(rr, col).value()), lb);
         }
     }
     u8 *dst = die == parityDie()

@@ -43,6 +43,11 @@ class MultiDimParityScheme : public RasScheme
   public:
     explicit MultiDimParityScheme(u32 dims = 3);
 
+    SchemePtr clone() const override
+    {
+        return std::make_unique<MultiDimParityScheme>(dims_);
+    }
+
     std::string name() const override;
     bool uncorrectable(const std::vector<Fault> &active) const override;
 

@@ -40,6 +40,12 @@ class TsvSwapScheme : public RasScheme
      */
     TsvSwapScheme(SchemePtr inner, u32 standby_per_channel = 4);
 
+    SchemePtr clone() const override
+    {
+        return std::make_unique<TsvSwapScheme>(inner_->clone(),
+                                               standbyPerChannel_);
+    }
+
     std::string name() const override;
     void reset(const SystemConfig &cfg) override;
     bool absorb(const Fault &fault) override;

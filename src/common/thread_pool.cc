@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/env.h"
+
+namespace citadel {
+
+unsigned
+citadelThreads()
+{
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const u64 n = envU64("CITADEL_THREADS", hw);
+    return n == 0 ? hw : static_cast<unsigned>(std::min<u64>(n, 1024));
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads == 0 ? citadelThreads() : threads;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    u64 seen = 0;
+    for (;;) {
+        const std::function<void(unsigned)> *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        (*job)(index);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runOnWorkers(const std::function<void(unsigned)> &fn)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    pending_ = size();
+    ++generation_;
+    wake_.notify_all();
+    done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::parallelFor(u64 items, u64 min_chunk,
+                        const std::function<void(u64, u64, unsigned)> &fn)
+{
+    if (items == 0)
+        return;
+    // Aim for several chunks per worker so uneven work self-balances,
+    // but never below the caller's floor (tiny chunks would serialize
+    // on the shared counter).
+    const u64 target = items / (static_cast<u64>(size()) * 8 + 1) + 1;
+    const u64 chunk = std::max<u64>(1, std::max(min_chunk, target));
+    std::atomic<u64> next{0};
+    runOnWorkers([&](unsigned worker) {
+        for (;;) {
+            const u64 begin =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= items)
+                break;
+            fn(begin, std::min(begin + chunk, items), worker);
+        }
+    });
+}
+
+} // namespace citadel

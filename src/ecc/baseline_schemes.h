@@ -37,6 +37,11 @@ class SymbolStripedScheme : public RasScheme
      */
     explicit SymbolStripedScheme(StripingMode mode, u32 symbol_bits = 8);
 
+    SchemePtr clone() const override
+    {
+        return std::make_unique<SymbolStripedScheme>(mode_, symbolBits_);
+    }
+
     std::string name() const override;
     bool uncorrectable(const std::vector<Fault> &active) const override;
 
@@ -59,6 +64,12 @@ class Bch6EC7EDScheme : public RasScheme
 {
   public:
     std::string name() const override { return "BCH-6EC7ED"; }
+
+    SchemePtr clone() const override
+    {
+        return std::make_unique<Bch6EC7EDScheme>();
+    }
+
     bool uncorrectable(const std::vector<Fault> &active) const override;
 
   private:
@@ -76,6 +87,12 @@ class Raid5Scheme : public RasScheme
 {
   public:
     std::string name() const override { return "RAID-5"; }
+
+    SchemePtr clone() const override
+    {
+        return std::make_unique<Raid5Scheme>();
+    }
+
     bool uncorrectable(const std::vector<Fault> &active) const override;
 };
 

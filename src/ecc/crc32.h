@@ -3,8 +3,11 @@
  * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320). Citadel tags
  * every 512-bit line with CRC-32 computed over address and data
  * (Section V-C.2) to detect errors before 3DP correction. The library
- * provides both a table-driven production implementation and a bitwise
- * reference used in tests.
+ * provides a slice-by-8 production implementation (8 message bytes per
+ * iteration; the live RAS datapath CRCs every demand read, so this is
+ * a genuinely hot kernel), the classic one-table byte-at-a-time
+ * variant kept as the measured perf baseline, and a bitwise reference
+ * used in tests.
  */
 
 #ifndef CITADEL_ECC_CRC32_H
@@ -24,11 +27,19 @@ class Crc32
     /** CRC of a byte buffer (init 0xFFFFFFFF, final xor 0xFFFFFFFF). */
     static u32 compute(std::span<const u8> data);
 
-    /** Incremental interface. */
+    /** Incremental interface (slice-by-8 hot path). */
     static u32 begin() { return 0xFFFFFFFFu; }
     static u32 update(u32 state, std::span<const u8> data);
     static u32 update(u32 state, u64 value);
     static u32 finish(u32 state) { return state ^ 0xFFFFFFFFu; }
+
+    /**
+     * One-table byte-at-a-time update: the pre-slicing implementation,
+     * kept as the baseline bench/perf_trajectory measures the
+     * slice-by-8 path against (and as a mid-speed cross-check between
+     * `update` and `referenceCompute` in tests).
+     */
+    static u32 updateBytewise(u32 state, std::span<const u8> data);
 
     /**
      * CRC over a line's address and payload, as Citadel stores in the

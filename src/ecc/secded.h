@@ -56,6 +56,12 @@ class SecdedScheme : public RasScheme
 {
   public:
     std::string name() const override { return "SECDED-72-64"; }
+
+    SchemePtr clone() const override
+    {
+        return std::make_unique<SecdedScheme>();
+    }
+
     bool uncorrectable(const std::vector<Fault> &active) const override;
 };
 

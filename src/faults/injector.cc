@@ -58,6 +58,14 @@ std::vector<Fault>
 FaultInjector::sampleLifetime(Rng &rng) const
 {
     std::vector<Fault> out;
+    sampleLifetime(rng, out);
+    return out;
+}
+
+void
+FaultInjector::sampleLifetime(Rng &rng, std::vector<Fault> &out) const
+{
+    out.clear();
     const FitTable &r = cfg_.rates;
 
     for (u32 s = 0; s < cfg_.geom.stacks; ++s) {
@@ -89,7 +97,6 @@ FaultInjector::sampleLifetime(Rng &rng) const
               [](const Fault &a, const Fault &b) {
                   return a.timeHours < b.timeHours;
               });
-    return out;
 }
 
 Fault

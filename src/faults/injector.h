@@ -78,6 +78,13 @@ class FaultInjector
      */
     std::vector<Fault> sampleLifetime(Rng &rng) const;
 
+    /**
+     * Allocation-reusing variant: clears `out` and fills it with one
+     * lifetime's faults. The Monte Carlo hot loop passes the same
+     * vector every trial so steady state does no heap traffic.
+     */
+    void sampleLifetime(Rng &rng, std::vector<Fault> &out) const;
+
     /** Materialize a random fault of a class in a given die. */
     Fault makeFault(Rng &rng, FaultClass cls, StackId stack,
                     ChannelId channel, bool transient,

@@ -1,11 +1,25 @@
 #include "faults/monte_carlo.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace citadel {
+
+namespace {
+
+/**
+ * Per-trial seed mix (splitmix64 increment times an odd constant):
+ * trial t always draws from Rng(seed ^ kSeedMix * (t + 1)) no matter
+ * which worker executes it. Changing this changes every seeded
+ * result in the repo — treat it as part of the determinism contract.
+ */
+constexpr u64 kSeedMix = 0xA24BAED4963EE407ull;
+
+} // namespace
 
 Proportion
 McResult::probFailByYear(u32 years) const
@@ -23,22 +37,39 @@ double
 MonteCarlo::runTrial(RasScheme &scheme, const std::vector<Fault> &events,
                      FaultClass *trigger_class) const
 {
-    scheme.reset(cfg_);
     std::vector<Fault> active;
+    return runTrial(scheme, events, trigger_class, active);
+}
+
+double
+MonteCarlo::runTrial(RasScheme &scheme, const std::vector<Fault> &events,
+                     FaultClass *trigger_class,
+                     std::vector<Fault> &active_scratch) const
+{
+    scheme.reset(cfg_);
+    std::vector<Fault> &active = active_scratch;
+    active.clear();
     double last_scrub = 0.0;
+    // Boundary handling is off the per-event path: the floor division
+    // only runs once an event lands past the next scheduled scrub.
+    double next_scrub = cfg_.scrubHours;
 
     for (const Fault &f : events) {
         // Process all scrub boundaries crossed since the last event: a
         // transient fault is cleared at the first boundary after its
         // arrival; sparing mechanisms retire permanent faults there too.
-        const double boundary =
-            std::floor(f.timeHours / cfg_.scrubHours) * cfg_.scrubHours;
-        if (boundary > last_scrub) {
-            std::erase_if(active, [&](const Fault &a) {
-                return a.transient && a.timeHours < boundary;
-            });
-            scheme.onScrub(active);
-            last_scrub = boundary;
+        if (f.timeHours >= next_scrub) {
+            const double boundary =
+                std::floor(f.timeHours / cfg_.scrubHours) *
+                cfg_.scrubHours;
+            if (boundary > last_scrub) {
+                std::erase_if(active, [&](const Fault &a) {
+                    return a.transient && a.timeHours < boundary;
+                });
+                scheme.onScrub(active);
+                last_scrub = boundary;
+            }
+            next_scrub = last_scrub + cfg_.scrubHours;
         }
 
         if (scheme.absorb(f))
@@ -54,8 +85,32 @@ MonteCarlo::runTrial(RasScheme &scheme, const std::vector<Fault> &events,
     return -1.0;
 }
 
+void
+MonteCarlo::runRange(RasScheme &scheme, u64 begin, u64 end, u64 seed,
+                     u32 years, Shard &shard, std::vector<Fault> &events,
+                     std::vector<Fault> &active) const
+{
+    for (u64 t = begin; t < end; ++t) {
+        Rng rng(seed ^ (kSeedMix * (t + 1)));
+        injector_.sampleLifetime(rng, events);
+        shard.totalFaults += events.size();
+        FaultClass trigger = FaultClass::Bit;
+        const double fail_at = runTrial(scheme, events, &trigger, active);
+        if (fail_at >= 0.0) {
+            ++shard.failures;
+            ++shard.failuresByClass[trigger];
+            const u32 year = std::min(
+                years - 1,
+                static_cast<u32>(std::floor(fail_at / kHoursPerYear)));
+            for (u32 y = year; y < years; ++y)
+                ++shard.failuresByYear[y];
+        }
+    }
+}
+
 McResult
-MonteCarlo::run(RasScheme &scheme, u64 trials, u64 seed) const
+MonteCarlo::run(RasScheme &scheme, u64 trials, u64 seed,
+                unsigned threads) const
 {
     McResult res;
     res.trials = trials;
@@ -63,25 +118,60 @@ MonteCarlo::run(RasScheme &scheme, u64 trials, u64 seed) const
         static_cast<u32>(std::ceil(cfg_.lifetimeHours / kHoursPerYear));
     res.failuresByYear.assign(years, 0);
 
-    double total_faults = 0.0;
-    for (u64 t = 0; t < trials; ++t) {
-        Rng rng(seed ^ (0xA24BAED4963EE407ull * (t + 1)));
-        const std::vector<Fault> events = injector_.sampleLifetime(rng);
-        total_faults += static_cast<double>(events.size());
-        FaultClass trigger = FaultClass::Bit;
-        const double fail_at = runTrial(scheme, events, &trigger);
-        if (fail_at >= 0.0) {
-            ++res.failures;
-            ++res.failuresByClass[trigger];
-            const u32 year = std::min(
-                years - 1,
-                static_cast<u32>(std::floor(fail_at / kHoursPerYear)));
-            for (u32 y = year; y < years; ++y)
-                ++res.failuresByYear[y];
-        }
+    const unsigned want = threads == 0 ? citadelThreads() : threads;
+    const unsigned nthreads = static_cast<unsigned>(
+        std::min<u64>(want, std::max<u64>(1, trials)));
+
+    std::vector<Shard> shards;
+    if (nthreads <= 1) {
+        // Legacy serial path: runs on the caller's scheme in place
+        // (no clone needed) with scratch reuse across trials.
+        shards.resize(1);
+        shards[0].failuresByYear.assign(years, 0);
+        std::vector<Fault> events;
+        std::vector<Fault> active;
+        runRange(scheme, 0, trials, seed, years, shards[0], events,
+                 active);
+    } else {
+        // Shard the trial counter over per-worker scheme clones.
+        // Chunks are handed out dynamically; because trial t's seed
+        // and the shard merge are both order-independent, any
+        // chunk-to-worker assignment yields bit-identical results.
+        ThreadPool pool(nthreads);
+        shards.resize(pool.size());
+        const u64 chunk = std::max<u64>(
+            1, std::min<u64>(1024, trials / (pool.size() * 8ull) + 1));
+        std::atomic<u64> next{0};
+        pool.runOnWorkers([&](unsigned worker) {
+            Shard &shard = shards[worker];
+            shard.failuresByYear.assign(years, 0);
+            const SchemePtr local = scheme.clone();
+            std::vector<Fault> events;
+            std::vector<Fault> active;
+            for (;;) {
+                const u64 begin =
+                    next.fetch_add(chunk, std::memory_order_relaxed);
+                if (begin >= trials)
+                    break;
+                runRange(*local, begin, std::min(begin + chunk, trials),
+                         seed, years, shard, events, active);
+            }
+        });
+    }
+
+    u64 total_faults = 0;
+    for (const Shard &shard : shards) {
+        res.failures += shard.failures;
+        total_faults += shard.totalFaults;
+        for (u32 y = 0; y < years; ++y)
+            res.failuresByYear[y] += shard.failuresByYear[y];
+        for (const auto &[cls, count] : shard.failuresByClass)
+            res.failuresByClass[cls] += count;
     }
     res.meanFaultsPerTrial =
-        trials ? total_faults / static_cast<double>(trials) : 0.0;
+        trials ? static_cast<double>(total_faults) /
+                     static_cast<double>(trials)
+               : 0.0;
     return res;
 }
 

@@ -48,6 +48,16 @@ struct McResult
 /**
  * The engine. Stateless between runs; all randomness flows from the
  * seed so results are exactly reproducible.
+ *
+ * Parallel determinism contract (DESIGN.md section 9): every trial t
+ * seeds its own Rng from `seed ^ K*(t+1)`, so a trial's outcome
+ * depends only on (seed, t), never on which worker ran it or in what
+ * order. Workers operate on RasScheme::clone()s of the caller's
+ * scheme and accumulate integer-only shards (failure counts, by-year
+ * counts, by-class counts, total fault count) whose merge is exact
+ * and commutative. A run is therefore bit-identical for any thread
+ * count, including the serial path — enforced by
+ * tests/test_monte_carlo_parallel.cc.
  */
 class MonteCarlo
 {
@@ -57,8 +67,14 @@ class MonteCarlo
     /**
      * Run `trials` independent lifetimes against `scheme`.
      * The scheme is reset() at the start of every trial.
+     *
+     * @param threads Worker count; 0 resolves CITADEL_THREADS /
+     *        hardware_concurrency via citadelThreads(). 1 runs the
+     *        legacy in-place serial path on `scheme` itself; more
+     *        shard the trial range over clones of `scheme`.
      */
-    McResult run(RasScheme &scheme, u64 trials, u64 seed = 1) const;
+    McResult run(RasScheme &scheme, u64 trials, u64 seed = 1,
+                 unsigned threads = 0) const;
 
     /**
      * Single-lifetime simulation given a pre-sampled fault history.
@@ -71,9 +87,32 @@ class MonteCarlo
     double runTrial(RasScheme &scheme, const std::vector<Fault> &events,
                     FaultClass *trigger_class = nullptr) const;
 
+    /**
+     * Allocation-reusing variant for hot loops: `active_scratch` is
+     * cleared and used as the concurrent-fault working set, so a
+     * caller running many trials reuses one allocation throughout.
+     */
+    double runTrial(RasScheme &scheme, const std::vector<Fault> &events,
+                    FaultClass *trigger_class,
+                    std::vector<Fault> &active_scratch) const;
+
     const SystemConfig &config() const { return cfg_; }
 
   private:
+    /** Order-independent partial result of a contiguous trial range. */
+    struct Shard
+    {
+        u64 failures = 0;
+        u64 totalFaults = 0;
+        std::vector<u64> failuresByYear;
+        std::map<FaultClass, u64> failuresByClass;
+    };
+
+    /** Run trials [begin, end) into `shard`, reusing scratch vectors. */
+    void runRange(RasScheme &scheme, u64 begin, u64 end, u64 seed,
+                  u32 years, Shard &shard, std::vector<Fault> &events,
+                  std::vector<Fault> &active) const;
+
     SystemConfig cfg_;
     FaultInjector injector_;
 };

@@ -46,6 +46,9 @@ struct SchemeEvent
 /** Observer for scheme decisions (event log, live datapath, tests). */
 using SchemeEventSink = std::function<void(const SchemeEvent &)>;
 
+class RasScheme;
+using SchemePtr = std::unique_ptr<RasScheme>;
+
 /** Abstract RAS scheme evaluated by the Monte Carlo engine. */
 class RasScheme
 {
@@ -54,6 +57,16 @@ class RasScheme
 
     /** Display name used in bench output. */
     virtual std::string name() const = 0;
+
+    /**
+     * Fresh scheme with the same construction-time configuration
+     * (dimensions, spare budgets, wrapped inner schemes) but none of
+     * the per-trial state and no event sink. The parallel Monte Carlo
+     * engine clones the caller's scheme once per worker; since every
+     * trial begins with reset(), a clone and the original must be
+     * indistinguishable to the engine.
+     */
+    virtual SchemePtr clone() const = 0;
 
     /** Reinitialize per-trial state (spare budgets, swap registers). */
     virtual void reset(const SystemConfig &cfg) { cfg_ = &cfg; }
@@ -105,14 +118,17 @@ class NoProtection : public RasScheme
   public:
     std::string name() const override { return "No-Protection"; }
 
+    SchemePtr clone() const override
+    {
+        return std::make_unique<NoProtection>();
+    }
+
     bool
     uncorrectable(const std::vector<Fault> &active) const override
     {
         return !active.empty();
     }
 };
-
-using SchemePtr = std::unique_ptr<RasScheme>;
 
 } // namespace citadel
 

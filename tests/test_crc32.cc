@@ -45,6 +45,74 @@ TEST(Crc32, MatchesBitwiseReference)
     }
 }
 
+TEST(Crc32, SliceBy8MatchesReferenceOnRandomLengths)
+{
+    // The production path is slicing-by-8; the bit-at-a-time reference
+    // is ground truth. Random lengths straddle every chunk/tail split.
+    Rng rng(7);
+    for (int t = 0; t < 300; ++t) {
+        const u32 len = static_cast<u32>(rng.below(300));
+        std::vector<u8> data(len);
+        for (auto &b : data)
+            b = static_cast<u8>(rng.next());
+        ASSERT_EQ(Crc32::compute(data), Crc32::referenceCompute(data))
+            << "length " << len;
+    }
+}
+
+TEST(Crc32, SliceBy8MatchesReferenceOnUnalignedSpans)
+{
+    // Sub-spans at every start offset within a word: the 8-byte inner
+    // loop must be correct regardless of pointer alignment.
+    Rng rng(8);
+    std::vector<u8> buf(256);
+    for (auto &b : buf)
+        b = static_cast<u8>(rng.next());
+    for (u32 off = 0; off < 16; ++off) {
+        for (u32 len : {0u, 1u, 5u, 8u, 9u, 40u, 100u}) {
+            const std::span<const u8> sub(buf.data() + off, len);
+            const std::vector<u8> copy(sub.begin(), sub.end());
+            ASSERT_EQ(Crc32::finish(Crc32::update(Crc32::begin(), sub)),
+                      Crc32::referenceCompute(copy))
+                << "offset " << off << " length " << len;
+        }
+    }
+}
+
+TEST(Crc32, BytewiseBaselineMatchesSliceBy8)
+{
+    // The byte-at-a-time kernel kept as the perf-trajectory baseline
+    // must stay functionally identical to the production path.
+    Rng rng(9);
+    for (u32 len : {0u, 1u, 7u, 8u, 9u, 64u, 200u, 1000u}) {
+        std::vector<u8> data(len);
+        for (auto &b : data)
+            b = static_cast<u8>(rng.next());
+        u32 a = Crc32::begin();
+        u32 b = Crc32::begin();
+        a = Crc32::update(a, data);
+        b = Crc32::updateBytewise(b, data);
+        ASSERT_EQ(a, b) << "length " << len;
+        ASSERT_EQ(Crc32::finish(a), Crc32::referenceCompute(data));
+    }
+}
+
+TEST(Crc32, WordUpdateMatchesByteUpdate)
+{
+    // update(state, u64) must equal feeding the same 8 bytes
+    // little-endian — the line-CRC path depends on this equivalence.
+    Rng rng(10);
+    for (int t = 0; t < 50; ++t) {
+        const u64 word = rng.next();
+        std::array<u8, 8> raw{};
+        for (u32 i = 0; i < 8; ++i)
+            raw[i] = static_cast<u8>(word >> (8 * i));
+        EXPECT_EQ(Crc32::update(Crc32::begin(), word),
+                  Crc32::update(Crc32::begin(),
+                                std::span<const u8>(raw)));
+    }
+}
+
 TEST(Crc32, IncrementalEqualsOneShot)
 {
     Rng rng(2);

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The parallel Monte Carlo determinism contract (DESIGN.md section 9):
+ * for any thread count, MonteCarlo::run must produce a bit-identical
+ * McResult — every field, including the per-class attribution map —
+ * because per-trial seeds are counter-derived and shard merging is
+ * integer-exact. Also unit-tests the worker pool itself and the
+ * RasScheme::clone() semantics the engine relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "citadel/citadel.h"
+#include "common/thread_pool.h"
+#include "faults/monte_carlo.h"
+
+namespace citadel {
+namespace {
+
+void
+expectIdentical(const McResult &a, const McResult &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.failuresByYear, b.failuresByYear);
+    EXPECT_EQ(a.failuresByClass, b.failuresByClass);
+    EXPECT_DOUBLE_EQ(a.meanFaultsPerTrial, b.meanFaultsPerTrial);
+}
+
+std::vector<unsigned>
+threadCountsUnderTest()
+{
+    // 1 exercises the serial path, 2 and 7 force uneven sharding (7 is
+    // deliberately coprime to typical chunk sizes), plus whatever the
+    // host really has.
+    return {1u, 2u, 7u,
+            std::max(1u, std::thread::hardware_concurrency())};
+}
+
+TEST(MonteCarloParallel, NoProtectionBitIdenticalAcrossThreadCounts)
+{
+    SystemConfig cfg;
+    MonteCarlo mc(cfg);
+    NoProtection scheme;
+    for (u64 seed : {1ull, 42ull, 0xFEEDull}) {
+        const McResult serial = mc.run(scheme, 3000, seed, 1);
+        for (unsigned t : threadCountsUnderTest())
+            expectIdentical(serial, mc.run(scheme, 3000, seed, t));
+    }
+}
+
+TEST(MonteCarloParallel, FullCitadelBitIdenticalAcrossThreadCounts)
+{
+    // The stateful path: TSV-SWAP budgets + DDS remap tables + 3DP,
+    // with TSV faults enabled so absorb()/onScrub() state matters.
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    MonteCarlo mc(cfg);
+    auto scheme = makeCitadel();
+    const McResult serial = mc.run(*scheme, 1500, 9, 1);
+    for (unsigned t : threadCountsUnderTest())
+        expectIdentical(serial, mc.run(*scheme, 1500, 9, t));
+}
+
+TEST(MonteCarloParallel, BaselineSchemesBitIdenticalAtSevenThreads)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 140.0;
+    MonteCarlo mc(cfg);
+    const SchemePtr schemes[] = {
+        makeParityOnly(3),
+        makeSymbolBaseline(StripingMode::SameBank),
+        makeBchBaseline(),
+        makeRaid5Baseline(),
+    };
+    for (const SchemePtr &s : schemes) {
+        const McResult serial = mc.run(*s, 1200, 5, 1);
+        expectIdentical(serial, mc.run(*s, 1200, 5, 7));
+    }
+}
+
+TEST(MonteCarloParallel, EnvDefaultMatchesExplicitSerial)
+{
+    // threads=0 resolves CITADEL_THREADS/hardware; whatever it picks
+    // must not change the numbers.
+    SystemConfig cfg;
+    MonteCarlo mc(cfg);
+    NoProtection scheme;
+    expectIdentical(mc.run(scheme, 2000, 99, 1),
+                    mc.run(scheme, 2000, 99, 0));
+}
+
+TEST(MonteCarloParallel, MoreThreadsThanTrials)
+{
+    SystemConfig cfg;
+    MonteCarlo mc(cfg);
+    NoProtection scheme;
+    const McResult serial = mc.run(scheme, 3, 17, 1);
+    expectIdentical(serial, mc.run(scheme, 3, 17, 64));
+    const McResult empty = mc.run(scheme, 0, 17, 4);
+    EXPECT_EQ(empty.trials, 0u);
+    EXPECT_EQ(empty.failures, 0u);
+    EXPECT_DOUBLE_EQ(empty.meanFaultsPerTrial, 0.0);
+}
+
+TEST(MonteCarloParallel, CloneBehavesLikeOriginal)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    MonteCarlo mc(cfg);
+    const SchemePtr originals[] = {
+        makeCitadel(),
+        makeParityOnly(2, /*tsv_swap=*/true),
+        makeSymbolBaseline(StripingMode::AcrossChannels),
+    };
+    for (const SchemePtr &s : originals) {
+        const SchemePtr copy = s->clone();
+        EXPECT_EQ(copy->name(), s->name());
+        expectIdentical(mc.run(*s, 800, 3, 1), mc.run(*copy, 800, 3, 1));
+    }
+}
+
+TEST(MonteCarloParallel, RepeatedParallelRunsAreStable)
+{
+    SystemConfig cfg;
+    MonteCarlo mc(cfg);
+    NoProtection scheme;
+    const McResult first = mc.run(scheme, 2500, 11, 4);
+    for (int i = 0; i < 3; ++i)
+        expectIdentical(first, mc.run(scheme, 2500, 11, 4));
+}
+
+// ---- ThreadPool unit tests -----------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    constexpr u64 kItems = 10007; // prime: never divides evenly
+    std::vector<std::atomic<u32>> hits(kItems);
+    pool.parallelFor(kItems, 1, [&](u64 begin, u64 end, unsigned) {
+        for (u64 i = begin; i < end; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (u64 i = 0; i < kItems; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ThreadPoolTest, RunOnWorkersRunsEachWorkerOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<u32>> ran(3);
+    pool.runOnWorkers([&](unsigned w) {
+        ASSERT_LT(w, 3u);
+        ran[w].fetch_add(1);
+    });
+    for (unsigned w = 0; w < 3; ++w)
+        EXPECT_EQ(ran[w].load(), 1u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs)
+{
+    ThreadPool pool(2);
+    std::atomic<u64> sum{0};
+    for (int round = 0; round < 5; ++round)
+        pool.parallelFor(100, 10, [&](u64 begin, u64 end, unsigned) {
+            for (u64 i = begin; i < end; ++i)
+                sum.fetch_add(i, std::memory_order_relaxed);
+        });
+    EXPECT_EQ(sum.load(), 5ull * (99ull * 100ull / 2));
+}
+
+TEST(ThreadPoolTest, SingleWorkerAndEmptyRangeAreFine)
+{
+    ThreadPool pool(1);
+    std::atomic<u64> count{0};
+    pool.parallelFor(0, 1, [&](u64, u64, unsigned) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0u);
+    pool.parallelFor(5, 100, [&](u64 begin, u64 end, unsigned) {
+        count.fetch_add(end - begin);
+    });
+    EXPECT_EQ(count.load(), 5u);
+}
+
+TEST(ThreadPoolTest, CitadelThreadsIsPositive)
+{
+    EXPECT_GE(citadelThreads(), 1u);
+}
+
+} // namespace
+} // namespace citadel
