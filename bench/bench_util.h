@@ -68,12 +68,14 @@ factorCell(double base, double better)
     return Table::num(base / better, 1) + "x";
 }
 
-/** One timing run of `profile` under (mode, ras). */
+/** One timing run of `profile` under (mode, ras), starting from the
+ *  optional `base` config (striping/ras/budget overwritten). */
 inline SimResult
 runTiming(const BenchmarkProfile &profile, StripingMode mode,
-          RasTraffic ras, u64 insns_per_core)
+          RasTraffic ras, u64 insns_per_core,
+          const SimConfig &base = {})
 {
-    SimConfig cfg;
+    SimConfig cfg = base;
     cfg.striping = mode;
     cfg.ras = ras;
     cfg.insnsPerCore = insns_per_core;
@@ -81,16 +83,67 @@ runTiming(const BenchmarkProfile &profile, StripingMode mode,
     return sim.run();
 }
 
-/** Timing results for every benchmark under one configuration. */
+/** Bit-exact equality of two timing runs (every reported integer). */
+inline bool
+identicalResults(const SimResult &a, const SimResult &b)
+{
+    return a.cycles == b.cycles && a.insnsRetired == b.insnsRetired &&
+           a.mem.activates == b.mem.activates &&
+           a.mem.readBursts == b.mem.readBursts &&
+           a.mem.writeBursts == b.mem.writeBursts &&
+           a.mem.rowHits == b.mem.rowHits &&
+           a.mem.rowMisses == b.mem.rowMisses &&
+           a.mem.bytesRead == b.mem.bytesRead &&
+           a.mem.bytesWritten == b.mem.bytesWritten &&
+           a.mem.rasReads == b.mem.rasReads &&
+           a.llc.dataFills == b.llc.dataFills &&
+           a.llc.dirtyDataEvictions == b.llc.dirtyDataEvictions &&
+           a.llc.parityProbes == b.llc.parityProbes &&
+           a.llc.parityHits == b.llc.parityHits &&
+           a.llc.parityFills == b.llc.parityFills &&
+           a.llc.dirtyParityEvictions == b.llc.dirtyParityEvictions;
+}
+
+/** Timing results for every benchmark under one configuration, run
+ *  serially on the calling thread. */
 inline std::map<std::string, SimResult>
-runSuite(StripingMode mode, RasTraffic ras, u64 insns_per_core)
+runSuite(StripingMode mode, RasTraffic ras, u64 insns_per_core,
+         bool verbose = true, const SimConfig &base = {})
 {
     std::map<std::string, SimResult> out;
     for (const auto &b : allBenchmarks()) {
-        std::cerr << "  [" << stripingModeName(mode) << "/"
-                  << static_cast<int>(ras) << "] " << b.name << "...\n";
-        out[b.name] = runTiming(b, mode, ras, insns_per_core);
+        if (verbose)
+            std::cerr << "  [" << stripingModeName(mode) << "/"
+                      << static_cast<int>(ras) << "] " << b.name
+                      << "...\n";
+        out[b.name] = runTiming(b, mode, ras, insns_per_core, base);
     }
+    return out;
+}
+
+/**
+ * runSuite fanned over a worker pool. Each SystemSim run is fully
+ * self-seeded (SimConfig::seed drives every stream) and writes only
+ * its own index-addressed slot, so the result is bit-identical to
+ * runSuite for any thread count.
+ * @param threads Worker count; 0 resolves via CITADEL_THREADS.
+ */
+inline std::map<std::string, SimResult>
+runSuiteParallel(StripingMode mode, RasTraffic ras, u64 insns_per_core,
+                 unsigned threads = 0, const SimConfig &base = {})
+{
+    const auto &benches = allBenchmarks();
+    std::vector<SimResult> results(benches.size());
+    ThreadPool pool(threads);
+    pool.parallelFor(
+        benches.size(), 1, [&](u64 begin, u64 end, unsigned) {
+            for (u64 i = begin; i < end; ++i)
+                results[i] = runTiming(benches[i], mode, ras,
+                                       insns_per_core, base);
+        });
+    std::map<std::string, SimResult> out;
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        out[benches[i].name] = results[i];
     return out;
 }
 

@@ -22,7 +22,7 @@ main()
                                std::to_string(n) + " insns/core)");
 
     const auto res =
-        runSuite(StripingMode::SameBank, RasTraffic::ThreeDPCached, n);
+        runSuiteParallel(StripingMode::SameBank, RasTraffic::ThreeDPCached, n);
 
     std::map<Suite, std::vector<double>> per_suite;
     std::vector<double> all;

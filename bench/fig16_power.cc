@@ -21,13 +21,13 @@ main()
                                std::to_string(n) + " insns/core)");
 
     const auto base =
-        runSuite(StripingMode::SameBank, RasTraffic::None, n);
+        runSuiteParallel(StripingMode::SameBank, RasTraffic::None, n);
     const auto threedp =
-        runSuite(StripingMode::SameBank, RasTraffic::ThreeDPCached, n);
+        runSuiteParallel(StripingMode::SameBank, RasTraffic::ThreeDPCached, n);
     const auto ab =
-        runSuite(StripingMode::AcrossBanks, RasTraffic::None, n);
+        runSuiteParallel(StripingMode::AcrossBanks, RasTraffic::None, n);
     const auto ac =
-        runSuite(StripingMode::AcrossChannels, RasTraffic::None, n);
+        runSuiteParallel(StripingMode::AcrossChannels, RasTraffic::None, n);
 
     auto suite_ratio = [&](const std::map<std::string, SimResult> &m,
                            Suite s) {

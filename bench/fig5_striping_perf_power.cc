@@ -22,11 +22,11 @@ main()
                                std::to_string(n) + " insns/core)");
 
     const auto base =
-        runSuite(StripingMode::SameBank, RasTraffic::None, n);
+        runSuiteParallel(StripingMode::SameBank, RasTraffic::None, n);
     const auto ab =
-        runSuite(StripingMode::AcrossBanks, RasTraffic::None, n);
+        runSuiteParallel(StripingMode::AcrossBanks, RasTraffic::None, n);
     const auto ac =
-        runSuite(StripingMode::AcrossChannels, RasTraffic::None, n);
+        runSuiteParallel(StripingMode::AcrossChannels, RasTraffic::None, n);
 
     auto cycles = [](const SimResult &r) {
         return static_cast<double>(r.cycles);

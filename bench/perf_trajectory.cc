@@ -12,9 +12,15 @@
  *  2. CRC-32 MB/s: slice-by-8 production path vs the one-table
  *     byte-at-a-time baseline.
  *  3. Parity-fold MB/s: word-wide xorFold vs a byte-loop oracle.
+ *  4. Timing simulator: cycles simulated/s under cycle vs event
+ *     stepping (low-MPKI and high-MPKI profiles), and suite wall time
+ *     serial (runSuite) vs parallel (runSuiteParallel). Every pair
+ *     must be bit-identical; any divergence makes this binary exit
+ *     non-zero, which is what the perf-smoke CI job asserts.
  *
- * Knobs: CITADEL_TRIALS (default 20000), CITADEL_THREADS,
- * CITADEL_BENCH_JSON (output path, default ./BENCH_mc.json).
+ * Knobs: CITADEL_TRIALS (default 20000), CITADEL_INSNS (default
+ * 100000), CITADEL_THREADS, CITADEL_BENCH_JSON (output path, default
+ * ./BENCH_mc.json).
  */
 
 #include <chrono>
@@ -187,6 +193,92 @@ main()
                        Table::num(fold_word / fold_byte, 2) + "x"});
     fold_table.addRow({"byte loop", Table::num(fold_byte, 0), "1.0x"});
     fold_table.print(std::cout);
+    std::cout << "\n";
+
+    // ---- 4. Timing simulator: stepping + suite parallelism ---------
+    const u64 sim_insns = insns(100000);
+    bool sim_identical = true;
+
+    // Cycle vs event stepping on a low-MPKI (idle-heavy, where the
+    // skipping pays off) and a high-MPKI (memory-bound floor) profile.
+    // Only run() is timed -- LLC warm-up in the constructor is common
+    // to both modes and would wash the ratio out at small budgets.
+    struct SteppingPoint
+    {
+        const char *bench;
+        RasTraffic ras;
+        double cycle_cps = 0;
+        double event_cps = 0;
+        bool identical = false;
+    };
+    std::vector<SteppingPoint> points = {
+        {"povray", RasTraffic::None},        // idle-heavy
+        {"mcf", RasTraffic::ThreeDPCached},  // memory-bound
+    };
+    for (SteppingPoint &p : points) {
+        const BenchmarkProfile &prof = findBenchmark(p.bench);
+        SimResult rc, re;
+        for (const SimStepping stepping :
+             {SimStepping::Cycle, SimStepping::Event}) {
+            SimConfig cfg;
+            cfg.ras = p.ras;
+            cfg.insnsPerCore = sim_insns;
+            cfg.stepping = stepping;
+            SystemSim sim(cfg, prof);
+            t0 = std::chrono::steady_clock::now();
+            const SimResult r = sim.run();
+            const double dt = secondsSince(t0);
+            if (stepping == SimStepping::Cycle) {
+                rc = r;
+                p.cycle_cps = static_cast<double>(r.cycles) / dt;
+            } else {
+                re = r;
+                p.event_cps = static_cast<double>(r.cycles) / dt;
+            }
+        }
+        p.identical = identicalResults(rc, re);
+        sim_identical = sim_identical && p.identical;
+    }
+
+    Table step_table(
+        {"benchmark", "cycle cps", "event cps", "speedup", "identical"});
+    for (const SteppingPoint &p : points)
+        step_table.addRow({p.bench, Table::num(p.cycle_cps, 0),
+                           Table::num(p.event_cps, 0),
+                           Table::num(p.event_cps / p.cycle_cps, 2) + "x",
+                           p.identical ? "yes" : "NO — BUG"});
+    step_table.print(std::cout);
+    std::cout << "\n";
+
+    // Suite wall time, serial vs parallel, same thread budget as MC.
+    t0 = std::chrono::steady_clock::now();
+    const auto suite_serial =
+        runSuite(StripingMode::SameBank, RasTraffic::ThreeDPCached,
+                 sim_insns, /*verbose=*/false);
+    const double suite_serial_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const auto suite_parallel = runSuiteParallel(
+        StripingMode::SameBank, RasTraffic::ThreeDPCached, sim_insns,
+        nthreads);
+    const double suite_parallel_s = secondsSince(t0);
+
+    bool suite_identical = suite_serial.size() == suite_parallel.size();
+    for (const auto &[name, r] : suite_serial)
+        suite_identical = suite_identical &&
+                          suite_parallel.count(name) &&
+                          identicalResults(r, suite_parallel.at(name));
+    sim_identical = sim_identical && suite_identical;
+
+    Table suite_table({"suite runner", "wall s", "speedup", "identical"});
+    suite_table.addRow({"serial", Table::num(suite_serial_s, 2), "1.0x",
+                        "-"});
+    suite_table.addRow(
+        {"parallel (" + std::to_string(nthreads) + " threads)",
+         Table::num(suite_parallel_s, 2),
+         Table::num(suite_serial_s / suite_parallel_s, 2) + "x",
+         suite_identical ? "yes" : "NO — BUG"});
+    suite_table.print(std::cout);
 
     // ---- JSON emission ---------------------------------------------
     const char *path_env = std::getenv("CITADEL_BENCH_JSON");
@@ -194,7 +286,7 @@ main()
         path_env && *path_env ? path_env : "BENCH_mc.json";
     std::ofstream json(path);
     json << "{\n"
-         << "  \"schema\": \"citadel-perf-trajectory-v1\",\n"
+         << "  \"schema\": \"citadel-perf-trajectory-v2\",\n"
          << "  \"trials\": " << n << ",\n"
          << "  \"threads\": " << nthreads << ",\n"
          << "  \"hardware_concurrency\": "
@@ -212,7 +304,26 @@ main()
          << "  \"parity_xor\": {\n"
          << "    \"word_mb_per_s\": " << fold_word << ",\n"
          << "    \"byte_mb_per_s\": " << fold_byte << ",\n"
-         << "    \"speedup\": " << fold_word / fold_byte << "\n  }\n"
+         << "    \"speedup\": " << fold_word / fold_byte << "\n  },\n"
+         << "  \"timing\": {\n"
+         << "    \"insns_per_core\": " << sim_insns << ",\n"
+         << "    \"stepping\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SteppingPoint &p = points[i];
+        json << "      {\"benchmark\": \"" << p.bench
+             << "\", \"cycle_cps\": " << p.cycle_cps
+             << ", \"event_cps\": " << p.event_cps
+             << ", \"speedup\": " << p.event_cps / p.cycle_cps
+             << ", \"identical\": " << (p.identical ? "true" : "false")
+             << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "    ],\n"
+         << "    \"suite_serial_s\": " << suite_serial_s << ",\n"
+         << "    \"suite_parallel_s\": " << suite_parallel_s << ",\n"
+         << "    \"suite_speedup\": " << suite_serial_s / suite_parallel_s
+         << ",\n"
+         << "    \"suite_identical\": "
+         << (suite_identical ? "true" : "false") << "\n  }\n"
          << "}\n";
     json.close();
     std::cout << "\nwrote " << path << "\n";
@@ -220,6 +331,11 @@ main()
     if (!match) {
         std::cerr << "FATAL: parallel Monte Carlo diverged from the "
                      "serial path\n";
+        return 1;
+    }
+    if (!sim_identical) {
+        std::cerr << "FATAL: timing simulator diverged (event stepping "
+                     "or parallel suite runner)\n";
         return 1;
     }
     return 0;

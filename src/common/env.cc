@@ -23,6 +23,13 @@ envU64(const char *name, u64 fallback)
     return static_cast<u64>(parsed);
 }
 
+std::string
+envString(const char *name, const char *fallback)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? std::string(v) : std::string(fallback);
+}
+
 double
 envDouble(const char *name, double fallback)
 {

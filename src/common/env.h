@@ -8,12 +8,17 @@
 #ifndef CITADEL_COMMON_ENV_H
 #define CITADEL_COMMON_ENV_H
 
+#include <string>
+
 #include "common/types.h"
 
 namespace citadel {
 
 /** Read an unsigned env var, returning fallback if unset/invalid. */
 u64 envU64(const char *name, u64 fallback);
+
+/** Read a string env var, returning fallback if unset/empty. */
+std::string envString(const char *name, const char *fallback);
 
 /** Read a double env var, returning fallback if unset/invalid. */
 double envDouble(const char *name, double fallback);

@@ -1,6 +1,7 @@
 #include "ras/live_datapath.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.h"
 
@@ -85,6 +86,20 @@ LiveRasDatapath::tick(u64 cycle)
         lastScrub_ = cycle;
         scrub(cycle);
     }
+}
+
+u64
+LiveRasDatapath::nextEventCycle(u64 now) const
+{
+    // Mirror of tick(): the next fault materialization and the next
+    // scrub boundary are the only cycle-driven actions. A due-but-
+    // unfired event clamps to `now` so the event loop never skips it.
+    u64 next = std::numeric_limits<u64>::max();
+    if (!pending_.empty())
+        next = std::max(now, pending_.begin()->first);
+    if (opts_.scrubCycles != 0)
+        next = std::min(next, std::max(now, lastScrub_ + opts_.scrubCycles));
+    return next;
 }
 
 void

@@ -97,6 +97,7 @@ class LiveRasDatapath final : public RasHook
     // RasHook
     void tick(u64 cycle) override;
     DemandOutcome onDemandRead(LineAddr line, u64 cycle) override;
+    u64 nextEventCycle(u64 now) const override;
 
     const RasLog &log() const { return log_; }
     const RasCounters &counters() const { return log_.counters; }

@@ -36,6 +36,19 @@ enum class RasTraffic
     ThreeDPUncached ///< 3DP, parity read+write to DRAM per update.
 };
 
+/**
+ * Clock-advance strategy for SystemSim::run(). Event stepping skips
+ * cycles in which no component can change state and is bit-identical
+ * to cycle stepping (DESIGN.md section 10); cycle stepping remains as
+ * the differential oracle.
+ */
+enum class SimStepping
+{
+    EnvDefault, ///< CITADEL_SIM_STEPPING (cycle|event); default event.
+    Cycle,      ///< Advance one cycle at a time.
+    Event       ///< Jump to the next cycle anything can happen.
+};
+
 /** Full timing-simulation configuration. */
 struct SimConfig
 {
@@ -43,6 +56,7 @@ struct SimConfig
     DramTiming timing;
     StripingMode striping = StripingMode::SameBank;
     RasTraffic ras = RasTraffic::None;
+    SimStepping stepping = SimStepping::EnvDefault;
 
     u32 cores = 8;
     u64 insnsPerCore = 2'000'000;

@@ -1,18 +1,44 @@
 #include "sim/memory_system.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/log.h"
 
 namespace citadel {
 
+namespace {
+
+/** Token layout: generation in the high 32 bits, arena slot in the
+ *  low 32. Generations start at 1 so no read token is ever 0 (0 is
+ *  the "untracked write" convention). */
+inline u64
+makeToken(u32 gen, u32 slot)
+{
+    return (static_cast<u64>(gen) << 32) | slot;
+}
+
+inline u32
+tokenGen(u64 token)
+{
+    return static_cast<u32>(token >> 32);
+}
+
+} // namespace
+
 MemorySystem::MemorySystem(const SimConfig &cfg) : cfg_(cfg), map_(cfg.geom)
 {
     const u32 nch = cfg_.geom.totalChannels();
     channels_.resize(nch);
-    for (auto &ch : channels_)
+    const std::size_t words = (cfg_.geom.banksPerChannel + 63) / 64;
+    for (auto &ch : channels_) {
         ch.banks.resize(cfg_.geom.banksPerChannel);
+        for (GroupQueue *q : {&ch.reads, &ch.writes}) {
+            q->perBank.resize(cfg_.geom.banksPerChannel);
+            q->bankWords.assign(words, 0);
+        }
+    }
     // The write queue holds whole-line writes; striped mappings enqueue
     // fanout sub-requests per line, so the sub-request cap scales.
     writeCapSubs_ = static_cast<u64>(cfg_.writeQueueCap) *
@@ -26,38 +52,115 @@ MemorySystem::channelIndex(const LineCoord &c) const
            c.channel.value();
 }
 
+u64
+MemorySystem::allocToken()
+{
+    u32 slot;
+    if (!tokens_.freeSlots.empty()) {
+        slot = tokens_.freeSlots.back();
+        tokens_.freeSlots.pop_back();
+    } else {
+        slot = static_cast<u32>(tokens_.gen.size());
+        tokens_.gen.push_back(1);
+        tokens_.remaining.push_back(0);
+        tokens_.allocSeq.push_back(0);
+    }
+    tokens_.allocSeq[slot] = readAllocSeq_++;
+    return makeToken(tokens_.gen[slot], slot);
+}
+
+void
+MemorySystem::releaseToken(u64 token)
+{
+    const u32 slot = tokenSlot(token);
+    ++tokens_.gen[slot];
+    tokens_.freeSlots.push_back(slot);
+}
+
+u32
+MemorySystem::acquireGroup(GroupQueue &q)
+{
+    if (!q.freeSlots.empty()) {
+        const u32 slot = q.freeSlots.back();
+        q.freeSlots.pop_back();
+        return slot;
+    }
+    q.pool.emplace_back();
+    return static_cast<u32>(q.pool.size() - 1);
+}
+
+void
+MemorySystem::releaseRef(GroupQueue &q, u32 slot)
+{
+    Group &g = q.pool[slot];
+    if (--g.refs == 0 && !g.live) {
+        g.slices.clear();
+        q.freeSlots.push_back(slot);
+    }
+}
+
+void
+MemorySystem::popDeadHeads(GroupQueue &q, std::deque<BankRef> &dq)
+{
+    while (!dq.empty() && !q.pool[dq.front().slot].live) {
+        releaseRef(q, dq.front().slot);
+        dq.pop_front();
+    }
+}
+
 void
 MemorySystem::enqueue(const LineCoord &line, bool write, u64 token,
-                      u64 cycle)
+                      u64 cycle, bool ras)
 {
     const auto subs = map_.subRequests(line, cfg_.striping);
     const u32 bytes =
         cfg_.geom.lineBytes / static_cast<u32>(subs.size());
+    if (ras)
+        counters_.rasReads += subs.size();
+    if (!write)
+        tokens_.remaining[tokenSlot(token)] =
+            static_cast<u32>(subs.size());
+
+    // Bucket the sub-requests into one group per touched channel,
+    // preserving sub-request order (the slices of a striped line in
+    // one channel issue in lockstep and must keep their flat-queue
+    // relative order for exact FR-FCFS tie-breaking).
+    u32 openChannel = kInvalidSlot;
+    u32 openSlot = kInvalidSlot;
     for (const LineCoord &s : subs) {
-        Channel &ch = channels_[channelIndex(s)];
-        SubReq r;
-        r.token = token;
-        r.bank = s.bank;
-        r.row = s.row;
-        r.write = write;
-        r.arrival = cycle;
-        r.bytes = bytes;
-        (write ? ch.writeQueue : ch.readQueue).push_back(r);
+        const u32 chIdx = channelIndex(s);
+        Channel &ch = channels_[chIdx];
+        GroupQueue &q = write ? ch.writes : ch.reads;
+        if (chIdx != openChannel) {
+            openChannel = chIdx;
+            openSlot = acquireGroup(q);
+            Group &g = q.pool[openSlot];
+            g.token = token;
+            g.seq = ch.nextSeq++;
+            g.arrival = cycle;
+            g.bytes = bytes;
+            g.write = write;
+            g.live = true;
+            g.refs = 0;
+            g.slices.clear();
+        }
+        Group &g = q.pool[openSlot];
+        const u32 sliceIdx = static_cast<u32>(g.slices.size());
+        g.slices.push_back({s.bank, s.row});
+        ++g.refs;
+        const std::size_t b = s.bank.idx();
+        q.perBank[b].push_back({openSlot, sliceIdx});
+        q.bankWords[b / 64] |= 1ull << (b % 64);
+        ++q.liveSlices;
         ++pendingOps_;
     }
-    if (!write)
-        remaining_[token] = static_cast<u32>(subs.size());
-    (void)0;
 }
 
 u64
 MemorySystem::issueRead(LineAddr line, u64 cycle, bool ras)
 {
-    const u64 token = nextToken_++;
-    const LineCoord coord = map_.lineToCoord(line);
-    if (ras)
-        counters_.rasReads += map_.subRequests(coord, cfg_.striping).size();
-    enqueue(coord, false, token, cycle);
+    const u64 token = allocToken();
+    enqueue(map_.lineToCoord(line), false, token, cycle, ras);
     return token;
 }
 
@@ -68,7 +171,7 @@ MemorySystem::canAcceptWrite(LineAddr line) const
     const auto subs = map_.subRequests(coord, cfg_.striping);
     for (const LineCoord &s : subs) {
         const Channel &ch = channels_[channelIndex(s)];
-        if (ch.writeQueue.size() >= writeCapSubs_)
+        if (ch.writes.liveSlices >= writeCapSubs_)
             return false;
     }
     return true;
@@ -77,65 +180,127 @@ MemorySystem::canAcceptWrite(LineAddr line) const
 void
 MemorySystem::issueWrite(LineAddr line, u64 cycle)
 {
-    // Writes get a token too so striped sibling sub-writes issue in
-    // lockstep, but no completion is reported for them.
-    enqueue(map_.lineToCoord(line), true, nextToken_++, cycle);
+    enqueue(map_.lineToCoord(line), true, 0, cycle, false);
 }
 
-int
-MemorySystem::pickCandidate(const Channel &ch, const std::deque<SubReq> &q,
-                            u64 cycle) const
+MemorySystem::Pick
+MemorySystem::pickCandidate(Channel &ch, GroupQueue &q, u64 cycle)
 {
     // FR-FCFS: oldest ready row-hit first, else the oldest whose bank
-    // can start an activation.
-    int oldest_ready = -1;
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        const SubReq &r = q[i];
-        const BankState &b = ch.banks[r.bank.idx()];
-        const bool row_open = b.openRow == r.row;
-        const bool hit = row_open && cycle >= b.nextCasAt;
-        if (hit)
-            return static_cast<int>(i);
-        if (oldest_ready < 0) {
-            const bool act_ready = !row_open && cycle >= b.nextActAt;
-            const bool cas_later = row_open; // waiting on tCCD
-            if (act_ready || cas_later)
-                oldest_ready = static_cast<int>(i);
+    // can start an activation (or whose open row will accept a later
+    // CAS). Oldest = smallest channel-local group seq, which equals
+    // the flat-queue position of the legacy scan.
+    u64 hitSeq = kNoEvent;
+    u64 candSeq = kNoEvent;
+    u32 hitSlot = kInvalidSlot;
+    u32 candSlot = kInvalidSlot;
+
+    for (std::size_t w = 0; w < q.bankWords.size(); ++w) {
+        u64 word = q.bankWords[w];
+        while (word != 0) {
+            const std::size_t b =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+            word &= word - 1;
+            auto &dq = q.perBank[b];
+            popDeadHeads(q, dq);
+            if (dq.empty()) {
+                q.bankWords[w] &= ~(1ull << (b % 64));
+                continue;
+            }
+            const BankState &bs = ch.banks[b];
+            const bool act_ready = cycle >= bs.nextActAt;
+            if (act_ready) {
+                // Every queued row qualifies; the bank's oldest is its
+                // head (refs are FIFO in seq order).
+                const Group &hg = q.pool[dq.front().slot];
+                if (hg.seq < candSeq) {
+                    candSeq = hg.seq;
+                    candSlot = dq.front().slot;
+                }
+            }
+            if (!bs.openRow.has_value())
+                continue;
+            const bool cas_ready = cycle >= bs.nextCasAt;
+            if (!cas_ready && act_ready)
+                continue; // open-row entries add nothing here
+            // Oldest queued reference matching the open row: a ready
+            // row hit if the bank can take a CAS, and (when the bank
+            // cannot activate) still a candidate waiting on tCCD.
+            for (const BankRef &ref : dq) {
+                const Group &g = q.pool[ref.slot];
+                if (!g.live)
+                    continue;
+                const bool canHit = cas_ready && g.seq < hitSeq;
+                const bool canCand = !act_ready && g.seq < candSeq;
+                if (!canHit && !canCand)
+                    break; // seq ascending: no later ref can improve
+                if (g.slices[ref.slice].row == *bs.openRow) {
+                    if (canHit) {
+                        hitSeq = g.seq;
+                        hitSlot = ref.slot;
+                    }
+                    if (canCand) {
+                        candSeq = g.seq;
+                        candSlot = ref.slot;
+                    }
+                    break;
+                }
+            }
         }
     }
-    return oldest_ready;
+
+    if (hitSlot != kInvalidSlot)
+        return {hitSlot,
+                primarySlice(ch, q.pool[hitSlot], /*hit=*/true, cycle)};
+    if (candSlot != kInvalidSlot)
+        return {candSlot,
+                primarySlice(ch, q.pool[candSlot], /*hit=*/false, cycle)};
+    return {};
+}
+
+u32
+MemorySystem::primarySlice(const Channel &ch, const Group &g, bool hit,
+                           u64 cycle) const
+{
+    for (u32 i = 0; i < g.slices.size(); ++i) {
+        const BankState &bs = ch.banks[g.slices[i].bank.idx()];
+        const bool row_open = bs.openRow == g.slices[i].row;
+        if (hit ? (row_open && cycle >= bs.nextCasAt)
+                : (row_open || cycle >= bs.nextActAt))
+            return i;
+    }
+    panic("memory: picked group has no qualifying slice");
 }
 
 u64
-MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
-                       bool lockstep_sibling)
+MemorySystem::schedule(Channel &ch, const Slice &slice, bool write,
+                       u32 bytes, u64 cycle, bool lockstep_sibling)
 {
     const DramTiming &t = cfg_.timing;
-    BankState &b = ch.banks[req.bank.idx()];
+    BankState &b = ch.banks[slice.bank.idx()];
     u64 done;
 
     // Column-to-column spacing scales with the burst: a striped
     // sub-request moves lineBytes/fanout bytes in a proportionally
     // shorter burst, so its bank can accept the next CAS sooner.
-    const u32 ccd = std::max<u32>(
-        1, t.tCCD * req.bytes / cfg_.geom.lineBytes);
+    const u32 ccd =
+        std::max<u32>(1, t.tCCD * bytes / cfg_.geom.lineBytes);
 
     // Write-to-read turnaround is paid once per switch (writes batch
     // at tCCD), matching a write-buffering controller.
     auto wtr_floor = [&](u64 cas) {
-        if (!req.write &&
-            b.lastWriteCas + static_cast<i64>(t.tWTR) >
-                static_cast<i64>(cas))
+        if (!write && b.lastWriteCas + static_cast<i64>(t.tWTR) >
+                          static_cast<i64>(cas))
             return static_cast<u64>(b.lastWriteCas + t.tWTR);
         return cas;
     };
 
-    if (b.openRow == req.row) {
+    if (b.openRow == slice.row) {
         // Row hit: column access only.
         const u64 t0 = wtr_floor(std::max(cycle, b.nextCasAt));
         done = t0 + t.tCAS + t.tBURST;
         b.nextCasAt = t0 + ccd;
-        if (req.write)
+        if (write)
             b.lastWriteCas = static_cast<i64>(t0);
         ++counters_.rowHits;
     } else {
@@ -155,10 +320,10 @@ MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
         const u64 cas = wtr_floor(act + t.tRCD);
         done = cas + t.tCAS + t.tBURST;
         b.nextCasAt = cas + ccd;
-        if (req.write)
+        if (write)
             b.lastWriteCas = static_cast<i64>(cas);
         b.nextActAt = act + t.tRAS + t.tRP;
-        b.openRow = req.row;
+        b.openRow = slice.row;
         ++counters_.activates;
         ++counters_.rowMisses;
     }
@@ -168,7 +333,7 @@ MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
     // reserves a proportional share (the slices of one logical line
     // transfer in parallel, as on a conventional DIMM).
     const double slot = static_cast<double>(t.tBURST) *
-                        static_cast<double>(req.bytes) /
+                        static_cast<double>(bytes) /
                         static_cast<double>(cfg_.geom.lineBytes);
     const double start =
         std::max(ch.busUntil, static_cast<double>(done) - slot);
@@ -177,14 +342,42 @@ MemorySystem::schedule(Channel &ch, SubReq &req, u64 cycle,
     if (static_cast<double>(done) < end)
         done = static_cast<u64>(std::ceil(end));
 
-    if (req.write) {
+    if (write) {
         ++counters_.writeBursts;
-        counters_.bytesWritten += req.bytes;
+        counters_.bytesWritten += bytes;
     } else {
         ++counters_.readBursts;
-        counters_.bytesRead += req.bytes;
+        counters_.bytesRead += bytes;
     }
     return done;
+}
+
+void
+MemorySystem::issueGroup(Channel &ch, GroupQueue &q, const Pick &pick,
+                         u64 cycle)
+{
+    Group &g = q.pool[pick.slot];
+    const u64 readSeq =
+        g.write ? 0 : tokens_.allocSeq[tokenSlot(g.token)];
+
+    // Primary slice first (it pays the tRRD chain), then its striped
+    // siblings in slice order as one lockstep multi-bank command.
+    const u64 done0 =
+        schedule(ch, g.slices[pick.slice], g.write, g.bytes, cycle);
+    if (!g.write)
+        completions_.push({done0, readSeq, g.token});
+    for (u32 i = 0; i < g.slices.size(); ++i) {
+        if (i == pick.slice)
+            continue;
+        const u64 done = schedule(ch, g.slices[i], g.write, g.bytes,
+                                  cycle, /*lockstep_sibling=*/true);
+        if (!g.write)
+            completions_.push({done, readSeq, g.token});
+    }
+
+    pendingOps_ -= g.slices.size();
+    q.liveSlices -= g.slices.size();
+    g.live = false; // bank-queue refs drain lazily
 }
 
 void
@@ -192,52 +385,30 @@ MemorySystem::serviceChannel(Channel &ch, u64 cycle)
 {
     // Reads have priority; writes drain when no read is ready or the
     // write queue is past its high-water mark.
-    const bool write_pressure = ch.writeQueue.size() >= writeCapSubs_ / 2;
+    const bool write_pressure =
+        ch.writes.liveSlices >= writeCapSubs_ / 2;
 
-    int idx = -1;
-    bool is_write = false;
+    Pick pick;
+    GroupQueue *q = nullptr;
     if (!write_pressure) {
-        idx = pickCandidate(ch, ch.readQueue, cycle);
-        if (idx < 0 && !ch.writeQueue.empty()) {
-            idx = pickCandidate(ch, ch.writeQueue, cycle);
-            is_write = idx >= 0;
+        pick = pickCandidate(ch, ch.reads, cycle);
+        q = &ch.reads;
+        if (!pick.valid() && ch.writes.liveSlices > 0) {
+            pick = pickCandidate(ch, ch.writes, cycle);
+            q = &ch.writes;
         }
     } else {
-        idx = pickCandidate(ch, ch.writeQueue, cycle);
-        is_write = idx >= 0;
-        if (idx < 0) {
-            idx = pickCandidate(ch, ch.readQueue, cycle);
-            is_write = false;
+        pick = pickCandidate(ch, ch.writes, cycle);
+        q = &ch.writes;
+        if (!pick.valid()) {
+            pick = pickCandidate(ch, ch.reads, cycle);
+            q = &ch.reads;
         }
     }
-    if (idx < 0)
+    if (!pick.valid())
         return;
 
-    auto &q = is_write ? ch.writeQueue : ch.readQueue;
-    SubReq req = q[static_cast<std::size_t>(idx)];
-    q.erase(q.begin() + idx);
-
-    const u64 done = schedule(ch, req, cycle);
-    --pendingOps_;
-    if (!req.write)
-        completions_.push({done, req.token});
-
-    // Striped mappings issue the sibling sub-requests of the same line
-    // in lockstep (one multicast column command addresses all slices,
-    // as on a ChipKill DIMM), so they do not serialize on the command
-    // bus.
-    for (std::size_t i = 0; i < q.size();) {
-        if (q[i].token == req.token) {
-            SubReq sib = q[i];
-            q.erase(q.begin() + static_cast<long>(i));
-            const u64 sib_done = schedule(ch, sib, cycle, true);
-            --pendingOps_;
-            if (!sib.write)
-                completions_.push({sib_done, sib.token});
-        } else {
-            ++i;
-        }
-    }
+    issueGroup(ch, *q, pick, cycle);
 }
 
 void
@@ -246,26 +417,84 @@ MemorySystem::tick(u64 cycle)
     for (auto &ch : channels_)
         serviceChannel(ch, cycle);
 
-    while (!completions_.empty() && completions_.top().first <= cycle) {
-        const u64 token = completions_.top().second;
+    while (!completions_.empty() && completions_.top().done <= cycle) {
+        const u64 token = completions_.top().token;
         completions_.pop();
-        auto it = remaining_.find(token);
-        if (it == remaining_.end())
+        const u32 slot = tokenSlot(token);
+        if (slot >= tokens_.gen.size() ||
+            tokens_.gen[slot] != tokenGen(token) ||
+            tokens_.remaining[slot] == 0)
             panic("memory: completion for unknown token");
-        if (--it->second == 0) {
+        if (--tokens_.remaining[slot] == 0)
             completedTokens_.push_back(token);
-            remaining_.erase(it);
-        }
     }
 }
 
 std::vector<u64>
-MemorySystem::drainCompletedReads(u64 cycle)
+MemorySystem::drainCompletedReads()
 {
-    (void)cycle;
+    // Tokens reported by the previous drain are done with their
+    // grace period; recycle their slots now.
+    for (const u64 token : drainedTokens_)
+        releaseToken(token);
+    drainedTokens_ = completedTokens_;
+
     std::vector<u64> out;
     out.swap(completedTokens_);
     return out;
+}
+
+u64
+MemorySystem::queueNextEvent(Channel &ch, GroupQueue &q, u64 now)
+{
+    u64 next = kNoEvent;
+    for (std::size_t w = 0; w < q.bankWords.size(); ++w) {
+        u64 word = q.bankWords[w];
+        while (word != 0) {
+            const std::size_t b =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+            word &= word - 1;
+            auto &dq = q.perBank[b];
+            popDeadHeads(q, dq);
+            if (dq.empty()) {
+                q.bankWords[w] &= ~(1ull << (b % 64));
+                continue;
+            }
+            const BankState &bs = ch.banks[b];
+            if (bs.nextActAt <= now)
+                return now; // the head is already a candidate
+            if (bs.openRow.has_value()) {
+                // An open-row match is a candidate every cycle.
+                for (const BankRef &ref : dq) {
+                    const Group &g = q.pool[ref.slot];
+                    if (!g.live)
+                        continue;
+                    if (g.slices[ref.slice].row == *bs.openRow)
+                        return now;
+                }
+            }
+            next = std::min(next, bs.nextActAt);
+        }
+    }
+    return next;
+}
+
+u64
+MemorySystem::nextEventCycle(u64 now)
+{
+    u64 next = kNoEvent;
+    if (!completions_.empty())
+        next = std::max(now, completions_.top().done);
+    for (auto &ch : channels_) {
+        for (GroupQueue *q : {&ch.reads, &ch.writes}) {
+            if (q->liveSlices == 0)
+                continue;
+            next = std::min(next, queueNextEvent(ch, *q, now));
+            if (next <= now)
+                return now;
+        }
+    }
+    return next;
 }
 
 } // namespace citadel

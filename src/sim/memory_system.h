@@ -5,15 +5,28 @@
  * shared data TSV bus per channel, and striping-aware fan-out (one
  * logical line access becomes 1 / 8 sub-requests depending on the
  * mapping, Section II-D/E).
+ *
+ * Scheduler internals are organized for speed without changing any
+ * decision the flat-queue implementation made (DESIGN.md section 10):
+ *
+ *  - one queued entry per (line, channel) *group* carrying its striped
+ *    slices inline, so lockstep-sibling issue never rescans a queue;
+ *  - per-bank sub-queues (slot references into a group pool) plus a
+ *    ready-bank bitmask, so the FR-FCFS pick visits only banks that
+ *    have work instead of walking the whole channel queue;
+ *  - a token arena with generation-tagged slots, so completion
+ *    tracking is a flat vector lookup rather than an unordered_map;
+ *  - nextEventCycle(), the contract the event-driven SystemSim loop
+ *    uses to skip cycles in which tick() would provably do nothing.
  */
 
 #ifndef CITADEL_SIM_MEMORY_SYSTEM_H
 #define CITADEL_SIM_MEMORY_SYSTEM_H
 
 #include <deque>
+#include <limits>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/dram_timing.h"
@@ -41,6 +54,9 @@ struct MemCounters
 class MemorySystem
 {
   public:
+    /** Sentinel for "no event pending" (nextEventCycle). */
+    static constexpr u64 kNoEvent = std::numeric_limits<u64>::max();
+
     explicit MemorySystem(const SimConfig &cfg);
 
     /**
@@ -60,24 +76,84 @@ class MemorySystem
     /** Advance one memory-controller cycle. */
     void tick(u64 cycle);
 
-    /** Tokens of reads fully serviced by `cycle`. */
-    std::vector<u64> drainCompletedReads(u64 cycle);
+    /** Tokens of reads fully serviced by the last tick, in completion
+     *  order. Slots of tokens handed out by the *previous* drain are
+     *  recycled here, so callers may use a returned token until their
+     *  next call. */
+    std::vector<u64> drainCompletedReads();
 
-    /** Requests still queued or in flight. */
+    /**
+     * Earliest cycle >= `now` at which tick() could change any state:
+     * a pending completion matures, or some queued sub-request becomes
+     * an FR-FCFS candidate (its bank's open row matches, or the bank
+     * reaches nextActAt). Strictly between `now` and the returned
+     * cycle, tick() is a no-op; kNoEvent when fully idle.
+     */
+    u64 nextEventCycle(u64 now);
+
+    /** Requests still queued (not yet issued to a bank). */
     u64 pending() const { return pendingOps_; }
+
+    /** Arena slot of a read token: a dense index < tokenSlots() usable
+     *  as a key into caller-side flat tables. Slots are recycled one
+     *  drainCompletedReads call after their token is reported. */
+    static u32 tokenSlot(u64 token) { return static_cast<u32>(token); }
+
+    /** Upper bound (exclusive) on live token slots. */
+    u32 tokenSlots() const
+    {
+        return static_cast<u32>(tokens_.gen.size());
+    }
 
     const MemCounters &counters() const { return counters_; }
     const AddressMap &addressMap() const { return map_; }
 
   private:
-    struct SubReq
+    static constexpr u32 kInvalidSlot = 0xFFFFFFFFu;
+
+    /** One per-bank DRAM access of a queued group. */
+    struct Slice
     {
-        u64 token = 0;   ///< 0 for writes (no completion tracking).
         BankId bank{};
         RowId row{};
+    };
+
+    /**
+     * One queued logical line access within a channel: all the slices
+     * the striping mode places in this channel. Slices issue in
+     * lockstep when the group is picked (one multicast command), so
+     * the group is the scheduling unit; slice order is enqueue order,
+     * which the pick logic uses to reproduce flat-queue decisions.
+     */
+    struct Group
+    {
+        u64 token = 0;   ///< 0 for writes (no completion tracking).
+        u64 seq = 0;     ///< Channel-local arrival order (FCFS age).
+        u64 arrival = 0; ///< Enqueue cycle (diagnostic).
+        u32 bytes = 0;   ///< Bytes per slice (lineBytes / fanout).
         bool write = false;
-        u64 arrival = 0;
-        u32 bytes = 0;
+        bool live = false; ///< False once issued; refs drain lazily.
+        u32 refs = 0;      ///< Bank-queue references still present.
+        std::vector<Slice> slices;
+    };
+
+    /** Reference to one slice of a pooled group, queued at its bank. */
+    struct BankRef
+    {
+        u32 slot = 0;
+        u32 slice = 0;
+    };
+
+    /** Per-channel, per-direction scheduler queue: a slot pool of
+     *  groups, per-bank FIFO sub-queues of slice references, and a
+     *  bitmask index of banks that may hold live work. */
+    struct GroupQueue
+    {
+        std::vector<Group> pool;
+        std::vector<u32> freeSlots;
+        std::vector<std::deque<BankRef>> perBank;
+        std::vector<u64> bankWords; ///< Ready-bank index (1 bit/bank).
+        u64 liveSlices = 0;         ///< Queued sub-request count.
     };
 
     struct BankState
@@ -90,13 +166,49 @@ class MemorySystem
 
     struct Channel
     {
-        std::deque<SubReq> readQueue;
-        std::deque<SubReq> writeQueue;
+        GroupQueue reads;
+        GroupQueue writes;
         std::vector<BankState> banks;
         /** Data-TSV bus horizon in cycles. Fractional: a striped
          *  sub-request only occupies its share of the 256 lanes. */
         double busUntil = 0.0;
         i64 lastActAt = -1'000'000; ///< Sentinel: no activation yet.
+        u64 nextSeq = 0;
+    };
+
+    /** Read-token arena: flat per-slot state, generation-tagged so a
+     *  recycled slot can never satisfy a stale token. */
+    struct TokenArena
+    {
+        std::vector<u32> gen;       ///< Current generation per slot.
+        std::vector<u32> remaining; ///< Sub-requests left per slot.
+        std::vector<u64> allocSeq;  ///< Read allocation order per slot.
+        std::vector<u32> freeSlots;
+    };
+
+    /** FR-FCFS pick: a group slot plus the slice the flat scan would
+     *  have selected as the primary sub-request. */
+    struct Pick
+    {
+        u32 slot = kInvalidSlot;
+        u32 slice = 0;
+
+        bool valid() const { return slot != kInvalidSlot; }
+    };
+
+    /** Completion-queue entry; `seq` is the read token's allocation
+     *  order, which reproduces the legacy token-value-ascending
+     *  tie-break on equal done cycles. */
+    struct Completion
+    {
+        u64 done = 0;
+        u64 seq = 0;
+        u64 token = 0;
+
+        bool operator>(const Completion &o) const
+        {
+            return done != o.done ? done > o.done : seq > o.seq;
+        }
     };
 
     SimConfig cfg_;
@@ -105,27 +217,49 @@ class MemorySystem
     MemCounters counters_;
     u64 writeCapSubs_ = 0; ///< Write-queue cap in sub-requests.
 
-    u64 nextToken_ = 1;
-    std::unordered_map<u64, u32> remaining_; ///< token -> subreqs left
-    using Completion = std::pair<u64, u64>;  ///< (done cycle, token)
+    TokenArena tokens_;
+    u64 readAllocSeq_ = 0; ///< Monotonic read order for tie-breaks.
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<>>
         completions_;
     std::vector<u64> completedTokens_;
+    std::vector<u64> drainedTokens_; ///< Freed on the next drain call.
     u64 pendingOps_ = 0;
 
     u32 channelIndex(const LineCoord &c) const;
-    void enqueue(const LineCoord &line, bool write, u64 token, u64 cycle);
+
+    u64 allocToken();
+    void releaseToken(u64 token);
+
+    u32 acquireGroup(GroupQueue &q);
+    void releaseRef(GroupQueue &q, u32 slot);
+    void popDeadHeads(GroupQueue &q, std::deque<BankRef> &dq);
+
+    void enqueue(const LineCoord &line, bool write, u64 token, u64 cycle,
+                 bool ras);
     void serviceChannel(Channel &ch, u64 cycle);
+
+    /** FR-FCFS candidate in `q` at `cycle`; invalid Pick if none. */
+    Pick pickCandidate(Channel &ch, GroupQueue &q, u64 cycle);
+
+    /** First slice of `g` satisfying the pick predicate (flat order). */
+    u32 primarySlice(const Channel &ch, const Group &g, bool hit,
+                     u64 cycle) const;
+
+    /** Issue a picked group: primary slice first, then its lockstep
+     *  siblings in slice order. */
+    void issueGroup(Channel &ch, GroupQueue &q, const Pick &pick,
+                    u64 cycle);
+
     /** Schedule one sub-request on its bank; returns data-done cycle.
      *  @param lockstep_sibling True for the 2nd..Nth sub-request of a
      *         striped line: activated together with the first (one
      *         multi-bank activate), so it skips the tRRD chain. */
-    u64 schedule(Channel &ch, SubReq &req, u64 cycle,
-                 bool lockstep_sibling = false);
-    /** Pick the FR-FCFS candidate index in a queue; -1 if none ready. */
-    int pickCandidate(const Channel &ch, const std::deque<SubReq> &q,
-                      u64 cycle) const;
+    u64 schedule(Channel &ch, const Slice &slice, bool write, u32 bytes,
+                 u64 cycle, bool lockstep_sibling = false);
+
+    /** Earliest cycle >= now at which `q` has an FR-FCFS candidate. */
+    u64 queueNextEvent(Channel &ch, GroupQueue &q, u64 now);
 };
 
 } // namespace citadel

@@ -13,6 +13,7 @@
 #ifndef CITADEL_SIM_RAS_HOOK_H
 #define CITADEL_SIM_RAS_HOOK_H
 
+#include <limits>
 #include <vector>
 
 #include "common/strong_id.h"
@@ -52,6 +53,16 @@ class RasHook
 
     /** A demand read of `line` just returned data to the controller. */
     virtual DemandOutcome onDemandRead(LineAddr line, u64 cycle) = 0;
+
+    /**
+     * Earliest cycle >= `now` at which tick() could do observable work
+     * (materialize a fault, run a scrub). The event-stepping SystemSim
+     * loop will not skip past this cycle; returning `now` (the
+     * conservative default) means "tick me every cycle", which
+     * disables skipping but is always correct. Hooks with no pending
+     * work may return u64 max.
+     */
+    virtual u64 nextEventCycle(u64 now) const { return now; }
 };
 
 } // namespace citadel

@@ -2,16 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "common/env.h"
 #include "common/log.h"
 
 namespace citadel {
+
+namespace {
+
+/** Resolve the configured stepping mode against CITADEL_SIM_STEPPING. */
+SimStepping
+resolveStepping(SimStepping configured)
+{
+    if (configured != SimStepping::EnvDefault)
+        return configured;
+    const std::string v = envString("CITADEL_SIM_STEPPING", "event");
+    if (v == "cycle")
+        return SimStepping::Cycle;
+    if (v != "event")
+        warn("env: CITADEL_SIM_STEPPING='%s' is not cycle|event; "
+             "using event",
+             v.c_str());
+    return SimStepping::Event;
+}
+
+} // namespace
 
 SystemSim::SystemSim(const SimConfig &cfg, const BenchmarkProfile &profile)
     : cfg_(cfg), profile_(profile), mem_(cfg),
       llc_(cfg.llcBytes, cfg.llcWays, cfg.geom.lineBytes)
 {
-    parityBase_ = LineAddr{cfg_.geom.totalLines()};
     for (u32 c = 0; c < cfg_.cores; ++c) {
         Rng rng(cfg_.seed ^ (0x8CB92BA72F3D8DD7ull * (c + 1)));
         cores_.emplace_back(
@@ -56,6 +77,24 @@ SystemSim::sampleNextMiss(Core &core)
         core.retired + std::max<u64>(1, static_cast<u64>(gap + 0.5));
 }
 
+void
+SystemSim::trackRead(u64 token, u32 core_idx, LineAddr line, bool replay)
+{
+    const u32 slot = MemorySystem::tokenSlot(token);
+    if (slot >= pendingReads_.size())
+        pendingReads_.resize(mem_.tokenSlots());
+    pendingReads_[slot] = {token, core_idx, line, replay};
+}
+
+void
+SystemSim::queueRawWrite(LineAddr phys, u64 cycle)
+{
+    if (mem_.canAcceptWrite(phys))
+        mem_.issueWrite(phys, cycle);
+    else
+        pendingWritebacks_.push_back({phys, true});
+}
+
 bool
 SystemSim::processWriteback(LineAddr line, u64 cycle)
 {
@@ -76,8 +115,13 @@ SystemSim::processWriteback(LineAddr line, u64 cycle)
             // Fig 12 action 4: fetch parity from memory, install in LLC.
             mem_.issueRead(physicalFor(parity), cycle, true);
             const Llc::Victim v = llc_.fill(parity, true, true);
+            // The victim may itself be a dirty parity line; defer it
+            // as a raw physical write so it is never re-processed as
+            // data (no RBW / parity-of-parity traffic).
             if (v.valid && v.dirty)
-                pendingWritebacks_.push_back(v.addr);
+                pendingWritebacks_.push_back(
+                    v.parity ? PendingWb{physicalFor(v.addr), true}
+                             : PendingWb{v.addr, false});
         }
         break;
       }
@@ -85,15 +129,27 @@ SystemSim::processWriteback(LineAddr line, u64 cycle)
       case RasTraffic::ThreeDPUncached: {
         mem_.issueRead(line, cycle, true);
         mem_.issueWrite(line, cycle);
+        // Parity update goes straight to DRAM: read-modify-write of
+        // the parity line. The deferred write must NOT re-enter this
+        // function, which would treat the parity line as data and
+        // generate RBW + parity-of-parity traffic for it.
         const LineAddr parity = parityLineFor(line);
         mem_.issueRead(physicalFor(parity), cycle, true);
-        if (mem_.canAcceptWrite(physicalFor(parity)))
-            mem_.issueWrite(physicalFor(parity), cycle);
-        else
-            pendingWritebacks_.push_back(parity);
+        queueRawWrite(physicalFor(parity), cycle);
         break;
       }
     }
+    return true;
+}
+
+bool
+SystemSim::tryWriteback(const PendingWb &wb, u64 cycle)
+{
+    if (!wb.raw)
+        return processWriteback(wb.line, cycle);
+    if (!mem_.canAcceptWrite(wb.line))
+        return false;
+    mem_.issueWrite(wb.line, cycle);
     return true;
 }
 
@@ -101,10 +157,8 @@ void
 SystemSim::issueMiss(Core &core, u32 core_idx, u64 cycle)
 {
     const LineAddr line = core.stream.nextLine();
-    // Parity lines occupy a reserved tag space; a data line address is
-    // always below parityBase_.
     const u64 token = mem_.issueRead(line, cycle);
-    pendingReads_[token] = {core_idx, line, false};
+    trackRead(token, core_idx, line, false);
     ++core.outstanding;
 
     const bool dirty = core.rng.chance(profile_.writeFrac);
@@ -112,22 +166,18 @@ SystemSim::issueMiss(Core &core, u32 core_idx, u64 cycle)
     if (v.valid && v.dirty) {
         if (v.parity) {
             // Evicted dirty parity line: write it back to the parity
-            // bank (3DP-cached mode only).
-            if (mem_.canAcceptWrite(physicalFor(v.addr)))
-                mem_.issueWrite(physicalFor(v.addr), cycle);
-            else
-                pendingWritebacks_.push_back(v.addr);
+            // bank (3DP-cached mode only). Its parity maintenance is
+            // itself, so it bypasses the RAS writeback path.
+            queueRawWrite(physicalFor(v.addr), cycle);
         } else {
-            pendingWritebacks_.push_back(v.addr);
+            pendingWritebacks_.push_back({v.addr, false});
         }
     }
 }
 
 void
-SystemSim::handleDemandCompletion(u64 token, const PendingRead &pr,
-                                  u64 cycle)
+SystemSim::handleDemandCompletion(const PendingRead &pr, u64 cycle)
 {
-    (void)token;
     Core &core = cores_[pr.core];
     if (core.outstanding == 0)
         panic("system_sim: completion with no outstanding miss");
@@ -156,7 +206,7 @@ SystemSim::handleDemandCompletion(u64 token, const PendingRead &pr,
         last_token = mem_.issueRead(physicalFor(addr), cycle, true);
 
     if (out.kind == DemandOutcome::Kind::Corrected)
-        pendingReads_[last_token] = {pr.core, pr.line, true};
+        trackRead(last_token, pr.core, pr.line, true);
     else
         --core.outstanding;
 }
@@ -187,9 +237,100 @@ SystemSim::coreTick(u32 core_idx, u64 cycle)
     }
 }
 
+void
+SystemSim::stepCycle(u64 cycle)
+{
+    if (ras_)
+        ras_->tick(cycle);
+
+    // Drain pending writebacks into the memory system, oldest first;
+    // a blocked head blocks the queue (ordering is part of the model).
+    while (!pendingWritebacks_.empty()) {
+        if (!tryWriteback(pendingWritebacks_.front(), cycle))
+            break;
+        pendingWritebacks_.pop_front();
+    }
+
+    for (u32 c = 0; c < cfg_.cores; ++c)
+        coreTick(c, cycle);
+
+    mem_.tick(cycle);
+    for (const u64 token : mem_.drainCompletedReads()) {
+        const u32 slot = MemorySystem::tokenSlot(token);
+        if (slot >= pendingReads_.size() ||
+            pendingReads_[slot].token != token)
+            continue; // system read (RBW / parity / correction fetch)
+        const PendingRead pr = pendingReads_[slot];
+        pendingReads_[slot].token = 0;
+        handleDemandCompletion(pr, cycle);
+    }
+}
+
+u64
+SystemSim::nextInterestingCycle(u64 now)
+{
+    u64 next = MemorySystem::kNoEvent;
+
+    for (const Core &core : cores_) {
+        if (core.retired >= cfg_.insnsPerCore)
+            continue;
+        const u64 stop = std::min(core.nextMissAt, cfg_.insnsPerCore);
+        if (core.retired >= stop) {
+            // Parked at a miss point. If it can issue, this very cycle
+            // is interesting; otherwise it wakes on a completion or a
+            // writeback drain, both covered by the memory events below.
+            if (core.outstanding < cfg_.mlp &&
+                pendingWritebacks_.size() <= 2 * cfg_.writeQueueCap)
+                return now;
+            continue;
+        }
+        // Retiring insnsPerMemCycle per cycle, the core reaches its
+        // stop point (miss issue, or budget end flipping all_done)
+        // within this many cycles; the cycle it does so is interesting.
+        const u64 gap = stop - core.retired;
+        const u64 cycles =
+            (gap + cfg_.insnsPerMemCycle - 1) / cfg_.insnsPerMemCycle;
+        next = std::min(next, now + cycles - 1);
+    }
+
+    // A drainable writeback head makes `now` interesting. A blocked
+    // head stays blocked until a write group issues, which is a
+    // memory event (canAcceptWrite depends only on queued write
+    // slices, and those change only inside MemorySystem::tick).
+    if (!pendingWritebacks_.empty() &&
+        mem_.canAcceptWrite(pendingWritebacks_.front().line))
+        return now;
+
+    next = std::min(next, mem_.nextEventCycle(now));
+    if (next <= now)
+        return now;
+    if (ras_)
+        next = std::min(next, ras_->nextEventCycle(now));
+    return next;
+}
+
+void
+SystemSim::advanceIdle(u64 cycles)
+{
+    const u64 insns = cycles * cfg_.insnsPerMemCycle;
+    for (Core &core : cores_) {
+        if (core.retired >= cfg_.insnsPerCore)
+            continue;
+        const u64 stop = std::min(core.nextMissAt, cfg_.insnsPerCore);
+        if (core.retired >= stop)
+            continue; // parked at a miss point: retires nothing
+        // nextInterestingCycle stops strictly before any core reaches
+        // its stop point, so batched retirement cannot overshoot.
+        if (insns >= stop - core.retired)
+            panic("system_sim: idle skip crossed a core stop point");
+        core.retired += insns;
+    }
+}
+
 SimResult
 SystemSim::run()
 {
+    const SimStepping stepping = resolveStepping(cfg_.stepping);
     u64 cycle = 0;
     const u64 total_insns =
         static_cast<u64>(cfg_.cores) * cfg_.insnsPerCore;
@@ -202,42 +343,21 @@ SystemSim::run()
     };
 
     while (!all_done()) {
-        if (ras_)
-            ras_->tick(cycle);
-
-        // Drain pending writebacks into the memory system.
-        while (!pendingWritebacks_.empty()) {
-            const LineAddr line = pendingWritebacks_.front();
-            bool ok;
-            if (line >= parityBase_) {
-                // Deferred parity writes go straight to the parity bank.
-                ok = mem_.canAcceptWrite(physicalFor(line));
-                if (ok)
-                    mem_.issueWrite(physicalFor(line), cycle);
-            } else {
-                ok = processWriteback(line, cycle);
-            }
-            if (!ok)
-                break;
-            pendingWritebacks_.pop_front();
-        }
-
-        for (u32 c = 0; c < cfg_.cores; ++c)
-            coreTick(c, cycle);
-
-        mem_.tick(cycle);
-        for (u64 token : mem_.drainCompletedReads(cycle)) {
-            auto it = pendingReads_.find(token);
-            if (it == pendingReads_.end())
-                continue; // system read (RBW / parity fetch)
-            const PendingRead pr = it->second;
-            pendingReads_.erase(it);
-            handleDemandCompletion(token, pr, cycle);
-        }
+        stepCycle(cycle);
         ++cycle;
 
         if (cycle > (1ull << 40))
             panic("system_sim: runaway simulation");
+
+        if (stepping == SimStepping::Event && !all_done()) {
+            const u64 next = nextInterestingCycle(cycle);
+            if (next == MemorySystem::kNoEvent)
+                panic("system_sim: event loop stalled with live cores");
+            if (next > cycle) {
+                advanceIdle(next - cycle);
+                cycle = next;
+            }
+        }
     }
 
     SimResult res;

@@ -15,13 +15,17 @@
  * every completed demand read is checked against the bit-true fault
  * state; detection/correction costs a read-retry plus the parity-group
  * reads, charged as real memory traffic the demanding core waits on.
+ *
+ * The clock advances either cycle-by-cycle or event-driven (skipping
+ * stretches in which every component is provably idle); the two modes
+ * produce bit-identical results (DESIGN.md section 10) and are
+ * selected by SimConfig::stepping / CITADEL_SIM_STEPPING.
  */
 
 #ifndef CITADEL_SIM_SYSTEM_SIM_H
 #define CITADEL_SIM_SYSTEM_SIM_H
 
 #include <deque>
-#include <unordered_map>
 
 #include "sim/llc.h"
 #include "sim/memory_system.h"
@@ -73,12 +77,24 @@ class SystemSim
         }
     };
 
-    /** A read token some core is waiting on. */
+    /** A read some core is waiting on, slot-addressed by its token.
+     *  `token == 0` marks a free slot (read tokens are never 0). */
     struct PendingRead
     {
+        u64 token = 0;
         u32 core = 0;
         LineAddr line{};     ///< Demanded data line.
         bool replay = false; ///< Correction replay: release, no re-check.
+    };
+
+    /** A deferred writeback. Raw entries carry a physical DRAM line
+     *  that bypasses the RAS traffic path (deferred D1 parity writes:
+     *  their parity maintenance already happened); the rest are data
+     *  lines that run the full processWriteback treatment. */
+    struct PendingWb
+    {
+        LineAddr line{};
+        bool raw = false;
     };
 
     SimConfig cfg_;
@@ -86,10 +102,9 @@ class SystemSim
     MemorySystem mem_;
     Llc llc_;
     std::vector<Core> cores_;
-    std::unordered_map<u64, PendingRead> pendingReads_;
-    /** Data lines awaiting WB issue. */
-    std::deque<LineAddr> pendingWritebacks_;
-    LineAddr parityBase_{};
+    /** Demand reads in flight, indexed by MemorySystem::tokenSlot. */
+    std::vector<PendingRead> pendingReads_;
+    std::deque<PendingWb> pendingWritebacks_;
     RasHook *ras_ = nullptr;
 
     /** Dimension-1 parity line address for a data line (Section VI-C). */
@@ -101,13 +116,38 @@ class SystemSim
     void coreTick(u32 core_idx, u64 cycle);
     void issueMiss(Core &core, u32 core_idx, u64 cycle);
 
+    /** Track a demand read so its completion releases `core_idx`. */
+    void trackRead(u64 token, u32 core_idx, LineAddr line, bool replay);
+
+    /** Write `phys` now if the queue has room, else defer it as a raw
+     *  writeback (no RAS side effects when it drains). */
+    void queueRawWrite(LineAddr phys, u64 cycle);
+
     /** Run the RAS error path for one completed demand read. */
-    void handleDemandCompletion(u64 token, const PendingRead &pr,
-                                u64 cycle);
+    void handleDemandCompletion(const PendingRead &pr, u64 cycle);
 
     /** Handle a dirty-line writeback including RAS side effects.
      *  @return false if the memory could not accept it (retry later). */
     bool processWriteback(LineAddr line, u64 cycle);
+
+    /** Issue one deferred writeback (raw or full-treatment). */
+    bool tryWriteback(const PendingWb &wb, u64 cycle);
+
+    /** One full simulation cycle: RAS tick, writeback drain, core
+     *  ticks, memory tick, completion drain. */
+    void stepCycle(u64 cycle);
+
+    /**
+     * Earliest cycle >= `now` at which stepCycle could do anything
+     * beyond idle instruction retirement: a core reaches a miss point
+     * or its budget end, a parked core can issue again, a deferred
+     * writeback can drain, the memory has an event, or the RAS hook
+     * does. Strictly before it, stepCycle == advanceIdle(1).
+     */
+    u64 nextInterestingCycle(u64 now);
+
+    /** Batch-retire `cycles` worth of provably idle cycles. */
+    void advanceIdle(u64 cycles);
 
     void sampleNextMiss(Core &core);
 };

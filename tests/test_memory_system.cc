@@ -24,7 +24,7 @@ class MemTest : public ::testing::Test
     {
         for (u64 cycle = start; cycle < limit; ++cycle) {
             mem.tick(cycle);
-            for (u64 t : mem.drainCompletedReads(cycle))
+            for (u64 t : mem.drainCompletedReads())
                 if (t == token)
                     return cycle;
         }
@@ -191,7 +191,7 @@ TEST_F(MemTest, IndependentChannelsProceedInParallel)
     for (u64 cycle = 0; cycle < 1000 && done_count < tokens.size();
          ++cycle) {
         mem.tick(cycle);
-        for (u64 t : mem.drainCompletedReads(cycle)) {
+        for (u64 t : mem.drainCompletedReads()) {
             (void)t;
             ++done_count;
             last = cycle;

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Differential tests for the event-driven stepping contract and the
+ * parallel suite runner (DESIGN.md section 10): event stepping must be
+ * bit-identical to the cycle-by-cycle oracle for every striping/RAS
+ * configuration -- including with a live RAS datapath attached -- and
+ * runSuiteParallel must reproduce runSuite exactly for any thread
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "bench_util.h"
+#include "fault_builders.h"
+#include "ras/live_datapath.h"
+#include "sim/system_sim.h"
+
+namespace citadel {
+namespace {
+
+using namespace testing_helpers;
+using bench::identicalResults;
+
+SimResult
+runStepped(const char *bench, StripingMode mode, RasTraffic ras,
+           SimStepping stepping)
+{
+    SimConfig cfg;
+    cfg.striping = mode;
+    cfg.ras = ras;
+    cfg.stepping = stepping;
+    cfg.insnsPerCore = 20'000;
+    cfg.seed = 13;
+    SystemSim sim(cfg, findBenchmark(bench));
+    return sim.run();
+}
+
+TEST(SimStepping, EventMatchesCycleAcrossConfigSweep)
+{
+    for (const char *bench : {"mcf", "povray", "milc"}) {
+        for (StripingMode mode :
+             {StripingMode::SameBank, StripingMode::AcrossBanks,
+              StripingMode::AcrossChannels}) {
+            for (RasTraffic ras :
+                 {RasTraffic::None, RasTraffic::ThreeDPCached,
+                  RasTraffic::ThreeDPUncached}) {
+                const SimResult cyc =
+                    runStepped(bench, mode, ras, SimStepping::Cycle);
+                const SimResult evt =
+                    runStepped(bench, mode, ras, SimStepping::Event);
+                EXPECT_TRUE(identicalResults(cyc, evt))
+                    << bench << " mode=" << static_cast<int>(mode)
+                    << " ras=" << static_cast<int>(ras)
+                    << " cycles " << cyc.cycles << " vs " << evt.cycles;
+                // Event stepping may only ever skip idle cycles, so
+                // reported cycle counts must agree exactly.
+                EXPECT_EQ(cyc.cycles, evt.cycles);
+            }
+        }
+    }
+}
+
+/** tiny geometry + live datapath, one fresh hook per run. */
+SimResult
+runWithRas(SimStepping stepping, RasCounters *counters_out)
+{
+    SimConfig cfg;
+    cfg.geom = StackGeometry::tiny();
+    cfg.llcBytes = 1 << 14;
+    cfg.cores = 2;
+    cfg.insnsPerCore = 30'000;
+    cfg.ras = RasTraffic::ThreeDPCached;
+    cfg.stepping = stepping;
+    cfg.seed = 9;
+
+    LiveRasOptions opts;
+    opts.scrubCycles = 4096; // compressed scrub fires mid-run
+    LiveRasDatapath dp(cfg, opts);
+    dp.scheduleFault(bankFault(0, 0, 0), 500);
+    dp.scheduleFault(rowFault(0, 1, 1, 3), 2500);
+
+    SystemSim sim(cfg, findBenchmark("mcf"));
+    sim.attachRas(&dp);
+    const SimResult res = sim.run();
+    *counters_out = dp.counters();
+    return res;
+}
+
+TEST(SimStepping, EventMatchesCycleWithLiveRasAttached)
+{
+    // The RAS hook's nextEventCycle must keep fault materialization
+    // and scrub timestamps exact, so the whole correction history --
+    // not just the cycle count -- is reproduced under skipping.
+    RasCounters cyc_c, evt_c;
+    const SimResult cyc = runWithRas(SimStepping::Cycle, &cyc_c);
+    const SimResult evt = runWithRas(SimStepping::Event, &evt_c);
+
+    EXPECT_TRUE(identicalResults(cyc, evt))
+        << "cycles " << cyc.cycles << " vs " << evt.cycles;
+    EXPECT_EQ(cyc_c.demandReads, evt_c.demandReads);
+    EXPECT_EQ(cyc_c.ce, evt_c.ce);
+    EXPECT_EQ(cyc_c.due, evt_c.due);
+    EXPECT_EQ(cyc_c.sdc, evt_c.sdc);
+    EXPECT_EQ(cyc_c.retries, evt_c.retries);
+    EXPECT_EQ(cyc_c.faultsInjected, evt_c.faultsInjected);
+    EXPECT_EQ(cyc_c.parityGroupReads, evt_c.parityGroupReads);
+    EXPECT_GT(cyc_c.ce, 0u); // the sweep actually exercised correction
+}
+
+TEST(SimStepping, ParallelSuiteMatchesSerialForAnyThreadCount)
+{
+    SimConfig base;
+    base.llcBytes = 1 << 16; // small LLC: fast warmup, real writebacks
+    base.insnsPerCore = 3'000;
+
+    const auto serial =
+        bench::runSuite(StripingMode::AcrossBanks,
+                        RasTraffic::ThreeDPCached, base.insnsPerCore,
+                        /*verbose=*/false, base);
+    ASSERT_FALSE(serial.empty());
+
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned threads : {1u, 2u, hw}) {
+        const auto parallel = bench::runSuiteParallel(
+            StripingMode::AcrossBanks, RasTraffic::ThreeDPCached,
+            base.insnsPerCore, threads, base);
+        ASSERT_EQ(parallel.size(), serial.size()) << threads;
+        for (const auto &[name, r] : serial) {
+            ASSERT_TRUE(parallel.count(name)) << name;
+            EXPECT_TRUE(identicalResults(r, parallel.at(name)))
+                << name << " with " << threads << " threads";
+        }
+    }
+}
+
+} // namespace
+} // namespace citadel

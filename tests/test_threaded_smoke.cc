@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "citadel/citadel.h"
 #include "citadel/parity_engine.h"
 #include "common/thread_pool.h"
@@ -118,6 +119,27 @@ TEST(ThreadedSmoke, ThreadPoolHandoffIsRaceFree)
         });
     }
     EXPECT_EQ(sum.load(), 8ull * (999ull * 1000ull / 2));
+}
+
+TEST(ThreadedSmoke, ParallelSuiteRunnerIsRaceFreeAndDeterministic)
+{
+    // The timing-bench fan-out: concurrent SystemSim runs over the
+    // shared const benchmark table, each writing only its own result
+    // slot. Under TSan this proves the runs share no mutable state;
+    // in a plain build it is a fast determinism check.
+    SimConfig base;
+    base.llcBytes = 1 << 16;
+    base.insnsPerCore = 3'000;
+    const auto serial =
+        bench::runSuite(StripingMode::SameBank, RasTraffic::None,
+                        base.insnsPerCore, /*verbose=*/false, base);
+    const auto parallel =
+        bench::runSuiteParallel(StripingMode::SameBank, RasTraffic::None,
+                                base.insnsPerCore, 4, base);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const auto &[name, r] : serial)
+        EXPECT_TRUE(bench::identicalResults(r, parallel.at(name)))
+            << name;
 }
 
 TEST(ThreadedSmoke, ParallelMonteCarloMatchesSerial)
