@@ -16,6 +16,12 @@ RowRemapTable::RowRemapTable(u32 num_banks, u32 entries_per_bank)
 bool
 RowRemapTable::insert(UnitId unit, RowId source_row, RowId spare_row)
 {
+    return insertSlot(unit, source_row, spare_row).has_value();
+}
+
+std::optional<MetaSlotId>
+RowRemapTable::insertSlot(UnitId unit, RowId source_row, RowId spare_row)
+{
     if (unit.value() >= numBanks_)
         panic("RRT: unit %u out of range", unit.value());
     Entry *base = &entries_[static_cast<std::size_t>(unit.value()) *
@@ -23,16 +29,42 @@ RowRemapTable::insert(UnitId unit, RowId source_row, RowId spare_row)
     for (u32 e = 0; e < entriesPerBank_; ++e) {
         if (base[e].valid && base[e].sourceRow == source_row.value()) {
             base[e].spareRow = spare_row.value(); // refresh mapping
-            return true;
+            return MetaSlotId{e};
         }
     }
     for (u32 e = 0; e < entriesPerBank_; ++e) {
-        if (!base[e].valid) {
-            base[e] = {true, source_row.value(), spare_row.value()};
-            return true;
+        if (!base[e].valid && !base[e].dead) {
+            base[e] = {true, false, source_row.value(), spare_row.value()};
+            return MetaSlotId{e};
         }
     }
-    return false;
+    return std::nullopt;
+}
+
+RowRemapTable::Entry &
+RowRemapTable::slotAt(UnitId unit, MetaSlotId slot)
+{
+    if (unit.value() >= numBanks_ || slot.value() >= entriesPerBank_)
+        panic("RRT: slot (%u, %u) out of range", unit.value(),
+              slot.value());
+    return entries_[static_cast<std::size_t>(unit.value()) *
+                        entriesPerBank_ +
+                    slot.value()];
+}
+
+void
+RowRemapTable::eraseSlot(UnitId unit, MetaSlotId slot)
+{
+    Entry &e = slotAt(unit, slot);
+    e.valid = false;
+}
+
+void
+RowRemapTable::killSlot(UnitId unit, MetaSlotId slot)
+{
+    Entry &e = slotAt(unit, slot);
+    e.valid = false;
+    e.dead = true;
 }
 
 std::optional<RowId>
@@ -71,7 +103,37 @@ void
 RowRemapTable::clear()
 {
     for (auto &e : entries_)
-        e.valid = false;
+        e = Entry{};
+}
+
+void
+RowRemapTable::serialize(ByteSink &sink) const
+{
+    sink.putU32(numBanks_);
+    sink.putU32(entriesPerBank_);
+    for (const auto &e : entries_) {
+        sink.putBool(e.valid);
+        sink.putBool(e.dead);
+        sink.putU32(e.sourceRow);
+        sink.putU32(e.spareRow);
+    }
+}
+
+void
+RowRemapTable::deserialize(ByteSource &src)
+{
+    const u32 banks = src.getU32();
+    const u32 per = src.getU32();
+    if (banks != numBanks_ || per != entriesPerBank_)
+        fatal("RRT checkpoint shape (%u x %u) does not match the "
+              "configured table (%u x %u)",
+              banks, per, numBanks_, entriesPerBank_);
+    for (auto &e : entries_) {
+        e.valid = src.getBool();
+        e.dead = src.getBool();
+        e.sourceRow = src.getU32();
+        e.spareRow = src.getU32();
+    }
 }
 
 BankRemapTable::BankRemapTable(u32 num_entries)
@@ -84,16 +146,51 @@ BankRemapTable::BankRemapTable(u32 num_entries)
 bool
 BankRemapTable::insert(UnitId failed_unit, u32 spare_id)
 {
-    for (auto &e : entries_)
-        if (e.valid && e.failedBank == failed_unit.value())
-            return true; // already decommissioned
-    for (auto &e : entries_) {
-        if (!e.valid) {
-            e = {true, failed_unit.value(), spare_id};
-            return true;
+    return insertSlot(failed_unit, spare_id).has_value();
+}
+
+std::optional<MetaSlotId>
+BankRemapTable::insertSlot(UnitId failed_unit, u32 spare_id)
+{
+    for (u32 i = 0; i < entries_.size(); ++i)
+        if (entries_[i].valid &&
+            entries_[i].failedBank == failed_unit.value())
+            return MetaSlotId{i}; // already decommissioned
+    for (u32 i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
+        if (!e.valid && !e.dead) {
+            e = {true, false, failed_unit.value(), spare_id};
+            return MetaSlotId{i};
         }
     }
-    return false;
+    return std::nullopt;
+}
+
+void
+BankRemapTable::eraseSlot(MetaSlotId slot)
+{
+    if (slot.value() >= entries_.size())
+        panic("BRT: slot %u out of range", slot.value());
+    entries_[slot.idx()].valid = false;
+}
+
+void
+BankRemapTable::killSlot(MetaSlotId slot)
+{
+    if (slot.value() >= entries_.size())
+        panic("BRT: slot %u out of range", slot.value());
+    entries_[slot.idx()].valid = false;
+    entries_[slot.idx()].dead = true;
+}
+
+std::optional<MetaSlotId>
+BankRemapTable::slotOf(UnitId unit) const
+{
+    for (u32 i = 0; i < entries_.size(); ++i)
+        if (entries_[i].valid &&
+            entries_[i].failedBank == unit.value())
+            return MetaSlotId{i};
+    return std::nullopt;
 }
 
 std::optional<u32>
@@ -124,7 +221,35 @@ void
 BankRemapTable::clear()
 {
     for (auto &e : entries_)
-        e.valid = false;
+        e = Entry{};
+}
+
+void
+BankRemapTable::serialize(ByteSink &sink) const
+{
+    sink.putU32(static_cast<u32>(entries_.size()));
+    for (const auto &e : entries_) {
+        sink.putBool(e.valid);
+        sink.putBool(e.dead);
+        sink.putU32(e.failedBank);
+        sink.putU32(e.spareId);
+    }
+}
+
+void
+BankRemapTable::deserialize(ByteSource &src)
+{
+    const u32 n = src.getU32();
+    if (n != entries_.size())
+        fatal("BRT checkpoint has %u entries; the configured table has "
+              "%zu",
+              n, entries_.size());
+    for (auto &e : entries_) {
+        e.valid = src.getBool();
+        e.dead = src.getBool();
+        e.failedBank = src.getU32();
+        e.spareId = src.getU32();
+    }
 }
 
 } // namespace citadel

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/serialize.h"
 #include "stack/geometry.h"
 
 namespace citadel {
@@ -41,6 +42,22 @@ class RowRemapTable
      */
     bool insert(UnitId unit, RowId source_row, RowId spare_row);
 
+    /**
+     * insert() that also reports *which* slot holds the mapping, so the
+     * caller (ProtectedMetaStore) can shadow the entry word. nullopt on
+     * exhaustion, exactly when insert() returns false.
+     */
+    std::optional<MetaSlotId> insertSlot(UnitId unit, RowId source_row,
+                                         RowId spare_row);
+
+    /** Drop the mapping in one slot (its protected record was lost);
+     *  the slot becomes reusable. No-op on an invalid slot. */
+    void eraseSlot(UnitId unit, MetaSlotId slot);
+
+    /** Permanently retire one slot (dead SRAM cell): drops any mapping
+     *  and excludes the slot from future insert() allocation. */
+    void killSlot(UnitId unit, MetaSlotId slot);
+
     /** Redirection lookup; nullopt when the row is not remapped. */
     std::optional<RowId> lookup(UnitId unit, RowId row) const;
 
@@ -52,13 +69,23 @@ class RowRemapTable
 
     void clear();
 
+    /** Checkpoint the full table (dimensions + every entry). */
+    void serialize(ByteSink &sink) const;
+
+    /** Restore from a checkpoint; fatal if the stored dimensions do
+     *  not match this table's configuration. */
+    void deserialize(ByteSource &src);
+
   private:
     struct Entry
     {
         bool valid = false;
+        bool dead = false; ///< Slot retired by the meta-protection scrub.
         u32 sourceRow = 0;
         u32 spareRow = 0;
     };
+
+    Entry &slotAt(UnitId unit, MetaSlotId slot);
 
     u32 entriesPerBank_;
     std::vector<Entry> entries_; ///< num_banks x entriesPerBank_.
@@ -81,17 +108,34 @@ class BankRemapTable
      */
     bool insert(UnitId failed_unit, u32 spare_id);
 
+    /** insert() that reports the slot holding the mapping; nullopt on
+     *  exhaustion, exactly when insert() returns false. */
+    std::optional<MetaSlotId> insertSlot(UnitId failed_unit, u32 spare_id);
+
+    /** Drop the mapping in one slot; the slot becomes reusable. */
+    void eraseSlot(MetaSlotId slot);
+
+    /** Permanently retire one slot (dead SRAM cell). */
+    void killSlot(MetaSlotId slot);
+
     /** Spare-bank id when the unit is remapped; nullopt otherwise. */
     std::optional<u32> lookup(UnitId unit) const;
+
+    /** Slot holding the unit's mapping; nullopt when not remapped. */
+    std::optional<MetaSlotId> slotOf(UnitId unit) const;
 
     u32 used() const;
     u64 storageBits() const;
     void clear();
 
+    void serialize(ByteSink &sink) const;
+    void deserialize(ByteSource &src);
+
   private:
     struct Entry
     {
         bool valid = false;
+        bool dead = false; ///< Slot retired by the meta-protection scrub.
         u32 failedBank = 0;
         u32 spareId = 0;
     };

@@ -47,6 +47,43 @@ envDouble(const char *name, double fallback)
 }
 
 u64
+envU64InRange(const char *name, u64 fallback, u64 lo, u64 hi)
+{
+    if (fallback < lo || fallback > hi)
+        fatal("env: %s fallback %llu outside its own legal range "
+              "[%llu, %llu]",
+              name, static_cast<unsigned long long>(fallback),
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi));
+    const u64 v = envU64(name, fallback);
+    if (v < lo || v > hi) {
+        warn("env: %s=%llu outside [%llu, %llu]; using %llu", name,
+             static_cast<unsigned long long>(v),
+             static_cast<unsigned long long>(lo),
+             static_cast<unsigned long long>(hi),
+             static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
+}
+
+double
+envDoubleInRange(const char *name, double fallback, double lo, double hi)
+{
+    if (!(fallback >= lo && fallback <= hi))
+        fatal("env: %s fallback %g outside its own legal range [%g, %g]",
+              name, fallback, lo, hi);
+    const double v = envDouble(name, fallback);
+    // Negated comparison also rejects NaN.
+    if (!(v >= lo && v <= hi)) {
+        warn("env: %s=%g outside [%g, %g]; using %g", name, v, lo, hi,
+             fallback);
+        return fallback;
+    }
+    return v;
+}
+
+u64
 benchTrials(u64 fallback)
 {
     return envU64("CITADEL_TRIALS", fallback);

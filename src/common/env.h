@@ -24,6 +24,22 @@ std::string envString(const char *name, const char *fallback);
 double envDouble(const char *name, double fallback);
 
 /**
+ * Range-validated unsigned env var: malformed text OR a value outside
+ * [lo, hi] rejects the input with a warning and returns the fallback.
+ * Every new knob (soak durations, checkpoint intervals, retry/backoff
+ * caps) must state its legal range here rather than letting a typo'd
+ * "1e9" scrub interval or a 0 backoff silently wedge a campaign.
+ * The fallback itself must lie in [lo, hi]; violating that is fatal
+ * (it is a programming error, not user input).
+ */
+u64 envU64InRange(const char *name, u64 fallback, u64 lo, u64 hi);
+
+/** Range-validated double env var; same rejection rules, and
+ *  non-finite values (nan/inf) are always rejected. */
+double envDoubleInRange(const char *name, double fallback, double lo,
+                        double hi);
+
+/**
  * Monte Carlo trial count for bench binaries: CITADEL_TRIALS if set,
  * otherwise the supplied default.
  */

@@ -147,4 +147,17 @@ Rng::split()
     return Rng(next() ^ 0xD2B74407B1CE6E93ull);
 }
 
+std::array<u64, 4>
+Rng::saveState() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::restoreState(const std::array<u64, 4> &state)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        s_[i] = state[i];
+}
+
 } // namespace citadel

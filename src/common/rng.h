@@ -13,6 +13,7 @@
 #ifndef CITADEL_COMMON_RNG_H
 #define CITADEL_COMMON_RNG_H
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -68,6 +69,16 @@ class Rng
 
     /** Split off an independently seeded child stream. */
     Rng split();
+
+    /**
+     * The full 256-bit generator state, for checkpointing: a stream
+     * restored via restoreState() continues bit-identically from the
+     * saved point.
+     */
+    std::array<u64, 4> saveState() const;
+
+    /** Resume from a saveState() snapshot. */
+    void restoreState(const std::array<u64, 4> &state);
 
   private:
     u64 s_[4];

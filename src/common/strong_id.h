@@ -109,6 +109,9 @@ struct UnitTag;        ///< Flattened (die, bank) unit within a stack.
 struct LineTag;        ///< System-wide linear cache-line address.
 struct ParityGroupTag; ///< Dimension-1 parity group / parity-store line.
 struct TsvLaneTag;     ///< Physical TSV lane within a channel bundle.
+struct MetaSlotTag;    ///< Entry/register slot within a control-plane
+                       ///< structure (RRT/BRT entry, TSV redirection
+                       ///< register, parity-cache way).
 
 using StackId = StrongId<StackTag, u32>;
 using ChannelId = StrongId<ChannelTag, u32>;
@@ -120,6 +123,7 @@ using UnitId = StrongId<UnitTag, u32>;
 using LineAddr = StrongId<LineTag, u64>;
 using ParityGroupId = StrongId<ParityGroupTag, u64>;
 using TsvLane = StrongId<TsvLaneTag, u32>;
+using MetaSlotId = StrongId<MetaSlotTag, u32>;
 
 /**
  * The HBM identity (geometry.h): each channel is fully contained in

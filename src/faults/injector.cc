@@ -25,6 +25,14 @@ SystemConfig::validate() const
         fatal("config: subArrayRows (%u) must be a power of two <= "
               "rowsPerBank (%u)",
               subArrayRows, geom.rowsPerBank);
+    if (metaFit < 0.0)
+        fatal("config: metaFit must be >= 0 (got %g)", metaFit);
+    if (metaTransientFraction < 0.0 || metaTransientFraction > 1.0)
+        fatal("config: metaTransientFraction must be in [0, 1] (got %g)",
+              metaTransientFraction);
+    if (metaCommonModeFraction < 0.0 || metaCommonModeFraction > 1.0)
+        fatal("config: metaCommonModeFraction must be in [0, 1] (got %g)",
+              metaCommonModeFraction);
     const FitPair *pairs[] = {&rates.bit, &rates.word, &rates.column,
                               &rates.row, &rates.bank};
     for (const FitPair *p : pairs)
@@ -166,6 +174,80 @@ FaultInjector::makeFault(Rng &rng, FaultClass cls, StackId stack,
       default:
         panic("makeFault: class %s is TSV-only", faultClassName(cls));
     }
+    return f;
+}
+
+std::vector<MetaFault>
+FaultInjector::sampleMetaLifetime(Rng &rng, const MetaGeometry &mg) const
+{
+    std::vector<MetaFault> out;
+    if (cfg_.metaFit <= 0.0)
+        return out;
+    const double lambda = fitToPerHour(cfg_.metaFit) * cfg_.lifetimeHours;
+    for (u32 s = 0; s < cfg_.geom.stacks; ++s) {
+        const u64 n = rng.poisson(lambda);
+        for (u64 i = 0; i < n; ++i) {
+            const double t = rng.uniform(0.0, cfg_.lifetimeHours);
+            const bool transient = rng.chance(cfg_.metaTransientFraction);
+            out.push_back(makeMetaFault(rng, StackId{s}, mg, transient, t));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetaFault &a, const MetaFault &b) {
+                  return a.timeHours < b.timeHours;
+              });
+    return out;
+}
+
+MetaFault
+FaultInjector::makeMetaFault(Rng &rng, StackId stack, const MetaGeometry &mg,
+                             bool transient, double time_hours) const
+{
+    const StackGeometry &g = cfg_.geom;
+    MetaFault f;
+    f.stack = stack;
+    f.transient = transient;
+    f.timeHours = time_hours;
+
+    // Mostly single-bit strikes; a tail of adjacent double-bit upsets,
+    // which is what SECDED-vs-mirror layering is sized against.
+    auto flip = [&]() -> u64 {
+        const u32 b = static_cast<u32>(rng.below(64));
+        u64 m = u64{1} << b;
+        if (rng.chance(0.25))
+            m |= u64{1} << ((b + 1) % 64);
+        return m;
+    };
+
+    switch (static_cast<u32>(rng.below(4))) {
+      case 0: {
+        f.target = MetaTarget::RrtEntry;
+        const u32 units = cfg_.diesPerStack() * g.banksPerChannel;
+        const u32 u = static_cast<u32>(rng.below(units));
+        f.unit = UnitId{u};
+        f.channel = ChannelId{u / g.banksPerChannel};
+        f.slot = MetaSlotId{static_cast<u32>(rng.below(mg.rrtSlotsPerUnit))};
+        break;
+      }
+      case 1:
+        f.target = MetaTarget::BrtEntry;
+        f.slot = MetaSlotId{static_cast<u32>(rng.below(mg.brtSlots))};
+        break;
+      case 2:
+        f.target = MetaTarget::TsvRegister;
+        f.channel = ChannelId{
+            static_cast<u32>(rng.below(g.channelsPerStack))};
+        f.slot = MetaSlotId{0};
+        break;
+      default:
+        f.target = MetaTarget::ParityCacheLine;
+        f.slot = MetaSlotId{static_cast<u32>(rng.below(mg.parityCacheWays))};
+        break;
+    }
+
+    f.flipMask = flip();
+    if (rng.chance(cfg_.metaCommonModeFraction))
+        f.mirrorFlipMask = flip();
     return f;
 }
 

@@ -13,9 +13,24 @@
 #include "common/rng.h"
 #include "faults/fault.h"
 #include "faults/fit_rates.h"
+#include "faults/meta_fault.h"
 #include "stack/tsv.h"
 
 namespace citadel {
+
+/**
+ * Sizes of the control-plane structures a MetaFault can land in, as
+ * configured by whoever owns those structures (the RAS datapath). The
+ * injector only needs the slot counts to draw uniform targets; the
+ * defaults match the paper's DDS provisioning (4 spare rows per bank,
+ * 2 spare banks per stack) and an 8-way parity cache.
+ */
+struct MetaGeometry
+{
+    u32 rrtSlotsPerUnit = 4;  ///< RRT entries per (die, bank) unit.
+    u32 brtSlots = 2;         ///< BRT entries per stack.
+    u32 parityCacheWays = 8;  ///< Cached D1 parity lines per stack.
+};
 
 /**
  * Full reliability-experiment configuration: geometry, per-die FIT
@@ -46,6 +61,22 @@ struct SystemConfig
 
     /** Rows per sub-array (power of two; the paper observes ~5.2K). */
     u32 subArrayRows = 4096;
+
+    /**
+     * Control-plane (RAS metadata SRAM) upsets per 10^9 hours, per
+     * stack, across all protected structures. 0 disables control-plane
+     * faults, which preserves the pre-existing perfect-metadata model.
+     */
+    double metaFit = 0.0;
+
+    /** Fraction of control-plane upsets that are transient SRAM
+     *  strikes (clear on the scrub's read-retry). */
+    double metaTransientFraction = 0.7;
+
+    /** Fraction of control-plane upsets that hit the primary *and* the
+     *  mirror copy (common-mode: shared well / power event). These are
+     *  the ones mirroring alone cannot undo. */
+    double metaCommonModeFraction = 0.1;
 
     /** Dies per stack including the ECC/metadata die. */
     u32 diesPerStack() const { return geom.channelsPerStack + 1; }
@@ -92,6 +123,20 @@ class FaultInjector
 
     /** Materialize a random TSV fault in a given stack. */
     Fault makeTsvFault(Rng &rng, StackId stack, double time_hours) const;
+
+    /**
+     * Sample every *control-plane* upset arriving within one lifetime,
+     * sorted by arrival time. Drawn independently of the data-plane
+     * faults (separate Poisson process at cfg.metaFit per stack), with
+     * targets uniform over the slots described by `mg`. Empty when
+     * cfg.metaFit == 0.
+     */
+    std::vector<MetaFault> sampleMetaLifetime(Rng &rng,
+                                              const MetaGeometry &mg) const;
+
+    /** Materialize a random control-plane upset in a given stack. */
+    MetaFault makeMetaFault(Rng &rng, StackId stack, const MetaGeometry &mg,
+                            bool transient, double time_hours) const;
 
     const SystemConfig &config() const { return cfg_; }
 

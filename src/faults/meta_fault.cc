@@ -1,0 +1,43 @@
+#include "faults/meta_fault.h"
+
+#include <sstream>
+
+namespace citadel {
+
+const char *
+metaTargetName(MetaTarget target)
+{
+    switch (target) {
+      case MetaTarget::RrtEntry: return "rrt-entry";
+      case MetaTarget::BrtEntry: return "brt-entry";
+      case MetaTarget::TsvRegister: return "tsv-register";
+      case MetaTarget::ParityCacheLine: return "parity-cache-line";
+    }
+    return "?";
+}
+
+std::string
+MetaFault::describe() const
+{
+    std::ostringstream os;
+    os << (transient ? "transient" : "permanent") << " "
+       << metaTargetName(target) << " stack=" << stack;
+    switch (target) {
+      case MetaTarget::RrtEntry:
+        os << " unit=" << unit << " slot=" << slot;
+        break;
+      case MetaTarget::BrtEntry:
+      case MetaTarget::ParityCacheLine:
+        os << " slot=" << slot;
+        break;
+      case MetaTarget::TsvRegister:
+        os << " channel=" << channel;
+        break;
+    }
+    os << std::hex << " flip=0x" << flipMask;
+    if (mirrorFlipMask != 0)
+        os << " mirrorFlip=0x" << mirrorFlipMask;
+    return os.str();
+}
+
+} // namespace citadel

@@ -1,0 +1,106 @@
+#include "ras/degradation.h"
+
+#include "common/log.h"
+
+namespace citadel {
+
+DegradationLadder::DegradationLadder(const StackGeometry &geom,
+                                     const DegradationOptions &opts)
+    : opts_(opts), geom_(geom), map_(geom)
+{
+    if (opts_.strikesPerBank == 0)
+        fatal("DegradationLadder: strikesPerBank must be >= 1");
+    if (opts_.pagesPerBankCap == 0)
+        fatal("DegradationLadder: pagesPerBankCap must be >= 1");
+    if (opts_.retiredBanksPerChannelCap == 0)
+        fatal("DegradationLadder: retiredBanksPerChannelCap must be >= 1");
+}
+
+u64
+DegradationLadder::bankKey(StackId s, ChannelId c, BankId b) const
+{
+    return (static_cast<u64>(s.value()) << 16) |
+           (static_cast<u64>(c.value()) << 8) | b.value();
+}
+
+DegradationLadder::Action
+DegradationLadder::retireBank(StackId stack, ChannelId channel,
+                              BankId bank)
+{
+    Action act;
+    if (map_.retireBank(stack, channel, bank))
+        act.bankRetired = true;
+    if (map_.retiredBanksIn(stack, channel) >=
+            opts_.retiredBanksPerChannelCap &&
+        map_.degradeChannel(stack, channel))
+        act.channelDegraded = true;
+    return act;
+}
+
+DegradationLadder::Action
+DegradationLadder::onDue(const LineCoord &c)
+{
+    Action act;
+    if (!opts_.offlinePagesOnDue)
+        return act;
+    if (map_.offlineRow(c.stack, c.channel, c.bank, c.row))
+        act.rowOfflined = true;
+    if (map_.offlinedRowsIn(c.stack, c.channel, c.bank) >=
+        opts_.pagesPerBankCap) {
+        const Action up = retireBank(c.stack, c.channel, c.bank);
+        act.bankRetired = up.bankRetired;
+        act.channelDegraded = up.channelDegraded;
+    }
+    return act;
+}
+
+DegradationLadder::Action
+DegradationLadder::onSparingDenied(StackId stack, ChannelId channel,
+                                   BankId bank)
+{
+    return retireBank(stack, channel, bank);
+}
+
+DegradationLadder::Action
+DegradationLadder::onRefault(StackId stack, ChannelId channel, BankId bank)
+{
+    Action act;
+    const u32 n = ++strikes_[bankKey(stack, channel, bank)];
+    if (n >= opts_.strikesPerBank)
+        act = retireBank(stack, channel, bank);
+    return act;
+}
+
+DegradationLadder::Action
+DegradationLadder::degradeChannel(StackId stack, ChannelId channel)
+{
+    Action act;
+    if (map_.degradeChannel(stack, channel))
+        act.channelDegraded = true;
+    return act;
+}
+
+void
+DegradationLadder::serialize(ByteSink &sink) const
+{
+    map_.serialize(sink);
+    sink.putU64(strikes_.size());
+    for (const auto &[key, n] : strikes_) {
+        sink.putU64(key);
+        sink.putU32(n);
+    }
+}
+
+void
+DegradationLadder::deserialize(ByteSource &src)
+{
+    map_.deserialize(src);
+    strikes_.clear();
+    const u64 n = src.getCount(12);
+    for (u64 i = 0; i < n; ++i) {
+        const u64 key = src.getU64();
+        strikes_[key] = src.getU32();
+    }
+}
+
+} // namespace citadel

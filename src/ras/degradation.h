@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Degradation ladder: what Citadel does when repair stops working.
+ *
+ * The paper's pipeline ends at DDS sparing; a real deployment cannot
+ * -- spare budgets exhaust, regions re-fault, and the machine must
+ * keep running. The ladder turns repair failures into *capacity*
+ * loss, escalating one rung at a time:
+ *
+ *   page offline   a DUE'd row is retired (the OS-page-offline
+ *                  analogue); reads steer to a healthy stand-in;
+ *   bank retire    triggered by SparingDenied on a bank-contained
+ *                  fault, by a bank re-faulting `strikesPerBank`
+ *                  times, or by `pagesPerBankCap` offlined rows
+ *                  accumulating in one bank;
+ *   channel degrade `retiredBanksPerChannelCap` retired banks in one
+ *                  channel give the whole channel up.
+ *
+ * Retired regions live in a sim-side RetirementMap that MemorySystem
+ * consults on every enqueue, so the timing simulator keeps running at
+ * reduced capacity. The datapath drops faults wholly contained in a
+ * retired region from the active set -- of BOTH the bit-true and the
+ * analytic model -- so the no-overclaim differential invariant is
+ * preserved across every rung.
+ */
+
+#ifndef CITADEL_RAS_DEGRADATION_H
+#define CITADEL_RAS_DEGRADATION_H
+
+#include <map>
+
+#include "sim/retirement.h"
+
+namespace citadel {
+
+/** Ladder thresholds. */
+struct DegradationOptions
+{
+    /** Offline the faulting row (page) on every DUE. */
+    bool offlinePagesOnDue = true;
+
+    /** Permanent single-bank fault arrivals before the bank is
+     *  proactively retired (the "re-faulting region" trigger). */
+    u32 strikesPerBank = 3;
+
+    /** Offlined rows tolerated per bank before the whole bank is
+     *  retired. */
+    u32 pagesPerBankCap = 16;
+
+    /** Retired banks tolerated per channel before the channel is
+     *  degraded. */
+    u32 retiredBanksPerChannelCap = 2;
+};
+
+/** Escalation state machine over a RetirementMap. */
+class DegradationLadder
+{
+  public:
+    /** Which rungs one event climbed (all false: no action). */
+    struct Action
+    {
+        bool rowOfflined = false;
+        bool bankRetired = false;
+        bool channelDegraded = false;
+
+        bool any() const
+        {
+            return rowOfflined || bankRetired || channelDegraded;
+        }
+    };
+
+    DegradationLadder(const StackGeometry &geom,
+                      const DegradationOptions &opts);
+
+    /** A DUE was reported at `c`: offline its page, possibly escalate
+     *  (no-op when offlinePagesOnDue is false). */
+    Action onDue(const LineCoord &c);
+
+    /** DDS refused to spare a fault contained in this bank. */
+    Action onSparingDenied(StackId stack, ChannelId channel, BankId bank);
+
+    /** A permanent fault (re-)arrived in this bank; counts a strike. */
+    Action onRefault(StackId stack, ChannelId channel, BankId bank);
+
+    /** Degrade a channel directly (channel-granularity fault with no
+     *  spare path left). */
+    Action degradeChannel(StackId stack, ChannelId channel);
+
+    RetirementMap &map() { return map_; }
+    const RetirementMap &map() const { return map_; }
+
+    const DegradationOptions &options() const { return opts_; }
+
+    void serialize(ByteSink &sink) const;
+    void deserialize(ByteSource &src);
+
+  private:
+    DegradationOptions opts_;
+    StackGeometry geom_;
+    RetirementMap map_;
+    std::map<u64, u32> strikes_; ///< bank key -> permanent arrivals.
+
+    /** Retire a bank and climb to channel degrade if over cap. */
+    Action retireBank(StackId stack, ChannelId channel, BankId bank);
+
+    u64 bankKey(StackId s, ChannelId c, BankId b) const;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_RAS_DEGRADATION_H

@@ -7,11 +7,209 @@
 
 namespace citadel {
 
+namespace {
+
+/** Canonical payload words of the protected records. */
+u64
+packRrtPayload(RowId src, RowId spare)
+{
+    return (u64{1} << 63) | (static_cast<u64>(src.value()) << 32) |
+           spare.value();
+}
+
+u64
+packBrtPayload(UnitId unit, u32 spare_id)
+{
+    return (u64{1} << 63) | (static_cast<u64>(unit.value()) << 32) |
+           spare_id;
+}
+
+/** Parity-cache ways carry a deterministic tag: the backing parity
+ *  die always holds the clean copy, so the payload only needs to be
+ *  reproducible for refetch. */
+u64
+packParityWayPayload(StackId stack, MetaSlotId way)
+{
+    return (static_cast<u64>(stack.value()) << 32) | way.value();
+}
+
+ProtectedMetaStore::RecordKey
+rrtRecordKey(StackId stack, UnitId unit, MetaSlotId slot)
+{
+    return {MetaTarget::RrtEntry, stack, unit, slot};
+}
+
+ProtectedMetaStore::RecordKey
+brtRecordKey(StackId stack, MetaSlotId slot)
+{
+    return {MetaTarget::BrtEntry, stack, UnitId{0}, slot};
+}
+
+ProtectedMetaStore::RecordKey
+tsvRecordKey(StackId stack, ChannelId channel)
+{
+    return {MetaTarget::TsvRegister, stack, UnitId{channel.value()},
+            MetaSlotId{0}};
+}
+
+ProtectedMetaStore::RecordKey
+parityCacheRecordKey(StackId stack, MetaSlotId way)
+{
+    return {MetaTarget::ParityCacheLine, stack, UnitId{0}, way};
+}
+
+/** Keys of the spared-fault tracking maps. */
+u64
+rrtSparedKey(u32 stack, UnitId unit, MetaSlotId slot)
+{
+    return (static_cast<u64>(stack) << 40) |
+           (static_cast<u64>(unit.value()) << 8) | slot.value();
+}
+
+u64
+brtSparedKey(u32 stack, MetaSlotId slot)
+{
+    return (static_cast<u64>(stack) << 8) | slot.value();
+}
+
+void
+putDim(ByteSink &sink, const DimSpec &d)
+{
+    sink.putU32(d.value);
+    sink.putU32(d.mask);
+}
+
+DimSpec
+getDim(ByteSource &src)
+{
+    DimSpec d;
+    d.value = src.getU32();
+    d.mask = src.getU32();
+    return d;
+}
+
+void
+putFault(ByteSink &sink, const Fault &f)
+{
+    putDim(sink, f.stack);
+    putDim(sink, f.channel);
+    putDim(sink, f.bank);
+    putDim(sink, f.row);
+    putDim(sink, f.col);
+    putDim(sink, f.bit);
+    sink.putU8(static_cast<u8>(f.cls));
+    sink.putBool(f.transient);
+    sink.putBool(f.fromTsv);
+    sink.putDouble(f.timeHours);
+    sink.putU32(f.tsvIndex.value());
+}
+
+Fault
+getFault(ByteSource &src)
+{
+    Fault f;
+    f.stack = getDim(src);
+    f.channel = getDim(src);
+    f.bank = getDim(src);
+    f.row = getDim(src);
+    f.col = getDim(src);
+    f.bit = getDim(src);
+    f.cls = static_cast<FaultClass>(src.getU8());
+    f.transient = src.getBool();
+    f.fromTsv = src.getBool();
+    f.timeHours = src.getDouble();
+    f.tsvIndex = TsvLane{src.getU32()};
+    return f;
+}
+
+/** Serialized Fault size: 6 dims x 8 + 1 + 1 + 1 + 8 + 4. */
+constexpr std::size_t kFaultBytes = 6 * 8 + 3 + 8 + 4;
+
+/** Serialized MetaFault size: 1 + 4 x 4 + 8 + 8 + 1 + 8. */
+constexpr std::size_t kMetaFaultBytes = 1 + 4 * 4 + 8 + 8 + 1 + 8;
+
+void
+putMetaFault(ByteSink &sink, const MetaFault &f)
+{
+    sink.putU8(static_cast<u8>(f.target));
+    sink.putU32(f.stack.value());
+    sink.putU32(f.channel.value());
+    sink.putU32(f.unit.value());
+    sink.putU32(f.slot.value());
+    sink.putU64(f.flipMask);
+    sink.putU64(f.mirrorFlipMask);
+    sink.putBool(f.transient);
+    sink.putDouble(f.timeHours);
+}
+
+MetaFault
+getMetaFault(ByteSource &src)
+{
+    MetaFault f;
+    f.target = static_cast<MetaTarget>(src.getU8());
+    f.stack = StackId{src.getU32()};
+    f.channel = ChannelId{src.getU32()};
+    f.unit = UnitId{src.getU32()};
+    f.slot = MetaSlotId{src.getU32()};
+    f.flipMask = src.getU64();
+    f.mirrorFlipMask = src.getU64();
+    f.transient = src.getBool();
+    f.timeHours = src.getDouble();
+    return f;
+}
+
+void
+putCounters(ByteSink &sink, const RasCounters &c)
+{
+    const u64 fields[] = {c.faultsInjected, c.faultsAbsorbed,
+                          c.demandReads, c.remappedReads, c.crcDetects,
+                          c.retries, c.ce, c.due, c.dueReads, c.sdc,
+                          c.parityGroupReads, c.linesReconstructed,
+                          c.rowsSpared, c.banksSpared, c.sparingDenied,
+                          c.tsvRepairs, c.pagesOfflined, c.banksRetired,
+                          c.channelsDegraded, c.retiredAbsorbed,
+                          c.offlinedReads, c.metaFaultsInjected,
+                          c.metaCorrected, c.metaMirrorRestored,
+                          c.metaRecordsLost, c.metaScrubRetries,
+                          c.metaBackoffCycles, c.parityCacheRefetches,
+                          c.faultsReactivated, c.divergences,
+                          c.analyticConservative};
+    for (u64 v : fields)
+        sink.putU64(v);
+}
+
+void
+getCounters(ByteSource &src, RasCounters &c)
+{
+    u64 *fields[] = {&c.faultsInjected, &c.faultsAbsorbed,
+                     &c.demandReads, &c.remappedReads, &c.crcDetects,
+                     &c.retries, &c.ce, &c.due, &c.dueReads, &c.sdc,
+                     &c.parityGroupReads, &c.linesReconstructed,
+                     &c.rowsSpared, &c.banksSpared, &c.sparingDenied,
+                     &c.tsvRepairs, &c.pagesOfflined, &c.banksRetired,
+                     &c.channelsDegraded, &c.retiredAbsorbed,
+                     &c.offlinedReads, &c.metaFaultsInjected,
+                     &c.metaCorrected, &c.metaMirrorRestored,
+                     &c.metaRecordsLost, &c.metaScrubRetries,
+                     &c.metaBackoffCycles, &c.parityCacheRefetches,
+                     &c.faultsReactivated, &c.divergences,
+                     &c.analyticConservative};
+    for (u64 *v : fields)
+        *v = src.getU64();
+}
+
+constexpr u32 kCheckpointMagic = 0x43544C52u; // "CTLR"
+constexpr u32 kCheckpointVersion = 1;
+
+} // namespace
+
 LiveRasDatapath::LiveRasDatapath(const SimConfig &cfg,
                                  const LiveRasOptions &opts)
     : cfg_(cfg), opts_(opts), map_(cfg.geom),
       dies_(cfg.geom.channelsPerStack + 1),
-      analytic_(opts.scheme.parityDims), log_(opts.maxEvents)
+      analytic_(opts.scheme.parityDims),
+      ladder_(cfg.geom, opts.degrade), meta_(opts.meta),
+      poisoned_(opts.poisonMaxRuns), log_(opts.maxEvents)
 {
     const StackGeometry &g = cfg_.geom;
     // Byte-true storage: data + golden + parity copies, per stack.
@@ -40,6 +238,28 @@ LiveRasDatapath::LiveRasDatapath(const SimConfig &cfg,
         brt_.emplace_back(opts_.scheme.spareBanksPerStack);
         spareRowCursor_.push_back(0);
     }
+
+    // Always-live control-plane records: one TSV redirection register
+    // per data channel (payload = stand-by lanes in use) and the
+    // modeled parity-cache ways.
+    for (u32 s = 0; s < g.stacks; ++s) {
+        for (u32 ch = 0; ch < g.channelsPerStack; ++ch)
+            meta_.install(tsvRecordKey(StackId{s}, ChannelId{ch}), 0);
+        for (u32 w = 0; w < opts_.parityCacheWays; ++w)
+            meta_.install(
+                parityCacheRecordKey(StackId{s}, MetaSlotId{w}),
+                packParityWayPayload(StackId{s}, MetaSlotId{w}));
+    }
+}
+
+MetaGeometry
+LiveRasDatapath::metaGeometry() const
+{
+    MetaGeometry mg;
+    mg.rrtSlotsPerUnit = opts_.scheme.spareRowsPerBank;
+    mg.brtSlots = opts_.scheme.spareBanksPerStack;
+    mg.parityCacheWays = opts_.parityCacheWays;
+    return mg;
 }
 
 UnitId
@@ -74,12 +294,51 @@ LiveRasDatapath::scheduleFault(const Fault &fault, u64 cycle)
 }
 
 void
+LiveRasDatapath::scheduleMetaFault(const MetaFault &fault, u64 cycle)
+{
+    const MetaGeometry mg = metaGeometry();
+    const StackGeometry &g = cfg_.geom;
+    if (fault.stack.value() >= g.stacks)
+        fatal("scheduleMetaFault: stack out of range (%s)",
+              fault.describe().c_str());
+    switch (fault.target) {
+      case MetaTarget::RrtEntry:
+        if (fault.unit.value() >= dies_ * g.banksPerChannel ||
+            fault.slot.value() >= mg.rrtSlotsPerUnit)
+            fatal("scheduleMetaFault: RRT coordinate out of range (%s)",
+                  fault.describe().c_str());
+        break;
+      case MetaTarget::BrtEntry:
+        if (fault.slot.value() >= mg.brtSlots)
+            fatal("scheduleMetaFault: BRT slot out of range (%s)",
+                  fault.describe().c_str());
+        break;
+      case MetaTarget::TsvRegister:
+        if (fault.channel.value() >= g.channelsPerStack)
+            fatal("scheduleMetaFault: channel out of range (%s)",
+                  fault.describe().c_str());
+        break;
+      case MetaTarget::ParityCacheLine:
+        if (fault.slot.value() >= mg.parityCacheWays)
+            fatal("scheduleMetaFault: parity way out of range (%s)",
+                  fault.describe().c_str());
+        break;
+    }
+    pendingMeta_.emplace(cycle, fault);
+}
+
+void
 LiveRasDatapath::tick(u64 cycle)
 {
     while (!pending_.empty() && pending_.begin()->first <= cycle) {
         const Fault f = pending_.begin()->second;
         pending_.erase(pending_.begin());
         materialize(f, cycle);
+    }
+    while (!pendingMeta_.empty() && pendingMeta_.begin()->first <= cycle) {
+        const MetaFault f = pendingMeta_.begin()->second;
+        pendingMeta_.erase(pendingMeta_.begin());
+        materializeMeta(f, cycle);
     }
     if (opts_.scrubCycles != 0 &&
         cycle >= lastScrub_ + opts_.scrubCycles) {
@@ -97,6 +356,8 @@ LiveRasDatapath::nextEventCycle(u64 now) const
     u64 next = std::numeric_limits<u64>::max();
     if (!pending_.empty())
         next = std::max(now, pending_.begin()->first);
+    if (!pendingMeta_.empty())
+        next = std::min(next, std::max(now, pendingMeta_.begin()->first));
     if (opts_.scrubCycles != 0)
         next = std::min(next, std::max(now, lastScrub_ + opts_.scrubCycles));
     return next;
@@ -109,33 +370,112 @@ LiveRasDatapath::materialize(const Fault &f, u64 cycle)
     logEvent({RasEventType::FaultInjected, cycle, LineAddr{}, 0, 0, f.cls,
               f.describe()});
 
-    // TSV-SWAP absorbs TSV faults while stand-by budget remains; the
-    // redirection register steers around the faulty TSV before any
-    // data is lost (Section V).
+    // TSV-SWAP absorbs TSV faults while stand-by budget remains AND
+    // the channel's redirection register is still alive; the register
+    // steers around the faulty TSV before any data is lost (Section V).
     if (opts_.scheme.enableTsvSwap && f.fromTsv) {
         const u64 key = (static_cast<u64>(f.stack.value) << 32) |
                         f.channel.value;
-        u32 &used = tsvUsed_[key];
-        if (used < opts_.scheme.standbyTsvsPerChannel) {
-            ++used;
-            ++log_.counters.tsvRepairs;
-            ++log_.counters.faultsAbsorbed;
-            logEvent({RasEventType::TsvRepaired, cycle, LineAddr{}, 0, 0, f.cls,
-                      f.describe()});
-            return;
+        if (tsvBroken_.count(key) == 0) {
+            u32 &used = tsvUsed_[key];
+            if (used < opts_.scheme.standbyTsvsPerChannel) {
+                ++used;
+                ++log_.counters.tsvRepairs;
+                ++log_.counters.faultsAbsorbed;
+                absorbedTsv_[key].push_back(f);
+                // The register's protected shadow tracks its content.
+                meta_.install(tsvRecordKey(StackId{f.stack.value},
+                                           ChannelId{f.channel.value}),
+                              used);
+                logEvent({RasEventType::TsvRepaired, cycle, LineAddr{}, 0,
+                          0, f.cls, f.describe()});
+                return;
+            }
         }
     }
 
     // Faults inside an already-decommissioned bank never touch live
-    // data: the spare bank serves it.
+    // data: the spare bank serves it. Track them against the BRT slot
+    // so a lost BRT record reactivates them with the original fault.
     if (opts_.scheme.enableDds && inSparedBank(f)) {
         ++log_.counters.faultsAbsorbed;
+        recordSparedBankAbsorb(f);
         return;
+    }
+
+    // Faults wholly inside a region the ladder already retired touch
+    // no live data either; the capacity is gone, not at risk.
+    if (faultRetired(f)) {
+        ++log_.counters.faultsAbsorbed;
+        ++log_.counters.retiredAbsorbed;
+        return;
+    }
+
+    // A bank that keeps collecting permanent faults *after* DDS has
+    // already repaired it (live RRT entries) is a re-faulting region:
+    // strike it, and past the threshold retire it proactively instead
+    // of burning more spares on it. First-time faults go to the spare
+    // pipeline untouched.
+    if (!f.transient && f.stack.mask == 0xFFFFFFFFu &&
+        f.channel.mask == 0xFFFFFFFFu && f.bank.mask == 0xFFFFFFFFu &&
+        f.channel.value < cfg_.geom.channelsPerStack &&
+        f.bank.value < cfg_.geom.banksPerChannel &&
+        rrt_[f.stack.value].used(unitId(ChannelId{f.channel.value},
+                                        BankId{f.bank.value})) > 0) {
+        const DegradationLadder::Action act = ladder_.onRefault(
+            StackId{f.stack.value}, ChannelId{f.channel.value},
+            BankId{f.bank.value});
+        noteLadder(act, cycle, f.cls, f.describe());
+        if (act.any() && faultRetired(f)) {
+            ++log_.counters.faultsAbsorbed;
+            ++log_.counters.retiredAbsorbed;
+            dropRetired(cycle);
+            rebuildEngines();
+            differentialCheck(cycle);
+            return;
+        }
     }
 
     active_.push_back(f);
     rebuildEngines();
     differentialCheck(cycle);
+}
+
+void
+LiveRasDatapath::materializeMeta(const MetaFault &f, u64 cycle)
+{
+    ++log_.counters.metaFaultsInjected;
+    logEvent({RasEventType::MetaFaultInjected, cycle, LineAddr{}, 0, 0,
+              FaultClass::Bit, f.describe()});
+
+    if (meta_.applyFault(f) == ProtectedMetaStore::ApplyResult::NoRecord) {
+        // The strike hit an idle slot: there is no stored payload to
+        // protect, but a permanent defect makes the SRAM unusable, so
+        // retire the slot from future allocation right away.
+        if (!f.transient) {
+            if (f.target == MetaTarget::RrtEntry)
+                rrt_[f.stack.idx()].killSlot(f.unit, f.slot);
+            else if (f.target == MetaTarget::BrtEntry)
+                brt_[f.stack.idx()].killSlot(f.slot);
+        }
+    }
+}
+
+void
+LiveRasDatapath::recordSparedBankAbsorb(const Fault &f)
+{
+    if (f.stack.mask != 0xFFFFFFFFu || f.channel.mask != 0xFFFFFFFFu ||
+        f.bank.mask != 0xFFFFFFFFu)
+        return;
+    const u32 stack = f.stack.value;
+    const UnitId unit = unitId(ChannelId{f.channel.value},
+                               BankId{f.bank.value});
+    const auto slot = brt_[stack].slotOf(unit);
+    if (!slot)
+        return;
+    BrtSlotState &st = brtSpared_[brtSparedKey(stack, *slot)];
+    st.unit = unit.value();
+    st.faults.push_back(f);
 }
 
 void
@@ -145,23 +485,179 @@ LiveRasDatapath::scrub(u64 cycle)
     // vanish; DDS retires permanent ones into spare storage.
     std::erase_if(active_, [](const Fault &f) { return f.transient; });
 
+    // The consistency scrub verifies the control plane first, so a
+    // corrupted RRT/BRT/swap record cannot steer the data pass below
+    // (and faults reactivated by a lost record re-enter the spare
+    // pipeline in the same pass).
+    metaScrub(cycle);
+
     if (opts_.scheme.enableDds) {
         std::erase_if(active_, [&](const Fault &f) {
-            if (inSparedBank(f))
+            if (inSparedBank(f)) {
+                recordSparedBankAbsorb(f);
                 return true;
+            }
             if (trySpare(f, cycle))
                 return true;
             ++log_.counters.sparingDenied;
             logEvent({RasEventType::SparingDenied, cycle, LineAddr{}, 0, 0, f.cls,
                       f.describe()});
+            // Spare budget exhausted: stop repairing, start retiring
+            // capacity (the ladder's SparingDenied rung). Only the
+            // OS-visible data space can be retired; parity-die faults
+            // stay active and weaken coverage instead.
+            if (!f.transient && f.stack.mask == 0xFFFFFFFFu &&
+                f.channel.mask == 0xFFFFFFFFu &&
+                f.channel.value < cfg_.geom.channelsPerStack) {
+                DegradationLadder::Action act;
+                if (f.bank.mask == 0xFFFFFFFFu &&
+                    f.bank.value < cfg_.geom.banksPerChannel)
+                    act = ladder_.onSparingDenied(
+                        StackId{f.stack.value}, ChannelId{f.channel.value},
+                        BankId{f.bank.value});
+                else if (f.bank.mask != 0xFFFFFFFFu)
+                    act = ladder_.degradeChannel(
+                        StackId{f.stack.value}, ChannelId{f.channel.value});
+                noteLadder(act, cycle, f.cls, f.describe());
+            }
             return false;
         });
         std::erase_if(active_,
                       [&](const Fault &f) { return inSparedBank(f); });
     }
 
+    dropRetired(cycle);
     rebuildEngines();
     differentialCheck(cycle);
+}
+
+void
+LiveRasDatapath::metaScrub(u64 cycle)
+{
+    const ProtectedMetaStore::ScrubOutcome out = meta_.scrub();
+    log_.counters.metaCorrected += out.corrected;
+    log_.counters.metaScrubRetries += out.retries;
+    log_.counters.metaBackoffCycles += out.backoffCyclesSpent;
+    log_.counters.metaMirrorRestored += out.mirrorRestores;
+    if (out.corrected)
+        logEvent({RasEventType::MetaCorrected, cycle, LineAddr{}, 0, 0,
+                  FaultClass::Bit,
+                  std::to_string(out.corrected) + " records"});
+    if (out.mirrorRestores)
+        logEvent({RasEventType::MetaMirrorRestored, cycle, LineAddr{}, 0,
+                  0, FaultClass::Bit,
+                  std::to_string(out.mirrorRestores) + " records"});
+
+    for (const ProtectedMetaStore::RecordKey &key : out.lost) {
+        ++log_.counters.metaRecordsLost;
+        logEvent({RasEventType::MetaRecordLost, cycle, LineAddr{}, 0, 0,
+                  FaultClass::Bit, metaTargetName(key.target)});
+        switch (key.target) {
+          case MetaTarget::RrtEntry: {
+            // The remap entry is gone and its SRAM is suspect: retire
+            // the slot and put the fault it covered back in play so
+            // both models keep seeing the same world.
+            rrt_[key.stack.idx()].killSlot(key.unit, key.slot);
+            const auto it = rrtSpared_.find(
+                rrtSparedKey(key.stack.value(), key.unit, key.slot));
+            if (it != rrtSpared_.end()) {
+                active_.push_back(it->second);
+                ++log_.counters.faultsReactivated;
+                rrtSpared_.erase(it);
+            }
+            break;
+          }
+          case MetaTarget::BrtEntry: {
+            brt_[key.stack.idx()].killSlot(key.slot);
+            const auto it = brtSpared_.find(
+                brtSparedKey(key.stack.value(), key.slot));
+            if (it != brtSpared_.end()) {
+                for (const Fault &f : it->second.faults) {
+                    active_.push_back(f);
+                    ++log_.counters.faultsReactivated;
+                }
+                brtSpared_.erase(it);
+            }
+            break;
+          }
+          case MetaTarget::TsvRegister: {
+            // unit doubles as the channel index for TSV records.
+            const u64 k = (static_cast<u64>(key.stack.value()) << 32) |
+                          key.unit.value();
+            tsvBroken_.insert(k);
+            tsvUsed_.erase(k);
+            const auto it = absorbedTsv_.find(k);
+            if (it != absorbedTsv_.end()) {
+                for (const Fault &f : it->second) {
+                    active_.push_back(f);
+                    ++log_.counters.faultsReactivated;
+                }
+                absorbedTsv_.erase(it);
+            }
+            break;
+          }
+          case MetaTarget::ParityCacheLine:
+            // The parity die always holds a clean copy: refetch and
+            // reinstall instead of escalating.
+            ++log_.counters.parityCacheRefetches;
+            logEvent({RasEventType::ParityCacheRefetched, cycle,
+                      LineAddr{}, 0, 0, FaultClass::Bit, ""});
+            meta_.install(parityCacheRecordKey(key.stack, key.slot),
+                          packParityWayPayload(key.stack, key.slot));
+            break;
+        }
+    }
+}
+
+bool
+LiveRasDatapath::faultRetired(const Fault &f) const
+{
+    if (f.stack.mask != 0xFFFFFFFFu || f.channel.mask != 0xFFFFFFFFu)
+        return false;
+    const RetirementMap &m = ladder_.map();
+    const StackId s{f.stack.value};
+    const ChannelId ch{f.channel.value};
+    if (m.channelDegraded(s, ch))
+        return true;
+    if (f.bank.mask != 0xFFFFFFFFu)
+        return false;
+    const BankId b{f.bank.value};
+    if (m.bankRetired(s, ch, b))
+        return true;
+    if (f.rowsCovered(cfg_.geom) == 1)
+        return m.rowOffline(s, ch, b,
+                            RowId{f.row.value & (cfg_.geom.rowsPerBank - 1)});
+    return false;
+}
+
+void
+LiveRasDatapath::dropRetired(u64 /*cycle*/)
+{
+    const std::size_t before = active_.size();
+    std::erase_if(active_, [&](const Fault &f) { return faultRetired(f); });
+    log_.counters.retiredAbsorbed += before - active_.size();
+}
+
+void
+LiveRasDatapath::noteLadder(const DegradationLadder::Action &act,
+                            u64 cycle, FaultClass cls,
+                            const std::string &detail)
+{
+    if (act.rowOfflined) {
+        ++log_.counters.pagesOfflined;
+        logEvent({RasEventType::PageOfflined, cycle, LineAddr{}, 0, 0,
+                  cls, detail});
+    }
+    if (act.bankRetired) {
+        ++log_.counters.banksRetired;
+        logEvent({RasEventType::BankRetired, cycle, LineAddr{}, 0, 0,
+                  cls, detail});
+    }
+    if (act.channelDegraded) {
+        ++log_.counters.channelsDegraded;
+        logEvent({RasEventType::ChannelDegraded, cycle, LineAddr{}, 0, 0,
+                  cls, detail});
+    }
 }
 
 bool
@@ -192,10 +688,16 @@ LiveRasDatapath::trySpare(const Fault &f, u64 cycle)
     if (f.rowsCovered(cfg_.geom) == 1) {
         const RowId row{f.row.value & (cfg_.geom.rowsPerBank - 1)};
         u32 &cursor = spareRowCursor_[stack];
-        if (rrt_[stack].insert(unit, row,
-                               RowId{cursor % cfg_.geom.rowsPerBank})) {
+        const RowId spare{cursor % cfg_.geom.rowsPerBank};
+        const auto slot = rrt_[stack].insertSlot(unit, row, spare);
+        if (slot) {
             ++cursor;
             ++log_.counters.rowsSpared;
+            // Shadow the live entry word and remember the fault it
+            // covers, so a lost record can reactivate it.
+            meta_.install(rrtRecordKey(StackId{stack}, unit, *slot),
+                          packRrtPayload(row, spare));
+            rrtSpared_[rrtSparedKey(stack, unit, *slot)] = f;
             logEvent({RasEventType::RowSpared, cycle, LineAddr{}, 0, 0, f.cls,
                       f.describe()});
             return true;
@@ -203,8 +705,15 @@ LiveRasDatapath::trySpare(const Fault &f, u64 cycle)
         // RRT exhausted: the bank has failed; escalate (Section VII-C).
     }
 
-    if (brt_[stack].insert(unit, brt_[stack].used())) {
+    const u32 spareId = brt_[stack].used();
+    const auto slot = brt_[stack].insertSlot(unit, spareId);
+    if (slot) {
         ++log_.counters.banksSpared;
+        meta_.install(brtRecordKey(StackId{stack}, *slot),
+                      packBrtPayload(unit, spareId));
+        BrtSlotState &st = brtSpared_[brtSparedKey(stack, *slot)];
+        st.unit = unit.value();
+        st.faults.push_back(f);
         logEvent({RasEventType::BankSpared, cycle, LineAddr{}, 0, 0, f.cls,
                   f.describe()});
         return true;
@@ -370,6 +879,13 @@ LiveRasDatapath::onDemandRead(LineAddr line, u64 cycle)
         return out; // parity traffic is covered by the writeback path
 
     const LineCoord c = map_.lineToCoord(line);
+    if (ladder_.map().retired(c)) {
+        // The sim already steered this access to a healthy stand-in
+        // (MemorySystem routes through the RetirementMap); the retired
+        // region's faults are out of both models, so the read is clean.
+        ++log_.counters.offlinedReads;
+        return out;
+    }
     if (opts_.scheme.enableDds && coordRemapped(c)) {
         // RRT/BRT hit: the access is served by healthy spare storage.
         ++log_.counters.remappedReads;
@@ -406,15 +922,26 @@ LiveRasDatapath::onDemandRead(LineAddr line, u64 cycle)
         }
 
     if (!fix.corrected) {
-        // DUE: report once per line, poison, keep running.
+        // DUE: report once per line, poison, keep running. The ladder
+        // offlines the page so the OS-analogue steers future traffic
+        // off it instead of re-reporting forever.
         out.kind = DemandOutcome::Kind::Uncorrectable;
         ++log_.counters.dueReads;
-        if (poisoned_.insert(line).second) {
+        bool setChanged = false;
+        if (poisoned_.insert(line)) {
             ++log_.counters.due;
             logEvent({RasEventType::UncorrectableError, cycle, line, 0,
                       fix.groupReads, cls, "line poisoned"});
+            const DegradationLadder::Action act = ladder_.onDue(c);
+            noteLadder(act, cycle, cls, "page offline after DUE");
+            if (act.any()) {
+                dropRetired(cycle);
+                setChanged = true;
+            }
         }
         rebuildEngines(); // undo partial peels; state stays canonical
+        if (setChanged)
+            differentialCheck(cycle);
         return out;
     }
 
@@ -444,6 +971,162 @@ LiveRasDatapath::onDemandRead(LineAddr line, u64 cycle)
     rebuildEngines();
     differentialCheck(cycle);
     return out;
+}
+
+void
+LiveRasDatapath::saveState(ByteSink &sink) const
+{
+    sink.putU32(kCheckpointMagic);
+    sink.putU32(kCheckpointVersion);
+
+    sink.putU64(active_.size());
+    for (const Fault &f : active_)
+        putFault(sink, f);
+
+    sink.putU64(pending_.size());
+    for (const auto &[cyc, f] : pending_) {
+        sink.putU64(cyc);
+        putFault(sink, f);
+    }
+
+    sink.putU64(pendingMeta_.size());
+    for (const auto &[cyc, f] : pendingMeta_) {
+        sink.putU64(cyc);
+        putMetaFault(sink, f);
+    }
+
+    for (u32 s = 0; s < cfg_.geom.stacks; ++s) {
+        rrt_[s].serialize(sink);
+        brt_[s].serialize(sink);
+        sink.putU32(spareRowCursor_[s]);
+    }
+
+    sink.putU64(tsvUsed_.size());
+    for (const auto &[k, v] : tsvUsed_) {
+        sink.putU64(k);
+        sink.putU32(v);
+    }
+    sink.putU64(tsvBroken_.size());
+    for (u64 k : tsvBroken_)
+        sink.putU64(k);
+
+    sink.putU64(rrtSpared_.size());
+    for (const auto &[k, f] : rrtSpared_) {
+        sink.putU64(k);
+        putFault(sink, f);
+    }
+    sink.putU64(brtSpared_.size());
+    for (const auto &[k, st] : brtSpared_) {
+        sink.putU64(k);
+        sink.putU32(st.unit);
+        sink.putU64(st.faults.size());
+        for (const Fault &f : st.faults)
+            putFault(sink, f);
+    }
+    sink.putU64(absorbedTsv_.size());
+    for (const auto &[k, faults] : absorbedTsv_) {
+        sink.putU64(k);
+        sink.putU64(faults.size());
+        for (const Fault &f : faults)
+            putFault(sink, f);
+    }
+
+    poisoned_.serialize(sink);
+    sink.putU64(lastScrub_);
+    ladder_.serialize(sink);
+    meta_.serialize(sink);
+    putCounters(sink, log_.counters);
+}
+
+void
+LiveRasDatapath::loadState(ByteSource &src)
+{
+    if (src.getU32() != kCheckpointMagic)
+        fatal("LiveRasDatapath: bad checkpoint magic");
+    if (src.getU32() != kCheckpointVersion)
+        fatal("LiveRasDatapath: unsupported checkpoint version");
+
+    active_.clear();
+    u64 n = src.getCount(kFaultBytes);
+    for (u64 i = 0; i < n; ++i)
+        active_.push_back(getFault(src));
+
+    pending_.clear();
+    n = src.getCount(8 + kFaultBytes);
+    for (u64 i = 0; i < n; ++i) {
+        const u64 cyc = src.getU64();
+        pending_.emplace(cyc, getFault(src));
+    }
+
+    pendingMeta_.clear();
+    n = src.getCount(8 + kMetaFaultBytes);
+    for (u64 i = 0; i < n; ++i) {
+        const u64 cyc = src.getU64();
+        pendingMeta_.emplace(cyc, getMetaFault(src));
+    }
+
+    for (u32 s = 0; s < cfg_.geom.stacks; ++s) {
+        rrt_[s].deserialize(src);
+        brt_[s].deserialize(src);
+        spareRowCursor_[s] = src.getU32();
+    }
+
+    tsvUsed_.clear();
+    n = src.getCount(12);
+    for (u64 i = 0; i < n; ++i) {
+        const u64 k = src.getU64();
+        tsvUsed_[k] = src.getU32();
+    }
+    tsvBroken_.clear();
+    n = src.getCount(8);
+    for (u64 i = 0; i < n; ++i)
+        tsvBroken_.insert(src.getU64());
+
+    rrtSpared_.clear();
+    n = src.getCount(8 + kFaultBytes);
+    for (u64 i = 0; i < n; ++i) {
+        const u64 k = src.getU64();
+        rrtSpared_.emplace(k, getFault(src));
+    }
+    brtSpared_.clear();
+    n = src.getCount(8 + 4 + 8); // key + unit + inner count at minimum
+    for (u64 i = 0; i < n; ++i) {
+        const u64 k = src.getU64();
+        BrtSlotState st;
+        st.unit = src.getU32();
+        const u64 m = src.getCount(kFaultBytes);
+        for (u64 j = 0; j < m; ++j)
+            st.faults.push_back(getFault(src));
+        brtSpared_.emplace(k, std::move(st));
+    }
+    absorbedTsv_.clear();
+    n = src.getCount(8 + 8); // key + inner count at minimum
+    for (u64 i = 0; i < n; ++i) {
+        const u64 k = src.getU64();
+        const u64 m = src.getCount(kFaultBytes);
+        std::vector<Fault> faults;
+        for (u64 j = 0; j < m; ++j)
+            faults.push_back(getFault(src));
+        absorbedTsv_.emplace(k, std::move(faults));
+    }
+
+    poisoned_.deserialize(src);
+    lastScrub_ = src.getU64();
+    ladder_.deserialize(src);
+    meta_.deserialize(src);
+    getCounters(src, log_.counters);
+
+    // Engine state is derived (golden XOR the active set), never
+    // stored: rebuild it from what we just loaded.
+    rebuildEngines();
+}
+
+u64
+LiveRasDatapath::stateFingerprint() const
+{
+    ByteSink sink;
+    saveState(sink);
+    return fnv1a(sink.bytes());
 }
 
 } // namespace citadel

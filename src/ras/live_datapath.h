@@ -45,6 +45,11 @@
 #include "citadel/citadel.h"
 #include "citadel/parity_engine.h"
 #include "citadel/remap_tables.h"
+#include "common/serialize.h"
+#include "faults/meta_fault.h"
+#include "ras/degradation.h"
+#include "ras/meta_protect.h"
+#include "ras/poison_set.h"
 #include "ras/ras_event.h"
 #include "sim/ras_hook.h"
 #include "sim/system_sim.h"
@@ -78,6 +83,20 @@ struct LiveRasOptions
      * the live datapath is meant for reduced geometries.
      */
     u64 maxModelBytes = 256ull << 20;
+
+    /** Degradation-ladder thresholds (page offline -> bank retire ->
+     *  channel degrade). */
+    DegradationOptions degrade;
+
+    /** Control-plane self-protection (scrub retry/backoff). */
+    ProtectedMetaStore::Options meta;
+
+    /** Modeled cached-D1-parity ways per stack (control-plane fault
+     *  targets; contents always refetchable from the parity die). */
+    u32 parityCacheWays = 8;
+
+    /** Run cap of the bounded poison set (see ras/poison_set.h). */
+    std::size_t poisonMaxRuns = 4096;
 };
 
 /** The live datapath; attach to a SystemSim via attachRas(). */
@@ -94,20 +113,50 @@ class LiveRasDatapath final : public RasHook
      *  stack dimension must be exact. */
     void scheduleFault(const Fault &fault, u64 cycle);
 
+    /** Arrange for a control-plane upset to land at `cycle`. The
+     *  fault's coordinates must be inside metaGeometry(). */
+    void scheduleMetaFault(const MetaFault &fault, u64 cycle);
+
+    /** Slot ranges of the protected structures, for sampling
+     *  control-plane faults that match this datapath. */
+    MetaGeometry metaGeometry() const;
+
     // RasHook
     void tick(u64 cycle) override;
     DemandOutcome onDemandRead(LineAddr line, u64 cycle) override;
     u64 nextEventCycle(u64 now) const override;
+    const RetirementMap *retirementMap() const override
+    {
+        return &ladder_.map();
+    }
 
     const RasLog &log() const { return log_; }
     const RasCounters &counters() const { return log_.counters; }
     const std::vector<Fault> &activeFaults() const { return active_; }
+    const DegradationLadder &ladder() const { return ladder_; }
+    const ProtectedMetaStore &metaStore() const { return meta_; }
+    const BoundedPoisonSet &poisonSet() const { return poisoned_; }
 
     /** Is a line currently served from spare storage (RRT/BRT)? */
     bool lineIsRemapped(LineAddr line) const;
 
     /** The bit-true engine of one stack (tests poke at it). */
     const ParityEngine &engine(StackId stack) const;
+
+    /**
+     * Checkpoint the complete logical state: fault sets (active,
+     * pending, pending-meta), remap tables, swap registers, poison
+     * runs, ladder and meta-store state, and every counter. The
+     * engines are NOT serialized -- their state is always derivable
+     * (golden XOR active fault masks) and loadState() rebuilds them --
+     * and the bounded event log is diagnostic only, so a resumed run
+     * is bit-identical in state and counters, not in log text.
+     */
+    void saveState(ByteSink &sink) const;
+    void loadState(ByteSource &src);
+
+    /** FNV-1a over saveState() bytes: the resume-equivalence probe. */
+    u64 stateFingerprint() const;
 
   private:
     SimConfig cfg_;
@@ -124,14 +173,30 @@ class LiveRasDatapath final : public RasHook
 
     std::vector<Fault> active_;
     std::multimap<u64, Fault> pending_; ///< cycle -> scheduled fault.
+    std::multimap<u64, MetaFault> pendingMeta_;
 
     // Sparing mechanism state (the Section VII-C tables, per stack).
     std::vector<RowRemapTable> rrt_;
     std::vector<BankRemapTable> brt_;
     std::vector<u32> spareRowCursor_;
     std::map<u64, u32> tsvUsed_; ///< (stack, channel) -> stand-by used.
+    std::set<u64> tsvBroken_;    ///< Channels whose swap register died.
 
-    std::set<LineAddr> poisoned_; ///< Lines already reported as DUE.
+    /** Faults a live remap entry is covering, keyed by the entry's
+     *  slot -- what reactivates when the entry's record is lost. */
+    std::map<u64, Fault> rrtSpared_; ///< (stack, unit, slot) key.
+    struct BrtSlotState
+    {
+        u32 unit = 0; ///< Decommissioned stack-global bank ordinal.
+        std::vector<Fault> faults;
+    };
+    std::map<u64, BrtSlotState> brtSpared_;       ///< (stack, slot) key.
+    std::map<u64, std::vector<Fault>> absorbedTsv_; ///< tsvUsed_ keys.
+
+    DegradationLadder ladder_;
+    ProtectedMetaStore meta_;
+
+    BoundedPoisonSet poisoned_; ///< Lines already reported as DUE.
     u64 lastScrub_ = 0;
     RasLog log_;
 
@@ -139,7 +204,24 @@ class LiveRasDatapath final : public RasHook
     bool coordRemapped(const LineCoord &c) const;
     bool inSparedBank(const Fault &f) const;
     void materialize(const Fault &f, u64 cycle);
+    void materializeMeta(const MetaFault &f, u64 cycle);
     void scrub(u64 cycle);
+
+    /** Verify/repair the protected metadata; react to lost records. */
+    void metaScrub(u64 cycle);
+
+    /** Is the fault wholly contained in a retired region? */
+    bool faultRetired(const Fault &f) const;
+
+    /** Drop active faults swallowed by retirement (both models). */
+    void dropRetired(u64 cycle);
+
+    /** Count + log the rungs one ladder action climbed. */
+    void noteLadder(const DegradationLadder::Action &act, u64 cycle,
+                    FaultClass cls, const std::string &detail);
+
+    /** Track a fault absorbed into an already-decommissioned bank. */
+    void recordSparedBankAbsorb(const Fault &f);
 
     /** Retire one permanent single-bank fault into spare storage. */
     bool trySpare(const Fault &f, u64 cycle);

@@ -17,6 +17,15 @@ rasEventTypeName(RasEventType t)
       case RasEventType::TsvRepaired: return "tsv-repaired";
       case RasEventType::SparingDenied: return "sparing-denied";
       case RasEventType::Divergence: return "DIVERGENCE";
+      case RasEventType::PageOfflined: return "page-offlined";
+      case RasEventType::BankRetired: return "bank-retired";
+      case RasEventType::ChannelDegraded: return "channel-degraded";
+      case RasEventType::MetaFaultInjected: return "meta-fault-injected";
+      case RasEventType::MetaCorrected: return "meta-corrected";
+      case RasEventType::MetaMirrorRestored: return "meta-mirror-restored";
+      case RasEventType::MetaRecordLost: return "META-RECORD-LOST";
+      case RasEventType::ParityCacheRefetched:
+        return "parity-cache-refetched";
     }
     return "?";
 }
@@ -51,6 +60,19 @@ RasCounters::summary() const
        << " rowsSpared=" << rowsSpared << " banksSpared=" << banksSpared
        << " tsvRepairs=" << tsvRepairs << " divergences=" << divergences
        << " conservative=" << analyticConservative;
+    if (pagesOfflined || banksRetired || channelsDegraded)
+        os << " | ladder: pages=" << pagesOfflined
+           << " banks=" << banksRetired
+           << " channels=" << channelsDegraded
+           << " retiredAbsorbed=" << retiredAbsorbed
+           << " offlinedReads=" << offlinedReads;
+    if (metaFaultsInjected)
+        os << " | meta: injected=" << metaFaultsInjected
+           << " corrected=" << metaCorrected
+           << " mirrorRestored=" << metaMirrorRestored
+           << " lost=" << metaRecordsLost
+           << " retries=" << metaScrubRetries
+           << " reactivated=" << faultsReactivated;
     return os.str();
 }
 

@@ -38,6 +38,14 @@ enum class RasEventType
     TsvRepaired,        ///< TSV-SWAP absorbed a TSV fault.
     SparingDenied,      ///< Spare budget exhausted; fault stays live.
     Divergence,         ///< Analytic and bit-true verdicts disagreed.
+    PageOfflined,       ///< Ladder: a DUE'd row was retired.
+    BankRetired,        ///< Ladder: a bank was taken out of service.
+    ChannelDegraded,    ///< Ladder: a whole channel was given up.
+    MetaFaultInjected,  ///< A control-plane upset materialized.
+    MetaCorrected,      ///< Meta scrub: SECDED fixed a record.
+    MetaMirrorRestored, ///< Meta scrub: primary rebuilt from mirror.
+    MetaRecordLost,     ///< Meta scrub: both copies unrecoverable.
+    ParityCacheRefetched, ///< Lost parity-cache way refetched clean.
 };
 
 const char *rasEventTypeName(RasEventType t);
@@ -75,6 +83,23 @@ struct RasCounters
     u64 banksSpared = 0;
     u64 sparingDenied = 0;
     u64 tsvRepairs = 0;
+
+    // Degradation ladder (capacity given up instead of repaired).
+    u64 pagesOfflined = 0;
+    u64 banksRetired = 0;
+    u64 channelsDegraded = 0;
+    u64 retiredAbsorbed = 0; ///< Faults landing inside retired regions.
+    u64 offlinedReads = 0;   ///< Demand reads steered off retired space.
+
+    // Control-plane self-protection.
+    u64 metaFaultsInjected = 0;
+    u64 metaCorrected = 0;      ///< SECDED single-bit fixes at scrub.
+    u64 metaMirrorRestored = 0; ///< Primary rebuilt from the mirror.
+    u64 metaRecordsLost = 0;    ///< Both copies gone; entry dropped.
+    u64 metaScrubRetries = 0;   ///< Read-retry attempts at meta scrub.
+    u64 metaBackoffCycles = 0;  ///< Backoff cycles those retries cost.
+    u64 parityCacheRefetches = 0;
+    u64 faultsReactivated = 0;  ///< Data faults un-spared by meta loss.
 
     /**
      * Dangerous differential disagreements: the analytic model called

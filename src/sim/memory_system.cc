@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "sim/retirement.h"
 
 namespace citadel {
 
@@ -160,14 +161,18 @@ u64
 MemorySystem::issueRead(LineAddr line, u64 cycle, bool ras)
 {
     const u64 token = allocToken();
-    enqueue(map_.lineToCoord(line), false, token, cycle, ras);
+    const LineCoord coord = map_.lineToCoord(line);
+    const LineCoord routed = routeCoord(coord);
+    if (!(routed == coord))
+        ++counters_.steeredReads;
+    enqueue(routed, false, token, cycle, ras);
     return token;
 }
 
 bool
 MemorySystem::canAcceptWrite(LineAddr line) const
 {
-    const LineCoord coord = map_.lineToCoord(line);
+    const LineCoord coord = routeCoord(map_.lineToCoord(line));
     const auto subs = map_.subRequests(coord, cfg_.striping);
     for (const LineCoord &s : subs) {
         const Channel &ch = channels_[channelIndex(s)];
@@ -180,7 +185,19 @@ MemorySystem::canAcceptWrite(LineAddr line) const
 void
 MemorySystem::issueWrite(LineAddr line, u64 cycle)
 {
-    enqueue(map_.lineToCoord(line), true, 0, cycle, false);
+    const LineCoord coord = map_.lineToCoord(line);
+    const LineCoord routed = routeCoord(coord);
+    if (!(routed == coord))
+        ++counters_.steeredWrites;
+    enqueue(routed, true, 0, cycle, false);
+}
+
+LineCoord
+MemorySystem::routeCoord(const LineCoord &coord) const
+{
+    if (retire_ == nullptr || retire_->empty())
+        return coord;
+    return retire_->route(coord);
 }
 
 MemorySystem::Pick

@@ -33,6 +33,8 @@
 
 namespace citadel {
 
+class RetirementMap;
+
 /** Activity counters feeding the power model. */
 struct MemCounters
 {
@@ -48,6 +50,11 @@ struct MemCounters
      *  read-retry and reconstruction group reads) rather than demand
      *  traffic. Subset of readBursts. */
     u64 rasReads = 0;
+
+    /** Line accesses steered around a retired region by the attached
+     *  RetirementMap (degradation-ladder indirection cost). */
+    u64 steeredReads = 0;
+    u64 steeredWrites = 0;
 };
 
 /** The DRAM side of the simulator. */
@@ -107,6 +114,14 @@ class MemorySystem
 
     const MemCounters &counters() const { return counters_; }
     const AddressMap &addressMap() const { return map_; }
+
+    /**
+     * Steer subsequent accesses around the regions `map` marks as
+     * retired (nullptr detaches). The map is owned by the RAS layer
+     * and consulted, not copied, so ladder actions take effect on the
+     * very next enqueue.
+     */
+    void attachRetirement(const RetirementMap *map) { retire_ = map; }
 
   private:
     static constexpr u32 kInvalidSlot = 0xFFFFFFFFu;
@@ -216,6 +231,7 @@ class MemorySystem
     std::vector<Channel> channels_;
     MemCounters counters_;
     u64 writeCapSubs_ = 0; ///< Write-queue cap in sub-requests.
+    const RetirementMap *retire_ = nullptr;
 
     TokenArena tokens_;
     u64 readAllocSeq_ = 0; ///< Monotonic read order for tie-breaks.
@@ -227,6 +243,10 @@ class MemorySystem
     u64 pendingOps_ = 0;
 
     u32 channelIndex(const LineCoord &c) const;
+
+    /** Apply retirement steering to a decoded coordinate (identity
+     *  when no map is attached or nothing is retired). */
+    LineCoord routeCoord(const LineCoord &coord) const;
 
     u64 allocToken();
     void releaseToken(u64 token);

@@ -20,6 +20,8 @@
 
 namespace citadel {
 
+class RetirementMap;
+
 /** What happened to one demand read at the RAS layer. */
 struct DemandOutcome
 {
@@ -63,6 +65,15 @@ class RasHook
      * work may return u64 max.
      */
     virtual u64 nextEventCycle(u64 now) const { return now; }
+
+    /**
+     * The hook's retired-region map (degradation ladder output), or
+     * nullptr when the hook never retires capacity. SystemSim attaches
+     * this to the MemorySystem so demand traffic steers around retired
+     * rows/banks/channels; the map stays owned by the hook and later
+     * ladder actions are visible immediately.
+     */
+    virtual const RetirementMap *retirementMap() const { return nullptr; }
 };
 
 } // namespace citadel

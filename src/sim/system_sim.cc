@@ -6,6 +6,7 @@
 
 #include "common/env.h"
 #include "common/log.h"
+#include "sim/retirement.h"
 
 namespace citadel {
 
@@ -366,6 +367,10 @@ SystemSim::run()
     res.mem = mem_.counters();
     res.llc = llc_.stats();
     res.power = computePower(res.mem, res.cycles);
+    if (ras_ != nullptr && ras_->retirementMap() != nullptr) {
+        res.retiredLines = ras_->retirementMap()->retiredLines();
+        res.capacityFraction = ras_->retirementMap()->capacityFraction();
+    }
     return res;
 }
 

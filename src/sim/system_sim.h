@@ -44,6 +44,12 @@ struct SimResult
     LlcStats llc;
     PowerResult power;
 
+    /** Capacity lost to the degradation ladder by end of run, in
+     *  cache lines, and the usable fraction remaining (1.0 when no
+     *  RAS hook or nothing retired). */
+    u64 retiredLines = 0;
+    double capacityFraction = 1.0;
+
     double parityHitRate() const { return llc.parityHitRate(); }
 };
 
@@ -57,7 +63,11 @@ class SystemSim
      * Attach a live RAS datapath consulted on every completed demand
      * read. Not owned; must outlive run(). Pass nullptr to detach.
      */
-    void attachRas(RasHook *hook) { ras_ = hook; }
+    void attachRas(RasHook *hook)
+    {
+        ras_ = hook;
+        mem_.attachRetirement(hook ? hook->retirementMap() : nullptr);
+    }
 
     /** Run to completion (every core retires its instruction budget). */
     SimResult run();

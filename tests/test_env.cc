@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hardened env-parser tests: every new knob flows through
+ * envU64InRange / envDoubleInRange, so malformed or out-of-range text
+ * must be *rejected back to the fallback*, never half-parsed into a
+ * wedged campaign, and a fallback that itself violates the stated
+ * range is a programming error (fatal).
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+
+namespace citadel {
+namespace {
+
+class EnvRangeTest : public ::testing::Test
+{
+  protected:
+    static constexpr const char *kVar = "CITADEL_TEST_RANGE_VAR";
+
+    void SetUp() override { unsetenv(kVar); }
+    void TearDown() override { unsetenv(kVar); }
+
+    void set(const char *text) { setenv(kVar, text, 1); }
+};
+
+TEST_F(EnvRangeTest, UnsetReturnsFallback)
+{
+    EXPECT_EQ(envU64InRange(kVar, 7, 1, 100), 7u);
+    EXPECT_DOUBLE_EQ(envDoubleInRange(kVar, 2.5, 0.0, 10.0), 2.5);
+}
+
+TEST_F(EnvRangeTest, InRangeValueAccepted)
+{
+    set("42");
+    EXPECT_EQ(envU64InRange(kVar, 7, 1, 100), 42u);
+    set("3.125");
+    EXPECT_DOUBLE_EQ(envDoubleInRange(kVar, 2.5, 0.0, 10.0), 3.125);
+}
+
+TEST_F(EnvRangeTest, BoundariesAreInclusive)
+{
+    set("1");
+    EXPECT_EQ(envU64InRange(kVar, 7, 1, 100), 1u);
+    set("100");
+    EXPECT_EQ(envU64InRange(kVar, 7, 1, 100), 100u);
+    set("0.0");
+    EXPECT_DOUBLE_EQ(envDoubleInRange(kVar, 2.5, 0.0, 10.0), 0.0);
+    set("10.0");
+    EXPECT_DOUBLE_EQ(envDoubleInRange(kVar, 2.5, 0.0, 10.0), 10.0);
+}
+
+TEST_F(EnvRangeTest, MalformedTextRejectedToFallback)
+{
+    for (const char *bad : {"bogus", "", " ", "12abc", "--3"}) {
+        set(bad);
+        EXPECT_EQ(envU64InRange(kVar, 7, 1, 100), 7u) << bad;
+        EXPECT_DOUBLE_EQ(envDoubleInRange(kVar, 2.5, 0.0, 10.0), 2.5)
+            << bad;
+    }
+}
+
+TEST_F(EnvRangeTest, OutOfRangeRejectedToFallback)
+{
+    set("0");
+    EXPECT_EQ(envU64InRange(kVar, 7, 1, 100), 7u);
+    set("101");
+    EXPECT_EQ(envU64InRange(kVar, 7, 1, 100), 7u);
+    set("-1.0");
+    EXPECT_DOUBLE_EQ(envDoubleInRange(kVar, 2.5, 0.0, 10.0), 2.5);
+    set("1e9");
+    EXPECT_DOUBLE_EQ(envDoubleInRange(kVar, 2.5, 0.0, 10.0), 2.5);
+}
+
+TEST_F(EnvRangeTest, NonFiniteAlwaysRejected)
+{
+    for (const char *bad : {"nan", "inf", "-inf", "NAN", "Infinity"}) {
+        set(bad);
+        EXPECT_DOUBLE_EQ(envDoubleInRange(kVar, 2.5, 0.0, 10.0), 2.5)
+            << bad;
+    }
+}
+
+TEST_F(EnvRangeTest, FallbackOutsideRangeIsFatal)
+{
+    // A fallback violating its own stated range is a programming
+    // error, not user input: it must die loudly even when unset.
+    EXPECT_DEATH(envU64InRange(kVar, 0, 1, 100), "fallback");
+    EXPECT_DEATH(envDoubleInRange(kVar, 11.0, 0.0, 10.0), "fallback");
+}
+
+TEST_F(EnvRangeTest, SoakKnobRangesMatchDriver)
+{
+    // The exact knob/range pairs the soak driver publishes; a typo'd
+    // "1e9" scrub or a 0 backoff must come back as the default.
+    setenv("CITADEL_SOAK_YEARS", "1e9", 1);
+    EXPECT_DOUBLE_EQ(
+        envDoubleInRange("CITADEL_SOAK_YEARS", 2.0, 0.01, 100.0), 2.0);
+    unsetenv("CITADEL_SOAK_YEARS");
+
+    setenv("CITADEL_META_BACKOFF_CYCLES", "0", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_META_BACKOFF_CYCLES", 16, 1,
+                            1'000'000),
+              16u);
+    unsetenv("CITADEL_META_BACKOFF_CYCLES");
+
+    setenv("CITADEL_SOAK_SHARDS", "99999", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_SOAK_SHARDS", 4, 1, 256), 4u);
+    unsetenv("CITADEL_SOAK_SHARDS");
+}
+
+} // namespace
+} // namespace citadel

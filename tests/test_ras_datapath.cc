@@ -174,16 +174,41 @@ TEST_F(LiveRasTest, TripleBankPatternReportsDueAndContinues)
     EXPECT_EQ(c.sdc, 0u);
     EXPECT_EQ(c.divergences, 0u);
 
-    // Same poisoned line again: counted as a poisoned read, reported
-    // (machine-check style) only once.
-    EXPECT_EQ(dp.onDemandRead(line, 2).kind,
-              DemandOutcome::Kind::Uncorrectable);
+    // The DUE offlined its page (the default ladder rung): the same
+    // line again is steered to a healthy stand-in and reads clean,
+    // and the DUE is reported (machine-check style) only once.
+    EXPECT_EQ(c.pagesOfflined, 1u);
+    EXPECT_EQ(dp.onDemandRead(line, 2).kind, DemandOutcome::Kind::Clean);
     EXPECT_EQ(dp.counters().due, 1u);
-    EXPECT_EQ(dp.counters().dueReads, 2u);
+    EXPECT_EQ(dp.counters().dueReads, 1u);
+    EXPECT_EQ(dp.counters().offlinedReads, 1u);
 
     // And the datapath still serves unaffected banks normally.
     EXPECT_EQ(dp.onDemandRead(lineAt(1, 1, 9, 1), 3).kind,
               DemandOutcome::Kind::Clean);
+}
+
+TEST_F(LiveRasTest, PoisonedLineRereadsWithoutOfflining)
+{
+    // With page offlining disabled the legacy semantics hold: every
+    // re-read of a poisoned line is another poisoned read.
+    LiveRasOptions opts;
+    opts.degrade.offlinePagesOnDue = false;
+    LiveRasDatapath dp(cfg_, opts);
+    dp.scheduleFault(bankFault(0, 0, 0), 0);
+    dp.scheduleFault(bankFault(0, 0, 1), 0);
+    dp.scheduleFault(bankFault(0, 1, 0), 0);
+    dp.tick(0);
+
+    const LineAddr line = lineAt(0, 0, 9, 1);
+    EXPECT_EQ(dp.onDemandRead(line, 1).kind,
+              DemandOutcome::Kind::Uncorrectable);
+    EXPECT_EQ(dp.onDemandRead(line, 2).kind,
+              DemandOutcome::Kind::Uncorrectable);
+    EXPECT_EQ(dp.counters().due, 1u);
+    EXPECT_EQ(dp.counters().dueReads, 2u);
+    EXPECT_EQ(dp.counters().pagesOfflined, 0u);
+    EXPECT_EQ(dp.counters().offlinedReads, 0u);
 }
 
 TEST_F(LiveRasTest, TsvFaultAbsorbedBySwap)

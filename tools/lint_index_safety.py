@@ -54,6 +54,15 @@ BLESSED = {
     "src/sim/llc.cc",
     "src/sim/workload.cc",
     "src/ras/live_datapath.cc",
+    # Retirement/degradation/metadata records pack typed coordinates
+    # into raw map keys and serialized bytes -- the same
+    # storage-facing translation the remap tables do.
+    "src/sim/retirement.cc",
+    "src/ras/degradation.cc",
+    "src/ras/meta_protect.cc",
+    # Run-compressed line-address intervals: interval arithmetic on
+    # LineAddr is inherently raw.
+    "src/ras/poison_set.h",
 }
 
 RAW_TYPES = r"(?:u8|u16|u32|u64|i32|i64|int|unsigned|std::size_t|size_t)"
