@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Fleet load driver: runs the memory-pool service campaign — client
+ * retry engine, coordinator failover, N bit-true stack-server shards —
+ * under deterministic chaos, and proves on every run that the result
+ * is thread-count invariant: the campaign is executed a second time on
+ * a single worker thread and the two fingerprints must match bit for
+ * bit.
+ *
+ * All knobs go through the range-validated env parser; a typo'd value
+ * is rejected (with a warning) rather than silently wedging a run:
+ *
+ *   CITADEL_FLEET_SERVERS      stack servers          [2, 64]
+ *   CITADEL_FLEET_TICKS        campaign ticks         [64, 1e6]
+ *   CITADEL_FLEET_USERS        distinct clients       [1, 1e9]
+ *   CITADEL_FLEET_KEYSPACE     distinct keys          [1, 1e6]
+ *   CITADEL_FLEET_ARRIVALS     operations per tick    [1, 1024]
+ *   CITADEL_FLEET_WRITE_FRAC   write fraction         [0, 1]
+ *   CITADEL_FLEET_REPLICATION  copies per key         [1, 8]
+ *   CITADEL_FLEET_QUORUM       write-ack quorum       [1, 8]
+ *   CITADEL_FLEET_QUEUE_CAP    per-server inbox cap   [1, 65536]
+ *   CITADEL_FLEET_CHAOS        chaos on/off           [0, 1]
+ *   CITADEL_FLEET_CRASHES      scheduled crashes      [0, 64]
+ *   CITADEL_FLEET_DROP_PROB    request loss prob      [0, 1]
+ *   CITADEL_FLEET_CALIB_INSNS  SystemSim calibration
+ *                              slice, 0 = skip        [0, 1e7]
+ *   CITADEL_FLEET_FIT_SCALE    device FIT multiplier  [0, 1e6]
+ *   CITADEL_SEED               campaign seed
+ *   CITADEL_THREADS            worker threads (the fingerprint is
+ *                              identical for any value)
+ *
+ * Exit status is non-zero if any acknowledged write is lost or
+ * corrupt, if any datapath's differential model diverges, or if the
+ * two runs' fingerprints differ.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common/env.h"
+#include "fleet/fleet_sim.h"
+
+using namespace citadel;
+using namespace citadel::fleet;
+
+namespace {
+
+FleetConfig
+configFromEnv()
+{
+    FleetConfig cfg = FleetConfig::demo();
+    cfg.servers = static_cast<u32>(
+        envU64InRange("CITADEL_FLEET_SERVERS", 8, 2, 64));
+    cfg.ticks = envU64InRange("CITADEL_FLEET_TICKS", 2048, 64, 1'000'000);
+    cfg.users =
+        envU64InRange("CITADEL_FLEET_USERS", 1'000'000, 1, 1'000'000'000);
+    cfg.keySpace =
+        envU64InRange("CITADEL_FLEET_KEYSPACE", 512, 1, 1'000'000);
+    cfg.arrivalsPerTick = static_cast<u32>(
+        envU64InRange("CITADEL_FLEET_ARRIVALS", 4, 1, 1024));
+    cfg.writeFraction =
+        envDoubleInRange("CITADEL_FLEET_WRITE_FRAC", 0.5, 0.0, 1.0);
+    cfg.replication = static_cast<u32>(
+        envU64InRange("CITADEL_FLEET_REPLICATION", 2, 1, 8));
+    cfg.ackQuorum =
+        static_cast<u32>(envU64InRange("CITADEL_FLEET_QUORUM", 2, 1, 8));
+    cfg.server.queueCap = static_cast<u32>(
+        envU64InRange("CITADEL_FLEET_QUEUE_CAP", 256, 1, 65536));
+    cfg.chaos.enabled =
+        envU64InRange("CITADEL_FLEET_CHAOS", 1, 0, 1) != 0;
+    cfg.chaos.crashes = static_cast<u32>(
+        envU64InRange("CITADEL_FLEET_CRASHES", 1, 0, 64));
+    cfg.chaos.dropProb =
+        envDoubleInRange("CITADEL_FLEET_DROP_PROB", 0.01, 0.0, 1.0);
+    cfg.server.calibrationInsns =
+        envU64InRange("CITADEL_FLEET_CALIB_INSNS", 20'000, 0, 10'000'000);
+
+    // Rebuild the FIT table from nominal so the env knob is an
+    // absolute multiplier, not a multiplier on demo()'s default.
+    const double fit_scale =
+        envDoubleInRange("CITADEL_FLEET_FIT_SCALE", 2000.0, 0.0, 1e6);
+    FitTable t = FitTable::paper8Gb();
+    const auto scale = [&](FitPair p) {
+        p.transientFit *= fit_scale;
+        p.permanentFit *= fit_scale;
+        return p;
+    };
+    t.bit = scale(t.bit);
+    t.word = scale(t.word);
+    t.column = scale(t.column);
+    t.row = scale(t.row);
+    t.bank = scale(t.bank);
+    cfg.server.faults.rates = t;
+
+    cfg.seed = envU64("CITADEL_SEED", 1);
+    return cfg;
+}
+
+void
+printServers(const FleetResult &res)
+{
+    std::cout << "  srv state    served  rejected  DUE  CE    keys  "
+                 "units/tick  capacity\n";
+    for (std::size_t s = 0; s < res.servers.size(); ++s) {
+        const ServerReport &r = res.servers[s];
+        std::cout << "  " << std::setw(3) << s << " " << std::left
+                  << std::setw(8) << serverStateName(r.state)
+                  << std::right << std::setw(9) << r.served
+                  << std::setw(9) << r.rejected << std::setw(5)
+                  << r.dueReads << std::setw(5) << r.corrected
+                  << std::setw(7) << r.kvKeys << std::setw(11)
+                  << r.serviceUnits << std::setw(9) << std::fixed
+                  << std::setprecision(3) << r.capacityFraction
+                  << "\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    FleetConfig cfg = configFromEnv();
+
+    std::cout << "fleet load driver: " << cfg.servers << " servers, "
+              << cfg.ticks << " ticks, replication " << cfg.replication
+              << "/quorum " << cfg.ackQuorum << ", chaos "
+              << (cfg.chaos.enabled ? "on" : "off") << "\n";
+
+    FleetCampaign campaign(cfg);
+    std::cout << "chaos schedule: " << campaign.chaosSchedule().size()
+              << " events\n";
+    const FleetResult res = campaign.run();
+    std::cout << res.summary() << "\n";
+    printServers(res);
+
+    // Thread-invariance proof: the same campaign on one worker thread
+    // must land on the same fingerprint bit for bit.
+    FleetConfig single = cfg;
+    single.threads = 1;
+    FleetCampaign control(single);
+    const FleetResult ref = control.run();
+    std::cout << "single-thread control fingerprint " << std::hex
+              << ref.fingerprint << std::dec << "\n";
+
+    bool ok = true;
+    if (res.fingerprint != ref.fingerprint) {
+        std::cout << "FAIL: fingerprint differs across thread counts\n";
+        ok = false;
+    }
+    if (res.lostAckedWrites != 0 || res.corruptAckedWrites != 0) {
+        std::cout << "FAIL: durability audit lost "
+                  << res.lostAckedWrites << " / corrupt "
+                  << res.corruptAckedWrites << " acked writes\n";
+        ok = false;
+    }
+    if (res.divergences != 0) {
+        std::cout << "FAIL: no-overclaim divergences detected\n";
+        ok = false;
+    }
+    if (res.totals.opsAcked == 0) {
+        std::cout << "FAIL: service acknowledged nothing\n";
+        ok = false;
+    }
+    if (ok)
+        std::cout << "OK: deterministic chaos campaign survivable "
+                     "(fingerprint 0x"
+                  << std::hex << res.fingerprint << std::dec << ")\n";
+    return ok ? 0 : 1;
+}

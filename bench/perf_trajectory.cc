@@ -150,8 +150,13 @@ main()
                      Table::num(parallel_tps / serial_tps, 2) + "x",
                      probCell(parallel.probFail())});
     mc_table.print(std::cout);
+    const double mc_speedup = parallel_tps / serial_tps;
+    const double mc_efficiency =
+        mc_speedup / static_cast<double>(nthreads);
     std::cout << "bit-identical: " << (match ? "yes" : "NO — BUG")
-              << "\n\n";
+              << " | scaling efficiency "
+              << Table::num(mc_efficiency * 100.0, 0) << "% of linear on "
+              << nthreads << " threads\n\n";
 
     // ---- 2. CRC-32 MB/s: slice-by-8 vs byte-at-a-time --------------
     Rng rng(99);
@@ -286,7 +291,7 @@ main()
         path_env && *path_env ? path_env : "BENCH_mc.json";
     std::ofstream json(path);
     json << "{\n"
-         << "  \"schema\": \"citadel-perf-trajectory-v2\",\n"
+         << "  \"schema\": \"citadel-perf-trajectory-v3\",\n"
          << "  \"trials\": " << n << ",\n"
          << "  \"threads\": " << nthreads << ",\n"
          << "  \"hardware_concurrency\": "
@@ -294,7 +299,8 @@ main()
          << "  \"mc\": {\n"
          << "    \"serial_trials_per_s\": " << serial_tps << ",\n"
          << "    \"parallel_trials_per_s\": " << parallel_tps << ",\n"
-         << "    \"speedup\": " << parallel_tps / serial_tps << ",\n"
+         << "    \"speedup\": " << mc_speedup << ",\n"
+         << "    \"scaling_efficiency\": " << mc_efficiency << ",\n"
          << "    \"bit_identical\": " << (match ? "true" : "false")
          << "\n  },\n"
          << "  \"crc32\": {\n"
@@ -321,6 +327,10 @@ main()
          << "    \"suite_serial_s\": " << suite_serial_s << ",\n"
          << "    \"suite_parallel_s\": " << suite_parallel_s << ",\n"
          << "    \"suite_speedup\": " << suite_serial_s / suite_parallel_s
+         << ",\n"
+         << "    \"suite_scaling_efficiency\": "
+         << suite_serial_s / suite_parallel_s /
+                static_cast<double>(nthreads)
          << ",\n"
          << "    \"suite_identical\": "
          << (suite_identical ? "true" : "false") << "\n  }\n"

@@ -23,6 +23,22 @@
 namespace citadel {
 
 /**
+ * splitmix64 finalizer: the stateless counter-hash every deterministic
+ * subsystem derives per-item randomness from (soak probe addresses,
+ * fleet request routing, chaos coin flips). Bit-stable across
+ * platforms; hashing a counter with a subsystem-specific salt yields a
+ * stream that is independent of execution order and thread count.
+ */
+constexpr u64
+mix64(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/**
  * xoshiro256** generator (Blackman & Vigna). Seeded through splitmix64 so
  * that any 64-bit seed, including 0, produces a well-mixed state.
  */

@@ -1,0 +1,137 @@
+#include "fleet/chaos.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace citadel {
+namespace fleet {
+
+namespace {
+
+/** Coin flip from a counter hash: deterministic, order-independent. */
+bool
+coin(u64 h, double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    // Compare against the top 53 bits for a clean double mapping.
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    return u < p;
+}
+
+} // namespace
+
+void
+ChaosOptions::validate() const
+{
+    if (dropProb < 0.0 || dropProb > 1.0)
+        fatal("ChaosOptions: dropProb must be in [0, 1]");
+    if (dupProb < 0.0 || dupProb > 1.0)
+        fatal("ChaosOptions: dupProb must be in [0, 1]");
+    if (slowFactor == 0)
+        fatal("ChaosOptions: slowFactor must be >= 1");
+}
+
+FleetFaultInjector::FleetFaultInjector(const ChaosOptions &opts,
+                                       u32 servers, u64 campaign_ticks,
+                                       u64 seed)
+    : opts_(opts), seed_(seed ^ 0xC0A05EEDull)
+{
+    opts_.validate();
+    if (!opts_.enabled || servers == 0 || campaign_ticks == 0)
+        return;
+
+    Rng rng(seed_);
+    const u64 lo = campaign_ticks / 10;
+    const u64 hi = campaign_ticks - campaign_ticks / 10;
+    const auto sample_tick = [&] {
+        return hi > lo ? rng.inRange(lo, hi) : lo;
+    };
+
+    // Crashes hit distinct servers: a schedule that takes out both
+    // replicas of a key tests nothing about single-failure
+    // durability. (Scripted events may still do so deliberately.)
+    std::vector<ServerIdx> pool(servers);
+    for (u32 s = 0; s < servers; ++s)
+        pool[s] = s;
+    const u32 crashes = std::min(opts_.crashes, servers);
+    for (u32 i = 0; i < crashes; ++i) {
+        const u64 pick = rng.below(pool.size());
+        ChaosEvent ev;
+        ev.tick = sample_tick();
+        ev.kind = ChaosEvent::Kind::Crash;
+        ev.server = pool[pick];
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+        events_.push_back(ev);
+    }
+    for (u32 i = 0; i < opts_.stalls; ++i) {
+        ChaosEvent ev;
+        ev.tick = sample_tick();
+        ev.kind = ChaosEvent::Kind::Stall;
+        ev.server = static_cast<ServerIdx>(rng.below(servers));
+        ev.duration = opts_.stallTicks;
+        events_.push_back(ev);
+    }
+    for (u32 i = 0; i < opts_.slowdowns; ++i) {
+        ChaosEvent ev;
+        ev.tick = sample_tick();
+        ev.kind = ChaosEvent::Kind::Slow;
+        ev.server = static_cast<ServerIdx>(rng.below(servers));
+        ev.duration = opts_.slowTicks;
+        ev.factor = opts_.slowFactor;
+        events_.push_back(ev);
+    }
+    sortEvents();
+}
+
+void
+FleetFaultInjector::addEvent(const ChaosEvent &ev)
+{
+    events_.push_back(ev);
+    sortEvents();
+}
+
+void
+FleetFaultInjector::sortEvents()
+{
+    std::sort(events_.begin(), events_.end(),
+              [](const ChaosEvent &a, const ChaosEvent &b) {
+                  if (a.tick != b.tick)
+                      return a.tick < b.tick;
+                  if (a.server != b.server)
+                      return a.server < b.server;
+                  return static_cast<u8>(a.kind) <
+                         static_cast<u8>(b.kind);
+              });
+}
+
+bool
+FleetFaultInjector::dropRequest(u64 op, u32 attempt,
+                                ServerIdx server) const
+{
+    if (!opts_.enabled)
+        return false;
+    const u64 h = mix64(seed_ ^ (op * 0x9E3779B97F4A7C15ull) ^
+                        (static_cast<u64>(attempt) << 36) ^ server);
+    return coin(h, opts_.dropProb);
+}
+
+bool
+FleetFaultInjector::duplicateRequest(u64 op, u32 attempt,
+                                     ServerIdx server) const
+{
+    if (!opts_.enabled)
+        return false;
+    const u64 h = mix64(seed_ ^ 0xD0D0ull ^
+                        (op * 0xBF58476D1CE4E5B9ull) ^
+                        (static_cast<u64>(attempt) << 36) ^ server);
+    return coin(h, opts_.dupProb);
+}
+
+} // namespace fleet
+} // namespace citadel

@@ -1,0 +1,324 @@
+#include "fleet/client.h"
+
+#include <bit>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace citadel {
+namespace fleet {
+
+FleetClient::FleetClient(const RetryPolicy &policy, u32 replication,
+                         u32 ackQuorum, u64 valueSalt)
+    : policy_(policy), replication_(replication), ackQuorum_(ackQuorum),
+      valueSalt_(valueSalt)
+{
+    policy_.validate();
+    if (replication_ == 0)
+        fatal("FleetClient: replication must be >= 1");
+    if (ackQuorum_ == 0 || ackQuorum_ > replication_)
+        fatal("FleetClient: ackQuorum must be in [1, replication]");
+}
+
+void
+FleetClient::connect(PlacementFn placement, SendFn send)
+{
+    placementFn_ = std::move(placement);
+    sendFn_ = std::move(send);
+}
+
+u64
+FleetClient::valueFor(u64 key, u64 version, u64 salt)
+{
+    return mix64(key * 0xA24BAED4963EE407ull ^
+                 version * 0x9FB21C651E98DF25ull ^ salt);
+}
+
+void
+FleetClient::wakeAt(u64 tick, u64 op_id)
+{
+    wake_.emplace(tick, op_id);
+}
+
+void
+FleetClient::startRead(u64 op_id, u64 key, u64 now)
+{
+    Op op;
+    op.kind = OpKind::Read;
+    op.key = key;
+    op.deadline = now + policy_.opDeadline;
+    auto [it, inserted] = ops_.emplace(op_id, op);
+    if (!inserted)
+        fatal("FleetClient: duplicate operation id %llu",
+              static_cast<unsigned long long>(op_id));
+    ++counters_.opsIssued;
+    wakeAt(it->second.deadline, op_id);
+    sendRead(op_id, it->second, now);
+}
+
+void
+FleetClient::startWrite(u64 op_id, u64 key, u64 now)
+{
+    Op op;
+    op.kind = OpKind::Write;
+    op.key = key;
+    op.version = ++versions_[key];
+    op.value = valueFor(key, op.version, valueSalt_);
+    op.deadline = now + policy_.opDeadline;
+    auto [it, inserted] = ops_.emplace(op_id, op);
+    if (!inserted)
+        fatal("FleetClient: duplicate operation id %llu",
+              static_cast<unsigned long long>(op_id));
+    ++counters_.opsIssued;
+    wakeAt(it->second.deadline, op_id);
+    sendWrite(op_id, it->second, now);
+}
+
+void
+FleetClient::sendRead(u64 op_id, Op &op, u64 now)
+{
+    placementFn_(op.key, scratch_);
+    if (scratch_.empty()) {
+        complete(op_id, op, false);
+        return;
+    }
+    ++op.attempts;
+    ++counters_.attempts;
+    op.lastSentAt = now;
+    op.retryAt = 0;
+    op.hedged = false;
+    op.hedgeServer = kNoServer;
+    const u32 slot =
+        (op.attempts - 1) % static_cast<u32>(scratch_.size());
+    op.mainServer = scratch_[slot];
+
+    Request r;
+    r.op = op_id;
+    r.attempt = op.attempts - 1;
+    r.replica = slot;
+    r.kind = OpKind::Read;
+    r.key = op.key;
+    sendFn_(r, op.mainServer);
+
+    if (policy_.hedgeAfter > 0 &&
+        policy_.hedgeAfter < policy_.attemptTimeout &&
+        scratch_.size() > 1)
+        wakeAt(now + policy_.hedgeAfter, op_id);
+    wakeAt(now + policy_.attemptTimeout, op_id);
+}
+
+void
+FleetClient::sendWrite(u64 op_id, Op &op, u64 now)
+{
+    placementFn_(op.key, scratch_);
+    if (scratch_.empty()) {
+        complete(op_id, op, false);
+        return;
+    }
+    ++op.attempts;
+    op.lastSentAt = now;
+    op.retryAt = 0;
+    // Fan out to every replica that has not acknowledged yet.
+    for (u32 slot = 0; slot < scratch_.size(); ++slot) {
+        const ServerIdx s = scratch_[slot];
+        if (s < 64 && (op.ackMask >> s) & 1)
+            continue;
+        Request r;
+        r.op = op_id;
+        r.attempt = op.attempts - 1;
+        r.replica = slot;
+        r.kind = OpKind::Write;
+        r.key = op.key;
+        r.version = op.version;
+        r.value = op.value;
+        sendFn_(r, s);
+        ++counters_.attempts;
+    }
+    wakeAt(now + policy_.attemptTimeout, op_id);
+}
+
+void
+FleetClient::sendHedge(u64 op_id, Op &op)
+{
+    placementFn_(op.key, scratch_);
+    op.hedged = true;
+    for (u32 slot = 0; slot < scratch_.size(); ++slot) {
+        if (scratch_[slot] == op.mainServer)
+            continue;
+        op.hedgeServer = scratch_[slot];
+        Request r;
+        r.op = op_id;
+        r.attempt = op.attempts - 1;
+        r.replica = slot;
+        r.kind = OpKind::Read;
+        r.key = op.key;
+        sendFn_(r, op.hedgeServer);
+        ++counters_.hedges;
+        ++counters_.attempts;
+        return;
+    }
+    // No distinct replica left to hedge to; the attempt timeout path
+    // still covers the operation.
+}
+
+void
+FleetClient::beginBackoff(u64 op_id, Op &op, u64 now)
+{
+    if (op.attempts >= policy_.maxAttempts || now >= op.deadline) {
+        complete(op_id, op, false);
+        return;
+    }
+    const u64 delay = policy_.backoff(op_id, op.attempts);
+    op.retryAt = now + delay;
+    counters_.backoffTicks += delay;
+    ++counters_.retries;
+    wakeAt(op.retryAt, op_id);
+}
+
+void
+FleetClient::onResponse(const Response &resp, u64 now)
+{
+    auto it = ops_.find(resp.op);
+    if (it == ops_.end()) {
+        // Completed, failed, or a chaos duplicate: idempotence means
+        // late copies are simply dropped.
+        ++counters_.duplicatesSuppressed;
+        return;
+    }
+    Op &op = it->second;
+
+    switch (resp.status) {
+    case Status::Busy:
+        ++counters_.busyRejections;
+        if (op.retryAt == 0)
+            beginBackoff(resp.op, op, now);
+        return;
+
+    case Status::DueData:
+        if (op.kind == OpKind::Write) {
+            // This replica cannot serve the key's line; the timeout
+            // path will re-fan-out, and the quorum rule decides.
+            if (op.retryAt == 0)
+                beginBackoff(resp.op, op, now);
+            return;
+        }
+        ++counters_.dueFailovers;
+        if (op.attempts < policy_.maxAttempts && now < op.deadline) {
+            // Immediate failover read: the replica's device may be
+            // healthy even though this stack lost the line.
+            sendRead(resp.op, op, now);
+        } else {
+            ++counters_.readsDue;
+            complete(resp.op, op, false);
+        }
+        return;
+
+    case Status::Ok:
+    case Status::NotFound:
+        if (op.kind == OpKind::Read) {
+            if (op.hedgeServer != kNoServer &&
+                resp.from == op.hedgeServer &&
+                resp.from != op.mainServer)
+                ++counters_.hedgeWins;
+            complete(resp.op, op, true);
+            return;
+        }
+        // Write acknowledgement path.
+        if (resp.status != Status::Ok || resp.version != op.version)
+            return; // Stale or partial; not an ack for this version.
+        if (resp.from >= 64)
+            fatal("FleetClient: server index %u exceeds the 64-server "
+                  "ack bitmask",
+                  resp.from);
+        if ((op.ackMask >> resp.from) & 1)
+            return; // Duplicate ack from the same replica.
+        op.ackMask |= 1ull << resp.from;
+        ++op.acks;
+        if (op.acks >= ackQuorum_) {
+            AckedWrite &aw = acked_[op.key];
+            if (op.version > aw.version) {
+                aw.version = op.version;
+                aw.value = op.value;
+            }
+            ++counters_.writesAcked;
+            complete(resp.op, op, true);
+        }
+        return;
+    }
+}
+
+void
+FleetClient::evaluate(u64 op_id, u64 now)
+{
+    auto it = ops_.find(op_id);
+    if (it == ops_.end())
+        return; // Completed; stale wakeup.
+    Op &op = it->second;
+
+    if (now >= op.deadline) {
+        complete(op_id, op, false);
+        return;
+    }
+    if (op.retryAt != 0) {
+        if (now >= op.retryAt) {
+            op.retryAt = 0;
+            if (op.kind == OpKind::Read)
+                sendRead(op_id, op, now);
+            else
+                sendWrite(op_id, op, now);
+        }
+        return;
+    }
+    const u64 elapsed = now - op.lastSentAt;
+    if (op.kind == OpKind::Read && !op.hedged &&
+        policy_.hedgeAfter > 0 && elapsed >= policy_.hedgeAfter &&
+        elapsed < policy_.attemptTimeout)
+        sendHedge(op_id, op);
+    if (elapsed >= policy_.attemptTimeout) {
+        ++counters_.attemptTimeouts;
+        beginBackoff(op_id, op, now);
+    }
+}
+
+void
+FleetClient::tick(u64 now)
+{
+    while (!wake_.empty() && wake_.begin()->first <= now) {
+        const u64 op_id = wake_.begin()->second;
+        wake_.erase(wake_.begin());
+        evaluate(op_id, now);
+    }
+}
+
+void
+FleetClient::complete(u64 op_id, Op &op, bool acked)
+{
+    if (acked)
+        ++counters_.opsAcked;
+    else
+        ++counters_.opsFailed;
+    (void)op;
+    ops_.erase(op_id);
+}
+
+void
+FleetClient::finish()
+{
+    counters_.opsUnresolved += ops_.size();
+    ops_.clear();
+    wake_.clear();
+}
+
+void
+FleetClient::serialize(ByteSink &sink) const
+{
+    sink.putU64(acked_.size());
+    for (const auto &[key, aw] : acked_) {
+        sink.putU64(key);
+        sink.putU64(aw.version);
+        sink.putU64(aw.value);
+    }
+}
+
+} // namespace fleet
+} // namespace citadel

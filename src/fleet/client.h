@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fleet client library: the retry/hedging engine that turns lossy,
+ * crash-prone stack servers into a usable memory-pool service.
+ *
+ * Reads go to the key's primary and are hedged to the next replica
+ * when the primary dawdles; writes fan out to every replica and
+ * acknowledge at a quorum, which is what makes "no acknowledged write
+ * is lost when any single server dies" a theorem rather than a hope.
+ * Attempts that time out (per-attempt) back off exponentially with
+ * deterministic jitter (fleet/retry.h) and re-resolve placement, so a
+ * failed-over key finds its new owners; the operation as a whole is
+ * bounded by a deadline.
+ *
+ * The client is single-threaded by design — it runs in the campaign's
+ * serial phase — and never reads a real clock: every method takes the
+ * virtual `now`. Wakeups (timeouts, backoff expiries, hedges,
+ * deadlines) live in an ordered queue keyed by (tick, operation id),
+ * so processing order is deterministic.
+ */
+
+#ifndef CITADEL_FLEET_CLIENT_H
+#define CITADEL_FLEET_CLIENT_H
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "fleet/retry.h"
+
+namespace citadel {
+namespace fleet {
+
+class FleetClient
+{
+  public:
+    /** Deliver one request to a server (the campaign's "network"). */
+    using SendFn = std::function<void(const Request &, ServerIdx)>;
+
+    /** Resolve the current replica set of a key, primary first. */
+    using PlacementFn =
+        std::function<void(u64 key, std::vector<ServerIdx> &)>;
+
+    /** The last acknowledged state of one key (the audit set). */
+    struct AckedWrite
+    {
+        u64 version = 0;
+        u64 value = 0;
+    };
+
+    FleetClient(const RetryPolicy &policy, u32 replication,
+                u32 ackQuorum, u64 valueSalt);
+
+    /** Wire the client to the fleet. Must be called before use. */
+    void connect(PlacementFn placement, SendFn send);
+
+    /** Issue a read of `key` as operation `op` at virtual time `now`. */
+    void startRead(u64 op, u64 key, u64 now);
+
+    /** Issue a write; the client assigns the next version of `key` and
+     *  derives the payload digest from (key, version). */
+    void startWrite(u64 op, u64 key, u64 now);
+
+    /** A response arrived (duplicates and stragglers welcome). */
+    void onResponse(const Response &resp, u64 now);
+
+    /** Run every wakeup due at or before `now`. */
+    void tick(u64 now);
+
+    /** End of campaign: classify still-inflight ops as unresolved. */
+    void finish();
+
+    /** Operations still in flight. */
+    std::size_t inflight() const { return ops_.size(); }
+
+    const FleetCounters &counters() const { return counters_; }
+
+    /** Every key's last acknowledged write — what the durability audit
+     *  checks against surviving replicas. */
+    const std::map<u64, AckedWrite> &ackedWrites() const
+    {
+        return acked_;
+    }
+
+    /** The payload digest the client writes for (key, version); the
+     *  audit recomputes it to verify replica integrity. */
+    static u64 valueFor(u64 key, u64 version, u64 salt);
+
+    /** Fold the acked-write set into a fingerprint. */
+    void serialize(ByteSink &sink) const;
+
+  private:
+    struct Op
+    {
+        OpKind kind = OpKind::Read;
+        u64 key = 0;
+        u64 version = 0; ///< Writes only.
+        u64 value = 0;   ///< Writes only.
+        u64 deadline = 0;
+        u32 attempts = 0;   ///< Attempt rounds launched.
+        u64 lastSentAt = 0; ///< When the current round was sent.
+        u64 retryAt = 0;    ///< Backoff expiry; 0 = not backing off.
+        bool hedged = false;
+        ServerIdx mainServer = kNoServer;  ///< Current read target.
+        ServerIdx hedgeServer = kNoServer; ///< Current hedge target.
+        u64 ackMask = 0; ///< Writes: bit per acked server (<= 64).
+        u32 acks = 0;
+    };
+
+    void sendRead(u64 op_id, Op &op, u64 now);
+    void sendWrite(u64 op_id, Op &op, u64 now);
+    void sendHedge(u64 op_id, Op &op);
+    void beginBackoff(u64 op_id, Op &op, u64 now);
+    void evaluate(u64 op_id, u64 now);
+    void complete(u64 op_id, Op &op, bool acked);
+    void wakeAt(u64 tick, u64 op_id);
+
+    RetryPolicy policy_;
+    u32 replication_;
+    u32 ackQuorum_;
+    u64 valueSalt_;
+
+    PlacementFn placementFn_;
+    SendFn sendFn_;
+
+    std::map<u64, Op> ops_;          ///< In-flight, by operation id.
+    std::multimap<u64, u64> wake_;   ///< tick -> operation id.
+    std::map<u64, u64> versions_;    ///< Per-key next-version counter.
+    std::map<u64, AckedWrite> acked_;
+    std::vector<ServerIdx> scratch_; ///< Placement resolution buffer.
+
+    FleetCounters counters_;
+};
+
+} // namespace fleet
+} // namespace citadel
+
+#endif // CITADEL_FLEET_CLIENT_H

@@ -1,0 +1,169 @@
+#include "fleet/coordinator.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace citadel {
+namespace fleet {
+
+void
+CoordinatorOptions::validate() const
+{
+    if (healthEvery == 0)
+        fatal("CoordinatorOptions: healthEvery must be >= 1");
+    if (failThreshold == 0)
+        fatal("CoordinatorOptions: failThreshold must be >= 1");
+    if (capacityFloor < 0.0 || capacityFloor > 1.0)
+        fatal("CoordinatorOptions: capacityFloor must be in [0, 1]");
+    if (repairPerTick == 0)
+        fatal("CoordinatorOptions: repairPerTick must be >= 1");
+    if (vnodes == 0)
+        fatal("CoordinatorOptions: vnodes must be >= 1");
+}
+
+Coordinator::Coordinator(const CoordinatorOptions &opts, u32 replication,
+                         u64 seed,
+                         std::vector<std::unique_ptr<StackServer>> &fleet)
+    : opts_(opts), replication_(replication),
+      ring_(static_cast<u32>(fleet.size()), opts.vnodes, seed),
+      fleet_(fleet), missed_(fleet.size(), 0)
+{
+    opts_.validate();
+    if (replication_ == 0)
+        fatal("Coordinator: replication must be >= 1");
+}
+
+void
+Coordinator::placement(u64 key, std::vector<ServerIdx> &out) const
+{
+    ring_.placement(key, replication_, out);
+}
+
+bool
+Coordinator::inService(ServerIdx s) const
+{
+    return ring_.contains(s) && fleet_[s]->serving();
+}
+
+void
+Coordinator::evict(ServerIdx s, bool capacity, FleetCounters &counters)
+{
+    if (!ring_.contains(s))
+        return;
+    // Never evict the last live server: degraded service beats no
+    // service, and the audit only requires single-failure durability.
+    if (ring_.liveCount() <= 1)
+        return;
+    ring_.remove(s);
+    fleet_[s]->fence();
+    missed_[s] = 0;
+    ++counters.failovers;
+    if (capacity)
+        ++counters.capacityMigrations;
+    // Every key whose replica chain included s needs a new copy.
+    rescanNeeded_ = true;
+}
+
+void
+Coordinator::tick(u64 now, FleetCounters &counters)
+{
+    if (now > 0 && now % opts_.healthEvery == 0) {
+        for (ServerIdx s = 0; s < fleet_.size(); ++s) {
+            if (!ring_.contains(s))
+                continue;
+            ++counters.healthProbes;
+            if (!fleet_[s]->respondsToProbe(now)) {
+                ++counters.probesMissed;
+                if (++missed_[s] >= opts_.failThreshold)
+                    evict(s, false, counters);
+                continue;
+            }
+            missed_[s] = 0;
+            // The stack answers, but its degradation ladder may have
+            // retired enough capacity that it should stop taking new
+            // placement: migrate its shards while it can still serve
+            // as a repair source.
+            if (!ring_.contains(s))
+                continue;
+            const RasHealthSignals h = fleet_[s]->health();
+            if (!h.healthyAbove(opts_.capacityFloor))
+                evict(s, true, counters);
+        }
+    }
+    pumpRepair(opts_.repairPerTick, counters);
+}
+
+void
+Coordinator::pumpRepair(u32 budget, FleetCounters &counters)
+{
+    if (rescanNeeded_) {
+        // (Re)start the scan from the top; a topology change mid-scan
+        // invalidates placements already visited.
+        scanning_ = true;
+        scanServer_ = 0;
+        haveLastKey_ = false;
+        rescanNeeded_ = false;
+    }
+    if (!scanning_)
+        return;
+
+    u32 left = budget;
+    while (left > 0) {
+        if (scanServer_ >= fleet_.size()) {
+            scanning_ = false;
+            return;
+        }
+        StackServer &src = *fleet_[scanServer_];
+        if (!src.dataReadable()) {
+            ++scanServer_;
+            haveLastKey_ = false;
+            continue;
+        }
+        const auto &kv = src.kv();
+        auto it = haveLastKey_ ? kv.upper_bound(lastKey_) : kv.begin();
+        if (it == kv.end()) {
+            ++scanServer_;
+            haveLastKey_ = false;
+            continue;
+        }
+        for (; it != kv.end() && left > 0; ++it) {
+            const u64 key = it->first;
+            const u64 version = it->second.first;
+            const u64 value = it->second.second;
+            lastKey_ = key;
+            haveLastKey_ = true;
+            --left;
+            placement(key, scratch_);
+            for (const ServerIdx t : scratch_) {
+                if (t == scanServer_ || !fleet_[t]->serving())
+                    continue;
+                if (fleet_[t]->lookup(key).first < version) {
+                    fleet_[t]->applyReplica(key, version, value);
+                    ++counters.repairPushes;
+                }
+            }
+        }
+    }
+}
+
+void
+Coordinator::drainRepairs(FleetCounters &counters)
+{
+    // Bounded: each full scan visits every readable server's map once,
+    // and draining runs at most one restart per preceding topology
+    // change (evictions cannot happen here).
+    while (repairing())
+        pumpRepair(0xFFFFFFFFu, counters);
+}
+
+void
+Coordinator::serialize(ByteSink &sink) const
+{
+    ring_.serialize(sink);
+    for (const u32 m : missed_)
+        sink.putU64(m);
+}
+
+} // namespace fleet
+} // namespace citadel

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fleet coordinator: placement, health checking, failover, and
+ * re-replication.
+ *
+ * The coordinator owns the consistent-hash ring. Every `healthEvery`
+ * ticks it probes each in-ring server; `failThreshold` consecutive
+ * missed probes (crash, or a stall outlasting the probe window) evict
+ * the server — removed from the ring and *fenced*, so a stalled
+ * process that wakes up after eviction finds itself out of the ring
+ * and serves nothing (no split brain). Eviction also fires when a
+ * stack's usable capacity, reported by the degradation ladder through
+ * RasHealthSignals, falls below `capacityFloor`: the fleet migrates
+ * shards off degrading stacks before they fail outright.
+ *
+ * Every topology change schedules a re-replication scan: surviving
+ * copies of every key are pushed to the key's new replica set at a
+ * bounded `repairPerTick` rate, restoring the replication factor that
+ * makes the next failure survivable. Fenced servers still serve as
+ * repair *sources* (their state is intact — they are drained, not
+ * dead); crashed servers are unreadable.
+ *
+ * Everything here runs in the campaign's serial phase in server-index
+ * order: deterministic by construction.
+ */
+
+#ifndef CITADEL_FLEET_COORDINATOR_H
+#define CITADEL_FLEET_COORDINATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "fleet/hash_ring.h"
+#include "fleet/stack_server.h"
+
+namespace citadel {
+namespace fleet {
+
+/** Coordinator tunables. */
+struct CoordinatorOptions
+{
+    u64 healthEvery = 16;      ///< Ticks between probe rounds.
+    u32 failThreshold = 3;     ///< Missed probes before eviction.
+    double capacityFloor = 0.70; ///< Migrate below this usable fraction.
+    u32 repairPerTick = 128;   ///< Keys re-replicated per tick.
+    u32 vnodes = 64;           ///< Ring points per server.
+
+    void validate() const;
+};
+
+class Coordinator
+{
+  public:
+    /** `fleet` is borrowed and must outlive the coordinator. */
+    Coordinator(const CoordinatorOptions &opts, u32 replication,
+                u64 seed,
+                std::vector<std::unique_ptr<StackServer>> &fleet);
+
+    /** Current replica set of a key, primary first. */
+    void placement(u64 key, std::vector<ServerIdx> &out) const;
+
+    /** Serial-phase duties: probe round (on schedule), evictions, and
+     *  the bounded re-replication pump. */
+    void tick(u64 now, FleetCounters &counters);
+
+    /** Run the repair pump to completion (end-of-campaign settle, so
+     *  the durability audit sees a fully re-replicated fleet). */
+    void drainRepairs(FleetCounters &counters);
+
+    /** In the ring and serving. */
+    bool inService(ServerIdx s) const;
+
+    const HashRing &ring() const { return ring_; }
+
+    /** Repair backlog still pending? */
+    bool repairing() const { return scanning_ || rescanNeeded_; }
+
+    void serialize(ByteSink &sink) const;
+
+  private:
+    void evict(ServerIdx s, bool capacity, FleetCounters &counters);
+    void pumpRepair(u32 budget, FleetCounters &counters);
+
+    CoordinatorOptions opts_;
+    u32 replication_;
+    HashRing ring_;
+    std::vector<std::unique_ptr<StackServer>> &fleet_;
+    std::vector<u32> missed_; ///< Consecutive missed probes.
+
+    // Re-replication scan cursor (bounded work per tick).
+    bool rescanNeeded_ = false;
+    bool scanning_ = false;
+    ServerIdx scanServer_ = 0;
+    bool haveLastKey_ = false;
+    u64 lastKey_ = 0;
+
+    std::vector<ServerIdx> scratch_;
+};
+
+} // namespace fleet
+} // namespace citadel
+
+#endif // CITADEL_FLEET_COORDINATOR_H

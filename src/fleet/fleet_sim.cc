@@ -1,0 +1,374 @@
+#include "fleet/fleet_sim.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "faults/fit_rates.h"
+#include "stack/geometry.h"
+
+namespace citadel {
+namespace fleet {
+
+namespace {
+
+FitPair
+scalePair(FitPair p, double s)
+{
+    p.transientFit *= s;
+    p.permanentFit *= s;
+    return p;
+}
+
+/** Counter-hash coin on the top 53 bits (uniform in [0, 1)). */
+bool
+coin(u64 h, double p)
+{
+    return static_cast<double>(h >> 11) * 0x1p-53 < p;
+}
+
+const FleetConfig &
+validated(const FleetConfig &cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
+void
+FleetConfig::validate() const
+{
+    if (servers < 2 || servers > 64)
+        fatal("FleetConfig: servers must be in [2, 64] (the write-ack "
+              "bitmask is 64 bits wide)");
+    if (ticks == 0)
+        fatal("FleetConfig: ticks must be >= 1");
+    if (users == 0 || keySpace == 0)
+        fatal("FleetConfig: users and keySpace must be >= 1");
+    if (arrivalsPerTick == 0)
+        fatal("FleetConfig: arrivalsPerTick must be >= 1");
+    if (writeFraction < 0.0 || writeFraction > 1.0)
+        fatal("FleetConfig: writeFraction must be in [0, 1]");
+    if (replication == 0 || replication > 8)
+        fatal("FleetConfig: replication must be in [1, 8]");
+    if (replication > servers)
+        fatal("FleetConfig: replication exceeds the server count");
+    if (ackQuorum == 0 || ackQuorum > replication)
+        fatal("FleetConfig: ackQuorum must be in [1, replication]");
+    if (responseDelay == 0)
+        fatal("FleetConfig: responseDelay must be >= 1 (same-tick "
+              "request/response cycles would be order-dependent)");
+    retry.validate();
+    coord.validate();
+    chaos.validate();
+    server.validate();
+}
+
+FleetConfig
+FleetConfig::demo()
+{
+    FleetConfig cfg;
+    cfg.server.sim.geom = StackGeometry::tiny();
+    cfg.server.sim.cores = 2;
+
+    // Boosted fault rates, same rationale as the soak driver: at
+    // nominal FIT a short campaign would see nothing. The fleet
+    // campaign exercises mechanisms; it is not a reliability estimate.
+    const double fit_scale = 2000.0;
+    FitTable t = FitTable::paper8Gb();
+    t.bit = scalePair(t.bit, fit_scale);
+    t.word = scalePair(t.word, fit_scale);
+    t.column = scalePair(t.column, fit_scale);
+    t.row = scalePair(t.row, fit_scale);
+    t.bank = scalePair(t.bank, fit_scale);
+    cfg.server.faults.rates = t;
+    cfg.server.faults.tsvDeviceFit = 1430.0;
+    cfg.server.faults.metaFit = 100000.0;
+    cfg.server.agingHours = 2000.0;
+    return cfg;
+}
+
+std::string
+FleetResult::summary() const
+{
+    std::ostringstream os;
+    os << totals.summary() << "\n";
+    os << "fleet: " << liveServers << "/" << servers.size()
+       << " servers in service | audit: " << auditedWrites
+       << " acked writes, " << lostAckedWrites << " lost, "
+       << corruptAckedWrites << " corrupt | divergences " << divergences
+       << " | fingerprint " << std::hex << fingerprint << std::dec;
+    return os.str();
+}
+
+FleetCampaign::FleetCampaign(const FleetConfig &cfg)
+    : cfg_(validated(cfg)),
+      injector_(cfg_.chaos, cfg_.servers, cfg_.ticks, cfg_.seed),
+      client_(cfg_.retry, cfg_.replication, cfg_.ackQuorum,
+              mix64(cfg_.seed ^ 0x5A17ull))
+{
+    fleet_.reserve(cfg_.servers);
+    for (u32 s = 0; s < cfg_.servers; ++s)
+        fleet_.push_back(std::make_unique<StackServer>(
+            s, cfg_.server, cfg_.seed, cfg_.ticks));
+    coordinator_ = std::make_unique<Coordinator>(
+        cfg_.coord, cfg_.replication, mix64(cfg_.seed ^ 0x419Cull),
+        fleet_);
+    client_.connect(
+        [this](u64 key, std::vector<ServerIdx> &out) {
+            coordinator_->placement(key, out);
+        },
+        [this](const Request &r, ServerIdx s) { sendToServer(r, s); });
+}
+
+FleetCampaign::~FleetCampaign() = default;
+
+void
+FleetCampaign::injectChaosEvent(const ChaosEvent &ev)
+{
+    if (ran_)
+        fatal("FleetCampaign: injectChaosEvent after run()");
+    if (ev.server >= cfg_.servers)
+        fatal("FleetCampaign: chaos event targets server %u of %u",
+              ev.server, cfg_.servers);
+    injector_.addEvent(ev);
+}
+
+void
+FleetCampaign::sendToServer(const Request &r, ServerIdx s)
+{
+    if (s >= fleet_.size())
+        fatal("FleetCampaign: send to unknown server %u", s);
+    if (injector_.dropRequest(r.op, r.attempt, s)) {
+        ++loopCounters_.requestsDropped;
+        return;
+    }
+    u32 copies = 1;
+    if (injector_.duplicateRequest(r.op, r.attempt, s)) {
+        ++loopCounters_.requestsDuplicated;
+        copies = 2;
+    }
+    for (u32 i = 0; i < copies; ++i) {
+        StackServer &srv = *fleet_[s];
+        if (!srv.dataReadable())
+            return; // Crashed: silence; the attempt timeout covers it.
+        if (!srv.enqueue(r)) {
+            // Fenced or full queue: the process is alive and says so.
+            Response resp;
+            resp.op = r.op;
+            resp.attempt = r.attempt;
+            resp.replica = r.replica;
+            resp.status = Status::Busy;
+            resp.from = s;
+            pending_.emplace(tick_ + cfg_.responseDelay, resp);
+        }
+    }
+}
+
+void
+FleetCampaign::applyChaos(u64 tick, FleetCounters &c)
+{
+    const auto &sched = injector_.schedule();
+    while (nextEvent_ < sched.size() && sched[nextEvent_].tick <= tick) {
+        const ChaosEvent &ev = sched[nextEvent_++];
+        StackServer &srv = *fleet_[ev.server];
+        switch (ev.kind) {
+        case ChaosEvent::Kind::Crash:
+            if (srv.state() != ServerState::Crashed) {
+                srv.crash();
+                ++c.serverCrashes;
+            }
+            break;
+        case ChaosEvent::Kind::Stall:
+            if (srv.serving()) {
+                srv.stall(tick + ev.duration);
+                ++c.serverStalls;
+            }
+            break;
+        case ChaosEvent::Kind::Slow:
+            if (srv.state() == ServerState::Up) {
+                srv.slowdown(tick + ev.duration, ev.factor);
+                ++c.serverSlowdowns;
+            }
+            break;
+        }
+    }
+}
+
+void
+FleetCampaign::deliverDue(u64 tick)
+{
+    while (!pending_.empty() && pending_.begin()->first <= tick) {
+        const Response resp = pending_.begin()->second;
+        pending_.erase(pending_.begin());
+        client_.onResponse(resp, tick);
+    }
+}
+
+void
+FleetCampaign::arrivals(u64 tick)
+{
+    for (u32 i = 0; i < cfg_.arrivalsPerTick; ++i) {
+        // Operation ids are dense counters; every per-op random choice
+        // (user, key, kind) is a hash of the id, never an RNG draw.
+        const u64 op = tick * cfg_.arrivalsPerTick + i + 1;
+        const u64 user =
+            mix64(cfg_.seed ^ 0x05E2ull ^ op * 0x9E3779B97F4A7C15ull) %
+            cfg_.users;
+        const u64 key =
+            mix64(user * 0xD6E8FEB86659FD93ull ^ cfg_.seed) %
+            cfg_.keySpace;
+        const u64 wcoin =
+            mix64(cfg_.seed ^ 0x3217Eull ^ op * 0xBF58476D1CE4E5B9ull);
+        if (coin(wcoin, cfg_.writeFraction))
+            client_.startWrite(op, key, tick);
+        else
+            client_.startRead(op, key, tick);
+    }
+}
+
+void
+FleetCampaign::collectOutboxes(u64 tick)
+{
+    for (u32 s = 0; s < cfg_.servers; ++s)
+        for (const Response &r : fleet_[s]->outbox())
+            pending_.emplace(tick + cfg_.responseDelay, r);
+}
+
+FleetResult
+FleetCampaign::run()
+{
+    if (ran_)
+        fatal("FleetCampaign: run() may be called once");
+    ran_ = true;
+
+    ThreadPool pool(cfg_.threads);
+    const bool parallel = pool.size() > 1;
+    const auto step_servers = [&] {
+        if (parallel) {
+            pool.parallelFor(cfg_.servers, 1,
+                             [this](u64 b, u64 e, unsigned) {
+                                 for (u64 s = b; s < e; ++s)
+                                     fleet_[s]->step(tick_);
+                             });
+        } else {
+            for (u32 s = 0; s < cfg_.servers; ++s)
+                fleet_[s]->step(tick_);
+        }
+    };
+
+    for (tick_ = 0; tick_ < cfg_.ticks; ++tick_) {
+        // Serial phase: all cross-server communication, fixed order.
+        applyChaos(tick_, loopCounters_);
+        deliverDue(tick_);
+        client_.tick(tick_);
+        arrivals(tick_);
+        coordinator_->tick(tick_, loopCounters_);
+        // Parallel phase: per-server state only.
+        step_servers();
+        // Serial collection, server-index order.
+        collectOutboxes(tick_);
+    }
+
+    // Settle: no new arrivals; run until every in-flight operation has
+    // resolved (the op deadline bounds this) and the wire is empty.
+    const u64 settle_limit =
+        cfg_.ticks + cfg_.retry.opDeadline + cfg_.responseDelay + 2;
+    for (tick_ = cfg_.ticks;
+         tick_ < settle_limit &&
+         (client_.inflight() > 0 || !pending_.empty());
+         ++tick_) {
+        deliverDue(tick_);
+        client_.tick(tick_);
+        coordinator_->tick(tick_, loopCounters_);
+        step_servers();
+        collectOutboxes(tick_);
+    }
+
+    // Re-replication settles before the audit: repair is part of the
+    // service's durability story, not a background nicety.
+    coordinator_->drainRepairs(loopCounters_);
+    client_.finish();
+
+    FleetCounters totals = loopCounters_;
+    totals.add(client_.counters());
+    for (u32 s = 0; s < cfg_.servers; ++s) {
+        const ServerStats &st = fleet_[s]->stats();
+        totals.requestsServed += st.served;
+        totals.serviceUnitsSpent += st.unitsSpent;
+        totals.queueRejections += st.rejected;
+        totals.deviceDueReads += st.dueReads;
+        totals.deviceCorrected += st.corrected;
+    }
+    return audit(totals);
+}
+
+FleetResult
+FleetCampaign::audit(FleetCounters totals)
+{
+    FleetResult res;
+    res.totals = totals;
+
+    // Durability: every acknowledged write must be readable, at its
+    // acked version or newer, from some in-service server — and an
+    // equal-version copy must carry the exact digest the client wrote.
+    for (const auto &[key, aw] : client_.ackedWrites()) {
+        ++res.auditedWrites;
+        bool ok = false;
+        bool mismatch = false;
+        for (u32 s = 0; s < cfg_.servers && !ok; ++s) {
+            if (!coordinator_->inService(s))
+                continue;
+            const auto [version, value] = fleet_[s]->lookup(key);
+            if (version > aw.version)
+                ok = true;
+            else if (version == aw.version) {
+                if (value == aw.value)
+                    ok = true;
+                else
+                    mismatch = true;
+            }
+        }
+        if (!ok) {
+            if (mismatch)
+                ++res.corruptAckedWrites;
+            else
+                ++res.lostAckedWrites;
+        }
+    }
+
+    res.servers.reserve(cfg_.servers);
+    for (u32 s = 0; s < cfg_.servers; ++s) {
+        const StackServer &srv = *fleet_[s];
+        ServerReport rep;
+        rep.state = srv.state();
+        rep.served = srv.stats().served;
+        rep.rejected = srv.stats().rejected;
+        rep.dueReads = srv.stats().dueReads;
+        rep.corrected = srv.stats().corrected;
+        rep.kvKeys = srv.kv().size();
+        rep.divergences = srv.datapath().counters().divergences;
+        rep.serviceUnits = srv.serviceUnitsPerTick();
+        rep.capacityFraction = srv.state() == ServerState::Crashed
+                                   ? 0.0
+                                   : srv.health().capacityFraction;
+        res.divergences += rep.divergences;
+        if (coordinator_->inService(s))
+            ++res.liveServers;
+        res.servers.push_back(rep);
+    }
+
+    ByteSink sink;
+    res.totals.serialize(sink);
+    coordinator_->serialize(sink);
+    client_.serialize(sink);
+    for (u32 s = 0; s < cfg_.servers; ++s)
+        fleet_[s]->serialize(sink);
+    res.fingerprint = fnv1a(sink.bytes());
+    return res;
+}
+
+} // namespace fleet
+} // namespace citadel

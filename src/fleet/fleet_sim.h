@@ -1,0 +1,169 @@
+/**
+ * @file
+ * FleetCampaign: the whole memory-pool service in one deterministic
+ * virtual-time loop — clients, coordinator, N stack servers, and the
+ * fleet fault injector.
+ *
+ * Each tick runs three phases:
+ *
+ *  1. Serial: chaos events fire, due responses are delivered to the
+ *     client, client wakeups run, new operations arrive, and the
+ *     coordinator probes/evicts/repairs. All cross-server
+ *     communication happens here, in fixed order.
+ *  2. Parallel: every stack server steps once — consumes its own
+ *     inbox against its service budget and advances its own bit-true
+ *     datapath. Servers share nothing, so the ThreadPool may execute
+ *     them in any order and any interleaving.
+ *  3. Serial: outboxes are collected in server-index order and
+ *     scheduled for delivery `responseDelay` ticks later.
+ *
+ * Because phase 2 touches only per-server state and phases 1/3 are
+ * single-threaded, the campaign is bit-identical for any worker
+ * thread count — the fingerprint in FleetResult is the proof hook the
+ * tests and the load driver check.
+ *
+ * result() also audits durability: after the coordinator's repair
+ * pump drains, every write the client acknowledged must be readable
+ * (version >= acked, digest matching) from at least one in-service
+ * server. With quorum-2 acks, replication 2, and repair after
+ * failover, a single crash can never fail that audit — the chaos e2e
+ * test kills each server in turn to enforce exactly this.
+ */
+
+#ifndef CITADEL_FLEET_FLEET_SIM_H
+#define CITADEL_FLEET_FLEET_SIM_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/chaos.h"
+#include "fleet/client.h"
+#include "fleet/coordinator.h"
+#include "fleet/stack_server.h"
+
+namespace citadel {
+namespace fleet {
+
+/** Full campaign configuration. */
+struct FleetConfig
+{
+    u32 servers = 8; ///< Stack count, in [2, 64] (write-ack bitmask).
+    u64 ticks = 4096;
+
+    /** Workload shape. */
+    u64 users = 1'000'000; ///< Distinct clients keys are hashed from.
+    u64 keySpace = 512;    ///< Distinct keys.
+    u32 arrivalsPerTick = 4;
+    double writeFraction = 0.5;
+
+    /** Replication and ack discipline. */
+    u32 replication = 2;
+    u32 ackQuorum = 2; ///< <= replication; 2 makes crashes survivable.
+
+    /** Ticks between a server producing a response and the client
+     *  seeing it (>= 1: no same-tick request/response cycles). */
+    u64 responseDelay = 1;
+
+    RetryPolicy retry;
+    CoordinatorOptions coord;
+    ChaosOptions chaos;
+    ServerConfig server;
+
+    u64 seed = 1;
+    unsigned threads = 0; ///< Worker threads; 0 = CITADEL_THREADS.
+
+    void validate() const;
+
+    /** A chaos-ready configuration on the reduced tiny geometry with
+     *  boosted fault rates — the shared baseline of the e2e tests and
+     *  the load driver. */
+    static FleetConfig demo();
+};
+
+/** Per-server slice of the result. */
+struct ServerReport
+{
+    ServerState state = ServerState::Up;
+    u64 served = 0;
+    u64 rejected = 0;
+    u64 dueReads = 0;
+    u64 corrected = 0;
+    u64 kvKeys = 0;
+    u64 divergences = 0; ///< Differential-model mismatches (must be 0).
+    u32 serviceUnits = 0;
+    /** Usable capacity at end of run; 0 for crashed servers. */
+    double capacityFraction = 0.0;
+};
+
+/** Campaign outcome. */
+struct FleetResult
+{
+    FleetCounters totals;
+    std::vector<ServerReport> servers;
+
+    u32 liveServers = 0;    ///< Still in the ring and serving.
+    u64 divergences = 0;    ///< Sum over all servers (must be 0).
+    u64 lostAckedWrites = 0;   ///< Durability audit failures.
+    u64 corruptAckedWrites = 0;///< Audit digest mismatches.
+    u64 auditedWrites = 0;     ///< Keys the audit checked.
+
+    /** Order-independent digest of totals, ring, acked set, and every
+     *  server's (kv + device) state: equal fingerprints mean equal
+     *  campaigns, whatever the thread count. */
+    u64 fingerprint = 0;
+
+    std::string summary() const;
+};
+
+class FleetCampaign
+{
+  public:
+    explicit FleetCampaign(const FleetConfig &cfg);
+    ~FleetCampaign();
+
+    FleetCampaign(const FleetCampaign &) = delete;
+    FleetCampaign &operator=(const FleetCampaign &) = delete;
+
+    /** Script an extra chaos event (tests). Call before run(). */
+    void injectChaosEvent(const ChaosEvent &ev);
+
+    /** The sampled + scripted chaos schedule. */
+    const std::vector<ChaosEvent> &chaosSchedule() const
+    {
+        return injector_.schedule();
+    }
+
+    /** Run the campaign to completion and audit. Call once. */
+    FleetResult run();
+
+    const Coordinator &coordinator() const { return *coordinator_; }
+    const StackServer &server(ServerIdx s) const { return *fleet_[s]; }
+
+  private:
+    void applyChaos(u64 tick, FleetCounters &c);
+    void deliverDue(u64 tick);
+    void arrivals(u64 tick);
+    void collectOutboxes(u64 tick);
+    void sendToServer(const Request &r, ServerIdx s);
+    FleetResult audit(FleetCounters totals);
+
+    FleetConfig cfg_;
+    FleetFaultInjector injector_;
+    std::vector<std::unique_ptr<StackServer>> fleet_;
+    std::unique_ptr<Coordinator> coordinator_;
+    FleetClient client_;
+
+    u64 tick_ = 0;
+    std::size_t nextEvent_ = 0;
+    /** In-flight responses: delivery tick -> response, FIFO per tick. */
+    std::multimap<u64, Response> pending_;
+    FleetCounters loopCounters_; ///< Chaos + network accounting.
+    bool ran_ = false;
+};
+
+} // namespace fleet
+} // namespace citadel
+
+#endif // CITADEL_FLEET_FLEET_SIM_H

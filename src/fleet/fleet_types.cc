@@ -1,0 +1,129 @@
+#include "fleet/fleet_types.h"
+
+#include <sstream>
+
+namespace citadel {
+namespace fleet {
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+    case Status::Ok:
+        return "Ok";
+    case Status::NotFound:
+        return "NotFound";
+    case Status::DueData:
+        return "DueData";
+    case Status::Busy:
+        return "Busy";
+    }
+    return "?";
+}
+
+const char *
+serverStateName(ServerState s)
+{
+    switch (s) {
+    case ServerState::Up:
+        return "Up";
+    case ServerState::Stalled:
+        return "Stalled";
+    case ServerState::Slowed:
+        return "Slowed";
+    case ServerState::Fenced:
+        return "Fenced";
+    case ServerState::Crashed:
+        return "Crashed";
+    }
+    return "?";
+}
+
+void
+FleetCounters::add(const FleetCounters &c)
+{
+    opsIssued += c.opsIssued;
+    opsAcked += c.opsAcked;
+    opsFailed += c.opsFailed;
+    opsUnresolved += c.opsUnresolved;
+    writesAcked += c.writesAcked;
+    readsDue += c.readsDue;
+    attempts += c.attempts;
+    retries += c.retries;
+    backoffTicks += c.backoffTicks;
+    attemptTimeouts += c.attemptTimeouts;
+    hedges += c.hedges;
+    hedgeWins += c.hedgeWins;
+    duplicatesSuppressed += c.duplicatesSuppressed;
+    busyRejections += c.busyRejections;
+    dueFailovers += c.dueFailovers;
+    requestsDropped += c.requestsDropped;
+    requestsDuplicated += c.requestsDuplicated;
+    serverCrashes += c.serverCrashes;
+    serverStalls += c.serverStalls;
+    serverSlowdowns += c.serverSlowdowns;
+    healthProbes += c.healthProbes;
+    probesMissed += c.probesMissed;
+    failovers += c.failovers;
+    capacityMigrations += c.capacityMigrations;
+    repairPushes += c.repairPushes;
+    requestsServed += c.requestsServed;
+    serviceUnitsSpent += c.serviceUnitsSpent;
+    queueRejections += c.queueRejections;
+    deviceDueReads += c.deviceDueReads;
+    deviceCorrected += c.deviceCorrected;
+}
+
+void
+FleetCounters::serialize(ByteSink &sink) const
+{
+    // Field order is part of the fingerprint contract: append-only.
+    sink.putU64(opsIssued);
+    sink.putU64(opsAcked);
+    sink.putU64(opsFailed);
+    sink.putU64(opsUnresolved);
+    sink.putU64(writesAcked);
+    sink.putU64(readsDue);
+    sink.putU64(attempts);
+    sink.putU64(retries);
+    sink.putU64(backoffTicks);
+    sink.putU64(attemptTimeouts);
+    sink.putU64(hedges);
+    sink.putU64(hedgeWins);
+    sink.putU64(duplicatesSuppressed);
+    sink.putU64(busyRejections);
+    sink.putU64(dueFailovers);
+    sink.putU64(requestsDropped);
+    sink.putU64(requestsDuplicated);
+    sink.putU64(serverCrashes);
+    sink.putU64(serverStalls);
+    sink.putU64(serverSlowdowns);
+    sink.putU64(healthProbes);
+    sink.putU64(probesMissed);
+    sink.putU64(failovers);
+    sink.putU64(capacityMigrations);
+    sink.putU64(repairPushes);
+    sink.putU64(requestsServed);
+    sink.putU64(serviceUnitsSpent);
+    sink.putU64(queueRejections);
+    sink.putU64(deviceDueReads);
+    sink.putU64(deviceCorrected);
+}
+
+std::string
+FleetCounters::summary() const
+{
+    std::ostringstream os;
+    os << "ops " << opsAcked << "/" << opsIssued << " acked (" << opsFailed
+       << " failed, " << opsUnresolved << " unresolved) | retries "
+       << retries << " hedges " << hedges << " (won " << hedgeWins
+       << ") | chaos: " << serverCrashes << " crashes, " << serverStalls
+       << " stalls, " << requestsDropped << " dropped, "
+       << requestsDuplicated << " dup | failovers " << failovers
+       << " repairs " << repairPushes << " | device: "
+       << deviceCorrected << " CE, " << deviceDueReads << " DUE reads";
+    return os.str();
+}
+
+} // namespace fleet
+} // namespace citadel

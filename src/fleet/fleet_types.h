@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared vocabulary of the fleet memory-pool service (DESIGN.md §12):
+ * requests, responses, counters, and the virtual-time conventions that
+ * make a multi-server chaos campaign bit-identical for any worker
+ * thread count.
+ *
+ * Time at the fleet layer is a virtual tick counter. One tick is one
+ * scheduling round of the campaign loop: clients and the coordinator
+ * act in a serial phase, then every stack server consumes its bounded
+ * inbox in a parallel phase that touches only per-server state, then
+ * responses are collected in server order. Nothing at this layer ever
+ * reads a wall clock or an OS thread id, so the only nondeterminism a
+ * real ThreadPool could introduce — interleaving — is confined to
+ * state that is provably per-server.
+ */
+
+#ifndef CITADEL_FLEET_FLEET_TYPES_H
+#define CITADEL_FLEET_FLEET_TYPES_H
+
+#include <string>
+
+#include "common/serialize.h"
+#include "common/types.h"
+
+namespace citadel {
+namespace fleet {
+
+/** Index of a stack server within the fleet (not a device coordinate
+ *  space: fleet membership is dynamic, device geometry is not). */
+using ServerIdx = u32;
+
+/** "No server" sentinel for routing results. */
+constexpr ServerIdx kNoServer = 0xFFFFFFFFu;
+
+/** What one request asks a stack server to do. */
+enum class OpKind : u8
+{
+    Read,  ///< Fetch the newest value of a key.
+    Write, ///< Apply a versioned value to a key (idempotent).
+};
+
+/** Server-side verdict on one request. */
+enum class Status : u8
+{
+    Ok,       ///< Applied / served.
+    NotFound, ///< Read of a key no replica has seen (empty result).
+    DueData,  ///< Device DUE under the key's line: data unusable here.
+    Busy,     ///< Bounded queue full, or the server has been fenced.
+};
+
+const char *statusName(Status s);
+
+/**
+ * One request on the wire. Requests are value types: duplication (a
+ * chaos mode) and hedging both re-send the same bytes, and idempotence
+ * comes from (key, version) max-merge on the server, never from
+ * delivery discipline.
+ */
+struct Request
+{
+    u64 op = 0;      ///< Logical operation id (unique per campaign).
+    u32 attempt = 0; ///< Attempt ordinal within the operation.
+    u32 replica = 0; ///< Replica slot this attempt targets.
+    OpKind kind = OpKind::Read;
+    u64 key = 0;
+    u64 version = 0; ///< Writes: monotonic per key, assigned by client.
+    u64 value = 0;   ///< Writes: payload digest.
+};
+
+/** One response on the wire. */
+struct Response
+{
+    u64 op = 0;
+    u32 attempt = 0;
+    u32 replica = 0;
+    Status status = Status::Ok;
+    u64 version = 0; ///< Reads: version served.
+    u64 value = 0;   ///< Reads: payload digest served.
+    ServerIdx from = kNoServer;
+};
+
+/** Lifecycle of one stack server as the chaos campaign sees it. */
+enum class ServerState : u8
+{
+    Up,      ///< Serving.
+    Stalled, ///< Alive but processing nothing (chaos stall window).
+    Slowed,  ///< Serving at reduced rate (chaos slowdown window).
+    Fenced,  ///< Evicted by the coordinator; repair source only.
+    Crashed, ///< Fail-stop: queue and device state unreachable.
+};
+
+const char *serverStateName(ServerState s);
+
+/**
+ * Campaign-wide totals. Summed in deterministic (serial-phase or
+ * server-index) order; part of the result fingerprint, so every field
+ * is covered by the thread-count-invariance tests.
+ */
+struct FleetCounters
+{
+    // Client-side operation accounting.
+    u64 opsIssued = 0;
+    u64 opsAcked = 0;      ///< Completed successfully before deadline.
+    u64 opsFailed = 0;     ///< Deadline or attempt budget exhausted.
+    u64 opsUnresolved = 0; ///< Still in flight when the campaign ended.
+    u64 writesAcked = 0;   ///< Subset of opsAcked (the audit set).
+    u64 readsDue = 0;      ///< Reads that completed as device-DUE.
+
+    // Retry machinery.
+    u64 attempts = 0;       ///< Requests sent (first tries included).
+    u64 retries = 0;        ///< Re-sends after timeout/busy.
+    u64 backoffTicks = 0;   ///< Virtual ticks spent backing off.
+    u64 attemptTimeouts = 0;///< Attempts presumed lost.
+    u64 hedges = 0;         ///< Hedged reads issued.
+    u64 hedgeWins = 0;      ///< Operations completed by the hedge.
+    u64 duplicatesSuppressed = 0; ///< Late/duplicate responses dropped.
+    u64 busyRejections = 0; ///< Responses returning Status::Busy.
+    u64 dueFailovers = 0;   ///< Reads retried on a replica after DUE.
+
+    // Chaos injection (what the fault injector actually did).
+    u64 requestsDropped = 0;
+    u64 requestsDuplicated = 0;
+    u64 serverCrashes = 0;
+    u64 serverStalls = 0;
+    u64 serverSlowdowns = 0;
+
+    // Coordinator actions.
+    u64 healthProbes = 0;
+    u64 probesMissed = 0;
+    u64 failovers = 0;        ///< Servers evicted from the ring.
+    u64 capacityMigrations = 0; ///< Evictions for degraded capacity.
+    u64 repairPushes = 0;     ///< Re-replication copies installed.
+
+    // Server-side service accounting (merged in server order).
+    u64 requestsServed = 0;
+    u64 serviceUnitsSpent = 0; ///< Work units incl. correction traffic.
+    u64 queueRejections = 0;   ///< Arrivals bounced off a full inbox.
+    u64 deviceDueReads = 0;    ///< onDemandRead verdicts that were DUE.
+    u64 deviceCorrected = 0;   ///< onDemandRead verdicts corrected.
+
+    void add(const FleetCounters &c);
+    void serialize(ByteSink &sink) const;
+    std::string summary() const;
+};
+
+} // namespace fleet
+} // namespace citadel
+
+#endif // CITADEL_FLEET_FLEET_TYPES_H

@@ -1,0 +1,92 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace citadel {
+namespace fleet {
+
+HashRing::HashRing(u32 servers, u32 vnodes, u64 seed)
+    : inRing_(servers, true), live_(servers), seed_(seed)
+{
+    if (servers == 0 || vnodes == 0)
+        fatal("HashRing: servers and vnodes must be >= 1");
+    points_.reserve(static_cast<std::size_t>(servers) * vnodes);
+    for (u32 s = 0; s < servers; ++s) {
+        for (u32 v = 0; v < vnodes; ++v) {
+            u64 h = mix64(seed ^ (static_cast<u64>(s) << 32) ^ v);
+            points_.push_back({h, s});
+        }
+    }
+    std::sort(points_.begin(), points_.end());
+    // A hash collision would make the clockwise order depend on sort
+    // stability details; salt duplicates until every point is unique.
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        u64 salt = 1;
+        while (points_[i].hash == points_[i - 1].hash)
+            points_[i].hash = mix64(points_[i].hash + salt++);
+    }
+    std::sort(points_.begin(), points_.end());
+}
+
+void
+HashRing::remove(ServerIdx s)
+{
+    if (s >= inRing_.size() || !inRing_[s])
+        return;
+    inRing_[s] = false;
+    --live_;
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [s](const Point &p) {
+                                     return p.server == s;
+                                 }),
+                  points_.end());
+}
+
+bool
+HashRing::contains(ServerIdx s) const
+{
+    return s < inRing_.size() && inRing_[s];
+}
+
+void
+HashRing::placement(u64 key, u32 replicas,
+                    std::vector<ServerIdx> &out) const
+{
+    out.clear();
+    if (points_.empty() || replicas == 0)
+        return;
+    const u64 h = mix64(key ^ seed_);
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               Point{h, 0});
+    for (std::size_t walked = 0;
+         walked < points_.size() && out.size() < replicas; ++walked) {
+        if (it == points_.end())
+            it = points_.begin();
+        const ServerIdx s = it->server;
+        if (std::find(out.begin(), out.end(), s) == out.end())
+            out.push_back(s);
+        ++it;
+    }
+}
+
+ServerIdx
+HashRing::primary(u64 key) const
+{
+    std::vector<ServerIdx> one;
+    placement(key, 1, one);
+    return one.empty() ? kNoServer : one[0];
+}
+
+void
+HashRing::serialize(ByteSink &sink) const
+{
+    sink.putU64(inRing_.size());
+    for (bool b : inRing_)
+        sink.putBool(b);
+}
+
+} // namespace fleet
+} // namespace citadel

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Consistent-hash placement ring with virtual nodes and replication.
+ *
+ * Each server contributes `vnodes` points (hashes of (seed, server,
+ * vnode)) on a 64-bit ring; a key is owned by the first `replicas`
+ * distinct live servers clockwise of its hash. Removing a server
+ * deletes only its points, so keys move minimally — exactly onto the
+ * servers that were already next in their replica chains, which is
+ * what lets the coordinator fail a stack over without a global
+ * reshuffle.
+ *
+ * The ring is deterministic: point positions depend only on (seed,
+ * server, vnode), lookups walk a sorted vector, and ties cannot occur
+ * (colliding point hashes are salted until distinct at construction).
+ */
+
+#ifndef CITADEL_FLEET_HASH_RING_H
+#define CITADEL_FLEET_HASH_RING_H
+
+#include <vector>
+
+#include "fleet/fleet_types.h"
+
+namespace citadel {
+namespace fleet {
+
+class HashRing
+{
+  public:
+    /**
+     * @param servers Fleet size; all start live.
+     * @param vnodes Points per server (balance improves with more).
+     * @param seed Ring salt; different seeds give different layouts.
+     */
+    HashRing(u32 servers, u32 vnodes, u64 seed);
+
+    /** Remove a server's points (failover). Idempotent. */
+    void remove(ServerIdx s);
+
+    bool contains(ServerIdx s) const;
+    u32 liveCount() const { return live_; }
+    u32 serverCount() const { return static_cast<u32>(inRing_.size()); }
+
+    /**
+     * The first `replicas` distinct live servers clockwise of the
+     * key's hash, primary first. Appends fewer when fewer are live.
+     */
+    void placement(u64 key, u32 replicas,
+                   std::vector<ServerIdx> &out) const;
+
+    /** Convenience: the key's primary, or kNoServer. */
+    ServerIdx primary(u64 key) const;
+
+    /** Mix the live set into a fingerprint. */
+    void serialize(ByteSink &sink) const;
+
+  private:
+    struct Point
+    {
+        u64 hash;
+        ServerIdx server;
+        bool operator<(const Point &o) const { return hash < o.hash; }
+    };
+
+    std::vector<Point> points_; ///< Sorted by hash.
+    std::vector<bool> inRing_;  ///< Indexed by server.
+    u32 live_ = 0;
+    u64 seed_;
+};
+
+} // namespace fleet
+} // namespace citadel
+
+#endif // CITADEL_FLEET_HASH_RING_H

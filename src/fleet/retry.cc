@@ -1,0 +1,44 @@
+#include "fleet/retry.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace citadel {
+namespace fleet {
+
+u64
+RetryPolicy::backoff(u64 op, u32 attempt) const
+{
+    // Window: base << (attempt-1), saturating at the cap. The shift
+    // is clamped so a pathological attempt count cannot overflow.
+    const u32 shift = std::min(attempt > 0 ? attempt - 1 : 0u, 32u);
+    u64 window = backoffBase << shift;
+    if (window > backoffCap || window < backoffBase) // shift overflow
+        window = backoffCap;
+    if (window < 2)
+        return window;
+    const u64 jitter =
+        mix64(seed ^ (op * 0x9E3779B97F4A7C15ull) ^ attempt) %
+        (window / 2);
+    return window / 2 + jitter;
+}
+
+void
+RetryPolicy::validate() const
+{
+    if (backoffBase == 0)
+        fatal("RetryPolicy: backoffBase must be >= 1");
+    if (backoffCap < backoffBase)
+        fatal("RetryPolicy: backoffCap must be >= backoffBase");
+    if (maxAttempts == 0)
+        fatal("RetryPolicy: maxAttempts must be >= 1");
+    if (attemptTimeout == 0)
+        fatal("RetryPolicy: attemptTimeout must be >= 1");
+    if (opDeadline == 0)
+        fatal("RetryPolicy: opDeadline must be >= 1");
+}
+
+} // namespace fleet
+} // namespace citadel

@@ -1,0 +1,286 @@
+#include "fleet/stack_server.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "faults/injector.h"
+#include "sim/system_sim.h"
+#include "sim/workload.h"
+
+namespace citadel {
+namespace fleet {
+
+namespace {
+
+/** Seed-mix salt for per-server streams; distinct from the soak and
+ *  Monte Carlo mixes so a fleet server never replays either. */
+constexpr u64 kServerSeedMix = 0xC2B2AE3D27D4EB4Full;
+
+} // namespace
+
+void
+ServerConfig::validate() const
+{
+    if (queueCap == 0)
+        fatal("ServerConfig: queueCap must be >= 1");
+    if (cyclesPerTick == 0)
+        fatal("ServerConfig: cyclesPerTick must be >= 1");
+    if (defaultServiceUnits == 0)
+        fatal("ServerConfig: defaultServiceUnits must be >= 1");
+    if (!(agingHours > 0.0))
+        fatal("ServerConfig: agingHours must be positive");
+}
+
+StackServer::StackServer(ServerIdx index, const ServerConfig &cfg,
+                         u64 seed, u64 campaign_ticks)
+    : index_(index), cfg_(cfg), serviceUnits_(cfg.defaultServiceUnits)
+{
+    cfg_.validate();
+    LiveRasOptions opts = cfg_.ras;
+    opts.seed = seed ^ (kServerSeedMix * (index + 1));
+    dp_ = std::make_unique<LiveRasDatapath>(cfg_.sim, opts);
+    calibrate(opts.seed);
+    scheduleAging(opts.seed, campaign_ticks);
+    lastCycle_ = baseCycle_;
+}
+
+StackServer::~StackServer() = default;
+
+void
+StackServer::calibrate(u64 seed)
+{
+    if (cfg_.calibrationInsns == 0)
+        return;
+    // A short timing-simulator slice with this server's datapath
+    // attached: real demand traffic against the real device shard.
+    SimConfig sim = cfg_.sim;
+    sim.insnsPerCore = cfg_.calibrationInsns;
+    sim.seed = mix64(seed ^ 0xCA11B8A7Eull);
+    SystemSim slice(sim, findBenchmark(cfg_.calibrationBench));
+    slice.attachRas(dp_.get());
+    const SimResult r = slice.run();
+    baseCycle_ = r.cycles;
+    const u64 reads = std::max<u64>(1, dp_->counters().demandReads);
+    calibCyclesPerRead_ =
+        static_cast<double>(r.cycles) / static_cast<double>(reads);
+    const double rate = static_cast<double>(cfg_.cyclesPerTick) /
+                        std::max(1.0, calibCyclesPerRead_);
+    serviceUnits_ = static_cast<u32>(
+        std::clamp(rate, 1.0, 65536.0));
+}
+
+void
+StackServer::scheduleAging(u64 seed, u64 campaign_ticks)
+{
+    SystemConfig fcfg = cfg_.faults;
+    fcfg.geom = cfg_.sim.geom;
+    fcfg.lifetimeHours = cfg_.agingHours;
+    fcfg.subArrayRows =
+        std::min<u32>(fcfg.subArrayRows, cfg_.sim.geom.rowsPerBank);
+    fcfg.validate();
+    const FaultInjector injector(fcfg);
+
+    // Counter-derived per-server stream: server i always ages the same
+    // way regardless of fleet size or thread count.
+    Rng rng(seed ^ 0xA6E5ull);
+    const double hours = cfg_.agingHours;
+    const u64 span = campaign_ticks * cfg_.cyclesPerTick;
+    const auto cycle_at = [&](double t_hours) {
+        return baseCycle_ +
+               static_cast<u64>(t_hours / hours *
+                                static_cast<double>(span));
+    };
+    for (const Fault &f : injector.sampleLifetime(rng))
+        dp_->scheduleFault(f, cycle_at(f.timeHours));
+    for (const MetaFault &f :
+         injector.sampleMetaLifetime(rng, dp_->metaGeometry()))
+        dp_->scheduleMetaFault(f, cycle_at(f.timeHours));
+}
+
+LineAddr
+StackServer::lineFor(u64 key) const
+{
+    return LineAddr{mix64(key * 0x2545F4914F6CDD1Dull ^ index_) %
+                    cfg_.sim.geom.totalLines()};
+}
+
+u64
+StackServer::cycleOf(u64 tick) const
+{
+    return baseCycle_ + (tick + 1) * cfg_.cyclesPerTick;
+}
+
+bool
+StackServer::enqueue(const Request &r)
+{
+    if (!serving())
+        return false;
+    if (inbox_.size() >= cfg_.queueCap) {
+        ++stats_.rejected;
+        return false;
+    }
+    inbox_.push_back(r);
+    return true;
+}
+
+void
+StackServer::crash()
+{
+    state_ = ServerState::Crashed;
+    inbox_.clear();
+    outbox_.clear();
+}
+
+void
+StackServer::stall(u64 until_tick)
+{
+    if (!serving())
+        return;
+    state_ = ServerState::Stalled;
+    stalledUntil_ = until_tick;
+}
+
+void
+StackServer::slowdown(u64 until_tick, u32 divisor)
+{
+    if (state_ != ServerState::Up)
+        return;
+    state_ = ServerState::Slowed;
+    slowedUntil_ = until_tick;
+    slowDivisor_ = std::max(1u, divisor);
+}
+
+void
+StackServer::fence()
+{
+    if (state_ == ServerState::Crashed)
+        return;
+    state_ = ServerState::Fenced;
+    inbox_.clear();
+}
+
+void
+StackServer::applyReplica(u64 key, u64 version, u64 value)
+{
+    auto &entry = kv_[key];
+    if (version > entry.first)
+        entry = {version, value};
+}
+
+bool
+StackServer::respondsToProbe(u64 tick) const
+{
+    if (!serving())
+        return false;
+    return state_ != ServerState::Stalled || tick >= stalledUntil_;
+}
+
+std::pair<u64, u64>
+StackServer::lookup(u64 key) const
+{
+    auto it = kv_.find(key);
+    return it == kv_.end() ? std::pair<u64, u64>{0, 0} : it->second;
+}
+
+RasHealthSignals
+StackServer::health() const
+{
+    return dp_->healthSignals();
+}
+
+Response
+StackServer::serve(const Request &r, u64 cycle)
+{
+    Response resp;
+    resp.op = r.op;
+    resp.attempt = r.attempt;
+    resp.replica = r.replica;
+    resp.from = index_;
+
+    const DemandOutcome outcome = dp_->onDemandRead(lineFor(r.key), cycle);
+    stats_.unitsSpent += 1 + outcome.extraReads.size();
+    if (outcome.kind == DemandOutcome::Kind::Corrected)
+        ++stats_.corrected;
+
+    if (outcome.kind == DemandOutcome::Kind::Uncorrectable) {
+        // The device lost the key's line: this replica cannot durably
+        // serve or store it. Never acknowledge onto a poisoned line.
+        ++stats_.dueReads;
+        resp.status = Status::DueData;
+        return resp;
+    }
+
+    if (r.kind == OpKind::Write) {
+        applyReplica(r.key, r.version, r.value);
+        resp.status = Status::Ok;
+        resp.version = r.version;
+        resp.value = r.value;
+        return resp;
+    }
+    const auto [version, value] = lookup(r.key);
+    if (version == 0) {
+        resp.status = Status::NotFound;
+        return resp;
+    }
+    resp.status = Status::Ok;
+    resp.version = version;
+    resp.value = value;
+    return resp;
+}
+
+void
+StackServer::step(u64 tick)
+{
+    outbox_.clear();
+    if (!serving())
+        return;
+    if (state_ == ServerState::Stalled) {
+        if (tick < stalledUntil_)
+            return; // Frozen: no datapath time, no service.
+        state_ = ServerState::Up;
+    }
+    if (state_ == ServerState::Slowed && tick >= slowedUntil_) {
+        state_ = ServerState::Up;
+        slowDivisor_ = 1;
+    }
+
+    const u64 cycle = std::max(cycleOf(tick), lastCycle_);
+    lastCycle_ = cycle;
+    dp_->tick(cycle);
+
+    u64 budget = std::max<u32>(1, serviceUnits_ / slowDivisor_);
+    while (budget > 0 && !inbox_.empty()) {
+        const Request r = inbox_.front();
+        inbox_.pop_front();
+        const u64 before = stats_.unitsSpent;
+        outbox_.push_back(serve(r, cycle));
+        ++stats_.served;
+        const u64 cost = stats_.unitsSpent - before;
+        budget -= std::min(budget, cost);
+    }
+}
+
+void
+StackServer::serialize(ByteSink &sink) const
+{
+    sink.putU8(static_cast<u8>(state_));
+    sink.putU64(stats_.served);
+    sink.putU64(stats_.unitsSpent);
+    sink.putU64(stats_.rejected);
+    sink.putU64(stats_.dueReads);
+    sink.putU64(stats_.corrected);
+    sink.putU64(kv_.size());
+    for (const auto &[key, vv] : kv_) {
+        sink.putU64(key);
+        sink.putU64(vv.first);
+        sink.putU64(vv.second);
+    }
+    // Crashed devices are unreachable; their state is not part of the
+    // surviving-service fingerprint.
+    sink.putU64(state_ == ServerState::Crashed ? 0
+                                               : dp_->stateFingerprint());
+}
+
+} // namespace fleet
+} // namespace citadel

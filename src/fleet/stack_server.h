@@ -1,0 +1,188 @@
+/**
+ * @file
+ * One stack server of the fleet: a bounded request queue in front of a
+ * full bit-true device shard (LiveRasDatapath over a SimConfig
+ * geometry), plus the replicated key-value metadata the memory-pool
+ * service is made of.
+ *
+ * The server's step() is the unit of parallelism in the campaign loop:
+ * it reads its own inbox, drives its own datapath, and appends to its
+ * own outbox — nothing else. Within a step it consumes a bounded
+ * budget of *service units*; a request costs one unit plus one per
+ * parity-group read its device correction needed, so a stack that is
+ * busy peeling errors visibly serves fewer requests per tick. The
+ * budget is calibrated at startup by running a short SystemSim slice
+ * (the same timing simulator the single-device experiments use) with
+ * this server's datapath attached: the measured cycles-per-demand-read
+ * converts the tick's cycle budget into a service rate.
+ *
+ * Device aging happens during the campaign: a FaultInjector lifetime
+ * (data-plane and control-plane faults, counter-derived from the
+ * server's seed) is compressed onto the campaign's tick horizon, so
+ * the degradation ladder can bite mid-run and the coordinator sees
+ * capacityFraction fall through healthSignals().
+ */
+
+#ifndef CITADEL_FLEET_STACK_SERVER_H
+#define CITADEL_FLEET_STACK_SERVER_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_types.h"
+#include "ras/live_datapath.h"
+
+namespace citadel {
+namespace fleet {
+
+/** Per-server configuration (one template shared by the fleet). */
+struct ServerConfig
+{
+    /** Device shard geometry/timing (reduced geometries only: each
+     *  server owns a bit-true model). */
+    SimConfig sim;
+
+    /** Datapath options (differential validation stays on by default:
+     *  the no-overclaim invariant is part of the chaos acceptance). */
+    LiveRasOptions ras;
+
+    /** Fault-sampling config for in-campaign aging; geom/lifetime are
+     *  overwritten per server. */
+    SystemConfig faults;
+
+    /** Simulated hours the campaign compresses onto its ticks (drives
+     *  how many lifetime faults arrive mid-run). */
+    double agingHours = 1000.0;
+
+    /** Bounded inbox capacity; arrivals beyond it bounce as Busy. */
+    u32 queueCap = 256;
+
+    /** Device cycles one fleet tick advances the datapath by. */
+    u64 cyclesPerTick = 512;
+
+    /** Instruction budget of the startup SystemSim calibration slice;
+     *  0 skips calibration and uses `defaultServiceUnits`. */
+    u64 calibrationInsns = 0;
+
+    /** Benchmark profile driving the calibration slice. */
+    std::string calibrationBench = "mcf";
+
+    /** Service units per tick when calibration is off. */
+    u32 defaultServiceUnits = 16;
+
+    void validate() const;
+};
+
+/** Server-local stats (merged into FleetCounters in server order). */
+struct ServerStats
+{
+    u64 served = 0;
+    u64 unitsSpent = 0;
+    u64 rejected = 0;   ///< Bounced off the full inbox.
+    u64 dueReads = 0;   ///< Requests answered DueData.
+    u64 corrected = 0;  ///< Requests whose device read was corrected.
+};
+
+class StackServer
+{
+  public:
+    StackServer(ServerIdx index, const ServerConfig &cfg, u64 seed,
+                u64 campaign_ticks);
+
+    StackServer(const StackServer &) = delete;
+    StackServer &operator=(const StackServer &) = delete;
+    ~StackServer();
+
+    // ---- Serial-phase interface (campaign loop, coordinator) ------
+
+    /** Offer a request; false when the bounded queue is full or the
+     *  server cannot accept (crashed/fenced servers never ack). */
+    bool enqueue(const Request &r);
+
+    /** Chaos controls (fail-stop crash, stall window, slowdown). */
+    void crash();
+    void stall(u64 until_tick);
+    void slowdown(u64 until_tick, u32 divisor);
+
+    /** Coordinator eviction: stop serving, remain a repair source. */
+    void fence();
+
+    /** Install a replica copy (coordinator-driven re-replication).
+     *  Max-merge on version, mirroring the write path. */
+    void applyReplica(u64 key, u64 version, u64 value);
+
+    /** Does the server answer a health probe at `tick`? */
+    bool respondsToProbe(u64 tick) const;
+
+    /** Can the coordinator still read this server's data? (Everything
+     *  but a crash: fenced and stalled state is intact.) */
+    bool dataReadable() const { return state_ != ServerState::Crashed; }
+
+    /** Serving client traffic (in-ring health). */
+    bool serving() const
+    {
+        return state_ != ServerState::Crashed &&
+               state_ != ServerState::Fenced;
+    }
+
+    ServerState state() const { return state_; }
+    const ServerStats &stats() const { return stats_; }
+    const std::map<u64, std::pair<u64, u64>> &kv() const { return kv_; }
+
+    /** Newest (version, value) of a key, or (0, 0). */
+    std::pair<u64, u64> lookup(u64 key) const;
+
+    /** Device health for placement decisions (capacityFraction falls
+     *  as the degradation ladder bites). */
+    RasHealthSignals health() const;
+
+    const LiveRasDatapath &datapath() const { return *dp_; }
+    u32 serviceUnitsPerTick() const { return serviceUnits_; }
+    double calibratedCyclesPerRead() const { return calibCyclesPerRead_; }
+
+    /** Fold KV state, device state and stats into a fingerprint. */
+    void serialize(ByteSink &sink) const;
+
+    // ---- Parallel-phase interface ---------------------------------
+
+    /** Consume the inbox within this tick's service budget; responses
+     *  land in outbox() in arrival order. Touches only this server. */
+    void step(u64 tick);
+
+    /** Responses produced by the last step(); drained serially. */
+    std::vector<Response> &outbox() { return outbox_; }
+
+  private:
+    LineAddr lineFor(u64 key) const;
+    u64 cycleOf(u64 tick) const;
+    void calibrate(u64 seed);
+    void scheduleAging(u64 seed, u64 campaign_ticks);
+    Response serve(const Request &r, u64 cycle);
+
+    ServerIdx index_;
+    ServerConfig cfg_;
+    std::unique_ptr<LiveRasDatapath> dp_;
+
+    ServerState state_ = ServerState::Up;
+    u64 stalledUntil_ = 0;
+    u64 slowedUntil_ = 0;
+    u32 slowDivisor_ = 1;
+
+    u32 serviceUnits_;
+    double calibCyclesPerRead_ = 0.0;
+    u64 baseCycle_ = 0; ///< Datapath cycles consumed by calibration.
+    u64 lastCycle_ = 0; ///< Monotonic tick guard for the datapath.
+
+    std::deque<Request> inbox_;
+    std::vector<Response> outbox_;
+    std::map<u64, std::pair<u64, u64>> kv_; ///< key -> (version, value).
+    ServerStats stats_;
+};
+
+} // namespace fleet
+} // namespace citadel
+
+#endif // CITADEL_FLEET_STACK_SERVER_H

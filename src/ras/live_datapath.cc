@@ -262,6 +262,19 @@ LiveRasDatapath::metaGeometry() const
     return mg;
 }
 
+RasHealthSignals
+LiveRasDatapath::healthSignals() const
+{
+    RasHealthSignals h;
+    h.capacityFraction = ladder_.map().capacityFraction();
+    h.retiredLines = ladder_.map().retiredLines();
+    h.due = log_.counters.due;
+    h.sparingDenied = log_.counters.sparingDenied;
+    h.metaRecordsLost = log_.counters.metaRecordsLost;
+    h.channelsDegraded = log_.counters.channelsDegraded;
+    return h;
+}
+
 UnitId
 LiveRasDatapath::unitId(ChannelId channel, BankId bank) const
 {

@@ -99,6 +99,29 @@ struct LiveRasOptions
     std::size_t poisonMaxRuns = 4096;
 };
 
+/**
+ * Condensed health of one datapath, exported for layers above the
+ * device (the fleet coordinator's placement/migration decisions).
+ * Everything here is derived from existing state, so the snapshot is
+ * deterministic wherever the datapath is.
+ */
+struct RasHealthSignals
+{
+    double capacityFraction = 1.0; ///< Usable fraction after the ladder.
+    u64 retiredLines = 0;          ///< Capacity given up, in lines.
+    u64 due = 0;                   ///< Distinct uncorrectable lines.
+    u64 sparingDenied = 0;         ///< Spare-budget exhaustion events.
+    u64 metaRecordsLost = 0;       ///< Control-plane records lost.
+    u64 channelsDegraded = 0;      ///< Whole channels given up.
+
+    /** Placement-grade health: the coordinator treats a stack below
+     *  `floor` usable capacity as needing migration. */
+    bool healthyAbove(double floor) const
+    {
+        return capacityFraction >= floor;
+    }
+};
+
 /** The live datapath; attach to a SystemSim via attachRas(). */
 class LiveRasDatapath final : public RasHook
 {
@@ -129,6 +152,9 @@ class LiveRasDatapath final : public RasHook
     {
         return &ladder_.map();
     }
+
+    /** Condensed health snapshot for fleet-level placement. */
+    RasHealthSignals healthSignals() const;
 
     const RasLog &log() const { return log_; }
     const RasCounters &counters() const { return log_.counters; }

@@ -58,16 +58,6 @@ addCounters(RasCounters &acc, const RasCounters &c)
     acc.analyticConservative += c.analyticConservative;
 }
 
-/** splitmix64 finalizer: the probe-address hash. */
-u64
-mix64(u64 x)
-{
-    x += 0x9E3779B97F4A7C15ull;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-    return x ^ (x >> 31);
-}
-
 } // namespace
 
 void

@@ -112,5 +112,54 @@ TEST_F(EnvRangeTest, SoakKnobRangesMatchDriver)
     unsetenv("CITADEL_SOAK_SHARDS");
 }
 
+TEST_F(EnvRangeTest, FleetKnobRangesMatchDriver)
+{
+    // The exact knob/range pairs the fleet load driver publishes
+    // (bench/fleet_load_driver.cc). A fleet of 1 cannot replicate, a
+    // fleet of 65 overflows the write-ack bitmask, and a probability
+    // above 1 is nonsense -- each must come back as the default.
+    setenv("CITADEL_FLEET_SERVERS", "1", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_SERVERS", 8, 2, 64), 8u);
+    setenv("CITADEL_FLEET_SERVERS", "65", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_SERVERS", 8, 2, 64), 8u);
+    unsetenv("CITADEL_FLEET_SERVERS");
+
+    setenv("CITADEL_FLEET_TICKS", "10", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_TICKS", 2048, 64, 1'000'000),
+              2048u);
+    unsetenv("CITADEL_FLEET_TICKS");
+
+    setenv("CITADEL_FLEET_REPLICATION", "9", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_REPLICATION", 2, 1, 8), 2u);
+    unsetenv("CITADEL_FLEET_REPLICATION");
+
+    setenv("CITADEL_FLEET_QUORUM", "0", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_QUORUM", 2, 1, 8), 2u);
+    unsetenv("CITADEL_FLEET_QUORUM");
+
+    setenv("CITADEL_FLEET_WRITE_FRAC", "1.5", 1);
+    EXPECT_DOUBLE_EQ(
+        envDoubleInRange("CITADEL_FLEET_WRITE_FRAC", 0.5, 0.0, 1.0),
+        0.5);
+    unsetenv("CITADEL_FLEET_WRITE_FRAC");
+
+    setenv("CITADEL_FLEET_DROP_PROB", "2", 1);
+    EXPECT_DOUBLE_EQ(
+        envDoubleInRange("CITADEL_FLEET_DROP_PROB", 0.01, 0.0, 1.0),
+        0.01);
+    unsetenv("CITADEL_FLEET_DROP_PROB");
+
+    setenv("CITADEL_FLEET_QUEUE_CAP", "0", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_QUEUE_CAP", 256, 1, 65536),
+              256u);
+    unsetenv("CITADEL_FLEET_QUEUE_CAP");
+
+    setenv("CITADEL_FLEET_CALIB_INSNS", "999999999", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_CALIB_INSNS", 20'000, 0,
+                            10'000'000),
+              20'000u);
+    unsetenv("CITADEL_FLEET_CALIB_INSNS");
+}
+
 } // namespace
 } // namespace citadel

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Fleet service tests: consistent-hash placement, the chaos e2e
+ * acceptance (kill any single stack server mid-campaign — no
+ * acknowledged write may be lost, the differential no-overclaim
+ * invariant must hold, and the service must finish at reduced
+ * capacity), capacity-driven migration, a negative control proving
+ * the durability audit actually detects loss, and thread-count
+ * invariance of the campaign fingerprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "fleet/hash_ring.h"
+
+using namespace citadel;
+using namespace citadel::fleet;
+
+namespace {
+
+// ---- HashRing ------------------------------------------------------
+
+TEST(HashRing, PlacementIsDeterministicAndDistinct)
+{
+    HashRing a(8, 64, 42);
+    HashRing b(8, 64, 42);
+    std::vector<ServerIdx> pa, pb;
+    for (u64 key = 0; key < 200; ++key) {
+        a.placement(key, 3, pa);
+        b.placement(key, 3, pb);
+        ASSERT_EQ(pa.size(), 3u);
+        EXPECT_EQ(pa, pb);
+        EXPECT_NE(pa[0], pa[1]);
+        EXPECT_NE(pa[0], pa[2]);
+        EXPECT_NE(pa[1], pa[2]);
+    }
+}
+
+TEST(HashRing, DifferentSeedsGiveDifferentLayouts)
+{
+    HashRing a(8, 64, 1);
+    HashRing b(8, 64, 2);
+    u32 same = 0;
+    for (u64 key = 0; key < 200; ++key)
+        same += a.primary(key) == b.primary(key) ? 1 : 0;
+    EXPECT_LT(same, 200u);
+}
+
+TEST(HashRing, RemovalMovesOnlyTheFailedServersKeys)
+{
+    HashRing before(8, 64, 7);
+    HashRing after(8, 64, 7);
+    const ServerIdx failed = 3;
+    after.remove(failed);
+    EXPECT_FALSE(after.contains(failed));
+    EXPECT_EQ(after.liveCount(), 7u);
+
+    std::vector<ServerIdx> pb, pa;
+    for (u64 key = 0; key < 500; ++key) {
+        before.placement(key, 2, pb);
+        after.placement(key, 2, pa);
+        ASSERT_EQ(pb.size(), 2u);
+        ASSERT_EQ(pa.size(), 2u);
+        if (pb[0] != failed) {
+            // Keys not owned by the failed server keep their primary.
+            EXPECT_EQ(pa[0], pb[0]) << "key " << key;
+        } else {
+            // Failed primaries fail over to their old secondary --
+            // exactly the server that already held the replica.
+            EXPECT_EQ(pa[0], pb[1]) << "key " << key;
+        }
+    }
+}
+
+TEST(HashRing, PlacementShrinksWhenFewServersRemain)
+{
+    HashRing ring(4, 32, 9);
+    ring.remove(0);
+    ring.remove(1);
+    ring.remove(2);
+    std::vector<ServerIdx> p;
+    ring.placement(123, 3, p);
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0], 3u);
+    ring.remove(3);
+    ring.placement(123, 3, p);
+    EXPECT_TRUE(p.empty());
+}
+
+// ---- Campaign fixtures ---------------------------------------------
+
+FleetConfig
+smallConfig()
+{
+    FleetConfig cfg = FleetConfig::demo();
+    cfg.servers = 4;
+    cfg.ticks = 192;
+    cfg.users = 1000;
+    cfg.keySpace = 96;
+    cfg.arrivalsPerTick = 3;
+    cfg.retry.attemptTimeout = 24;
+    cfg.retry.opDeadline = 320;
+    cfg.retry.hedgeAfter = 8;
+    cfg.retry.maxAttempts = 6;
+    cfg.coord.healthEvery = 8;
+    cfg.coord.failThreshold = 2;
+    cfg.server.defaultServiceUnits = 24;
+    cfg.server.calibrationInsns = 0;
+    cfg.threads = 1;
+    return cfg;
+}
+
+// ---- Chaos e2e: the acceptance criteria ----------------------------
+
+TEST(FleetChaosE2E, KillingAnySingleServerLosesNoAckedWrite)
+{
+    // Kill each server in turn, mid-campaign, with replication 2 /
+    // quorum 2. Every acknowledged write must survive on some
+    // in-service replica after failover + re-replication, and every
+    // surviving datapath must still agree with its differential model.
+    for (u32 victim = 0; victim < 4; ++victim) {
+        FleetConfig cfg = smallConfig();
+        cfg.chaos.enabled = false; // Scripted kill only.
+        FleetCampaign campaign(cfg);
+
+        ChaosEvent kill;
+        kill.kind = ChaosEvent::Kind::Crash;
+        kill.server = victim;
+        kill.tick = 96;
+        campaign.injectChaosEvent(kill);
+
+        const FleetResult res = campaign.run();
+        SCOPED_TRACE("victim " + std::to_string(victim));
+        EXPECT_EQ(res.totals.serverCrashes, 1u);
+        EXPECT_EQ(res.lostAckedWrites, 0u);
+        EXPECT_EQ(res.corruptAckedWrites, 0u);
+        EXPECT_GT(res.auditedWrites, 0u);
+        EXPECT_EQ(res.divergences, 0u);
+
+        // Service completed at reduced capacity.
+        EXPECT_EQ(res.liveServers, 3u);
+        EXPECT_GE(res.totals.failovers, 1u);
+        EXPECT_GT(res.totals.repairPushes, 0u);
+        EXPECT_GT(res.totals.opsAcked, 0u);
+        ASSERT_EQ(res.servers.size(), 4u);
+        EXPECT_EQ(res.servers[victim].state, ServerState::Crashed);
+        EXPECT_EQ(res.servers[victim].capacityFraction, 0.0);
+        for (u32 s = 0; s < 4; ++s) {
+            if (s != victim) {
+                EXPECT_GT(res.servers[s].capacityFraction, 0.0);
+            }
+        }
+    }
+}
+
+TEST(FleetChaosE2E, AuditDetectsLossWithoutReplication)
+{
+    // Negative control: with replication 1 there is no second copy,
+    // so crashing a server MUST surface lost acked writes -- proving
+    // the audit is not vacuously green.
+    FleetConfig cfg = smallConfig();
+    cfg.chaos.enabled = false;
+    cfg.replication = 1;
+    cfg.ackQuorum = 1;
+    FleetCampaign campaign(cfg);
+
+    ChaosEvent kill;
+    kill.kind = ChaosEvent::Kind::Crash;
+    kill.server = 1;
+    kill.tick = 96;
+    campaign.injectChaosEvent(kill);
+
+    const FleetResult res = campaign.run();
+    EXPECT_GT(res.lostAckedWrites, 0u);
+}
+
+TEST(FleetChaosE2E, CapacityCollapseTriggersMigration)
+{
+    // Fault rates 30x beyond demo()'s already-boosted table exhaust
+    // spares and retire lines fast enough that stacks fall through the
+    // default capacity floor mid-campaign; the fleet must migrate
+    // their shards and still audit clean, because fenced stacks remain
+    // repair sources.
+    FleetConfig cfg = smallConfig();
+    cfg.chaos.enabled = false;
+    cfg.retry.maxAttempts = 3; // Keep the doomed-op tail cheap.
+    const auto boost = [](FitPair p) {
+        p.transientFit *= 30.0;
+        p.permanentFit *= 30.0;
+        return p;
+    };
+    FitTable &t = cfg.server.faults.rates;
+    t.bit = boost(t.bit);
+    t.word = boost(t.word);
+    t.column = boost(t.column);
+    t.row = boost(t.row);
+    t.bank = boost(t.bank);
+    FleetCampaign campaign(cfg);
+    const FleetResult res = campaign.run();
+    EXPECT_GE(res.totals.capacityMigrations, 1u);
+    EXPECT_GE(res.liveServers, 1u);
+    EXPECT_EQ(res.lostAckedWrites, 0u);
+    EXPECT_EQ(res.corruptAckedWrites, 0u);
+    EXPECT_EQ(res.divergences, 0u);
+}
+
+// ---- Determinism: the tentpole contract ----------------------------
+
+TEST(FleetDeterminism, FingerprintInvariantAcrossThreadCounts)
+{
+    // Full chaos on (crashes, stalls, slowdowns, drops, dups): the
+    // campaign fingerprint -- counters, ring, acked set, per-server KV
+    // and device state -- must be bit-identical for 1, 2, and 5
+    // worker threads.
+    FleetResult ref;
+    bool have_ref = false;
+    for (const unsigned threads : {1u, 2u, 5u}) {
+        FleetConfig cfg = smallConfig();
+        cfg.threads = threads;
+        cfg.seed = 3;
+        FleetCampaign campaign(cfg);
+        const FleetResult res = campaign.run();
+        if (!have_ref) {
+            ref = res;
+            have_ref = true;
+            // The baseline must be a meaningful campaign.
+            EXPECT_GT(res.totals.opsAcked, 0u);
+            EXPECT_GT(res.totals.requestsDropped, 0u);
+            continue;
+        }
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        EXPECT_EQ(res.fingerprint, ref.fingerprint);
+        EXPECT_EQ(res.totals.opsAcked, ref.totals.opsAcked);
+        EXPECT_EQ(res.totals.opsFailed, ref.totals.opsFailed);
+        EXPECT_EQ(res.totals.repairPushes, ref.totals.repairPushes);
+        EXPECT_EQ(res.totals.requestsServed,
+                  ref.totals.requestsServed);
+        EXPECT_EQ(res.lostAckedWrites, ref.lostAckedWrites);
+    }
+}
+
+TEST(FleetDeterminism, SameSeedSameFingerprintTwice)
+{
+    FleetConfig cfg = smallConfig();
+    cfg.seed = 11;
+    FleetCampaign a(cfg);
+    FleetCampaign b(cfg);
+    const FleetResult ra = a.run();
+    const FleetResult rb = b.run();
+    EXPECT_EQ(ra.fingerprint, rb.fingerprint);
+    EXPECT_NE(ra.fingerprint, 0u);
+}
+
+TEST(FleetDeterminism, DifferentSeedsDiverge)
+{
+    FleetConfig cfg = smallConfig();
+    cfg.seed = 11;
+    FleetCampaign a(cfg);
+    cfg.seed = 12;
+    FleetCampaign b(cfg);
+    EXPECT_NE(a.run().fingerprint, b.run().fingerprint);
+}
+
+} // namespace

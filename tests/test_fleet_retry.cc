@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Deterministic unit tests of the fleet client's retry machinery
+ * under a fake clock: backoff growth/cap/jitter, per-attempt
+ * timeouts, hedged reads, deadline failure, duplicate suppression,
+ * and quorum write acks. No servers here — the test scripts
+ * placement and captures every request the client sends, then feeds
+ * responses back at chosen virtual times.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/client.h"
+#include "fleet/retry.h"
+
+using namespace citadel;
+using namespace citadel::fleet;
+
+namespace {
+
+// ---- RetryPolicy ---------------------------------------------------
+
+TEST(RetryPolicy, BackoffIsDeterministic)
+{
+    RetryPolicy p;
+    p.seed = 42;
+    for (u32 attempt = 1; attempt < 6; ++attempt)
+        EXPECT_EQ(p.backoff(7, attempt), p.backoff(7, attempt));
+    // Different ops decorrelate (not all equal across a small sweep).
+    bool differs = false;
+    for (u64 op = 0; op < 16 && !differs; ++op)
+        differs = p.backoff(op, 3) != p.backoff(op + 1, 3);
+    EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicy, BackoffJitterStaysInWindow)
+{
+    RetryPolicy p;
+    p.backoffBase = 4;
+    p.backoffCap = 256;
+    p.seed = 99;
+    for (u64 op = 0; op < 64; ++op) {
+        for (u32 attempt = 1; attempt < 10; ++attempt) {
+            u64 window = p.backoffBase << (attempt - 1);
+            window = std::min(window, p.backoffCap);
+            const u64 d = p.backoff(op, attempt);
+            EXPECT_GE(d, window / 2) << "op " << op << " a " << attempt;
+            EXPECT_LT(d, std::max<u64>(window, 1) + 1);
+        }
+    }
+}
+
+TEST(RetryPolicy, BackoffGrowsThenCaps)
+{
+    RetryPolicy p;
+    p.backoffBase = 8;
+    p.backoffCap = 64;
+    p.seed = 5;
+    // Window sequence: 8, 16, 32, 64, 64, ... jitter keeps delays in
+    // [w/2, w), so attempt 10's delay is bounded by the cap.
+    EXPECT_LT(p.backoff(3, 1), 8u);
+    EXPECT_GE(p.backoff(3, 4), 32u);
+    EXPECT_LT(p.backoff(3, 40), 64u);
+    EXPECT_GE(p.backoff(3, 40), 32u);
+}
+
+TEST(RetryPolicy, HugeAttemptOrdinalDoesNotOverflow)
+{
+    RetryPolicy p;
+    p.backoffCap = 1024;
+    const u64 d = p.backoff(1, 200); // 4 << 199 would overflow.
+    EXPECT_LT(d, 1024u);
+}
+
+// ---- Scripted client harness ---------------------------------------
+
+/** Captures every request the client emits, with placement scripted
+ *  by the test. */
+struct Harness
+{
+    std::vector<ServerIdx> placement{0, 1};
+    std::vector<std::pair<Request, ServerIdx>> sent;
+    FleetClient client;
+
+    explicit Harness(const RetryPolicy &p, u32 replication = 2,
+                     u32 quorum = 2)
+        : client(p, replication, quorum, /*valueSalt=*/77)
+    {
+        client.connect(
+            [this](u64, std::vector<ServerIdx> &out) {
+                out = placement;
+            },
+            [this](const Request &r, ServerIdx s) {
+                sent.emplace_back(r, s);
+            });
+    }
+
+    Response okFor(std::size_t i) const
+    {
+        const auto &[req, server] = sent[i];
+        Response resp;
+        resp.op = req.op;
+        resp.attempt = req.attempt;
+        resp.replica = req.replica;
+        resp.status = Status::Ok;
+        resp.version = req.version;
+        resp.value = req.value;
+        resp.from = server;
+        return resp;
+    }
+};
+
+RetryPolicy
+testPolicy()
+{
+    RetryPolicy p;
+    p.attemptTimeout = 10;
+    p.opDeadline = 200;
+    p.backoffBase = 4;
+    p.backoffCap = 32;
+    p.maxAttempts = 4;
+    p.hedgeAfter = 6;
+    p.seed = 1234;
+    return p;
+}
+
+TEST(FleetClient, ReadCompletesOnResponse)
+{
+    Harness h(testPolicy());
+    h.client.startRead(1, 50, /*now=*/0);
+    ASSERT_EQ(h.sent.size(), 1u);
+    EXPECT_EQ(h.sent[0].second, 0u); // Primary first.
+    h.client.onResponse(h.okFor(0), 2);
+    EXPECT_EQ(h.client.inflight(), 0u);
+    EXPECT_EQ(h.client.counters().opsAcked, 1u);
+    EXPECT_EQ(h.client.counters().hedges, 0u);
+}
+
+TEST(FleetClient, ReadHedgesAfterHedgeDelay)
+{
+    Harness h(testPolicy());
+    h.client.startRead(1, 50, 0);
+    ASSERT_EQ(h.sent.size(), 1u);
+    // Just before the hedge delay: nothing new.
+    for (u64 t = 1; t < 6; ++t)
+        h.client.tick(t);
+    EXPECT_EQ(h.sent.size(), 1u);
+    h.client.tick(6);
+    ASSERT_EQ(h.sent.size(), 2u);
+    EXPECT_EQ(h.sent[1].second, 1u); // Next replica.
+    EXPECT_EQ(h.client.counters().hedges, 1u);
+
+    // The hedge answers first: operation completes, hedgeWins counted.
+    h.client.onResponse(h.okFor(1), 8);
+    EXPECT_EQ(h.client.counters().opsAcked, 1u);
+    EXPECT_EQ(h.client.counters().hedgeWins, 1u);
+    // The primary's late answer is suppressed.
+    h.client.onResponse(h.okFor(0), 9);
+    EXPECT_EQ(h.client.counters().duplicatesSuppressed, 1u);
+}
+
+TEST(FleetClient, AttemptTimeoutBacksOffThenRetries)
+{
+    Harness h(testPolicy());
+    h.client.startRead(1, 50, 0);
+    ASSERT_EQ(h.sent.size(), 1u);
+    // Run past the attempt timeout (hedge fires on the way at t=6).
+    for (u64 t = 1; t <= 10; ++t)
+        h.client.tick(t);
+    EXPECT_EQ(h.client.counters().attemptTimeouts, 1u);
+    EXPECT_EQ(h.client.counters().retries, 1u);
+    const std::size_t before = h.sent.size();
+
+    // The retry is delayed by backoff(op=1, attempt=1) in [2, 4).
+    RetryPolicy p = testPolicy();
+    const u64 delay = p.backoff(1, 1);
+    EXPECT_GE(delay, 2u);
+    EXPECT_LT(delay, 4u);
+    for (u64 t = 11; t < 10 + delay; ++t)
+        h.client.tick(t);
+    EXPECT_EQ(h.sent.size(), before); // Still backing off.
+    h.client.tick(10 + delay);
+    ASSERT_EQ(h.sent.size(), before + 1);
+    // Second attempt rotates to the other replica.
+    EXPECT_EQ(h.sent.back().second, 1u);
+}
+
+TEST(FleetClient, DeadlineFailsOperation)
+{
+    Harness h(testPolicy());
+    // No responses ever: the op must fail by its deadline, not hang.
+    h.client.startRead(1, 50, 0);
+    for (u64 t = 1; t <= 200; ++t)
+        h.client.tick(t);
+    EXPECT_EQ(h.client.inflight(), 0u);
+    EXPECT_EQ(h.client.counters().opsFailed, 1u);
+    EXPECT_EQ(h.client.counters().opsAcked, 0u);
+    // Attempt budget respected: at most maxAttempts rounds, each of
+    // which may add one hedge.
+    EXPECT_LE(h.client.counters().attempts,
+              2ull * testPolicy().maxAttempts);
+    EXPECT_LE(h.client.counters().attemptTimeouts,
+              static_cast<u64>(testPolicy().maxAttempts));
+}
+
+TEST(FleetClient, WriteFansOutAndAcksAtQuorum)
+{
+    Harness h(testPolicy());
+    h.client.startWrite(1, 50, 0);
+    ASSERT_EQ(h.sent.size(), 2u); // One request per replica.
+    EXPECT_EQ(h.sent[0].first.version, 1u);
+    EXPECT_EQ(h.sent[0].first.value,
+              FleetClient::valueFor(50, 1, 77));
+
+    // First ack: no quorum yet.
+    h.client.onResponse(h.okFor(0), 1);
+    EXPECT_EQ(h.client.inflight(), 1u);
+    EXPECT_EQ(h.client.counters().writesAcked, 0u);
+    // Duplicate ack from the same server does not count twice.
+    h.client.onResponse(h.okFor(0), 2);
+    EXPECT_EQ(h.client.inflight(), 1u);
+    // Second replica acks: quorum reached.
+    h.client.onResponse(h.okFor(1), 3);
+    EXPECT_EQ(h.client.inflight(), 0u);
+    EXPECT_EQ(h.client.counters().writesAcked, 1u);
+    ASSERT_EQ(h.client.ackedWrites().count(50), 1u);
+    EXPECT_EQ(h.client.ackedWrites().at(50).version, 1u);
+}
+
+TEST(FleetClient, WriteRefanoutSkipsAckedReplicas)
+{
+    Harness h(testPolicy());
+    h.client.startWrite(1, 50, 0);
+    ASSERT_EQ(h.sent.size(), 2u);
+    h.client.onResponse(h.okFor(0), 1); // Replica 0 acked.
+
+    // Attempt times out; after backoff the re-fan-out goes only to
+    // the replica that has not acked.
+    for (u64 t = 2; t <= 20; ++t)
+        h.client.tick(t);
+    ASSERT_GE(h.sent.size(), 3u);
+    for (std::size_t i = 2; i < h.sent.size(); ++i)
+        EXPECT_EQ(h.sent[i].second, 1u);
+}
+
+TEST(FleetClient, BusyTriggersBackoffNotInstantRetry)
+{
+    Harness h(testPolicy());
+    h.client.startRead(1, 50, 0);
+    ASSERT_EQ(h.sent.size(), 1u);
+    Response busy;
+    busy.op = 1;
+    busy.attempt = 0;
+    busy.status = Status::Busy;
+    busy.from = 0;
+    h.client.onResponse(busy, 1);
+    EXPECT_EQ(h.client.counters().busyRejections, 1u);
+    EXPECT_EQ(h.sent.size(), 1u); // No same-tick hammering.
+    EXPECT_EQ(h.client.counters().retries, 1u);
+    for (u64 t = 2; t <= 8; ++t)
+        h.client.tick(t);
+    EXPECT_GE(h.sent.size(), 2u); // Retried after the backoff window.
+}
+
+TEST(FleetClient, ReadFailsOverImmediatelyOnDueData)
+{
+    Harness h(testPolicy());
+    h.client.startRead(1, 50, 0);
+    ASSERT_EQ(h.sent.size(), 1u);
+    Response due;
+    due.op = 1;
+    due.attempt = 0;
+    due.status = Status::DueData;
+    due.from = 0;
+    h.client.onResponse(due, 1);
+    // DUE at the primary is not a timeout: the client fails over to
+    // the next replica in the same tick.
+    ASSERT_EQ(h.sent.size(), 2u);
+    EXPECT_EQ(h.sent[1].second, 1u);
+    EXPECT_EQ(h.client.counters().dueFailovers, 1u);
+}
+
+TEST(FleetClient, EmptyPlacementFailsFast)
+{
+    Harness h(testPolicy());
+    h.placement.clear(); // Every server evicted.
+    h.client.startRead(1, 50, 0);
+    EXPECT_EQ(h.client.inflight(), 0u);
+    EXPECT_EQ(h.client.counters().opsFailed, 1u);
+}
+
+TEST(FleetClient, FinishCountsUnresolved)
+{
+    Harness h(testPolicy());
+    h.client.startRead(1, 50, 0);
+    h.client.startWrite(2, 60, 0);
+    h.client.finish();
+    EXPECT_EQ(h.client.counters().opsUnresolved, 2u);
+    EXPECT_EQ(h.client.inflight(), 0u);
+}
+
+} // namespace
