@@ -134,6 +134,10 @@ runSuiteParallel(StripingMode mode, RasTraffic ras, u64 insns_per_core,
 {
     const auto &benches = allBenchmarks();
     std::vector<SimResult> results(benches.size());
+    // TSA audit (DESIGN.md section 13): no CITADEL_GUARDED_BY fields
+    // here by design. parallelFor partitions bench indices so slot
+    // results[i] has exactly one writer, and the ordered fold into the
+    // std::map happens after the pool's joining barrier.
     ThreadPool pool(threads);
     pool.parallelFor(
         benches.size(), 1, [&](u64 begin, u64 end, unsigned) {

@@ -26,10 +26,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
-    wake_.notify_all();
+    wake_.notifyAll();
     for (auto &w : workers_)
         w.join();
 }
@@ -41,32 +41,39 @@ ThreadPool::workerLoop(unsigned index)
     for (;;) {
         const std::function<void(unsigned)> *job = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [&] { return stop_ || generation_ != seen; });
+            MutexLock lock(mutex_);
+            while (!stop_ && generation_ == seen)
+                wake_.wait(mutex_);
             if (stop_)
                 return;
             seen = generation_;
             job = job_;
         }
+        // The job runs with no lock held: jobs are free to take their
+        // own locks or block without serializing the pool.
         (*job)(index);
+        bool last = false;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (--pending_ == 0)
-                done_.notify_all();
+            MutexLock lock(mutex_);
+            last = --pending_ == 0;
         }
+        // Notify after dropping the lock so the joining thread wakes
+        // straight into a free mutex instead of blocking on ours.
+        if (last)
+            done_.notifyAll();
     }
 }
 
 void
 ThreadPool::runOnWorkers(const std::function<void(unsigned)> &fn)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     pending_ = size();
     ++generation_;
-    wake_.notify_all();
-    done_.wait(lock, [&] { return pending_ == 0; });
+    wake_.notifyAll();
+    while (pending_ != 0)
+        done_.wait(mutex_);
     job_ = nullptr;
 }
 

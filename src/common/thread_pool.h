@@ -22,12 +22,11 @@
 #ifndef CITADEL_COMMON_THREAD_POOL_H
 #define CITADEL_COMMON_THREAD_POOL_H
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace citadel {
@@ -76,13 +75,19 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    const std::function<void(unsigned)> *job_ = nullptr;
-    u64 generation_ = 0;  ///< Bumped per runOnWorkers call.
-    unsigned pending_ = 0; ///< Workers still running the current job.
-    bool stop_ = false;
+    /** Guards the job-handoff state below (DESIGN.md section 13: the
+     *  only lock in the codebase; everything else shares by phase
+     *  discipline or disjoint per-worker slots). */
+    Mutex mutex_;
+    CondVar wake_;
+    CondVar done_;
+    const std::function<void(unsigned)> *job_
+        CITADEL_GUARDED_BY(mutex_) = nullptr;
+    /** Bumped per runOnWorkers call. */
+    u64 generation_ CITADEL_GUARDED_BY(mutex_) = 0;
+    /** Workers still running the current job. */
+    unsigned pending_ CITADEL_GUARDED_BY(mutex_) = 0;
+    bool stop_ CITADEL_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace citadel

@@ -137,6 +137,12 @@ MonteCarlo::run(RasScheme &scheme, u64 trials, u64 seed,
         // Chunks are handed out dynamically; because trial t's seed
         // and the shard merge are both order-independent, any
         // chunk-to-worker assignment yields bit-identical results.
+        //
+        // TSA audit (DESIGN.md section 13): no CITADEL_GUARDED_BY
+        // fields here by design. Worker w writes only shards[w] and
+        // its own locals; the sole shared mutable object is `next`,
+        // a std::atomic claim counter. The merge below runs after
+        // runOnWorkers() returns, which is the joining barrier.
         ThreadPool pool(nthreads);
         shards.resize(pool.size());
         const u64 chunk = std::max<u64>(

@@ -54,21 +54,28 @@ class FleetClient
     /** Wire the client to the fleet. Must be called before use. */
     void connect(PlacementFn placement, SendFn send);
 
+    // The client is serial-phase-only (see file comment): its wakeup
+    // queue and op table are shared with the placement/send callbacks
+    // that reach into coordinator and servers.
+
     /** Issue a read of `key` as operation `op` at virtual time `now`. */
-    void startRead(u64 op, u64 key, u64 now);
+    void startRead(u64 op, u64 key, u64 now)
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** Issue a write; the client assigns the next version of `key` and
      *  derives the payload digest from (key, version). */
-    void startWrite(u64 op, u64 key, u64 now);
+    void startWrite(u64 op, u64 key, u64 now)
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** A response arrived (duplicates and stragglers welcome). */
-    void onResponse(const Response &resp, u64 now);
+    void onResponse(const Response &resp, u64 now)
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** Run every wakeup due at or before `now`. */
-    void tick(u64 now);
+    void tick(u64 now) CITADEL_REQUIRES(kSerialPhase);
 
     /** End of campaign: classify still-inflight ops as unresolved. */
-    void finish();
+    void finish() CITADEL_REQUIRES(kSerialPhase);
 
     /** Operations still in flight. */
     std::size_t inflight() const { return ops_.size(); }
@@ -78,6 +85,7 @@ class FleetClient
     /** Every key's last acknowledged write — what the durability audit
      *  checks against surviving replicas. */
     const std::map<u64, AckedWrite> &ackedWrites() const
+        CITADEL_REQUIRES(kSerialPhase)
     {
         return acked_;
     }
@@ -87,7 +95,7 @@ class FleetClient
     static u64 valueFor(u64 key, u64 version, u64 salt);
 
     /** Fold the acked-write set into a fingerprint. */
-    void serialize(ByteSink &sink) const;
+    void serialize(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
 
   private:
     struct Op

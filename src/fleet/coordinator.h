@@ -56,30 +56,39 @@ class Coordinator
                 u64 seed,
                 std::vector<std::unique_ptr<StackServer>> &fleet);
 
+    // Everything below runs in the campaign's serial phase: the
+    // coordinator reaches into every server (probes, repairs, fences),
+    // so none of it may overlap the parallel step fan-out.
+
     /** Current replica set of a key, primary first. */
-    void placement(u64 key, std::vector<ServerIdx> &out) const;
+    void placement(u64 key, std::vector<ServerIdx> &out) const
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** Serial-phase duties: probe round (on schedule), evictions, and
      *  the bounded re-replication pump. */
-    void tick(u64 now, FleetCounters &counters);
+    void tick(u64 now, FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** Run the repair pump to completion (end-of-campaign settle, so
      *  the durability audit sees a fully re-replicated fleet). */
-    void drainRepairs(FleetCounters &counters);
+    void drainRepairs(FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** In the ring and serving. */
-    bool inService(ServerIdx s) const;
+    bool inService(ServerIdx s) const CITADEL_REQUIRES(kSerialPhase);
 
     const HashRing &ring() const { return ring_; }
 
     /** Repair backlog still pending? */
     bool repairing() const { return scanning_ || rescanNeeded_; }
 
-    void serialize(ByteSink &sink) const;
+    void serialize(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
 
   private:
-    void evict(ServerIdx s, bool capacity, FleetCounters &counters);
-    void pumpRepair(u32 budget, FleetCounters &counters);
+    void evict(ServerIdx s, bool capacity, FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
+    void pumpRepair(u32 budget, FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
 
     CoordinatorOptions opts_;
     u32 replication_;

@@ -116,11 +116,19 @@ FleetCampaign::FleetCampaign(const FleetConfig &cfg)
     coordinator_ = std::make_unique<Coordinator>(
         cfg_.coord, cfg_.replication, mix64(cfg_.seed ^ 0x419Cull),
         fleet_);
+    // The analysis cannot propagate capabilities through the
+    // type-erased std::function boundary, so each callback restates
+    // its contract: it is only ever invoked from the client, which is
+    // serial-phase-only.
     client_.connect(
         [this](u64 key, std::vector<ServerIdx> &out) {
+            assertRoleHeld(kSerialPhase);
             coordinator_->placement(key, out);
         },
-        [this](const Request &r, ServerIdx s) { sendToServer(r, s); });
+        [this](const Request &r, ServerIdx s) {
+            assertRoleHeld(kSerialPhase);
+            sendToServer(r, s);
+        });
 }
 
 FleetCampaign::~FleetCampaign() = default;
@@ -260,16 +268,25 @@ FleetCampaign::run()
     };
 
     for (tick_ = 0; tick_ < cfg_.ticks; ++tick_) {
-        // Serial phase: all cross-server communication, fixed order.
-        applyChaos(tick_, loopCounters_);
-        deliverDue(tick_);
-        client_.tick(tick_);
-        arrivals(tick_);
-        coordinator_->tick(tick_, loopCounters_);
-        // Parallel phase: per-server state only.
+        {
+            // Serial phase: all cross-server communication, fixed
+            // order. The scoped role grant is what lets these calls
+            // satisfy CITADEL_REQUIRES(kSerialPhase).
+            ThreadRoleGrant serial(kSerialPhase);
+            applyChaos(tick_, loopCounters_);
+            deliverDue(tick_);
+            client_.tick(tick_);
+            arrivals(tick_);
+            coordinator_->tick(tick_, loopCounters_);
+        }
+        // Parallel phase: per-server state only; the role is dropped,
+        // so worker lambdas cannot reach serial-phase methods.
         step_servers();
-        // Serial collection, server-index order.
-        collectOutboxes(tick_);
+        {
+            // Serial collection, server-index order.
+            ThreadRoleGrant serial(kSerialPhase);
+            collectOutboxes(tick_);
+        }
     }
 
     // Settle: no new arrivals; run until every in-flight operation has
@@ -280,12 +297,22 @@ FleetCampaign::run()
          tick_ < settle_limit &&
          (client_.inflight() > 0 || !pending_.empty());
          ++tick_) {
-        deliverDue(tick_);
-        client_.tick(tick_);
-        coordinator_->tick(tick_, loopCounters_);
+        {
+            ThreadRoleGrant serial(kSerialPhase);
+            deliverDue(tick_);
+            client_.tick(tick_);
+            coordinator_->tick(tick_, loopCounters_);
+        }
         step_servers();
-        collectOutboxes(tick_);
+        {
+            ThreadRoleGrant serial(kSerialPhase);
+            collectOutboxes(tick_);
+        }
     }
+
+    // The pool is idle from here on: the tail of the campaign (repair
+    // drain, audit, fingerprint) is one long serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
 
     // Re-replication settles before the audit: repair is part of the
     // service's durability story, not a background nicety.

@@ -142,12 +142,20 @@ class FleetCampaign
     const StackServer &server(ServerIdx s) const { return *fleet_[s]; }
 
   private:
-    void applyChaos(u64 tick, FleetCounters &c);
-    void deliverDue(u64 tick);
-    void arrivals(u64 tick);
-    void collectOutboxes(u64 tick);
-    void sendToServer(const Request &r, ServerIdx s);
-    FleetResult audit(FleetCounters totals);
+    // Serial-phase segments of the campaign loop. run() takes the
+    // kSerialPhase role with a scoped ThreadRoleGrant around phases 1
+    // and 3 and drops it across the parallel step fan-out, so calling
+    // any of these from worker code fails to compile under
+    // -Wthread-safety.
+    void applyChaos(u64 tick, FleetCounters &c)
+        CITADEL_REQUIRES(kSerialPhase);
+    void deliverDue(u64 tick) CITADEL_REQUIRES(kSerialPhase);
+    void arrivals(u64 tick) CITADEL_REQUIRES(kSerialPhase);
+    void collectOutboxes(u64 tick) CITADEL_REQUIRES(kSerialPhase);
+    void sendToServer(const Request &r, ServerIdx s)
+        CITADEL_REQUIRES(kSerialPhase);
+    FleetResult audit(FleetCounters totals)
+        CITADEL_REQUIRES(kSerialPhase);
 
     FleetConfig cfg_;
     FleetFaultInjector injector_;

@@ -20,11 +20,26 @@
 
 #include <string>
 
+#include "common/mutex.h"
 #include "common/serialize.h"
 #include "common/types.h"
 
 namespace citadel {
 namespace fleet {
+
+/**
+ * The fleet's phase discipline as a checkable capability (DESIGN.md
+ * §13). Methods that may only run in the campaign's serial phase —
+ * client/coordinator logic, chaos injection, outbox collection, the
+ * audit — are annotated CITADEL_REQUIRES(kSerialPhase); the campaign
+ * loop takes the role with a scoped ThreadRoleGrant around each serial
+ * segment. Parallel-phase code (the step_servers lambda running on
+ * ThreadPool workers) is analyzed with an empty capability set, so a
+ * call from there into serial-phase state is a compile error under
+ * -Wthread-safety. There is no runtime lock: the role is a structural
+ * property of the loop in FleetSim::run().
+ */
+inline ThreadRole kSerialPhase;
 
 /** Index of a stack server within the fleet (not a device coordinate
  *  space: fleet membership is dynamic, device geometry is not). */

@@ -163,6 +163,12 @@ StackServer::fence()
 void
 StackServer::applyReplica(u64 key, u64 version, u64 value)
 {
+    storeLocal(key, version, value);
+}
+
+void
+StackServer::storeLocal(u64 key, u64 version, u64 value)
+{
     auto &entry = kv_[key];
     if (version > entry.first)
         entry = {version, value};
@@ -178,6 +184,12 @@ StackServer::respondsToProbe(u64 tick) const
 
 std::pair<u64, u64>
 StackServer::lookup(u64 key) const
+{
+    return lookupLocal(key);
+}
+
+std::pair<u64, u64>
+StackServer::lookupLocal(u64 key) const
 {
     auto it = kv_.find(key);
     return it == kv_.end() ? std::pair<u64, u64>{0, 0} : it->second;
@@ -212,13 +224,13 @@ StackServer::serve(const Request &r, u64 cycle)
     }
 
     if (r.kind == OpKind::Write) {
-        applyReplica(r.key, r.version, r.value);
+        storeLocal(r.key, r.version, r.value);
         resp.status = Status::Ok;
         resp.version = r.version;
         resp.value = r.value;
         return resp;
     }
-    const auto [version, value] = lookup(r.key);
+    const auto [version, value] = lookupLocal(r.key);
     if (version == 0) {
         resp.status = Status::NotFound;
         return resp;
@@ -238,7 +250,18 @@ StackServer::step(u64 tick)
     if (state_ == ServerState::Stalled) {
         if (tick < stalledUntil_)
             return; // Frozen: no datapath time, no service.
-        state_ = ServerState::Up;
+        // A stall can land on a Slowed server (stall() accepts any
+        // serving state). When it lifts, restore the slowdown if its
+        // window is still open; otherwise clear the divisor too —
+        // going straight to Up would leave slowDivisor_ > 1 with no
+        // Slowed-expiry path left to reset it, permanently shrinking
+        // this server's service budget.
+        if (tick < slowedUntil_ && slowDivisor_ > 1) {
+            state_ = ServerState::Slowed;
+        } else {
+            state_ = ServerState::Up;
+            slowDivisor_ = 1;
+        }
     }
     if (state_ == ServerState::Slowed && tick >= slowedUntil_) {
         state_ = ServerState::Up;

@@ -97,25 +97,33 @@ class StackServer
     ~StackServer();
 
     // ---- Serial-phase interface (campaign loop, coordinator) ------
+    //
+    // CITADEL_REQUIRES(kSerialPhase) is the phase discipline made
+    // checkable: these methods mutate or read state that step() also
+    // touches, so they are legal only while the campaign loop holds
+    // the serial-phase role (ThreadPool worker lambdas start with an
+    // empty capability set and cannot call them).
 
     /** Offer a request; false when the bounded queue is full or the
      *  server cannot accept (crashed/fenced servers never ack). */
-    bool enqueue(const Request &r);
+    bool enqueue(const Request &r) CITADEL_REQUIRES(kSerialPhase);
 
     /** Chaos controls (fail-stop crash, stall window, slowdown). */
-    void crash();
-    void stall(u64 until_tick);
-    void slowdown(u64 until_tick, u32 divisor);
+    void crash() CITADEL_REQUIRES(kSerialPhase);
+    void stall(u64 until_tick) CITADEL_REQUIRES(kSerialPhase);
+    void slowdown(u64 until_tick, u32 divisor)
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** Coordinator eviction: stop serving, remain a repair source. */
-    void fence();
+    void fence() CITADEL_REQUIRES(kSerialPhase);
 
     /** Install a replica copy (coordinator-driven re-replication).
      *  Max-merge on version, mirroring the write path. */
-    void applyReplica(u64 key, u64 version, u64 value);
+    void applyReplica(u64 key, u64 version, u64 value)
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** Does the server answer a health probe at `tick`? */
-    bool respondsToProbe(u64 tick) const;
+    bool respondsToProbe(u64 tick) const CITADEL_REQUIRES(kSerialPhase);
 
     /** Can the coordinator still read this server's data? (Everything
      *  but a crash: fenced and stalled state is intact.) */
@@ -130,30 +138,40 @@ class StackServer
 
     ServerState state() const { return state_; }
     const ServerStats &stats() const { return stats_; }
-    const std::map<u64, std::pair<u64, u64>> &kv() const { return kv_; }
+    const std::map<u64, std::pair<u64, u64>> &kv() const
+        CITADEL_REQUIRES(kSerialPhase)
+    {
+        return kv_;
+    }
 
     /** Newest (version, value) of a key, or (0, 0). */
-    std::pair<u64, u64> lookup(u64 key) const;
+    std::pair<u64, u64> lookup(u64 key) const
+        CITADEL_REQUIRES(kSerialPhase);
 
     /** Device health for placement decisions (capacityFraction falls
      *  as the degradation ladder bites). */
-    RasHealthSignals health() const;
+    RasHealthSignals health() const CITADEL_REQUIRES(kSerialPhase);
 
     const LiveRasDatapath &datapath() const { return *dp_; }
     u32 serviceUnitsPerTick() const { return serviceUnits_; }
     double calibratedCyclesPerRead() const { return calibCyclesPerRead_; }
 
     /** Fold KV state, device state and stats into a fingerprint. */
-    void serialize(ByteSink &sink) const;
+    void serialize(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
 
     // ---- Parallel-phase interface ---------------------------------
 
     /** Consume the inbox within this tick's service budget; responses
-     *  land in outbox() in arrival order. Touches only this server. */
-    void step(u64 tick);
+     *  land in outbox() in arrival order. Touches only this server.
+     *  EXCLUDES documents the split: the campaign loop must drop the
+     *  serial-phase role before fanning steps out to the pool. */
+    void step(u64 tick) CITADEL_EXCLUDES(kSerialPhase);
 
     /** Responses produced by the last step(); drained serially. */
-    std::vector<Response> &outbox() { return outbox_; }
+    std::vector<Response> &outbox() CITADEL_REQUIRES(kSerialPhase)
+    {
+        return outbox_;
+    }
 
   private:
     LineAddr lineFor(u64 key) const;
@@ -161,6 +179,12 @@ class StackServer
     void calibrate(u64 seed);
     void scheduleAging(u64 seed, u64 campaign_ticks);
     Response serve(const Request &r, u64 cycle);
+
+    // Phase-agnostic KV access: per-server state reached either from
+    // the owner's step() (parallel phase) or through the annotated
+    // serial-phase wrappers above — never both at once.
+    std::pair<u64, u64> lookupLocal(u64 key) const;
+    void storeLocal(u64 key, u64 version, u64 value);
 
     ServerIdx index_;
     ServerConfig cfg_;

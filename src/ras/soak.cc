@@ -173,6 +173,12 @@ SoakCampaign::advanceTo(double hours)
         return;
     const u64 end_cycle = cycleOf(target);
 
+    // TSA audit (DESIGN.md section 13): no CITADEL_GUARDED_BY fields
+    // here by design. parallelFor partitions [0, shards) so each index
+    // is visited exactly once per advance, stepShard(s) touches only
+    // shards_[s], and hoursDone_ is written after the pool's joining
+    // barrier. Result folds and checkpoints run strictly before or
+    // after an advance, never during one.
     ThreadPool pool(cfg_.threads);
     pool.parallelFor(cfg_.shards, 1,
                      [&](u64 begin, u64 end, unsigned /*worker*/) {

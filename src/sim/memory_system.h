@@ -18,6 +18,14 @@
  *    tracking is a flat vector lookup rather than an unordered_map;
  *  - nextEventCycle(), the contract the event-driven SystemSim loop
  *    uses to skip cycles in which tick() would provably do nothing.
+ *
+ * Determinism audit (DESIGN.md section 13): this file holds no
+ * std::unordered_* container — the token arena above removed the last
+ * one — so nothing here iterates in hash order. The unordered-container
+ * rule in tools/lint_determinism.py now guards that property for every
+ * file under src/ and bench/; reintroducing one fails the lint gate
+ * unless a blessing spells out why its iteration order can never reach
+ * an observable result.
  */
 
 #ifndef CITADEL_SIM_MEMORY_SYSTEM_H

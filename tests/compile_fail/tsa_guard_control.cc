@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Positive control for the thread-safety compile-fail proof: the same
+ * guarded-field access as tsa_guard_violation.cc, done correctly under
+ * a MutexLock, plus a REQUIRES method called with the capability held.
+ * Must compile cleanly under clang -Wthread-safety -Werror — proving
+ * the harness flags are live and the annotated primitives themselves
+ * are analysis-clean, so the violation file fails for the right
+ * reason.
+ */
+
+#include "common/mutex.h"
+
+namespace {
+
+struct Counter
+{
+    citadel::Mutex mu;
+    int value CITADEL_GUARDED_BY(mu) = 0;
+
+    int safeRead()
+    {
+        citadel::MutexLock lock(mu);
+        return value;
+    }
+
+    int lockedRead() CITADEL_REQUIRES(mu) { return value; }
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    int total = c.safeRead();
+    {
+        citadel::MutexLock lock(c.mu);
+        total += c.lockedRead();
+    }
+    return total;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Compile-fail proof for the thread-safety gate (DESIGN.md section 13):
+ * reading a CITADEL_GUARDED_BY field without holding its mutex must be
+ * a build error under clang -Wthread-safety -Werror. The configure-time
+ * harness in tests/CMakeLists.txt (CITADEL_THREAD_SAFETY=ON only)
+ * asserts this file does NOT compile; if it ever does, the annotations
+ * have been hollowed out and the gate is vacuous.
+ *
+ * The companion control (tsa_guard_control.cc) is the same access done
+ * correctly under a MutexLock, and must compile.
+ */
+
+#include "common/mutex.h"
+
+namespace {
+
+struct Counter
+{
+    citadel::Mutex mu;
+    int value CITADEL_GUARDED_BY(mu) = 0;
+
+    // Unlocked access to a guarded field: the violation under test.
+    int unsafeRead() { return value; }
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    return c.unsafeRead();
+}

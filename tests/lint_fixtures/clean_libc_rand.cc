@@ -1,0 +1,22 @@
+// Clean counterpart: an explicit per-stream generator object; no
+// global state, and names like strand()/operand() must not trip the
+// rand() rule.
+#include <cstdint>
+
+struct Rng
+{
+    std::uint64_t state;
+    std::uint64_t next();
+};
+
+int
+diceRoll(Rng &rng)
+{
+    return static_cast<int>(rng.next() % 6) + 1;
+}
+
+std::uint64_t
+operand(Rng &rng)
+{
+    return rng.next();
+}

@@ -1,0 +1,18 @@
+// Clean counterpart: simulated layers take virtual time as a
+// parameter; "lifetime(...)" and string mentions of time( must not
+// trip the rule.
+#include <cstdint>
+
+std::uint64_t
+cycleOf(std::uint64_t tick, std::uint64_t cycles_per_tick)
+{
+    return tick * cycles_per_tick;
+}
+
+double
+lifetime(double hours)
+{
+    return hours;
+}
+
+const char *label = "elapsed time (virtual ticks)";

@@ -1,0 +1,9 @@
+// Clean counterpart: report labels derived from virtual time as
+// plain integer arithmetic — host locale and timezone never enter.
+#include <cstdint>
+
+std::uint64_t
+simYearOf(double hours)
+{
+    return static_cast<std::uint64_t>(hours / (24.0 * 365.0));
+}

@@ -1,0 +1,10 @@
+// Clean counterpart: key by stable index, not by address; pointer
+// *values* (mapped type) are fine — only pointer keys order by
+// allocator behavior.
+#include <cstdint>
+#include <map>
+
+struct Server;
+
+std::map<std::uint32_t, int> scoresByIndex;
+std::map<std::uint32_t, Server *> serverByIndex;

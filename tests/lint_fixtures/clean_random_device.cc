@@ -1,0 +1,11 @@
+// Clean counterpart: seeds are counter-derived from the campaign
+// seed, so trial t draws identically on any worker thread.
+#include <cstdint>
+
+std::uint64_t mix64(std::uint64_t x);
+
+std::uint64_t
+trialSeed(std::uint64_t campaign_seed, std::uint64_t trial)
+{
+    return mix64(campaign_seed ^ (trial + 1));
+}

@@ -1,0 +1,17 @@
+// Clean counterpart: typed ids at the API boundary; raw counts
+// ("rows": how many, not which one) and lambda parameters are exempt
+// by design.
+#include <cstdint>
+
+using u32 = std::uint32_t;
+
+struct BankId;
+struct RowId;
+
+u32 lineOf(BankId bank, RowId row);
+
+u32
+capacity(u32 rows, u32 banks)
+{
+    return rows * banks;
+}

@@ -1,0 +1,19 @@
+// Clean counterpart: the counter-derived stream idiom from
+// src/common/rng.h — construction from a mixed seed, draws bounded
+// with modulo/rejection, no <random> machinery.
+#include <cstdint>
+
+std::uint64_t mix64(std::uint64_t x);
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+    std::uint64_t next();
+};
+
+int
+sample(std::uint64_t campaign_seed, std::uint64_t trial)
+{
+    Rng rng(mix64(campaign_seed ^ (trial + 1)));
+    return static_cast<int>(rng.next() % 6) + 1;
+}

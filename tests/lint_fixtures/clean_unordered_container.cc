@@ -1,0 +1,15 @@
+// Clean counterpart: ordered map — iteration order is the key order,
+// so the fold is reproducible on any run.
+#include <cstdint>
+#include <map>
+
+std::map<std::uint64_t, std::uint64_t> kv;
+
+std::uint64_t
+fingerprint()
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto &[key, value] : kv)
+        h = (h ^ key ^ value) * 1099511628211ull;
+    return h;
+}

@@ -1,0 +1,14 @@
+// Clean counterpart: stay in the typed domain; arithmetic on ids
+// goes through their own operators, never through .value()/.idx().
+#include <cstdint>
+
+struct BankId
+{
+    BankId next() const;
+};
+
+BankId
+nextBank(BankId bank)
+{
+    return bank.next();
+}

@@ -1,0 +1,8 @@
+// Clean counterpart: durations computed from virtual ticks only.
+#include <cstdint>
+
+double
+elapsedHours(std::uint64_t tick, double hours_per_tick)
+{
+    return static_cast<double>(tick) * hours_per_tick;
+}

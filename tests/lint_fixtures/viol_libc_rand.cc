@@ -1,0 +1,9 @@
+// Fixture: rand()/srand() is hidden global state.
+#include <cstdlib>
+
+int
+diceRoll()
+{
+    srand(42);            // expect-lint: libc-rand
+    return rand() % 6 + 1; // expect-lint: libc-rand
+}

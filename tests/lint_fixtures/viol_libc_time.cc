@@ -1,0 +1,14 @@
+// Fixture: libc wall-clock/CPU-clock reads.
+#include <ctime>
+
+long
+stampNow()
+{
+    return time(nullptr); // expect-lint: libc-time
+}
+
+long
+cpuNow()
+{
+    return clock(); // expect-lint: libc-time
+}

@@ -1,0 +1,9 @@
+// Fixture: locale/timezone-dependent date formatting.
+#include <ctime>
+
+void
+stampReport(char *buf, std::size_t n, std::time_t t)
+{
+    std::tm *lt = localtime(&t);      // expect-lint: locale-date
+    strftime(buf, n, "%Y-%m-%d", lt); // expect-lint: locale-date
+}

@@ -1,0 +1,8 @@
+// Fixture: pointer-keyed containers iterate in allocator order.
+#include <map>
+#include <set>
+
+struct Server;
+
+std::map<Server *, int> scores;    // expect-lint: pointer-keyed
+std::set<const Server *> visited; // expect-lint: pointer-keyed

@@ -1,0 +1,9 @@
+// Fixture: std::random_device seeds differently every run.
+#include <cstdint>
+
+std::uint64_t
+entropySeed()
+{
+    std::random_device rd; // expect-lint: random-device
+    return rd;
+}

@@ -1,0 +1,11 @@
+// Fixture: raw integer coordinate parameters re-open the
+// transposed-coordinate bug class the typed ids eliminated.
+#include <cstdint>
+
+using u32 = std::uint32_t;
+
+u32
+lineOf(u32 bank, u32 row) // expect-lint: raw-coordinate-param
+{
+    return bank * 4096 + row;
+}

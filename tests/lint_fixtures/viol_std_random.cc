@@ -1,0 +1,10 @@
+// Fixture: <random> engines/distributions outside common/rng.h.
+#include <random> // expect-lint: std-random
+
+int
+sample(unsigned seed)
+{
+    std::mt19937 gen(seed);                      // expect-lint: std-random
+    std::uniform_int_distribution<int> d(1, 6); // expect-lint: std-random
+    return d(gen);
+}

@@ -1,0 +1,14 @@
+// Fixture: hash-container iteration order is implementation-defined.
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> kv; // expect-lint: unordered-container
+
+std::uint64_t
+fingerprint()
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto &[key, value] : kv)
+        h = (h ^ key ^ value) * 1099511628211ull;
+    return h;
+}

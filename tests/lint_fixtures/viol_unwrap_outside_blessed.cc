@@ -1,0 +1,14 @@
+// Fixture: unwrapping a typed id back to a raw integer outside the
+// blessed mapper files silently re-enters raw-index arithmetic.
+#include <cstdint>
+
+struct BankId
+{
+    std::uint32_t value() const;
+};
+
+std::uint32_t
+nextBank(BankId bank)
+{
+    return bank.value() + 1; // expect-lint: unwrap-outside-blessed
+}

@@ -1,0 +1,9 @@
+// Fixture: std::chrono clock reads differ every run.
+#include <chrono>
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point t0) // expect-lint: wall-clock
+{
+    const auto now = std::chrono::steady_clock::now(); // expect-lint: wall-clock
+    return std::chrono::duration<double>(now - t0).count();
+}

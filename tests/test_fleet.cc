@@ -264,4 +264,66 @@ TEST(FleetDeterminism, DifferentSeedsDiverge)
     EXPECT_NE(a.run().fingerprint, b.run().fingerprint);
 }
 
+// ---- StackServer chaos-state transitions ---------------------------
+
+// Regression test for a leak the thread-safety review surfaced: a
+// stall landing on a Slowed server (legal — stall() accepts any
+// serving state) used to lift straight to Up, skipping the
+// Slowed-expiry reset, so slowDivisor_ stayed > 1 and the server's
+// service budget was permanently divided. The stall must restore the
+// slowdown while its window is open and the full rate after it ends.
+TEST(StackServerChaos, StallOverSlowdownRestoresServiceRate)
+{
+    const ServerConfig scfg = smallConfig().server; // 24 units/tick.
+    StackServer srv(0, scfg, /*seed=*/1, /*campaign_ticks=*/64);
+
+    u64 next_op = 1;
+    const auto fill_to = [&](u64 target) {
+        ThreadRoleGrant serial(kSerialPhase);
+        for (u64 i = 0; i < target; ++i) {
+            Request r;
+            r.op = next_op++;
+            r.kind = OpKind::Read;
+            r.key = i;
+            srv.enqueue(r);
+        }
+    };
+
+    {
+        ThreadRoleGrant serial(kSerialPhase);
+        srv.slowdown(/*until_tick=*/8, /*divisor=*/4);
+        srv.stall(/*until_tick=*/5);
+        EXPECT_EQ(srv.state(), ServerState::Stalled);
+    }
+    fill_to(32);
+
+    // Frozen: no service while the stall window is open.
+    srv.step(1);
+    {
+        ThreadRoleGrant serial(kSerialPhase);
+        EXPECT_TRUE(srv.outbox().empty());
+    }
+    EXPECT_EQ(srv.state(), ServerState::Stalled);
+
+    // Stall lifts inside the slowdown window: the slowdown must come
+    // back (budget 24 / 4 = 6), not full speed and not a leak.
+    srv.step(5);
+    EXPECT_EQ(srv.state(), ServerState::Slowed);
+    {
+        ThreadRoleGrant serial(kSerialPhase);
+        EXPECT_FALSE(srv.outbox().empty());
+        EXPECT_LE(srv.outbox().size(), 6u);
+    }
+
+    // Slowdown expires: the full service budget must return. With the
+    // leak, slowDivisor_ stayed 4 and this tick served at most 6.
+    fill_to(32);
+    srv.step(8);
+    EXPECT_EQ(srv.state(), ServerState::Up);
+    {
+        ThreadRoleGrant serial(kSerialPhase);
+        EXPECT_GT(srv.outbox().size(), 6u);
+    }
+}
+
 } // namespace

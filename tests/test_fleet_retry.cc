@@ -129,6 +129,8 @@ testPolicy()
 TEST(FleetClient, ReadCompletesOnResponse)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.client.startRead(1, 50, /*now=*/0);
     ASSERT_EQ(h.sent.size(), 1u);
     EXPECT_EQ(h.sent[0].second, 0u); // Primary first.
@@ -141,6 +143,8 @@ TEST(FleetClient, ReadCompletesOnResponse)
 TEST(FleetClient, ReadHedgesAfterHedgeDelay)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.client.startRead(1, 50, 0);
     ASSERT_EQ(h.sent.size(), 1u);
     // Just before the hedge delay: nothing new.
@@ -164,6 +168,8 @@ TEST(FleetClient, ReadHedgesAfterHedgeDelay)
 TEST(FleetClient, AttemptTimeoutBacksOffThenRetries)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.client.startRead(1, 50, 0);
     ASSERT_EQ(h.sent.size(), 1u);
     // Run past the attempt timeout (hedge fires on the way at t=6).
@@ -190,6 +196,8 @@ TEST(FleetClient, AttemptTimeoutBacksOffThenRetries)
 TEST(FleetClient, DeadlineFailsOperation)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     // No responses ever: the op must fail by its deadline, not hang.
     h.client.startRead(1, 50, 0);
     for (u64 t = 1; t <= 200; ++t)
@@ -208,6 +216,8 @@ TEST(FleetClient, DeadlineFailsOperation)
 TEST(FleetClient, WriteFansOutAndAcksAtQuorum)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.client.startWrite(1, 50, 0);
     ASSERT_EQ(h.sent.size(), 2u); // One request per replica.
     EXPECT_EQ(h.sent[0].first.version, 1u);
@@ -232,6 +242,8 @@ TEST(FleetClient, WriteFansOutAndAcksAtQuorum)
 TEST(FleetClient, WriteRefanoutSkipsAckedReplicas)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.client.startWrite(1, 50, 0);
     ASSERT_EQ(h.sent.size(), 2u);
     h.client.onResponse(h.okFor(0), 1); // Replica 0 acked.
@@ -248,6 +260,8 @@ TEST(FleetClient, WriteRefanoutSkipsAckedReplicas)
 TEST(FleetClient, BusyTriggersBackoffNotInstantRetry)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.client.startRead(1, 50, 0);
     ASSERT_EQ(h.sent.size(), 1u);
     Response busy;
@@ -267,6 +281,8 @@ TEST(FleetClient, BusyTriggersBackoffNotInstantRetry)
 TEST(FleetClient, ReadFailsOverImmediatelyOnDueData)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.client.startRead(1, 50, 0);
     ASSERT_EQ(h.sent.size(), 1u);
     Response due;
@@ -285,6 +301,8 @@ TEST(FleetClient, ReadFailsOverImmediatelyOnDueData)
 TEST(FleetClient, EmptyPlacementFailsFast)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.placement.clear(); // Every server evicted.
     h.client.startRead(1, 50, 0);
     EXPECT_EQ(h.client.inflight(), 0u);
@@ -294,6 +312,8 @@ TEST(FleetClient, EmptyPlacementFailsFast)
 TEST(FleetClient, FinishCountsUnresolved)
 {
     Harness h(testPolicy());
+    // The test body plays the campaign loop's serial phase.
+    ThreadRoleGrant serial(kSerialPhase);
     h.client.startRead(1, 50, 0);
     h.client.startWrite(2, 60, 0);
     h.client.finish();

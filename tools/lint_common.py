@@ -1,0 +1,134 @@
+"""Shared infrastructure for the repo's source lints (DESIGN.md §13).
+
+Both gates — tools/lint_index_safety.py (PR 2, typed address domain)
+and tools/lint_determinism.py (determinism contract) — follow the same
+shape, factored here:
+
+- A *rule* is a named regex over single source lines. Every violation
+  carries the rule's slug, so the self-test harness can assert that a
+  seeded fixture trips exactly the rule it claims to
+  (tests/lint_fixtures/, ``// expect-lint: <rule>`` markers).
+- A *blessing* allowlists one pattern in one file, and must carry a
+  human-readable justification of at least MIN_JUSTIFICATION
+  characters. Blessings are checked for staleness in both directions:
+  the blessed file must exist, and the blessing must actually match
+  something — a blessing that no longer fires is an error, because a
+  dead allowlist entry is a hole waiting for new code to fall into.
+- Prefix comments (``//``, ``*``, ``/*``) are skipped; *trailing*
+  comments are not, which is what lets fixture files mark their
+  violating lines without hiding them from the scan.
+
+Lints remain independently runnable scripts; tools/lint.py is the
+single entry point CI and the ``lint`` CMake target invoke.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import sys
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+REPO = Path(__file__).resolve().parent.parent
+
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp")
+
+# Skip whole-line comments only. A violation with a trailing comment
+# still counts -- required by the fixture marker convention.
+COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
+
+# A blessing must explain itself to a human reviewer; one-word
+# justifications ("ok", "legacy") defeat the audit trail.
+MIN_JUSTIFICATION = 20
+
+# Double-quoted string literals, escapes respected. Table headers like
+# "exec time (gmean)" must not trip the code-pattern rules.
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_string_literals(line: str) -> str:
+    return STRING_RE.sub('""', line)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One finding: rule slug + location + reviewer-facing message."""
+
+    file: str  # repo-relative posix path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Blessing:
+    """Allowlists lines in `file` matching rule `rule` that contain the
+    `needle` substring. `justification` is mandatory prose."""
+
+    file: str  # repo-relative posix path
+    rule: str
+    needle: str
+    justification: str
+
+
+def iter_source_files(roots: Iterable[Path]) -> Iterator[Path]:
+    for root in roots:
+        for path in sorted(root.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES:
+                yield path
+
+
+def validate_blessings(
+    name: str, blessings: Iterable[Blessing]
+) -> list[str]:
+    """Structural checks every blessing table must pass: the blessed
+    file exists and the justification is real prose."""
+    problems: list[str] = []
+    for b in blessings:
+        if not (REPO / b.file).is_file():
+            problems.append(
+                f"{name}: stale blessing: file '{b.file}' does not exist"
+            )
+        if len(b.justification.strip()) < MIN_JUSTIFICATION:
+            problems.append(
+                f"{name}: blessing for '{b.file}' rule '{b.rule}' needs "
+                f"a justification of at least {MIN_JUSTIFICATION} "
+                f"characters, got {len(b.justification.strip())}"
+            )
+    return problems
+
+
+def unused_blessings(
+    name: str, blessings: Iterable[Blessing], used: set[Blessing]
+) -> list[str]:
+    """A blessing that never matched anything is stale by definition."""
+    return [
+        f"{name}: stale blessing: '{b.file}' rule '{b.rule}' needle "
+        f"'{b.needle}' no longer matches any line -- remove it"
+        for b in blessings
+        if b not in used
+    ]
+
+
+def scan_tree(
+    roots: Iterable[Path],
+    lint_file: Callable[[Path], list[Violation]],
+) -> list[Violation]:
+    violations: list[Violation] = []
+    for path in iter_source_files(roots):
+        violations.extend(lint_file(path))
+    return violations
+
+
+def finish(name: str, errors: list[str]) -> int:
+    """Common exit protocol: report to stderr, 0 clean / 1 dirty."""
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"{name}: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"{name}: clean")
+    return 0

@@ -6,14 +6,14 @@ that takes `u32 bank` re-opens the door to transposed-coordinate bugs,
 and an unwrap (`.value()` / `.idx()`) sprinkled in policy code silently
 drops back into raw-integer arithmetic. This lint keeps both confined.
 
-Rule 1 (raw coordinate parameters): in `src/`, a function parameter of
-raw integer type whose name starts with a coordinate word (stack,
-channel, die, bank, row, col, unit, lane) is an error outside the
-blessed mapper/mechanism files. New APIs must take typed ids.
-Locals (detected by an initializer) and lambda parameters are exempt:
-tight loops legitimately iterate raw integers and wrap at the boundary.
+Rule `raw-coordinate-param`: in `src/`, a function parameter of raw
+integer type whose name starts with a coordinate word (stack, channel,
+die, bank, row, col, unit, lane) is an error outside the blessed
+mapper/mechanism files. New APIs must take typed ids. Locals (detected
+by an initializer) and lambda parameters are exempt: tight loops
+legitimately iterate raw integers and wrap at the boundary.
 
-Rule 2 (unwrap confinement): `.value()` / `.idx()` calls on ids may
+Rule `unwrap-outside-blessed`: `.value()` / `.idx()` calls on ids may
 appear only in the blessed files -- the places that translate between
 coordinate spaces and raw storage offsets by design. Everything else
 must stay in the typed domain end to end.
@@ -21,6 +21,10 @@ must stay in the typed domain end to end.
 Tests, benches, examples and tools are out of scope: tests in
 particular legitimately compare typed values against raw geometry
 bounds.
+
+Shared infrastructure (comment skipping, exit protocol, self-test
+hooks) lives in tools/lint_common.py; tools/lint.py runs this lint
+together with the determinism lint.
 
 Exit status: 0 clean, 1 violations found. Run from the repo root (or
 let tools/ paths resolve relative to this file).
@@ -32,8 +36,19 @@ import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-SRC = REPO / "src"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from lint_common import (  # noqa: E402
+    COMMENT_RE,
+    REPO,
+    Violation,
+    finish,
+    scan_tree,
+)
+
+NAME = "lint_index_safety"
+
+SCAN_ROOTS = (REPO / "src",)
 
 # Files that are *supposed* to cross between coordinate spaces and raw
 # integers: the address/geometry mappers, the bit-true mechanism
@@ -81,7 +96,8 @@ UNWRAP_RE = re.compile(r"\.(?:value|idx)\(\)")
 # rows` (how many) is fine where `u32 row` (which one) is not.
 COUNT_NAME_RE = re.compile(r"(?:s|_threshold|_count|_bits|_bytes)$")
 
-COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
+RULE_PARAM = "raw-coordinate-param"
+RULE_UNWRAP = "unwrap-outside-blessed"
 
 
 def is_lambda_context(line: str, pos: int) -> bool:
@@ -90,59 +106,62 @@ def is_lambda_context(line: str, pos: int) -> bool:
     return bool(re.search(r"\]\s*\(", line[:pos]))
 
 
-def lint_file(path: Path) -> list[str]:
-    rel = path.relative_to(REPO).as_posix()
-    blessed = rel in BLESSED
-    errors: list[str] = []
-    for lineno, line in enumerate(
-        path.read_text(encoding="utf-8").splitlines(), start=1
-    ):
+def lint_lines(
+    rel: str, lines: list[str], blessed: bool
+) -> list[Violation]:
+    """Pure scanning core, shared by the CLI and the self-test."""
+    if blessed:
+        return []
+    violations: list[Violation] = []
+    for lineno, line in enumerate(lines, start=1):
         if COMMENT_RE.match(line):
             continue
-        if not blessed:
-            for m in PARAM_RE.finditer(line):
-                if is_lambda_context(line, m.start()):
-                    continue
-                if COUNT_NAME_RE.search(m.group(1)):
-                    continue
-                errors.append(
-                    f"{rel}:{lineno}: raw integer coordinate parameter "
+        for m in PARAM_RE.finditer(line):
+            if is_lambda_context(line, m.start()):
+                continue
+            if COUNT_NAME_RE.search(m.group(1)):
+                continue
+            violations.append(
+                Violation(
+                    rel,
+                    lineno,
+                    RULE_PARAM,
+                    f"raw integer coordinate parameter "
                     f"'{m.group(1)}' -- take a typed id "
                     f"(common/strong_id.h) or bless this file in "
-                    f"tools/lint_index_safety.py"
+                    f"tools/lint_index_safety.py",
                 )
-            if UNWRAP_RE.search(line):
-                errors.append(
-                    f"{rel}:{lineno}: id unwrap (.value()/.idx()) "
-                    f"outside the blessed mapper files -- stay in the "
-                    f"typed domain or move the conversion into a "
-                    f"blessed file"
+            )
+        if UNWRAP_RE.search(line):
+            violations.append(
+                Violation(
+                    rel,
+                    lineno,
+                    RULE_UNWRAP,
+                    "id unwrap (.value()/.idx()) outside the blessed "
+                    "mapper files -- stay in the typed domain or move "
+                    "the conversion into a blessed file",
                 )
-    return errors
+            )
+    return violations
+
+
+def lint_file(path: Path) -> list[Violation]:
+    rel = path.relative_to(REPO).as_posix()
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return lint_lines(rel, lines, rel in BLESSED)
 
 
 def main() -> int:
     missing = [f for f in sorted(BLESSED) if not (REPO / f).is_file()]
     if missing:
-        print("lint_index_safety: stale blessed entries:", file=sys.stderr)
+        print(f"{NAME}: stale blessed entries:", file=sys.stderr)
         for f in missing:
             print(f"  {f}", file=sys.stderr)
         return 1
 
-    errors: list[str] = []
-    for path in sorted(SRC.rglob("*")):
-        if path.suffix in (".h", ".cc", ".cpp"):
-            errors.extend(lint_file(path))
-
-    if errors:
-        print("\n".join(errors), file=sys.stderr)
-        print(
-            f"lint_index_safety: {len(errors)} violation(s)",
-            file=sys.stderr,
-        )
-        return 1
-    print("lint_index_safety: clean")
-    return 0
+    violations = scan_tree(SCAN_ROOTS, lint_file)
+    return finish(NAME, [v.render() for v in violations])
 
 
 if __name__ == "__main__":
