@@ -10,13 +10,111 @@
 
 #include "citadel/citadel.h"
 #include "citadel/parity_engine.h"
+#include "common/kernels.h"
 #include "common/rng.h"
+#include "common/xor_fold.h"
 #include "ecc/crc32.h"
 #include "ecc/reed_solomon.h"
+#include "faults/fault_arena.h"
 #include "sim/llc.h"
 
 namespace citadel {
 namespace {
+
+std::vector<u8>
+randomBuf(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u8> buf(n);
+    for (auto &b : buf)
+        b = static_cast<u8>(rng.next());
+    return buf;
+}
+
+void
+BM_XorFoldScalar(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto acc = randomBuf(n, 10);
+    const auto src = randomBuf(n, 11);
+    for (auto _ : state) {
+        xorFoldScalar(acc.data(), src.data(), n);
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_XorFoldScalar)->Arg(16384)->Arg(1 << 20);
+
+void
+BM_XorFoldDispatched(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto acc = randomBuf(n, 12);
+    const auto src = randomBuf(n, 13);
+    state.SetLabel(xorKernelOps().path);
+    for (auto _ : state) {
+        xorFold(acc.data(), src.data(), n);
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_XorFoldDispatched)->Arg(16384)->Arg(1 << 20);
+
+void
+BM_XorFoldN(benchmark::State &state)
+{
+    constexpr std::size_t kLine = 16384;
+    const auto k = static_cast<std::size_t>(state.range(0));
+    auto acc = randomBuf(kLine, 14);
+    std::vector<std::vector<u8>> lines;
+    std::vector<const u8 *> srcs;
+    for (std::size_t i = 0; i < k; ++i) {
+        lines.push_back(randomBuf(kLine, 20 + i));
+        srcs.push_back(lines.back().data());
+    }
+    state.SetLabel(xorKernelOps().path);
+    for (auto _ : state) {
+        xorFoldN(acc.data(), srcs.data(), k, kLine);
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kLine * k));
+}
+BENCHMARK(BM_XorFoldN)->Arg(4)->Arg(8);
+
+void
+BM_Crc32Slice8(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto buf = randomBuf(n, 30);
+    u32 crc = Crc32::begin();
+    for (auto _ : state) {
+        crc = Crc32::updateSlice8(crc, buf);
+        benchmark::DoNotOptimize(crc);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Crc32Slice8)->Arg(16384)->Arg(1 << 20);
+
+void
+BM_Crc32Hw(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto buf = randomBuf(n, 31);
+    state.SetLabel(Crc32::hwAvailable() ? Crc32::activePathName()
+                                        : "slice8-fallback");
+    u32 crc = Crc32::begin();
+    for (auto _ : state) {
+        crc = Crc32::updateHw(crc, buf);
+        benchmark::DoNotOptimize(crc);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Crc32Hw)->Arg(16384)->Arg(1 << 20);
 
 void
 BM_Crc32Line(benchmark::State &state)
@@ -75,6 +173,28 @@ BM_SampleLifetime(benchmark::State &state)
         benchmark::DoNotOptimize(inj.sampleLifetime(rng));
 }
 BENCHMARK(BM_SampleLifetime);
+
+void
+BM_SampleLifetimeBatched(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    FaultInjector inj(cfg);
+    Rng rng(4);
+    FaultArena arena;
+    constexpr u64 kBatch = 256;
+    for (auto _ : state) {
+        arena.beginBatch();
+        for (u64 t = 0; t < kBatch; ++t) {
+            inj.sampleLifetimeAppend(rng, arena.pool());
+            arena.endTrial();
+        }
+        benchmark::DoNotOptimize(arena.eventCount());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_SampleLifetimeBatched);
 
 void
 BM_MonteCarloTrialCitadel(benchmark::State &state)

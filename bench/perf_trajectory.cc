@@ -12,11 +12,23 @@
  *  2. CRC-32 MB/s: slice-by-8 production path vs the one-table
  *     byte-at-a-time baseline.
  *  3. Parity-fold MB/s: word-wide xorFold vs a byte-loop oracle.
- *  4. Timing simulator: cycles simulated/s under cycle vs event
+ *  4. Dispatched kernels (schema v4): the SIMD xorFold/xorFoldN paths
+ *     and the hardware CRC path vs their scalar proofs, at an
+ *     L1-resident size (where the kernel dominates) and a streaming
+ *     size (where DRAM bandwidth does), plus batched vs unbatched
+ *     trial execution in Ktrials/s. Every variant is byte-compared
+ *     against its scalar oracle before being timed.
+ *  5. Timing simulator: cycles simulated/s under cycle vs event
  *     stepping (low-MPKI and high-MPKI profiles), and suite wall time
  *     serial (runSuite) vs parallel (runSuiteParallel). Every pair
  *     must be bit-identical; any divergence makes this binary exit
  *     non-zero, which is what the perf-smoke CI job asserts.
+ *
+ * The parallel-scaling check is enforced only when the machine
+ * actually has the cores the run requested; on constrained runners
+ * (hardware_concurrency < requested threads) it downgrades to a
+ * warning while still emitting the fields, so CI does not gate on
+ * oversubscription noise.
  *
  * Knobs: CITADEL_TRIALS (default 20000), CITADEL_INSNS (default
  * 100000), CITADEL_THREADS, CITADEL_BENCH_JSON (output path, default
@@ -30,9 +42,11 @@
 #include <string>
 
 #include "bench_util.h"
+#include "common/kernels.h"
 #include "common/thread_pool.h"
 #include "common/xor_fold.h"
 #include "ecc/crc32.h"
+#include "faults/fault_arena.h"
 
 using namespace citadel;
 using namespace citadel::bench;
@@ -62,16 +76,11 @@ double
 crcMbPerS(const std::vector<u8> &buf, u64 passes, Kernel kernel)
 {
     u32 sink = Crc32::begin();
-    const auto t0 = std::chrono::steady_clock::now();
-    for (u64 i = 0; i < passes; ++i)
+    const double mbps = benchKernel(passes, buf.size(), [&] {
         sink = kernel(sink, buf);
-    const double dt = secondsSince(t0);
-    // Fold the sink into stderr noise so the loop cannot be elided.
-    if (sink == 0xDEADBEEFu)
-        std::cerr << "";
-    const double bytes = static_cast<double>(buf.size()) *
-                         static_cast<double>(passes);
-    return bytes / dt / 1e6;
+        asm volatile("" : "+r"(sink));
+    });
+    return mbps;
 }
 
 /**
@@ -102,15 +111,18 @@ double
 foldMbPerS(std::vector<u8> &acc, const std::vector<u8> &src, u64 passes,
            void (*kernel)(u8 *, const u8 *, std::size_t))
 {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (u64 i = 0; i < passes; ++i) {
+    return benchKernel(passes, src.size(), [&] {
         kernel(acc.data(), src.data(), src.size());
-        asm volatile("" ::: "memory");
-    }
-    const double dt = secondsSince(t0);
-    const double bytes = static_cast<double>(src.size()) *
-                         static_cast<double>(passes);
-    return bytes / dt / 1e6;
+    });
+}
+
+std::vector<u8>
+randomBuf(std::size_t n, Rng &rng)
+{
+    std::vector<u8> buf(n);
+    for (auto &b : buf)
+        b = static_cast<u8>(rng.next());
+    return buf;
 }
 
 } // namespace
@@ -153,10 +165,27 @@ main()
     const double mc_speedup = parallel_tps / serial_tps;
     const double mc_efficiency =
         mc_speedup / static_cast<double>(nthreads);
+    // The efficiency gate only means something when the machine has
+    // the cores the run asked for; oversubscribed runners measure
+    // scheduler noise, not scaling.
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    const bool scaling_enforced = hw_threads >= nthreads;
+    constexpr double kMinEfficiency = 0.35;
+    const bool scaling_ok =
+        nthreads <= 1 || mc_efficiency >= kMinEfficiency;
     std::cout << "bit-identical: " << (match ? "yes" : "NO — BUG")
               << " | scaling efficiency "
               << Table::num(mc_efficiency * 100.0, 0) << "% of linear on "
-              << nthreads << " threads\n\n";
+              << nthreads << " threads\n";
+    if (!scaling_enforced)
+        std::cout << "note: scaling check downgraded to warning ("
+                  << hw_threads << " hardware threads < " << nthreads
+                  << " requested)\n";
+    else if (!scaling_ok)
+        std::cout << "WARNING: scaling efficiency below "
+                  << Table::num(kMinEfficiency * 100.0, 0)
+                  << "% floor — will fail\n";
+    std::cout << "\n";
 
     // ---- 2. CRC-32 MB/s: slice-by-8 vs byte-at-a-time --------------
     Rng rng(99);
@@ -165,9 +194,11 @@ main()
         b = static_cast<u8>(rng.next());
     const u64 passes = std::max<u64>(1, envU64("CITADEL_CRC_PASSES", 64));
 
+    // Explicitly the slice8 kernel: the production Crc32::update now
+    // dispatches to the hardware path, which section 4 reports.
     const double crc_slice8 =
         crcMbPerS(buf, passes, [](u32 s, const std::vector<u8> &d) {
-            return Crc32::update(s, d);
+            return Crc32::updateSlice8(s, d);
         });
     const double crc_byte =
         crcMbPerS(buf, passes, [](u32 s, const std::vector<u8> &d) {
@@ -200,7 +231,185 @@ main()
     fold_table.print(std::cout);
     std::cout << "\n";
 
-    // ---- 4. Timing simulator: stepping + suite parallelism ---------
+    // ---- 4. Dispatched kernels: SIMD fold + hw CRC + batching ------
+    // L1-resident buffers isolate the kernel (the streaming numbers
+    // above are DRAM-bandwidth-bound, where every fold implementation
+    // converges); each dispatched variant is byte-compared against
+    // its scalar proof before it is timed.
+    constexpr std::size_t kL1Bytes = 16384;
+    constexpr std::size_t kFoldK = 8;
+    const u64 l1_passes =
+        std::max<u64>(1, envU64("CITADEL_L1_PASSES", 1 << 16));
+    bool kernels_identical = true;
+    // Best of three reps: L1-resident measurements finish in tens of
+    // ms, where one descheduling on a shared runner can halve a
+    // single-rep number.
+    const auto bestOf3 = [](auto &&measure) {
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep)
+            best = std::max(best, measure());
+        return best;
+    };
+
+    std::vector<u8> l1_src = randomBuf(kL1Bytes, rng);
+    std::vector<u8> l1_acc_a = randomBuf(kL1Bytes, rng);
+    std::vector<u8> l1_acc_b = l1_acc_a;
+
+    // xorFold: scalar proof vs dispatched path.
+    xorFoldScalar(l1_acc_a.data(), l1_src.data(), kL1Bytes);
+    xorKernelOps().fold(l1_acc_b.data(), l1_src.data(), kL1Bytes);
+    kernels_identical = kernels_identical && l1_acc_a == l1_acc_b;
+
+    const double xf_scalar_l1 = bestOf3([&] {
+        return benchKernel(l1_passes, kL1Bytes, [&] {
+            xorFoldScalar(l1_acc_a.data(), l1_src.data(), kL1Bytes);
+        });
+    });
+    const double xf_disp_l1 = bestOf3([&] {
+        return benchKernel(l1_passes, kL1Bytes, [&] {
+            xorKernelOps().fold(l1_acc_b.data(), l1_src.data(),
+                                kL1Bytes);
+        });
+    });
+    const double xf_disp_stream =
+        foldMbPerS(acc, buf, fold_passes, [](u8 *d, const u8 *s,
+                                             std::size_t n) {
+            xorKernelOps().fold(d, s, n);
+        });
+
+    // xorFoldN: k lines folded in one pass vs k scalar passes.
+    std::vector<std::vector<u8>> fold_lines;
+    std::vector<const u8 *> fold_srcs;
+    for (std::size_t i = 0; i < kFoldK; ++i) {
+        fold_lines.push_back(randomBuf(kL1Bytes, rng));
+        fold_srcs.push_back(fold_lines.back().data());
+    }
+    l1_acc_b = l1_acc_a;
+    xorFoldNScalar(l1_acc_a.data(), fold_srcs.data(), kFoldK, kL1Bytes);
+    xorKernelOps().foldN(l1_acc_b.data(), fold_srcs.data(), kFoldK,
+                         kL1Bytes);
+    kernels_identical = kernels_identical && l1_acc_a == l1_acc_b;
+
+    const u64 foldn_passes = std::max<u64>(1, l1_passes / kFoldK);
+    const double xfn_scalar = bestOf3([&] {
+        return benchKernel(foldn_passes, kL1Bytes * kFoldK, [&] {
+            xorFoldNScalar(l1_acc_a.data(), fold_srcs.data(), kFoldK,
+                           kL1Bytes);
+        });
+    });
+    const double xfn_disp = bestOf3([&] {
+        return benchKernel(foldn_passes, kL1Bytes * kFoldK, [&] {
+            xorKernelOps().foldN(l1_acc_b.data(), fold_srcs.data(),
+                                 kFoldK, kL1Bytes);
+        });
+    });
+
+    // CRC-32: hardware folding vs slice8, same L1/stream split.
+    kernels_identical =
+        kernels_identical &&
+        Crc32::updateHw(Crc32::begin(), l1_src) ==
+            Crc32::updateSlice8(Crc32::begin(), l1_src) &&
+        Crc32::updateHw(Crc32::begin(), buf) ==
+            Crc32::updateSlice8(Crc32::begin(), buf);
+
+    const double crc_slice8_l1 = bestOf3([&] {
+        return crcMbPerS(l1_src, l1_passes,
+                         [](u32 s, const std::vector<u8> &d) {
+                             return Crc32::updateSlice8(s, d);
+                         });
+    });
+    const double crc_hw_l1 = bestOf3([&] {
+        return crcMbPerS(l1_src, l1_passes,
+                         [](u32 s, const std::vector<u8> &d) {
+                             return Crc32::updateHw(s, d);
+                         });
+    });
+    const double crc_hw_stream =
+        crcMbPerS(buf, passes, [](u32 s, const std::vector<u8> &d) {
+            return Crc32::updateHw(s, d);
+        });
+
+    Table kern_table({"kernel", "path", "L1 MB/s", "stream MB/s",
+                      "speedup"});
+    kern_table.addRow({"xorFold scalar", "scalar-u64",
+                       Table::num(xf_scalar_l1, 0),
+                       Table::num(fold_word, 0), "1.0x"});
+    kern_table.addRow({"xorFold dispatched", xorKernelOps().path,
+                       Table::num(xf_disp_l1, 0),
+                       Table::num(xf_disp_stream, 0),
+                       Table::num(xf_disp_l1 / xf_scalar_l1, 2) + "x"});
+    kern_table.addRow({"xorFoldN k=8 scalar", "scalar-u64",
+                       Table::num(xfn_scalar, 0), "-", "1.0x"});
+    kern_table.addRow({"xorFoldN k=8 dispatched", xorKernelOps().path,
+                       Table::num(xfn_disp, 0), "-",
+                       Table::num(xfn_disp / xfn_scalar, 2) + "x"});
+    kern_table.addRow({"crc32 slice8", "slice8",
+                       Table::num(crc_slice8_l1, 0),
+                       Table::num(crc_slice8, 0), "1.0x"});
+    kern_table.addRow({"crc32 hw", Crc32::activePathName(),
+                       Table::num(crc_hw_l1, 0),
+                       Table::num(crc_hw_stream, 0),
+                       Table::num(crc_hw_l1 / crc_slice8_l1, 2) + "x"});
+    kern_table.print(std::cout);
+    std::cout << "kernel outputs bit-identical to scalar proofs: "
+              << (kernels_identical ? "yes" : "NO — BUG") << "\n\n";
+
+    // Batched (FaultArena two-phase) vs unbatched (legacy per-trial
+    // sample+execute) trial throughput, in Ktrials/s, timed
+    // back-to-back so both run with warm caches (section 1's serial
+    // number is a cold first run and would bias this comparison). The
+    // unbatched loop replays the exact legacy control flow, so its
+    // failure count doubles as an end-to-end batching-equivalence
+    // check against the batched rerun.
+    const u64 kSeedMix = 0xA24BAED4963EE407ull;
+    FaultInjector inj(cfg);
+    auto scheme_ub = makeCitadel();
+    std::vector<Fault> ub_events;
+    std::vector<Fault> ub_active;
+    u64 ub_failures = 0;
+    double unbatched_s = 1e300;
+    double batched_s = 1e300;
+    McResult batched_rerun;
+    // Best of two reps per variant: a single rep on a shared runner is
+    // scheduler-noise-dominated at these (tens of ms) durations.
+    for (int rep = 0; rep < 2; ++rep) {
+        ub_failures = 0;
+        t0 = std::chrono::steady_clock::now();
+        for (u64 t = 0; t < n; ++t) {
+            Rng trial_rng(7 ^ (kSeedMix * (t + 1)));
+            inj.sampleLifetime(trial_rng, ub_events);
+            FaultClass trig = FaultClass::Bit;
+            if (mc.runTrial(*scheme_ub, ub_events, &trig, ub_active) >=
+                0.0)
+                ++ub_failures;
+        }
+        unbatched_s = std::min(unbatched_s, secondsSince(t0));
+
+        t0 = std::chrono::steady_clock::now();
+        batched_rerun = mc.run(*scheme, n, 7, 1);
+        batched_s = std::min(batched_s, secondsSince(t0));
+    }
+
+    const double unbatched_ktps =
+        static_cast<double>(n) / unbatched_s / 1e3;
+    const double batched_ktps = static_cast<double>(n) / batched_s / 1e3;
+    const bool batch_identical = ub_failures == batched_rerun.failures &&
+                                 identical(batched_rerun, serial);
+    kernels_identical = kernels_identical && batch_identical;
+
+    Table trial_table({"trial execution", "Ktrials/s", "speedup",
+                       "identical"});
+    trial_table.addRow({"unbatched (legacy)",
+                        Table::num(unbatched_ktps, 1), "1.0x", "-"});
+    trial_table.addRow({"batched (FaultArena)",
+                        Table::num(batched_ktps, 1),
+                        Table::num(batched_ktps / unbatched_ktps, 2) +
+                            "x",
+                        batch_identical ? "yes" : "NO — BUG"});
+    trial_table.print(std::cout);
+    std::cout << "\n";
+
+    // ---- 5. Timing simulator: stepping + suite parallelism ---------
     const u64 sim_insns = insns(100000);
     bool sim_identical = true;
 
@@ -291,16 +500,17 @@ main()
         path_env && *path_env ? path_env : "BENCH_mc.json";
     std::ofstream json(path);
     json << "{\n"
-         << "  \"schema\": \"citadel-perf-trajectory-v3\",\n"
+         << "  \"schema\": \"citadel-perf-trajectory-v4\",\n"
          << "  \"trials\": " << n << ",\n"
          << "  \"threads\": " << nthreads << ",\n"
-         << "  \"hardware_concurrency\": "
-         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"hardware_concurrency\": " << hw_threads << ",\n"
          << "  \"mc\": {\n"
          << "    \"serial_trials_per_s\": " << serial_tps << ",\n"
          << "    \"parallel_trials_per_s\": " << parallel_tps << ",\n"
          << "    \"speedup\": " << mc_speedup << ",\n"
          << "    \"scaling_efficiency\": " << mc_efficiency << ",\n"
+         << "    \"scaling_check\": \""
+         << (scaling_enforced ? "enforced" : "warning") << "\",\n"
          << "    \"bit_identical\": " << (match ? "true" : "false")
          << "\n  },\n"
          << "  \"crc32\": {\n"
@@ -311,6 +521,46 @@ main()
          << "    \"word_mb_per_s\": " << fold_word << ",\n"
          << "    \"byte_mb_per_s\": " << fold_byte << ",\n"
          << "    \"speedup\": " << fold_word / fold_byte << "\n  },\n"
+         << "  \"kernels\": {\n"
+         << "    \"l1_bytes\": " << kL1Bytes << ",\n"
+         << "    \"stream_bytes\": " << buf.size() << ",\n"
+         << "    \"bit_identical\": "
+         << (kernels_identical ? "true" : "false") << ",\n"
+         << "    \"xor_fold\": {\n"
+         << "      \"dispatch_path\": \"" << xorKernelOps().path
+         << "\",\n"
+         << "      \"scalar_l1_mb_per_s\": " << xf_scalar_l1 << ",\n"
+         << "      \"dispatched_l1_mb_per_s\": " << xf_disp_l1 << ",\n"
+         << "      \"scalar_stream_mb_per_s\": " << fold_word << ",\n"
+         << "      \"dispatched_stream_mb_per_s\": " << xf_disp_stream
+         << ",\n"
+         << "      \"l1_speedup\": " << xf_disp_l1 / xf_scalar_l1
+         << "\n    },\n"
+         << "    \"xor_fold_n\": {\n"
+         << "      \"dispatch_path\": \"" << xorKernelOps().path
+         << "\",\n"
+         << "      \"k\": " << kFoldK << ",\n"
+         << "      \"scalar_mb_per_s\": " << xfn_scalar << ",\n"
+         << "      \"dispatched_mb_per_s\": " << xfn_disp << ",\n"
+         << "      \"speedup\": " << xfn_disp / xfn_scalar << "\n    },\n"
+         << "    \"crc32\": {\n"
+         << "      \"hw_path\": \"" << Crc32::activePathName() << "\",\n"
+         << "      \"hw_available\": "
+         << (Crc32::hwAvailable() ? "true" : "false") << ",\n"
+         << "      \"slice8_l1_mb_per_s\": " << crc_slice8_l1 << ",\n"
+         << "      \"hw_l1_mb_per_s\": " << crc_hw_l1 << ",\n"
+         << "      \"slice8_stream_mb_per_s\": " << crc_slice8 << ",\n"
+         << "      \"hw_stream_mb_per_s\": " << crc_hw_stream << ",\n"
+         << "      \"l1_speedup\": " << crc_hw_l1 / crc_slice8_l1
+         << "\n    },\n"
+         << "    \"trial_exec\": {\n"
+         << "      \"batched_ktrials_per_s\": " << batched_ktps << ",\n"
+         << "      \"unbatched_ktrials_per_s\": " << unbatched_ktps
+         << ",\n"
+         << "      \"speedup\": " << batched_ktps / unbatched_ktps
+         << ",\n"
+         << "      \"bit_identical\": "
+         << (batch_identical ? "true" : "false") << "\n    }\n  },\n"
          << "  \"timing\": {\n"
          << "    \"insns_per_core\": " << sim_insns << ",\n"
          << "    \"stepping\": [\n";
@@ -343,9 +593,21 @@ main()
                      "serial path\n";
         return 1;
     }
+    if (!kernels_identical) {
+        std::cerr << "FATAL: a dispatched kernel diverged from its "
+                     "scalar proof\n";
+        return 1;
+    }
     if (!sim_identical) {
         std::cerr << "FATAL: timing simulator diverged (event stepping "
                      "or parallel suite runner)\n";
+        return 1;
+    }
+    if (scaling_enforced && !scaling_ok) {
+        std::cerr << "FATAL: parallel scaling efficiency "
+                  << mc_efficiency << " below the " << kMinEfficiency
+                  << " floor with " << hw_threads
+                  << " hardware threads available\n";
         return 1;
     }
     return 0;

@@ -122,46 +122,84 @@ ParityEngine::buildParity()
 {
     const u32 cols = geom_.linesPerRow();
     const u32 lb = geom_.lineBytes;
+    const u32 banks = geom_.banksPerChannel;
+    const u32 rows = geom_.rowsPerBank;
 
-    parity1_.assign(static_cast<u64>(geom_.rowsPerBank) * cols * lb, 0);
+    parity1_.assign(static_cast<u64>(rows) * cols * lb, 0);
     parity2_.assign(static_cast<u64>(dies_ + 1) * cols * lb, 0);
-    parity3_.assign(static_cast<u64>(geom_.banksPerChannel) * cols * lb, 0);
+    parity3_.assign(static_cast<u64>(banks) * cols * lb, 0);
 
-    for (u32 d = 0; d < dies_; ++d)
-        for (u32 b = 0; b < geom_.banksPerChannel; ++b)
-            for (u32 r = 0; r < geom_.rowsPerBank; ++r)
-                for (u32 c = 0; c < cols; ++c) {
-                    const u8 *src = linePtr(
+    // Each fold destination gathers its whole group and accumulates it
+    // in one xorFoldN pass (XOR is associative and commutative over
+    // exact bytes, so regrouping the old per-source loop is
+    // byte-identical; tests pin the images).
+
+    // D1: a (row, col) slot folds all its (die, bank) lines.
+    for (u32 r = 0; r < rows; ++r)
+        for (u32 c = 0; c < cols; ++c) {
+            foldSrcs_.clear();
+            for (u32 d = 0; d < dies_; ++d)
+                for (u32 b = 0; b < banks; ++b)
+                    foldSrcs_.push_back(linePtr(
                         golden_, lineIndex(DieId{d}, BankId{b}, RowId{r},
-                                           ColId{c}));
-                    u8 *p1 = parity1_.data() +
-                             (static_cast<u64>(r) * cols + c) * lb;
-                    u8 *p2 = parity2_.data() +
-                             (static_cast<u64>(d) * cols + c) * lb;
-                    u8 *p3 = parity3_.data() +
-                             (static_cast<u64>(b) * cols + c) * lb;
-                    xorFold(p1, src, lb);
-                    xorFold(p2, src, lb);
-                    xorFold(p3, src, lb);
-                }
+                                           ColId{c})));
+            xorFoldN(parity1_.data() +
+                         (static_cast<u64>(r) * cols + c) * lb,
+                     foldSrcs_.data(), foldSrcs_.size(), lb);
+        }
+
+    // D2: a (die, col) fold covers the die's (bank, row) lines.
+    for (u32 d = 0; d < dies_; ++d)
+        for (u32 c = 0; c < cols; ++c) {
+            foldSrcs_.clear();
+            for (u32 b = 0; b < banks; ++b)
+                for (u32 r = 0; r < rows; ++r)
+                    foldSrcs_.push_back(linePtr(
+                        golden_, lineIndex(DieId{d}, BankId{b}, RowId{r},
+                                           ColId{c})));
+            xorFoldN(parity2_.data() +
+                         (static_cast<u64>(d) * cols + c) * lb,
+                     foldSrcs_.data(), foldSrcs_.size(), lb);
+        }
+
+    // D3: a (bank, col) fold covers the bank position's (die, row)
+    // lines.
+    for (u32 b = 0; b < banks; ++b)
+        for (u32 c = 0; c < cols; ++c) {
+            foldSrcs_.clear();
+            for (u32 d = 0; d < dies_; ++d)
+                for (u32 r = 0; r < rows; ++r)
+                    foldSrcs_.push_back(linePtr(
+                        golden_, lineIndex(DieId{d}, BankId{b}, RowId{r},
+                                           ColId{c})));
+            xorFoldN(parity3_.data() +
+                         (static_cast<u64>(b) * cols + c) * lb,
+                     foldSrcs_.data(), foldSrcs_.size(), lb);
+        }
 
     goldenParity1_ = parity1_;
-    parityCrc_.resize(static_cast<u64>(geom_.rowsPerBank) * cols);
-    for (u32 r = 0; r < geom_.rowsPerBank; ++r)
+    parityCrc_.resize(static_cast<u64>(rows) * cols);
+    for (u32 r = 0; r < rows; ++r)
         for (u32 c = 0; c < cols; ++c) {
             const u64 idx = parityIndex(RowId{r}, ColId{c}).value();
             parityCrc_[idx] =
                 Crc32::lineCrc(totalLines() + idx,
                                {linePtr(goldenParity1_, idx), lb});
-            // The parity unit participates in D2 (its own fold, die
-            // slot dies_) and in the D3 group of bank position 0.
-            const u8 *src = linePtr(goldenParity1_, idx);
-            u8 *p2 = parity2_.data() +
-                     (static_cast<u64>(dies_) * cols + c) * lb;
-            u8 *p3 = parity3_.data() + static_cast<u64>(c) * lb;
-            xorFold(p2, src, lb);
-            xorFold(p3, src, lb);
         }
+
+    // The parity unit participates in D2 (its own fold, die slot
+    // dies_) and in the D3 group of bank position 0.
+    for (u32 c = 0; c < cols; ++c) {
+        foldSrcs_.clear();
+        for (u32 r = 0; r < rows; ++r)
+            foldSrcs_.push_back(linePtr(
+                goldenParity1_, parityIndex(RowId{r}, ColId{c}).value()));
+        xorFoldN(parity2_.data() +
+                     (static_cast<u64>(dies_) * cols + c) * lb,
+                 foldSrcs_.data(), foldSrcs_.size(), lb);
+        xorFoldN(parity3_.data() + static_cast<u64>(c) * lb,
+                 foldSrcs_.data(), foldSrcs_.size(), lb);
+    }
 }
 
 void
@@ -218,30 +256,30 @@ ParityEngine::fixViaD1(DieId die, BankId bank, RowId row, ColId col)
     const u64 pidx = parityIndex(row, col).value();
     if (die == parityDie()) {
         // Rebuild the parity line itself from all data units.
-        std::vector<u8> acc(lb, 0);
+        accScratch_.assign(lb, 0);
+        foldSrcs_.clear();
         for (u32 d = 0; d < dies_; ++d)
             for (u32 b = 0; b < geom_.banksPerChannel; ++b)
-                xorFold(acc.data(),
-                        linePtr(data_,
-                                lineIndex(DieId{d}, BankId{b}, row, col)),
-                        lb);
-        std::memcpy(linePtr(parity1_, pidx), acc.data(), lb);
+                foldSrcs_.push_back(
+                    linePtr(data_, lineIndex(DieId{d}, BankId{b}, row, col)));
+        xorFoldN(accScratch_.data(), foldSrcs_.data(), foldSrcs_.size(), lb);
+        std::memcpy(linePtr(parity1_, pidx), accScratch_.data(), lb);
         return;
     }
-    std::vector<u8> acc(
-        parity1_.begin() + static_cast<long>(pidx * lb),
-        parity1_.begin() + static_cast<long>((pidx + 1) * lb));
+    accScratch_.assign(parity1_.begin() + static_cast<long>(pidx * lb),
+                       parity1_.begin() + static_cast<long>((pidx + 1) * lb));
+    foldSrcs_.clear();
     for (u32 d = 0; d < dies_; ++d)
         for (u32 b = 0; b < geom_.banksPerChannel; ++b) {
             const DieId dd{d};
             const BankId bb{b};
             if (dd == die && bb == bank)
                 continue;
-            xorFold(acc.data(), linePtr(data_, lineIndex(dd, bb, row, col)),
-                    lb);
+            foldSrcs_.push_back(linePtr(data_, lineIndex(dd, bb, row, col)));
         }
-    std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)), acc.data(),
-                lb);
+    xorFoldN(accScratch_.data(), foldSrcs_.data(), foldSrcs_.size(), lb);
+    std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)),
+                accScratch_.data(), lb);
 }
 
 void
@@ -250,20 +288,21 @@ ParityEngine::fixViaD2(DieId die, BankId bank, RowId row, ColId col)
     const u32 lb = geom_.lineBytes;
     const u64 fold =
         static_cast<u64>(die.value()) * geom_.linesPerRow() + col.value();
-    std::vector<u8> acc(parity2_.begin() + static_cast<long>(fold * lb),
-                        parity2_.begin() +
-                            static_cast<long>((fold + 1) * lb));
+    accScratch_.assign(parity2_.begin() + static_cast<long>(fold * lb),
+                       parity2_.begin() + static_cast<long>((fold + 1) * lb));
+    foldSrcs_.clear();
     if (die == parityDie()) {
         // Parity unit: its D2 fold covers the parity rows only.
         for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
             const RowId rr{r};
             if (rr == row)
                 continue;
-            xorFold(acc.data(),
-                    linePtr(parity1_, parityIndex(rr, col).value()), lb);
+            foldSrcs_.push_back(
+                linePtr(parity1_, parityIndex(rr, col).value()));
         }
+        xorFoldN(accScratch_.data(), foldSrcs_.data(), foldSrcs_.size(), lb);
         std::memcpy(linePtr(parity1_, parityIndex(row, col).value()),
-                    acc.data(), lb);
+                    accScratch_.data(), lb);
         return;
     }
     for (u32 b = 0; b < geom_.banksPerChannel; ++b)
@@ -272,11 +311,11 @@ ParityEngine::fixViaD2(DieId die, BankId bank, RowId row, ColId col)
             const RowId rr{r};
             if (bb == bank && rr == row)
                 continue;
-            xorFold(acc.data(), linePtr(data_, lineIndex(die, bb, rr, col)),
-                    lb);
+            foldSrcs_.push_back(linePtr(data_, lineIndex(die, bb, rr, col)));
         }
-    std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)), acc.data(),
-                lb);
+    xorFoldN(accScratch_.data(), foldSrcs_.data(), foldSrcs_.size(), lb);
+    std::memcpy(linePtr(data_, lineIndex(die, bank, row, col)),
+                accScratch_.data(), lb);
 }
 
 void
@@ -285,17 +324,16 @@ ParityEngine::fixViaD3(DieId die, BankId bank, RowId row, ColId col)
     const u32 lb = geom_.lineBytes;
     const u64 fold =
         static_cast<u64>(bank.value()) * geom_.linesPerRow() + col.value();
-    std::vector<u8> acc(parity3_.begin() + static_cast<long>(fold * lb),
-                        parity3_.begin() +
-                            static_cast<long>((fold + 1) * lb));
+    accScratch_.assign(parity3_.begin() + static_cast<long>(fold * lb),
+                       parity3_.begin() + static_cast<long>((fold + 1) * lb));
+    foldSrcs_.clear();
     for (u32 d = 0; d < dies_; ++d)
         for (u32 r = 0; r < geom_.rowsPerBank; ++r) {
             const DieId dd{d};
             const RowId rr{r};
             if (dd == die && rr == row)
                 continue;
-            xorFold(acc.data(), linePtr(data_, lineIndex(dd, bank, rr, col)),
-                    lb);
+            foldSrcs_.push_back(linePtr(data_, lineIndex(dd, bank, rr, col)));
         }
     if (bank == BankId{0}) {
         // Bank position 0's group includes the parity unit's rows.
@@ -303,14 +341,15 @@ ParityEngine::fixViaD3(DieId die, BankId bank, RowId row, ColId col)
             const RowId rr{r};
             if (die == parityDie() && rr == row)
                 continue;
-            xorFold(acc.data(),
-                    linePtr(parity1_, parityIndex(rr, col).value()), lb);
+            foldSrcs_.push_back(
+                linePtr(parity1_, parityIndex(rr, col).value()));
         }
     }
+    xorFoldN(accScratch_.data(), foldSrcs_.data(), foldSrcs_.size(), lb);
     u8 *dst = die == parityDie()
                   ? linePtr(parity1_, parityIndex(row, col).value())
                   : linePtr(data_, lineIndex(die, bank, row, col));
-    std::memcpy(dst, acc.data(), lb);
+    std::memcpy(dst, accScratch_.data(), lb);
 }
 
 u64

@@ -162,6 +162,14 @@ class ParityEngine
     void fixViaD1(DieId die, BankId bank, RowId row, ColId col);
     void fixViaD2(DieId die, BankId bank, RowId row, ColId col);
     void fixViaD3(DieId die, BankId bank, RowId row, ColId col);
+
+    // Scratch for the multi-source XOR kernel (xorFoldN): group
+    // rebuilds gather every source line pointer here and fold them in
+    // one pass, so the accumulator is touched once per rebuild
+    // instead of once per source. Reused across fixes; sized by the
+    // largest parity group.
+    std::vector<const u8 *> foldSrcs_;
+    std::vector<u8> accScratch_;
 };
 
 } // namespace citadel

@@ -99,17 +99,8 @@ Rng::poisson(double lambda)
     assert(lambda >= 0.0);
     if (lambda == 0.0)
         return 0;
-    if (lambda < 30.0) {
-        // Knuth: multiply uniforms until the product drops below e^-lambda.
-        const double limit = std::exp(-lambda);
-        u64 k = 0;
-        double p = 1.0;
-        do {
-            ++k;
-            p *= uniform();
-        } while (p > limit);
-        return k - 1;
-    }
+    if (lambda < 30.0)
+        return poissonKnuth(std::exp(-lambda));
     // Normal approximation with continuity correction; adequate for the
     // rare large-lambda cases (e.g., stress tests), clamped at zero.
     const double mu = lambda;
@@ -120,6 +111,19 @@ Rng::poisson(double lambda)
     double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
     double v = mu + sigma * z + 0.5;
     return v <= 0.0 ? 0 : static_cast<u64>(v);
+}
+
+u64
+Rng::poissonKnuth(double exp_neg_lambda)
+{
+    // Knuth: multiply uniforms until the product drops below e^-lambda.
+    u64 k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= uniform();
+    } while (p > exp_neg_lambda);
+    return k - 1;
 }
 
 std::size_t

@@ -78,6 +78,16 @@ class Rng
     u64 poisson(double lambda);
 
     /**
+     * Small-lambda Poisson draw from a precomputed limit =
+     * exp(-lambda), for 0 < lambda < 30: draw-for-draw identical to
+     * poisson(lambda) on its Knuth path (poisson() itself delegates
+     * here), so hot samplers can hoist the std::exp out of their
+     * per-trial loop without perturbing the stream. Caller guarantees
+     * the lambda range; limit must be exp(-lambda) exactly.
+     */
+    u64 poissonKnuth(double exp_neg_lambda);
+
+    /**
      * Sample an index from an unnormalized weight vector.
      * @param weights Non-negative weights; at least one must be positive.
      */

@@ -1,10 +1,26 @@
 /**
  * @file
- * Word-wide XOR accumulation: the single hot kernel of the bit-true
- * parity engine (every D1/D2/D3 build, rebuild, and demand-time
- * correction is a chain of line-sized XOR folds). Processes u64 chunks
- * through memcpy so it is alignment- and strict-aliasing-safe, with a
- * byte tail for residues; tests pin it against a byte-loop oracle.
+ * XOR accumulation kernels: the single hot byte-level operation of the
+ * bit-true parity engine (every D1/D2/D3 build, rebuild, and
+ * demand-time correction is a chain of line-sized XOR folds).
+ *
+ * Two implementation families, selected at runtime via
+ * common/kernels.h (DESIGN.md section 14):
+ *
+ *  - scalar: u64 chunks through memcpy (alignment- and
+ *    strict-aliasing-safe), byte tail. This is the proof baseline the
+ *    tests pin everything else against.
+ *  - vector: 32-byte lanes via the portable GCC/Clang vector extension
+ *    (`__attribute__((vector_size(32)))`), also loaded/stored through
+ *    memcpy. The compiler lowers the lane XOR to AVX/NEON/SSE where
+ *    available and to plain word ops elsewhere, so the path is
+ *    portable and byte-exact by construction (XOR has no carries,
+ *    rounding, or lane interaction).
+ *
+ * xorFoldN folds k source lines into dst in ONE pass over dst —
+ * group-read correction previously re-walked the destination line k
+ * times; the multi-source variant keeps the accumulator in registers
+ * and touches memory n + k*n bytes instead of 2*k*n.
  */
 
 #ifndef CITADEL_COMMON_XOR_FOLD_H
@@ -13,13 +29,14 @@
 #include <cstddef>
 #include <cstring>
 
+#include "common/kernels.h"
 #include "common/types.h"
 
 namespace citadel {
 
-/** dst[i] ^= src[i] for i in [0, n). Ranges must not overlap. */
+/** Scalar proof baseline: dst[i] ^= src[i] for i in [0, n). */
 inline void
-xorFold(u8 *dst, const u8 *src, std::size_t n)
+xorFoldScalar(u8 *dst, const u8 *src, std::size_t n)
 {
     std::size_t i = 0;
     for (; i + sizeof(u64) <= n; i += sizeof(u64)) {
@@ -32,6 +49,121 @@ xorFold(u8 *dst, const u8 *src, std::size_t n)
     }
     for (; i < n; ++i)
         dst[i] ^= src[i];
+}
+
+/** Scalar proof baseline for the multi-source fold: equivalent to
+ *  xorFoldScalar(dst, srcs[j], n) for j in [0, k) — the definition the
+ *  property tests hold every other variant to. */
+inline void
+xorFoldNScalar(u8 *dst, const u8 *const *srcs, std::size_t k,
+               std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + sizeof(u64) <= n; i += sizeof(u64)) {
+        u64 a;
+        std::memcpy(&a, dst + i, sizeof(u64));
+        for (std::size_t j = 0; j < k; ++j) {
+            u64 b;
+            std::memcpy(&b, srcs[j] + i, sizeof(u64));
+            a ^= b;
+        }
+        std::memcpy(dst + i, &a, sizeof(u64));
+    }
+    for (; i < n; ++i) {
+        u8 a = dst[i];
+        for (std::size_t j = 0; j < k; ++j)
+            a ^= srcs[j][i];
+        dst[i] = a;
+    }
+}
+
+namespace detail {
+
+/** 32 bytes of XOR-able lanes; GCC/Clang synthesize wider-than-native
+ *  operations from narrower ones, so this is legal on every target.
+ *  XorVec values never cross a function-call boundary — loads/stores
+ *  are written inline via memcpy — so the type imposes no vector ABI
+ *  (GCC's -Wpsabi warning about 32-byte parameters never applies). */
+typedef u8 XorVec __attribute__((vector_size(32)));
+
+} // namespace detail
+
+/** Wide-vector fold; byte-identical to xorFoldScalar on all inputs. */
+inline void
+xorFoldVector(u8 *dst, const u8 *src, std::size_t n)
+{
+    using detail::XorVec;
+    std::size_t i = 0;
+    for (; i + 2 * sizeof(XorVec) <= n; i += 2 * sizeof(XorVec)) {
+        XorVec a0;
+        XorVec a1;
+        XorVec b0;
+        XorVec b1;
+        std::memcpy(&a0, dst + i, sizeof(XorVec));
+        std::memcpy(&a1, dst + i + sizeof(XorVec), sizeof(XorVec));
+        std::memcpy(&b0, src + i, sizeof(XorVec));
+        std::memcpy(&b1, src + i + sizeof(XorVec), sizeof(XorVec));
+        a0 ^= b0;
+        a1 ^= b1;
+        std::memcpy(dst + i, &a0, sizeof(XorVec));
+        std::memcpy(dst + i + sizeof(XorVec), &a1, sizeof(XorVec));
+    }
+    for (; i + sizeof(XorVec) <= n; i += sizeof(XorVec)) {
+        XorVec a;
+        XorVec b;
+        std::memcpy(&a, dst + i, sizeof(XorVec));
+        std::memcpy(&b, src + i, sizeof(XorVec));
+        a ^= b;
+        std::memcpy(dst + i, &a, sizeof(XorVec));
+    }
+    xorFoldScalar(dst + i, src + i, n - i);
+}
+
+/** Wide-vector multi-source fold; the accumulator lane stays in
+ *  registers across all k sources, so dst is read and written once. */
+inline void
+xorFoldNVector(u8 *dst, const u8 *const *srcs, std::size_t k,
+               std::size_t n)
+{
+    using detail::XorVec;
+    std::size_t i = 0;
+    for (; i + sizeof(XorVec) <= n; i += sizeof(XorVec)) {
+        XorVec a;
+        std::memcpy(&a, dst + i, sizeof(XorVec));
+        for (std::size_t j = 0; j < k; ++j) {
+            XorVec b;
+            std::memcpy(&b, srcs[j] + i, sizeof(XorVec));
+            a ^= b;
+        }
+        std::memcpy(dst + i, &a, sizeof(XorVec));
+    }
+    if (i < n) {
+        u8 *tail = dst + i;
+        const std::size_t rem = n - i;
+        for (std::size_t b = 0; b < rem; ++b) {
+            u8 a = tail[b];
+            for (std::size_t j = 0; j < k; ++j)
+                a ^= srcs[j][i + b];
+            tail[b] = a;
+        }
+    }
+}
+
+/** dst[i] ^= src[i] for i in [0, n); dispatched. Ranges must not
+ *  overlap. */
+inline void
+xorFold(u8 *dst, const u8 *src, std::size_t n)
+{
+    xorKernelOps().fold(dst, src, n);
+}
+
+/** Fold all k lines in srcs into dst in one pass; dispatched. Sources
+ *  must not overlap dst (sources may alias each other — each is read
+ *  only). */
+inline void
+xorFoldN(u8 *dst, const u8 *const *srcs, std::size_t k, std::size_t n)
+{
+    xorKernelOps().foldN(dst, srcs, k, n);
 }
 
 } // namespace citadel

@@ -2,6 +2,21 @@
 
 #include <array>
 
+#include "common/kernels.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CITADEL_CRC32_PCLMUL 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__linux__) &&                     \
+    (defined(__GNUC__) || defined(__clang__))
+#define CITADEL_CRC32_ARM 1
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1UL << 7)
+#endif
+#endif
+
 namespace citadel {
 
 namespace {
@@ -41,13 +56,10 @@ loadLe32(const u8 *p)
            (static_cast<u32>(p[3]) << 24);
 }
 
-} // namespace
-
+/** Portable slicing-by-8 core; the proof baseline for the hw paths. */
 u32
-Crc32::update(u32 state, std::span<const u8> data)
+slice8Update(u32 state, const u8 *p, std::size_t n)
 {
-    const u8 *p = data.data();
-    std::size_t n = data.size();
     while (n >= 8) {
         const u32 lo = loadLe32(p) ^ state;
         const u32 hi = loadLe32(p + 4);
@@ -62,6 +74,217 @@ Crc32::update(u32 state, std::span<const u8> data)
         state = kTables[0][(state ^ *p++) & 0xFFu] ^ (state >> 8);
     }
     return state;
+}
+
+#if defined(CITADEL_CRC32_PCLMUL)
+
+/**
+ * PCLMULQDQ folding (reflected domain). Constants are
+ * rev32(x^t mod P) << 1 for the generator P = 0x104C11DB7; in this
+ * encoding clmul(rev64(h), K_t) lands rev128(h * x^t) in the 128-bit
+ * lane, so folding the accumulator's low qword (the high-degree half
+ * of the chunk polynomial, degree offset 64) with K_{t+64} and the
+ * high qword with K_t multiplies the whole chunk by exactly x^t:
+ *
+ *   fold-by-4 (t = 512 bits / 64-byte stride):
+ *     K_544 = 0x154442bd4 (lo lane) / K_480 = 0x1c6e41596 (hi lane)
+ *   fold-by-1 (t = 128 bits / 16-byte stride):
+ *     K_160 = 0x1751997d0 (lo lane) / K_96 = 0xccaa009e (hi lane)
+ *
+ * (The +-32 in the exponents absorbs the one-lane alignment of the
+ * 33-bit constants; the values match the Linux kernel's
+ * crc32-pclmul tables and were re-derived from P directly.)
+ *
+ * Each fold step therefore multiplies the 128-bit accumulator by
+ * x^t mod-P-congruently and XORs in the next data block, so the
+ * accumulator stays congruent (mod P) to the message prefix processed
+ * so far, expressed in the same reflected byte order the data blocks
+ * use. Instead of a Barrett reduction we finish by table-updating
+ * from state 0 over the accumulator's 16 bytes and then over the
+ * unfolded tail — the congruence guarantees this lands on exactly
+ * the state the portable slice8 path computes, which the oracle
+ * tests pin on every length and alignment.
+ */
+
+__attribute__((target("pclmul"))) inline __m128i
+load128(const u8 *p)
+{
+    return _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+}
+
+__attribute__((target("pclmul"))) inline __m128i
+foldStep(__m128i x, __m128i k)
+{
+    return _mm_xor_si128(_mm_clmulepi64_si128(x, k, 0x00),
+                         _mm_clmulepi64_si128(x, k, 0x11));
+}
+
+__attribute__((target("pclmul"))) u32
+pclmulUpdate(u32 state, const u8 *p, std::size_t n)
+{
+    if (n < 64)
+        return slice8Update(state, p, n);
+    const __m128i kFold512 =
+        _mm_set_epi64x(0x1c6e41596LL, 0x154442bd4LL);
+    const __m128i kFold128 =
+        _mm_set_epi64x(0xccaa009eLL, 0x1751997d0LL);
+    __m128i x0 = _mm_xor_si128(load128(p),
+                               _mm_cvtsi32_si128(static_cast<int>(state)));
+    __m128i x1 = load128(p + 16);
+    __m128i x2 = load128(p + 32);
+    __m128i x3 = load128(p + 48);
+    p += 64;
+    n -= 64;
+    while (n >= 64) {
+        x0 = _mm_xor_si128(foldStep(x0, kFold512), load128(p));
+        x1 = _mm_xor_si128(foldStep(x1, kFold512), load128(p + 16));
+        x2 = _mm_xor_si128(foldStep(x2, kFold512), load128(p + 32));
+        x3 = _mm_xor_si128(foldStep(x3, kFold512), load128(p + 48));
+        p += 64;
+        n -= 64;
+    }
+    __m128i acc = x0;
+    acc = _mm_xor_si128(foldStep(acc, kFold128), x1);
+    acc = _mm_xor_si128(foldStep(acc, kFold128), x2);
+    acc = _mm_xor_si128(foldStep(acc, kFold128), x3);
+    while (n >= 16) {
+        acc = _mm_xor_si128(foldStep(acc, kFold128), load128(p));
+        p += 16;
+        n -= 16;
+    }
+    u8 accBytes[16];
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(accBytes), acc);
+    const u32 folded = slice8Update(0, accBytes, sizeof(accBytes));
+    return slice8Update(folded, p, n);
+}
+
+bool
+probeHw()
+{
+    return __builtin_cpu_supports("pclmul") != 0;
+}
+
+constexpr const char *kHwPathName = "pclmul";
+constexpr auto hwUpdate = &pclmulUpdate;
+
+#elif defined(CITADEL_CRC32_ARM)
+
+/** ARMv8 CRC32 extension computes the IEEE (0xEDB88320) polynomial
+ *  directly, 8 message bytes per instruction. */
+__attribute__((target("+crc"))) u32
+armCrcUpdate(u32 state, const u8 *p, std::size_t n)
+{
+    while (n >= 8) {
+        u64 v;
+        __builtin_memcpy(&v, p, sizeof(v));
+        state = __crc32d(state, v);
+        p += 8;
+        n -= 8;
+    }
+    if (n >= 4) {
+        u32 v;
+        __builtin_memcpy(&v, p, sizeof(v));
+        state = __crc32w(state, v);
+        p += 4;
+        n -= 4;
+    }
+    while (n--)
+        state = __crc32b(state, *p++);
+    return state;
+}
+
+bool
+probeHw()
+{
+    return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+}
+
+constexpr const char *kHwPathName = "armv8-crc";
+constexpr auto hwUpdate = &armCrcUpdate;
+
+#else
+
+bool
+probeHw()
+{
+    return false;
+}
+
+constexpr const char *kHwPathName = "slice8";
+constexpr auto hwUpdate = &slice8Update;
+
+#endif
+
+using UpdateFn = u32 (*)(u32, const u8 *, std::size_t);
+
+/** Resolve the bulk-update path for the active kernel mode: Scalar
+ *  forces slice8; Vector/Auto take the hw path when the CPU has one.
+ *  Every candidate is value-pure over the same bytes (DESIGN.md
+ *  section 14), so the choice affects speed only. */
+UpdateFn
+resolveUpdate(const char **pathName)
+{
+    const bool hw =
+        activeKernelMode() != KernelMode::Scalar && Crc32::hwAvailable();
+    *pathName = hw ? kHwPathName : "slice8";
+    return hw ? hwUpdate : &slice8Update;
+}
+
+/** Dispatch cache, thread_local so MC workers never race on it; the
+ *  epoch check makes test-time setKernelMode() switches take effect
+ *  on the next call. */
+struct Dispatch
+{
+    UpdateFn fn = nullptr;
+    const char *path = "slice8";
+    u64 epoch = ~u64{0};
+};
+
+Dispatch &
+dispatch()
+{
+    thread_local Dispatch d;
+    const u64 epoch = kernelModeEpoch();
+    if (d.fn == nullptr || d.epoch != epoch) {
+        d.fn = resolveUpdate(&d.path);
+        d.epoch = epoch;
+    }
+    return d;
+}
+
+} // namespace
+
+u32
+Crc32::update(u32 state, std::span<const u8> data)
+{
+    return dispatch().fn(state, data.data(), data.size());
+}
+
+u32
+Crc32::updateSlice8(u32 state, std::span<const u8> data)
+{
+    return slice8Update(state, data.data(), data.size());
+}
+
+u32
+Crc32::updateHw(u32 state, std::span<const u8> data)
+{
+    if (!hwAvailable())
+        return slice8Update(state, data.data(), data.size());
+    return hwUpdate(state, data.data(), data.size());
+}
+
+bool
+Crc32::hwAvailable()
+{
+    static const bool avail = probeHw();
+    return avail;
+}
+
+const char *
+Crc32::activePathName()
+{
+    return dispatch().path;
 }
 
 u32

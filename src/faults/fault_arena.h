@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-worker arena for batched Monte Carlo trial execution (DESIGN.md
+ * section 14). A worker samples a whole chunk of lifetimes into one
+ * flat fault pool — per-trial extents recorded as offsets, arrival
+ * times mirrored into a dense SoA array for the scrub-boundary scan —
+ * and then executes the trials against span views into that pool. In
+ * steady state a chunk does no heap traffic at all: beginBatch() is an
+ * O(1) watermark reset (Fault is trivially destructible, so clear()
+ * frees nothing), and the vectors keep their high-water capacity for
+ * the next chunk.
+ *
+ * Reset discipline: every beginBatch() bumps the generation counter;
+ * spans and time pointers handed out by trialEvents()/trialTimes()
+ * are valid only until the next beginBatch() on the same arena.
+ * Callers that stash a view across batches can assert on generation()
+ * to catch the misuse.
+ */
+
+#ifndef CITADEL_FAULTS_FAULT_ARENA_H
+#define CITADEL_FAULTS_FAULT_ARENA_H
+
+#include <span>
+#include <vector>
+
+#include "faults/fault.h"
+
+namespace citadel {
+
+/** Flat SoA store for one worker's in-flight chunk of trials. */
+class FaultArena
+{
+  public:
+    /** Watermark-reset to an empty batch (capacity retained). */
+    void beginBatch()
+    {
+        events_.clear();
+        times_.clear();
+        offsets_.assign(1, 0);
+        ++generation_;
+    }
+
+    /**
+     * Staging vector the injector appends the current trial's faults
+     * to (via FaultInjector::sampleLifetimeAppend); everything past
+     * the last sealed offset belongs to the open trial.
+     */
+    std::vector<Fault> &pool() { return events_; }
+
+    /** Seal the open trial: record its extent and mirror the arrival
+     *  times into the dense SoA array. */
+    void endTrial()
+    {
+        for (std::size_t i = times_.size(); i < events_.size(); ++i)
+            times_.push_back(events_[i].timeHours);
+        offsets_.push_back(events_.size());
+    }
+
+    /** Sealed trials in the current batch. */
+    u64 trials() const { return offsets_.size() - 1; }
+
+    /** Total faults across all sealed trials (open trial excluded). */
+    u64 eventCount() const { return offsets_.back(); }
+
+    /** Fault records of sealed trial i; valid until beginBatch(). */
+    std::span<const Fault> trialEvents(u64 i) const
+    {
+        return {events_.data() + offsets_[i],
+                offsets_[i + 1] - offsets_[i]};
+    }
+
+    /** Dense arrival-time array of sealed trial i, index-aligned with
+     *  trialEvents(i); valid until beginBatch(). */
+    const double *trialTimes(u64 i) const
+    {
+        return times_.data() + offsets_[i];
+    }
+
+    /** Bumped by every beginBatch(); see the reset discipline above. */
+    u64 generation() const { return generation_; }
+
+  private:
+    std::vector<Fault> events_;
+    std::vector<double> times_;
+    std::vector<std::size_t> offsets_ = {0};
+    u64 generation_ = 0;
+};
+
+} // namespace citadel
+
+#endif // CITADEL_FAULTS_FAULT_ARENA_H

@@ -1,6 +1,8 @@
 #include "faults/injector.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 
 #include "common/log.h"
 
@@ -44,21 +46,62 @@ FaultInjector::FaultInjector(const SystemConfig &cfg)
     : cfg_(cfg), tsvMap_(cfg.geom)
 {
     cfg_.validate();
+
+    // Precompute the per-die Poisson cells in the exact order the
+    // sampling loop draws them — [Bit, Word, Column, Row, Bank] x
+    // {transient, permanent} — so the draw stream is byte-for-byte
+    // the stream the uncached loop produced (frozen by the
+    // determinism contract, DESIGN.md section 9).
+    const FitTable &r = cfg_.rates;
+    const struct { FaultClass cls; const FitPair *fit; } classes[] = {
+        {FaultClass::Bit, &r.bit},       {FaultClass::Word, &r.word},
+        {FaultClass::Column, &r.column}, {FaultClass::Row, &r.row},
+        {FaultClass::Bank, &r.bank},
+    };
+    auto makeCell = [&](FaultClass cls, double fit, bool transient) {
+        RateCell cell;
+        cell.cls = cls;
+        cell.transient = transient;
+        cell.lambda = fitToPerHour(fit) * cfg_.lifetimeHours;
+        if (cell.lambda > 0.0 && cell.lambda < 30.0)
+            cell.expNegLambda = std::exp(-cell.lambda);
+        return cell;
+    };
+    for (const auto &c : classes) {
+        dieCells_.push_back(makeCell(c.cls, c.fit->transientFit, true));
+        dieCells_.push_back(makeCell(c.cls, c.fit->permanentFit, false));
+    }
+    tsvCell_ = makeCell(FaultClass::DataTsv, cfg_.tsvDeviceFit, false);
+}
+
+u64
+FaultInjector::drawCount(Rng &rng, const RateCell &cell)
+{
+    // Mirror Rng::poisson's branch structure exactly: zero rate draws
+    // nothing, the small-lambda Knuth path reuses the cached
+    // exp(-lambda), and the (test-only) large-lambda normal
+    // approximation falls back to the uncached entry point.
+    if (cell.lambda == 0.0)
+        return 0;
+    if (cell.lambda < 30.0)
+        return rng.poissonKnuth(cell.expNegLambda);
+    return rng.poisson(cell.lambda);
 }
 
 void
-FaultInjector::sampleClass(Rng &rng, std::vector<Fault> &out, FaultClass cls,
-                           double fit, bool transient, StackId stack,
+FaultInjector::sampleClass(Rng &rng, std::vector<Fault> &out,
+                           const RateCell &cell, StackId stack,
                            ChannelId channel) const
 {
-    const double lambda = fitToPerHour(fit) * cfg_.lifetimeHours;
-    const u64 n = rng.poisson(lambda);
+    const u64 n = drawCount(rng, cell);
     for (u64 i = 0; i < n; ++i) {
         const double t = rng.uniform(0.0, cfg_.lifetimeHours);
-        FaultClass effective = cls;
-        if (cls == FaultClass::Bank && rng.chance(cfg_.subArrayFraction))
+        FaultClass effective = cell.cls;
+        if (cell.cls == FaultClass::Bank &&
+            rng.chance(cfg_.subArrayFraction))
             effective = FaultClass::SubArray;
-        out.push_back(makeFault(rng, effective, stack, channel, transient, t));
+        out.push_back(
+            makeFault(rng, effective, stack, channel, cell.transient, t));
     }
 }
 
@@ -74,37 +117,30 @@ void
 FaultInjector::sampleLifetime(Rng &rng, std::vector<Fault> &out) const
 {
     out.clear();
-    const FitTable &r = cfg_.rates;
+    sampleLifetimeAppend(rng, out);
+}
+
+std::size_t
+FaultInjector::sampleLifetimeAppend(Rng &rng, std::vector<Fault> &out) const
+{
+    const std::size_t base = out.size();
 
     for (u32 s = 0; s < cfg_.geom.stacks; ++s) {
-        for (u32 ch = 0; ch < cfg_.diesPerStack(); ++ch) {
-            struct { FaultClass cls; const FitPair *fit; } classes[] = {
-                {FaultClass::Bit, &r.bit},
-                {FaultClass::Word, &r.word},
-                {FaultClass::Column, &r.column},
-                {FaultClass::Row, &r.row},
-                {FaultClass::Bank, &r.bank},
-            };
-            for (const auto &c : classes) {
-                sampleClass(rng, out, c.cls, c.fit->transientFit, true,
-                            StackId{s}, ChannelId{ch});
-                sampleClass(rng, out, c.cls, c.fit->permanentFit, false,
-                            StackId{s}, ChannelId{ch});
-            }
-        }
+        for (u32 ch = 0; ch < cfg_.diesPerStack(); ++ch)
+            for (const RateCell &cell : dieCells_)
+                sampleClass(rng, out, cell, StackId{s}, ChannelId{ch});
         // TSV faults: per-stack device rate, permanent.
-        const double lambda =
-            fitToPerHour(cfg_.tsvDeviceFit) * cfg_.lifetimeHours;
-        const u64 n = rng.poisson(lambda);
+        const u64 n = drawCount(rng, tsvCell_);
         for (u64 i = 0; i < n; ++i)
             out.push_back(makeTsvFault(
                 rng, StackId{s}, rng.uniform(0.0, cfg_.lifetimeHours)));
     }
 
-    std::sort(out.begin(), out.end(),
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
               [](const Fault &a, const Fault &b) {
                   return a.timeHours < b.timeHours;
               });
+    return out.size() - base;
 }
 
 Fault

@@ -116,6 +116,16 @@ class FaultInjector
      */
     void sampleLifetime(Rng &rng, std::vector<Fault> &out) const;
 
+    /**
+     * Arena-filling variant: appends one lifetime's faults to `out`
+     * without clearing it, sorting only the appended slice, and
+     * returns the number appended. This is what lets a FaultArena
+     * batch a whole chunk of trials into one flat pool; the draw
+     * stream and the per-trial sort are identical to sampleLifetime.
+     */
+    std::size_t sampleLifetimeAppend(Rng &rng,
+                                     std::vector<Fault> &out) const;
+
     /** Materialize a random fault of a class in a given die. */
     Fault makeFault(Rng &rng, FaultClass cls, StackId stack,
                     ChannelId channel, bool transient,
@@ -141,11 +151,34 @@ class FaultInjector
     const SystemConfig &config() const { return cfg_; }
 
   private:
+    /**
+     * One Poisson process of the per-die sampling loop, with its
+     * arrival rate — and, for the dominant small-lambda Knuth path,
+     * exp(-lambda) — precomputed at construction. Rng::poisson
+     * recomputes std::exp(-lambda) on every call; a lifetime draws
+     * from ~180 of these cells (2 stacks x 9 dies x 5 classes x
+     * {transient, permanent}), so hoisting the exp is the single
+     * biggest serial-path win. Draw-for-draw stream-identical to
+     * calling poisson(lambda) (see Rng::poissonKnuth).
+     */
+    struct RateCell
+    {
+        FaultClass cls = FaultClass::Bit;
+        bool transient = false;
+        double lambda = 0.0;
+        double expNegLambda = 1.0;
+    };
+
     SystemConfig cfg_;
     TsvMap tsvMap_;
+    std::vector<RateCell> dieCells_;
+    RateCell tsvCell_;
 
-    void sampleClass(Rng &rng, std::vector<Fault> &out, FaultClass cls,
-                     double fit, bool transient, StackId stack,
+    /** Poisson count for a cell, branch-identical to Rng::poisson. */
+    static u64 drawCount(Rng &rng, const RateCell &cell);
+
+    void sampleClass(Rng &rng, std::vector<Fault> &out,
+                     const RateCell &cell, StackId stack,
                      ChannelId channel) const;
 };
 

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "common/env.h"
+#include "common/kernels.h"
 
 namespace citadel {
 namespace {
@@ -159,6 +160,40 @@ TEST_F(EnvRangeTest, FleetKnobRangesMatchDriver)
                             10'000'000),
               20'000u);
     unsetenv("CITADEL_FLEET_CALIB_INSNS");
+}
+
+class KernelEnvTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { unsetenv("CITADEL_KERNEL"); }
+    void TearDown() override { unsetenv("CITADEL_KERNEL"); }
+};
+
+TEST_F(KernelEnvTest, UnsetResolvesToAuto)
+{
+    EXPECT_EQ(requestedKernelMode(), KernelMode::Auto);
+}
+
+TEST_F(KernelEnvTest, ExactLowercaseSpellingsAccepted)
+{
+    setenv("CITADEL_KERNEL", "scalar", 1);
+    EXPECT_EQ(requestedKernelMode(), KernelMode::Scalar);
+    setenv("CITADEL_KERNEL", "vector", 1);
+    EXPECT_EQ(requestedKernelMode(), KernelMode::Vector);
+    setenv("CITADEL_KERNEL", "auto", 1);
+    EXPECT_EQ(requestedKernelMode(), KernelMode::Auto);
+}
+
+TEST_F(KernelEnvTest, InvalidValuesRejectedToAuto)
+{
+    // The knob selects among bit-identical implementations, so the
+    // safe fallback for malformed text is Auto (fastest available),
+    // with a warning — never a half-parsed or wedged mode.
+    for (const char *bad : {"Scalar", "VECTOR", "simd", "avx2", "",
+                            " auto", "auto ", "scalar|vector", "2"}) {
+        setenv("CITADEL_KERNEL", bad, 1);
+        EXPECT_EQ(requestedKernelMode(), KernelMode::Auto) << bad;
+    }
 }
 
 } // namespace

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Kernel-equivalence property suite (DESIGN.md section 14): every
+ * dispatched implementation of the three hot kernels — xorFold,
+ * xorFoldN, CRC-32 bulk update — must be bit-identical to its scalar
+ * proof over random lengths, all byte misalignments, multi-source
+ * counts, and mid-stream state splits. The dispatch layer itself is
+ * tested too: forced modes resolve to the expected paths, the epoch
+ * invalidates cached pointers, and every mode produces the same bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/kernels.h"
+#include "common/rng.h"
+#include "common/xor_fold.h"
+#include "ecc/crc32.h"
+
+namespace citadel {
+namespace {
+
+std::vector<u8>
+randomBytes(Rng &rng, std::size_t n)
+{
+    std::vector<u8> v(n);
+    for (auto &b : v)
+        b = static_cast<u8>(rng.next());
+    return v;
+}
+
+/** Restores the dispatch mode on scope exit so tests cannot leak a
+ *  forced mode into later tests in the same process. */
+class KernelModeGuard
+{
+  public:
+    KernelModeGuard() : saved_(activeKernelMode()) {}
+    ~KernelModeGuard() { setKernelMode(saved_); }
+
+  private:
+    KernelMode saved_;
+};
+
+// The interesting lengths around every internal boundary: empty, the
+// sub-u64 tail, the u64/32-byte/64-byte lane splits, and multi-lane
+// runs well past the unrolled main loop.
+const std::size_t kLengths[] = {0,  1,  7,   8,   9,   31,  32,  33,
+                                63, 64, 65,  96,  127, 128, 129, 200,
+                                255, 256, 257, 511, 512, 1000};
+
+TEST(Kernels, XorFoldVectorMatchesScalarAcrossLengths)
+{
+    Rng rng(1);
+    for (std::size_t n = 0; n <= 300; ++n) {
+        const auto src = randomBytes(rng, n);
+        auto a = randomBytes(rng, n);
+        auto b = a;
+        xorFoldScalar(a.data(), src.data(), n);
+        xorFoldVector(b.data(), src.data(), n);
+        ASSERT_EQ(a, b) << "length " << n;
+    }
+}
+
+TEST(Kernels, XorFoldVectorAtUnalignedOffsets)
+{
+    Rng rng(2);
+    const std::size_t kLen = 200; // crosses the 64-byte unrolled loop
+    const auto src_buf = randomBytes(rng, kLen + 8);
+    for (std::size_t doff = 0; doff < 8; ++doff)
+        for (std::size_t soff = 0; soff < 8; ++soff) {
+            auto a = randomBytes(rng, kLen + 8);
+            auto b = a;
+            xorFoldScalar(a.data() + doff, src_buf.data() + soff, kLen);
+            xorFoldVector(b.data() + doff, src_buf.data() + soff, kLen);
+            ASSERT_EQ(a, b) << "dst+" << doff << " src+" << soff;
+        }
+}
+
+TEST(Kernels, XorFoldNMatchesSequentialScalarFolds)
+{
+    Rng rng(3);
+    for (std::size_t k = 2; k <= 12; ++k)
+        for (const std::size_t n : kLengths) {
+            std::vector<std::vector<u8>> lines;
+            std::vector<const u8 *> srcs;
+            for (std::size_t i = 0; i < k; ++i) {
+                lines.push_back(randomBytes(rng, n));
+                srcs.push_back(lines.back().data());
+            }
+            auto want = randomBytes(rng, n);
+            auto got_scalar = want;
+            auto got_vector = want;
+            for (const auto &line : lines)
+                xorFoldScalar(want.data(), line.data(), n);
+            xorFoldNScalar(got_scalar.data(), srcs.data(), k, n);
+            xorFoldNVector(got_vector.data(), srcs.data(), k, n);
+            ASSERT_EQ(want, got_scalar) << "k=" << k << " n=" << n;
+            ASSERT_EQ(want, got_vector) << "k=" << k << " n=" << n;
+        }
+}
+
+TEST(Kernels, XorFoldNAtUnalignedOffsets)
+{
+    Rng rng(4);
+    const std::size_t kLen = 200;
+    const std::size_t k = 5;
+    std::vector<std::vector<u8>> lines;
+    for (std::size_t i = 0; i < k; ++i)
+        lines.push_back(randomBytes(rng, kLen + 8));
+    for (std::size_t doff = 0; doff < 8; ++doff)
+        for (std::size_t soff = 0; soff < 8; ++soff) {
+            std::vector<const u8 *> srcs;
+            for (const auto &line : lines)
+                srcs.push_back(line.data() + soff);
+            auto want = randomBytes(rng, kLen + 8);
+            auto got = want;
+            for (const u8 *s : srcs)
+                xorFoldScalar(want.data() + doff, s, kLen);
+            xorFoldNVector(got.data() + doff, srcs.data(), k, kLen);
+            ASSERT_EQ(want, got) << "dst+" << doff << " src+" << soff;
+        }
+}
+
+TEST(Kernels, DispatchResolvesForcedModes)
+{
+    KernelModeGuard guard;
+    const u64 epoch0 = kernelModeEpoch();
+
+    setKernelMode(KernelMode::Scalar);
+    EXPECT_EQ(activeKernelMode(), KernelMode::Scalar);
+    EXPECT_STREQ(xorKernelOps().path, "scalar-u64");
+    EXPECT_GT(kernelModeEpoch(), epoch0);
+
+    setKernelMode(KernelMode::Vector);
+    EXPECT_EQ(activeKernelMode(), KernelMode::Vector);
+    EXPECT_TRUE(std::string_view(xorKernelOps().path)
+                    .starts_with("vector32"));
+
+    setKernelMode(KernelMode::Auto);
+    EXPECT_TRUE(std::string_view(xorKernelOps().path)
+                    .starts_with("vector32"));
+}
+
+TEST(Kernels, EveryDispatchModeProducesIdenticalBytes)
+{
+    KernelModeGuard guard;
+    Rng rng(5);
+    const std::size_t n = 257;
+    const std::size_t k = 7;
+    const auto src = randomBytes(rng, n);
+    std::vector<std::vector<u8>> lines;
+    std::vector<const u8 *> srcs;
+    for (std::size_t i = 0; i < k; ++i) {
+        lines.push_back(randomBytes(rng, n));
+        srcs.push_back(lines.back().data());
+    }
+    const auto init = randomBytes(rng, n);
+
+    std::vector<u8> fold_ref, foldn_ref;
+    u32 crc_ref = 0;
+    for (const KernelMode mode :
+         {KernelMode::Scalar, KernelMode::Vector, KernelMode::Auto}) {
+        setKernelMode(mode);
+        auto fold_out = init;
+        xorFold(fold_out.data(), src.data(), n); // dispatched entry
+        auto foldn_out = init;
+        xorFoldN(foldn_out.data(), srcs.data(), k, n);
+        const u32 crc_out = Crc32::compute(src);
+        if (mode == KernelMode::Scalar) {
+            fold_ref = fold_out;
+            foldn_ref = foldn_out;
+            crc_ref = crc_out;
+        } else {
+            EXPECT_EQ(fold_out, fold_ref) << kernelModeName(mode);
+            EXPECT_EQ(foldn_out, foldn_ref) << kernelModeName(mode);
+            EXPECT_EQ(crc_out, crc_ref) << kernelModeName(mode);
+        }
+    }
+}
+
+TEST(Kernels, ParseKernelModeExactLowercaseOnly)
+{
+    EXPECT_EQ(parseKernelMode("scalar"), KernelMode::Scalar);
+    EXPECT_EQ(parseKernelMode("vector"), KernelMode::Vector);
+    EXPECT_EQ(parseKernelMode("auto"), KernelMode::Auto);
+    for (const char *bad : {"", "Scalar", "VECTOR", "auto ", " auto",
+                            "simd", "avx2", "scalar,vector", "1"})
+        EXPECT_FALSE(parseKernelMode(bad).has_value()) << bad;
+}
+
+TEST(Kernels, Crc32HwMatchesSlice8AcrossLengths)
+{
+    Rng rng(6);
+    // 0..300 covers the <64-byte slice8 fallback, the exact fold-by-4
+    // threshold, and every 16-byte fold-by-1 tail split around it.
+    for (std::size_t n = 0; n <= 300; ++n) {
+        const auto buf = randomBytes(rng, n);
+        const u32 slice8 = Crc32::updateSlice8(Crc32::begin(), buf);
+        const u32 hw = Crc32::updateHw(Crc32::begin(), buf);
+        ASSERT_EQ(hw, slice8) << "length " << n;
+        ASSERT_EQ(Crc32::finish(slice8), Crc32::referenceCompute(buf))
+            << "length " << n;
+    }
+}
+
+TEST(Kernels, Crc32HwAtUnalignedOffsets)
+{
+    Rng rng(7);
+    const std::size_t kLen = 257;
+    const auto buf = randomBytes(rng, kLen + 8);
+    for (std::size_t off = 0; off < 8; ++off) {
+        const std::span<const u8> view(buf.data() + off, kLen);
+        ASSERT_EQ(Crc32::updateHw(Crc32::begin(), view),
+                  Crc32::updateSlice8(Crc32::begin(), view))
+            << "offset " << off;
+    }
+}
+
+TEST(Kernels, Crc32HwMidStateSplits)
+{
+    Rng rng(8);
+    const auto buf = randomBytes(rng, 1000);
+    const u32 whole = Crc32::updateSlice8(Crc32::begin(), buf);
+    for (const std::size_t split : {1u, 63u, 64u, 65u, 128u, 500u, 999u}) {
+        const std::span<const u8> head(buf.data(), split);
+        const std::span<const u8> tail(buf.data() + split,
+                                       buf.size() - split);
+        // hw-then-hw, hw-then-slice8, slice8-then-hw: any interleaving
+        // of the two implementations must agree, since a batch can mix
+        // dispatch paths across threads.
+        EXPECT_EQ(Crc32::updateHw(Crc32::updateHw(Crc32::begin(), head),
+                                  tail),
+                  whole)
+            << split;
+        EXPECT_EQ(Crc32::updateSlice8(
+                      Crc32::updateHw(Crc32::begin(), head), tail),
+                  whole)
+            << split;
+        EXPECT_EQ(Crc32::updateHw(
+                      Crc32::updateSlice8(Crc32::begin(), head), tail),
+                  whole)
+            << split;
+    }
+}
+
+TEST(Kernels, Crc32DispatchFollowsMode)
+{
+    KernelModeGuard guard;
+    Rng rng(9);
+    const auto buf = randomBytes(rng, 500);
+
+    setKernelMode(KernelMode::Scalar);
+    EXPECT_STREQ(Crc32::activePathName(), "slice8");
+    const u32 scalar_crc = Crc32::update(Crc32::begin(), buf);
+
+    setKernelMode(KernelMode::Auto);
+    if (Crc32::hwAvailable())
+        EXPECT_STRNE(Crc32::activePathName(), "slice8");
+    else
+        EXPECT_STREQ(Crc32::activePathName(), "slice8");
+    EXPECT_EQ(Crc32::update(Crc32::begin(), buf), scalar_crc);
+}
+
+} // namespace
+} // namespace citadel

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "citadel/citadel.h"
+#include "common/kernels.h"
 #include "common/thread_pool.h"
 #include "faults/monte_carlo.h"
 
@@ -133,6 +134,30 @@ TEST(MonteCarloParallel, RepeatedParallelRunsAreStable)
     const McResult first = mc.run(scheme, 2500, 11, 4);
     for (int i = 0; i < 3; ++i)
         expectIdentical(first, mc.run(scheme, 2500, 11, 4));
+}
+
+TEST(MonteCarloParallel, BitIdenticalAcrossForcedKernelModes)
+{
+    // The dispatch contract (DESIGN.md section 14): kernels are
+    // value-pure over the same bytes, so forcing any dispatch path —
+    // crossed with any thread count — must leave every McResult field
+    // untouched. This is the end-to-end proof backing the per-kernel
+    // byte-equivalence suite in test_kernels.cc.
+    const KernelMode saved = activeKernelMode();
+    SystemConfig cfg;
+    cfg.tsvDeviceFit = 1430.0;
+    MonteCarlo mc(cfg);
+    auto scheme = makeCitadel();
+
+    setKernelMode(KernelMode::Scalar);
+    const McResult reference = mc.run(*scheme, 1500, 13, 1);
+    for (const KernelMode mode :
+         {KernelMode::Scalar, KernelMode::Vector, KernelMode::Auto}) {
+        setKernelMode(mode);
+        for (unsigned t : {1u, 4u})
+            expectIdentical(reference, mc.run(*scheme, 1500, 13, t));
+    }
+    setKernelMode(saved);
 }
 
 // ---- ThreadPool unit tests -----------------------------------------

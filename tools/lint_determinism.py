@@ -145,6 +145,18 @@ BLESSINGS = [
             "counters (serial-vs-parallel and cycle-vs-event oracles)"
         ),
     ),
+    Blessing(
+        file="bench/bench_util.h",
+        rule="wall-clock",
+        needle="std::chrono::steady_clock",
+        justification=(
+            "benchKernel() is the shared MB/s timing loop the bench "
+            "binaries call: its steady_clock readings produce only "
+            "throughput report fields and are never mixed into a "
+            "seeded result -- kernel outputs are byte-compared against "
+            "scalar oracles before timing (test_kernels.cc)"
+        ),
+    ),
 ]
 
 
