@@ -23,6 +23,12 @@
  *     serial (runSuite) vs parallel (runSuiteParallel). Every pair
  *     must be bit-identical; any divergence makes this binary exit
  *     non-zero, which is what the perf-smoke CI job asserts.
+ *  6. Fleet serving hot path (schema v5): campaign Kops/s over the
+ *     Direct per-request baseline, the batched loopback wire path,
+ *     and real socketpairs, at a production-shaped arrival rate, plus
+ *     acked-completion latency percentiles in virtual ticks. All
+ *     three transports must land on the same campaign fingerprint;
+ *     any divergence makes this binary exit non-zero.
  *
  * The parallel-scaling check is enforced only when the machine
  * actually has the cores the run requested; on constrained runners
@@ -43,6 +49,7 @@
 
 #include "bench_util.h"
 #include "common/kernels.h"
+#include "fleet_bench_util.h"
 #include "common/thread_pool.h"
 #include "common/xor_fold.h"
 #include "ecc/crc32.h"
@@ -494,13 +501,86 @@ main()
          suite_identical ? "yes" : "NO — BUG"});
     suite_table.print(std::cout);
 
+    std::cout << "\n";
+
+    // ---- 6. Fleet serving hot path: wire batching ------------------
+    // Production-shaped load (the per-request machinery dominates, not
+    // the datapath step or the SystemSim calibration slice), min-wall
+    // of two reps per transport. The batched loopback path is the
+    // serving default; Direct is the unbatched baseline it must beat,
+    // and the socket cell prices the real-descriptor transport. All
+    // three must land on the same campaign fingerprint.
+    fleet::FleetConfig fleet_cfg = fleet::FleetConfig::demo();
+    fleet_cfg.ticks = 256;
+    fleet_cfg.keySpace = 4096;
+    fleet_cfg.arrivalsPerTick = 256;
+    fleet_cfg.server.calibrationInsns = 0;
+    fleet_cfg.threads = 1;
+
+    struct FleetPoint
+    {
+        const char *name;
+        fleet::TransportMode mode;
+        u32 batch;
+        fleet::TimedRun run;
+    };
+    std::vector<FleetPoint> fleet_points = {
+        {"direct (unbatched)", fleet::TransportMode::Direct, 1, {}},
+        {"loopback b=32", fleet::TransportMode::Loopback, 32, {}},
+        {"socket b=32", fleet::TransportMode::Socket, 32, {}},
+    };
+    for (FleetPoint &p : fleet_points) {
+        fleet::FleetConfig cell = fleet_cfg;
+        cell.transport = p.mode;
+        cell.batch = p.batch;
+        p.run = fleet::timedCampaign(cell);
+        for (int rep = 1; rep < 2; ++rep) {
+            const fleet::TimedRun again = fleet::timedCampaign(cell);
+            if (again.seconds < p.run.seconds)
+                p.run = again;
+        }
+    }
+    const fleet::TimedRun &fl_direct = fleet_points[0].run;
+    const fleet::TimedRun &fl_batched = fleet_points[1].run;
+    const fleet::TimedRun &fl_socket = fleet_points[2].run;
+    bool fleet_identical = true;
+    for (const FleetPoint &p : fleet_points)
+        fleet_identical =
+            fleet_identical && fleet::auditClean(p.run.res) &&
+            p.run.res.fingerprint == fl_direct.res.fingerprint;
+    const double fl_direct_kops =
+        fleet::kopsPerSec(fl_direct.res, fl_direct.seconds);
+    const double fl_batched_kops =
+        fleet::kopsPerSec(fl_batched.res, fl_batched.seconds);
+    const double fl_socket_kops =
+        fleet::kopsPerSec(fl_socket.res, fl_socket.seconds);
+    const double fleet_speedup =
+        fl_direct_kops > 0.0 ? fl_batched_kops / fl_direct_kops : 0.0;
+
+    Table fleet_table({"fleet transport", "Kops/s", "speedup",
+                       "identical"});
+    fleet_table.addRow({"direct (unbatched)",
+                        Table::num(fl_direct_kops, 1), "1.0x", "-"});
+    fleet_table.addRow({"loopback b=32",
+                        Table::num(fl_batched_kops, 1),
+                        Table::num(fleet_speedup, 2) + "x",
+                        fleet_identical ? "yes" : "NO — BUG"});
+    fleet_table.addRow(
+        {"socket b=32", Table::num(fl_socket_kops, 1),
+         Table::num(fl_socket_kops / fl_direct_kops, 2) + "x",
+         fleet_identical ? "yes" : "NO — BUG"});
+    fleet_table.print(std::cout);
+    std::cout << "latency p50/p99: " << fl_batched.res.p50LatencyTicks
+              << "/" << fl_batched.res.p99LatencyTicks
+              << " virtual ticks\n";
+
     // ---- JSON emission ---------------------------------------------
     const char *path_env = std::getenv("CITADEL_BENCH_JSON");
     const std::string path =
         path_env && *path_env ? path_env : "BENCH_mc.json";
     std::ofstream json(path);
     json << "{\n"
-         << "  \"schema\": \"citadel-perf-trajectory-v4\",\n"
+         << "  \"schema\": \"citadel-perf-trajectory-v5\",\n"
          << "  \"trials\": " << n << ",\n"
          << "  \"threads\": " << nthreads << ",\n"
          << "  \"hardware_concurrency\": " << hw_threads << ",\n"
@@ -583,7 +663,22 @@ main()
                 static_cast<double>(nthreads)
          << ",\n"
          << "    \"suite_identical\": "
-         << (suite_identical ? "true" : "false") << "\n  }\n"
+         << (suite_identical ? "true" : "false") << "\n  },\n"
+         << "  \"fleet\": {\n"
+         << "    \"ticks\": " << fleet_cfg.ticks << ",\n"
+         << "    \"arrivals_per_tick\": " << fleet_cfg.arrivalsPerTick
+         << ",\n"
+         << "    \"batch\": " << fleet_points[1].batch << ",\n"
+         << "    \"unbatched_kops_per_s\": " << fl_direct_kops << ",\n"
+         << "    \"batched_kops_per_s\": " << fl_batched_kops << ",\n"
+         << "    \"socket_kops_per_s\": " << fl_socket_kops << ",\n"
+         << "    \"batched_speedup\": " << fleet_speedup << ",\n"
+         << "    \"p50_latency_ticks\": "
+         << fl_batched.res.p50LatencyTicks << ",\n"
+         << "    \"p99_latency_ticks\": "
+         << fl_batched.res.p99LatencyTicks << ",\n"
+         << "    \"fingerprint_invariant\": "
+         << (fleet_identical ? "true" : "false") << "\n  }\n"
          << "}\n";
     json.close();
     std::cout << "\nwrote " << path << "\n";
@@ -601,6 +696,11 @@ main()
     if (!sim_identical) {
         std::cerr << "FATAL: timing simulator diverged (event stepping "
                      "or parallel suite runner)\n";
+        return 1;
+    }
+    if (!fleet_identical) {
+        std::cerr << "FATAL: a fleet wire transport diverged from the "
+                     "Direct baseline (fingerprint or audit)\n";
         return 1;
     }
     if (scaling_enforced && !scaling_ok) {

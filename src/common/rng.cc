@@ -164,4 +164,43 @@ Rng::restoreState(const std::array<u64, 4> &state)
         s_[i] = state[i];
 }
 
+ZipfCdf::ZipfCdf(u64 n, double theta) : n_(n), theta_(theta)
+{
+    if (n == 0)
+        throw std::invalid_argument("ZipfCdf: n must be positive");
+    if (!(theta >= 0.0))
+        throw std::invalid_argument("ZipfCdf: theta must be >= 0");
+    if (theta == 0.0)
+        return; // uniform fast path, no table
+    cdf_.resize(n);
+    double total = 0.0;
+    for (u64 r = 0; r < n; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+        cdf_[r] = total;
+    }
+    for (u64 r = 0; r < n; ++r)
+        cdf_[r] /= total;
+    cdf_[n - 1] = 1.0; // guard against rounding shortfall
+}
+
+u64
+ZipfCdf::rank(double u) const
+{
+    assert(u >= 0.0 && u < 1.0);
+    if (cdf_.empty()) {
+        const u64 r = static_cast<u64>(u * static_cast<double>(n_));
+        return r < n_ ? r : n_ - 1;
+    }
+    // First rank whose CDF exceeds u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (cdf_[mid] > u)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
 } // namespace citadel

@@ -113,6 +113,33 @@ class Rng
     static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
 };
 
+/**
+ * Precomputed Zipf(theta) CDF over ranks [0, n): the skewed key
+ * popularity the fleet traffic model replays (theta ~0.99 matches the
+ * YCSB-style hot-key skew; theta = 0 is exactly uniform and takes a
+ * CDF-free fast path). Sampling maps a unit double — derived from a
+ * counter hash, never from generator state — through a binary search
+ * of the CDF, so it composes with the fleet's order-independent
+ * determinism: rank(u) is a pure function.
+ */
+class ZipfCdf
+{
+  public:
+    /** Build the CDF for `n` ranks with exponent `theta` >= 0. */
+    ZipfCdf(u64 n, double theta);
+
+    /** Rank for a unit sample u in [0, 1): lower ranks are hotter. */
+    u64 rank(double u) const;
+
+    u64 size() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    u64 n_;
+    double theta_;
+    std::vector<double> cdf_; ///< Empty when theta == 0 (uniform).
+};
+
 } // namespace citadel
 
 #endif // CITADEL_COMMON_RNG_H

@@ -1,5 +1,6 @@
 #include "fleet/client.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/log.h"
@@ -9,15 +10,36 @@ namespace citadel {
 namespace fleet {
 
 FleetClient::FleetClient(const RetryPolicy &policy, u32 replication,
-                         u32 ackQuorum, u64 valueSalt)
+                         u32 ackQuorum, u64 valueSalt,
+                         const ClientTuning &tuning)
     : policy_(policy), replication_(replication), ackQuorum_(ackQuorum),
-      valueSalt_(valueSalt)
+      valueSalt_(valueSalt), flat_(tuning.opWindow > 0)
 {
     policy_.validate();
     if (replication_ == 0)
         fatal("FleetClient: replication must be >= 1");
     if (ackQuorum_ == 0 || ackQuorum_ > replication_)
         fatal("FleetClient: ackQuorum must be in [1, replication]");
+    if ((tuning.opWindow > 0) != (tuning.keySpace > 0))
+        fatal("FleetClient: ClientTuning opWindow and keySpace must "
+              "both be zero (ordered-map engine) or both positive "
+              "(flat engine)");
+    hist_.assign(policy_.opDeadline + 2, 0);
+    if (flat_) {
+        slots_.resize(std::bit_ceil(tuning.opWindow));
+        slotMask_ = slots_.size() - 1;
+        // Every pending wakeup lies within one op lifetime of the
+        // drain cursor, so this horizon makes bucket aliasing
+        // impossible (and wakeAt checks anyway).
+        const u64 horizon =
+            std::max({policy_.opDeadline, policy_.attemptTimeout,
+                      policy_.backoffCap, policy_.hedgeAfter}) +
+            4;
+        wheel_.resize(std::bit_ceil(horizon));
+        wheelMask_ = wheel_.size() - 1;
+        versionsFlat_.assign(tuning.keySpace, 0);
+        ackedFlat_.assign(tuning.keySpace, AckedWrite{});
+    }
 }
 
 void
@@ -34,10 +56,110 @@ FleetClient::valueFor(u64 key, u64 version, u64 salt)
                  version * 0x9FB21C651E98DF25ull ^ salt);
 }
 
+const std::map<u64, FleetClient::AckedWrite> &
+FleetClient::ackedWrites() const
+{
+    if (flat_)
+        fatal("FleetClient::ackedWrites is ordered-map-engine only; "
+              "use forEachAcked()");
+    return acked_;
+}
+
+FleetClient::Op &
+FleetClient::insertOp(u64 op_id, const Op &op)
+{
+    if (!flat_) {
+        auto [it, inserted] = ops_.emplace(op_id, op);
+        if (!inserted)
+            fatal("FleetClient: duplicate operation id %llu",
+                  static_cast<unsigned long long>(op_id));
+        return it->second;
+    }
+    OpSlot &slot = slots_[op_id & slotMask_];
+    if (slot.live) {
+        if (slot.id == op_id)
+            fatal("FleetClient: duplicate operation id %llu",
+                  static_cast<unsigned long long>(op_id));
+        fatal("FleetClient: live op id span exceeds the flat-engine "
+              "window (%zu slots): op %llu collides with live op %llu",
+              slots_.size(), static_cast<unsigned long long>(op_id),
+              static_cast<unsigned long long>(slot.id));
+    }
+    slot.id = op_id;
+    slot.live = true;
+    slot.op = op;
+    ++live_;
+    return slot.op;
+}
+
+FleetClient::Op *
+FleetClient::findOp(u64 op_id)
+{
+    if (!flat_) {
+        auto it = ops_.find(op_id);
+        return it == ops_.end() ? nullptr : &it->second;
+    }
+    OpSlot &slot = slots_[op_id & slotMask_];
+    return (slot.live && slot.id == op_id) ? &slot.op : nullptr;
+}
+
+void
+FleetClient::eraseOp(u64 op_id)
+{
+    if (!flat_) {
+        ops_.erase(op_id);
+        return;
+    }
+    OpSlot &slot = slots_[op_id & slotMask_];
+    if (slot.live && slot.id == op_id) {
+        slot.live = false;
+        --live_;
+    }
+}
+
+u64 &
+FleetClient::nextVersionOf(u64 key)
+{
+    if (!flat_)
+        return versions_[key];
+    if (key >= versionsFlat_.size())
+        fatal("FleetClient: key %llu outside the flat-engine key "
+              "space (%zu)",
+              static_cast<unsigned long long>(key),
+              versionsFlat_.size());
+    return versionsFlat_[key];
+}
+
+void
+FleetClient::recordAck(u64 key, u64 version, u64 value)
+{
+    AckedWrite &aw =
+        flat_ ? ackedFlat_[key] : acked_[key]; // Writes validated key.
+    if (aw.version == 0)
+        ++ackedCount_;
+    if (version > aw.version) {
+        aw.version = version;
+        aw.value = value;
+    }
+}
+
 void
 FleetClient::wakeAt(u64 tick, u64 op_id)
 {
-    wake_.emplace(tick, op_id);
+    if (!flat_) {
+        wake_.emplace(tick, op_id);
+        return;
+    }
+    // A wake for an already-drained tick lands in the next undrained
+    // bucket — the multimap would process it on the next tick() call
+    // too, so the engines stay in lockstep.
+    const u64 at = std::max(tick, lastProcessed_ + 1);
+    if (at - (lastProcessed_ + 1) >= wheel_.size())
+        fatal("FleetClient: wakeup %llu ticks ahead exceeds the wheel "
+              "horizon (%zu)",
+              static_cast<unsigned long long>(at - lastProcessed_),
+              wheel_.size());
+    wheel_[at & wheelMask_].push_back(op_id);
 }
 
 void
@@ -46,14 +168,12 @@ FleetClient::startRead(u64 op_id, u64 key, u64 now)
     Op op;
     op.kind = OpKind::Read;
     op.key = key;
+    op.issuedAt = now;
     op.deadline = now + policy_.opDeadline;
-    auto [it, inserted] = ops_.emplace(op_id, op);
-    if (!inserted)
-        fatal("FleetClient: duplicate operation id %llu",
-              static_cast<unsigned long long>(op_id));
+    Op &live = insertOp(op_id, op);
     ++counters_.opsIssued;
-    wakeAt(it->second.deadline, op_id);
-    sendRead(op_id, it->second, now);
+    wakeAt(live.deadline, op_id);
+    sendRead(op_id, live, now);
 }
 
 void
@@ -62,16 +182,14 @@ FleetClient::startWrite(u64 op_id, u64 key, u64 now)
     Op op;
     op.kind = OpKind::Write;
     op.key = key;
-    op.version = ++versions_[key];
+    op.version = ++nextVersionOf(key);
     op.value = valueFor(key, op.version, valueSalt_);
+    op.issuedAt = now;
     op.deadline = now + policy_.opDeadline;
-    auto [it, inserted] = ops_.emplace(op_id, op);
-    if (!inserted)
-        fatal("FleetClient: duplicate operation id %llu",
-              static_cast<unsigned long long>(op_id));
+    Op &live = insertOp(op_id, op);
     ++counters_.opsIssued;
-    wakeAt(it->second.deadline, op_id);
-    sendWrite(op_id, it->second, now);
+    wakeAt(live.deadline, op_id);
+    sendWrite(op_id, live, now);
 }
 
 void
@@ -79,7 +197,7 @@ FleetClient::sendRead(u64 op_id, Op &op, u64 now)
 {
     placementFn_(op.key, scratch_);
     if (scratch_.empty()) {
-        complete(op_id, op, false);
+        complete(op_id, op, false, now);
         return;
     }
     ++op.attempts;
@@ -112,7 +230,7 @@ FleetClient::sendWrite(u64 op_id, Op &op, u64 now)
 {
     placementFn_(op.key, scratch_);
     if (scratch_.empty()) {
-        complete(op_id, op, false);
+        complete(op_id, op, false, now);
         return;
     }
     ++op.attempts;
@@ -165,7 +283,7 @@ void
 FleetClient::beginBackoff(u64 op_id, Op &op, u64 now)
 {
     if (op.attempts >= policy_.maxAttempts || now >= op.deadline) {
-        complete(op_id, op, false);
+        complete(op_id, op, false, now);
         return;
     }
     const u64 delay = policy_.backoff(op_id, op.attempts);
@@ -178,14 +296,14 @@ FleetClient::beginBackoff(u64 op_id, Op &op, u64 now)
 void
 FleetClient::onResponse(const Response &resp, u64 now)
 {
-    auto it = ops_.find(resp.op);
-    if (it == ops_.end()) {
+    Op *found = findOp(resp.op);
+    if (!found) {
         // Completed, failed, or a chaos duplicate: idempotence means
         // late copies are simply dropped.
         ++counters_.duplicatesSuppressed;
         return;
     }
-    Op &op = it->second;
+    Op &op = *found;
 
     switch (resp.status) {
     case Status::Busy:
@@ -209,7 +327,7 @@ FleetClient::onResponse(const Response &resp, u64 now)
             sendRead(resp.op, op, now);
         } else {
             ++counters_.readsDue;
-            complete(resp.op, op, false);
+            complete(resp.op, op, false, now);
         }
         return;
 
@@ -220,7 +338,7 @@ FleetClient::onResponse(const Response &resp, u64 now)
                 resp.from == op.hedgeServer &&
                 resp.from != op.mainServer)
                 ++counters_.hedgeWins;
-            complete(resp.op, op, true);
+            complete(resp.op, op, true, now);
             return;
         }
         // Write acknowledgement path.
@@ -235,13 +353,9 @@ FleetClient::onResponse(const Response &resp, u64 now)
         op.ackMask |= 1ull << resp.from;
         ++op.acks;
         if (op.acks >= ackQuorum_) {
-            AckedWrite &aw = acked_[op.key];
-            if (op.version > aw.version) {
-                aw.version = op.version;
-                aw.value = op.value;
-            }
+            recordAck(op.key, op.version, op.value);
             ++counters_.writesAcked;
-            complete(resp.op, op, true);
+            complete(resp.op, op, true, now);
         }
         return;
     }
@@ -250,13 +364,13 @@ FleetClient::onResponse(const Response &resp, u64 now)
 void
 FleetClient::evaluate(u64 op_id, u64 now)
 {
-    auto it = ops_.find(op_id);
-    if (it == ops_.end())
+    Op *found = findOp(op_id);
+    if (!found)
         return; // Completed; stale wakeup.
-    Op &op = it->second;
+    Op &op = *found;
 
     if (now >= op.deadline) {
-        complete(op_id, op, false);
+        complete(op_id, op, false, now);
         return;
     }
     if (op.retryAt != 0) {
@@ -283,41 +397,68 @@ FleetClient::evaluate(u64 op_id, u64 now)
 void
 FleetClient::tick(u64 now)
 {
-    while (!wake_.empty() && wake_.begin()->first <= now) {
-        const u64 op_id = wake_.begin()->second;
-        wake_.erase(wake_.begin());
-        evaluate(op_id, now);
+    if (!flat_) {
+        while (!wake_.empty() && wake_.begin()->first <= now) {
+            const u64 op_id = wake_.begin()->second;
+            wake_.erase(wake_.begin());
+            evaluate(op_id, now);
+        }
+        return;
+    }
+    // Drain bucket-by-bucket in tick order; within a bucket, insertion
+    // order (the multimap's equal-key FIFO). The index loop re-reads
+    // size() so a zero-delay wake inserted while its own tick drains
+    // is still processed this call — exactly the multimap behavior.
+    for (u64 t = lastProcessed_ + 1; t <= now; ++t) {
+        std::vector<u64> &bucket = wheel_[t & wheelMask_];
+        for (std::size_t i = 0; i < bucket.size(); ++i)
+            evaluate(bucket[i], now);
+        bucket.clear();
+        lastProcessed_ = t;
     }
 }
 
 void
-FleetClient::complete(u64 op_id, Op &op, bool acked)
+FleetClient::complete(u64 op_id, Op &op, bool acked, u64 now)
 {
-    if (acked)
+    if (acked) {
         ++counters_.opsAcked;
-    else
+        const u64 latency =
+            std::min<u64>(now - op.issuedAt, hist_.size() - 1);
+        ++hist_[latency];
+    } else {
         ++counters_.opsFailed;
-    (void)op;
-    ops_.erase(op_id);
+    }
+    eraseOp(op_id);
 }
 
 void
 FleetClient::finish()
 {
-    counters_.opsUnresolved += ops_.size();
+    counters_.opsUnresolved += inflight();
     ops_.clear();
     wake_.clear();
+    if (flat_) {
+        for (OpSlot &slot : slots_)
+            slot.live = false;
+        live_ = 0;
+        for (auto &bucket : wheel_)
+            bucket.clear();
+    }
 }
 
 void
 FleetClient::serialize(ByteSink &sink) const
 {
-    sink.putU64(acked_.size());
-    for (const auto &[key, aw] : acked_) {
+    sink.putU64(ackedCount_);
+    forEachAcked([&](u64 key, const AckedWrite &aw) {
         sink.putU64(key);
         sink.putU64(aw.version);
         sink.putU64(aw.value);
-    }
+    });
+    sink.putU64(hist_.size());
+    for (u64 bucket : hist_)
+        sink.putU64(bucket);
 }
 
 } // namespace fleet

@@ -17,6 +17,24 @@
  * virtual `now`. Wakeups (timeouts, backoff expiries, hedges,
  * deadlines) live in an ordered queue keyed by (tick, operation id),
  * so processing order is deterministic.
+ *
+ * Two interchangeable state engines back the same protocol:
+ *
+ *  - The ordered-map engine (default, ClientTuning{}): std::map op
+ *    table, multimap wakeup queue, map version/acked sets — the PR-6
+ *    baseline the campaign's Direct transport measures against.
+ *  - The flat engine (ClientTuning with opWindow/keySpace > 0): a
+ *    power-of-two op-slot table indexed by operation id, a timing
+ *    wheel of per-tick wakeup buckets, and dense per-key version and
+ *    acked arrays — no ordered-container traffic and no steady-state
+ *    allocation on the serving hot path.
+ *
+ * The two engines are transition-identical: the wheel drains buckets
+ * in (tick, insertion-order), exactly the multimap's equal-key FIFO
+ * order, and the dense arrays iterate ascending keys exactly like the
+ * maps — which is why a campaign fingerprint (acked set + latency
+ * histogram included) is invariant across engines, and the fleet
+ * tests pin that.
  */
 
 #ifndef CITADEL_FLEET_CLIENT_H
@@ -30,6 +48,20 @@
 
 namespace citadel {
 namespace fleet {
+
+/**
+ * Flat-engine sizing. Both zero (default) selects the ordered-map
+ * engine; both positive selects the flat engine:
+ *  - opWindow: max span of live operation ids at any instant (ids are
+ *    dense, so arrivals/tick x op lifetime bounds it; exceeding the
+ *    window is fatal, never silent).
+ *  - keySpace: keys are in [0, keySpace) (dense version/acked arrays).
+ */
+struct ClientTuning
+{
+    u64 opWindow = 0;
+    u64 keySpace = 0;
+};
 
 class FleetClient
 {
@@ -49,7 +81,8 @@ class FleetClient
     };
 
     FleetClient(const RetryPolicy &policy, u32 replication,
-                u32 ackQuorum, u64 valueSalt);
+                u32 ackQuorum, u64 valueSalt,
+                const ClientTuning &tuning = {});
 
     /** Wire the client to the fleet. Must be called before use. */
     void connect(PlacementFn placement, SendFn send);
@@ -78,23 +111,49 @@ class FleetClient
     void finish() CITADEL_REQUIRES(kSerialPhase);
 
     /** Operations still in flight. */
-    std::size_t inflight() const { return ops_.size(); }
+    std::size_t inflight() const { return flat_ ? live_ : ops_.size(); }
 
     const FleetCounters &counters() const { return counters_; }
 
-    /** Every key's last acknowledged write — what the durability audit
-     *  checks against surviving replicas. */
+    /** Every key's last acknowledged write — ordered-map engine only
+     *  (the scripted retry tests use it); campaigns that may run the
+     *  flat engine iterate via forEachAcked(). */
     const std::map<u64, AckedWrite> &ackedWrites() const
-        CITADEL_REQUIRES(kSerialPhase)
+        CITADEL_REQUIRES(kSerialPhase);
+
+    /** Number of keys with an acknowledged write. */
+    u64 ackedCount() const { return ackedCount_; }
+
+    /** Visit (key, AckedWrite) in ascending key order — identical
+     *  sequence under both engines (what the durability audit walks). */
+    template <typename Fn>
+    void forEachAcked(Fn &&fn) const CITADEL_REQUIRES(kSerialPhase)
     {
-        return acked_;
+        if (flat_) {
+            for (u64 key = 0; key < ackedFlat_.size(); ++key)
+                if (ackedFlat_[key].version != 0)
+                    fn(key, ackedFlat_[key]);
+        } else {
+            for (const auto &[key, aw] : acked_)
+                fn(key, aw);
+        }
     }
+
+    /**
+     * Completion-latency histogram in virtual ticks: bucket d counts
+     * acked operations that completed d ticks after issue (the last
+     * bucket accumulates everything >= its index). Part of the
+     * fingerprint, so batching/transport changes that shifted a single
+     * completion tick would be caught.
+     */
+    const std::vector<u64> &latencyHist() const { return hist_; }
 
     /** The payload digest the client writes for (key, version); the
      *  audit recomputes it to verify replica integrity. */
     static u64 valueFor(u64 key, u64 version, u64 salt);
 
-    /** Fold the acked-write set into a fingerprint. */
+    /** Fold the acked-write set + latency histogram into a
+     *  fingerprint. */
     void serialize(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
 
   private:
@@ -104,6 +163,7 @@ class FleetClient
         u64 key = 0;
         u64 version = 0; ///< Writes only.
         u64 value = 0;   ///< Writes only.
+        u64 issuedAt = 0;
         u64 deadline = 0;
         u32 attempts = 0;   ///< Attempt rounds launched.
         u64 lastSentAt = 0; ///< When the current round was sent.
@@ -115,26 +175,56 @@ class FleetClient
         u32 acks = 0;
     };
 
+    /** One flat-engine op slot, generation-free: the live flag plus
+     *  the full id disambiguate (ids never repeat in a campaign). */
+    struct OpSlot
+    {
+        u64 id = 0;
+        bool live = false;
+        Op op;
+    };
+
+    Op &insertOp(u64 op_id, const Op &op);
+    Op *findOp(u64 op_id);
+    void eraseOp(u64 op_id);
+    u64 &nextVersionOf(u64 key);
+    void recordAck(u64 key, u64 version, u64 value);
+
     void sendRead(u64 op_id, Op &op, u64 now);
     void sendWrite(u64 op_id, Op &op, u64 now);
     void sendHedge(u64 op_id, Op &op);
     void beginBackoff(u64 op_id, Op &op, u64 now);
     void evaluate(u64 op_id, u64 now);
-    void complete(u64 op_id, Op &op, bool acked);
+    void complete(u64 op_id, Op &op, bool acked, u64 now);
     void wakeAt(u64 tick, u64 op_id);
 
     RetryPolicy policy_;
     u32 replication_;
     u32 ackQuorum_;
     u64 valueSalt_;
+    bool flat_;
 
     PlacementFn placementFn_;
     SendFn sendFn_;
 
+    // Ordered-map engine state.
     std::map<u64, Op> ops_;          ///< In-flight, by operation id.
     std::multimap<u64, u64> wake_;   ///< tick -> operation id.
     std::map<u64, u64> versions_;    ///< Per-key next-version counter.
     std::map<u64, AckedWrite> acked_;
+
+    // Flat engine state.
+    std::vector<OpSlot> slots_; ///< Power-of-two, indexed by id & mask.
+    u64 slotMask_ = 0;
+    std::size_t live_ = 0;
+    std::vector<std::vector<u64>> wheel_; ///< Per-tick wakeup buckets.
+    u64 wheelMask_ = 0;
+    u64 lastProcessed_ = ~0ull; ///< Last tick fully drained.
+    std::vector<u64> versionsFlat_;
+    std::vector<AckedWrite> ackedFlat_;
+
+    u64 ackedCount_ = 0;
+    std::vector<u64> hist_; ///< Acked completion latency (ticks).
     std::vector<ServerIdx> scratch_; ///< Placement resolution buffer.
 
     FleetCounters counters_;

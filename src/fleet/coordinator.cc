@@ -35,8 +35,28 @@ Coordinator::Coordinator(const CoordinatorOptions &opts, u32 replication,
 }
 
 void
+Coordinator::enablePlacementCache(u64 keySpace)
+{
+    if (keySpace == 0)
+        fatal("Coordinator: placement cache needs a positive key "
+              "space");
+    cacheStamp_.assign(keySpace, 0);
+    cache_.assign(keySpace, {});
+}
+
+void
 Coordinator::placement(u64 key, std::vector<ServerIdx> &out) const
 {
+    if (key < cacheStamp_.size()) {
+        if (cacheStamp_[key] == ringEpoch_) {
+            out = cache_[key];
+            return;
+        }
+        ring_.placement(key, replication_, out);
+        cache_[key] = out;
+        cacheStamp_[key] = ringEpoch_;
+        return;
+    }
     ring_.placement(key, replication_, out);
 }
 
@@ -56,6 +76,7 @@ Coordinator::evict(ServerIdx s, bool capacity, FleetCounters &counters)
     if (ring_.liveCount() <= 1)
         return;
     ring_.remove(s);
+    ++ringEpoch_; // Invalidate every cached placement lazily.
     fleet_[s]->fence();
     missed_[s] = 0;
     ++counters.failovers;
@@ -120,17 +141,16 @@ Coordinator::pumpRepair(u32 budget, FleetCounters &counters)
             haveLastKey_ = false;
             continue;
         }
-        const auto &kv = src.kv();
-        auto it = haveLastKey_ ? kv.upper_bound(lastKey_) : kv.begin();
-        if (it == kv.end()) {
+        // kvScan is the layout-agnostic ascending-key cursor (ordered
+        // map or dense array on the server side); the resume-from-
+        // lastKey_ semantics are exactly the old upper_bound walk.
+        u64 key = 0, version = 0, value = 0;
+        if (!src.kvScan(haveLastKey_, lastKey_, key, version, value)) {
             ++scanServer_;
             haveLastKey_ = false;
             continue;
         }
-        for (; it != kv.end() && left > 0; ++it) {
-            const u64 key = it->first;
-            const u64 version = it->second.first;
-            const u64 value = it->second.second;
+        while (left > 0) {
             lastKey_ = key;
             haveLastKey_ = true;
             --left;
@@ -142,6 +162,11 @@ Coordinator::pumpRepair(u32 budget, FleetCounters &counters)
                     fleet_[t]->applyReplica(key, version, value);
                     ++counters.repairPushes;
                 }
+            }
+            if (!src.kvScan(true, key, key, version, value)) {
+                ++scanServer_;
+                haveLastKey_ = false;
+                break;
             }
         }
     }

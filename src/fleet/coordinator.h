@@ -64,6 +64,16 @@ class Coordinator
     void placement(u64 key, std::vector<ServerIdx> &out) const
         CITADEL_REQUIRES(kSerialPhase);
 
+    /**
+     * Memoize placement for keys in [0, keySpace): a cached replica
+     * set is returned until the next ring change invalidates it
+     * (epoch stamp), so the per-request ring walk leaves the serving
+     * hot path. Pure memoization — results are identical with the
+     * cache on or off; the Direct-transport baseline leaves it off to
+     * stay an honest PR-6 measurement.
+     */
+    void enablePlacementCache(u64 keySpace);
+
     /** Serial-phase duties: probe round (on schedule), evictions, and
      *  the bounded re-replication pump. */
     void tick(u64 now, FleetCounters &counters)
@@ -102,6 +112,13 @@ class Coordinator
     ServerIdx scanServer_ = 0;
     bool haveLastKey_ = false;
     u64 lastKey_ = 0;
+
+    // Placement memo (enablePlacementCache): per-key replica sets
+    // stamped with the ring epoch of the walk that produced them; an
+    // eviction bumps the epoch and lazily invalidates everything.
+    u64 ringEpoch_ = 1;
+    mutable std::vector<u64> cacheStamp_;
+    mutable std::vector<std::vector<ServerIdx>> cache_;
 
     std::vector<ServerIdx> scratch_;
 };

@@ -1,5 +1,7 @@
 #include "fleet/fleet_sim.h"
 
+#include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/log.h"
@@ -21,18 +23,46 @@ scalePair(FitPair p, double s)
     return p;
 }
 
-/** Counter-hash coin on the top 53 bits (uniform in [0, 1)). */
+/** Unit double in [0, 1) from the top 53 bits of a counter hash. */
+double
+unit(u64 h)
+{
+    return static_cast<double>(h >> 11) * 0x1p-53;
+}
+
+/** Counter-hash coin. */
 bool
 coin(u64 h, double p)
 {
-    return static_cast<double>(h >> 11) * 0x1p-53 < p;
+    return unit(h) < p;
 }
 
-const FleetConfig &
-validated(const FleetConfig &cfg)
+/**
+ * Flat-engine sizing for the wire path: operation ids are dense, an
+ * op lives at most opDeadline+1 ticks (the deadline wakeup completes
+ * it), so the live id span is bounded by the peak arrival rate times
+ * the op lifetime. Direct mode returns {} — the ordered-map baseline.
+ */
+ClientTuning
+wireTuning(const FleetConfig &cfg)
 {
-    cfg.validate();
-    return cfg;
+    if (cfg.transport == TransportMode::Direct)
+        return {};
+    u64 maxRate = cfg.arrivalsPerTick;
+    if (!cfg.traffic.empty()) {
+        TrafficModel model;
+        std::string err;
+        if (!TrafficModel::parse(cfg.traffic, model, &err))
+            fatal("FleetConfig: bad traffic spec: %s", err.c_str());
+        maxRate = 0;
+        for (const TrafficPhase &phase : model.phases())
+            maxRate = std::max<u64>(
+                maxRate, u64(phase.rate) * phase.burstMult);
+    }
+    ClientTuning t;
+    t.opWindow = maxRate * (cfg.retry.opDeadline + 4) + 8;
+    t.keySpace = cfg.keySpace;
+    return t;
 }
 
 } // namespace
@@ -60,6 +90,14 @@ FleetConfig::validate() const
     if (responseDelay == 0)
         fatal("FleetConfig: responseDelay must be >= 1 (same-tick "
               "request/response cycles would be order-dependent)");
+    if (batch == 0 || batch > kMaxFrameRecords)
+        fatal("FleetConfig: batch must be in [1, %u]", kMaxFrameRecords);
+    if (!traffic.empty()) {
+        TrafficModel model;
+        std::string err;
+        if (!TrafficModel::parse(traffic, model, &err))
+            fatal("FleetConfig: traffic spec: %s", err.c_str());
+    }
     retry.validate();
     coord.validate();
     chaos.validate();
@@ -99,15 +137,36 @@ FleetResult::summary() const
        << " servers in service | audit: " << auditedWrites
        << " acked writes, " << lostAckedWrites << " lost, "
        << corruptAckedWrites << " corrupt | divergences " << divergences
-       << " | fingerprint " << std::hex << fingerprint << std::dec;
+       << " | latency p50/p99 " << p50LatencyTicks << "/"
+       << p99LatencyTicks << " ticks | fingerprint " << std::hex
+       << fingerprint << std::dec;
     return os.str();
 }
 
+FleetConfig
+FleetCampaign::normalized(const FleetConfig &cfg)
+{
+    cfg.validate();
+    FleetConfig out = cfg;
+    if (!out.traffic.empty()) {
+        TrafficModel model;
+        std::string err;
+        if (!TrafficModel::parse(out.traffic, model, &err))
+            fatal("FleetConfig: traffic spec: %s", err.c_str());
+        out.ticks = model.totalTicks();
+    }
+    // The wire path runs the dense server store; give every server the
+    // campaign's key space. Direct keeps the ordered-map baseline.
+    if (out.transport != TransportMode::Direct)
+        out.server.keySpace = out.keySpace;
+    return out;
+}
+
 FleetCampaign::FleetCampaign(const FleetConfig &cfg)
-    : cfg_(validated(cfg)),
+    : cfg_(normalized(cfg)),
       injector_(cfg_.chaos, cfg_.servers, cfg_.ticks, cfg_.seed),
       client_(cfg_.retry, cfg_.replication, cfg_.ackQuorum,
-              mix64(cfg_.seed ^ 0x5A17ull))
+              mix64(cfg_.seed ^ 0x5A17ull), wireTuning(cfg_))
 {
     fleet_.reserve(cfg_.servers);
     for (u32 s = 0; s < cfg_.servers; ++s)
@@ -116,6 +175,20 @@ FleetCampaign::FleetCampaign(const FleetConfig &cfg)
     coordinator_ = std::make_unique<Coordinator>(
         cfg_.coord, cfg_.replication, mix64(cfg_.seed ^ 0x419Cull),
         fleet_);
+    if (!cfg_.traffic.empty()) {
+        std::string err;
+        if (!TrafficModel::parse(cfg_.traffic, traffic_, &err))
+            fatal("FleetCampaign: traffic spec: %s", err.c_str());
+        traffic_.prepare(cfg_.keySpace);
+    }
+    if (wire()) {
+        transport_ = makeTransport(cfg_.transport, cfg_.servers);
+        shards_ = std::make_unique<SubmissionShards>(cfg_.servers);
+        respWheel_.resize(std::bit_ceil(cfg_.responseDelay + 2));
+        respWheelMask_ = respWheel_.size() - 1;
+        seqScratch_.resize(cfg_.servers);
+        coordinator_->enablePlacementCache(cfg_.keySpace);
+    }
     // The analysis cannot propagate capabilities through the
     // type-erased std::function boundary, so each callback restates
     // its contract: it is only ever invoked from the client, which is
@@ -159,20 +232,138 @@ FleetCampaign::sendToServer(const Request &r, ServerIdx s)
         copies = 2;
     }
     for (u32 i = 0; i < copies; ++i) {
-        StackServer &srv = *fleet_[s];
-        if (!srv.dataReadable())
-            return; // Crashed: silence; the attempt timeout covers it.
-        if (!srv.enqueue(r)) {
-            // Fenced or full queue: the process is alive and says so.
-            Response resp;
-            resp.op = r.op;
-            resp.attempt = r.attempt;
-            resp.replica = r.replica;
-            resp.status = Status::Busy;
-            resp.from = s;
-            pending_.emplace(tick_ + cfg_.responseDelay, resp);
+        if (wire()) {
+            // Queue into the per-server submission shard; flushShards
+            // frames and ships whole batches after arrivals. Shard
+            // insertion order equals Direct's send order, so the two
+            // paths deliver identically.
+            shards_->add(s, r);
+            continue;
         }
+        deliverRequest(r, s, tick_);
     }
+}
+
+void
+FleetCampaign::deliverRequest(const Request &r, ServerIdx s, u64 tick)
+{
+    StackServer &srv = *fleet_[s];
+    if (!srv.dataReadable())
+        return; // Crashed: silence; the attempt timeout covers it.
+    if (!srv.enqueue(r)) {
+        // Fenced or full queue: the process is alive and says so.
+        Response resp;
+        resp.op = r.op;
+        resp.attempt = r.attempt;
+        resp.replica = r.replica;
+        resp.status = Status::Busy;
+        resp.from = s;
+        pushResponse(tick + cfg_.responseDelay, resp);
+    }
+}
+
+void
+FleetCampaign::pushResponse(u64 due, const Response &r)
+{
+    if (!wire()) {
+        pending_.emplace(due, r);
+        return;
+    }
+    if (due <= tick_ || due - tick_ >= respWheel_.size())
+        panic("FleetCampaign: response due %llu outside the wheel at "
+              "tick %llu",
+              static_cast<unsigned long long>(due),
+              static_cast<unsigned long long>(tick_));
+    respWheel_[due & respWheelMask_].push_back(r);
+    ++respWheelCount_;
+}
+
+std::size_t
+FleetCampaign::pendingCount() const
+{
+    return wire() ? respWheelCount_ : pending_.size();
+}
+
+void
+FleetCampaign::flushShards(u64 tick)
+{
+    if (!wire())
+        return;
+    // Encode and ship every shard as length-prefixed request frames,
+    // remembering each record's global submission sequence (frames
+    // preserve drain order, so the server's i-th decoded record is the
+    // shard's i-th slot).
+    for (u32 s = 0; s < cfg_.servers; ++s) {
+        seqScratch_[s].clear();
+        if (shards_->count(s) == 0)
+            continue;
+        reqWriter_.beginRequestFrame();
+        shards_->drain(s, [&](const Request &r, u32 seq) {
+            assertRoleHeld(kSerialPhase);
+            reqWriter_.add(r);
+            seqScratch_[s].push_back(seq);
+            if (reqWriter_.count() == cfg_.batch) {
+                transport_->sendToServer(s, reqWriter_.finish());
+                reqWriter_.beginRequestFrame();
+            }
+        });
+        if (reqWriter_.count() > 0)
+            transport_->sendToServer(s, reqWriter_.finish());
+    }
+    shards_->nextGeneration();
+    transport_->poll();
+    // Deliver into the server inboxes. Queue-full Busy rejections are
+    // synthesized here and never travel on the wire; they are pushed
+    // into the response wheel in global submission order — exactly the
+    // per-request order the Direct baseline emits them in, so the
+    // client observes an identical Busy sequence (and all of them
+    // before this tick's server responses).
+    busyScratch_.clear();
+    for (u32 s = 0; s < cfg_.servers; ++s) {
+        RxStream &rx = transport_->serverRx(s);
+        std::size_t recordIdx = 0;
+        while (!rx.pending().empty()) {
+            FrameView view;
+            std::size_t consumed = 0;
+            const DecodeStatus st =
+                decodeFrame(rx.pending(), view, &consumed);
+            if (st != DecodeStatus::Ok)
+                fatal("FleetCampaign: request frame for server %u "
+                      "failed to decode: %s",
+                      s, decodeStatusName(st));
+            if (view.kind() != FrameKind::RequestBatch)
+                fatal("FleetCampaign: response frame on the server rx "
+                      "path");
+            StackServer &srv = *fleet_[s];
+            for (u32 i = 0; i < view.count(); ++i, ++recordIdx) {
+                const Request r = view.requestAt(i);
+                if (!srv.dataReadable())
+                    continue; // Crashed: the attempt timeout covers it.
+                if (srv.enqueue(r))
+                    continue;
+                Response resp;
+                resp.op = r.op;
+                resp.attempt = r.attempt;
+                resp.replica = r.replica;
+                resp.status = Status::Busy;
+                resp.from = s;
+                busyScratch_.emplace_back(seqScratch_[s][recordIdx],
+                                          resp);
+            }
+            rx.consume(consumed);
+        }
+        if (recordIdx != seqScratch_[s].size())
+            panic("FleetCampaign: server %u decoded %zu records but "
+                  "%zu were framed",
+                  s, recordIdx, seqScratch_[s].size());
+        rx.compact();
+    }
+    std::sort(busyScratch_.begin(), busyScratch_.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[seq, resp] : busyScratch_)
+        pushResponse(tick + cfg_.responseDelay, resp);
 }
 
 void
@@ -208,6 +399,17 @@ FleetCampaign::applyChaos(u64 tick, FleetCounters &c)
 void
 FleetCampaign::deliverDue(u64 tick)
 {
+    if (wire()) {
+        // Bucket drain is FIFO, and onResponse never schedules into
+        // the wheel (retries go to the shards), so the bucket is
+        // stable during the loop.
+        auto &bucket = respWheel_[tick & respWheelMask_];
+        for (std::size_t i = 0; i < bucket.size(); ++i)
+            client_.onResponse(bucket[i], tick);
+        respWheelCount_ -= bucket.size();
+        bucket.clear();
+        return;
+    }
     while (!pending_.empty() && pending_.begin()->first <= tick) {
         const Response resp = pending_.begin()->second;
         pending_.erase(pending_.begin());
@@ -218,6 +420,27 @@ FleetCampaign::deliverDue(u64 tick)
 void
 FleetCampaign::arrivals(u64 tick)
 {
+    if (traffic_.active()) {
+        // Trace replay: the phase schedule drives rate, skew, write
+        // mix, and bursts; ids stay dense counters and every per-op
+        // choice is a counter hash, so the trace is bit-identical for
+        // any thread count, transport, or batch size.
+        const u32 n = traffic_.arrivalsAt(tick);
+        const double wf = traffic_.writeFractionAt(tick);
+        for (u32 i = 0; i < n; ++i) {
+            const u64 op = ++nextOp_;
+            const u64 kh = mix64(cfg_.seed ^ 0x7A5Cull ^
+                                 op * 0x9E3779B97F4A7C15ull);
+            const u64 key = traffic_.keyAt(tick, unit(kh));
+            const u64 wcoin = mix64(cfg_.seed ^ 0x3217Eull ^
+                                    op * 0xBF58476D1CE4E5B9ull);
+            if (coin(wcoin, wf))
+                client_.startWrite(op, key, tick);
+            else
+                client_.startRead(op, key, tick);
+        }
+        return;
+    }
     for (u32 i = 0; i < cfg_.arrivalsPerTick; ++i) {
         // Operation ids are dense counters; every per-op random choice
         // (user, key, kind) is a hash of the id, never an RNG draw.
@@ -240,6 +463,49 @@ FleetCampaign::arrivals(u64 tick)
 void
 FleetCampaign::collectOutboxes(u64 tick)
 {
+    if (wire()) {
+        // Frame each server's outbox and ship it back over the same
+        // transport, then deliver in server-index order — identical to
+        // Direct's multimap insertion order.
+        for (u32 s = 0; s < cfg_.servers; ++s) {
+            const auto &out = fleet_[s]->outbox();
+            if (out.empty())
+                continue;
+            respWriter_.beginResponseFrame();
+            for (const Response &r : out) {
+                respWriter_.add(r);
+                if (respWriter_.count() == cfg_.batch) {
+                    transport_->sendToClient(s, respWriter_.finish());
+                    respWriter_.beginResponseFrame();
+                }
+            }
+            if (respWriter_.count() > 0)
+                transport_->sendToClient(s, respWriter_.finish());
+        }
+        transport_->poll();
+        for (u32 s = 0; s < cfg_.servers; ++s) {
+            RxStream &rx = transport_->clientRx(s);
+            while (!rx.pending().empty()) {
+                FrameView view;
+                std::size_t consumed = 0;
+                const DecodeStatus st =
+                    decodeFrame(rx.pending(), view, &consumed);
+                if (st != DecodeStatus::Ok)
+                    fatal("FleetCampaign: response frame from server "
+                          "%u failed to decode: %s",
+                          s, decodeStatusName(st));
+                if (view.kind() != FrameKind::ResponseBatch)
+                    fatal("FleetCampaign: request frame on the client "
+                          "rx path");
+                for (u32 i = 0; i < view.count(); ++i)
+                    pushResponse(tick + cfg_.responseDelay,
+                                 view.responseAt(i));
+                rx.consume(consumed);
+            }
+            rx.compact();
+        }
+        return;
+    }
     for (u32 s = 0; s < cfg_.servers; ++s)
         for (const Response &r : fleet_[s]->outbox())
             pending_.emplace(tick + cfg_.responseDelay, r);
@@ -277,6 +543,11 @@ FleetCampaign::run()
             deliverDue(tick_);
             client_.tick(tick_);
             arrivals(tick_);
+            // Wire path: ship every queued request before the
+            // coordinator probes — a fence must clear the server's
+            // inbox only after this tick's sends landed, matching
+            // Direct's delivery point.
+            flushShards(tick_);
             coordinator_->tick(tick_, loopCounters_);
         }
         // Parallel phase: per-server state only; the role is dropped,
@@ -293,14 +564,14 @@ FleetCampaign::run()
     // resolved (the op deadline bounds this) and the wire is empty.
     const u64 settle_limit =
         cfg_.ticks + cfg_.retry.opDeadline + cfg_.responseDelay + 2;
-    for (tick_ = cfg_.ticks;
-         tick_ < settle_limit &&
-         (client_.inflight() > 0 || !pending_.empty());
-         ++tick_) {
+    for (tick_ = cfg_.ticks; tick_ < settle_limit; ++tick_) {
         {
             ThreadRoleGrant serial(kSerialPhase);
+            if (client_.inflight() == 0 && pendingCount() == 0)
+                break;
             deliverDue(tick_);
             client_.tick(tick_);
+            flushShards(tick_);
             coordinator_->tick(tick_, loopCounters_);
         }
         step_servers();
@@ -341,7 +612,8 @@ FleetCampaign::audit(FleetCounters totals)
     // Durability: every acknowledged write must be readable, at its
     // acked version or newer, from some in-service server — and an
     // equal-version copy must carry the exact digest the client wrote.
-    for (const auto &[key, aw] : client_.ackedWrites()) {
+    client_.forEachAcked([&](u64 key, const FleetClient::AckedWrite &aw) {
+        assertRoleHeld(kSerialPhase);
         ++res.auditedWrites;
         bool ok = false;
         bool mismatch = false;
@@ -364,6 +636,27 @@ FleetCampaign::audit(FleetCounters totals)
             else
                 ++res.lostAckedWrites;
         }
+    });
+
+    // Acked-completion latency percentiles from the client histogram.
+    const std::vector<u64> &hist = client_.latencyHist();
+    u64 totalAcked = 0;
+    for (const u64 b : hist)
+        totalAcked += b;
+    if (totalAcked > 0) {
+        u64 cum = 0;
+        bool got50 = false;
+        for (u64 d = 0; d < hist.size(); ++d) {
+            cum += hist[d];
+            if (!got50 && cum * 2 >= totalAcked) {
+                res.p50LatencyTicks = d;
+                got50 = true;
+            }
+            if (cum * 100 >= totalAcked * 99) {
+                res.p99LatencyTicks = d;
+                break;
+            }
+        }
     }
 
     res.servers.reserve(cfg_.servers);
@@ -375,7 +668,7 @@ FleetCampaign::audit(FleetCounters totals)
         rep.rejected = srv.stats().rejected;
         rep.dueReads = srv.stats().dueReads;
         rep.corrected = srv.stats().corrected;
-        rep.kvKeys = srv.kv().size();
+        rep.kvKeys = srv.kvCount();
         rep.divergences = srv.datapath().counters().divergences;
         rep.serviceUnits = srv.serviceUnitsPerTick();
         rep.capacityFraction = srv.state() == ServerState::Crashed

@@ -36,12 +36,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fleet/chaos.h"
 #include "fleet/client.h"
 #include "fleet/coordinator.h"
 #include "fleet/stack_server.h"
+#include "fleet/traffic.h"
+#include "fleet/wire.h"
 
 namespace citadel {
 namespace fleet {
@@ -58,6 +61,14 @@ struct FleetConfig
     u32 arrivalsPerTick = 4;
     double writeFraction = 0.5;
 
+    /**
+     * Trace-replay spec (fleet/traffic.h grammar); empty replays the
+     * uniform arrivals above. A non-empty spec overrides `ticks` with
+     * the trace's total length and drives per-tick rate, zipfian key
+     * skew, write mix, and bursts.
+     */
+    std::string traffic;
+
     /** Replication and ack discipline. */
     u32 replication = 2;
     u32 ackQuorum = 2; ///< <= replication; 2 makes crashes survivable.
@@ -65,6 +76,19 @@ struct FleetConfig
     /** Ticks between a server producing a response and the client
      *  seeing it (>= 1: no same-tick request/response cycles). */
     u64 responseDelay = 1;
+
+    /**
+     * How requests and responses travel. Loopback (default) and
+     * Socket run the framed wire path with batching, flat client/
+     * server state engines and the coordinator's placement cache;
+     * Direct is the per-request PR-6 handoff kept as the measured
+     * unbatched baseline. All three produce the same fingerprint on
+     * the same config — the load driver's grid enforces it.
+     */
+    TransportMode transport = TransportMode::Loopback;
+
+    /** Max records per wire frame, in [1, kMaxFrameRecords]. */
+    u32 batch = 32;
 
     RetryPolicy retry;
     CoordinatorOptions coord;
@@ -109,9 +133,15 @@ struct FleetResult
     u64 corruptAckedWrites = 0;///< Audit digest mismatches.
     u64 auditedWrites = 0;     ///< Keys the audit checked.
 
-    /** Order-independent digest of totals, ring, acked set, and every
-     *  server's (kv + device) state: equal fingerprints mean equal
-     *  campaigns, whatever the thread count. */
+    /** Acked-completion latency percentiles in virtual ticks (from
+     *  the client's latency histogram; 0 when nothing acked). */
+    u64 p50LatencyTicks = 0;
+    u64 p99LatencyTicks = 0;
+
+    /** Order-independent digest of totals, ring, acked set + latency
+     *  histogram, and every server's (kv + device) state: equal
+     *  fingerprints mean equal campaigns, whatever the thread count,
+     *  transport, or batch size. */
     u64 fingerprint = 0;
 
     std::string summary() const;
@@ -154,19 +184,52 @@ class FleetCampaign
     void collectOutboxes(u64 tick) CITADEL_REQUIRES(kSerialPhase);
     void sendToServer(const Request &r, ServerIdx s)
         CITADEL_REQUIRES(kSerialPhase);
+    void deliverRequest(const Request &r, ServerIdx s, u64 tick)
+        CITADEL_REQUIRES(kSerialPhase);
+    void flushShards(u64 tick) CITADEL_REQUIRES(kSerialPhase);
+    void pushResponse(u64 due, const Response &r)
+        CITADEL_REQUIRES(kSerialPhase);
+    std::size_t pendingCount() const CITADEL_REQUIRES(kSerialPhase);
     FleetResult audit(FleetCounters totals)
         CITADEL_REQUIRES(kSerialPhase);
+
+    bool wire() const { return cfg_.transport != TransportMode::Direct; }
+
+    static FleetConfig normalized(const FleetConfig &cfg);
 
     FleetConfig cfg_;
     FleetFaultInjector injector_;
     std::vector<std::unique_ptr<StackServer>> fleet_;
     std::unique_ptr<Coordinator> coordinator_;
     FleetClient client_;
+    TrafficModel traffic_; ///< Active iff cfg_.traffic is non-empty.
 
     u64 tick_ = 0;
+    u64 nextOp_ = 0; ///< Trace-mode dense operation-id counter.
     std::size_t nextEvent_ = 0;
-    /** In-flight responses: delivery tick -> response, FIFO per tick. */
+    /** Direct mode in-flight responses: delivery tick -> response,
+     *  FIFO per tick. */
     std::multimap<u64, Response> pending_;
+
+    // Wire-path state (Loopback/Socket transports only): the framed
+    // batching pipeline and its allocation-free delivery structures.
+    std::unique_ptr<Transport> transport_;
+    std::unique_ptr<SubmissionShards> shards_;
+    FrameWriter reqWriter_;
+    FrameWriter respWriter_;
+    /** Response timing wheel: bucket (due & mask), FIFO per bucket —
+     *  the multimap's (tick, insertion-order) delivery, flat. */
+    std::vector<std::vector<Response>> respWheel_;
+    u64 respWheelMask_ = 0;
+    std::size_t respWheelCount_ = 0;
+    /** Per-server submission sequences for the in-flight generation:
+     *  maps decoded record index back to global send order. */
+    std::vector<std::vector<u32>> seqScratch_;
+    /** Queue-full Busy synths collected during a flush, sorted by
+     *  submission sequence before entering the wheel so the client
+     *  sees them in Direct's exact per-request order. */
+    std::vector<std::pair<u32, Response>> busyScratch_;
+
     FleetCounters loopCounters_; ///< Chaos + network accounting.
     bool ran_ = false;
 };

@@ -37,6 +37,9 @@ StackServer::StackServer(ServerIdx index, const ServerConfig &cfg,
     : index_(index), cfg_(cfg), serviceUnits_(cfg.defaultServiceUnits)
 {
     cfg_.validate();
+    inbox_.resize(cfg_.queueCap);
+    if (cfg_.keySpace > 0)
+        kvFlat_.assign(cfg_.keySpace, {0, 0});
     LiveRasOptions opts = cfg_.ras;
     opts.seed = seed ^ (kServerSeedMix * (index + 1));
     dp_ = std::make_unique<LiveRasDatapath>(cfg_.sim, opts);
@@ -116,11 +119,12 @@ StackServer::enqueue(const Request &r)
 {
     if (!serving())
         return false;
-    if (inbox_.size() >= cfg_.queueCap) {
+    if (inboxCount_ >= cfg_.queueCap) {
         ++stats_.rejected;
         return false;
     }
-    inbox_.push_back(r);
+    inbox_[(inboxHead_ + inboxCount_) % cfg_.queueCap] = r;
+    ++inboxCount_;
     return true;
 }
 
@@ -128,7 +132,8 @@ void
 StackServer::crash()
 {
     state_ = ServerState::Crashed;
-    inbox_.clear();
+    inboxHead_ = 0;
+    inboxCount_ = 0;
     outbox_.clear();
 }
 
@@ -157,7 +162,8 @@ StackServer::fence()
     if (state_ == ServerState::Crashed)
         return;
     state_ = ServerState::Fenced;
-    inbox_.clear();
+    inboxHead_ = 0;
+    inboxCount_ = 0;
 }
 
 void
@@ -169,9 +175,26 @@ StackServer::applyReplica(u64 key, u64 version, u64 value)
 void
 StackServer::storeLocal(u64 key, u64 version, u64 value)
 {
-    auto &entry = kv_[key];
-    if (version > entry.first)
-        entry = {version, value};
+    if (version == 0)
+        return; // Version 0 encodes "absent": nothing to merge.
+    if (!kvFlat_.empty()) {
+        if (key >= kvFlat_.size())
+            fatal("StackServer: key %llu outside the declared key "
+                  "space (%zu)",
+                  static_cast<unsigned long long>(key),
+                  kvFlat_.size());
+        auto &entry = kvFlat_[key];
+        if (entry.first == 0)
+            ++kvCount_;
+        if (version > entry.first)
+            entry = {version, value};
+        return;
+    }
+    auto [it, inserted] = kv_.try_emplace(key, 0, 0);
+    if (inserted)
+        ++kvCount_;
+    if (version > it->second.first)
+        it->second = {version, value};
 }
 
 bool
@@ -191,8 +214,36 @@ StackServer::lookup(u64 key) const
 std::pair<u64, u64>
 StackServer::lookupLocal(u64 key) const
 {
+    if (!kvFlat_.empty())
+        return key < kvFlat_.size() ? kvFlat_[key]
+                                    : std::pair<u64, u64>{0, 0};
     auto it = kv_.find(key);
     return it == kv_.end() ? std::pair<u64, u64>{0, 0} : it->second;
+}
+
+bool
+StackServer::kvScan(bool have, u64 from, u64 &key, u64 &version,
+                    u64 &value) const
+{
+    if (!kvFlat_.empty()) {
+        u64 k = have ? from + 1 : 0;
+        for (; k < kvFlat_.size(); ++k) {
+            if (kvFlat_[k].first != 0) {
+                key = k;
+                version = kvFlat_[k].first;
+                value = kvFlat_[k].second;
+                return true;
+            }
+        }
+        return false;
+    }
+    auto it = have ? kv_.upper_bound(from) : kv_.begin();
+    if (it == kv_.end())
+        return false;
+    key = it->first;
+    version = it->second.first;
+    value = it->second.second;
+    return true;
 }
 
 RasHealthSignals
@@ -273,9 +324,10 @@ StackServer::step(u64 tick)
     dp_->tick(cycle);
 
     u64 budget = std::max<u32>(1, serviceUnits_ / slowDivisor_);
-    while (budget > 0 && !inbox_.empty()) {
-        const Request r = inbox_.front();
-        inbox_.pop_front();
+    while (budget > 0 && inboxCount_ > 0) {
+        const Request r = inbox_[inboxHead_];
+        inboxHead_ = (inboxHead_ + 1) % cfg_.queueCap;
+        --inboxCount_;
         const u64 before = stats_.unitsSpent;
         outbox_.push_back(serve(r, cycle));
         ++stats_.served;
@@ -293,11 +345,21 @@ StackServer::serialize(ByteSink &sink) const
     sink.putU64(stats_.rejected);
     sink.putU64(stats_.dueReads);
     sink.putU64(stats_.corrected);
-    sink.putU64(kv_.size());
-    for (const auto &[key, vv] : kv_) {
-        sink.putU64(key);
-        sink.putU64(vv.first);
-        sink.putU64(vv.second);
+    sink.putU64(kvCount_);
+    if (!kvFlat_.empty()) {
+        for (u64 key = 0; key < kvFlat_.size(); ++key) {
+            if (kvFlat_[key].first == 0)
+                continue;
+            sink.putU64(key);
+            sink.putU64(kvFlat_[key].first);
+            sink.putU64(kvFlat_[key].second);
+        }
+    } else {
+        for (const auto &[key, vv] : kv_) {
+            sink.putU64(key);
+            sink.putU64(vv.first);
+            sink.putU64(vv.second);
+        }
     }
     // Crashed devices are unreachable; their state is not part of the
     // surviving-service fingerprint.

@@ -26,7 +26,6 @@
 #ifndef CITADEL_FLEET_STACK_SERVER_H
 #define CITADEL_FLEET_STACK_SERVER_H
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -72,6 +71,12 @@ struct ServerConfig
 
     /** Service units per tick when calibration is off. */
     u32 defaultServiceUnits = 16;
+
+    /** KV store sizing: 0 keeps the ordered-map store (any u64 key);
+     *  > 0 switches to dense per-key arrays over [0, keySpace) — the
+     *  serving hot path the wire transports run on. A key outside the
+     *  declared space is fatal, never silently dropped. */
+    u64 keySpace = 0;
 
     void validate() const;
 };
@@ -138,11 +143,22 @@ class StackServer
 
     ServerState state() const { return state_; }
     const ServerStats &stats() const { return stats_; }
-    const std::map<u64, std::pair<u64, u64>> &kv() const
-        CITADEL_REQUIRES(kSerialPhase)
+
+    /** Keys this server holds a replica of. */
+    u64 kvCount() const CITADEL_REQUIRES(kSerialPhase)
     {
-        return kv_;
+        return kvCount_;
     }
+
+    /**
+     * Resumable ascending-key scan over the KV store — the uniform
+     * cursor the coordinator's repair pump walks under either store
+     * layout. With have=false, yields the smallest key; with
+     * have=true, the smallest key > `from`. Returns false when the
+     * scan is exhausted.
+     */
+    bool kvScan(bool have, u64 from, u64 &key, u64 &version,
+                u64 &value) const CITADEL_REQUIRES(kSerialPhase);
 
     /** Newest (version, value) of a key, or (0, 0). */
     std::pair<u64, u64> lookup(u64 key) const
@@ -200,9 +216,21 @@ class StackServer
     u64 baseCycle_ = 0; ///< Datapath cycles consumed by calibration.
     u64 lastCycle_ = 0; ///< Monotonic tick guard for the datapath.
 
-    std::deque<Request> inbox_;
+    // Bounded inbox as a flat ring (fixed queueCap-sized vector):
+    // byte-identical FIFO semantics to the former std::deque with no
+    // block allocation on the serving hot path.
+    std::vector<Request> inbox_;
+    u32 inboxHead_ = 0;
+    u32 inboxCount_ = 0;
     std::vector<Response> outbox_;
+
+    // KV store, one of two layouts (ServerConfig::keySpace): the
+    // ordered map accepts any u64 key; the dense arrays trade that for
+    // O(1) allocation-free lookups. kvCount_/ascending iteration are
+    // identical under both, so fingerprints don't see the layout.
     std::map<u64, std::pair<u64, u64>> kv_; ///< key -> (version, value).
+    std::vector<std::pair<u64, u64>> kvFlat_; ///< version 0 = absent.
+    u64 kvCount_ = 0;
     ServerStats stats_;
 };
 

@@ -1,0 +1,215 @@
+#include "fleet/traffic.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace citadel {
+namespace fleet {
+
+namespace {
+
+bool parseU64(std::string_view text, u64 &out)
+{
+    if (text.empty())
+        return false;
+    const char *first = text.data();
+    const char *last = first + text.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+bool parseDouble(std::string_view text, double &out)
+{
+    if (text.empty())
+        return false;
+    // std::from_chars<double> is still spotty across libstdc++
+    // versions; strtod with a NUL-terminated copy is portable and this
+    // runs once at startup.
+    const std::string copy(text);
+    char *end = nullptr;
+    out = std::strtod(copy.c_str(), &end);
+    return end == copy.c_str() + copy.size();
+}
+
+bool fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+TrafficModel::parse(std::string_view spec, TrafficModel &out,
+                    std::string *error)
+{
+    if (spec.empty())
+        return fail(error, "empty trace spec");
+
+    std::vector<TrafficPhase> phases;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t semi = spec.find(';', pos);
+        const std::string_view phaseText = spec.substr(
+            pos, semi == std::string_view::npos ? std::string_view::npos
+                                                : semi - pos);
+        pos = semi == std::string_view::npos ? spec.size() + 1
+                                             : semi + 1;
+        if (phaseText.empty())
+            return fail(error, "empty phase in trace spec");
+
+        TrafficPhase phase;
+        bool sawTicks = false;
+        std::size_t p = 0;
+        while (p <= phaseText.size()) {
+            const std::size_t comma = phaseText.find(',', p);
+            const std::string_view kv = phaseText.substr(
+                p, comma == std::string_view::npos
+                       ? std::string_view::npos
+                       : comma - p);
+            p = comma == std::string_view::npos ? phaseText.size() + 1
+                                                : comma + 1;
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string_view::npos)
+                return fail(error, "expected key=value, got '" +
+                                       std::string(kv) + "'");
+            const std::string_view key = kv.substr(0, eq);
+            const std::string_view val = kv.substr(eq + 1);
+            u64 n = 0;
+            double d = 0.0;
+            if (key == "ticks") {
+                if (!parseU64(val, n) || n < 1 || n > 100000000)
+                    return fail(error,
+                                "ticks must be an integer in "
+                                "[1, 1e8], got '" +
+                                    std::string(val) + "'");
+                phase.ticks = n;
+                sawTicks = true;
+            } else if (key == "rate") {
+                if (!parseU64(val, n) || n > 4096)
+                    return fail(error,
+                                "rate must be an integer in "
+                                "[0, 4096], got '" +
+                                    std::string(val) + "'");
+                phase.rate = static_cast<u32>(n);
+            } else if (key == "write") {
+                if (!parseDouble(val, d) || !(d >= 0.0 && d <= 1.0))
+                    return fail(error,
+                                "write must be in [0, 1], got '" +
+                                    std::string(val) + "'");
+                phase.writeFraction = d;
+            } else if (key == "zipf") {
+                if (!parseDouble(val, d) || !(d >= 0.0 && d <= 4.0))
+                    return fail(error,
+                                "zipf must be in [0, 4], got '" +
+                                    std::string(val) + "'");
+                phase.zipfTheta = d;
+            } else if (key == "burst") {
+                if (!parseU64(val, n) || n < 1 || n > 64)
+                    return fail(error,
+                                "burst must be an integer in "
+                                "[1, 64], got '" +
+                                    std::string(val) + "'");
+                phase.burstMult = static_cast<u32>(n);
+            } else if (key == "every") {
+                if (!parseU64(val, n))
+                    return fail(error, "every must be an integer, "
+                                       "got '" +
+                                           std::string(val) + "'");
+                phase.burstEvery = n;
+            } else if (key == "len") {
+                if (!parseU64(val, n))
+                    return fail(error, "len must be an integer, got '" +
+                                           std::string(val) + "'");
+                phase.burstLen = n;
+            } else {
+                return fail(error, "unknown trace key '" +
+                                       std::string(key) + "'");
+            }
+        }
+        if (!sawTicks)
+            return fail(error, "phase missing required ticks=");
+        if (phase.burstMult > 1 &&
+            (phase.burstEvery == 0 || phase.burstLen == 0))
+            return fail(error,
+                        "burst > 1 requires every= and len= > 0");
+        if (phase.burstEvery > 0 &&
+            (phase.burstLen == 0 || phase.burstLen > phase.burstEvery))
+            return fail(error, "len must be in [1, every]");
+        phases.push_back(phase);
+    }
+
+    out.phases_ = std::move(phases);
+    out.phaseStart_.clear();
+    out.zipf_.clear();
+    out.totalTicks_ = 0;
+    out.keySpace_ = 0;
+    for (const TrafficPhase &phase : out.phases_) {
+        out.phaseStart_.push_back(out.totalTicks_);
+        out.totalTicks_ += phase.ticks;
+    }
+    return true;
+}
+
+void
+TrafficModel::prepare(u64 keySpace)
+{
+    if (phases_.empty())
+        panic("TrafficModel::prepare on an empty model");
+    if (keySpace == 0)
+        fatal("TrafficModel: key space must be positive");
+    keySpace_ = keySpace;
+    zipf_.clear();
+    zipf_.reserve(phases_.size());
+    for (const TrafficPhase &phase : phases_)
+        zipf_.emplace_back(keySpace, phase.zipfTheta);
+}
+
+std::size_t
+TrafficModel::phaseAt(u64 tick) const
+{
+    if (tick >= totalTicks_)
+        panic("TrafficModel::phaseAt(%llu) past end (%llu)",
+              static_cast<unsigned long long>(tick),
+              static_cast<unsigned long long>(totalTicks_));
+    // Phase count is tiny (a handful); a linear scan is cache-friendly
+    // and branch-predictable for the monotone tick sequence.
+    std::size_t i = phases_.size() - 1;
+    while (i > 0 && phaseStart_[i] > tick)
+        --i;
+    return i;
+}
+
+u32
+TrafficModel::arrivalsAt(u64 tick) const
+{
+    const std::size_t i = phaseAt(tick);
+    const TrafficPhase &phase = phases_[i];
+    u32 rate = phase.rate;
+    if (phase.burstEvery > 0) {
+        const u64 rel = tick - phaseStart_[i];
+        if (rel % phase.burstEvery < phase.burstLen)
+            rate *= phase.burstMult;
+    }
+    return rate;
+}
+
+double
+TrafficModel::writeFractionAt(u64 tick) const
+{
+    return phases_[phaseAt(tick)].writeFraction;
+}
+
+u64
+TrafficModel::keyAt(u64 tick, double u) const
+{
+    if (zipf_.empty())
+        panic("TrafficModel::keyAt before prepare()");
+    return zipf_[phaseAt(tick)].rank(u);
+}
+
+} // namespace fleet
+} // namespace citadel

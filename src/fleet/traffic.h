@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace-replay traffic model for the fleet load driver: a compact
+ * grammar describing phases of zipfian key popularity, read/write mix
+ * and periodic arrival bursts, replayed counter-seeded so the offered
+ * load is bit-identical for any thread count.
+ *
+ * Grammar (CITADEL_FLEET_TRACE): semicolon-separated phases, each a
+ * comma-separated list of key=value pairs —
+ *
+ *     ticks=<n>   phase length in virtual ticks        (required, >=1)
+ *     rate=<n>    base arrivals per tick               [0, 4096] (4)
+ *     write=<f>   write fraction                       [0, 1]    (0.5)
+ *     zipf=<t>    zipfian theta over the key space     [0, 4]    (0)
+ *     burst=<m>   arrival multiplier inside a burst    [1, 64]   (1)
+ *     every=<n>   burst period in ticks                (0 = none)
+ *     len=<n>     burst length, must be <= every
+ *
+ * Example — a hot-skewed steady phase then a read-mostly phase with
+ * 8x bursts every 256 ticks:
+ *
+ *     ticks=4096,rate=32,write=0.5,zipf=0.9;
+ *     ticks=1024,rate=8,write=0.2,burst=8,every=256,len=32
+ *
+ * Keys are zipf ranks: rank r IS key r, so rank 0 is the hottest key
+ * of the campaign key space in every phase (phases change how skewed
+ * the popularity is, not which keys exist). Sampling consumes unit
+ * doubles derived from mix64 counter hashes — the model holds no
+ * generator state, so replay order cannot perturb it.
+ */
+
+#ifndef CITADEL_FLEET_TRAFFIC_H
+#define CITADEL_FLEET_TRAFFIC_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace citadel {
+namespace fleet {
+
+/** One phase of the replayed trace. */
+struct TrafficPhase
+{
+    u64 ticks = 0;             ///< Phase length (virtual ticks).
+    u32 rate = 4;              ///< Base arrivals per tick.
+    double writeFraction = 0.5;
+    double zipfTheta = 0.0;    ///< 0 = uniform key popularity.
+    u32 burstMult = 1;         ///< Arrival multiplier during bursts.
+    u64 burstEvery = 0;        ///< Burst period (0 = no bursts).
+    u64 burstLen = 0;          ///< Burst length (<= burstEvery).
+};
+
+/**
+ * A parsed trace: phase schedule plus per-phase zipf CDFs over the
+ * campaign key space. parse() then prepare() then pure lookups; an
+ * unprepared or phase-less model must not be queried.
+ */
+class TrafficModel
+{
+  public:
+    /**
+     * Parse a trace spec. Returns false (with *error set) on any
+     * malformed or out-of-range input; `out` is only modified on
+     * success. An empty spec is an error — callers treat the empty
+     * string as "no trace" without constructing a model.
+     */
+    static bool parse(std::string_view spec, TrafficModel &out,
+                      std::string *error);
+
+    /** Build the per-phase zipf CDFs for a key space of `n` keys. */
+    void prepare(u64 keySpace);
+
+    bool active() const { return !phases_.empty(); }
+    u64 totalTicks() const { return totalTicks_; }
+    const std::vector<TrafficPhase> &phases() const { return phases_; }
+
+    /** Phase index covering `tick` (< totalTicks()). */
+    std::size_t phaseAt(u64 tick) const;
+
+    /** Arrivals offered at `tick`: phase rate, burst-multiplied when
+     *  the tick falls inside a burst window. */
+    u32 arrivalsAt(u64 tick) const;
+
+    /** Write fraction in force at `tick`. */
+    double writeFractionAt(u64 tick) const;
+
+    /** Key for unit sample u in [0,1) under `tick`'s phase skew. */
+    u64 keyAt(u64 tick, double u) const;
+
+  private:
+    std::vector<TrafficPhase> phases_;
+    std::vector<u64> phaseStart_; ///< Cumulative start tick per phase.
+    std::vector<ZipfCdf> zipf_;   ///< One CDF per phase (prepare()).
+    u64 totalTicks_ = 0;
+    u64 keySpace_ = 0;
+};
+
+} // namespace fleet
+} // namespace citadel
+
+#endif // CITADEL_FLEET_TRAFFIC_H

@@ -1,0 +1,507 @@
+#include "fleet/wire.h"
+
+#include <cstring>
+
+#include "common/env.h"
+#include "common/log.h"
+#include "ecc/crc32.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CITADEL_HAVE_SOCKETPAIR 1
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define CITADEL_HAVE_SOCKETPAIR 0
+#endif
+
+namespace citadel {
+namespace fleet {
+
+// ---- Transport selection -------------------------------------------
+
+const char *transportModeName(TransportMode mode)
+{
+    switch (mode) {
+    case TransportMode::Direct: return "direct";
+    case TransportMode::Loopback: return "loopback";
+    case TransportMode::Socket: return "socket";
+    }
+    return "?";
+}
+
+std::optional<TransportMode> parseTransportMode(std::string_view text)
+{
+    if (text == "direct")
+        return TransportMode::Direct;
+    if (text == "loopback")
+        return TransportMode::Loopback;
+    if (text == "socket")
+        return TransportMode::Socket;
+    return std::nullopt;
+}
+
+TransportMode requestedTransportMode()
+{
+    const std::string text =
+        envString("CITADEL_FLEET_TRANSPORT", "loopback");
+    if (auto mode = parseTransportMode(text))
+        return *mode;
+    warn("CITADEL_FLEET_TRANSPORT='%s' is not one of "
+         "direct|loopback|socket; using loopback",
+         text.c_str());
+    return TransportMode::Loopback;
+}
+
+// ---- Frame format --------------------------------------------------
+
+namespace {
+
+// Record layouts (little-endian, byte offsets):
+//   Request (41B):  op@0 key@8 version@16 value@24 attempt@32
+//                   replica@36 kind@40
+//   Response (37B): op@0 version@8 value@16 attempt@24 replica@28
+//                   from@32 status@36
+
+inline void putLE16(u8 *p, u16 v)
+{
+    p[0] = static_cast<u8>(v);
+    p[1] = static_cast<u8>(v >> 8);
+}
+
+inline void putLE32(u8 *p, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+inline void putLE64(u8 *p, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+inline u16 getLE16(const u8 *p)
+{
+    return static_cast<u16>(p[0] | (u16(p[1]) << 8));
+}
+
+inline u32 getLE32(const u8 *p)
+{
+    u32 v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+inline u64 getLE64(const u8 *p)
+{
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+inline std::size_t recordBytesFor(FrameKind kind)
+{
+    return kind == FrameKind::RequestBatch ? kRequestRecordBytes
+                                           : kResponseRecordBytes;
+}
+
+/** CRC over the first 12 header bytes plus the payload (everything a
+ *  frame carries except the stored CRC itself). */
+u32 frameCrc(const u8 *frame, std::size_t payloadBytes)
+{
+    u32 state = Crc32::begin();
+    state = Crc32::update(state, std::span<const u8>(frame, 12));
+    state = Crc32::update(
+        state,
+        std::span<const u8>(frame + kFrameHeaderBytes, payloadBytes));
+    return Crc32::finish(state);
+}
+
+} // namespace
+
+const char *decodeStatusName(DecodeStatus s)
+{
+    switch (s) {
+    case DecodeStatus::Ok: return "ok";
+    case DecodeStatus::Truncated: return "truncated";
+    case DecodeStatus::BadMagic: return "bad-magic";
+    case DecodeStatus::BadVersion: return "bad-version";
+    case DecodeStatus::BadKind: return "bad-kind";
+    case DecodeStatus::BadCount: return "bad-count";
+    case DecodeStatus::BadLength: return "bad-length";
+    case DecodeStatus::BadCrc: return "bad-crc";
+    case DecodeStatus::BadRecord: return "bad-record";
+    }
+    return "?";
+}
+
+Request FrameView::requestAt(u32 i) const
+{
+    if (kind_ != FrameKind::RequestBatch)
+        panic("FrameView::requestAt on a response frame");
+    if (i >= count_)
+        panic("FrameView::requestAt(%u) out of range (count %u)", i,
+              count_);
+    const u8 *p = payload_ + std::size_t(i) * kRequestRecordBytes;
+    Request r;
+    r.op = getLE64(p + 0);
+    r.key = getLE64(p + 8);
+    r.version = getLE64(p + 16);
+    r.value = getLE64(p + 24);
+    r.attempt = getLE32(p + 32);
+    r.replica = getLE32(p + 36);
+    r.kind = static_cast<OpKind>(p[40]);
+    return r;
+}
+
+Response FrameView::responseAt(u32 i) const
+{
+    if (kind_ != FrameKind::ResponseBatch)
+        panic("FrameView::responseAt on a request frame");
+    if (i >= count_)
+        panic("FrameView::responseAt(%u) out of range (count %u)", i,
+              count_);
+    const u8 *p = payload_ + std::size_t(i) * kResponseRecordBytes;
+    Response r;
+    r.op = getLE64(p + 0);
+    r.version = getLE64(p + 8);
+    r.value = getLE64(p + 16);
+    r.attempt = getLE32(p + 24);
+    r.replica = getLE32(p + 28);
+    r.from = getLE32(p + 32);
+    r.status = static_cast<Status>(p[36]);
+    return r;
+}
+
+DecodeStatus decodeFrame(std::span<const u8> buf, FrameView &out,
+                         std::size_t *consumed)
+{
+    if (buf.size() < kFrameHeaderBytes)
+        return DecodeStatus::Truncated;
+    const u8 *p = buf.data();
+    if (getLE32(p + 0) != kFrameMagic)
+        return DecodeStatus::BadMagic;
+    if (p[4] != kWireVersion)
+        return DecodeStatus::BadVersion;
+    const u8 kindByte = p[5];
+    if (kindByte != static_cast<u8>(FrameKind::RequestBatch) &&
+        kindByte != static_cast<u8>(FrameKind::ResponseBatch))
+        return DecodeStatus::BadKind;
+    const FrameKind kind = static_cast<FrameKind>(kindByte);
+    const u32 count = getLE16(p + 6);
+    if (count > kMaxFrameRecords)
+        return DecodeStatus::BadCount;
+    const u32 payloadBytes = getLE32(p + 8);
+    // count/length single-bit flips always break this consistency
+    // check, so neither field needs independent CRC coverage to be
+    // caught — but both are still inside the CRC anyway.
+    if (payloadBytes != count * recordBytesFor(kind))
+        return DecodeStatus::BadLength;
+    if (buf.size() < kFrameHeaderBytes + payloadBytes)
+        return DecodeStatus::Truncated;
+    if (getLE32(p + 12) != frameCrc(p, payloadBytes))
+        return DecodeStatus::BadCrc;
+    // CRC passed: the bytes are what the encoder wrote. Enum bytes are
+    // still validated so a buggy (or hand-rolled) encoder can't smuggle
+    // out-of-range values into switch statements downstream.
+    const u8 *payload = p + kFrameHeaderBytes;
+    if (kind == FrameKind::RequestBatch) {
+        for (u32 i = 0; i < count; ++i) {
+            const u8 op =
+                payload[std::size_t(i) * kRequestRecordBytes + 40];
+            if (op > static_cast<u8>(OpKind::Write))
+                return DecodeStatus::BadRecord;
+        }
+    } else {
+        for (u32 i = 0; i < count; ++i) {
+            const u8 st =
+                payload[std::size_t(i) * kResponseRecordBytes + 36];
+            if (st > static_cast<u8>(Status::Busy))
+                return DecodeStatus::BadRecord;
+        }
+    }
+    out.kind_ = kind;
+    out.count_ = count;
+    out.payload_ = payload;
+    if (consumed)
+        *consumed = kFrameHeaderBytes + payloadBytes;
+    return DecodeStatus::Ok;
+}
+
+void FrameWriter::begin(FrameKind kind)
+{
+    buf_.assign(kFrameHeaderBytes, 0);
+    kind_ = kind;
+    count_ = 0;
+    open_ = true;
+}
+
+void FrameWriter::add(const Request &r)
+{
+    if (!open_ || kind_ != FrameKind::RequestBatch)
+        panic("FrameWriter::add(Request) outside an open request frame");
+    if (count_ >= kMaxFrameRecords)
+        fatal("FrameWriter: request frame exceeds %u records",
+              kMaxFrameRecords);
+    const std::size_t at = buf_.size();
+    buf_.resize(at + kRequestRecordBytes);
+    u8 *p = buf_.data() + at;
+    putLE64(p + 0, r.op);
+    putLE64(p + 8, r.key);
+    putLE64(p + 16, r.version);
+    putLE64(p + 24, r.value);
+    putLE32(p + 32, r.attempt);
+    putLE32(p + 36, r.replica);
+    p[40] = static_cast<u8>(r.kind);
+    ++count_;
+}
+
+void FrameWriter::add(const Response &r)
+{
+    if (!open_ || kind_ != FrameKind::ResponseBatch)
+        panic("FrameWriter::add(Response) outside an open response "
+              "frame");
+    if (count_ >= kMaxFrameRecords)
+        fatal("FrameWriter: response frame exceeds %u records",
+              kMaxFrameRecords);
+    const std::size_t at = buf_.size();
+    buf_.resize(at + kResponseRecordBytes);
+    u8 *p = buf_.data() + at;
+    putLE64(p + 0, r.op);
+    putLE64(p + 8, r.version);
+    putLE64(p + 16, r.value);
+    putLE32(p + 24, r.attempt);
+    putLE32(p + 28, r.replica);
+    putLE32(p + 32, r.from);
+    p[36] = static_cast<u8>(r.status);
+    ++count_;
+}
+
+std::span<const u8> FrameWriter::finish()
+{
+    if (!open_)
+        panic("FrameWriter::finish without begin");
+    open_ = false;
+    u8 *p = buf_.data();
+    const u32 payloadBytes =
+        static_cast<u32>(buf_.size() - kFrameHeaderBytes);
+    putLE32(p + 0, kFrameMagic);
+    p[4] = kWireVersion;
+    p[5] = static_cast<u8>(kind_);
+    putLE16(p + 6, static_cast<u16>(count_));
+    putLE32(p + 8, payloadBytes);
+    putLE32(p + 12, frameCrc(p, payloadBytes));
+    return {buf_.data(), buf_.size()};
+}
+
+// ---- Transports ----------------------------------------------------
+
+Transport::Transport(u32 servers)
+    : servers_(servers), serverRx_(servers), clientRx_(servers)
+{
+    if (servers == 0)
+        fatal("Transport: zero servers");
+}
+
+Transport::~Transport() = default;
+
+RxStream &Transport::serverRx(u32 s)
+{
+    if (s >= servers_)
+        panic("Transport::serverRx(%u) out of range", s);
+    return serverRx_[s];
+}
+
+RxStream &Transport::clientRx(u32 s)
+{
+    if (s >= servers_)
+        panic("Transport::clientRx(%u) out of range", s);
+    return clientRx_[s];
+}
+
+void LoopbackTransport::sendToServer(u32 s, std::span<const u8> bytes)
+{
+    RxStream &rx = serverRx(s);
+    rx.buf.insert(rx.buf.end(), bytes.begin(), bytes.end());
+}
+
+void LoopbackTransport::sendToClient(u32 s, std::span<const u8> bytes)
+{
+    RxStream &rx = clientRx(s);
+    rx.buf.insert(rx.buf.end(), bytes.begin(), bytes.end());
+}
+
+#if CITADEL_HAVE_SOCKETPAIR
+
+namespace {
+
+void setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatal("SocketTransport: fcntl(O_NONBLOCK) failed");
+}
+
+} // namespace
+
+SocketTransport::SocketTransport(u32 servers)
+    : Transport(servers), scratch_(64 * 1024)
+{
+    clientFd_.resize(servers, -1);
+    serverFd_.resize(servers, -1);
+    for (u32 s = 0; s < servers; ++s) {
+        int fds[2];
+        if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+            fatal("SocketTransport: socketpair failed for server %u "
+                  "(errno %d)",
+                  s, errno);
+        setNonBlocking(fds[0]);
+        setNonBlocking(fds[1]);
+        clientFd_[s] = fds[0];
+        serverFd_[s] = fds[1];
+    }
+}
+
+SocketTransport::~SocketTransport()
+{
+    for (int fd : clientFd_)
+        if (fd >= 0)
+            close(fd);
+    for (int fd : serverFd_)
+        if (fd >= 0)
+            close(fd);
+}
+
+void SocketTransport::drain(int fd, RxStream &rx)
+{
+    for (;;) {
+        const ssize_t n = read(fd, scratch_.data(), scratch_.size());
+        if (n > 0) {
+            rx.buf.insert(rx.buf.end(), scratch_.data(),
+                          scratch_.data() + n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        if (n == 0)
+            fatal("SocketTransport: peer closed unexpectedly");
+        fatal("SocketTransport: read failed (errno %d)", errno);
+    }
+}
+
+void SocketTransport::sendOn(int fd, u32 s, std::span<const u8> bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            write(fd, bytes.data() + off, bytes.size() - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Kernel buffer full: the only reader is this process, so
+            // make room by draining both directions of pair s. A frame
+            // larger than the socket buffer lands fragmented — the
+            // reassembly path's job.
+            drain(clientFd_[s], clientRx_[s]);
+            drain(serverFd_[s], serverRx_[s]);
+            continue;
+        }
+        fatal("SocketTransport: write failed (errno %d)", errno);
+    }
+}
+
+void SocketTransport::sendToServer(u32 s, std::span<const u8> bytes)
+{
+    if (s >= servers_)
+        panic("SocketTransport::sendToServer(%u) out of range", s);
+    sendOn(clientFd_[s], s, bytes);
+}
+
+void SocketTransport::sendToClient(u32 s, std::span<const u8> bytes)
+{
+    if (s >= servers_)
+        panic("SocketTransport::sendToClient(%u) out of range", s);
+    sendOn(serverFd_[s], s, bytes);
+}
+
+void SocketTransport::poll()
+{
+    for (u32 s = 0; s < servers_; ++s) {
+        drain(serverFd_[s], serverRx_[s]);
+        drain(clientFd_[s], clientRx_[s]);
+    }
+}
+
+#else // !CITADEL_HAVE_SOCKETPAIR
+
+SocketTransport::SocketTransport(u32 servers) : Transport(servers)
+{
+    fatal("CITADEL_FLEET_TRANSPORT=socket requires a POSIX platform");
+}
+
+SocketTransport::~SocketTransport() = default;
+void SocketTransport::sendToServer(u32, std::span<const u8>) {}
+void SocketTransport::sendToClient(u32, std::span<const u8>) {}
+void SocketTransport::poll() {}
+
+#endif
+
+std::unique_ptr<Transport> makeTransport(TransportMode mode,
+                                         u32 servers)
+{
+    switch (mode) {
+    case TransportMode::Direct: return nullptr;
+    case TransportMode::Loopback:
+        return std::make_unique<LoopbackTransport>(servers);
+    case TransportMode::Socket:
+        return std::make_unique<SocketTransport>(servers);
+    }
+    panic("makeTransport: bad mode");
+}
+
+// ---- Batched submission shards -------------------------------------
+
+SubmissionShards::SubmissionShards(u32 servers)
+    : shards_(servers), counts_(servers, 0)
+{
+    if (servers == 0)
+        fatal("SubmissionShards: zero servers");
+}
+
+void SubmissionShards::add(u32 s, const Request &r)
+{
+    if (s >= shards_.size())
+        panic("SubmissionShards::add(%u) out of range", s);
+    auto &shard = shards_[s];
+    const u32 at = counts_[s];
+    if (at < shard.size()) {
+        shard[at].gen = gen_;
+        shard[at].seq = seqNext_;
+        shard[at].req = r;
+    } else {
+        shard.push_back(Slot{gen_, seqNext_, r});
+    }
+    ++seqNext_;
+    counts_[s] = at + 1;
+}
+
+void SubmissionShards::nextGeneration()
+{
+    ++gen_;
+    seqNext_ = 0;
+    for (auto &c : counts_)
+        c = 0;
+}
+
+} // namespace fleet
+} // namespace citadel

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Fleet wire protocol: a compact binary frame format for batches of
+ * `Request` / `Response` records, and the byte-stream transports that
+ * carry it between the campaign's client side and its stack servers.
+ *
+ * A frame is a 16-byte header followed by a packed array of
+ * fixed-width little-endian records:
+ *
+ *     offset  size  field
+ *          0     4  magic        0xC17ADE1F
+ *          4     1  version      kWireVersion
+ *          5     1  kind         1 = RequestBatch, 2 = ResponseBatch
+ *          6     2  count        records in the payload (<= 4096)
+ *          8     4  payload      payload bytes = count * record size
+ *         12     4  crc32        over bytes [0, 12) ++ payload
+ *         16     …  payload      `count` packed records
+ *
+ * The CRC is computed through Crc32::update — the same runtime-
+ * dispatched kernel (slice8 / PCLMUL / ARMv8) the device datapath
+ * uses — over everything except the stored CRC itself, so every
+ * single-bit corruption anywhere in a frame is rejected. Decoding is
+ * zero-copy: a FrameView borrows the input buffer and materializes
+ * records on access; nothing is allocated and malformed input is
+ * answered with a DecodeStatus, never a crash or a fatal() (the
+ * checkpoint ByteSource is deliberately NOT reused here — a wire peer
+ * may present garbage, a checkpoint may not).
+ *
+ * Transports are deliberately dumb byte pipes with one duplex channel
+ * per server. LoopbackTransport (the default) moves bytes with a
+ * memcpy and is what the deterministic campaigns run on;
+ * SocketTransport pushes the same frames through real AF_UNIX
+ * socketpairs (non-blocking, drained inside the campaign's serial
+ * phase) so the codec is exercised against genuine kernel-buffer
+ * fragmentation. Both present received bytes as an RxStream the
+ * caller reassembles frames from; because frames are length-prefixed,
+ * partial reads just wait for more bytes.
+ *
+ * SubmissionShards is the batching half: a per-server arena of
+ * generation-stamped request slots (the PR-4 token-arena idiom) the
+ * client side appends to during a tick and the campaign drains into
+ * frames at flush time — no per-request allocation in steady state,
+ * and a stale slot from a previous generation can never leak into a
+ * frame. Every slot also carries its global submission sequence
+ * within the generation, so flush-time events that must replay in
+ * send order (queue-full Busy synthesis, which the Direct baseline
+ * emits per-request at send time) can be re-sorted to match.
+ */
+
+#ifndef CITADEL_FLEET_WIRE_H
+#define CITADEL_FLEET_WIRE_H
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fleet/fleet_types.h"
+
+namespace citadel {
+namespace fleet {
+
+// ---- Transport selection -------------------------------------------
+
+/** How requests and responses travel between client and servers. */
+enum class TransportMode : u8
+{
+    Direct,   ///< PR-6 baseline: per-request in-process handoff, no
+              ///< frames (the measured "unbatched" perf oracle).
+    Loopback, ///< Framed batches through in-process byte streams
+              ///< (default: deterministic, allocation-free).
+    Socket,   ///< Framed batches through real AF_UNIX socketpairs.
+};
+
+/** Display name ("direct" / "loopback" / "socket"). */
+const char *transportModeName(TransportMode mode);
+
+/**
+ * Parse a CITADEL_FLEET_TRANSPORT value. Exact lowercase spellings
+ * only; anything else is std::nullopt (the env reader warns and falls
+ * back to Loopback — see the test_env.cc rejection tests).
+ */
+std::optional<TransportMode> parseTransportMode(std::string_view text);
+
+/** Mode requested by CITADEL_FLEET_TRANSPORT (invalid/unset resolves
+ *  to Loopback, with a warning on invalid text). */
+TransportMode requestedTransportMode();
+
+// ---- Frame format --------------------------------------------------
+
+constexpr u32 kFrameMagic = 0xC17ADE1Fu;
+constexpr u8 kWireVersion = 1;
+constexpr std::size_t kFrameHeaderBytes = 16;
+constexpr std::size_t kRequestRecordBytes = 41;
+constexpr std::size_t kResponseRecordBytes = 37;
+/** Frame size cap, matching the CITADEL_FLEET_BATCH knob ceiling. */
+constexpr u32 kMaxFrameRecords = 4096;
+
+/** What a frame carries. */
+enum class FrameKind : u8
+{
+    RequestBatch = 1,
+    ResponseBatch = 2,
+};
+
+/** Why a decode was rejected (Ok = accepted). */
+enum class DecodeStatus : u8
+{
+    Ok,
+    Truncated,  ///< Fewer bytes than the header/payload requires.
+    BadMagic,
+    BadVersion, ///< Version skew: reject, never guess at layout.
+    BadKind,
+    BadCount,   ///< count > kMaxFrameRecords.
+    BadLength,  ///< payload size inconsistent with count * record.
+    BadCrc,
+    BadRecord,  ///< CRC passed but a record enum byte is out of range.
+};
+
+const char *decodeStatusName(DecodeStatus s);
+
+/**
+ * Zero-copy view of a decoded frame: borrows the buffer handed to
+ * decodeFrame() (which must outlive the view) and unpacks records on
+ * access. requestAt/responseAt bounds- and kind-check with fatal():
+ * by the time a view exists the frame has already been validated, so
+ * a bad index is a caller bug, not wire input.
+ */
+class FrameView
+{
+  public:
+    FrameKind kind() const { return kind_; }
+    u32 count() const { return count_; }
+
+    Request requestAt(u32 i) const;
+    Response responseAt(u32 i) const;
+
+    /** Borrowed payload pointer — inside the decoded buffer (the
+     *  zero-copy property the wire tests pin). */
+    const u8 *payload() const { return payload_; }
+
+  private:
+    friend DecodeStatus decodeFrame(std::span<const u8> buf,
+                                    FrameView &out,
+                                    std::size_t *consumed);
+    FrameKind kind_ = FrameKind::RequestBatch;
+    u32 count_ = 0;
+    const u8 *payload_ = nullptr;
+};
+
+/**
+ * Decode one frame from the front of `buf`. On Ok, `out` borrows
+ * `buf` and `*consumed` (if non-null) is the frame's total size —
+ * trailing bytes belong to the next frame. On Truncated, more bytes
+ * are needed (stream reassembly); every other status is a permanent
+ * rejection of the frame. Never crashes on arbitrary input.
+ */
+DecodeStatus decodeFrame(std::span<const u8> buf, FrameView &out,
+                         std::size_t *consumed = nullptr);
+
+/**
+ * Reusable frame encoder. begin*() resets the buffer (capacity is
+ * kept, so steady-state encoding never allocates), add() packs one
+ * record, finish() patches count/length/CRC and returns the frame.
+ * Adding more than kMaxFrameRecords records is fatal — callers split
+ * batches at the cap.
+ */
+class FrameWriter
+{
+  public:
+    void beginRequestFrame() { begin(FrameKind::RequestBatch); }
+    void beginResponseFrame() { begin(FrameKind::ResponseBatch); }
+
+    void add(const Request &r);
+    void add(const Response &r);
+
+    u32 count() const { return count_; }
+
+    /** Finalize and return the frame (valid until the next begin*). */
+    std::span<const u8> finish();
+
+  private:
+    void begin(FrameKind kind);
+
+    std::vector<u8> buf_;
+    FrameKind kind_ = FrameKind::RequestBatch;
+    u32 count_ = 0;
+    bool open_ = false;
+};
+
+// ---- Transports ----------------------------------------------------
+
+/**
+ * A received byte stream awaiting frame reassembly. `pos` is the
+ * consumer's cursor; compact() drops consumed bytes once the stream
+ * is fully drained (the steady state), so the buffer is reused rather
+ * than reallocated.
+ */
+struct RxStream
+{
+    std::vector<u8> buf;
+    std::size_t pos = 0;
+
+    std::span<const u8> pending() const
+    {
+        return {buf.data() + pos, buf.size() - pos};
+    }
+    void consume(std::size_t n) { pos += n; }
+    void compact()
+    {
+        if (pos == buf.size()) {
+            buf.clear();
+            pos = 0;
+        }
+    }
+};
+
+/**
+ * One duplex byte channel per server. Everything here runs in the
+ * campaign's serial phase (send and receive are two halves of the
+ * same single-threaded loop), which is what keeps even the socket
+ * transport deterministic: the only bytes ever read are the ones this
+ * process wrote, in FIFO order.
+ */
+class Transport
+{
+  public:
+    explicit Transport(u32 servers);
+    virtual ~Transport();
+
+    Transport(const Transport &) = delete;
+    Transport &operator=(const Transport &) = delete;
+
+    /** Queue bytes toward server `s` / toward the client side. */
+    virtual void sendToServer(u32 s, std::span<const u8> bytes)
+        CITADEL_REQUIRES(kSerialPhase) = 0;
+    virtual void sendToClient(u32 s, std::span<const u8> bytes)
+        CITADEL_REQUIRES(kSerialPhase) = 0;
+
+    /** Move any in-flight bytes into the rx streams (no-op for
+     *  loopback; drains the socketpairs for the socket transport). */
+    virtual void poll() CITADEL_REQUIRES(kSerialPhase) {}
+
+    /** Bytes that have arrived at server `s` / at the client side. */
+    RxStream &serverRx(u32 s) CITADEL_REQUIRES(kSerialPhase);
+    RxStream &clientRx(u32 s) CITADEL_REQUIRES(kSerialPhase);
+
+    u32 servers() const { return servers_; }
+
+  protected:
+    u32 servers_;
+    std::vector<RxStream> serverRx_; ///< Client → server direction.
+    std::vector<RxStream> clientRx_; ///< Server → client direction.
+};
+
+/** In-process transport: send is an append to the peer's RxStream. */
+class LoopbackTransport final : public Transport
+{
+  public:
+    explicit LoopbackTransport(u32 servers) : Transport(servers) {}
+    void sendToServer(u32 s, std::span<const u8> bytes)
+        CITADEL_REQUIRES(kSerialPhase) override;
+    void sendToClient(u32 s, std::span<const u8> bytes)
+        CITADEL_REQUIRES(kSerialPhase) override;
+};
+
+/**
+ * AF_UNIX socketpair transport: one non-blocking duplex pair per
+ * server. A full kernel buffer mid-send is handled by draining the
+ * receive side (our own peer) and retrying, so a frame larger than
+ * the socket buffer still goes through — fragmented, which is exactly
+ * what the reassembly path is for.
+ */
+class SocketTransport final : public Transport
+{
+  public:
+    explicit SocketTransport(u32 servers);
+    ~SocketTransport() override;
+
+    void sendToServer(u32 s, std::span<const u8> bytes)
+        CITADEL_REQUIRES(kSerialPhase) override;
+    void sendToClient(u32 s, std::span<const u8> bytes)
+        CITADEL_REQUIRES(kSerialPhase) override;
+    void poll() CITADEL_REQUIRES(kSerialPhase) override;
+
+  private:
+    void sendOn(int fd, u32 s, std::span<const u8> bytes)
+        CITADEL_REQUIRES(kSerialPhase);
+    void drain(int fd, RxStream &rx);
+
+    std::vector<int> clientFd_; ///< Campaign/client end of pair s.
+    std::vector<int> serverFd_; ///< Server end of pair s.
+    std::vector<u8> scratch_;   ///< Read buffer for drain().
+};
+
+/** Build the transport for `mode`; Direct mode has no transport and
+ *  returns nullptr. */
+std::unique_ptr<Transport> makeTransport(TransportMode mode,
+                                         u32 servers);
+
+// ---- Batched submission shards -------------------------------------
+
+/**
+ * Per-server submission queues backed by generation-stamped arena
+ * slots. add() writes into the next slot of the target server's shard
+ * (growing only to the high-watermark — steady state is append into
+ * existing slots); drain() visits a shard in insertion order and
+ * checks every slot's stamp against the current generation, so a slot
+ * left over from an earlier tick can never be (silently) re-sent.
+ * nextGeneration() empties every shard in O(servers).
+ */
+class SubmissionShards
+{
+  public:
+    explicit SubmissionShards(u32 servers);
+
+    void add(u32 s, const Request &r) CITADEL_REQUIRES(kSerialPhase);
+
+    u32 count(u32 s) const { return counts_[s]; }
+
+    /** Visit server `s`'s pending requests in insertion order; `fn`
+     *  receives each request plus its global submission sequence
+     *  across all shards this generation. */
+    template <typename Fn>
+    void drain(u32 s, Fn &&fn) CITADEL_REQUIRES(kSerialPhase)
+    {
+        const u32 n = counts_[s];
+        for (u32 i = 0; i < n; ++i) {
+            const Slot &slot = shards_[s][i];
+            if (slot.gen != gen_)
+                fatal("SubmissionShards: stale slot (gen %llu != %llu) "
+                      "leaked into a frame",
+                      static_cast<unsigned long long>(slot.gen),
+                      static_cast<unsigned long long>(gen_));
+            fn(slot.req, slot.seq);
+        }
+    }
+
+    /** Start a new tick: all shards become empty, slots are reused. */
+    void nextGeneration() CITADEL_REQUIRES(kSerialPhase);
+
+    u64 generation() const { return gen_; }
+
+  private:
+    struct Slot
+    {
+        u64 gen = 0;
+        u32 seq = 0; ///< Global submission order this generation.
+        Request req;
+    };
+
+    std::vector<std::vector<Slot>> shards_;
+    std::vector<u32> counts_;
+    u64 gen_ = 1;
+    u32 seqNext_ = 0;
+};
+
+} // namespace fleet
+} // namespace citadel
+
+#endif // CITADEL_FLEET_WIRE_H

@@ -13,6 +13,7 @@
 
 #include "common/env.h"
 #include "common/kernels.h"
+#include "fleet/wire.h"
 
 namespace citadel {
 namespace {
@@ -160,6 +161,17 @@ TEST_F(EnvRangeTest, FleetKnobRangesMatchDriver)
                             10'000'000),
               20'000u);
     unsetenv("CITADEL_FLEET_CALIB_INSNS");
+
+    // Wire batch: a frame must carry at least one record and at most
+    // kMaxFrameRecords (4096, the decoder's hard cap).
+    setenv("CITADEL_FLEET_BATCH", "0", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_BATCH", 32, 1, 4096), 32u);
+    setenv("CITADEL_FLEET_BATCH", "4097", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_BATCH", 32, 1, 4096), 32u);
+    setenv("CITADEL_FLEET_BATCH", "4096", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_BATCH", 32, 1, 4096),
+              4096u);
+    unsetenv("CITADEL_FLEET_BATCH");
 }
 
 class KernelEnvTest : public ::testing::Test
@@ -193,6 +205,47 @@ TEST_F(KernelEnvTest, InvalidValuesRejectedToAuto)
                             " auto", "auto ", "scalar|vector", "2"}) {
         setenv("CITADEL_KERNEL", bad, 1);
         EXPECT_EQ(requestedKernelMode(), KernelMode::Auto) << bad;
+    }
+}
+
+class TransportEnvTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { unsetenv("CITADEL_FLEET_TRANSPORT"); }
+    void TearDown() override { unsetenv("CITADEL_FLEET_TRANSPORT"); }
+};
+
+TEST_F(TransportEnvTest, UnsetResolvesToLoopback)
+{
+    EXPECT_EQ(fleet::requestedTransportMode(),
+              fleet::TransportMode::Loopback);
+}
+
+TEST_F(TransportEnvTest, ExactLowercaseSpellingsAccepted)
+{
+    setenv("CITADEL_FLEET_TRANSPORT", "direct", 1);
+    EXPECT_EQ(fleet::requestedTransportMode(),
+              fleet::TransportMode::Direct);
+    setenv("CITADEL_FLEET_TRANSPORT", "loopback", 1);
+    EXPECT_EQ(fleet::requestedTransportMode(),
+              fleet::TransportMode::Loopback);
+    setenv("CITADEL_FLEET_TRANSPORT", "socket", 1);
+    EXPECT_EQ(fleet::requestedTransportMode(),
+              fleet::TransportMode::Socket);
+}
+
+TEST_F(TransportEnvTest, InvalidValuesRejectedToLoopback)
+{
+    // All three transports produce the same fingerprint, so the safe
+    // fallback for malformed text is the default wire path (loopback),
+    // with a warning — never a half-parsed mode.
+    for (const char *bad :
+         {"Direct", "SOCKET", "tcp", "", " socket", "socket ",
+          "loopback|socket", "3"}) {
+        setenv("CITADEL_FLEET_TRANSPORT", bad, 1);
+        EXPECT_EQ(fleet::requestedTransportMode(),
+                  fleet::TransportMode::Loopback)
+            << bad;
     }
 }
 

@@ -11,10 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "common/rng.h"
 #include "fleet/fleet_sim.h"
 #include "fleet/hash_ring.h"
+#include "fleet/traffic.h"
 
 using namespace citadel;
 using namespace citadel::fleet;
@@ -88,6 +91,183 @@ TEST(HashRing, PlacementShrinksWhenFewServersRemain)
     ring.remove(3);
     ring.placement(123, 3, p);
     EXPECT_TRUE(p.empty());
+}
+
+TEST(HashRing, KeysHashingPastTheLastPointWrapToTheRingMinimum)
+{
+    // With vnodes=1 the point set is exactly mix64(seed ^ (s << 32)),
+    // so the test can locate the ring's extremes independently. Any
+    // key hashing clockwise-past the maximum point must wrap around to
+    // the minimum point's owner — the lower_bound walk restarting at
+    // begin(), not falling off the end.
+    const u64 seed = 5;
+    const u32 servers = 8;
+    u64 maxHash = 0;
+    u64 minHash = ~u64{0};
+    ServerIdx minOwner = kNoServer;
+    for (u32 s = 0; s < servers; ++s) {
+        const u64 h = mix64(seed ^ (static_cast<u64>(s) << 32));
+        maxHash = std::max(maxHash, h);
+        if (h < minHash) {
+            minHash = h;
+            minOwner = s;
+        }
+    }
+    ASSERT_NE(minOwner, kNoServer);
+
+    HashRing ring(servers, 1, seed);
+    u32 wrapped = 0;
+    u32 below = 0;
+    for (u64 key = 0; key < 20000 && (wrapped < 16 || below < 16);
+         ++key) {
+        const u64 h = mix64(key ^ seed);
+        if (h > maxHash) {
+            ++wrapped;
+            EXPECT_EQ(ring.primary(key), minOwner) << "key " << key;
+        } else if (h <= minHash) {
+            // Keys before the first point belong to it directly.
+            ++below;
+            EXPECT_EQ(ring.primary(key), minOwner) << "key " << key;
+        }
+    }
+    // The max of 8 uniform 64-bit points leaves ~1/9 of the ring past
+    // it; 20k keys find such hashes with overwhelming probability.
+    EXPECT_GT(wrapped, 0u);
+}
+
+TEST(HashRing, SingleServerRingOwnsEverythingUntilRemoved)
+{
+    HashRing ring(1, 16, 99);
+    EXPECT_EQ(ring.liveCount(), 1u);
+    std::vector<ServerIdx> p;
+    for (u64 key = 0; key < 200; ++key) {
+        ring.placement(key, 3, p);
+        ASSERT_EQ(p.size(), 1u);
+        EXPECT_EQ(p[0], 0u);
+    }
+    ring.remove(0);
+    EXPECT_EQ(ring.liveCount(), 0u);
+    ring.placement(7, 1, p);
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(ring.primary(7), kNoServer);
+    ring.remove(0); // Idempotent on an already-empty ring.
+    EXPECT_EQ(ring.liveCount(), 0u);
+}
+
+TEST(HashRing, ReplicationBeyondLiveClampsWithoutDuplicates)
+{
+    HashRing ring(4, 32, 13);
+    std::vector<ServerIdx> p;
+    for (u64 key = 0; key < 100; ++key) {
+        ring.placement(key, 8, p);
+        ASSERT_EQ(p.size(), 4u) << "key " << key;
+        std::vector<ServerIdx> sorted = p;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                  sorted.end())
+            << "key " << key;
+    }
+    ring.remove(1);
+    ring.remove(3);
+    for (u64 key = 0; key < 100; ++key) {
+        ring.placement(key, 8, p);
+        ASSERT_EQ(p.size(), 2u) << "key " << key;
+        EXPECT_NE(p[0], p[1]);
+        for (const ServerIdx s : p)
+            EXPECT_TRUE(s == 0 || s == 2) << "key " << key;
+    }
+}
+
+// ---- Traffic model -------------------------------------------------
+
+TEST(TrafficModel, ParsesPhaseScheduleAndRejectsMalformedSpecs)
+{
+    TrafficModel m;
+    std::string err;
+    ASSERT_TRUE(TrafficModel::parse(
+        "ticks=100,rate=8,write=0.25,zipf=0.9;"
+        "ticks=50,rate=2,burst=4,every=10,len=3",
+        m, &err))
+        << err;
+    ASSERT_EQ(m.phases().size(), 2u);
+    EXPECT_EQ(m.totalTicks(), 150u);
+    EXPECT_EQ(m.phases()[0].rate, 8u);
+    EXPECT_DOUBLE_EQ(m.phases()[0].writeFraction, 0.25);
+    EXPECT_DOUBLE_EQ(m.phases()[0].zipfTheta, 0.9);
+    EXPECT_EQ(m.phases()[1].burstMult, 4u);
+    EXPECT_EQ(m.phases()[1].burstEvery, 10u);
+    EXPECT_EQ(m.phases()[1].burstLen, 3u);
+    EXPECT_EQ(m.phaseAt(0), 0u);
+    EXPECT_EQ(m.phaseAt(99), 0u);
+    EXPECT_EQ(m.phaseAt(100), 1u);
+    EXPECT_EQ(m.phaseAt(149), 1u);
+
+    const char *bad[] = {
+        "",                               // empty spec
+        "rate=4",                         // missing required ticks
+        "ticks=0",                        // zero-length phase
+        "ticks=10,rate=100000",           // rate out of range
+        "ticks=10,write=1.5",             // write out of range
+        "ticks=10,zipf=9",                // zipf out of range
+        "ticks=10,burst=4",               // burst without a window
+        "ticks=10,burst=4,every=5,len=9", // len > every
+        "ticks=10,bogus=1",               // unknown key
+        "ticks=ten",                      // non-numeric
+        "ticks=10;;ticks=10",             // empty phase
+        "ticks=10,rate",                  // not key=value
+    };
+    for (const char *spec : bad) {
+        TrafficModel t;
+        std::string e;
+        EXPECT_FALSE(TrafficModel::parse(spec, t, &e)) << spec;
+        EXPECT_FALSE(e.empty()) << spec;
+    }
+}
+
+TEST(TrafficModel, BurstWindowsMultiplyThePhaseRate)
+{
+    TrafficModel m;
+    std::string err;
+    ASSERT_TRUE(TrafficModel::parse(
+        "ticks=8,rate=2;ticks=40,rate=3,burst=5,every=10,len=2", m,
+        &err))
+        << err;
+    m.prepare(64);
+    for (u64 t = 0; t < 8; ++t)
+        EXPECT_EQ(m.arrivalsAt(t), 2u) << "tick " << t;
+    // Bursts are phase-relative: the window opens at the phase start,
+    // not at a global tick multiple.
+    for (u64 t = 8; t < 48; ++t) {
+        const u64 rel = t - 8;
+        const u32 expect = rel % 10 < 2 ? 15u : 3u;
+        EXPECT_EQ(m.arrivalsAt(t), expect) << "tick " << t;
+    }
+}
+
+TEST(TrafficModel, ZipfSkewsKeyPopularityTowardRankZero)
+{
+    TrafficModel m;
+    std::string err;
+    ASSERT_TRUE(
+        TrafficModel::parse("ticks=10,zipf=1.2;ticks=10", m, &err))
+        << err;
+    m.prepare(100);
+    u32 hotSkewed = 0;
+    u32 hotUniform = 0;
+    for (u64 i = 0; i < 1000; ++i) {
+        const double u = (static_cast<double>(i) + 0.5) / 1000.0;
+        hotSkewed += m.keyAt(0, u) == 0 ? 1 : 0;   // theta = 1.2
+        hotUniform += m.keyAt(10, u) == 0 ? 1 : 0; // theta = 0
+    }
+    // Uniform gives rank 0 ~1% of the mass; theta=1.2 concentrates a
+    // large multiple of that on the hottest key.
+    EXPECT_LE(hotUniform, 20u);
+    EXPECT_GT(hotSkewed, 5 * hotUniform);
+    // Every sample stays inside the key space.
+    for (u64 i = 0; i < 1000; ++i) {
+        const double u = (static_cast<double>(i) + 0.5) / 1000.0;
+        EXPECT_LT(m.keyAt(0, u), 100u);
+    }
 }
 
 // ---- Campaign fixtures ---------------------------------------------
@@ -262,6 +442,99 @@ TEST(FleetDeterminism, DifferentSeedsDiverge)
     cfg.seed = 12;
     FleetCampaign b(cfg);
     EXPECT_NE(a.run().fingerprint, b.run().fingerprint);
+}
+
+TEST(FleetDeterminism, FingerprintInvariantAcrossTransportBatchThreads)
+{
+    // The wire path (framed batching, flat state engines, response
+    // wheel) must be a pure transport change: Direct, loopback, and
+    // real socketpairs, at any batch size and thread count, land on
+    // the same campaign down to the fingerprint.
+    struct Cell
+    {
+        TransportMode mode;
+        u32 batch;
+        unsigned threads;
+    };
+    const Cell cells[] = {
+        {TransportMode::Direct, 1, 1},
+        {TransportMode::Loopback, 1, 1},
+        {TransportMode::Loopback, 5, 3},
+        {TransportMode::Socket, 5, 1},
+        {TransportMode::Socket, 1, 3},
+    };
+    FleetResult ref;
+    bool haveRef = false;
+    for (const Cell &cell : cells) {
+        FleetConfig cfg = smallConfig();
+        cfg.seed = 17;
+        cfg.transport = cell.mode;
+        cfg.batch = cell.batch;
+        cfg.threads = cell.threads;
+        FleetCampaign campaign(cfg);
+        const FleetResult res = campaign.run();
+        SCOPED_TRACE(std::string(transportModeName(cell.mode)) + " b" +
+                     std::to_string(cell.batch) + " t" +
+                     std::to_string(cell.threads));
+        if (!haveRef) {
+            ref = res;
+            haveRef = true;
+            EXPECT_GT(res.totals.opsAcked, 0u);
+            continue;
+        }
+        EXPECT_EQ(res.fingerprint, ref.fingerprint);
+        EXPECT_EQ(res.totals.opsAcked, ref.totals.opsAcked);
+        EXPECT_EQ(res.totals.opsFailed, ref.totals.opsFailed);
+        EXPECT_EQ(res.totals.requestsServed,
+                  ref.totals.requestsServed);
+        EXPECT_EQ(res.p50LatencyTicks, ref.p50LatencyTicks);
+        EXPECT_EQ(res.p99LatencyTicks, ref.p99LatencyTicks);
+    }
+}
+
+TEST(FleetDeterminism, TraceReplayIsTransportInvariant)
+{
+    // A bursty, zipf-skewed trace drives the same offered load over
+    // every transport; the trace also overrides the configured tick
+    // count with its own total length.
+    FleetConfig base = smallConfig();
+    base.ticks = 1; // Overridden by the trace (96 + 64 ticks).
+    base.traffic = "ticks=96,rate=3,write=0.5,zipf=0.8;"
+                   "ticks=64,rate=5,burst=3,every=16,len=4";
+    FleetResult ref;
+    bool haveRef = false;
+    for (const TransportMode mode :
+         {TransportMode::Direct, TransportMode::Loopback,
+          TransportMode::Socket}) {
+        FleetConfig cfg = base;
+        cfg.transport = mode;
+        cfg.batch = mode == TransportMode::Direct ? 1 : 7;
+        FleetCampaign campaign(cfg);
+        const FleetResult res = campaign.run();
+        SCOPED_TRACE(transportModeName(mode));
+        if (!haveRef) {
+            ref = res;
+            haveRef = true;
+            EXPECT_GT(res.totals.opsAcked, 0u);
+            continue;
+        }
+        EXPECT_EQ(res.fingerprint, ref.fingerprint);
+        EXPECT_EQ(res.totals.opsAcked, ref.totals.opsAcked);
+    }
+}
+
+TEST(FleetDeterminism, LatencyPercentilesAreSaneAndReported)
+{
+    FleetConfig cfg = smallConfig();
+    FleetCampaign campaign(cfg);
+    const FleetResult res = campaign.run();
+    ASSERT_GT(res.totals.opsAcked, 0u);
+    EXPECT_LE(res.p50LatencyTicks, res.p99LatencyTicks);
+    // An ack takes at least the response delay; no op outlives its
+    // deadline (the deadline wakeup completes it).
+    EXPECT_GE(res.p50LatencyTicks, cfg.responseDelay);
+    EXPECT_LE(res.p99LatencyTicks, cfg.retry.opDeadline + 1);
+    EXPECT_NE(res.summary().find("latency"), std::string::npos);
 }
 
 // ---- StackServer chaos-state transitions ---------------------------

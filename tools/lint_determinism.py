@@ -157,6 +157,18 @@ BLESSINGS = [
             "scalar oracles before timing (test_kernels.cc)"
         ),
     ),
+    Blessing(
+        file="bench/fleet_bench_util.h",
+        rule="wall-clock",
+        needle="std::chrono::steady_clock",
+        justification=(
+            "timedCampaign() is the fleet benches' shared Kops/s "
+            "timing wrapper: steady_clock readings feed only wall-"
+            "seconds/throughput report fields, never a seeded result "
+            "-- campaign equivalence is asserted separately on integer "
+            "fingerprints across the transport/batch/thread grid"
+        ),
+    ),
 ]
 
 
