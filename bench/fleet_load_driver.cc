@@ -33,6 +33,14 @@
  *   CITADEL_FLEET_CHAOS        chaos on/off           [0, 1]
  *   CITADEL_FLEET_CRASHES      scheduled crashes      [0, 64]
  *   CITADEL_FLEET_DROP_PROB    request loss prob      [0, 1]
+ *   CITADEL_FLEET_JOIN         crashed/stalled-out servers restart
+ *                              and rejoin (warm fill) [0, 1]
+ *   CITADEL_FLEET_REBALANCE    load-driven hot-shard
+ *                              migration              [0, 1]
+ *   CITADEL_FLEET_CHECKPOINT   checkpoint/resume proof: save at this
+ *                              tick, resume in a fresh campaign, and
+ *                              require the resumed fingerprint to
+ *                              match the headline; 0 = off [0, 1e6]
  *   CITADEL_FLEET_CALIB_INSNS  SystemSim calibration
  *                              slice, 0 = skip        [0, 1e7]
  *   CITADEL_FLEET_FIT_SCALE    device FIT multiplier  [0, 1e6]
@@ -89,6 +97,12 @@ configFromEnv()
         envU64InRange("CITADEL_FLEET_CRASHES", 1, 0, 64));
     cfg.chaos.dropProb =
         envDoubleInRange("CITADEL_FLEET_DROP_PROB", 0.01, 0.0, 1.0);
+    // Elasticity: rejoin after crash/stall-eviction (restart delay is
+    // fixed; the knob is the on/off switch) and hot-shard rebalance.
+    if (envU64InRange("CITADEL_FLEET_JOIN", 0, 0, 1) != 0)
+        cfg.chaos.restartAfterTicks = 192;
+    cfg.coord.rebalanceEnabled =
+        envU64InRange("CITADEL_FLEET_REBALANCE", 0, 0, 1) != 0;
     cfg.server.calibrationInsns =
         envU64InRange("CITADEL_FLEET_CALIB_INSNS", 20'000, 0, 10'000'000);
 
@@ -209,6 +223,45 @@ main()
     if (res.totals.opsAcked == 0) {
         std::cout << "FAIL: service acknowledged nothing\n";
         ok = false;
+    }
+
+    // ---- Elasticity: checkpoint/resume proof -----------------------
+    // Re-run the headline campaign, cut it at the requested tick,
+    // checkpoint, resume into a fresh campaign, and demand the
+    // resumed fingerprint match the uninterrupted headline run.
+    const u64 ckptTick =
+        envU64InRange("CITADEL_FLEET_CHECKPOINT", 0, 0, 1'000'000);
+    if (ckptTick > 0) {
+        u64 campaignTicks = cfg.ticks;
+        if (!cfg.traffic.empty()) {
+            TrafficModel model;
+            std::string err;
+            if (TrafficModel::parse(cfg.traffic, model, &err))
+                campaignTicks = model.totalTicks();
+        }
+        const u64 cut = std::min(ckptTick, campaignTicks - 1);
+        FleetCampaign first(cfg);
+        first.advanceTo(cut);
+        ByteSink sink;
+        first.saveState(sink);
+        FleetCampaign second(cfg);
+        ByteSource src(sink.bytes());
+        second.loadState(src);
+        const FleetResult resumed = second.finish();
+        std::cout << "checkpoint: cut tick " << cut << ", state "
+                  << sink.bytes().size()
+                  << " bytes, resumed fingerprint " << std::hex
+                  << resumed.fingerprint << std::dec << "\n";
+        if (resumed.fingerprint != res.fingerprint) {
+            std::cout << "FAIL: resumed campaign fingerprint differs "
+                         "from the uninterrupted run\n";
+            ok = false;
+        }
+        if (resumed.totals.resumes != 1) {
+            std::cout << "FAIL: resumed campaign counted "
+                      << resumed.totals.resumes << " resumes\n";
+            ok = false;
+        }
     }
 
     // ---- Hot-path measurement: batched wire vs Direct baseline -----

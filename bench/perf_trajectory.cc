@@ -29,6 +29,15 @@
  *     acked-completion latency percentiles in virtual ticks. All
  *     three transports must land on the same campaign fingerprint;
  *     any divergence makes this binary exit non-zero.
+ *  7. Fleet elasticity (schema v6): an elastic chaos campaign —
+ *     crashes and stall-evictions followed by derived restarts, warm
+ *     fills, CRC-checked admissions, and load-driven hot-shard
+ *     migration under zipf skew — reporting warm-fill throughput
+ *     (records/s), join and rebalance counts, and the
+ *     checkpoint/resume proof: the campaign is cut mid-run,
+ *     checkpointed, resumed into a fresh instance, and must land on
+ *     the uninterrupted run's exact fingerprint. Any resume
+ *     divergence makes this binary exit non-zero.
  *
  * The parallel-scaling check is enforced only when the machine
  * actually has the cores the run requested; on constrained runners
@@ -574,13 +583,73 @@ main()
               << "/" << fl_batched.res.p99LatencyTicks
               << " virtual ticks\n";
 
+    std::cout << "\n";
+
+    // ---- 7. Fleet elasticity: join + rebalance + resume ------------
+    // Full elastic chaos: crashes/stalls with derived restarts, warm
+    // fills into rejoining servers, rebalance under zipf skew — then
+    // the resume proof: cut mid-run, checkpoint, resume fresh, and
+    // demand the uninterrupted run's exact fingerprint.
+    fleet::FleetConfig el_cfg = fleet::FleetConfig::demo();
+    el_cfg.traffic = "ticks=256,rate=8,write=0.5,zipf=1.2";
+    el_cfg.chaos.restartAfterTicks = 64;
+    el_cfg.coord.rebalanceEnabled = true;
+    el_cfg.coord.minRoundLoad = 4;
+    el_cfg.coord.overloadFactor = 1.25;
+    el_cfg.server.calibrationInsns = 0;
+    el_cfg.threads = 1;
+
+    const fleet::TimedRun el_run = fleet::timedCampaign(el_cfg);
+    const fleet::FleetCounters &el_tot = el_run.res.totals;
+    const double warm_fill_per_s =
+        el_run.seconds > 0.0
+            ? static_cast<double>(el_tot.warmFills) / el_run.seconds
+            : 0.0;
+    bool all_serving = true;
+    for (const fleet::ServerReport &r : el_run.res.servers)
+        all_serving = all_serving && fleet::serverStateServing(r.state);
+
+    fleet::FleetCampaign el_first(el_cfg);
+    el_first.advanceTo(97);
+    ByteSink el_sink;
+    el_first.saveState(el_sink);
+    fleet::FleetCampaign el_second(el_cfg);
+    ByteSource el_src(el_sink.bytes());
+    el_second.loadState(el_src);
+    const fleet::FleetResult el_resumed = el_second.finish();
+    const bool resume_match =
+        el_resumed.fingerprint == el_run.res.fingerprint;
+    const bool elastic_ok = resume_match &&
+                            fleet::auditClean(el_run.res) &&
+                            el_tot.serverJoins >= 1 && all_serving;
+
+    Table elastic_table(
+        {"fleet elasticity", "count", "rate", "check"});
+    elastic_table.addRow(
+        {"joins (warm-fill admissions)",
+         Table::num(static_cast<double>(el_tot.serverJoins), 0), "-",
+         el_tot.serverJoins >= 1 && all_serving ? "all serving"
+                                                : "NO — BUG"});
+    elastic_table.addRow(
+        {"warm-fill records",
+         Table::num(static_cast<double>(el_tot.warmFills), 0),
+         Table::num(warm_fill_per_s / 1000.0, 1) + " Krec/s", "-"});
+    elastic_table.addRow(
+        {"load migrations",
+         Table::num(static_cast<double>(el_tot.loadMigrations), 0),
+         "-", "-"});
+    elastic_table.addRow(
+        {"resume fingerprint", "-", "-",
+         resume_match ? "match" : "NO — BUG"});
+    elastic_table.print(std::cout);
+
     // ---- JSON emission ---------------------------------------------
     const char *path_env = std::getenv("CITADEL_BENCH_JSON");
     const std::string path =
         path_env && *path_env ? path_env : "BENCH_mc.json";
     std::ofstream json(path);
     json << "{\n"
-         << "  \"schema\": \"citadel-perf-trajectory-v5\",\n"
+         << "  \"schema\": \"citadel-perf-trajectory-v6\",\n"
          << "  \"trials\": " << n << ",\n"
          << "  \"threads\": " << nthreads << ",\n"
          << "  \"hardware_concurrency\": " << hw_threads << ",\n"
@@ -678,7 +747,19 @@ main()
          << "    \"p99_latency_ticks\": "
          << fl_batched.res.p99LatencyTicks << ",\n"
          << "    \"fingerprint_invariant\": "
-         << (fleet_identical ? "true" : "false") << "\n  }\n"
+         << (fleet_identical ? "true" : "false") << "\n  },\n"
+         << "  \"fleet_elasticity\": {\n"
+         << "    \"server_joins\": " << el_tot.serverJoins << ",\n"
+         << "    \"warm_fill_records\": " << el_tot.warmFills << ",\n"
+         << "    \"warm_fill_records_per_s\": " << warm_fill_per_s
+         << ",\n"
+         << "    \"warm_restarts\": " << el_tot.warmRestarts << ",\n"
+         << "    \"load_migrations\": " << el_tot.loadMigrations
+         << ",\n"
+         << "    \"all_servers_serving\": "
+         << (all_serving ? "true" : "false") << ",\n"
+         << "    \"resume_fingerprint_match\": "
+         << (resume_match ? "true" : "false") << "\n  }\n"
          << "}\n";
     json.close();
     std::cout << "\nwrote " << path << "\n";
@@ -701,6 +782,12 @@ main()
     if (!fleet_identical) {
         std::cerr << "FATAL: a fleet wire transport diverged from the "
                      "Direct baseline (fingerprint or audit)\n";
+        return 1;
+    }
+    if (!elastic_ok) {
+        std::cerr << "FATAL: fleet elasticity gate failed (checkpoint "
+                     "resume divergence, unclean audit, or crashed "
+                     "servers not restored to Serving)\n";
         return 1;
     }
     if (scaling_enforced && !scaling_ok) {

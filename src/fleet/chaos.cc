@@ -68,6 +68,15 @@ FleetFaultInjector::FleetFaultInjector(const ChaosOptions &opts,
         ev.server = pool[pick];
         pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
         events_.push_back(ev);
+        // Derived, not drawn: pairing each crash with its restart
+        // keeps every other sampled event exactly where a
+        // restartAfterTicks=0 schedule would put it.
+        if (opts_.restartAfterTicks > 0) {
+            ChaosEvent re = ev;
+            re.kind = ChaosEvent::Kind::Restart;
+            re.tick = ev.tick + opts_.restartAfterTicks;
+            events_.push_back(re);
+        }
     }
     for (u32 i = 0; i < opts_.stalls; ++i) {
         ChaosEvent ev;
@@ -76,6 +85,17 @@ FleetFaultInjector::FleetFaultInjector(const ChaosOptions &opts,
         ev.server = static_cast<ServerIdx>(rng.below(servers));
         ev.duration = opts_.stallTicks;
         events_.push_back(ev);
+        // A stall long enough to miss probes gets the server evicted;
+        // the process is alive, so once the window ends it asks to
+        // rejoin. Derived like crash restarts; a Restart landing on a
+        // server that was never evicted is ignored.
+        if (opts_.restartAfterTicks > 0) {
+            ChaosEvent re = ev;
+            re.kind = ChaosEvent::Kind::Restart;
+            re.tick = ev.tick + ev.duration + opts_.restartAfterTicks;
+            re.duration = 0;
+            events_.push_back(re);
+        }
     }
     for (u32 i = 0; i < opts_.slowdowns; ++i) {
         ChaosEvent ev;

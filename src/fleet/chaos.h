@@ -52,6 +52,18 @@ struct ChaosOptions
     double dropProb = 0.01;
     double dupProb = 0.005;
 
+    /**
+     * Elasticity: ticks after a sampled crash (or after a sampled
+     * stall window ends — a stall-evicted process is alive and wants
+     * back in) at which the server asks the coordinator to rejoin
+     * (the CITADEL_FLEET_JOIN knob). 0 (default) keeps evictions
+     * permanent — the pre-elasticity behavior; schedules sampled with
+     * 0 are bit-identical to before. Restart events are derived from
+     * the sampled crashes/stalls, never separately drawn, so enabling
+     * them perturbs no other event's placement.
+     */
+    u64 restartAfterTicks = 0;
+
     void validate() const;
 };
 
@@ -60,9 +72,10 @@ struct ChaosEvent
 {
     enum class Kind : u8
     {
-        Crash, ///< Fail-stop; queue and device state lost.
-        Stall, ///< Frozen for `duration` ticks.
-        Slow,  ///< Service rate divided by `factor` for `duration`.
+        Crash,   ///< Fail-stop; queue and device state lost.
+        Stall,   ///< Frozen for `duration` ticks.
+        Slow,    ///< Service rate divided by `factor` for `duration`.
+        Restart, ///< Process back up; server asks to rejoin (warm).
     };
 
     u64 tick = 0;

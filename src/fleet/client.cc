@@ -448,6 +448,166 @@ FleetClient::finish()
 }
 
 void
+FleetClient::putOp(ByteSink &sink, const Op &op)
+{
+    sink.putU8(static_cast<u8>(op.kind));
+    sink.putU64(op.key);
+    sink.putU64(op.version);
+    sink.putU64(op.value);
+    sink.putU64(op.issuedAt);
+    sink.putU64(op.deadline);
+    sink.putU32(op.attempts);
+    sink.putU64(op.lastSentAt);
+    sink.putU64(op.retryAt);
+    sink.putBool(op.hedged);
+    sink.putU32(op.mainServer);
+    sink.putU32(op.hedgeServer);
+    sink.putU64(op.ackMask);
+    sink.putU32(op.acks);
+}
+
+FleetClient::Op
+FleetClient::getOp(ByteSource &src)
+{
+    Op op;
+    op.kind = static_cast<OpKind>(src.getU8());
+    op.key = src.getU64();
+    op.version = src.getU64();
+    op.value = src.getU64();
+    op.issuedAt = src.getU64();
+    op.deadline = src.getU64();
+    op.attempts = src.getU32();
+    op.lastSentAt = src.getU64();
+    op.retryAt = src.getU64();
+    op.hedged = src.getBool();
+    op.mainServer = src.getU32();
+    op.hedgeServer = src.getU32();
+    op.ackMask = src.getU64();
+    op.acks = src.getU32();
+    return op;
+}
+
+void
+FleetClient::saveState(ByteSink &sink) const
+{
+    counters_.serialize(sink);
+    sink.putU64(ackedCount_);
+    for (const u64 bucket : hist_)
+        sink.putU64(bucket);
+    if (!flat_) {
+        sink.putU64(versions_.size());
+        for (const auto &[key, v] : versions_) {
+            sink.putU64(key);
+            sink.putU64(v);
+        }
+        sink.putU64(acked_.size());
+        for (const auto &[key, aw] : acked_) {
+            sink.putU64(key);
+            sink.putU64(aw.version);
+            sink.putU64(aw.value);
+        }
+        sink.putU64(ops_.size());
+        for (const auto &[id, op] : ops_) {
+            sink.putU64(id);
+            putOp(sink, op);
+        }
+        // Multimap iteration order IS equal-key FIFO order; restoring
+        // with emplace_hint(end) preserves it exactly.
+        sink.putU64(wake_.size());
+        for (const auto &[tick, id] : wake_) {
+            sink.putU64(tick);
+            sink.putU64(id);
+        }
+        return;
+    }
+    for (const u64 v : versionsFlat_)
+        sink.putU64(v);
+    for (const AckedWrite &aw : ackedFlat_) {
+        sink.putU64(aw.version);
+        sink.putU64(aw.value);
+    }
+    sink.putU64(static_cast<u64>(live_));
+    for (const OpSlot &slot : slots_) {
+        if (!slot.live)
+            continue;
+        sink.putU64(slot.id);
+        putOp(sink, slot.op);
+    }
+    sink.putU64(lastProcessed_);
+    // Buckets are restored by wheel index: together with
+    // lastProcessed_ that reproduces the exact drain behavior.
+    for (const auto &bucket : wheel_) {
+        sink.putU64(bucket.size());
+        for (const u64 id : bucket)
+            sink.putU64(id);
+    }
+}
+
+void
+FleetClient::loadState(ByteSource &src)
+{
+    counters_.deserialize(src);
+    ackedCount_ = src.getU64();
+    for (u64 &bucket : hist_)
+        bucket = src.getU64();
+    if (!flat_) {
+        versions_.clear();
+        const u64 nv = src.getCount(2 * sizeof(u64));
+        for (u64 i = 0; i < nv; ++i) {
+            const u64 key = src.getU64();
+            versions_.emplace_hint(versions_.end(), key, src.getU64());
+        }
+        acked_.clear();
+        const u64 na = src.getCount(3 * sizeof(u64));
+        for (u64 i = 0; i < na; ++i) {
+            const u64 key = src.getU64();
+            AckedWrite aw;
+            aw.version = src.getU64();
+            aw.value = src.getU64();
+            acked_.emplace_hint(acked_.end(), key, aw);
+        }
+        ops_.clear();
+        const u64 no = src.getCount(sizeof(u64));
+        for (u64 i = 0; i < no; ++i) {
+            const u64 id = src.getU64();
+            ops_.emplace_hint(ops_.end(), id, getOp(src));
+        }
+        wake_.clear();
+        const u64 nw = src.getCount(2 * sizeof(u64));
+        for (u64 i = 0; i < nw; ++i) {
+            const u64 tick = src.getU64();
+            wake_.emplace_hint(wake_.end(), tick, src.getU64());
+        }
+        return;
+    }
+    for (u64 &v : versionsFlat_)
+        v = src.getU64();
+    for (AckedWrite &aw : ackedFlat_) {
+        aw.version = src.getU64();
+        aw.value = src.getU64();
+    }
+    for (OpSlot &slot : slots_)
+        slot.live = false;
+    live_ = 0;
+    const u64 nl = src.getCount(sizeof(u64));
+    for (u64 i = 0; i < nl; ++i) {
+        const u64 id = src.getU64();
+        OpSlot &slot = slots_[id & slotMask_];
+        slot.id = id;
+        slot.live = true;
+        slot.op = getOp(src);
+        ++live_;
+    }
+    lastProcessed_ = src.getU64();
+    for (auto &bucket : wheel_) {
+        bucket.clear();
+        const u64 n = src.getCount(sizeof(u64));
+        for (u64 i = 0; i < n; ++i)
+            bucket.push_back(src.getU64());
+    }
+}
+
+void
 FleetClient::serialize(ByteSink &sink) const
 {
     sink.putU64(ackedCount_);

@@ -156,6 +156,16 @@ class FleetClient
      *  fingerprint. */
     void serialize(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
 
+    /**
+     * Full client checkpoint: in-flight ops, pending wakeups (wheel
+     * or multimap, with equal-tick FIFO order preserved), per-key
+     * versions, the acked set, the latency histogram, and counters.
+     * loadState() requires a client constructed with the identical
+     * (policy, replication, quorum, salt, tuning).
+     */
+    void saveState(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
+    void loadState(ByteSource &src) CITADEL_REQUIRES(kSerialPhase);
+
   private:
     struct Op
     {
@@ -183,6 +193,9 @@ class FleetClient
         bool live = false;
         Op op;
     };
+
+    static void putOp(ByteSink &sink, const Op &op);
+    static Op getOp(ByteSource &src);
 
     Op &insertOp(u64 op_id, const Op &op);
     Op *findOp(u64 op_id);

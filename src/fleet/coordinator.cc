@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "ecc/crc32.h"
 
 namespace citadel {
 namespace fleet {
@@ -20,6 +21,21 @@ CoordinatorOptions::validate() const
         fatal("CoordinatorOptions: repairPerTick must be >= 1");
     if (vnodes == 0)
         fatal("CoordinatorOptions: vnodes must be >= 1");
+    if (warmPerTick == 0)
+        fatal("CoordinatorOptions: warmPerTick must be >= 1");
+    if (warmBatch == 0 || warmBatch > kMaxFrameRecords)
+        fatal("CoordinatorOptions: warmBatch must be in [1, %u]",
+              kMaxFrameRecords);
+    if (warmMaxAttempts == 0)
+        fatal("CoordinatorOptions: warmMaxAttempts must be >= 1");
+    if (!(loadAlpha > 0.0) || loadAlpha > 1.0)
+        fatal("CoordinatorOptions: loadAlpha must be in (0, 1]");
+    if (overloadFactor < 1.0)
+        fatal("CoordinatorOptions: overloadFactor must be >= 1");
+    if (hotRounds == 0)
+        fatal("CoordinatorOptions: hotRounds must be >= 1");
+    if (migratePerRound == 0)
+        fatal("CoordinatorOptions: migratePerRound must be >= 1");
 }
 
 Coordinator::Coordinator(const CoordinatorOptions &opts, u32 replication,
@@ -27,7 +43,9 @@ Coordinator::Coordinator(const CoordinatorOptions &opts, u32 replication,
                          std::vector<std::unique_ptr<StackServer>> &fleet)
     : opts_(opts), replication_(replication),
       ring_(static_cast<u32>(fleet.size()), opts.vnodes, seed),
-      fleet_(fleet), missed_(fleet.size(), 0)
+      fleet_(fleet), missed_(fleet.size(), 0), warm_(fleet.size()),
+      roundLoad_(fleet.size(), 0), ewma_(fleet.size(), 0.0),
+      hotStreak_(fleet.size(), 0)
 {
     opts_.validate();
     if (replication_ == 0)
@@ -48,22 +66,63 @@ void
 Coordinator::placement(u64 key, std::vector<ServerIdx> &out) const
 {
     if (key < cacheStamp_.size()) {
-        if (cacheStamp_[key] == ringEpoch_) {
+        if (cacheStamp_[key] == ring_.epoch()) {
             out = cache_[key];
-            return;
+        } else {
+            ring_.placement(key, replication_, out);
+            cache_[key] = out;
+            cacheStamp_[key] = ring_.epoch();
         }
+    } else {
         ring_.placement(key, replication_, out);
-        cache_[key] = out;
-        cacheStamp_[key] = ringEpoch_;
-        return;
     }
-    ring_.placement(key, replication_, out);
+    if (overrides_.empty())
+        return;
+    const auto it = overrides_.find(key);
+    if (it == overrides_.end())
+        return;
+    // A live override promotes the migrated-to server to primary; the
+    // tail of the ring walk backs it up, truncated to the replication
+    // factor. Overrides to servers that have since left the ring are
+    // pruned eagerly (dropOverridesTo), so this target is always live.
+    const ServerIdx target = it->second;
+    const auto pos = std::find(out.begin(), out.end(), target);
+    if (pos != out.end())
+        out.erase(pos);
+    out.insert(out.begin(), target);
+    if (out.size() > replication_)
+        out.resize(replication_);
 }
 
 bool
 Coordinator::inService(ServerIdx s) const
 {
     return ring_.contains(s) && fleet_[s]->serving();
+}
+
+bool
+Coordinator::warming() const
+{
+    for (const WarmState &w : warm_)
+        if (w.active)
+            return true;
+    return false;
+}
+
+void
+Coordinator::noteLoad(ServerIdx server, u64 key)
+{
+    if (!opts_.rebalanceEnabled)
+        return;
+    ++roundLoad_[server];
+    ++keyLoad_[key];
+}
+
+void
+Coordinator::dropOverridesTo(ServerIdx s)
+{
+    for (auto it = overrides_.begin(); it != overrides_.end();)
+        it = it->second == s ? overrides_.erase(it) : std::next(it);
 }
 
 void
@@ -75,15 +134,260 @@ Coordinator::evict(ServerIdx s, bool capacity, FleetCounters &counters)
     // service, and the audit only requires single-failure durability.
     if (ring_.liveCount() <= 1)
         return;
-    ring_.remove(s);
-    ++ringEpoch_; // Invalidate every cached placement lazily.
+    ring_.remove(s); // Bumps the epoch: cached placements invalidate.
     fleet_[s]->fence();
     missed_[s] = 0;
+    dropOverridesTo(s);
     ++counters.failovers;
     if (capacity)
         ++counters.capacityMigrations;
     // Every key whose replica chain included s needs a new copy.
     rescanNeeded_ = true;
+}
+
+void
+Coordinator::requestJoin(ServerIdx s, u64 now, FleetCounters &counters)
+{
+    (void)counters;
+    if (s >= fleet_.size() || fleet_[s]->state() != ServerState::Fenced)
+        return;
+    if (warm_[s].active)
+        return;
+    if (ring_.contains(s)) {
+        // Crashed and restarted before the probe loop could evict it:
+        // its membership survived but its data did not. Strip the
+        // stale membership first; the join below re-earns it.
+        ring_.remove(s);
+        dropOverridesTo(s);
+        rescanNeeded_ = true;
+    }
+    fleet_[s]->beginWarming();
+    WarmState w;
+    w.active = true;
+    w.attempts = 1;
+    w.resumeAt = now;
+    w.epochAtStart = ring_.epoch();
+    w.crc = Crc32::begin();
+    warm_[s] = w;
+}
+
+void
+Coordinator::restartOrAbortWarm(ServerIdx s, u64 now,
+                                FleetCounters &counters)
+{
+    WarmState &w = warm_[s];
+    ++w.attempts;
+    if (w.attempts > opts_.warmMaxAttempts) {
+        fleet_[s]->abortWarming();
+        ++counters.warmAborts;
+        w = WarmState{};
+        return;
+    }
+    ++counters.warmRestarts;
+    // Reset the scan and re-arm the handshake on both sides (the
+    // server's beginWarming() is idempotent in Warming and zeroes its
+    // CRC); linear backoff bounds ring-churn livelock.
+    fleet_[s]->beginWarming();
+    w.epochAtStart = ring_.epoch();
+    w.srcServer = 0;
+    w.haveLast = false;
+    w.lastKey = 0;
+    w.crc = Crc32::begin();
+    w.records = 0;
+    w.resumeAt = now + opts_.warmBackoffTicks * w.attempts;
+}
+
+void
+Coordinator::pumpWarm(u64 now, FleetCounters &counters)
+{
+    for (ServerIdx s = 0; s < fleet_.size(); ++s) {
+        WarmState &w = warm_[s];
+        if (!w.active)
+            continue;
+        if (fleet_[s]->state() != ServerState::Warming) {
+            // Crashed mid-warm: the join dies with the process. A
+            // later restart event files a fresh requestJoin.
+            w = WarmState{};
+            continue;
+        }
+        if (now < w.resumeAt)
+            continue;
+        if (ring_.epoch() != w.epochAtStart) {
+            // Ring churn invalidated the prospective shard mid-scan.
+            restartOrAbortWarm(s, now, counters);
+            continue;
+        }
+        warmWriter_.beginRequestFrame();
+        u32 inFrame = 0;
+        u32 left = opts_.warmPerTick;
+        bool done = false;
+        const auto ship = [&] {
+            if (inFrame == 0)
+                return;
+            fleet_[s]->warmFrame(warmWriter_.finish());
+            warmWriter_.beginRequestFrame();
+            inFrame = 0;
+        };
+        while (left > 0) {
+            if (w.srcServer >= fleet_.size()) {
+                done = true;
+                break;
+            }
+            if (w.srcServer == s || !ring_.contains(w.srcServer) ||
+                !fleet_[w.srcServer]->dataReadable()) {
+                ++w.srcServer;
+                w.haveLast = false;
+                continue;
+            }
+            u64 key = 0, version = 0, value = 0;
+            if (!fleet_[w.srcServer]->kvScan(w.haveLast, w.lastKey, key,
+                                             version, value)) {
+                ++w.srcServer;
+                w.haveLast = false;
+                continue;
+            }
+            w.lastKey = key;
+            w.haveLast = true;
+            --left;
+            // Stream only the joining server's prospective shard:
+            // keys it would own once added. Keys replicated on
+            // several sources stream once per source — idempotent
+            // max-merge on the server, and both CRC sides fold the
+            // identical sequence.
+            ring_.placementPlus(s, key, replication_, scratch_);
+            if (std::find(scratch_.begin(), scratch_.end(), s) ==
+                scratch_.end())
+                continue;
+            Request r;
+            r.kind = OpKind::Write;
+            r.key = key;
+            r.version = version;
+            r.value = value;
+            warmWriter_.add(r);
+            w.crc = Crc32::update(w.crc, key);
+            w.crc = Crc32::update(w.crc, version);
+            w.crc = Crc32::update(w.crc, value);
+            ++w.records;
+            ++counters.warmFills;
+            if (++inFrame >= opts_.warmBatch)
+                ship();
+        }
+        ship();
+        if (done) {
+            // The warming handshake: both ends walked the same record
+            // stream or the server dies loudly.
+            fleet_[s]->admit(w.crc);
+            ring_.add(s); // Epoch bump; caches invalidate lazily.
+            missed_[s] = 0;
+            ++counters.serverJoins;
+            w = WarmState{};
+            // Writes that landed mid-scan went only to the pre-join
+            // replica set; a repair pass pushes the newest versions
+            // onto the new owner and closes the staleness window.
+            rescanNeeded_ = true;
+        }
+    }
+}
+
+void
+Coordinator::rebalance(u64 now, FleetCounters &counters)
+{
+    // Fold this round's send counts into the per-server EWMA.
+    const double a = opts_.loadAlpha;
+    double sum = 0.0;
+    u32 inRing = 0;
+    for (ServerIdx s = 0; s < fleet_.size(); ++s) {
+        ewma_[s] = a * static_cast<double>(roundLoad_[s]) +
+                   (1.0 - a) * ewma_[s];
+        roundLoad_[s] = 0;
+        if (ring_.contains(s)) {
+            sum += ewma_[s];
+            ++inRing;
+        }
+    }
+    // Halve per-key counts so the hot set tracks the present, not the
+    // whole campaign; cold keys fall out of the map entirely.
+    for (auto it = keyLoad_.begin(); it != keyLoad_.end();)
+        it = (it->second >>= 1) == 0 ? keyLoad_.erase(it)
+                                     : std::next(it);
+    if (inRing == 0)
+        return;
+    const double mean = sum / inRing;
+    if (mean < static_cast<double>(opts_.minRoundLoad)) {
+        // Idle fleet: imbalance over noise-level traffic is not worth
+        // moving data for (the hysteresis floor).
+        std::fill(hotStreak_.begin(), hotStreak_.end(), 0);
+        return;
+    }
+    for (ServerIdx s = 0; s < fleet_.size(); ++s) {
+        if (!ring_.contains(s) || !fleet_[s]->serving()) {
+            hotStreak_[s] = 0;
+            continue;
+        }
+        if (ewma_[s] > opts_.overloadFactor * mean)
+            ++hotStreak_[s];
+        else
+            hotStreak_[s] = 0;
+        if (hotStreak_[s] < opts_.hotRounds)
+            continue;
+        hotStreak_[s] = 0; // Hysteresis: re-qualify before moving more.
+        // Coolest serving target takes the heat.
+        ServerIdx target = kNoServer;
+        for (ServerIdx t = 0; t < fleet_.size(); ++t) {
+            if (t == s || !ring_.contains(t) || !fleet_[t]->serving())
+                continue;
+            if (target == kNoServer || ewma_[t] < ewma_[target])
+                target = t;
+        }
+        if (target == kNoServer)
+            continue;
+        // Hottest keys first; (count desc, key asc) is a total order.
+        hotScratch_.clear();
+        for (const auto &[key, cnt] : keyLoad_)
+            hotScratch_.push_back({cnt, key});
+        std::sort(hotScratch_.begin(), hotScratch_.end(),
+                  [](const auto &x, const auto &y) {
+                      if (x.first != y.first)
+                          return x.first > y.first;
+                      return x.second < y.second;
+                  });
+        u32 moved = 0;
+        for (const auto &[cnt, key] : hotScratch_) {
+            (void)cnt;
+            if (moved >= opts_.migratePerRound)
+                break; // Rate cap: rebalance cannot thrash.
+            const auto cd = cooldown_.find(key);
+            if (cd != cooldown_.end() && now < cd->second)
+                continue;
+            placement(key, scratch_);
+            if (scratch_.empty() || scratch_[0] != s)
+                continue;
+            // Install the newest replica on the target before the
+            // override flips reads toward it.
+            u64 bestV = 0, bestVal = 0;
+            for (const ServerIdx r : scratch_) {
+                if (!fleet_[r]->dataReadable())
+                    continue;
+                const auto [v, val] = fleet_[r]->lookup(key);
+                if (v > bestV) {
+                    bestV = v;
+                    bestVal = val;
+                }
+            }
+            if (bestV > 0 &&
+                fleet_[target]->lookup(key).first < bestV) {
+                fleet_[target]->applyReplica(key, bestV, bestVal);
+                ++counters.repairPushes;
+            }
+            overrides_[key] = target;
+            cooldown_[key] = now + opts_.keyCooldownTicks;
+            ++counters.loadMigrations;
+            ++moved;
+        }
+    }
+    // Expired cooldowns are dead weight; drop them.
+    for (auto it = cooldown_.begin(); it != cooldown_.end();)
+        it = now >= it->second ? cooldown_.erase(it) : std::next(it);
 }
 
 void
@@ -111,7 +415,10 @@ Coordinator::tick(u64 now, FleetCounters &counters)
             if (!h.healthyAbove(opts_.capacityFloor))
                 evict(s, true, counters);
         }
+        if (opts_.rebalanceEnabled)
+            rebalance(now, counters);
     }
+    pumpWarm(now, counters);
     pumpRepair(opts_.repairPerTick, counters);
 }
 
@@ -183,11 +490,127 @@ Coordinator::drainRepairs(FleetCounters &counters)
 }
 
 void
+Coordinator::drainElastic(u64 now, FleetCounters &counters)
+{
+    // Advance a virtual clock so warm backoff windows elapse. Bounded:
+    // every warm scan either finishes (finite sources x keys per
+    // attempt, <= warmMaxAttempts attempts, and the only mid-drain
+    // epoch changes are admissions — at most one per server) or
+    // aborts; then it is drainRepairs().
+    u64 t = now;
+    u64 guard = 0;
+    while (warming() || repairing()) {
+        pumpWarm(t, counters);
+        pumpRepair(0xFFFFFFFFu, counters);
+        ++t;
+        if (++guard > 100000000ull)
+            fatal("Coordinator::drainElastic: no forward progress");
+    }
+}
+
+void
 Coordinator::serialize(ByteSink &sink) const
 {
-    ring_.serialize(sink);
+    // The fingerprint is the full control-plane state: anything that
+    // could steer a future placement, repair, join, or migration.
+    saveState(sink);
+}
+
+void
+Coordinator::saveState(ByteSink &sink) const
+{
+    ring_.saveState(sink);
     for (const u32 m : missed_)
-        sink.putU64(m);
+        sink.putU32(m);
+    sink.putBool(rescanNeeded_);
+    sink.putBool(scanning_);
+    sink.putU32(scanServer_);
+    sink.putBool(haveLastKey_);
+    sink.putU64(lastKey_);
+    for (const WarmState &w : warm_) {
+        sink.putBool(w.active);
+        sink.putU32(w.attempts);
+        sink.putU64(w.resumeAt);
+        sink.putU64(w.epochAtStart);
+        sink.putU32(w.srcServer);
+        sink.putBool(w.haveLast);
+        sink.putU64(w.lastKey);
+        sink.putU32(w.crc);
+        sink.putU64(w.records);
+    }
+    for (const u64 l : roundLoad_)
+        sink.putU64(l);
+    for (const double e : ewma_)
+        sink.putDouble(e);
+    for (const u32 h : hotStreak_)
+        sink.putU32(h);
+    sink.putU64(keyLoad_.size());
+    for (const auto &[key, cnt] : keyLoad_) {
+        sink.putU64(key);
+        sink.putU64(cnt);
+    }
+    sink.putU64(overrides_.size());
+    for (const auto &[key, target] : overrides_) {
+        sink.putU64(key);
+        sink.putU32(target);
+    }
+    sink.putU64(cooldown_.size());
+    for (const auto &[key, until] : cooldown_) {
+        sink.putU64(key);
+        sink.putU64(until);
+    }
+}
+
+void
+Coordinator::loadState(ByteSource &src)
+{
+    ring_.loadState(src);
+    for (u32 &m : missed_)
+        m = src.getU32();
+    rescanNeeded_ = src.getBool();
+    scanning_ = src.getBool();
+    scanServer_ = src.getU32();
+    haveLastKey_ = src.getBool();
+    lastKey_ = src.getU64();
+    for (WarmState &w : warm_) {
+        w.active = src.getBool();
+        w.attempts = src.getU32();
+        w.resumeAt = src.getU64();
+        w.epochAtStart = src.getU64();
+        w.srcServer = src.getU32();
+        w.haveLast = src.getBool();
+        w.lastKey = src.getU64();
+        w.crc = src.getU32();
+        w.records = src.getU64();
+    }
+    for (u64 &l : roundLoad_)
+        l = src.getU64();
+    for (double &e : ewma_)
+        e = src.getDouble();
+    for (u32 &h : hotStreak_)
+        h = src.getU32();
+    keyLoad_.clear();
+    const u64 nk = src.getCount(2 * sizeof(u64));
+    for (u64 i = 0; i < nk; ++i) {
+        const u64 key = src.getU64();
+        keyLoad_.emplace_hint(keyLoad_.end(), key, src.getU64());
+    }
+    overrides_.clear();
+    const u64 no = src.getCount(sizeof(u64) + sizeof(u32));
+    for (u64 i = 0; i < no; ++i) {
+        const u64 key = src.getU64();
+        overrides_.emplace_hint(overrides_.end(), key, src.getU32());
+    }
+    cooldown_.clear();
+    const u64 nc = src.getCount(2 * sizeof(u64));
+    for (u64 i = 0; i < nc; ++i) {
+        const u64 key = src.getU64();
+        cooldown_.emplace_hint(cooldown_.end(), key, src.getU64());
+    }
+    // The placement cache is a memo, not state: stamp 0 never matches
+    // a real epoch (epochs start at 1), so every entry re-walks the
+    // restored ring lazily and identically.
+    std::fill(cacheStamp_.begin(), cacheStamp_.end(), 0);
 }
 
 } // namespace fleet

@@ -1,7 +1,9 @@
 /**
  * @file
- * Fleet coordinator: placement, health checking, failover, and
- * re-replication.
+ * Fleet coordinator: placement, health checking, failover,
+ * re-replication — and the elastic half of the control plane
+ * (DESIGN.md §16): server join/rejoin and load-driven hot-shard
+ * migration.
  *
  * The coordinator owns the consistent-hash ring. Every `healthEvery`
  * ticks it probes each in-ring server; `failThreshold` consecutive
@@ -20,6 +22,28 @@
  * repair *sources* (their state is intact — they are drained, not
  * dead); crashed servers are unreadable.
  *
+ * Join (the inverse of eviction): a Fenced server that asks to rejoin
+ * via requestJoin() enters Warming. Each tick the warm pump streams
+ * the server its *prospective* shard — every key placementPlus() says
+ * it would own once in the ring — from live replicas, as wire-encoded
+ * RequestBatch frames, while client traffic still routes around it.
+ * Ring churn mid-scan (an eviction or another admission bumps the
+ * epoch) restarts the scan with bounded backoff; exhausting the
+ * attempt budget aborts back to Fenced. When the scan completes, the
+ * coordinator and server compare running CRC-32s over every streamed
+ * (key, version, value) — the warming handshake — and only a match
+ * admits the server: ring add, epoch bump, Warming -> Up. A follow-up
+ * repair scan then closes the staleness window (writes that landed
+ * while the scan was in flight).
+ *
+ * Rebalance (off by default): when enabled, each send is counted per
+ * server and per key; every probe round folds the counts into a
+ * per-server EWMA. A server whose EWMA exceeds `overloadFactor` times
+ * the in-ring mean for `hotRounds` consecutive rounds (hysteresis)
+ * sheds its hottest keys — at most `migratePerRound` per round (rate
+ * cap), each with a per-key cooldown — to the coolest serving server
+ * via a placement override applied after the pure ring walk.
+ *
  * Everything here runs in the campaign's serial phase in server-index
  * order: deterministic by construction.
  */
@@ -27,11 +51,13 @@
 #ifndef CITADEL_FLEET_COORDINATOR_H
 #define CITADEL_FLEET_COORDINATOR_H
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "fleet/hash_ring.h"
 #include "fleet/stack_server.h"
+#include "fleet/wire.h"
 
 namespace citadel {
 namespace fleet {
@@ -45,6 +71,23 @@ struct CoordinatorOptions
     u32 repairPerTick = 128;   ///< Keys re-replicated per tick.
     u32 vnodes = 64;           ///< Ring points per server.
 
+    // Elasticity: warm-fill (join) pump.
+    u32 warmPerTick = 128;    ///< Source keys examined per tick per join.
+    u32 warmBatch = 64;       ///< Records per warm-fill wire frame.
+    u64 warmBackoffTicks = 8; ///< Backoff base after a warm restart.
+    u32 warmMaxAttempts = 6;  ///< Scan attempts before aborting a join.
+
+    // Elasticity: load-driven rebalance (CITADEL_FLEET_REBALANCE /
+    // FleetConfig turns it on; the default keeps capacity-driven
+    // migration as the only mover, matching pre-elasticity behavior).
+    bool rebalanceEnabled = false;
+    double loadAlpha = 0.30;      ///< EWMA smoothing per probe round.
+    double overloadFactor = 1.50; ///< Hot when ewma > factor * mean.
+    u32 hotRounds = 2;       ///< Consecutive hot rounds before moving.
+    u32 migratePerRound = 4; ///< Hot-shard moves per round (rate cap).
+    u64 minRoundLoad = 16;   ///< Mean EWMA floor: idle fleets never move.
+    u64 keyCooldownTicks = 64; ///< Per-key re-migration cooldown.
+
     void validate() const;
 };
 
@@ -57,10 +100,11 @@ class Coordinator
                 std::vector<std::unique_ptr<StackServer>> &fleet);
 
     // Everything below runs in the campaign's serial phase: the
-    // coordinator reaches into every server (probes, repairs, fences),
-    // so none of it may overlap the parallel step fan-out.
+    // coordinator reaches into every server (probes, repairs, fences,
+    // warm fills), so none of it may overlap the parallel step fan-out.
 
-    /** Current replica set of a key, primary first. */
+    /** Current replica set of a key, primary first: the ring walk,
+     *  with any live rebalance override applied on top. */
     void placement(u64 key, std::vector<ServerIdx> &out) const
         CITADEL_REQUIRES(kSerialPhase);
 
@@ -74,14 +118,34 @@ class Coordinator
      */
     void enablePlacementCache(u64 keySpace);
 
-    /** Serial-phase duties: probe round (on schedule), evictions, and
-     *  the bounded re-replication pump. */
+    /** Serial-phase duties: probe round + rebalance (on schedule),
+     *  evictions, the warm pump, and the bounded repair pump. */
     void tick(u64 now, FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
+
+    /**
+     * A Fenced server (previously evicted, or freshly restarted after
+     * a crash) asks to rejoin: it enters Warming and the warm pump
+     * starts streaming it its prospective shard. If the server is
+     * somehow still in the ring (it crashed and restarted faster than
+     * probes could evict it), it is first removed — its DRAM is gone,
+     * so its old membership is a lie. Ignored unless Fenced.
+     */
+    void requestJoin(ServerIdx s, u64 now, FleetCounters &counters)
         CITADEL_REQUIRES(kSerialPhase);
 
     /** Run the repair pump to completion (end-of-campaign settle, so
      *  the durability audit sees a fully re-replicated fleet). */
     void drainRepairs(FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
+
+    /**
+     * Drain warm fills *and* repairs to completion (`now` continues
+     * from the campaign's last tick so warm backoff windows elapse).
+     * Every join in flight either admits or exhausts its attempt
+     * budget; afterwards warming() and repairing() are both false.
+     */
+    void drainElastic(u64 now, FleetCounters &counters)
         CITADEL_REQUIRES(kSerialPhase);
 
     /** In the ring and serving. */
@@ -92,13 +156,51 @@ class Coordinator
     /** Repair backlog still pending? */
     bool repairing() const { return scanning_ || rescanNeeded_; }
 
+    /** Any join (warm fill) still in flight? */
+    bool warming() const;
+
+    /** Count each request routed toward `server` (load tracking for
+     *  the rebalancer; no-op unless rebalance is enabled). */
+    void noteLoad(ServerIdx server, u64 key)
+        CITADEL_REQUIRES(kSerialPhase);
+
     void serialize(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
 
+    /** Checkpoint the full coordinator state (ring membership + epoch,
+     *  probe misses, repair cursor, warm scans, load/EWMA/override
+     *  state). The placement cache is not state — it is rebuilt
+     *  lazily and bit-identically after loadState(). */
+    void saveState(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
+    void loadState(ByteSource &src) CITADEL_REQUIRES(kSerialPhase);
+
   private:
+    /** One in-flight join: the warm scan cursor plus its handshake
+     *  CRC and retry budget. */
+    struct WarmState
+    {
+        bool active = false;
+        u32 attempts = 0;
+        u64 resumeAt = 0;     ///< Backoff gate (ticks).
+        u64 epochAtStart = 0; ///< Ring epoch this scan is valid for.
+        ServerIdx srcServer = 0;
+        bool haveLast = false;
+        u64 lastKey = 0;
+        u32 crc = 0;      ///< Coordinator-side streamed-record CRC.
+        u64 records = 0;  ///< Records streamed this scan.
+    };
+
     void evict(ServerIdx s, bool capacity, FleetCounters &counters)
         CITADEL_REQUIRES(kSerialPhase);
     void pumpRepair(u32 budget, FleetCounters &counters)
         CITADEL_REQUIRES(kSerialPhase);
+    void pumpWarm(u64 now, FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
+    void restartOrAbortWarm(ServerIdx s, u64 now,
+                            FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
+    void rebalance(u64 now, FleetCounters &counters)
+        CITADEL_REQUIRES(kSerialPhase);
+    void dropOverridesTo(ServerIdx s);
 
     CoordinatorOptions opts_;
     u32 replication_;
@@ -113,14 +215,29 @@ class Coordinator
     bool haveLastKey_ = false;
     u64 lastKey_ = 0;
 
-    // Placement memo (enablePlacementCache): per-key replica sets
-    // stamped with the ring epoch of the walk that produced them; an
-    // eviction bumps the epoch and lazily invalidates everything.
-    u64 ringEpoch_ = 1;
+    // Joins in flight, indexed by server.
+    std::vector<WarmState> warm_;
+    FrameWriter warmWriter_;
+
+    // Rebalancer state (all empty/zero while disabled). Ordered maps:
+    // iteration order is part of the determinism contract.
+    std::vector<u64> roundLoad_;  ///< Sends per server since last round.
+    std::vector<double> ewma_;    ///< Smoothed per-server load.
+    std::vector<u32> hotStreak_;  ///< Consecutive overloaded rounds.
+    std::map<u64, u64> keyLoad_;  ///< Per-key counts (halved each round).
+    std::map<u64, ServerIdx> overrides_; ///< key -> migrated primary.
+    std::map<u64, u64> cooldown_; ///< key -> tick it may move again.
+
+    // Placement memo (enablePlacementCache): per-key *ring* replica
+    // sets stamped with the ring epoch of the walk that produced them;
+    // any membership change bumps the epoch and lazily invalidates
+    // everything. Overrides are applied after the cache, so the cache
+    // stays a pure ring memo.
     mutable std::vector<u64> cacheStamp_;
     mutable std::vector<std::vector<ServerIdx>> cache_;
 
     std::vector<ServerIdx> scratch_;
+    std::vector<std::pair<u64, u64>> hotScratch_; ///< (count, key).
 };
 
 } // namespace fleet

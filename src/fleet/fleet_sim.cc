@@ -6,7 +6,6 @@
 
 #include "common/log.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
 #include "faults/fit_rates.h"
 #include "stack/geometry.h"
 
@@ -175,6 +174,7 @@ FleetCampaign::FleetCampaign(const FleetConfig &cfg)
     coordinator_ = std::make_unique<Coordinator>(
         cfg_.coord, cfg_.replication, mix64(cfg_.seed ^ 0x419Cull),
         fleet_);
+    pool_ = std::make_unique<ThreadPool>(cfg_.threads);
     if (!cfg_.traffic.empty()) {
         std::string err;
         if (!TrafficModel::parse(cfg_.traffic, traffic_, &err))
@@ -209,8 +209,9 @@ FleetCampaign::~FleetCampaign() = default;
 void
 FleetCampaign::injectChaosEvent(const ChaosEvent &ev)
 {
-    if (ran_)
-        fatal("FleetCampaign: injectChaosEvent after run()");
+    if (finished_ || tick_ > 0)
+        fatal("FleetCampaign: injectChaosEvent after the campaign "
+              "started");
     if (ev.server >= cfg_.servers)
         fatal("FleetCampaign: chaos event targets server %u of %u",
               ev.server, cfg_.servers);
@@ -222,6 +223,10 @@ FleetCampaign::sendToServer(const Request &r, ServerIdx s)
 {
     if (s >= fleet_.size())
         fatal("FleetCampaign: send to unknown server %u", s);
+    // Load accounting sees every routed request, including ones the
+    // chaos network then eats: load is what the client *sends*, so it
+    // is identical across transports and chaos outcomes.
+    coordinator_->noteLoad(s, r.key);
     if (injector_.dropRequest(r.op, r.attempt, s)) {
         ++loopCounters_.requestsDropped;
         return;
@@ -392,6 +397,17 @@ FleetCampaign::applyChaos(u64 tick, FleetCounters &c)
                 ++c.serverSlowdowns;
             }
             break;
+        case ChaosEvent::Kind::Restart:
+            // The process is back: a crashed server restarts (empty
+            // DRAM, Fenced), and any fenced server asks the
+            // coordinator to rejoin — the warm pump takes it from
+            // there. A server that is serving or already warming
+            // ignores the event.
+            if (srv.state() == ServerState::Crashed)
+                srv.restart();
+            if (srv.state() == ServerState::Fenced)
+                coordinator_->requestJoin(ev.server, tick, c);
+            break;
         }
     }
 }
@@ -511,29 +527,40 @@ FleetCampaign::collectOutboxes(u64 tick)
             pending_.emplace(tick + cfg_.responseDelay, r);
 }
 
+void
+FleetCampaign::stepServers()
+{
+    if (pool_->size() > 1) {
+        pool_->parallelFor(cfg_.servers, 1,
+                           [this](u64 b, u64 e, unsigned) {
+                               for (u64 s = b; s < e; ++s)
+                                   fleet_[s]->step(tick_);
+                           });
+    } else {
+        for (u32 s = 0; s < cfg_.servers; ++s)
+            fleet_[s]->step(tick_);
+    }
+}
+
 FleetResult
 FleetCampaign::run()
 {
-    if (ran_)
-        fatal("FleetCampaign: run() may be called once");
-    ran_ = true;
+    advanceTo(cfg_.ticks);
+    return finish();
+}
 
-    ThreadPool pool(cfg_.threads);
-    const bool parallel = pool.size() > 1;
-    const auto step_servers = [&] {
-        if (parallel) {
-            pool.parallelFor(cfg_.servers, 1,
-                             [this](u64 b, u64 e, unsigned) {
-                                 for (u64 s = b; s < e; ++s)
-                                     fleet_[s]->step(tick_);
-                             });
-        } else {
-            for (u32 s = 0; s < cfg_.servers; ++s)
-                fleet_[s]->step(tick_);
-        }
-    };
+void
+FleetCampaign::advanceTo(u64 target)
+{
+    if (finished_)
+        fatal("FleetCampaign: advanceTo after finish()");
+    if (target > cfg_.ticks)
+        fatal("FleetCampaign: advanceTo(%llu) beyond the campaign's "
+              "%llu ticks",
+              static_cast<unsigned long long>(target),
+              static_cast<unsigned long long>(cfg_.ticks));
 
-    for (tick_ = 0; tick_ < cfg_.ticks; ++tick_) {
+    for (; tick_ < target; ++tick_) {
         {
             // Serial phase: all cross-server communication, fixed
             // order. The scoped role grant is what lets these calls
@@ -552,19 +579,28 @@ FleetCampaign::run()
         }
         // Parallel phase: per-server state only; the role is dropped,
         // so worker lambdas cannot reach serial-phase methods.
-        step_servers();
+        stepServers();
         {
             // Serial collection, server-index order.
             ThreadRoleGrant serial(kSerialPhase);
             collectOutboxes(tick_);
         }
     }
+}
+
+FleetResult
+FleetCampaign::finish()
+{
+    if (finished_)
+        fatal("FleetCampaign: finish() may be called once");
+    advanceTo(cfg_.ticks);
+    finished_ = true;
 
     // Settle: no new arrivals; run until every in-flight operation has
     // resolved (the op deadline bounds this) and the wire is empty.
     const u64 settle_limit =
         cfg_.ticks + cfg_.retry.opDeadline + cfg_.responseDelay + 2;
-    for (tick_ = cfg_.ticks; tick_ < settle_limit; ++tick_) {
+    for (; tick_ < settle_limit; ++tick_) {
         {
             ThreadRoleGrant serial(kSerialPhase);
             if (client_.inflight() == 0 && pendingCount() == 0)
@@ -574,20 +610,37 @@ FleetCampaign::run()
             flushShards(tick_);
             coordinator_->tick(tick_, loopCounters_);
         }
-        step_servers();
+        stepServers();
         {
             ThreadRoleGrant serial(kSerialPhase);
             collectOutboxes(tick_);
         }
     }
 
-    // The pool is idle from here on: the tail of the campaign (repair
-    // drain, audit, fingerprint) is one long serial phase.
+    // The pool is idle from here on: the tail of the campaign (late
+    // restarts, elastic drain, audit, fingerprint) is one long serial
+    // phase.
     ThreadRoleGrant serial(kSerialPhase);
 
-    // Re-replication settles before the audit: repair is part of the
-    // service's durability story, not a background nicety.
-    coordinator_->drainRepairs(loopCounters_);
+    // Late restarts: a crash near the campaign end schedules its
+    // rejoin past the last tick; fire those now so the fleet settles
+    // with every restartable server back in the ring before the
+    // audit counts liveServers.
+    const auto &sched = injector_.schedule();
+    while (nextEvent_ < sched.size()) {
+        const ChaosEvent &ev = sched[nextEvent_++];
+        if (ev.kind != ChaosEvent::Kind::Restart)
+            continue;
+        StackServer &srv = *fleet_[ev.server];
+        if (srv.state() == ServerState::Crashed)
+            srv.restart();
+        if (srv.state() == ServerState::Fenced)
+            coordinator_->requestJoin(ev.server, tick_, loopCounters_);
+    }
+
+    // Warm fills and re-replication settle before the audit: both are
+    // part of the service's durability story, not background niceties.
+    coordinator_->drainElastic(tick_, loopCounters_);
     client_.finish();
 
     FleetCounters totals = loopCounters_;
@@ -681,13 +734,117 @@ FleetCampaign::audit(FleetCounters totals)
     }
 
     ByteSink sink;
-    res.totals.serialize(sink);
+    // `resumes` counts loadState() calls — operator action, not
+    // campaign behavior — so the fingerprint hashes it as zero: a
+    // resumed campaign must fingerprint bit-identically to an
+    // uninterrupted one, whatever the cut point.
+    FleetCounters fpTotals = res.totals;
+    fpTotals.resumes = 0;
+    fpTotals.serialize(sink);
     coordinator_->serialize(sink);
     client_.serialize(sink);
     for (u32 s = 0; s < cfg_.servers; ++s)
         fleet_[s]->serialize(sink);
     res.fingerprint = fnv1a(sink.bytes());
     return res;
+}
+
+u64
+FleetCampaign::scheduleHash() const
+{
+    ByteSink sink;
+    for (const ChaosEvent &ev : injector_.schedule()) {
+        sink.putU64(ev.tick);
+        sink.putU8(static_cast<u8>(ev.kind));
+        sink.putU32(ev.server);
+        sink.putU64(ev.duration);
+        sink.putU32(ev.factor);
+    }
+    return fnv1a(sink.bytes());
+}
+
+void
+FleetCampaign::saveState(ByteSink &sink) const
+{
+    if (finished_)
+        fatal("FleetCampaign: saveState after finish()");
+    // saveState is called between advanceTo() calls — one long serial
+    // phase as far as the campaign is concerned.
+    ThreadRoleGrant serial(kSerialPhase);
+    if (wire())
+        for (u32 s = 0; s < cfg_.servers; ++s)
+            if (shards_->count(s) != 0)
+                fatal("FleetCampaign: saveState with undrained "
+                      "submission shards (not at a tick boundary)");
+
+    sink.putU64(scheduleHash());
+    sink.putU64(tick_);
+    sink.putU64(nextOp_);
+    sink.putU64(nextEvent_);
+    loopCounters_.serialize(sink);
+    client_.saveState(sink);
+    coordinator_->saveState(sink);
+    for (const auto &srv : fleet_)
+        srv->saveState(sink);
+    if (!wire()) {
+        sink.putU64(pending_.size());
+        for (const auto &[due, resp] : pending_) {
+            sink.putU64(due);
+            putResponse(sink, resp);
+        }
+        return;
+    }
+    // Wheel buckets by index: with tick_ restored, (due & mask)
+    // addressing reproduces delivery exactly.
+    for (const auto &bucket : respWheel_) {
+        sink.putU64(bucket.size());
+        for (const Response &r : bucket)
+            putResponse(sink, r);
+    }
+}
+
+void
+FleetCampaign::loadState(ByteSource &src)
+{
+    if (finished_)
+        fatal("FleetCampaign: loadState after finish()");
+    ThreadRoleGrant serial(kSerialPhase);
+
+    const u64 hash = src.getU64();
+    if (hash != scheduleHash())
+        fatal("FleetCampaign: checkpoint chaos schedule does not match "
+              "this campaign (different config, seed, or scripted "
+              "events)");
+    tick_ = src.getU64();
+    nextOp_ = src.getU64();
+    nextEvent_ = src.getU64();
+    if (tick_ > cfg_.ticks || nextEvent_ > injector_.schedule().size())
+        fatal("FleetCampaign: corrupt checkpoint cursors");
+    loopCounters_.deserialize(src);
+    client_.loadState(src);
+    coordinator_->loadState(src);
+    for (const auto &srv : fleet_)
+        srv->loadState(src);
+    if (!wire()) {
+        pending_.clear();
+        const u64 n =
+            src.getCount(sizeof(u64) + kResponseRecordBytes);
+        for (u64 i = 0; i < n; ++i) {
+            const u64 due = src.getU64();
+            pending_.emplace_hint(pending_.end(), due,
+                                  getResponse(src));
+        }
+    } else {
+        respWheelCount_ = 0;
+        for (auto &bucket : respWheel_) {
+            bucket.clear();
+            const u64 n = src.getCount(kResponseRecordBytes);
+            for (u64 i = 0; i < n; ++i)
+                bucket.push_back(getResponse(src));
+            respWheelCount_ += bucket.size();
+        }
+    }
+    ++loopCounters_.resumes;
 }
 
 } // namespace fleet

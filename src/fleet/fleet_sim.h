@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "fleet/chaos.h"
 #include "fleet/client.h"
 #include "fleet/coordinator.h"
@@ -168,6 +169,37 @@ class FleetCampaign
     /** Run the campaign to completion and audit. Call once. */
     FleetResult run();
 
+    /**
+     * Run the campaign loop up to virtual tick `target` (exclusive)
+     * and stop at the tick boundary — the checkpointable cut point.
+     * Monotonic; `target` <= cfg.ticks. run() == advanceTo(cfg.ticks)
+     * + finish().
+     */
+    void advanceTo(u64 target);
+
+    /** Settle in-flight operations, drain warm fills and repairs
+     *  (drainElastic), and audit. Call once, after any advanceTo /
+     *  loadState sequence. */
+    FleetResult finish();
+
+    /** Ticks executed so far. */
+    u64 tick() const { return tick_; }
+
+    /**
+     * Campaign checkpoint at a tick boundary (between advanceTo
+     * calls): tick and arrival/chaos cursors, loop counters, client,
+     * coordinator, every server (full LiveRasDatapath state), and all
+     * in-flight responses. Guarded by a chaos-schedule hash, so a
+     * checkpoint can only be restored into a campaign constructed
+     * with the identical config, seed, and scripted events.
+     * loadState() counts into FleetCounters::resumes, which audit()
+     * zeroes for the fingerprint — a resumed campaign fingerprints
+     * bit-identically to an uninterrupted one, whatever the cut point
+     * or thread count.
+     */
+    void saveState(ByteSink &sink) const;
+    void loadState(ByteSource &src);
+
     const Coordinator &coordinator() const { return *coordinator_; }
     const StackServer &server(ServerIdx s) const { return *fleet_[s]; }
 
@@ -193,6 +225,14 @@ class FleetCampaign
     FleetResult audit(FleetCounters totals)
         CITADEL_REQUIRES(kSerialPhase);
 
+    /** Parallel phase: fan server steps out to the pool (or run them
+     *  inline single-threaded). Must not hold the serial role. */
+    void stepServers() CITADEL_EXCLUDES(kSerialPhase);
+
+    /** Digest of the chaos schedule: the checkpoint compatibility
+     *  guard (same config + seed + scripted events => same hash). */
+    u64 scheduleHash() const;
+
     bool wire() const { return cfg_.transport != TransportMode::Direct; }
 
     static FleetConfig normalized(const FleetConfig &cfg);
@@ -203,6 +243,7 @@ class FleetCampaign
     std::unique_ptr<Coordinator> coordinator_;
     FleetClient client_;
     TrafficModel traffic_; ///< Active iff cfg_.traffic is non-empty.
+    std::unique_ptr<ThreadPool> pool_; ///< Lives across advanceTo calls.
 
     u64 tick_ = 0;
     u64 nextOp_ = 0; ///< Trace-mode dense operation-id counter.
@@ -231,7 +272,7 @@ class FleetCampaign
     std::vector<std::pair<u32, Response>> busyScratch_;
 
     FleetCounters loopCounters_; ///< Chaos + network accounting.
-    bool ran_ = false;
+    bool finished_ = false;
 };
 
 } // namespace fleet

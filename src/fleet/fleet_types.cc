@@ -1,5 +1,6 @@
 #include "fleet/fleet_types.h"
 
+#include <cstring>
 #include <sstream>
 
 namespace citadel {
@@ -35,8 +36,34 @@ serverStateName(ServerState s)
         return "Fenced";
     case ServerState::Crashed:
         return "Crashed";
+    case ServerState::Warming:
+        return "Warming";
     }
     return "?";
+}
+
+bool
+serverTransitionAllowed(ServerState from, ServerState to)
+{
+    if (from == to)
+        return false;
+    switch (from) {
+    case ServerState::Up:
+    case ServerState::Stalled:
+    case ServerState::Slowed:
+        // Within Serving freely, or out to Fenced/Crashed. Never
+        // directly into Warming: only Fenced servers warm.
+        return to != ServerState::Warming;
+    case ServerState::Fenced:
+        return to == ServerState::Warming || to == ServerState::Crashed;
+    case ServerState::Crashed:
+        return to == ServerState::Fenced; // process restart
+    case ServerState::Warming:
+        // Admission (the only re-entry into Serving), abort, or crash.
+        return to == ServerState::Up || to == ServerState::Fenced ||
+               to == ServerState::Crashed;
+    }
+    return false;
 }
 
 void
@@ -67,6 +94,12 @@ FleetCounters::add(const FleetCounters &c)
     failovers += c.failovers;
     capacityMigrations += c.capacityMigrations;
     repairPushes += c.repairPushes;
+    serverJoins += c.serverJoins;
+    warmFills += c.warmFills;
+    warmRestarts += c.warmRestarts;
+    warmAborts += c.warmAborts;
+    loadMigrations += c.loadMigrations;
+    resumes += c.resumes;
     requestsServed += c.requestsServed;
     serviceUnitsSpent += c.serviceUnitsSpent;
     queueRejections += c.queueRejections;
@@ -103,11 +136,29 @@ FleetCounters::serialize(ByteSink &sink) const
     sink.putU64(failovers);
     sink.putU64(capacityMigrations);
     sink.putU64(repairPushes);
+    sink.putU64(serverJoins);
+    sink.putU64(warmFills);
+    sink.putU64(warmRestarts);
+    sink.putU64(warmAborts);
+    sink.putU64(loadMigrations);
+    sink.putU64(resumes);
     sink.putU64(requestsServed);
     sink.putU64(serviceUnitsSpent);
     sink.putU64(queueRejections);
     sink.putU64(deviceDueReads);
     sink.putU64(deviceCorrected);
+}
+
+void
+FleetCounters::deserialize(ByteSource &src)
+{
+    // serialize() writes every field, in declaration order, as u64 —
+    // the tripwire test pins that — so the struct can be rebuilt with
+    // a flat copy that a new field automatically flows through.
+    u64 fields[kFleetCounterFields];
+    for (u64 &f : fields)
+        f = src.getU64();
+    std::memcpy(this, fields, sizeof(*this));
 }
 
 std::string
@@ -120,9 +171,64 @@ FleetCounters::summary() const
        << ") | chaos: " << serverCrashes << " crashes, " << serverStalls
        << " stalls, " << requestsDropped << " dropped, "
        << requestsDuplicated << " dup | failovers " << failovers
-       << " repairs " << repairPushes << " | device: "
+       << " repairs " << repairPushes << " | elastic: " << serverJoins
+       << " joins (" << warmFills << " warm fills, " << warmRestarts
+       << " restarts), " << loadMigrations << " load migrations, "
+       << resumes << " resumes | device: "
        << deviceCorrected << " CE, " << deviceDueReads << " DUE reads";
     return os.str();
+}
+
+void
+putRequest(ByteSink &sink, const Request &r)
+{
+    sink.putU64(r.op);
+    sink.putU32(r.attempt);
+    sink.putU32(r.replica);
+    sink.putU8(static_cast<u8>(r.kind));
+    sink.putU64(r.key);
+    sink.putU64(r.version);
+    sink.putU64(r.value);
+}
+
+Request
+getRequest(ByteSource &src)
+{
+    Request r;
+    r.op = src.getU64();
+    r.attempt = src.getU32();
+    r.replica = src.getU32();
+    r.kind = static_cast<OpKind>(src.getU8());
+    r.key = src.getU64();
+    r.version = src.getU64();
+    r.value = src.getU64();
+    return r;
+}
+
+void
+putResponse(ByteSink &sink, const Response &r)
+{
+    sink.putU64(r.op);
+    sink.putU32(r.attempt);
+    sink.putU32(r.replica);
+    sink.putU8(static_cast<u8>(r.status));
+    sink.putU64(r.version);
+    sink.putU64(r.value);
+    sink.putU32(r.from);
+}
+
+Response
+getResponse(ByteSource &src)
+{
+    Response r;
+    r.op = src.getU64();
+    r.attempt = src.getU32();
+    r.replica = src.getU32();
+    r.status = static_cast<Status>(src.getU8());
+    r.version = src.getU64();
+    r.value = src.getU64();
+    r.from = src.getU32();
+    return r;
 }
 
 } // namespace fleet

@@ -18,7 +18,9 @@
 #ifndef CITADEL_FLEET_FLEET_TYPES_H
 #define CITADEL_FLEET_FLEET_TYPES_H
 
+#include <cstddef>
 #include <string>
+#include <type_traits>
 
 #include "common/mutex.h"
 #include "common/serialize.h"
@@ -101,11 +103,38 @@ enum class ServerState : u8
     Up,      ///< Serving.
     Stalled, ///< Alive but processing nothing (chaos stall window).
     Slowed,  ///< Serving at reduced rate (chaos slowdown window).
-    Fenced,  ///< Evicted by the coordinator; repair source only.
+    Fenced,  ///< Out of the ring; repair source only.
     Crashed, ///< Fail-stop: queue and device state unreachable.
+    Warming, ///< Joining: streaming its shard from live replicas.
 };
 
 const char *serverStateName(ServerState s);
+
+/**
+ * The server lifecycle as an explicit transition table. The states
+ * {Up, Stalled, Slowed} together form *Serving*; the elasticity
+ * invariant is that the only edge from outside Serving back in is
+ * Warming -> Up (the coordinator's CRC-checked admission), so a
+ * fenced or restarted-after-crash server can never slip back into
+ * taking reads without a warm fill. StackServer routes every state
+ * change through this table and dies on an edge it does not list.
+ *
+ *   Up      -> Stalled | Slowed | Fenced | Crashed
+ *   Stalled -> Up | Slowed | Fenced | Crashed
+ *   Slowed  -> Up | Stalled | Fenced | Crashed
+ *   Fenced  -> Warming | Crashed
+ *   Crashed -> Fenced                       (process restart)
+ *   Warming -> Up | Fenced | Crashed        (admit / abort / crash)
+ */
+bool serverTransitionAllowed(ServerState from, ServerState to);
+
+/** Serving client traffic (the in-ring health predicate). */
+inline bool
+serverStateServing(ServerState s)
+{
+    return s == ServerState::Up || s == ServerState::Stalled ||
+           s == ServerState::Slowed;
+}
 
 /**
  * Campaign-wide totals. Summed in deterministic (serial-phase or
@@ -147,6 +176,14 @@ struct FleetCounters
     u64 capacityMigrations = 0; ///< Evictions for degraded capacity.
     u64 repairPushes = 0;     ///< Re-replication copies installed.
 
+    // Elasticity (join / rebalance / checkpoint).
+    u64 serverJoins = 0;    ///< Warming servers admitted into the ring.
+    u64 warmFills = 0;      ///< Records streamed into warming servers.
+    u64 warmRestarts = 0;   ///< Warm scans restarted (ring churn/backoff).
+    u64 warmAborts = 0;     ///< Warm attempts abandoned (back to Fenced).
+    u64 loadMigrations = 0; ///< Hot shards moved off overloaded servers.
+    u64 resumes = 0;        ///< Campaign loadState() calls (see audit()).
+
     // Server-side service accounting (merged in server order).
     u64 requestsServed = 0;
     u64 serviceUnitsSpent = 0; ///< Work units incl. correction traffic.
@@ -156,8 +193,35 @@ struct FleetCounters
 
     void add(const FleetCounters &c);
     void serialize(ByteSink &sink) const;
+
+    /** Inverse of serialize(). Relies on serialize() writing the
+     *  fields in declaration order — pinned by the tripwire test. */
+    void deserialize(ByteSource &src);
+
     std::string summary() const;
 };
+
+/**
+ * Tripwire for the PR-9-style silent-omission bug class: FleetCounters
+ * must stay a flat struct of exactly this many u64 fields, and both
+ * add() and serialize() must cover every one of them. The static
+ * asserts below catch a field added to the struct; the property test
+ * in tests/test_fleet.cc (FleetCountersTripwire) catches one added to
+ * the struct but missed in add()/putU64 serialization.
+ */
+constexpr std::size_t kFleetCounterFields = 36;
+static_assert(sizeof(FleetCounters) == kFleetCounterFields * sizeof(u64),
+              "FleetCounters changed: update kFleetCounterFields, add(), "
+              "serialize(), and the tripwire test together");
+static_assert(std::is_trivially_copyable_v<FleetCounters>);
+
+// Wire-independent value serialization of requests/responses, used by
+// the warm-fill stream framing and the campaign checkpoint. Field
+// order is part of the checkpoint format: append-only.
+void putRequest(ByteSink &sink, const Request &r);
+Request getRequest(ByteSource &src);
+void putResponse(ByteSink &sink, const Response &r);
+Response getResponse(ByteSource &src);
 
 } // namespace fleet
 } // namespace citadel

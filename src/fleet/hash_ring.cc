@@ -29,6 +29,14 @@ HashRing::HashRing(u32 servers, u32 vnodes, u64 seed)
             points_[i].hash = mix64(points_[i].hash + salt++);
     }
     std::sort(points_.begin(), points_.end());
+    // Freeze the post-salting points as each server's canonical set:
+    // remove()/add() below move exactly these, so membership churn can
+    // never re-salt and ownership round-trips exactly.
+    canonical_.resize(servers);
+    for (const Point &p : points_)
+        canonical_[p.server].push_back(p.hash);
+    for (auto &c : canonical_)
+        std::sort(c.begin(), c.end());
 }
 
 void
@@ -38,11 +46,28 @@ HashRing::remove(ServerIdx s)
         return;
     inRing_[s] = false;
     --live_;
+    ++epoch_;
     points_.erase(std::remove_if(points_.begin(), points_.end(),
                                  [s](const Point &p) {
                                      return p.server == s;
                                  }),
                   points_.end());
+}
+
+void
+HashRing::add(ServerIdx s)
+{
+    if (s >= inRing_.size() || inRing_[s])
+        return;
+    inRing_[s] = true;
+    ++live_;
+    ++epoch_;
+    const std::size_t old = points_.size();
+    for (u64 h : canonical_[s])
+        points_.push_back({h, s});
+    std::inplace_merge(points_.begin(),
+                       points_.begin() + static_cast<std::ptrdiff_t>(old),
+                       points_.end());
 }
 
 bool
@@ -72,6 +97,51 @@ HashRing::placement(u64 key, u32 replicas,
     }
 }
 
+void
+HashRing::placementPlus(ServerIdx candidate, u64 key, u32 replicas,
+                        std::vector<ServerIdx> &out) const
+{
+    if (candidate >= inRing_.size() || inRing_[candidate]) {
+        placement(key, replicas, out);
+        return;
+    }
+    out.clear();
+    const auto &cand = canonical_[candidate];
+    const std::size_t np = points_.size();
+    const std::size_t nc = cand.size();
+    if ((np == 0 && nc == 0) || replicas == 0)
+        return;
+    const u64 h = mix64(key ^ seed_);
+    // Merged circular walk over the live points and the candidate's
+    // canonical points. Comparing by clockwise distance (hash - h in
+    // wrapping u64 arithmetic) linearizes the circle, so each list is
+    // consumed from its lower_bound with a wrapping index and the
+    // merge is an ordinary two-pointer min-pick.
+    const std::size_t i0 = static_cast<std::size_t>(
+        std::lower_bound(points_.begin(), points_.end(), Point{h, 0}) -
+        points_.begin());
+    const std::size_t j0 = static_cast<std::size_t>(
+        std::lower_bound(cand.begin(), cand.end(), h) - cand.begin());
+    std::size_t a = 0, b = 0;
+    while (a + b < np + nc && out.size() < replicas) {
+        ServerIdx s;
+        const u64 dp = a < np ? points_[(i0 + a) % np].hash - h
+                              : ~u64{0};
+        const u64 dc = b < nc ? cand[(j0 + b) % nc] - h : ~u64{0};
+        // No tie possible: all point hashes are globally distinct and
+        // the candidate is not live, so dp != dc while both remain.
+        if (a < np && (b >= nc || dp < dc)) {
+            s = points_[(i0 + a) % np].server;
+            ++a;
+        } else {
+            s = candidate;
+            ++b;
+        }
+        if (std::find(out.begin(), out.end(), s) == out.end())
+            out.push_back(s);
+    }
+}
+
 ServerIdx
 HashRing::primary(u64 key) const
 {
@@ -86,6 +156,38 @@ HashRing::serialize(ByteSink &sink) const
     sink.putU64(inRing_.size());
     for (bool b : inRing_)
         sink.putBool(b);
+    sink.putU64(epoch_);
+}
+
+void
+HashRing::saveState(ByteSink &sink) const
+{
+    serialize(sink);
+}
+
+void
+HashRing::loadState(ByteSource &src)
+{
+    const u64 servers = src.getU64();
+    if (servers != inRing_.size())
+        fatal("HashRing::loadState: fleet size mismatch");
+    live_ = 0;
+    for (std::size_t s = 0; s < servers; ++s) {
+        inRing_[s] = src.getBool();
+        if (inRing_[s])
+            ++live_;
+    }
+    epoch_ = src.getU64();
+    // Rebuild live points from the canonical sets; membership plus
+    // the construction-time salting fully determines them.
+    points_.clear();
+    for (std::size_t s = 0; s < servers; ++s) {
+        if (!inRing_[s])
+            continue;
+        for (u64 h : canonical_[s])
+            points_.push_back({h, static_cast<ServerIdx>(s)});
+    }
+    std::sort(points_.begin(), points_.end());
 }
 
 } // namespace fleet

@@ -4,7 +4,9 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "ecc/crc32.h"
 #include "faults/injector.h"
+#include "fleet/wire.h"
 #include "sim/system_sim.h"
 #include "sim/workload.h"
 
@@ -129,9 +131,20 @@ StackServer::enqueue(const Request &r)
 }
 
 void
+StackServer::setState(ServerState to)
+{
+    if (to == state_)
+        return;
+    if (!serverTransitionAllowed(state_, to))
+        fatal("StackServer %u: illegal state transition %s -> %s",
+              index_, serverStateName(state_), serverStateName(to));
+    state_ = to;
+}
+
+void
 StackServer::crash()
 {
-    state_ = ServerState::Crashed;
+    setState(ServerState::Crashed);
     inboxHead_ = 0;
     inboxCount_ = 0;
     outbox_.clear();
@@ -142,7 +155,7 @@ StackServer::stall(u64 until_tick)
 {
     if (!serving())
         return;
-    state_ = ServerState::Stalled;
+    setState(ServerState::Stalled);
     stalledUntil_ = until_tick;
 }
 
@@ -151,7 +164,7 @@ StackServer::slowdown(u64 until_tick, u32 divisor)
 {
     if (state_ != ServerState::Up)
         return;
-    state_ = ServerState::Slowed;
+    setState(ServerState::Slowed);
     slowedUntil_ = until_tick;
     slowDivisor_ = std::max(1u, divisor);
 }
@@ -161,9 +174,85 @@ StackServer::fence()
 {
     if (state_ == ServerState::Crashed)
         return;
-    state_ = ServerState::Fenced;
+    setState(ServerState::Fenced);
     inboxHead_ = 0;
     inboxCount_ = 0;
+    stalledUntil_ = 0;
+    slowedUntil_ = 0;
+    slowDivisor_ = 1;
+}
+
+void
+StackServer::restart()
+{
+    setState(ServerState::Fenced);
+    // The process is back but its DRAM contents are not: every replica
+    // this server held is gone, which is exactly why admission
+    // requires a warm fill. Cumulative service stats survive (they are
+    // campaign accounting, not server memory).
+    kv_.clear();
+    if (!kvFlat_.empty())
+        kvFlat_.assign(kvFlat_.size(), {0, 0});
+    kvCount_ = 0;
+    inboxHead_ = 0;
+    inboxCount_ = 0;
+    outbox_.clear();
+    stalledUntil_ = 0;
+    slowedUntil_ = 0;
+    slowDivisor_ = 1;
+}
+
+void
+StackServer::beginWarming()
+{
+    setState(ServerState::Warming);
+    warmCrc_ = Crc32::begin();
+}
+
+u32
+StackServer::warmFrame(std::span<const u8> frame)
+{
+    if (state_ != ServerState::Warming)
+        fatal("StackServer %u: warmFrame outside Warming (%s)", index_,
+              serverStateName(state_));
+    FrameView view;
+    const DecodeStatus st = decodeFrame(frame, view);
+    if (st != DecodeStatus::Ok)
+        fatal("StackServer %u: warm frame rejected: %s", index_,
+              decodeStatusName(st));
+    if (view.kind() != FrameKind::RequestBatch)
+        fatal("StackServer %u: warm frame is not a request batch",
+              index_);
+    for (u32 i = 0; i < view.count(); ++i) {
+        const Request r = view.requestAt(i);
+        if (r.kind != OpKind::Write)
+            fatal("StackServer %u: non-write record in warm frame",
+                  index_);
+        storeLocal(r.key, r.version, r.value);
+        warmCrc_ = Crc32::update(warmCrc_, r.key);
+        warmCrc_ = Crc32::update(warmCrc_, r.version);
+        warmCrc_ = Crc32::update(warmCrc_, r.value);
+    }
+    return view.count();
+}
+
+void
+StackServer::admit(u32 expectedCrc)
+{
+    if (state_ != ServerState::Warming)
+        fatal("StackServer %u: admit outside Warming (%s)", index_,
+              serverStateName(state_));
+    if (warmCrc_ != expectedCrc)
+        fatal("StackServer %u: warm handshake CRC mismatch "
+              "(server %08x, coordinator %08x)",
+              index_, warmCrc_, expectedCrc);
+    setState(ServerState::Up);
+}
+
+void
+StackServer::abortWarming()
+{
+    setState(ServerState::Fenced);
 }
 
 void
@@ -308,14 +397,14 @@ StackServer::step(u64 tick)
         // Slowed-expiry path left to reset it, permanently shrinking
         // this server's service budget.
         if (tick < slowedUntil_ && slowDivisor_ > 1) {
-            state_ = ServerState::Slowed;
+            setState(ServerState::Slowed);
         } else {
-            state_ = ServerState::Up;
+            setState(ServerState::Up);
             slowDivisor_ = 1;
         }
     }
     if (state_ == ServerState::Slowed && tick >= slowedUntil_) {
-        state_ = ServerState::Up;
+        setState(ServerState::Up);
         slowDivisor_ = 1;
     }
 
@@ -365,6 +454,90 @@ StackServer::serialize(ByteSink &sink) const
     // surviving-service fingerprint.
     sink.putU64(state_ == ServerState::Crashed ? 0
                                                : dp_->stateFingerprint());
+}
+
+void
+StackServer::saveState(ByteSink &sink) const
+{
+    sink.putU8(static_cast<u8>(state_));
+    sink.putU64(stalledUntil_);
+    sink.putU64(slowedUntil_);
+    sink.putU32(slowDivisor_);
+    sink.putU64(lastCycle_);
+    sink.putU32(warmCrc_);
+    sink.putU64(stats_.served);
+    sink.putU64(stats_.unitsSpent);
+    sink.putU64(stats_.rejected);
+    sink.putU64(stats_.dueReads);
+    sink.putU64(stats_.corrected);
+    // Inbox in FIFO order (head/count collapse to a plain sequence).
+    sink.putU32(inboxCount_);
+    for (u32 i = 0; i < inboxCount_; ++i)
+        putRequest(sink, inbox_[(inboxHead_ + i) % cfg_.queueCap]);
+    sink.putU64(static_cast<u64>(outbox_.size()));
+    for (const Response &r : outbox_)
+        putResponse(sink, r);
+    sink.putU64(kvCount_);
+    u64 key = 0, version = 0, value = 0;
+    bool have = false;
+    u64 emitted = 0;
+    while (kvScan(have, key, key, version, value)) {
+        have = true;
+        sink.putU64(key);
+        sink.putU64(version);
+        sink.putU64(value);
+        ++emitted;
+    }
+    if (emitted != kvCount_)
+        fatal("StackServer::saveState: kvCount_ %llu != scanned %llu",
+              static_cast<unsigned long long>(kvCount_),
+              static_cast<unsigned long long>(emitted));
+    dp_->saveState(sink);
+}
+
+void
+StackServer::loadState(ByteSource &src)
+{
+    const ServerState st = static_cast<ServerState>(src.getU8());
+    stalledUntil_ = src.getU64();
+    slowedUntil_ = src.getU64();
+    slowDivisor_ = src.getU32();
+    lastCycle_ = src.getU64();
+    warmCrc_ = src.getU32();
+    stats_.served = src.getU64();
+    stats_.unitsSpent = src.getU64();
+    stats_.rejected = src.getU64();
+    stats_.dueReads = src.getU64();
+    stats_.corrected = src.getU64();
+    inboxHead_ = 0;
+    inboxCount_ = src.getU32();
+    if (inboxCount_ > cfg_.queueCap)
+        fatal("StackServer::loadState: inbox count %u > queueCap %u",
+              inboxCount_, cfg_.queueCap);
+    for (u32 i = 0; i < inboxCount_; ++i)
+        inbox_[i] = getRequest(src);
+    outbox_.clear();
+    const u64 outCount = src.getCount(kResponseRecordBytes);
+    outbox_.reserve(outCount);
+    for (u64 i = 0; i < outCount; ++i)
+        outbox_.push_back(getResponse(src));
+    kv_.clear();
+    if (!kvFlat_.empty())
+        kvFlat_.assign(kvFlat_.size(), {0, 0});
+    kvCount_ = 0;
+    const u64 kvN = src.getCount(3 * sizeof(u64));
+    for (u64 i = 0; i < kvN; ++i) {
+        const u64 key = src.getU64();
+        const u64 version = src.getU64();
+        const u64 value = src.getU64();
+        storeLocal(key, version, value);
+    }
+    if (kvCount_ != kvN)
+        fatal("StackServer::loadState: duplicate or absent KV entries");
+    dp_->loadState(src);
+    // Bypass the transition table: a checkpoint restores a state, it
+    // does not take an edge.
+    state_ = st;
 }
 
 } // namespace fleet

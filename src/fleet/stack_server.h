@@ -28,6 +28,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,49 @@ class StackServer
     /** Coordinator eviction: stop serving, remain a repair source. */
     void fence() CITADEL_REQUIRES(kSerialPhase);
 
+    // ---- Elastic lifecycle (DESIGN.md §16) ------------------------
+    //
+    // Every transition below routes through the fleet_types.h table;
+    // the only way back into Serving is Warming -> Up via admit().
+
+    /** Process restart after a fail-stop crash: Crashed -> Fenced.
+     *  DRAM contents are gone — the KV store comes back empty and the
+     *  server must warm-fill before it can serve again. The device
+     *  fault state persists (hardware does not heal on reboot). */
+    void restart() CITADEL_REQUIRES(kSerialPhase);
+
+    /** Begin a warm fill: Fenced -> Warming. Resets the running
+     *  warm-stream CRC (a restarted scan re-handshakes from zero;
+     *  re-streamed records max-merge idempotently). */
+    void beginWarming() CITADEL_REQUIRES(kSerialPhase);
+
+    /**
+     * Apply one warm-fill frame (a wire-encoded RequestBatch of Write
+     * records streamed from live replicas). Each record max-merges
+     * into the KV store and folds into the warm CRC the admission
+     * handshake checks. Only legal while Warming. Returns the number
+     * of records applied.
+     */
+    u32 warmFrame(std::span<const u8> frame)
+        CITADEL_REQUIRES(kSerialPhase);
+
+    /** Running CRC over the warm stream's (key, version, value)s. */
+    u32 warmCrc() const { return warmCrc_; }
+
+    /**
+     * Admission handshake: Warming -> Up, the single re-entry into
+     * Serving. `expectedCrc` is the coordinator's record CRC over
+     * everything it streamed; a mismatch is fatal — the warm stream
+     * never crosses the chaos-faulted path, so disagreement is a
+     * protocol bug, not weather.
+     */
+    void admit(u32 expectedCrc) CITADEL_REQUIRES(kSerialPhase);
+
+    /** Abandon a warm fill (retry budget exhausted): Warming ->
+     *  Fenced. Partial warm data is kept — it is correct, merely
+     *  incomplete, and a later attempt re-streams over it. */
+    void abortWarming() CITADEL_REQUIRES(kSerialPhase);
+
     /** Install a replica copy (coordinator-driven re-replication).
      *  Max-merge on version, mirroring the write path. */
     void applyReplica(u64 key, u64 version, u64 value)
@@ -135,11 +179,7 @@ class StackServer
     bool dataReadable() const { return state_ != ServerState::Crashed; }
 
     /** Serving client traffic (in-ring health). */
-    bool serving() const
-    {
-        return state_ != ServerState::Crashed &&
-               state_ != ServerState::Fenced;
-    }
+    bool serving() const { return serverStateServing(state_); }
 
     ServerState state() const { return state_; }
     const ServerStats &stats() const { return stats_; }
@@ -175,6 +215,18 @@ class StackServer
     /** Fold KV state, device state and stats into a fingerprint. */
     void serialize(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
 
+    /**
+     * Full checkpoint of the server's mutable state: lifecycle +
+     * chaos windows, inbox/outbox contents, KV store, stats, warm
+     * CRC, datapath tick guard, and the LiveRasDatapath checkpoint
+     * (which includes faults still scheduled to land). loadState()
+     * must be called on a server constructed from the identical
+     * (config, seed, campaign_ticks) — construction-derived state
+     * (calibration, canonical aging schedule) is not serialized.
+     */
+    void saveState(ByteSink &sink) const CITADEL_REQUIRES(kSerialPhase);
+    void loadState(ByteSource &src) CITADEL_REQUIRES(kSerialPhase);
+
     // ---- Parallel-phase interface ---------------------------------
 
     /** Consume the inbox within this tick's service budget; responses
@@ -195,6 +247,10 @@ class StackServer
     void calibrate(u64 seed);
     void scheduleAging(u64 seed, u64 campaign_ticks);
     Response serve(const Request &r, u64 cycle);
+
+    /** The only writer of state_: dies on an edge the fleet_types.h
+     *  transition table does not allow. */
+    void setState(ServerState to);
 
     // Phase-agnostic KV access: per-server state reached either from
     // the owner's step() (parallel phase) or through the annotated
@@ -232,6 +288,7 @@ class StackServer
     std::vector<std::pair<u64, u64>> kvFlat_; ///< version 0 = absent.
     u64 kvCount_ = 0;
     ServerStats stats_;
+    u32 warmCrc_ = 0; ///< Running warm-stream record CRC (handshake).
 };
 
 } // namespace fleet

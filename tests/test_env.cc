@@ -172,6 +172,35 @@ TEST_F(EnvRangeTest, FleetKnobRangesMatchDriver)
     EXPECT_EQ(envU64InRange("CITADEL_FLEET_BATCH", 32, 1, 4096),
               4096u);
     unsetenv("CITADEL_FLEET_BATCH");
+
+    // Elasticity knobs: the on/off switches reject anything but 0/1,
+    // and the checkpoint cut tick rejects values past the range cap —
+    // each falls back to its (off) default with a warning.
+    setenv("CITADEL_FLEET_JOIN", "2", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_JOIN", 0, 0, 1), 0u);
+    setenv("CITADEL_FLEET_JOIN", "1", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_JOIN", 0, 0, 1), 1u);
+    unsetenv("CITADEL_FLEET_JOIN");
+
+    setenv("CITADEL_FLEET_REBALANCE", "7", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_REBALANCE", 0, 0, 1), 0u);
+    setenv("CITADEL_FLEET_REBALANCE", "1", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_REBALANCE", 0, 0, 1), 1u);
+    unsetenv("CITADEL_FLEET_REBALANCE");
+
+    setenv("CITADEL_FLEET_CHECKPOINT", "1000001", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_CHECKPOINT", 0, 0,
+                            1'000'000),
+              0u);
+    setenv("CITADEL_FLEET_CHECKPOINT", "-5", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_CHECKPOINT", 0, 0,
+                            1'000'000),
+              0u);
+    setenv("CITADEL_FLEET_CHECKPOINT", "512", 1);
+    EXPECT_EQ(envU64InRange("CITADEL_FLEET_CHECKPOINT", 0, 0,
+                            1'000'000),
+              512u);
+    unsetenv("CITADEL_FLEET_CHECKPOINT");
 }
 
 class KernelEnvTest : public ::testing::Test

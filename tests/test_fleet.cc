@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
@@ -176,6 +177,148 @@ TEST(HashRing, ReplicationBeyondLiveClampsWithoutDuplicates)
         for (const ServerIdx s : p)
             EXPECT_TRUE(s == 0 || s == 2) << "key " << key;
     }
+}
+
+// Elasticity property: remove-then-add of the same server restores
+// bit-identical ownership for every key, at the same epoch parity
+// (+2), across fleet sizes including the single-server ring and the
+// wraparound region past the last ring point.
+TEST(HashRing, RemoveThenAddRestoresOwnershipAtSameEpochParity)
+{
+    for (const u32 servers : {1u, 2u, 3u, 8u, 17u}) {
+        HashRing ring(servers, 16, 99);
+        HashRing pristine(servers, 16, 99);
+        const u32 replicas = std::min(servers, 3u);
+
+        std::vector<u64> keys;
+        for (u64 key = 0; key < 400; ++key)
+            keys.push_back(key);
+        // Force the wraparound edge: keys hashing past the ring
+        // maximum wrap to its minimum, and remove+add must round-trip
+        // those too. A spread of raw values lands some past the last
+        // point whatever the layout.
+        for (u64 i = 1; i <= 64; ++i)
+            keys.push_back(~0ull - i * 0x1000193ull);
+
+        for (const ServerIdx victim :
+             {ServerIdx{0}, ServerIdx{servers - 1}}) {
+            const u64 epochBefore = ring.epoch();
+            std::vector<std::vector<ServerIdx>> before;
+            std::vector<ServerIdx> p;
+            for (const u64 key : keys) {
+                ring.placement(key, replicas, p);
+                before.push_back(p);
+            }
+
+            ring.remove(victim);
+            EXPECT_FALSE(ring.contains(victim));
+            EXPECT_EQ(ring.epoch(), epochBefore + 1);
+            ring.add(victim);
+            EXPECT_TRUE(ring.contains(victim));
+            EXPECT_EQ(ring.epoch(), epochBefore + 2);
+            EXPECT_EQ(ring.epoch() % 2, epochBefore % 2);
+            EXPECT_EQ(ring.liveCount(), servers);
+
+            std::vector<ServerIdx> q;
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                ring.placement(keys[i], replicas, p);
+                EXPECT_EQ(p, before[i])
+                    << "servers " << servers << " victim " << victim
+                    << " key " << keys[i];
+                // And the round-tripped ring still matches a pristine
+                // ring of the same seed point for point.
+                pristine.placement(keys[i], replicas, q);
+                EXPECT_EQ(p, q);
+            }
+        }
+
+        // Idempotence: re-adding a present server is a no-op (no
+        // epoch bump, no duplicate points).
+        const u64 e = ring.epoch();
+        ring.add(0);
+        EXPECT_EQ(ring.epoch(), e);
+    }
+}
+
+// placementPlus must predict exactly what placement() returns once
+// the candidate is admitted — the warm scan's shard filter and the
+// post-admission ownership must agree, or a warm fill would stream
+// the wrong keys.
+TEST(HashRing, PlacementPlusPredictsPostAdmissionOwnership)
+{
+    for (const u32 servers : {2u, 5u, 8u}) {
+        HashRing ring(servers, 32, 7);
+        const ServerIdx candidate = servers / 2;
+        ring.remove(candidate);
+
+        std::vector<ServerIdx> predicted, actual;
+        std::vector<std::vector<ServerIdx>> plus;
+        for (u64 key = 0; key < 600; ++key) {
+            ring.placementPlus(candidate, key, 2, predicted);
+            plus.push_back(predicted);
+        }
+        ring.add(candidate);
+        for (u64 key = 0; key < 600; ++key) {
+            ring.placement(key, 2, actual);
+            EXPECT_EQ(plus[key], actual)
+                << "servers " << servers << " key " << key;
+        }
+        // For a member, placementPlus degenerates to placement().
+        for (u64 key = 0; key < 100; ++key) {
+            ring.placementPlus(candidate, key, 2, predicted);
+            ring.placement(key, 2, actual);
+            EXPECT_EQ(predicted, actual);
+        }
+    }
+}
+
+// ---- FleetCounters tripwire ----------------------------------------
+
+// Catches a counter added to the struct but missed in add() or the
+// putU64 serialization: fill the struct with distinct non-zero values
+// via its flat-u64 layout (the static_asserts in fleet_types.h pin
+// it), then demand that serialize() emits exactly those values in
+// declaration order and that add() doubles every one of them.
+TEST(FleetCounters, TripwireEveryFieldSerializedAndMerged)
+{
+    static_assert(sizeof(FleetCounters) ==
+                  kFleetCounterFields * sizeof(u64));
+
+    u64 fill[kFleetCounterFields];
+    for (std::size_t i = 0; i < kFleetCounterFields; ++i)
+        fill[i] = i + 1;
+    FleetCounters c;
+    std::memcpy(&c, fill, sizeof(c));
+
+    ByteSink sink;
+    c.serialize(sink);
+    ASSERT_EQ(sink.bytes().size(), sizeof(FleetCounters))
+        << "serialize() writes a different number of fields than the "
+           "struct declares";
+    ByteSource src(sink.bytes());
+    for (std::size_t i = 0; i < kFleetCounterFields; ++i)
+        EXPECT_EQ(src.getU64(), i + 1)
+            << "field " << i
+            << " serialized out of declaration order or skipped";
+
+    // add() must cover the same field set.
+    FleetCounters sum = c;
+    sum.add(c);
+    ByteSink sink2;
+    sum.serialize(sink2);
+    ByteSource src2(sink2.bytes());
+    for (std::size_t i = 0; i < kFleetCounterFields; ++i)
+        EXPECT_EQ(src2.getU64(), 2 * (i + 1))
+            << "field " << i << " missed by add()";
+
+    // deserialize() is the exact inverse.
+    FleetCounters back;
+    ByteSource src3(sink.bytes());
+    back.deserialize(src3);
+    EXPECT_EQ(src3.remaining(), 0u);
+    ByteSink sink4;
+    back.serialize(sink4);
+    EXPECT_EQ(sink4.bytes(), sink.bytes());
 }
 
 // ---- Traffic model -------------------------------------------------

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Fleet elasticity tests (DESIGN.md §16): server join/rejoin through
+ * the Fenced -> Warming -> Serving path, the warm-fill CRC handshake,
+ * load-driven hot-shard migration under zipf skew, and the campaign
+ * checkpoint/resume contract — a resumed campaign must fingerprint
+ * bit-identically to an uninterrupted one, at any cut point, for any
+ * thread count, under full chaos.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+
+using namespace citadel;
+using namespace citadel::fleet;
+
+namespace {
+
+FleetConfig
+elasticConfig()
+{
+    FleetConfig cfg = FleetConfig::demo();
+    cfg.servers = 4;
+    cfg.ticks = 384;
+    cfg.users = 1000;
+    cfg.keySpace = 96;
+    cfg.arrivalsPerTick = 3;
+    cfg.retry.attemptTimeout = 24;
+    cfg.retry.opDeadline = 320;
+    cfg.retry.hedgeAfter = 8;
+    cfg.retry.maxAttempts = 6;
+    cfg.coord.healthEvery = 8;
+    cfg.coord.failThreshold = 2;
+    cfg.server.defaultServiceUnits = 24;
+    cfg.server.calibrationInsns = 0;
+    cfg.threads = 1;
+    return cfg;
+}
+
+// ---- The transition table ------------------------------------------
+
+// The elasticity invariant, checked exhaustively over every state
+// pair: the only edge from outside Serving back into Serving is
+// Warming -> Up (the coordinator's CRC-checked admission).
+TEST(ServerLifecycle, OnlyWarmingReentersServing)
+{
+    const ServerState all[] = {
+        ServerState::Up,      ServerState::Stalled,
+        ServerState::Slowed,  ServerState::Fenced,
+        ServerState::Crashed, ServerState::Warming,
+    };
+    for (const ServerState from : all) {
+        for (const ServerState to : all) {
+            const bool allowed = serverTransitionAllowed(from, to);
+            SCOPED_TRACE(std::string(serverStateName(from)) + " -> " +
+                         serverStateName(to));
+            if (from == to)
+                EXPECT_FALSE(allowed); // Self-loops are not edges.
+            if (!serverStateServing(from) && serverStateServing(to) &&
+                allowed) {
+                EXPECT_EQ(from, ServerState::Warming);
+                EXPECT_EQ(to, ServerState::Up);
+            }
+        }
+    }
+    // The table's positive spine: restart -> warm -> admit.
+    EXPECT_TRUE(serverTransitionAllowed(ServerState::Crashed,
+                                        ServerState::Fenced));
+    EXPECT_TRUE(serverTransitionAllowed(ServerState::Fenced,
+                                        ServerState::Warming));
+    EXPECT_TRUE(serverTransitionAllowed(ServerState::Warming,
+                                        ServerState::Up));
+    // And the edges the invariant exists to forbid.
+    EXPECT_FALSE(serverTransitionAllowed(ServerState::Fenced,
+                                         ServerState::Up));
+    EXPECT_FALSE(serverTransitionAllowed(ServerState::Crashed,
+                                         ServerState::Up));
+    EXPECT_FALSE(serverTransitionAllowed(ServerState::Crashed,
+                                         ServerState::Warming));
+    EXPECT_FALSE(serverTransitionAllowed(ServerState::Up,
+                                         ServerState::Warming));
+}
+
+TEST(ServerLifecycleDeath, IllegalEdgesAreFatal)
+{
+    const ServerConfig scfg = elasticConfig().server;
+    StackServer srv(0, scfg, /*seed=*/1, /*campaign_ticks=*/64);
+    ThreadRoleGrant serial(kSerialPhase);
+    srv.crash();
+    srv.restart();
+    ASSERT_EQ(srv.state(), ServerState::Fenced);
+    // Fenced -> Up without warming: the exact bypass the table exists
+    // to make impossible.
+    EXPECT_DEATH(srv.admit(0), "admit outside Warming");
+}
+
+// ---- Join / rejoin e2e ---------------------------------------------
+
+TEST(ElasticJoin, CrashedServerRejoinsWarmFilledAndServing)
+{
+    // Kill each server in turn, restart it 64 ticks later, and demand
+    // the full rejoin path: eviction, warm fill from live replicas,
+    // CRC-checked admission, and a clean durability audit with the
+    // whole fleet back in service.
+    for (u32 victim = 0; victim < 4; ++victim) {
+        FleetConfig cfg = elasticConfig();
+        cfg.chaos.enabled = false;
+        FleetCampaign campaign(cfg);
+
+        ChaosEvent kill;
+        kill.kind = ChaosEvent::Kind::Crash;
+        kill.server = victim;
+        kill.tick = 96;
+        campaign.injectChaosEvent(kill);
+        ChaosEvent back;
+        back.kind = ChaosEvent::Kind::Restart;
+        back.server = victim;
+        back.tick = 160;
+        campaign.injectChaosEvent(back);
+
+        const FleetResult res = campaign.run();
+        SCOPED_TRACE("victim " + std::to_string(victim));
+        EXPECT_EQ(res.totals.serverCrashes, 1u);
+        EXPECT_GE(res.totals.failovers, 1u);
+        EXPECT_GE(res.totals.serverJoins, 1u);
+        EXPECT_GT(res.totals.warmFills, 0u);
+        EXPECT_EQ(res.totals.warmAborts, 0u);
+
+        // The whole fleet is back: the rejoined server is serving and
+        // in the ring.
+        EXPECT_EQ(res.liveServers, 4u);
+        ASSERT_EQ(res.servers.size(), 4u);
+        EXPECT_EQ(res.servers[victim].state, ServerState::Up);
+        EXPECT_GT(res.servers[victim].kvKeys, 0u);
+
+        // Durability across the crash + rejoin.
+        EXPECT_GT(res.auditedWrites, 0u);
+        EXPECT_EQ(res.lostAckedWrites, 0u);
+        EXPECT_EQ(res.corruptAckedWrites, 0u);
+        EXPECT_EQ(res.divergences, 0u);
+    }
+}
+
+TEST(ElasticJoin, EvictedButAliveServerRejoinsWithoutRestart)
+{
+    // A long stall gets a server evicted (probes missed) without a
+    // crash; once the stall window ends a scripted Restart event asks
+    // the (Fenced, data intact) server to rejoin.
+    FleetConfig cfg = elasticConfig();
+    cfg.chaos.enabled = false;
+    FleetCampaign campaign(cfg);
+
+    ChaosEvent stall;
+    stall.kind = ChaosEvent::Kind::Stall;
+    stall.server = 2;
+    stall.tick = 96;
+    stall.duration = 48; // Outlasts failThreshold * healthEvery.
+    campaign.injectChaosEvent(stall);
+    ChaosEvent back;
+    back.kind = ChaosEvent::Kind::Restart;
+    back.server = 2;
+    back.tick = 192;
+    campaign.injectChaosEvent(back);
+
+    const FleetResult res = campaign.run();
+    EXPECT_EQ(res.totals.serverCrashes, 0u);
+    EXPECT_GE(res.totals.failovers, 1u);
+    EXPECT_GE(res.totals.serverJoins, 1u);
+    EXPECT_EQ(res.liveServers, 4u);
+    EXPECT_EQ(res.servers[2].state, ServerState::Up);
+    EXPECT_EQ(res.lostAckedWrites, 0u);
+    EXPECT_EQ(res.corruptAckedWrites, 0u);
+}
+
+TEST(ElasticJoin, SampledCrashesRejoinViaDerivedRestarts)
+{
+    // Full chaos with restartAfterTicks: every sampled crash (and
+    // every stall-eviction) derives a restart, and the campaign must
+    // end with every server rejoined and serving — including events
+    // near the campaign end whose restart lands after the last tick
+    // (finish() fires those before the elastic drain).
+    FleetConfig cfg = elasticConfig();
+    cfg.chaos.crashes = 2;
+    cfg.chaos.restartAfterTicks = 64;
+    cfg.seed = 5;
+    FleetCampaign campaign(cfg);
+    const FleetResult res = campaign.run();
+    EXPECT_GE(res.totals.serverCrashes, 1u);
+    EXPECT_GE(res.totals.serverJoins, res.totals.serverCrashes);
+    EXPECT_EQ(res.liveServers, 4u);
+    for (u32 s = 0; s < 4; ++s)
+        EXPECT_TRUE(serverStateServing(res.servers[s].state))
+            << "server " << s;
+    EXPECT_EQ(res.lostAckedWrites, 0u);
+    EXPECT_EQ(res.corruptAckedWrites, 0u);
+    EXPECT_EQ(res.divergences, 0u);
+}
+
+TEST(ElasticJoin, RestartScheduleDisabledKeepsCrashesPermanent)
+{
+    // restartAfterTicks = 0 must reproduce pre-elasticity behavior
+    // exactly: same schedule, no joins, crashed server stays out.
+    FleetConfig cfg = elasticConfig();
+    cfg.chaos.crashes = 1;
+    cfg.chaos.stalls = 0;
+    cfg.chaos.slowdowns = 0;
+    cfg.seed = 5;
+    FleetCampaign withOff(cfg);
+    cfg.chaos.restartAfterTicks = 64;
+    FleetCampaign withOn(cfg);
+    // The derived restarts perturb no other event's placement.
+    const auto &off = withOff.chaosSchedule();
+    const auto &on = withOn.chaosSchedule();
+    ASSERT_EQ(on.size(), off.size() + 1);
+    std::size_t j = 0;
+    for (const ChaosEvent &ev : on) {
+        if (ev.kind == ChaosEvent::Kind::Restart)
+            continue;
+        ASSERT_LT(j, off.size());
+        EXPECT_EQ(ev.tick, off[j].tick);
+        EXPECT_EQ(ev.server, off[j].server);
+        EXPECT_EQ(static_cast<int>(ev.kind),
+                  static_cast<int>(off[j].kind));
+        ++j;
+    }
+    EXPECT_EQ(j, off.size());
+
+    const FleetResult res = withOff.run();
+    EXPECT_EQ(res.totals.serverJoins, 0u);
+    EXPECT_EQ(res.totals.warmFills, 0u);
+    EXPECT_EQ(res.liveServers, 3u);
+}
+
+// ---- Load-driven rebalance -----------------------------------------
+
+FleetConfig
+rebalanceConfig()
+{
+    FleetConfig cfg = elasticConfig();
+    cfg.chaos.enabled = false;
+    cfg.ticks = 1; // Overridden by the trace.
+    // Heavy zipf skew concentrates load on a handful of keys; their
+    // primaries overload while the rest of the fleet idles.
+    cfg.traffic = "ticks=320,rate=6,write=0.5,zipf=1.2";
+    cfg.coord.rebalanceEnabled = true;
+    cfg.coord.minRoundLoad = 4;
+    cfg.coord.overloadFactor = 1.25;
+    cfg.coord.hotRounds = 2;
+    cfg.coord.migratePerRound = 2;
+    return cfg;
+}
+
+TEST(ElasticRebalance, ZipfSkewMigratesHotShards)
+{
+    FleetCampaign campaign(rebalanceConfig());
+    const FleetResult res = campaign.run();
+    EXPECT_GE(res.totals.loadMigrations, 1u);
+    // Migration must never cost durability.
+    EXPECT_GT(res.auditedWrites, 0u);
+    EXPECT_EQ(res.lostAckedWrites, 0u);
+    EXPECT_EQ(res.corruptAckedWrites, 0u);
+    EXPECT_EQ(res.divergences, 0u);
+    EXPECT_EQ(res.liveServers, 4u);
+}
+
+TEST(ElasticRebalance, DisabledByDefaultMovesNothing)
+{
+    FleetConfig cfg = rebalanceConfig();
+    cfg.coord.rebalanceEnabled = false;
+    FleetCampaign campaign(cfg);
+    const FleetResult res = campaign.run();
+    EXPECT_EQ(res.totals.loadMigrations, 0u);
+    EXPECT_EQ(res.lostAckedWrites, 0u);
+}
+
+TEST(ElasticRebalance, InvariantAcrossThreadCounts)
+{
+    // Rebalance decisions (EWMA folds, hot-key sorts, overrides) are
+    // serial-phase state: the fingerprint must not see thread count.
+    FleetResult ref;
+    bool haveRef = false;
+    for (const unsigned threads : {1u, 3u}) {
+        FleetConfig cfg = rebalanceConfig();
+        cfg.threads = threads;
+        FleetCampaign campaign(cfg);
+        const FleetResult res = campaign.run();
+        if (!haveRef) {
+            ref = res;
+            haveRef = true;
+            EXPECT_GE(res.totals.loadMigrations, 1u);
+            continue;
+        }
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        EXPECT_EQ(res.fingerprint, ref.fingerprint);
+        EXPECT_EQ(res.totals.loadMigrations,
+                  ref.totals.loadMigrations);
+    }
+}
+
+// ---- Checkpoint / resume -------------------------------------------
+
+FleetConfig
+checkpointConfig()
+{
+    // Everything on at once: chaos (crashes + derived restarts,
+    // stalls, slowdowns, drops, dups), rebalance, wire transport —
+    // the checkpoint must capture all of it.
+    FleetConfig cfg = elasticConfig();
+    cfg.ticks = 192;
+    cfg.chaos.restartAfterTicks = 48;
+    cfg.coord.rebalanceEnabled = true;
+    cfg.coord.minRoundLoad = 4;
+    cfg.coord.overloadFactor = 1.25;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(ElasticCheckpoint, ResumeIsBitIdenticalAtAnyCutPoint)
+{
+    const FleetConfig cfg = checkpointConfig();
+    FleetCampaign reference(cfg);
+    const FleetResult ref = reference.run();
+    ASSERT_GT(ref.totals.opsAcked, 0u);
+    ASSERT_NE(ref.fingerprint, 0u);
+    EXPECT_EQ(ref.totals.resumes, 0u);
+
+    // Cut points: first tick, mid-chaos, one tick before the end.
+    for (const u64 cut : {u64{1}, u64{97}, cfg.ticks - 1}) {
+        FleetCampaign first(cfg);
+        first.advanceTo(cut);
+        ByteSink sink;
+        first.saveState(sink);
+
+        // Resume into a fresh campaign — and a different thread count
+        // than the one that produced the checkpoint.
+        FleetConfig cfg2 = cfg;
+        cfg2.threads = 3;
+        FleetCampaign second(cfg2);
+        ByteSource src(sink.bytes());
+        second.loadState(src);
+        EXPECT_EQ(src.remaining(), 0u);
+        EXPECT_EQ(second.tick(), cut);
+
+        const FleetResult res = second.finish();
+        SCOPED_TRACE("cut " + std::to_string(cut));
+        EXPECT_EQ(res.fingerprint, ref.fingerprint);
+        EXPECT_EQ(res.totals.opsAcked, ref.totals.opsAcked);
+        EXPECT_EQ(res.totals.serverJoins, ref.totals.serverJoins);
+        EXPECT_EQ(res.totals.loadMigrations,
+                  ref.totals.loadMigrations);
+        EXPECT_EQ(res.lostAckedWrites, 0u);
+        // The resume itself is visible in the counters but not in the
+        // fingerprint.
+        EXPECT_EQ(res.totals.resumes, 1u);
+    }
+}
+
+TEST(ElasticCheckpoint, ChainedResumesStayBitIdentical)
+{
+    // save -> resume -> save -> resume: resumes compose.
+    const FleetConfig cfg = checkpointConfig();
+    FleetCampaign reference(cfg);
+    const FleetResult ref = reference.run();
+
+    FleetCampaign a(cfg);
+    a.advanceTo(64);
+    ByteSink s1;
+    a.saveState(s1);
+
+    FleetCampaign b(cfg);
+    ByteSource r1(s1.bytes());
+    b.loadState(r1);
+    b.advanceTo(128);
+    ByteSink s2;
+    b.saveState(s2);
+
+    FleetCampaign c(cfg);
+    ByteSource r2(s2.bytes());
+    c.loadState(r2);
+    const FleetResult res = c.finish();
+    EXPECT_EQ(res.fingerprint, ref.fingerprint);
+    EXPECT_EQ(res.totals.resumes, 2u);
+}
+
+TEST(ElasticCheckpoint, DirectTransportRoundTripsToo)
+{
+    // The Direct (multimap, ordered-engine) path serializes its own
+    // in-flight representation; it must round-trip just as exactly.
+    FleetConfig cfg = checkpointConfig();
+    cfg.transport = TransportMode::Direct;
+    FleetCampaign reference(cfg);
+    const FleetResult ref = reference.run();
+
+    FleetCampaign first(cfg);
+    first.advanceTo(97);
+    ByteSink sink;
+    first.saveState(sink);
+    FleetCampaign second(cfg);
+    ByteSource src(sink.bytes());
+    second.loadState(src);
+    EXPECT_EQ(src.remaining(), 0u);
+    const FleetResult res = second.finish();
+    EXPECT_EQ(res.fingerprint, ref.fingerprint);
+}
+
+TEST(ElasticCheckpointDeath, MismatchedScheduleIsRejected)
+{
+    const FleetConfig cfg = checkpointConfig();
+    FleetCampaign first(cfg);
+    first.advanceTo(32);
+    ByteSink sink;
+    first.saveState(sink);
+
+    // A campaign with an extra scripted event has a different chaos
+    // schedule: the checkpoint must refuse to load into it.
+    FleetCampaign other(cfg);
+    ChaosEvent kill;
+    kill.kind = ChaosEvent::Kind::Crash;
+    kill.server = 1;
+    kill.tick = 50;
+    other.injectChaosEvent(kill);
+    ByteSource src(sink.bytes());
+    EXPECT_DEATH(other.loadState(src), "schedule");
+}
+
+} // namespace
